@@ -1,0 +1,335 @@
+//! Curtmola–Garay–Kamara–Ostrovsky SSE-1 (CCS 2006) — reference \[11\].
+//!
+//! The encrypted inverted index: all posting lists live as encrypted,
+//! randomly scattered nodes in one array `A`; a lookup table `T` maps the
+//! keyword tag to the (masked) address and key of the list head. Each node
+//! decrypts to `(doc id, next address, next key)`, so a search costs
+//! `O(|D(w)|)` — *better* than the paper's `O(log u)`.
+//!
+//! The catch — and the reason the paper exists — is updates: the array
+//! layout and per-node keys are fixed at build time, so adding documents
+//! means **rebuilding and re-uploading the whole index**. This
+//! implementation makes that cost concrete: the client caches document
+//! metadata locally and every `add_documents` after the first triggers a
+//! full rebuild, metered as real traffic.
+
+use sse_core::error::{Result, SseError};
+use sse_core::scheme::SseClientApi;
+use sse_core::types::{DocId, Document, Keyword, MasterKey, SearchHits};
+use sse_net::meter::Meter;
+use sse_net::wire::{WireReader, WireWriter};
+use sse_primitives::drbg::HmacDrbg;
+use sse_primitives::etm::EtmKey;
+use sse_primitives::prf::Prf;
+use std::collections::{BTreeMap, HashMap};
+
+/// A node in the encrypted array: sealed `(doc id, next addr, next key)`.
+type SealedNode = Vec<u8>;
+
+/// Server state.
+#[derive(Default)]
+pub struct CurtmolaServer {
+    /// The scrambled node array `A`.
+    array: Vec<SealedNode>,
+    /// Lookup table `T`: keyword tag → sealed `(head addr, head key)`.
+    table: HashMap<[u8; 32], Vec<u8>>,
+    /// Encrypted document blobs.
+    blobs: BTreeMap<DocId, Vec<u8>>,
+    /// Nodes decrypted across all searches (the `O(|D(w)|)` cost).
+    pub nodes_walked: u64,
+    /// Full index rebuilds received (the update cost).
+    pub rebuilds: u64,
+}
+
+impl CurtmolaServer {
+    /// Number of stored documents.
+    #[must_use]
+    pub fn stored_docs(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Index size in bytes (array + table).
+    #[must_use]
+    pub fn index_bytes(&self) -> usize {
+        self.array.iter().map(Vec::len).sum::<usize>()
+            + self
+                .table
+                .values()
+                .map(|v| 32 + v.len())
+                .sum::<usize>()
+    }
+}
+
+/// The SSE-1 client, with its in-process server.
+pub struct CurtmolaClient {
+    server: CurtmolaServer,
+    meter: Meter,
+    tag_prf: Prf,
+    /// Key deriving the per-list head keys and table sealing keys.
+    index_key: [u8; 32],
+    etm: EtmKey,
+    drbg: HmacDrbg,
+    /// Client-side metadata cache enabling rebuilds (id → keywords).
+    cached_metadata: Vec<(DocId, Vec<Keyword>)>,
+}
+
+const NO_NEXT: u64 = u64::MAX;
+
+impl CurtmolaClient {
+    /// Build a client+server pair from a master key.
+    #[must_use]
+    pub fn new(key: &MasterKey, meter: Meter, rng_seed: u64) -> Self {
+        CurtmolaClient {
+            server: CurtmolaServer::default(),
+            meter,
+            tag_prf: Prf::new(key.derive_w("curtmola/tag")),
+            index_key: key.derive_w("curtmola/index"),
+            etm: EtmKey::new(&key.derive_m("curtmola/data")),
+            drbg: HmacDrbg::from_u64(rng_seed),
+            cached_metadata: Vec::new(),
+        }
+    }
+
+    /// Server-side counters.
+    #[must_use]
+    pub fn server(&self) -> &CurtmolaServer {
+        &self.server
+    }
+
+    fn tag(&self, w: &Keyword) -> [u8; 32] {
+        self.tag_prf.eval(w.as_bytes()).0
+    }
+
+    /// Sealing key for the table entry of `w`.
+    fn table_key(&self, w: &Keyword) -> [u8; 32] {
+        Prf::new(self.index_key).eval_parts(&[b"table", w.as_bytes()]).0
+    }
+
+    /// Rebuild the entire index from the cached metadata and upload it.
+    fn rebuild_index(&mut self) -> Result<()> {
+        // Gather posting lists.
+        let mut postings: BTreeMap<Keyword, Vec<DocId>> = BTreeMap::new();
+        for (id, kws) in &self.cached_metadata {
+            for w in kws {
+                postings.entry(w.clone()).or_default().push(*id);
+            }
+        }
+        let total_nodes: usize = postings.values().map(Vec::len).sum();
+
+        // Scrambled placement: a random permutation of array slots.
+        let mut slots: Vec<u64> = (0..total_nodes as u64).collect();
+        // Fisher–Yates with the DRBG.
+        for i in (1..slots.len()).rev() {
+            let j = self.drbg.gen_range(i as u64 + 1) as usize;
+            slots.swap(i, j);
+        }
+
+        let mut array: Vec<Option<SealedNode>> = vec![None; total_nodes];
+        let mut table: HashMap<[u8; 32], Vec<u8>> = HashMap::new();
+        let mut slot_cursor = 0usize;
+
+        for (w, ids) in &postings {
+            // Assign each node of this list a slot and a fresh key.
+            let addrs: Vec<u64> =
+                (0..ids.len()).map(|k| slots[slot_cursor + k]).collect();
+            slot_cursor += ids.len();
+            let keys: Vec<[u8; 32]> = (0..ids.len()).map(|_| self.drbg.gen_key()).collect();
+
+            for (k, &id) in ids.iter().enumerate() {
+                let (next_addr, next_key) = if k + 1 < ids.len() {
+                    (addrs[k + 1], keys[k + 1])
+                } else {
+                    (NO_NEXT, [0u8; 32])
+                };
+                let mut w_node = WireWriter::new();
+                w_node.put_u64(id).put_u64(next_addr).put_array(&next_key);
+                let mut iv = [0u8; 12];
+                self.drbg.fill(&mut iv);
+                let sealed = EtmKey::new(&keys[k]).seal_with_iv(&iv, &w_node.finish());
+                array[addrs[k] as usize] = Some(sealed);
+            }
+
+            // Table entry: sealed (head addr, head key) under a key only the
+            // search trapdoor reveals.
+            let mut w_entry = WireWriter::new();
+            w_entry.put_u64(addrs[0]).put_array(&keys[0]);
+            let mut iv = [0u8; 12];
+            self.drbg.fill(&mut iv);
+            let sealed =
+                EtmKey::new(&self.table_key(w)).seal_with_iv(&iv, &w_entry.finish());
+            table.insert(self.tag(w), sealed);
+        }
+
+        let array: Vec<SealedNode> = array
+            .into_iter()
+            .map(|n| n.expect("every slot assigned exactly once"))
+            .collect();
+
+        // "Upload": replace the server's index, metering its full size.
+        let upload_bytes = array.iter().map(Vec::len).sum::<usize>()
+            + table.values().map(|v| 32 + v.len()).sum::<usize>();
+        self.meter.record_round(upload_bytes, 1);
+        self.server.array = array;
+        self.server.table = table;
+        self.server.rebuilds += 1;
+        Ok(())
+    }
+}
+
+impl SseClientApi for CurtmolaClient {
+    fn add_documents(&mut self, docs: &[Document]) -> Result<()> {
+        if docs.is_empty() {
+            return Ok(());
+        }
+        // Upload blobs (same as every scheme).
+        let mut blob_bytes = 0usize;
+        for d in docs {
+            let mut iv = [0u8; 12];
+            self.drbg.fill(&mut iv);
+            let blob = self.etm.seal_with_iv(&iv, &d.data);
+            blob_bytes += 8 + blob.len();
+            self.server.blobs.insert(d.id, blob);
+            self.cached_metadata
+                .push((d.id, d.keywords.iter().cloned().collect()));
+        }
+        self.meter.record_round(blob_bytes, 1);
+        // SSE-1 has no incremental update: rebuild the whole index.
+        self.rebuild_index()
+    }
+
+    fn search(&mut self, keyword: &Keyword) -> Result<SearchHits> {
+        let tag = self.tag(keyword);
+        // The trapdoor is (tag, table key); the server unseals the table
+        // entry and walks the list.
+        let table_key = self.table_key(keyword);
+        let Some(sealed_entry) = self.server.table.get(&tag) else {
+            self.meter.record_round(64, 1);
+            return Ok(Vec::new());
+        };
+        let entry_plain = EtmKey::new(&table_key).open(sealed_entry)?;
+        let mut r = WireReader::new(&entry_plain);
+        let mut addr = r.get_u64().map_err(SseError::from)?;
+        let mut key = r.get_array32().map_err(SseError::from)?;
+
+        let mut matched: Vec<(DocId, Vec<u8>)> = Vec::new();
+        while addr != NO_NEXT {
+            let node = self
+                .server
+                .array
+                .get(addr as usize)
+                .ok_or(SseError::ProtocolViolation {
+                    expected: "valid node address",
+                    got: format!("addr {addr}"),
+                })?;
+            let plain = EtmKey::new(&key).open(node)?;
+            self.server.nodes_walked += 1;
+            let mut nr = WireReader::new(&plain);
+            let id = nr.get_u64().map_err(SseError::from)?;
+            let next_addr = nr.get_u64().map_err(SseError::from)?;
+            let next_key = nr.get_array32().map_err(SseError::from)?;
+            if let Some(blob) = self.server.blobs.get(&id) {
+                matched.push((id, blob.clone()));
+            }
+            addr = next_addr;
+            key = next_key;
+        }
+        let response_bytes: usize = matched.iter().map(|(_, b)| 8 + b.len()).sum();
+        self.meter.record_round(64, response_bytes.max(1));
+
+        let mut hits = Vec::with_capacity(matched.len());
+        for (id, blob) in matched {
+            hits.push((id, self.etm.open(&blob)?));
+        }
+        Ok(hits)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "curtmola-sse1"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> CurtmolaClient {
+        CurtmolaClient::new(&MasterKey::from_seed(5), Meter::new(), 6)
+    }
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document::new(0, b"zero".to_vec(), ["alpha", "beta"]),
+            Document::new(1, b"one".to_vec(), ["beta", "gamma"]),
+            Document::new(2, b"two".to_vec(), ["gamma"]),
+        ]
+    }
+
+    #[test]
+    fn search_walks_only_the_posting_list() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        let hits = c.search(&Keyword::new("beta")).unwrap();
+        assert_eq!(hits, vec![(0, b"zero".to_vec()), (1, b"one".to_vec())]);
+        // Exactly |D(beta)| = 2 nodes decrypted.
+        assert_eq!(c.server().nodes_walked, 2);
+    }
+
+    #[test]
+    fn unknown_keyword_is_empty() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        assert!(c.search(&Keyword::new("nope")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_triggers_full_rebuild() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        assert_eq!(c.server().rebuilds, 1);
+        let m = c.meter.clone();
+        m.reset();
+        c.add_documents(&[Document::new(9, b"nine".to_vec(), ["beta"])])
+            .unwrap();
+        assert_eq!(c.server().rebuilds, 2);
+        // The re-upload includes the whole index, not just the new doc.
+        let up = m.snapshot().bytes_up;
+        let index_size = c.server().index_bytes();
+        assert!(
+            up as usize >= index_size,
+            "update traffic {up} must include the full index {index_size}"
+        );
+        assert_eq!(c.search(&Keyword::new("beta")).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rebuild_cost_grows_with_database() {
+        let mut c = client();
+        let mut sizes = Vec::new();
+        for round in 0..4u64 {
+            let docs: Vec<Document> = (0..25)
+                .map(|i| {
+                    let id = round * 25 + i;
+                    Document::new(id, vec![0u8; 16], [format!("kw{}", id % 10)])
+                })
+                .collect();
+            let m = c.meter.clone();
+            m.reset();
+            c.add_documents(&docs).unwrap();
+            sizes.push(m.snapshot().bytes_up);
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[1] > w[0]),
+            "each rebuild re-ships a strictly larger index: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn array_is_scrambled_across_lists() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        // 5 posting nodes across 3 lists in one array.
+        assert_eq!(c.server().array.len(), 5);
+        // The table has one entry per unique keyword.
+        assert_eq!(c.server().table.len(), 3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Goh's secure indexes (ePrint 2003/216) — reference \[12\] of the paper.
+//!
+//! One Bloom filter per document. For document `id` and keyword `w`, the
+//! client inserts the *codeword* `HMAC(trapdoor(w), id)` into the
+//! document's filter, where `trapdoor(w) = f_kg(w)`. A search hands the
+//! server `trapdoor(w)`; the server recomputes each document's codeword and
+//! tests its filter — `O(n)` filter probes per query, with Bloom
+//! false positives as the price for hiding keyword counts.
+
+use sse_core::error::Result;
+use sse_core::scheme::SseClientApi;
+use sse_core::types::{DocId, Document, Keyword, MasterKey, SearchHits};
+use sse_index::bloom::BloomFilter;
+use sse_net::meter::Meter;
+use sse_primitives::drbg::HmacDrbg;
+use sse_primitives::etm::EtmKey;
+use sse_primitives::hmac::hmac_sha256_concat;
+use sse_primitives::prf::Prf;
+
+/// Per-document index entry.
+struct Entry {
+    id: DocId,
+    filter: BloomFilter,
+    blob: Vec<u8>,
+}
+
+/// Server state.
+#[derive(Default)]
+pub struct GohServer {
+    entries: Vec<Entry>,
+    /// Bloom filters probed (the linear-scan cost).
+    pub filters_probed: u64,
+}
+
+impl GohServer {
+    /// Number of stored documents.
+    #[must_use]
+    pub fn stored_docs(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Configuration: expected keywords per document and target false-positive
+/// rate drive the per-document filter size.
+#[derive(Clone, Copy, Debug)]
+pub struct GohConfig {
+    /// Expected keywords per document (filter sizing).
+    pub keywords_per_doc: usize,
+    /// Target Bloom false-positive rate.
+    pub false_positive_rate: f64,
+}
+
+impl Default for GohConfig {
+    fn default() -> Self {
+        GohConfig {
+            keywords_per_doc: 32,
+            false_positive_rate: 0.01,
+        }
+    }
+}
+
+/// The Goh client, with its in-process server.
+pub struct GohClient {
+    server: GohServer,
+    meter: Meter,
+    config: GohConfig,
+    trapdoor_prf: Prf,
+    etm: EtmKey,
+    drbg: HmacDrbg,
+}
+
+impl GohClient {
+    /// Build a client+server pair from a master key.
+    #[must_use]
+    pub fn new(key: &MasterKey, config: GohConfig, meter: Meter, rng_seed: u64) -> Self {
+        GohClient {
+            server: GohServer::default(),
+            meter,
+            config,
+            trapdoor_prf: Prf::new(key.derive_w("goh/trapdoor")),
+            etm: EtmKey::new(&key.derive_m("goh/data")),
+            drbg: HmacDrbg::from_u64(rng_seed),
+        }
+    }
+
+    /// Server-side counters.
+    #[must_use]
+    pub fn server(&self) -> &GohServer {
+        &self.server
+    }
+
+    fn trapdoor(&self, w: &Keyword) -> [u8; 32] {
+        self.trapdoor_prf.eval(w.as_bytes()).0
+    }
+
+    /// The codeword inserted/tested for `(trapdoor, doc id)`. Binding the
+    /// doc id prevents cross-document correlation of filter contents.
+    fn codeword(trapdoor: &[u8; 32], id: DocId) -> [u8; 32] {
+        hmac_sha256_concat(trapdoor, &[&id.to_be_bytes()])
+    }
+}
+
+impl SseClientApi for GohClient {
+    fn add_documents(&mut self, docs: &[Document]) -> Result<()> {
+        let mut request_bytes = 0usize;
+        for d in docs {
+            let mut filter = BloomFilter::with_rate(
+                self.config.keywords_per_doc.max(d.keywords.len()),
+                self.config.false_positive_rate,
+            );
+            for w in &d.keywords {
+                let t = self.trapdoor(w);
+                filter.insert(&Self::codeword(&t, d.id));
+            }
+            let mut iv = [0u8; 12];
+            self.drbg.fill(&mut iv);
+            let blob = self.etm.seal_with_iv(&iv, &d.data);
+            request_bytes += 8 + filter.byte_len() + blob.len();
+            self.server.entries.push(Entry {
+                id: d.id,
+                filter,
+                blob,
+            });
+        }
+        if !docs.is_empty() {
+            self.meter.record_round(request_bytes, 1);
+        }
+        Ok(())
+    }
+
+    fn search(&mut self, keyword: &Keyword) -> Result<SearchHits> {
+        let t = self.trapdoor(keyword);
+        let mut matched: Vec<(DocId, Vec<u8>)> = Vec::new();
+        for e in &self.server.entries {
+            self.server.filters_probed += 1;
+            if e.filter.contains(&Self::codeword(&t, e.id)) {
+                matched.push((e.id, e.blob.clone()));
+            }
+        }
+        let response_bytes: usize = matched.iter().map(|(_, b)| 8 + b.len()).sum();
+        self.meter.record_round(32, response_bytes.max(1));
+
+        let mut hits = Vec::with_capacity(matched.len());
+        for (id, blob) in matched {
+            hits.push((id, self.etm.open(&blob)?));
+        }
+        Ok(hits)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "goh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> GohClient {
+        GohClient::new(&MasterKey::from_seed(3), GohConfig::default(), Meter::new(), 4)
+    }
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document::new(0, b"zero".to_vec(), ["alpha", "beta"]),
+            Document::new(1, b"one".to_vec(), ["beta"]),
+            Document::new(2, b"two".to_vec(), ["gamma"]),
+        ]
+    }
+
+    #[test]
+    fn search_finds_correct_documents() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        let ids: Vec<DocId> = c
+            .search(&Keyword::new("beta"))
+            .unwrap()
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn probe_count_is_linear_in_documents() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        c.search(&Keyword::new("beta")).unwrap();
+        assert_eq!(c.server().filters_probed, 3);
+        c.search(&Keyword::new("gamma")).unwrap();
+        assert_eq!(c.server().filters_probed, 6);
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        let mut c = client();
+        let many: Vec<Document> = (0..200u64)
+            .map(|i| Document::new(i, vec![], [format!("kw{i}")]))
+            .collect();
+        c.add_documents(&many).unwrap();
+        // Query 50 absent keywords; false positives should be rare.
+        let mut fp = 0usize;
+        for q in 0..50u32 {
+            fp += c.search(&Keyword::new(format!("absent{q}"))).unwrap().len();
+        }
+        let rate = fp as f64 / (50.0 * 200.0);
+        assert!(rate < 0.05, "false positive rate {rate} too high");
+    }
+
+    #[test]
+    fn same_keyword_different_docs_have_different_codewords() {
+        let c = client();
+        let t = c.trapdoor(&Keyword::new("x"));
+        assert_ne!(GohClient::codeword(&t, 1), GohClient::codeword(&t, 2));
+    }
+
+    #[test]
+    fn updates_are_cheap_per_document() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        let m = c.meter.clone();
+        m.reset();
+        c.add_documents(&[Document::new(9, b"nine".to_vec(), ["beta"])])
+            .unwrap();
+        // One filter + one blob, far below a full reindex.
+        assert!(m.snapshot().bytes_up < 1000);
+        assert_eq!(c.search(&Keyword::new("beta")).unwrap().len(), 3);
+    }
+}

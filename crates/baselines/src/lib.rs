@@ -1,0 +1,28 @@
+//! # sse-baselines
+//!
+//! The comparator schemes the paper positions itself against (§2–3). Each
+//! implements [`sse_core::scheme::SseClientApi`], so the experiment harness
+//! drives them interchangeably with the paper's schemes:
+//!
+//! * [`swp`] — Song, Wagner, Perrig (2000): per-word searchable
+//!   ciphertexts, `O(total words)` sequential scan per search. The scheme
+//!   the paper's "linear in the size of the database" critique targets.
+//! * [`goh`] — Goh (2003): one Bloom filter per document; `O(n)` filter
+//!   tests per search.
+//! * [`curtmola`] — Curtmola, Garay, Kamara, Ostrovsky (2006) SSE-1: an
+//!   encrypted inverted index with `O(|D(w)|)` search — *faster* than the
+//!   paper's schemes — but updates force a full index rebuild, which is
+//!   exactly the trade-off the paper attacks.
+//! * [`naive`] — download-everything: trivially secure, maximal bandwidth.
+//!
+//! All four count their traffic on an [`sse_net::meter::Meter`] with the
+//! same conventions as the real schemes, so Table-1-style comparisons are
+//! apples-to-apples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curtmola;
+pub mod goh;
+pub mod naive;
+pub mod swp;

@@ -1,0 +1,174 @@
+//! The naive baseline: download everything, filter client-side.
+//!
+//! Perfectly secure (the server sees only opaque blobs and learns nothing
+//! from searches — there is no search message at all beyond "send me
+//! everything"), but the bandwidth is the whole database per query. The
+//! floor every real scheme must beat.
+
+use sse_core::error::Result;
+use sse_core::scheme::SseClientApi;
+use sse_core::types::{DocId, Document, Keyword, MasterKey, SearchHits};
+use sse_net::meter::Meter;
+use sse_net::wire::{WireReader, WireWriter};
+use sse_primitives::drbg::HmacDrbg;
+use sse_primitives::etm::EtmKey;
+use std::collections::BTreeMap;
+
+/// Server state: opaque blobs only.
+#[derive(Default)]
+pub struct NaiveServer {
+    blobs: BTreeMap<DocId, Vec<u8>>,
+}
+
+impl NaiveServer {
+    /// Number of stored documents.
+    #[must_use]
+    pub fn stored_docs(&self) -> usize {
+        self.blobs.len()
+    }
+}
+
+/// The naive client, with its in-process server.
+pub struct NaiveClient {
+    server: NaiveServer,
+    meter: Meter,
+    etm: EtmKey,
+    drbg: HmacDrbg,
+}
+
+impl NaiveClient {
+    /// Build a client+server pair from a master key.
+    #[must_use]
+    pub fn new(key: &MasterKey, meter: Meter, rng_seed: u64) -> Self {
+        NaiveClient {
+            server: NaiveServer::default(),
+            meter,
+            etm: EtmKey::new(&key.derive_m("naive/data")),
+            drbg: HmacDrbg::from_u64(rng_seed),
+        }
+    }
+
+    /// Server-side counters.
+    #[must_use]
+    pub fn server(&self) -> &NaiveServer {
+        &self.server
+    }
+
+    /// Blob payload: keywords + data sealed together (the client needs the
+    /// keywords back to filter locally).
+    fn seal_doc(&mut self, d: &Document) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(d.keywords.len() as u64);
+        for kw in &d.keywords {
+            w.put_bytes(kw.as_bytes());
+        }
+        w.put_bytes(&d.data);
+        let mut iv = [0u8; 12];
+        self.drbg.fill(&mut iv);
+        self.etm.seal_with_iv(&iv, &w.finish())
+    }
+
+    fn open_doc(&self, blob: &[u8]) -> Result<(Vec<Keyword>, Vec<u8>)> {
+        let plain = self.etm.open(blob)?;
+        let mut r = WireReader::new(&plain);
+        let n = r.get_u64()? as usize;
+        let mut kws = Vec::with_capacity(n);
+        for _ in 0..n {
+            kws.push(Keyword::new(
+                String::from_utf8_lossy(r.get_bytes()?).into_owned(),
+            ));
+        }
+        let data = r.get_bytes()?.to_vec();
+        r.finish()?;
+        Ok((kws, data))
+    }
+}
+
+impl SseClientApi for NaiveClient {
+    fn add_documents(&mut self, docs: &[Document]) -> Result<()> {
+        if docs.is_empty() {
+            return Ok(());
+        }
+        let mut bytes = 0usize;
+        for d in docs {
+            let blob = self.seal_doc(d);
+            bytes += 8 + blob.len();
+            self.server.blobs.insert(d.id, blob);
+        }
+        self.meter.record_round(bytes, 1);
+        Ok(())
+    }
+
+    fn search(&mut self, keyword: &Keyword) -> Result<SearchHits> {
+        // "Send me everything."
+        let download: usize = self.server.blobs.values().map(|b| 8 + b.len()).sum();
+        self.meter.record_round(16, download.max(1));
+        let blobs: Vec<(DocId, Vec<u8>)> = self
+            .server
+            .blobs
+            .iter()
+            .map(|(id, b)| (*id, b.clone()))
+            .collect();
+
+        let mut hits = Vec::new();
+        for (id, blob) in blobs {
+            let (kws, data) = self.open_doc(&blob)?;
+            if kws.contains(keyword) {
+                hits.push((id, data));
+            }
+        }
+        Ok(hits)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "naive-download"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> NaiveClient {
+        NaiveClient::new(&MasterKey::from_seed(7), Meter::new(), 8)
+    }
+
+    #[test]
+    fn search_filters_correctly() {
+        let mut c = client();
+        c.add_documents(&[
+            Document::new(0, b"zero".to_vec(), ["a"]),
+            Document::new(1, b"one".to_vec(), ["a", "b"]),
+            Document::new(2, b"two".to_vec(), ["c"]),
+        ])
+        .unwrap();
+        let hits = c.search(&Keyword::new("a")).unwrap();
+        assert_eq!(hits, vec![(0, b"zero".to_vec()), (1, b"one".to_vec())]);
+    }
+
+    #[test]
+    fn download_is_whole_database() {
+        let mut c = client();
+        let docs: Vec<Document> = (0..20u64)
+            .map(|i| Document::new(i, vec![0u8; 100], ["kw"]))
+            .collect();
+        c.add_documents(&docs).unwrap();
+        let m = c.meter.clone();
+        m.reset();
+        c.search(&Keyword::new("kw")).unwrap();
+        let down = m.snapshot().bytes_down;
+        assert!(
+            down > 20 * 100,
+            "search must download everything, got {down} bytes"
+        );
+    }
+
+    #[test]
+    fn updates_extend_results() {
+        let mut c = client();
+        c.add_documents(&[Document::new(0, b"z".to_vec(), ["k"])]).unwrap();
+        c.add_documents(&[Document::new(1, b"o".to_vec(), ["k"])]).unwrap();
+        assert_eq!(c.search(&Keyword::new("k")).unwrap().len(), 2);
+        assert_eq!(c.server().stored_docs(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! The Song–Wagner–Perrig scheme (IEEE S&P 2000) — "Practical techniques
+//! for searches on encrypted data", reference \[20\] of the paper.
+//!
+//! Every keyword occurrence is stored as an independently searchable
+//! ciphertext. For keyword `w`:
+//!
+//! ```text
+//! X = E_ke(w) = (L ‖ R)          deterministic pre-encryption, split in two
+//! k = f_kf(L)                     per-word check key
+//! C = (L ⊕ S, R ⊕ F_k(S))        S fresh random salt, F a keyed PRF
+//! ```
+//!
+//! A search trapdoor is `(X, k)`. The server XORs `X` into every stored
+//! `C`, recovers `(S, T)` and accepts iff `T == F_k(S)` — a test it must
+//! run against **every stored word of every document**: the `O(n)` scan the
+//! paper's §3 critique is about.
+//!
+//! (The original also supports decrypting the words themselves; we store
+//! document payloads separately under authenticated encryption, like every
+//! other scheme in this workspace, and use SWP purely as the searchable
+//! index — the standard way it is benchmarked.)
+
+use sse_core::error::Result;
+use sse_core::scheme::SseClientApi;
+use sse_core::types::{DocId, Document, Keyword, MasterKey, SearchHits};
+use sse_net::meter::Meter;
+use sse_primitives::drbg::HmacDrbg;
+use sse_primitives::etm::EtmKey;
+use sse_primitives::hmac::hmac_sha256_concat;
+use sse_primitives::prf::Prf;
+
+const HALF: usize = 16;
+
+/// One searchable word ciphertext `C = (L ⊕ S, R ⊕ F_k(S))`.
+#[derive(Clone)]
+struct WordCiphertext([u8; 2 * HALF]);
+
+/// Server state: per document, its word ciphertexts and encrypted payload.
+#[derive(Default)]
+pub struct SwpServer {
+    docs: Vec<(DocId, Vec<WordCiphertext>, Vec<u8>)>,
+    /// Word-ciphertext comparisons performed (the linear-scan cost).
+    pub comparisons: u64,
+}
+
+impl SwpServer {
+    /// Number of stored documents.
+    #[must_use]
+    pub fn stored_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Total searchable word ciphertexts stored.
+    #[must_use]
+    pub fn stored_words(&self) -> usize {
+        self.docs.iter().map(|(_, ws, _)| ws.len()).sum()
+    }
+}
+
+/// The SWP client, with its in-process server.
+pub struct SwpClient {
+    server: SwpServer,
+    meter: Meter,
+    /// Deterministic word pre-encryption `E_ke`.
+    pre_encrypt: Prf,
+    /// Check-key derivation `f_kf`.
+    check_key: Prf,
+    /// Payload encryption.
+    etm: EtmKey,
+    drbg: HmacDrbg,
+}
+
+impl SwpClient {
+    /// Build a client+server pair from a master key.
+    #[must_use]
+    pub fn new(key: &MasterKey, meter: Meter, rng_seed: u64) -> Self {
+        SwpClient {
+            server: SwpServer::default(),
+            meter,
+            pre_encrypt: Prf::new(key.derive_w("swp/pre-encrypt")),
+            check_key: Prf::new(key.derive_w("swp/check-key")),
+            etm: EtmKey::new(&key.derive_m("swp/data")),
+            drbg: HmacDrbg::from_u64(rng_seed),
+        }
+    }
+
+    /// Server-side counters.
+    #[must_use]
+    pub fn server(&self) -> &SwpServer {
+        &self.server
+    }
+
+    fn word_x(&self, w: &Keyword) -> [u8; 2 * HALF] {
+        self.pre_encrypt.eval(w.as_bytes()).0
+    }
+
+    fn word_check_key(&self, x: &[u8; 2 * HALF]) -> [u8; 32] {
+        self.check_key.eval(&x[..HALF]).0
+    }
+
+    fn encrypt_word(&mut self, w: &Keyword) -> WordCiphertext {
+        let x = self.word_x(w);
+        let k = self.word_check_key(&x);
+        let mut salt = [0u8; HALF];
+        self.drbg.fill(&mut salt);
+        let t = hmac_sha256_concat(&k, &[&salt]);
+        let mut c = [0u8; 2 * HALF];
+        for i in 0..HALF {
+            c[i] = x[i] ^ salt[i];
+            c[HALF + i] = x[HALF + i] ^ t[i];
+        }
+        WordCiphertext(c)
+    }
+
+    /// Does ciphertext `c` match trapdoor `(x, k)`? (The server's test.)
+    fn matches(c: &WordCiphertext, x: &[u8; 2 * HALF], k: &[u8; 32]) -> bool {
+        let mut salt = [0u8; HALF];
+        let mut t = [0u8; HALF];
+        for i in 0..HALF {
+            salt[i] = c.0[i] ^ x[i];
+            t[i] = c.0[HALF + i] ^ x[HALF + i];
+        }
+        let expect = hmac_sha256_concat(k, &[&salt]);
+        sse_primitives::ct::ct_eq(&expect[..HALF], &t)
+    }
+}
+
+impl SseClientApi for SwpClient {
+    fn add_documents(&mut self, docs: &[Document]) -> Result<()> {
+        let mut request_bytes = 0usize;
+        for d in docs {
+            let words: Vec<WordCiphertext> =
+                d.keywords.iter().map(|w| self.encrypt_word(w)).collect();
+            let mut iv = [0u8; 12];
+            self.drbg.fill(&mut iv);
+            let blob = self.etm.seal_with_iv(&iv, &d.data);
+            request_bytes += 8 + words.len() * 2 * HALF + blob.len();
+            self.server.docs.push((d.id, words, blob));
+        }
+        if !docs.is_empty() {
+            self.meter.record_round(request_bytes, 1);
+        }
+        Ok(())
+    }
+
+    fn search(&mut self, keyword: &Keyword) -> Result<SearchHits> {
+        let x = self.word_x(keyword);
+        let k = self.word_check_key(&x);
+        // The server scans every word of every document.
+        let mut matched: Vec<(DocId, Vec<u8>)> = Vec::new();
+        for (id, words, blob) in &self.server.docs {
+            let mut hit = false;
+            for c in words {
+                self.server.comparisons += 1;
+                if Self::matches(c, &x, &k) {
+                    hit = true;
+                    break;
+                }
+            }
+            if hit {
+                matched.push((*id, blob.clone()));
+            }
+        }
+        let response_bytes: usize = matched.iter().map(|(_, b)| 8 + b.len()).sum();
+        self.meter
+            .record_round(2 * HALF + 32, response_bytes.max(1));
+
+        let mut hits = Vec::with_capacity(matched.len());
+        for (id, blob) in matched {
+            hits.push((id, self.etm.open(&blob)?));
+        }
+        Ok(hits)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "swp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> SwpClient {
+        SwpClient::new(&MasterKey::from_seed(1), Meter::new(), 2)
+    }
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document::new(0, b"zero".to_vec(), ["alpha", "beta"]),
+            Document::new(1, b"one".to_vec(), ["beta", "gamma"]),
+            Document::new(2, b"two".to_vec(), ["gamma"]),
+        ]
+    }
+
+    #[test]
+    fn search_finds_correct_documents() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        let hits = c.search(&Keyword::new("beta")).unwrap();
+        assert_eq!(hits, vec![(0, b"zero".to_vec()), (1, b"one".to_vec())]);
+        assert!(c.search(&Keyword::new("delta")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_cost_is_linear_in_stored_words() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        // "delta" matches nothing: the scan touches every stored word.
+        c.search(&Keyword::new("delta")).unwrap();
+        assert_eq!(c.server().comparisons, 5, "5 stored word ciphertexts");
+        assert_eq!(c.server().stored_words(), 5);
+    }
+
+    #[test]
+    fn same_word_encrypts_differently_per_occurrence() {
+        let mut c = client();
+        let a = c.encrypt_word(&Keyword::new("w"));
+        let b = c.encrypt_word(&Keyword::new("w"));
+        assert_ne!(a.0, b.0, "fresh salt per occurrence");
+    }
+
+    #[test]
+    fn updates_extend_results() {
+        let mut c = client();
+        c.add_documents(&docs()).unwrap();
+        c.add_documents(&[Document::new(7, b"seven".to_vec(), ["beta"])])
+            .unwrap();
+        assert_eq!(c.search(&Keyword::new("beta")).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn meter_counts_rounds() {
+        let mut c = client();
+        let m = c.meter.clone();
+        c.add_documents(&docs()).unwrap();
+        c.search(&Keyword::new("beta")).unwrap();
+        assert_eq!(m.snapshot().rounds, 2);
+    }
+}

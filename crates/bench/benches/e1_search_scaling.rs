@@ -1,0 +1,72 @@
+//! E1 bench: search latency vs unique-keyword count, all schemes.
+//! Reproduces Table 1 "Searching computation" + the §3 O(n) critique.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sse_bench::corpus::{docs_for, exact_corpus, probe_keyword};
+use sse_baselines::goh::{GohClient, GohConfig};
+use sse_baselines::swp::SwpClient;
+use sse_core::scheme::SseClientApi;
+use sse_core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_core::types::MasterKey;
+use sse_net::meter::Meter;
+
+fn bench_search_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_search_scaling");
+    group.sample_size(20);
+
+    let key = MasterKey::from_seed(0xE1);
+    for u in [256usize, 1024, 4096] {
+        let docs = exact_corpus(u, docs_for(u), 32);
+
+        let mut s1 = InMemoryScheme1Client::new_in_memory(
+            key.clone(),
+            Scheme1Config::fast_profile(docs.len() as u64),
+        );
+        s1.store(&docs).unwrap();
+        group.bench_with_input(BenchmarkId::new("scheme1", u), &u, |b, &u| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(s1.search(&probe_keyword(i, u)).unwrap())
+            });
+        });
+
+        let mut s2 = InMemoryScheme2Client::new_in_memory(
+            key.clone(),
+            Scheme2Config::standard().with_chain_length(8),
+        );
+        s2.store(&docs).unwrap();
+        group.bench_with_input(BenchmarkId::new("scheme2", u), &u, |b, &u| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(s2.search(&probe_keyword(i, u)).unwrap())
+            });
+        });
+
+        let mut swp = SwpClient::new(&key, Meter::new(), 1);
+        swp.add_documents(&docs).unwrap();
+        group.bench_with_input(BenchmarkId::new("swp_linear", u), &u, |b, &u| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(swp.search(&probe_keyword(i, u)).unwrap())
+            });
+        });
+
+        let mut goh = GohClient::new(&key, GohConfig::default(), Meter::new(), 2);
+        goh.add_documents(&docs).unwrap();
+        group.bench_with_input(BenchmarkId::new("goh_linear", u), &u, |b, &u| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(goh.search(&probe_keyword(i, u)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_scaling);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E2 bench: Scheme 2 (x updates + 1 search) cycle cost as x grows.
+//! Reproduces Table 1's O(log u + l/2x) search-computation row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sse_bench::experiments::{self};
+use sse_core::scheme2::CtrPolicy;
+use sse_core::types::Keyword;
+
+fn bench_chain_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_chain_walk");
+    group.sample_size(20);
+
+    for x in [1u64, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("cycle_x", x), &x, |b, &x| {
+            let mut client = experiments::fresh_client(CtrPolicy::Always, true);
+            let kw = Keyword::new("hot-keyword");
+            let mut next_id = 0u64;
+            b.iter(|| {
+                experiments::one_cycle(&mut client, &mut next_id, x, &kw);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_walk);
+criterion_main!(benches);

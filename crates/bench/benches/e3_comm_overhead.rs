@@ -1,0 +1,62 @@
+//! E3 bench: end-to-end operation latency over the metered link, plus the
+//! wire codec itself. Reproduces Table 1's communication-overhead row at
+//! the timing level (the byte/round tables come from the harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sse_bench::corpus::{docs_for, exact_corpus, probe_keyword};
+use sse_core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_core::types::MasterKey;
+use sse_net::wire::{WireReader, WireWriter};
+
+fn bench_operations(c: &mut Criterion) {
+    let u = 1024usize;
+    let docs = exact_corpus(u, docs_for(u), 64);
+    let key = MasterKey::from_seed(0xE3);
+
+    let mut group = c.benchmark_group("e3_comm_overhead");
+    group.sample_size(20);
+
+    let mut s1 = InMemoryScheme1Client::new_in_memory(
+        key.clone(),
+        Scheme1Config::fast_profile(docs.len() as u64),
+    );
+    s1.store(&docs).unwrap();
+    group.bench_function("scheme1_search_2_rounds", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(s1.search(&probe_keyword(i, u)).unwrap())
+        });
+    });
+
+    let mut s2 = InMemoryScheme2Client::new_in_memory(
+        key,
+        Scheme2Config::standard().with_chain_length(1 << 16),
+    );
+    s2.store(&docs).unwrap();
+    group.bench_function("scheme2_search_1_round", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(s2.search(&probe_keyword(i, u)).unwrap())
+        });
+    });
+
+    group.bench_function("wire_encode_decode_1kb", |b| {
+        let payload = vec![0xABu8; 1024];
+        b.iter(|| {
+            let mut w = WireWriter::new();
+            w.put_u8(1).put_u64(42).put_bytes(&payload);
+            let msg = w.finish();
+            let mut r = WireReader::new(&msg);
+            let _ = r.get_u8().unwrap();
+            let _ = r.get_u64().unwrap();
+            std::hint::black_box(r.get_bytes().unwrap());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operations);
+criterion_main!(benches);

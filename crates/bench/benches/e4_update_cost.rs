@@ -1,0 +1,51 @@
+//! E4 bench: single-document update latency vs database capacity.
+//! Reproduces the Fig. 1 vs Fig. 3 update-protocol contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sse_bench::corpus::exact_corpus;
+use sse_core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_core::types::{Document, MasterKey};
+
+fn bench_update_cost(c: &mut Criterion) {
+    let key = MasterKey::from_seed(0xE4);
+    let corpus = exact_corpus(512, 256, 32);
+
+    let mut group = c.benchmark_group("e4_update_cost");
+    group.sample_size(20);
+
+    for cap in [1024u64, 16384, 262144] {
+        let mut s1 =
+            InMemoryScheme1Client::new_in_memory(key.clone(), Scheme1Config::fast_profile(cap));
+        s1.store(&corpus).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("scheme1_capacity", cap),
+            &cap,
+            |b, _| {
+                b.iter(|| {
+                    // Toggle the same id in and out: steady-state updates.
+                    s1.store(&[Document::new(300, vec![0u8; 32], ["kw-000001"])])
+                        .unwrap();
+                });
+            },
+        );
+    }
+
+    let mut s2 = InMemoryScheme2Client::new_in_memory(
+        key,
+        Scheme2Config::standard().with_chain_length(1 << 14),
+    );
+    s2.store(&corpus).unwrap();
+    group.bench_function("scheme2_capacity_independent", |b| {
+        let mut id = 1000u64;
+        b.iter(|| {
+            id += 1;
+            s2.store(&[Document::new(id, vec![0u8; 32], ["kw-000001"])])
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_cost);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E5 bench: repeat-search cost with and without the Optimization-1
+//! server cache. Reproduces the §5.6 Optimization 1 claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_core::types::{Document, Keyword, MasterKey};
+
+fn client_with_history(cache: bool, generations: u64) -> InMemoryScheme2Client {
+    let mut c = InMemoryScheme2Client::new_in_memory(
+        MasterKey::from_seed(0xE5),
+        Scheme2Config::base(1 << 16).with_server_cache(cache),
+    );
+    for i in 0..generations {
+        c.store(&[Document::new(i, vec![0u8; 16], ["hot"])]).unwrap();
+    }
+    // Prime: first search decrypts the backlog (and fills the cache when on).
+    c.search(&Keyword::new("hot")).unwrap();
+    c
+}
+
+fn bench_repeat_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_repeat_search");
+    group.sample_size(20);
+
+    for generations in [16u64, 64, 256] {
+        let mut cached = client_with_history(true, generations);
+        group.bench_with_input(
+            BenchmarkId::new("opt1_on", generations),
+            &generations,
+            |b, _| {
+                let kw = Keyword::new("hot");
+                b.iter(|| std::hint::black_box(cached.search(&kw).unwrap()));
+            },
+        );
+
+        let mut uncached = client_with_history(false, generations);
+        group.bench_with_input(
+            BenchmarkId::new("opt1_off", generations),
+            &generations,
+            |b, _| {
+                let kw = Keyword::new("hot");
+                b.iter(|| std::hint::black_box(uncached.search(&kw).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repeat_search);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E6 bench: the cost of chain machinery — per-update chain-key derivation
+//! as the counter climbs, and full epoch re-initialization after
+//! exhaustion. Reproduces §5.6's limitation analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_core::types::{Document, MasterKey};
+use sse_primitives::hashchain::HashChain;
+
+fn bench_chain_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_chain");
+    group.sample_size(20);
+
+    // Client-side key derivation walks l - ctr steps: most expensive at
+    // ctr = 1 (young database), cheapest near exhaustion.
+    for l in [1024usize, 4096, 16384] {
+        let chain = HashChain::new(&[b"w", b"k"], l);
+        group.bench_with_input(BenchmarkId::new("derive_ctr1_l", l), &l, |b, _| {
+            b.iter(|| std::hint::black_box(chain.key_for_counter(1).unwrap()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("derive_near_tip_l", l),
+            &l,
+            |b, &l| {
+                b.iter(|| {
+                    std::hint::black_box(chain.key_for_counter(l as u64 - 1).unwrap())
+                });
+            },
+        );
+    }
+
+    // Epoch re-initialization: rebuild metadata for a database of n docs.
+    for n in [64u64, 256] {
+        group.bench_with_input(BenchmarkId::new("reinitialize_n", n), &n, |b, &n| {
+            let docs: Vec<Document> = (0..n)
+                .map(|i| Document::new(i, vec![0u8; 16], [format!("kw{}", i % 32)]))
+                .collect();
+            let mut client = InMemoryScheme2Client::new_in_memory(
+                MasterKey::from_seed(0xE6),
+                Scheme2Config::base(1 << 16),
+            );
+            client.store(&docs).unwrap();
+            b.iter(|| client.reinitialize(&docs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_derivation);
+criterion_main!(benches);

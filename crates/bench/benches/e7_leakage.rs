@@ -1,0 +1,48 @@
+//! E7 bench: leakage-analysis throughput and the wire-visible cost of the
+//! §5.7 mitigations (fake updates, padded batches) on a live Scheme 1 run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sse_core::leakage::{analyze_updates, batch_documents};
+use sse_core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_core::types::{Keyword, MasterKey};
+use sse_phr::workload::{generate_corpus, CorpusConfig};
+
+fn bench_leakage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_leakage");
+    group.sample_size(20);
+
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 240,
+        vocab_size: 800,
+        keywords_per_doc: (1, 9),
+        payload_bytes: 16,
+        seed: 0xE7,
+        ..CorpusConfig::default()
+    });
+
+    for batch in [1usize, 16, 64] {
+        let batches = batch_documents(&corpus, batch);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_batch", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| std::hint::black_box(analyze_updates(&batches, Some(12))));
+            },
+        );
+    }
+
+    // The runtime price of a fake update (the mitigation itself).
+    let mut client = InMemoryScheme1Client::new_in_memory(
+        MasterKey::from_seed(0xE7),
+        Scheme1Config::fast_profile(512),
+    );
+    client.store(&corpus[..100]).unwrap();
+    let keywords: Vec<Keyword> = (0..8).map(|i| Keyword::new(format!("kw-{i:05}"))).collect();
+    group.bench_function("scheme1_fake_update_8kw", |b| {
+        b.iter(|| client.fake_update(&keywords).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_leakage);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E8 bench: cost of the security harness — view extraction, simulation
+//! and the statistical distinguishing game of Theorem 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sse_core::scheme1::Scheme1Config;
+use sse_core::security::{
+    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams,
+    Statistic, Trace,
+};
+use sse_core::types::{Keyword, MasterKey};
+use sse_phr::workload::{generate_corpus, CorpusConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let config = Scheme1Config::fast_profile(64);
+    let docs = generate_corpus(&CorpusConfig {
+        docs: 24,
+        vocab_size: 64,
+        keywords_per_doc: (2, 4),
+        payload_bytes: 48,
+        seed: 0xE8,
+        ..CorpusConfig::default()
+    });
+    let history = History::new(docs, vec![Keyword::new("kw-00000"), Keyword::new("kw-00001")]);
+    let trace = Trace::from_history(&history);
+    let params = SimulatorParams::from_config(&config);
+
+    let mut group = c.benchmark_group("e8_simulator");
+    group.sample_size(10);
+
+    group.bench_function("extract_real_view", |b| {
+        let key = MasterKey::from_seed(1);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(extract_scheme1_view(&history, &key, config.clone(), i, false))
+        });
+    });
+
+    group.bench_function("simulate_view", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(simulate_view(&trace, &params, i))
+        });
+    });
+
+    group.bench_function("advantage_20_samples", |b| {
+        let pop_a: Vec<Vec<u8>> = (0..20)
+            .map(|i| simulate_view(&trace, &params, i).index_bytes_only())
+            .collect();
+        let pop_b: Vec<Vec<u8>> = (100..120)
+            .map(|i| simulate_view(&trace, &params, i).index_bytes_only())
+            .collect();
+        b.iter(|| {
+            for &s in Statistic::all() {
+                std::hint::black_box(estimate_advantage(s, &pop_a, &pop_b));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Primitive-level ablation bench: the building blocks whose costs explain
+//! the scheme-level numbers (DESIGN.md calls these out — e.g. ElGamal
+//! modexp dominating Scheme 1's client, hash steps dominating Scheme 2's
+//! server walk).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sse_index::bptree::BpTree;
+use sse_primitives::aes::Aes128;
+use sse_primitives::chacha20::prg_expand;
+use sse_primitives::drbg::HmacDrbg;
+use sse_primitives::elgamal::ElGamal;
+use sse_primitives::hashchain::{chain_step, walk_forward};
+use sse_primitives::hmac::hmac_sha256;
+use sse_primitives::modp::ModpGroup;
+use sse_primitives::sha256::sha256;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim_hash");
+    for size in [64usize, 1024, 8192] {
+        let data = vec![0xAAu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(sha256(&data)));
+        });
+    }
+    group.bench_function("hmac_sha256_32b", |b| {
+        let key = [1u8; 32];
+        let msg = [2u8; 32];
+        b.iter(|| std::hint::black_box(hmac_sha256(&key, &msg)));
+    });
+    group.bench_function("chain_step", |b| {
+        let k = [3u8; 32];
+        b.iter(|| std::hint::black_box(chain_step(&k)));
+    });
+    group.bench_function("chain_walk_1024", |b| {
+        let k = [4u8; 32];
+        b.iter(|| std::hint::black_box(walk_forward(&k, 1024)));
+    });
+    group.finish();
+}
+
+fn bench_ciphers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim_cipher");
+    group.bench_function("aes128_block", |b| {
+        let aes = Aes128::new(&[5u8; 16]);
+        let block = [6u8; 16];
+        b.iter(|| std::hint::black_box(aes.encrypt(&block)));
+    });
+    for size in [128usize, 4096] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("prg_expand", size), &size, |b, &size| {
+            let seed = [7u8; 32];
+            b.iter(|| std::hint::black_box(prg_expand(&seed, size)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: Montgomery vs plain square-and-multiply modexp (DESIGN.md
+/// design-choice callout; measured ~1.7x at 256-bit, ~1.4x at 2048-bit).
+fn bench_modexp_ablation(c: &mut Criterion) {
+    use sse_primitives::bignum::BigUint;
+    let mut group = c.benchmark_group("prim_modexp_ablation");
+    group.sample_size(10);
+    for (name, grp) in [
+        ("256", ModpGroup::modp_256()),
+        ("2048", ModpGroup::modp_2048()),
+    ] {
+        let mut drbg = HmacDrbg::from_u64(3);
+        let base = BigUint::random_range(&mut drbg, &BigUint::one(), &grp.p);
+        let exp = grp.random_exponent(&mut drbg);
+        group.bench_function(format!("montgomery_{name}"), |b| {
+            b.iter(|| std::hint::black_box(base.mod_pow(&exp, &grp.p)));
+        });
+        group.bench_function(format!("plain_{name}"), |b| {
+            b.iter(|| std::hint::black_box(base.mod_pow_plain(&exp, &grp.p)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_elgamal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim_elgamal");
+    group.sample_size(10);
+    for (name, group_fn) in [
+        ("modp256_fast", ModpGroup::modp_256 as fn() -> ModpGroup),
+        ("modp2048_secure", ModpGroup::modp_2048 as fn() -> ModpGroup),
+    ] {
+        let mut drbg = HmacDrbg::from_u64(1);
+        let eg = ElGamal::keygen(group_fn(), &mut drbg);
+        let nonce = [9u8; 32];
+        group.bench_function(format!("encrypt_nonce_{name}"), |b| {
+            b.iter(|| std::hint::black_box(eg.encrypt_nonce(&nonce, &mut drbg)));
+        });
+        let ct = eg.encrypt_nonce(&nonce, &mut drbg);
+        group.bench_function(format!("decrypt_to_seed_{name}"), |b| {
+            b.iter(|| std::hint::black_box(eg.decrypt_to_seed(&ct).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bptree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prim_bptree");
+    for n in [1_000usize, 100_000] {
+        let mut tree: BpTree<[u8; 32], u64> = BpTree::new();
+        let mut drbg = HmacDrbg::from_u64(2);
+        let mut keys = Vec::with_capacity(n);
+        for i in 0..n {
+            let k = drbg.gen_key();
+            tree.insert(k, i as u64);
+            keys.push(k);
+        }
+        group.bench_with_input(BenchmarkId::new("get", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                std::hint::black_box(tree.get(&keys[i]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_ciphers,
+    bench_modexp_ablation,
+    bench_elgamal,
+    bench_bptree
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Experiment corpora with exactly-controlled unique-keyword counts.
+
+use sse_core::types::{Document, Keyword};
+
+/// Keywords attached to every document in the controlled corpora.
+pub const KEYWORDS_PER_DOC: usize = 4;
+
+/// Build a corpus with **exactly** `unique_keywords` unique keywords, each
+/// appearing in roughly the same number of documents. Document `j` carries
+/// keywords `(4j .. 4j+4) mod u`, so with `docs = u/2` every keyword occurs
+/// in exactly 2 documents — the controlled shape experiment E1 needs (the
+/// Zipf corpora of `sse-phr` are for application-flavoured runs).
+///
+/// # Panics
+/// Panics if `unique_keywords < KEYWORDS_PER_DOC`.
+#[must_use]
+pub fn exact_corpus(unique_keywords: usize, docs: usize, payload_bytes: usize) -> Vec<Document> {
+    assert!(unique_keywords >= KEYWORDS_PER_DOC);
+    (0..docs as u64)
+        .map(|j| {
+            let kws: Vec<Keyword> = (0..KEYWORDS_PER_DOC as u64)
+                .map(|k| {
+                    Keyword::new(format!(
+                        "kw-{:06}",
+                        (j * KEYWORDS_PER_DOC as u64 + k) % unique_keywords as u64
+                    ))
+                })
+                .collect();
+            Document::new(j, vec![0xD0; payload_bytes], kws)
+        })
+        .collect()
+}
+
+/// The canonical doc count giving ~2 occurrences per keyword.
+#[must_use]
+pub fn docs_for(unique_keywords: usize) -> usize {
+    unique_keywords / 2
+}
+
+/// A keyword guaranteed to exist in an [`exact_corpus`].
+#[must_use]
+pub fn probe_keyword(i: usize, unique_keywords: usize) -> Keyword {
+    Keyword::new(format!("kw-{:06}", i % unique_keywords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn exact_unique_keyword_count() {
+        for u in [8usize, 64, 1000] {
+            let corpus = exact_corpus(u, docs_for(u), 16);
+            let unique: BTreeSet<&Keyword> =
+                corpus.iter().flat_map(|d| d.keywords.iter()).collect();
+            assert_eq!(unique.len(), u, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn each_keyword_occurs_about_twice() {
+        let u = 100;
+        let corpus = exact_corpus(u, docs_for(u), 16);
+        let mut counts = std::collections::HashMap::new();
+        for d in &corpus {
+            for k in &d.keywords {
+                *counts.entry(k.clone()).or_insert(0usize) += 1;
+            }
+        }
+        for (k, c) in counts {
+            assert_eq!(c, 2, "{k}");
+        }
+    }
+
+    #[test]
+    fn probe_keyword_exists() {
+        let u = 64;
+        let corpus = exact_corpus(u, docs_for(u), 16);
+        let probe = probe_keyword(17, u);
+        assert!(corpus.iter().any(|d| d.has_keyword(&probe)));
+    }
+}

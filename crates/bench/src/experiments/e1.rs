@@ -1,0 +1,118 @@
+//! E1 — search computation vs. number of unique keywords.
+//!
+//! Reproduces Table 1's "Searching computation: O(log u)" claim for
+//! Scheme 1 (and Scheme 2 at x = 0 pending updates), against the `O(n)`
+//! linear-scan baselines the paper's §3 critiques.
+
+use crate::corpus::{docs_for, exact_corpus, probe_keyword};
+use crate::table::{fmt_nanos, Table};
+use crate::timing::median_nanos;
+use crate::Scale;
+use sse_baselines::goh::{GohClient, GohConfig};
+use sse_baselines::swp::SwpClient;
+use sse_core::scheme::SseClientApi;
+use sse_core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_core::types::MasterKey;
+use sse_net::meter::Meter;
+
+/// Probes per configuration (median over these).
+const PROBES: usize = 9;
+
+fn mean_search_nanos<C: SseClientApi>(client: &mut C, u: usize) -> f64 {
+    let mut i = 0usize;
+    median_nanos(PROBES, || {
+        let kw = probe_keyword(i * 37 + 1, u);
+        i += 1;
+        std::hint::black_box(client.search(&kw).expect("search"));
+    })
+}
+
+/// Run E1.
+#[must_use]
+pub fn e1_search_scaling(scale: Scale) -> Table {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[256, 1024, 4096],
+        Scale::Full => &[256, 1024, 4096, 16384, 65536],
+    };
+    let mut table = Table::new(
+        "E1",
+        "search latency vs unique keywords u (docs n = u/2)",
+        "Table 1 row 'Searching computation' (Scheme 1) + §3 O(n) critique",
+        &[
+            "u",
+            "scheme1",
+            "s1 tree-nodes",
+            "scheme2",
+            "swp (O(n))",
+            "goh (O(n))",
+        ],
+    );
+
+    let key = MasterKey::from_seed(0xE1);
+    let mut s1_times = Vec::new();
+    let mut swp_times = Vec::new();
+    for &u in sizes {
+        let docs = exact_corpus(u, docs_for(u), 32);
+
+        let mut s1 = InMemoryScheme1Client::new_in_memory(
+            key.clone(),
+            Scheme1Config::fast_profile(docs.len() as u64),
+        );
+        s1.store(&docs).expect("store");
+        s1.server_mut().reset_stats();
+        let t_s1 = mean_search_nanos(&mut s1, u);
+        let stats = s1.server_mut().stats();
+        let nodes = stats.tree_nodes_visited as f64 / stats.tree_lookups.max(1) as f64;
+
+        let mut s2 = InMemoryScheme2Client::new_in_memory(
+            key.clone(),
+            Scheme2Config::standard().with_chain_length(8),
+        );
+        s2.store(&docs).expect("store");
+        let t_s2 = mean_search_nanos(&mut s2, u);
+
+        let mut swp = SwpClient::new(&key, Meter::new(), 1);
+        swp.add_documents(&docs).expect("store");
+        let t_swp = mean_search_nanos(&mut swp, u);
+
+        let mut goh = GohClient::new(
+            &key,
+            GohConfig {
+                keywords_per_doc: 4,
+                false_positive_rate: 0.01,
+            },
+            Meter::new(),
+            2,
+        );
+        goh.add_documents(&docs).expect("store");
+        let t_goh = mean_search_nanos(&mut goh, u);
+
+        s1_times.push(t_s1);
+        swp_times.push(t_swp);
+        table.row(vec![
+            u.to_string(),
+            fmt_nanos(t_s1),
+            format!("{nodes:.1}"),
+            fmt_nanos(t_s2),
+            fmt_nanos(t_swp),
+            fmt_nanos(t_goh),
+        ]);
+    }
+
+    // Shape check: per size-quadrupling, a log structure grows by a small
+    // additive step while a linear scan grows ~4x.
+    if s1_times.len() >= 2 {
+        let s1_ratio = s1_times.last().unwrap() / s1_times.first().unwrap();
+        let swp_ratio = swp_times.last().unwrap() / swp_times.first().unwrap();
+        let span = sizes.last().unwrap() / sizes.first().unwrap();
+        table.note(format!(
+            "u spans {span}x: scheme1 grew {s1_ratio:.1}x (log-ish), SWP grew {swp_ratio:.0}x (linear)."
+        ));
+    }
+    table.note(
+        "scheme1 search includes one client-side ElGamal decryption (fast profile, \
+256-bit group); the tree descent itself is the 's1 tree-nodes' column.",
+    );
+    table
+}

@@ -1,0 +1,112 @@
+//! E6 — chain exhaustion and Optimization 2.
+//!
+//! Reproduces §5.6's limitation discussion: the chain supports at most `l`
+//! counter advances, after which the database must be re-initialized.
+//! Optimization 2 (advance only when a search happened since the last
+//! update) stretches lifetime by the update:search ratio.
+
+use crate::table::Table;
+use crate::Scale;
+use sse_core::scheme2::{CtrPolicy, InMemoryScheme2Client, Scheme2Config};
+use sse_core::types::{Document, Keyword, MasterKey};
+use sse_core::SseError;
+
+/// Updates survived before exhaustion under a policy, searching once every
+/// `search_every` updates (0 = never search).
+fn updates_before_exhaustion(l: u64, policy: CtrPolicy, search_every: u64) -> u64 {
+    let mut client = InMemoryScheme2Client::new_in_memory(
+        MasterKey::from_seed(0xE6),
+        Scheme2Config::base(l).with_ctr_policy(policy),
+    );
+    let kw = Keyword::new("k");
+    let mut updates = 0u64;
+    loop {
+        match client.store(&[Document::new(updates, vec![], ["k"])]) {
+            Ok(()) => updates += 1,
+            Err(SseError::ChainExhausted) => return updates,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        if updates > 64 * l {
+            return updates; // effectively unbounded for this workload
+        }
+        if search_every > 0 && updates.is_multiple_of(search_every) {
+            client.search(&kw).unwrap();
+        }
+    }
+}
+
+/// Run E6.
+#[must_use]
+pub fn e6_exhaustion(scale: Scale) -> Table {
+    let lengths: &[u64] = match scale {
+        Scale::Quick => &[16, 64],
+        Scale::Full => &[16, 64, 256],
+    };
+    let mut table = Table::new(
+        "E6",
+        "updates survived before chain exhaustion",
+        "§5.6 Optimization 2 and the chain-length limitation",
+        &[
+            "chain length l",
+            "base policy",
+            "opt2, search every 4",
+            "opt2, search every 16",
+            "opt2, never search",
+        ],
+    );
+    for &l in lengths {
+        let base = updates_before_exhaustion(l, CtrPolicy::Always, 4);
+        let opt2_4 = updates_before_exhaustion(l, CtrPolicy::OnSearchOnly, 4);
+        let opt2_16 = updates_before_exhaustion(l, CtrPolicy::OnSearchOnly, 16);
+        let opt2_never = updates_before_exhaustion(l, CtrPolicy::OnSearchOnly, 0);
+        table.row(vec![
+            l.to_string(),
+            base.to_string(),
+            opt2_4.to_string(),
+            opt2_16.to_string(),
+            if opt2_never > 64 * l {
+                format!(">{}", 64 * l)
+            } else {
+                opt2_never.to_string()
+            },
+        ]);
+    }
+    table.note(
+        "base policy: exactly l updates. Opt. 2: the counter only advances \
+after a search, so lifetime ≈ l × (updates per search); with no searches the \
+chain never advances past the first key.",
+    );
+
+    // Re-initialization cost: one full epoch rebuild.
+    let l = 8u64;
+    let mut client = InMemoryScheme2Client::new_in_memory(
+        MasterKey::from_seed(0xE6),
+        Scheme2Config::base(l),
+    );
+    let mut docs = Vec::new();
+    for i in 0..l {
+        let d = Document::new(i, vec![0u8; 32], ["k"]);
+        client.store(std::slice::from_ref(&d)).unwrap();
+        docs.push(d);
+    }
+    assert!(matches!(
+        client.store(&[Document::new(99, vec![], ["k"])]),
+        Err(SseError::ChainExhausted)
+    ));
+    let meter = client.meter();
+    meter.reset();
+    client.reinitialize(&docs).unwrap();
+    let rebuild = meter.snapshot();
+    assert_eq!(
+        client.search(&Keyword::new("k")).unwrap().len(),
+        docs.len()
+    );
+    table.note(format!(
+        "re-initialization after exhaustion (l={l}, {} docs): {} rounds, {} bytes up — \
+the whole metadata is re-sent, which is why Opt. 2 matters.",
+        docs.len(),
+        rebuild.rounds,
+        rebuild.bytes_up
+    ));
+    table
+}

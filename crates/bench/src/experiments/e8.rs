@@ -1,0 +1,90 @@
+//! E8 — the Theorem-1 simulator vs. real views, empirically.
+//!
+//! Builds populations of real, simulated and deliberately-broken Scheme 1
+//! views and reports each statistic's distinguishing advantage next to the
+//! sampling-noise floor.
+
+use crate::table::Table;
+use crate::Scale;
+use sse_core::scheme1::Scheme1Config;
+use sse_core::security::{
+    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams,
+    Statistic, Trace,
+};
+use sse_core::types::{Keyword, MasterKey};
+use sse_phr::workload::{generate_corpus, CorpusConfig};
+
+/// Run E8.
+#[must_use]
+pub fn e8_simulator(scale: Scale) -> Table {
+    let trials = match scale {
+        Scale::Quick => 40u64,
+        Scale::Full => 150,
+    };
+    let config = Scheme1Config::fast_profile(64);
+    let docs = generate_corpus(&CorpusConfig {
+        docs: 24,
+        vocab_size: 64,
+        keywords_per_doc: (2, 4),
+        payload_bytes: 48,
+        seed: 0xE8,
+        ..CorpusConfig::default()
+    });
+    let queries = vec![
+        Keyword::new("kw-00000"),
+        Keyword::new("kw-00001"),
+        Keyword::new("kw-00000"),
+        Keyword::new("kw-00003"),
+    ];
+    let history = History::new(docs, queries);
+    let trace = Trace::from_history(&history);
+    let params = SimulatorParams::from_config(&config);
+
+    let real: Vec<Vec<u8>> = (0..trials)
+        .map(|i| {
+            let key = MasterKey::from_seed(10_000 + i);
+            extract_scheme1_view(&history, &key, config.clone(), i, false).index_bytes_only()
+        })
+        .collect();
+    let broken: Vec<Vec<u8>> = (0..trials)
+        .map(|i| {
+            let key = MasterKey::from_seed(10_000 + i);
+            extract_scheme1_view(&history, &key, config.clone(), i, true).index_bytes_only()
+        })
+        .collect();
+    let simulated: Vec<Vec<u8>> = (0..trials)
+        .map(|i| simulate_view(&trace, &params, 20_000 + i).index_bytes_only())
+        .collect();
+    let simulated2: Vec<Vec<u8>> = (0..trials)
+        .map(|i| simulate_view(&trace, &params, 30_000 + i).index_bytes_only())
+        .collect();
+
+    let mut table = Table::new(
+        "E8",
+        format!("distinguishing advantage over {trials} view samples"),
+        "Theorem 1 (adaptive semantic security) + §5.3 simulator",
+        &[
+            "statistic",
+            "noise floor (sim vs sim)",
+            "adv(real, sim)",
+            "adv(broken, sim)",
+        ],
+    );
+    for &stat in Statistic::all() {
+        let floor = estimate_advantage(stat, &simulated, &simulated2).advantage;
+        let honest = estimate_advantage(stat, &real, &simulated).advantage;
+        let cracked = estimate_advantage(stat, &broken, &simulated).advantage;
+        table.row(vec![
+            stat.name().to_string(),
+            format!("{floor:.3}"),
+            format!("{honest:.3}"),
+            format!("{cracked:.3}"),
+        ]);
+    }
+    table.note(
+        "Theorem 1 holds empirically when column 3 ≈ column 2 (sampling noise). \
+The 'broken' arm stores unmasked posting arrays — a correct harness must \
+drive at least one statistic's advantage toward 1 there (bit-density does).",
+    );
+    table
+}

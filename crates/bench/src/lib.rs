@@ -1,0 +1,24 @@
+//! Shared experiment machinery for the reproduction benchmarks.
+//!
+//! Every paper artifact (Table 1 and the protocol Figures 1–4) maps to one
+//! experiment in [`experiments`]; the functions there return structured
+//! [`table::Table`]s consumed both by the `harness` binary (which prints
+//! EXPERIMENTS.md-style output) and by the Criterion benches (which time
+//! the same code paths).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod experiments;
+pub mod table;
+pub mod timing;
+
+/// How much work an experiment run should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-quick settings (CI, `cargo bench` smoke runs).
+    Quick,
+    /// The full parameter sweeps reported in EXPERIMENTS.md.
+    Full,
+}

@@ -1,0 +1,140 @@
+//! Result tables: the unit of experiment output.
+
+/// A rendered experiment result.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "E1".
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// The paper artifact this reproduces.
+    pub paper_artifact: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes appended after the table (fits, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    #[must_use]
+    pub fn new(
+        id: &'static str,
+        title: impl Into<String>,
+        paper_artifact: &'static str,
+        headers: &[&str],
+    ) -> Self {
+        Table {
+            id,
+            title: title.into(),
+            paper_artifact,
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as a fixed-width text table (also valid Markdown).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "### {} — {}  (reproduces: {})\n\n",
+            self.id, self.title, self.paper_artifact
+        ));
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<width$} |", c, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format a nanosecond value with a sensible unit.
+#[must_use]
+pub fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Format a byte count.
+#[must_use]
+pub fn fmt_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b} B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.2} MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let mut t = Table::new("EX", "demo", "Table 1", &["a", "column-b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.note("a note");
+        let r = t.render();
+        assert!(r.contains("### EX — demo"));
+        assert!(r.contains("| a   | column-b |"));
+        assert!(r.contains("| 333 | 4        |"));
+        assert!(r.contains("> a note"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_nanos(500.0), "500 ns");
+        assert_eq!(fmt_nanos(1_500.0), "1.5 µs");
+        assert_eq!(fmt_nanos(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_bytes(100), "100 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+    }
+}

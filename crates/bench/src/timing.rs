@@ -1,0 +1,56 @@
+//! Minimal wall-clock measurement for the harness tables.
+//!
+//! Criterion owns the statistically careful numbers (`cargo bench`); the
+//! harness needs quick medians to print table *shapes*, so this module
+//! keeps it simple: run, collect, take the median.
+
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `iters` runs of `f`.
+///
+/// # Panics
+/// Panics if `iters == 0`.
+pub fn median_nanos<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    assert!(iters > 0);
+    let mut samples: Vec<u128> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}
+
+/// Mean wall-clock nanoseconds per item when `f` processes `items` at once.
+pub fn mean_nanos_per_item<F: FnOnce()>(items: usize, f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64 / items.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_positive_and_ordered() {
+        // Use sleeps: arithmetic loops get const-folded in release builds.
+        let fast = median_nanos(3, || {
+            std::thread::sleep(std::time::Duration::from_micros(10));
+        });
+        let slow = median_nanos(3, || {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        });
+        assert!(fast >= 10_000.0);
+        assert!(slow > fast, "{slow} should exceed {fast}");
+    }
+
+    #[test]
+    fn per_item_mean_divides() {
+        let per = mean_nanos_per_item(1000, || {
+            std::hint::black_box((0..1000u64).map(|i| i * i).sum::<u64>());
+        });
+        assert!(per > 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the SSE schemes.
+
+use sse_net::wire::WireError;
+use sse_primitives::CryptoError;
+use sse_storage::StorageError;
+use std::fmt;
+
+/// Errors surfaced by the scheme clients and servers.
+#[derive(Debug)]
+pub enum SseError {
+    /// A cryptographic primitive failed (bad ciphertext, exhausted chain...).
+    Crypto(CryptoError),
+    /// The server's document store failed.
+    Storage(StorageError),
+    /// A protocol message could not be decoded.
+    Wire(WireError),
+    /// The peer answered with an unexpected message kind.
+    ProtocolViolation {
+        /// What was expected.
+        expected: &'static str,
+        /// What arrived (tag byte or description).
+        got: String,
+    },
+    /// A document id is outside the database capacity fixed at setup
+    /// (Scheme 1's bit arrays share one capacity).
+    DocIdOutOfRange {
+        /// The offending id.
+        id: u64,
+        /// The capacity fixed at setup.
+        capacity: u64,
+    },
+    /// The Scheme 2 hash chain is exhausted; the client must re-initialize
+    /// the database with a fresh epoch (paper §5.6).
+    ChainExhausted,
+    /// The server failed to unlock a generation within the chain bound —
+    /// indicates state divergence between client and server.
+    ChainDesync {
+        /// Steps walked before giving up.
+        steps: usize,
+    },
+}
+
+impl fmt::Display for SseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SseError::Crypto(e) => write!(f, "crypto error: {e}"),
+            SseError::Storage(e) => write!(f, "storage error: {e}"),
+            SseError::Wire(e) => write!(f, "wire error: {e}"),
+            SseError::ProtocolViolation { expected, got } => {
+                write!(f, "protocol violation: expected {expected}, got {got}")
+            }
+            SseError::DocIdOutOfRange { id, capacity } => {
+                write!(f, "document id {id} outside capacity {capacity}")
+            }
+            SseError::ChainExhausted => {
+                write!(f, "hash chain exhausted; re-initialize with a new epoch")
+            }
+            SseError::ChainDesync { steps } => {
+                write!(f, "chain walk failed after {steps} steps; state desync")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SseError::Crypto(e) => Some(e),
+            SseError::Storage(e) => Some(e),
+            SseError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for SseError {
+    fn from(e: CryptoError) -> Self {
+        match e {
+            CryptoError::ChainExhausted => SseError::ChainExhausted,
+            other => SseError::Crypto(other),
+        }
+    }
+}
+
+impl From<StorageError> for SseError {
+    fn from(e: StorageError) -> Self {
+        SseError::Storage(e)
+    }
+}
+
+impl From<WireError> for SseError {
+    fn from(e: WireError) -> Self {
+        SseError::Wire(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SseError>;

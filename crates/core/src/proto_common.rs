@@ -1,0 +1,200 @@
+//! Protocol fragments shared by both schemes' wire formats: document
+//! upload, acknowledgements, search results and error responses.
+
+use crate::error::{Result, SseError};
+use sse_net::wire::{WireReader, WireWriter};
+
+/// Shared response tag bytes.
+pub mod resp {
+    /// Generic acknowledgement.
+    pub const ACK: u8 = 0x81;
+    /// Search result: list of `(doc id, encrypted blob)`.
+    pub const RESULT: u8 = 0x85;
+    /// Batched search result: one result list per queried keyword.
+    pub const RESULT_MANY: u8 = 0x86;
+    /// Server-side error with a message.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Encode `Ack`.
+#[must_use]
+pub fn encode_ack() -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(resp::ACK);
+    w.finish()
+}
+
+/// Encode an error response.
+#[must_use]
+pub fn encode_error(msg: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(resp::ERROR).put_bytes(msg.as_bytes());
+    w.finish()
+}
+
+/// Encode a search result.
+#[must_use]
+pub fn encode_result(docs: &[(u64, Vec<u8>)]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(resp::RESULT).put_u64(docs.len() as u64);
+    for (id, blob) in docs {
+        w.put_u64(*id).put_bytes(blob);
+    }
+    w.finish()
+}
+
+/// Read and check a response tag; converts server `Error` responses into
+/// [`SseError::ProtocolViolation`].
+pub fn expect_tag(r: &mut WireReader<'_>, want: u8, what: &'static str) -> Result<()> {
+    let got = r.get_u8()?;
+    if got == resp::ERROR {
+        let msg = String::from_utf8_lossy(r.get_bytes()?).into_owned();
+        return Err(SseError::ProtocolViolation {
+            expected: what,
+            got: format!("server error: {msg}"),
+        });
+    }
+    if got != want {
+        return Err(SseError::ProtocolViolation {
+            expected: what,
+            got: format!("tag {got:#04x}"),
+        });
+    }
+    Ok(())
+}
+
+/// Decode `Ack`.
+///
+/// # Errors
+/// Protocol violations and wire errors.
+pub fn decode_ack(buf: &[u8]) -> Result<()> {
+    let mut r = WireReader::new(buf);
+    expect_tag(&mut r, resp::ACK, "Ack")?;
+    r.finish()?;
+    Ok(())
+}
+
+/// Decode a search result.
+///
+/// # Errors
+/// Protocol violations and wire errors.
+pub fn decode_result(buf: &[u8]) -> Result<Vec<(u64, Vec<u8>)>> {
+    let mut r = WireReader::new(buf);
+    expect_tag(&mut r, resp::RESULT, "Result")?;
+    let n = r.get_count(16)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.get_u64()?;
+        out.push((id, r.get_bytes()?.to_vec()));
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Encode a batched search result: one `(id, blob)` list per queried
+/// keyword, position-aligned with the request.
+#[must_use]
+pub fn encode_result_many(results: &[Vec<(u64, Vec<u8>)>]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(resp::RESULT_MANY).put_u64(results.len() as u64);
+    for docs in results {
+        w.put_u64(docs.len() as u64);
+        for (id, blob) in docs {
+            w.put_u64(*id).put_bytes(blob);
+        }
+    }
+    w.finish()
+}
+
+/// One `(doc id, encrypted blob)` result list per queried keyword.
+pub type ResultLists = Vec<Vec<(u64, Vec<u8>)>>;
+
+/// Decode a batched search result.
+///
+/// # Errors
+/// Protocol violations and wire errors.
+pub fn decode_result_many(buf: &[u8]) -> Result<ResultLists> {
+    let mut r = WireReader::new(buf);
+    expect_tag(&mut r, resp::RESULT_MANY, "ResultMany")?;
+    let n = r.get_count(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = r.get_count(16)?;
+        let mut docs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let id = r.get_u64()?;
+            docs.push((id, r.get_bytes()?.to_vec()));
+        }
+        out.push(docs);
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Encode a `PutDocs` body (after the scheme-specific request tag byte).
+pub fn put_docs_body(w: &mut WireWriter, docs: &[(u64, Vec<u8>)]) {
+    w.put_u64(docs.len() as u64);
+    for (id, blob) in docs {
+        w.put_u64(*id).put_bytes(blob);
+    }
+}
+
+/// Decode a `PutDocs` body.
+///
+/// # Errors
+/// Wire errors.
+pub fn decode_put_docs_body(r: &mut WireReader<'_>) -> Result<Vec<(u64, Vec<u8>)>> {
+    let n = r.get_count(16)?;
+    let mut docs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.get_u64()?;
+        docs.push((id, r.get_bytes()?.to_vec()));
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_round_trip() {
+        decode_ack(&encode_ack()).unwrap();
+    }
+
+    #[test]
+    fn result_round_trip() {
+        let docs = vec![(1u64, vec![1, 2]), (2, vec![])];
+        assert_eq!(decode_result(&encode_result(&docs)).unwrap(), docs);
+    }
+
+    #[test]
+    fn error_surfaces_message() {
+        let e = decode_ack(&encode_error("nope")).unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn result_many_round_trip() {
+        let results = vec![
+            vec![(1u64, vec![1, 2]), (2, vec![])],
+            vec![],
+            vec![(9, vec![9])],
+        ];
+        assert_eq!(
+            decode_result_many(&encode_result_many(&results)).unwrap(),
+            results
+        );
+    }
+
+    #[test]
+    fn put_docs_body_round_trip() {
+        let docs = vec![(7u64, b"x".to_vec())];
+        let mut w = WireWriter::new();
+        put_docs_body(&mut w, &docs);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(decode_put_docs_body(&mut r).unwrap(), docs);
+        r.finish().unwrap();
+    }
+}

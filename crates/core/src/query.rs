@@ -1,0 +1,244 @@
+//! Boolean multi-keyword queries, evaluated client-side.
+//!
+//! The paper's schemes (like nearly all SSE of their generation) support
+//! single-keyword trapdoors only. Richer queries compose on the client: run
+//! one search per mentioned keyword and combine the id sets. This leaks the
+//! access pattern of *every* mentioned keyword — the standard trade-off,
+//! stated here so callers can account for it.
+
+use crate::error::Result;
+use crate::scheme::SseClientApi;
+use crate::types::{DocId, Keyword, SearchHits};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A boolean keyword query.
+///
+/// ```
+/// use sse_core::query::{execute_query, Query};
+/// use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+/// use sse_core::types::{Document, MasterKey};
+///
+/// let mut client = InMemoryScheme2Client::new_in_memory(
+///     MasterKey::from_seed(1),
+///     Scheme2Config::standard(),
+/// );
+/// client.store(&[
+///     Document::new(0, b"a".to_vec(), ["flu", "fever"]),
+///     Document::new(1, b"b".to_vec(), ["fever"]),
+/// ])?;
+/// let hits = execute_query(&mut client, &Query::all_of(["flu", "fever"]))?;
+/// assert_eq!(hits.len(), 1);
+/// # Ok::<(), sse_core::SseError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// Documents containing the keyword.
+    Keyword(Keyword),
+    /// Documents matching every sub-query (intersection).
+    And(Vec<Query>),
+    /// Documents matching any sub-query (union).
+    Or(Vec<Query>),
+    /// Documents matching the first but not the second sub-query.
+    AndNot(Box<Query>, Box<Query>),
+}
+
+impl Query {
+    /// Convenience: a single keyword.
+    #[must_use]
+    pub fn keyword(w: impl Into<Keyword>) -> Self {
+        Query::Keyword(w.into())
+    }
+
+    /// Convenience: conjunction of keywords.
+    #[must_use]
+    pub fn all_of<K: Into<Keyword>, I: IntoIterator<Item = K>>(kws: I) -> Self {
+        Query::And(kws.into_iter().map(|k| Query::Keyword(k.into())).collect())
+    }
+
+    /// Convenience: disjunction of keywords.
+    #[must_use]
+    pub fn any_of<K: Into<Keyword>, I: IntoIterator<Item = K>>(kws: I) -> Self {
+        Query::Or(kws.into_iter().map(|k| Query::Keyword(k.into())).collect())
+    }
+
+    /// Every keyword mentioned anywhere in the query (what the server will
+    /// observe being searched — the leakage surface).
+    #[must_use]
+    pub fn mentioned_keywords(&self) -> BTreeSet<Keyword> {
+        let mut out = BTreeSet::new();
+        self.collect_keywords(&mut out);
+        out
+    }
+
+    fn collect_keywords(&self, out: &mut BTreeSet<Keyword>) {
+        match self {
+            Query::Keyword(w) => {
+                out.insert(w.clone());
+            }
+            Query::And(qs) | Query::Or(qs) => {
+                for q in qs {
+                    q.collect_keywords(out);
+                }
+            }
+            Query::AndNot(a, b) => {
+                a.collect_keywords(out);
+                b.collect_keywords(out);
+            }
+        }
+    }
+}
+
+/// Execute a boolean query: one scheme search per mentioned keyword, then
+/// set algebra over the returned ids. Returns hits sorted by document id;
+/// payloads come from whichever single-keyword search returned them.
+///
+/// # Errors
+/// Propagates the underlying scheme's search errors.
+pub fn execute_query<C: SseClientApi + ?Sized>(client: &mut C, query: &Query) -> Result<SearchHits> {
+    // Fetch each mentioned keyword once, in a single batched exchange
+    // (2 rounds on Scheme 1, 1 round on Scheme 2).
+    let keywords: Vec<Keyword> = query.mentioned_keywords().into_iter().collect();
+    let per_keyword = client.search_many(&keywords)?;
+    let mut fetched: BTreeMap<Keyword, BTreeSet<DocId>> = BTreeMap::new();
+    let mut payloads: BTreeMap<DocId, Vec<u8>> = BTreeMap::new();
+    for (w, hits) in keywords.into_iter().zip(per_keyword) {
+        let ids: BTreeSet<DocId> = hits.iter().map(|(id, _)| *id).collect();
+        for (id, payload) in hits {
+            payloads.entry(id).or_insert(payload);
+        }
+        fetched.insert(w, ids);
+    }
+    let ids = evaluate(query, &fetched);
+    Ok(ids
+        .into_iter()
+        .filter_map(|id| payloads.get(&id).map(|p| (id, p.clone())))
+        .collect())
+}
+
+fn evaluate(query: &Query, fetched: &BTreeMap<Keyword, BTreeSet<DocId>>) -> BTreeSet<DocId> {
+    match query {
+        Query::Keyword(w) => fetched.get(w).cloned().unwrap_or_default(),
+        Query::And(qs) => {
+            let mut iter = qs.iter().map(|q| evaluate(q, fetched));
+            let Some(first) = iter.next() else {
+                return BTreeSet::new();
+            };
+            iter.fold(first, |acc, s| acc.intersection(&s).copied().collect())
+        }
+        Query::Or(qs) => qs
+            .iter()
+            .map(|q| evaluate(q, fetched))
+            .fold(BTreeSet::new(), |acc, s| acc.union(&s).copied().collect()),
+        Query::AndNot(a, b) => {
+            let a = evaluate(a, fetched);
+            let b = evaluate(b, fetched);
+            a.difference(&b).copied().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme1::{InMemoryScheme1Client, Scheme1Config};
+    use crate::scheme2::{InMemoryScheme2Client, Scheme2Config};
+    use crate::types::{Document, MasterKey};
+
+    fn docs() -> Vec<Document> {
+        vec![
+            Document::new(0, b"d0".to_vec(), ["a", "b"]),
+            Document::new(1, b"d1".to_vec(), ["a"]),
+            Document::new(2, b"d2".to_vec(), ["b", "c"]),
+            Document::new(3, b"d3".to_vec(), ["a", "b", "c"]),
+        ]
+    }
+
+    fn ids(hits: &SearchHits) -> Vec<DocId> {
+        hits.iter().map(|(id, _)| *id).collect()
+    }
+
+    #[test]
+    fn and_or_andnot_over_scheme1() {
+        let mut c = InMemoryScheme1Client::new_in_memory(
+            MasterKey::from_seed(1),
+            Scheme1Config::fast_profile(16),
+        );
+        c.store(&docs()).unwrap();
+        let and = execute_query(&mut c, &Query::all_of(["a", "b"])).unwrap();
+        assert_eq!(ids(&and), vec![0, 3]);
+        let or = execute_query(&mut c, &Query::any_of(["a", "c"])).unwrap();
+        assert_eq!(ids(&or), vec![0, 1, 2, 3]);
+        let andnot = execute_query(
+            &mut c,
+            &Query::AndNot(
+                Box::new(Query::keyword("a")),
+                Box::new(Query::keyword("c")),
+            ),
+        )
+        .unwrap();
+        assert_eq!(ids(&andnot), vec![0, 1]);
+    }
+
+    #[test]
+    fn nested_queries_over_scheme2() {
+        let mut c = InMemoryScheme2Client::new_in_memory(
+            MasterKey::from_seed(2),
+            Scheme2Config::standard().with_chain_length(64),
+        );
+        c.store(&docs()).unwrap();
+        // (a AND b) OR c  -> {0,3} ∪ {2,3} = {0,2,3}
+        let q = Query::Or(vec![Query::all_of(["a", "b"]), Query::keyword("c")]);
+        let hits = execute_query(&mut c, &q).unwrap();
+        assert_eq!(ids(&hits), vec![0, 2, 3]);
+        // Payloads decrypt correctly through the composition.
+        assert_eq!(hits[0].1, b"d0".to_vec());
+    }
+
+    #[test]
+    fn empty_and_degenerate_queries() {
+        let mut c = InMemoryScheme1Client::new_in_memory(
+            MasterKey::from_seed(3),
+            Scheme1Config::fast_profile(16),
+        );
+        c.store(&docs()).unwrap();
+        assert!(execute_query(&mut c, &Query::And(vec![])).unwrap().is_empty());
+        assert!(execute_query(&mut c, &Query::Or(vec![])).unwrap().is_empty());
+        assert!(execute_query(&mut c, &Query::keyword("zzz"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn mentioned_keywords_is_the_leakage_surface() {
+        let q = Query::AndNot(
+            Box::new(Query::all_of(["a", "b"])),
+            Box::new(Query::any_of(["b", "c"])),
+        );
+        let mentioned: Vec<String> = q
+            .mentioned_keywords()
+            .iter()
+            .map(|k| k.as_str().to_string())
+            .collect();
+        assert_eq!(mentioned, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn each_keyword_is_searched_exactly_once() {
+        let mut c = InMemoryScheme1Client::new_in_memory(
+            MasterKey::from_seed(4),
+            Scheme1Config::fast_profile(16),
+        );
+        c.store(&docs()).unwrap();
+        let meter = c.meter();
+        meter.reset();
+        // "a" appears three times in the query but must be fetched once,
+        // and batching makes the whole fetch exactly 2 rounds.
+        let q = Query::Or(vec![
+            Query::all_of(["a", "b"]),
+            Query::keyword("a"),
+            Query::AndNot(Box::new(Query::keyword("a")), Box::new(Query::keyword("b"))),
+        ]);
+        execute_query(&mut c, &q).unwrap();
+        assert_eq!(meter.snapshot().rounds, 2);
+    }
+}

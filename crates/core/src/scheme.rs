@@ -1,0 +1,37 @@
+//! The common SSE client interface.
+//!
+//! The paper's conventional-scheme skeleton (§3) — `Keygen`, `Storage`
+//! (= `DataStorage` + `MetadataStorage`), `Trapdoor`, `Search` — maps onto
+//! one client-side trait so that both schemes, and every baseline, can be
+//! driven by the same experiments and examples.
+//!
+//! `Storage` and update are the *same operation* in both schemes (adding
+//! documents to an existing database is just `MetadataStorage` again); the
+//! trait exposes it as [`SseClientApi::add_documents`].
+
+use crate::error::Result;
+use crate::types::{Document, Keyword, SearchHits};
+
+/// Client-side interface shared by the two schemes and the baselines.
+pub trait SseClientApi {
+    /// Store documents on the server (`Storage`): encrypt each data item,
+    /// and merge each unique keyword's posting information into the
+    /// searchable representations. Calling this again later *is* the
+    /// paper's update operation.
+    fn add_documents(&mut self, docs: &[Document]) -> Result<()>;
+
+    /// Search for one keyword (`Trapdoor` + `Search`): returns the matching
+    /// documents, decrypted client-side.
+    fn search(&mut self, keyword: &Keyword) -> Result<SearchHits>;
+
+    /// Search several keywords, returning one hit list per keyword
+    /// (position-aligned). The default loops over [`SseClientApi::search`];
+    /// the paper's schemes override it with batched protocol rounds
+    /// (2 rounds total for Scheme 1, 1 for Scheme 2).
+    fn search_many(&mut self, keywords: &[Keyword]) -> Result<Vec<SearchHits>> {
+        keywords.iter().map(|w| self.search(w)).collect()
+    }
+
+    /// Human-readable scheme name for experiment output.
+    fn scheme_name(&self) -> &'static str;
+}

@@ -1,0 +1,88 @@
+//! Scheme 1 — the computationally efficient variant (§5.2).
+//!
+//! Searchable representation per unique keyword:
+//!
+//! ```text
+//! S(w) = ( f_kw(w),  I(w) ⊕ G(r),  F(r) )
+//! ```
+//!
+//! * `f_kw(w)` — HMAC tag identifying the representation; the server keeps
+//!   all representations in a B+-tree keyed by tag (`O(log u)` lookup).
+//! * `I(w)` — bit array over document ids (bit `i` set iff `w ∈ W_i`).
+//! * `G(r)` — ChaCha20 PRG mask under a per-keyword nonce `r`.
+//! * `F(r)` — ElGamal encryption of the nonce, so only the client can
+//!   recover `r`.
+//!
+//! **Update** (Fig. 1, two rounds): the client fetches `F(r)`, recovers `r`,
+//! picks a fresh `r'`, and sends `U(w) ⊕ G(r) ⊕ G(r')` together with
+//! `F(r')`; the server XORs blindly, landing on `I'(w) ⊕ G(r')`. XOR
+//! *toggles* document membership, so the same message adds and removes.
+//!
+//! **Search** (Fig. 2, two rounds): the client sends the tag, receives
+//! `F(r)`, returns the recovered `r`; the server unmasks `I(w)` and ships
+//! every matching encrypted document back.
+//!
+//! The extension flag [`Scheme1Config::remask_after_search`] (beyond the
+//! paper — see DESIGN.md §4) makes the client refresh the mask right after
+//! each search, restoring the at-rest hiding that the literal protocol
+//! gives up once `r` has been revealed.
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{InMemoryScheme1Client, Scheme1Client};
+pub use protocol::REQ_TAGS;
+pub use server::{Scheme1Server, Scheme1ServerStats};
+
+use sse_primitives::modp::ModpGroup;
+
+/// Scheme 1 configuration shared by client and server.
+#[derive(Clone)]
+pub struct Scheme1Config {
+    /// Database capacity in documents: every bit array is
+    /// `ceil(capacity/8)` bytes. Fixed at setup — the paper's bit-array
+    /// representation cannot grow without re-masking every keyword.
+    pub capacity_docs: u64,
+    /// The ElGamal group instantiating `F`.
+    pub group: ModpGroup,
+    /// Beyond-paper extension: re-randomize `I(w) ⊕ G(r)` after each search
+    /// so revealed nonces do not linger.
+    pub remask_after_search: bool,
+}
+
+impl Scheme1Config {
+    /// Fast profile: 256-bit ElGamal group (tests, experiments).
+    #[must_use]
+    pub fn fast_profile(capacity_docs: u64) -> Self {
+        Scheme1Config {
+            capacity_docs,
+            group: ModpGroup::modp_256(),
+            remask_after_search: false,
+        }
+    }
+
+    /// Security profile: RFC 3526 2048-bit group (the paper's "large
+    /// prime p").
+    #[must_use]
+    pub fn secure_profile(capacity_docs: u64) -> Self {
+        Scheme1Config {
+            capacity_docs,
+            group: ModpGroup::modp_2048(),
+            remask_after_search: false,
+        }
+    }
+
+    /// Bit-array byte length implied by the capacity.
+    #[must_use]
+    pub fn index_bytes(&self) -> usize {
+        (self.capacity_docs as usize).div_ceil(8)
+    }
+
+    /// Enable the post-search re-masking extension.
+    #[must_use]
+    pub fn with_remask(mut self) -> Self {
+        self.remask_after_search = true;
+        self
+    }
+}

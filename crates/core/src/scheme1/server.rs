@@ -1,0 +1,537 @@
+//! Scheme 1 server.
+//!
+//! The honest-but-curious party. It holds, per unique keyword, the triple
+//! `(f_kw(w), I(w) ⊕ G(r), F(r))` in a B+-tree keyed by the tag, plus the
+//! encrypted document blobs in a [`sse_storage::store::DocStore`]. It never
+//! sees a keyword, a plaintext, or — until a search reveals one — a PRG
+//! nonce. Every request is decoded defensively; malformed input produces an
+//! error response, never a panic.
+
+use super::protocol::{self, Request, UpdateEntry};
+use crate::error::{Result, SseError};
+use sse_index::bitset::DocBitSet;
+use sse_index::bptree::BpTree;
+use sse_net::link::Service;
+use sse_net::wire::{WireReader, WireWriter};
+use sse_primitives::prg::Prg;
+use sse_storage::crc32::crc32;
+use sse_storage::store::DocStore;
+use sse_storage::StorageError;
+use std::io::Write;
+use std::path::Path;
+
+const INDEX_MAGIC: &[u8; 8] = b"SSE1IDX1";
+
+/// One searchable representation as stored by the server.
+struct Entry {
+    /// `I(w) ⊕ G(r)`.
+    masked_index: Vec<u8>,
+    /// Serialized `F(r)`.
+    f_r: Vec<u8>,
+}
+
+/// Counters the experiments read out-of-band (they are *not* part of the
+/// protocol surface).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scheme1ServerStats {
+    /// Tag lookups served (search round 1 + updates).
+    pub tree_lookups: u64,
+    /// Total B+-tree nodes visited across lookups.
+    pub tree_nodes_visited: u64,
+    /// Searches completed (round 2).
+    pub searches: u64,
+    /// Update entries applied.
+    pub updates_applied: u64,
+    /// Documents stored.
+    pub docs_stored: u64,
+}
+
+/// The Scheme 1 server.
+pub struct Scheme1Server {
+    index_bytes: usize,
+    capacity_docs: u64,
+    tree: BpTree<[u8; 32], Entry>,
+    store: DocStore,
+    stats: Scheme1ServerStats,
+    /// Durable home directory (None for in-memory servers).
+    dir: Option<std::path::PathBuf>,
+}
+
+impl Scheme1Server {
+    /// In-memory server for a database of at most `capacity_docs` documents.
+    #[must_use]
+    pub fn new_in_memory(capacity_docs: u64) -> Self {
+        Scheme1Server {
+            index_bytes: (capacity_docs as usize).div_ceil(8),
+            capacity_docs,
+            tree: BpTree::new(),
+            store: DocStore::in_memory(),
+            stats: Scheme1ServerStats::default(),
+            dir: None,
+        }
+    }
+
+    /// Durable server persisting blobs under `dir`. If an index snapshot
+    /// exists there (written by [`Scheme1Server::save_index`]), the keyword
+    /// index is recovered too — otherwise the client must re-index.
+    ///
+    /// # Errors
+    /// Storage errors while opening or recovering the document store or a
+    /// corrupt index snapshot.
+    pub fn open_durable(capacity_docs: u64, dir: &Path) -> Result<Self> {
+        let store = DocStore::open(dir, sse_storage::store::StoreOptions::default())?;
+        let mut server = Scheme1Server {
+            index_bytes: (capacity_docs as usize).div_ceil(8),
+            capacity_docs,
+            tree: BpTree::new(),
+            store,
+            stats: Scheme1ServerStats::default(),
+            dir: Some(dir.to_path_buf()),
+        };
+        let index_path = dir.join("scheme1.index");
+        if index_path.exists() {
+            server.load_index(&index_path)?;
+        }
+        Ok(server)
+    }
+
+    /// Persist the keyword index (the searchable representations) to a
+    /// CRC-protected snapshot. The index contains only what the server
+    /// already sees — masked arrays, tags and `F(r)` ciphertexts — so
+    /// persisting it leaks nothing new.
+    ///
+    /// # Errors
+    /// Filesystem errors.
+    pub fn save_index(&self, path: &Path) -> Result<()> {
+        let mut body = WireWriter::new();
+        body.put_u64(self.capacity_docs);
+        body.put_u64(self.tree.len() as u64);
+        for (tag, entry) in self.tree.iter() {
+            body.put_array(tag);
+            body.put_bytes(&entry.masked_index);
+            body.put_bytes(&entry.f_r);
+        }
+        let body = body.finish();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(StorageError::Io)?;
+            f.write_all(INDEX_MAGIC).map_err(StorageError::Io)?;
+            f.write_all(&crc32(&body).to_le_bytes())
+                .map_err(StorageError::Io)?;
+            f.write_all(&body).map_err(StorageError::Io)?;
+            f.sync_data().map_err(StorageError::Io)?;
+        }
+        std::fs::rename(&tmp, path).map_err(StorageError::Io)?;
+        Ok(())
+    }
+
+    /// Load an index snapshot written by [`Scheme1Server::save_index`].
+    ///
+    /// # Errors
+    /// Corruption (bad magic/CRC), capacity mismatch, or I/O failures.
+    pub fn load_index(&mut self, path: &Path) -> Result<()> {
+        let bytes = std::fs::read(path).map_err(StorageError::Io)?;
+        if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
+            return Err(SseError::Storage(StorageError::Corrupt {
+                what: "scheme1 index snapshot",
+                detail: "bad magic or truncated".to_string(),
+            }));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let body = &bytes[12..];
+        if crc32(body) != stored_crc {
+            return Err(SseError::Storage(StorageError::Corrupt {
+                what: "scheme1 index snapshot",
+                detail: "checksum mismatch".to_string(),
+            }));
+        }
+        let mut r = WireReader::new(body);
+        let capacity = r.get_u64()?;
+        if capacity != self.capacity_docs {
+            return Err(SseError::Storage(StorageError::Corrupt {
+                what: "scheme1 index snapshot",
+                detail: format!(
+                    "capacity {capacity} does not match server capacity {}",
+                    self.capacity_docs
+                ),
+            }));
+        }
+        let n = r.get_count(48)?;
+        let mut tree = BpTree::new();
+        for _ in 0..n {
+            let tag = r.get_array32()?;
+            let masked_index = r.get_bytes()?.to_vec();
+            if masked_index.len() != self.index_bytes {
+                return Err(SseError::Storage(StorageError::Corrupt {
+                    what: "scheme1 index snapshot",
+                    detail: format!(
+                        "entry width {} != expected {}",
+                        masked_index.len(),
+                        self.index_bytes
+                    ),
+                }));
+            }
+            let f_r = r.get_bytes()?.to_vec();
+            tree.insert(tag, Entry { masked_index, f_r });
+        }
+        r.finish()?;
+        self.tree = tree;
+        Ok(())
+    }
+
+    /// Checkpoint everything durable: document store + index snapshot.
+    ///
+    /// # Errors
+    /// Filesystem errors. No-op index-wise for in-memory servers.
+    pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
+        self.store.checkpoint()?;
+        self.save_index(&dir.join("scheme1.index"))
+    }
+
+    /// Number of unique keywords indexed (`u`).
+    #[must_use]
+    pub fn unique_keywords(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of stored documents.
+    #[must_use]
+    pub fn stored_docs(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Height of the tag tree (the `O(log u)` factor, observable).
+    #[must_use]
+    pub fn tree_height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Observability counters.
+    #[must_use]
+    pub fn stats(&self) -> Scheme1ServerStats {
+        self.stats
+    }
+
+    /// Reset the observability counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = Scheme1ServerStats::default();
+    }
+
+    /// Byte size of every (masked) index array.
+    #[must_use]
+    pub fn index_bytes(&self) -> usize {
+        self.index_bytes
+    }
+
+    /// Export the stored searchable representations
+    /// `(f_kw(w), I(w) ⊕ G(r), F(r))` — this *is* the set `S` in the
+    /// adversary's view (Definition 2). Used by the security harness.
+    #[must_use]
+    pub fn export_representations(&self) -> Vec<([u8; 32], Vec<u8>, Vec<u8>)> {
+        self.tree
+            .iter()
+            .map(|(tag, e)| (*tag, e.masked_index.clone(), e.f_r.clone()))
+            .collect()
+    }
+
+    /// Export the stored encrypted documents `(id, E_km(M_i))` in id order
+    /// (the other half of the adversary's view).
+    #[must_use]
+    pub fn export_blobs(&self) -> Vec<(u64, Vec<u8>)> {
+        let ids: Vec<u64> = self.store.ids().collect();
+        self.store.get_many(&ids)
+    }
+
+    fn handle_request(&mut self, req: Request) -> Vec<u8> {
+        match req {
+            Request::PutDocs(docs) => {
+                for (id, blob) in docs {
+                    if id >= self.capacity_docs {
+                        return protocol::encode_error(&format!(
+                            "doc id {id} exceeds capacity {}",
+                            self.capacity_docs
+                        ));
+                    }
+                    if let Err(e) = self.store.put(id, &blob) {
+                        return protocol::encode_error(&e.to_string());
+                    }
+                    self.stats.docs_stored += 1;
+                }
+                protocol::encode_ack()
+            }
+            Request::GetNonces(tags) => {
+                let items: Vec<Option<Vec<u8>>> = tags
+                    .iter()
+                    .map(|tag| {
+                        let (entry, s) = self.tree.get_with_stats(tag);
+                        self.stats.tree_lookups += 1;
+                        self.stats.tree_nodes_visited += s.nodes_visited as u64;
+                        entry.map(|e| e.f_r.clone())
+                    })
+                    .collect();
+                protocol::encode_nonces(&items)
+            }
+            Request::ApplyUpdates(entries) => {
+                for UpdateEntry { tag, delta, f_r } in entries {
+                    if delta.len() != self.index_bytes {
+                        return protocol::encode_error(&format!(
+                            "delta length {} != index width {}",
+                            delta.len(),
+                            self.index_bytes
+                        ));
+                    }
+                    match self.tree.get_mut(&tag) {
+                        Some(entry) => {
+                            // I(w)⊕G(r) ⊕ (U(w)⊕G(r)⊕G(r')) = I'(w)⊕G(r')
+                            for (d, s) in entry.masked_index.iter_mut().zip(delta.iter()) {
+                                *d ^= s;
+                            }
+                            entry.f_r = f_r;
+                        }
+                        None => {
+                            // Fresh keyword: I(w) = 0, so the delta *is*
+                            // I'(w)⊕G(r').
+                            self.tree.insert(
+                                tag,
+                                Entry {
+                                    masked_index: delta,
+                                    f_r,
+                                },
+                            );
+                        }
+                    }
+                    self.stats.updates_applied += 1;
+                }
+                protocol::encode_ack()
+            }
+            Request::SearchFind(tag) => {
+                let (entry, s) = self.tree.get_with_stats(&tag);
+                self.stats.tree_lookups += 1;
+                self.stats.tree_nodes_visited += s.nodes_visited as u64;
+                protocol::encode_found(entry.map(|e| e.f_r.as_slice()))
+            }
+            Request::SearchReveal { tag, seed } => {
+                let docs = self.reveal_one(&tag, &seed);
+                protocol::encode_result(&docs)
+            }
+            Request::SearchRevealMany(items) => {
+                let results: Vec<Vec<(u64, Vec<u8>)>> = items
+                    .iter()
+                    .map(|(tag, seed)| self.reveal_one(tag, seed))
+                    .collect();
+                crate::proto_common::encode_result_many(&results)
+            }
+            Request::Checkpoint => {
+                let Some(dir) = self.dir.clone() else {
+                    return protocol::encode_error(
+                        "checkpoint requested on an in-memory server",
+                    );
+                };
+                match self.checkpoint(&dir) {
+                    Ok(()) => protocol::encode_ack(),
+                    Err(e) => protocol::encode_error(&e.to_string()),
+                }
+            }
+            Request::ExportIndex => {
+                protocol::encode_index_dump(&self.export_representations())
+            }
+            Request::ReplaceIndex { capacity, entries } => {
+                let new_width = (capacity as usize).div_ceil(8);
+                if let Some(bad) = entries.iter().find(|e| e.delta.len() != new_width) {
+                    return protocol::encode_error(&format!(
+                        "entry width {} != new index width {new_width}",
+                        bad.delta.len()
+                    ));
+                }
+                // Migration must not lose keywords: the replacement set
+                // must cover every currently stored tag.
+                let new_tags: std::collections::HashSet<[u8; 32]> =
+                    entries.iter().map(|e| e.tag).collect();
+                for (tag, _) in self.tree.iter() {
+                    if !new_tags.contains(tag) {
+                        return protocol::encode_error(
+                            "replacement index is missing a stored keyword tag",
+                        );
+                    }
+                }
+                let mut tree = BpTree::new();
+                for UpdateEntry { tag, delta, f_r } in entries {
+                    tree.insert(
+                        tag,
+                        Entry {
+                            masked_index: delta,
+                            f_r,
+                        },
+                    );
+                }
+                self.tree = tree;
+                self.capacity_docs = capacity;
+                self.index_bytes = new_width;
+                protocol::encode_ack()
+            }
+        }
+    }
+
+    /// Unmask one posting array with the revealed seed and fetch matches.
+    fn reveal_one(&mut self, tag: &[u8; 32], seed: &[u8; 32]) -> Vec<(u64, Vec<u8>)> {
+        let capacity = self.capacity_docs as usize;
+        let Some(entry) = self.tree.get(tag) else {
+            self.stats.searches += 1;
+            return Vec::new();
+        };
+        // Unmask: (I(w) ⊕ G(r)) ⊕ G(r) = I(w).
+        let plain = Prg::mask(seed, &entry.masked_index);
+        debug_assert_eq!(plain.len(), self.index_bytes);
+        let ids = DocBitSet::from_bytes(capacity, &plain).to_ids();
+        self.stats.searches += 1;
+        self.store.get_many(&ids)
+    }
+}
+
+impl Service for Scheme1Server {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        match protocol::decode_request(request) {
+            Ok(req) => self.handle_request(req),
+            Err(e) => protocol::encode_error(&e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme1::protocol::{
+        decode_ack, decode_found, decode_nonces, decode_result, encode_apply_updates,
+        encode_get_nonces, encode_put_docs, encode_search_find, encode_search_reveal,
+    };
+
+    fn server() -> Scheme1Server {
+        Scheme1Server::new_in_memory(64)
+    }
+
+    #[test]
+    fn put_docs_and_capacity_enforcement() {
+        let mut s = server();
+        let ok = s.handle(&encode_put_docs(&[(0, vec![1]), (63, vec![2])]));
+        decode_ack(&ok).unwrap();
+        assert_eq!(s.stored_docs(), 2);
+
+        let too_big = s.handle(&encode_put_docs(&[(64, vec![3])]));
+        assert!(decode_ack(&too_big).is_err());
+    }
+
+    #[test]
+    fn nonces_for_unknown_tags_are_absent() {
+        let mut s = server();
+        let resp = s.handle(&encode_get_nonces(&[[1u8; 32], [2u8; 32]]));
+        assert_eq!(decode_nonces(&resp).unwrap(), vec![None, None]);
+    }
+
+    #[test]
+    fn update_insert_then_merge() {
+        let mut s = server();
+        let tag = [9u8; 32];
+        // Fresh insert: delta is the initial masked array.
+        let delta1 = vec![0x0Fu8; 8];
+        let r = s.handle(&encode_apply_updates(&[UpdateEntry {
+            tag,
+            delta: delta1.clone(),
+            f_r: vec![1],
+        }]));
+        decode_ack(&r).unwrap();
+        assert_eq!(s.unique_keywords(), 1);
+
+        // Merge: stored becomes XOR of both deltas.
+        let delta2 = vec![0xFFu8; 8];
+        let r = s.handle(&encode_apply_updates(&[UpdateEntry {
+            tag,
+            delta: delta2,
+            f_r: vec![2],
+        }]));
+        decode_ack(&r).unwrap();
+        assert_eq!(s.unique_keywords(), 1);
+        let entry = s.tree.get(&tag).unwrap();
+        assert_eq!(entry.masked_index, vec![0xF0u8; 8]);
+        assert_eq!(entry.f_r, vec![2]);
+    }
+
+    #[test]
+    fn update_rejects_wrong_width() {
+        let mut s = server();
+        let r = s.handle(&encode_apply_updates(&[UpdateEntry {
+            tag: [1u8; 32],
+            delta: vec![0u8; 7], // index width is 8
+            f_r: vec![],
+        }]));
+        assert!(decode_ack(&r).is_err());
+    }
+
+    #[test]
+    fn search_find_reports_presence() {
+        let mut s = server();
+        let tag = [5u8; 32];
+        assert_eq!(
+            decode_found(&s.handle(&encode_search_find(&tag))).unwrap(),
+            None
+        );
+        s.handle(&encode_apply_updates(&[UpdateEntry {
+            tag,
+            delta: vec![0u8; 8],
+            f_r: vec![0xAB, 0xCD],
+        }]));
+        assert_eq!(
+            decode_found(&s.handle(&encode_search_find(&tag))).unwrap(),
+            Some(vec![0xAB, 0xCD])
+        );
+    }
+
+    #[test]
+    fn search_reveal_unmasks_and_returns_docs() {
+        let mut s = server();
+        s.handle(&encode_put_docs(&[(3, b"three".to_vec()), (7, b"seven".to_vec())]));
+
+        // Build I(w) = {3, 7} masked under a known seed.
+        let seed = [0x42u8; 32];
+        let ids = DocBitSet::from_ids(64, &[3, 7]);
+        let masked = Prg::mask(&seed, ids.as_bytes());
+        let tag = [6u8; 32];
+        s.handle(&encode_apply_updates(&[UpdateEntry {
+            tag,
+            delta: masked,
+            f_r: vec![],
+        }]));
+
+        let resp = s.handle(&encode_search_reveal(&tag, &seed));
+        let docs = decode_result(&resp).unwrap();
+        assert_eq!(
+            docs,
+            vec![(3, b"three".to_vec()), (7, b"seven".to_vec())]
+        );
+    }
+
+    #[test]
+    fn search_reveal_unknown_tag_is_empty() {
+        let mut s = server();
+        let resp = s.handle(&encode_search_reveal(&[1u8; 32], &[0u8; 32]));
+        assert_eq!(decode_result(&resp).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn garbage_request_yields_error_response_not_panic() {
+        let mut s = server();
+        let resp = s.handle(&[0xEE, 0xFF, 0x00]);
+        assert!(decode_ack(&resp).is_err());
+    }
+
+    #[test]
+    fn stats_track_lookups() {
+        let mut s = server();
+        s.handle(&encode_search_find(&[1u8; 32]));
+        s.handle(&encode_get_nonces(&[[2u8; 32], [3u8; 32]]));
+        let st = s.stats();
+        assert_eq!(st.tree_lookups, 3);
+        assert!(st.tree_nodes_visited >= 3);
+        s.reset_stats();
+        assert_eq!(s.stats().tree_lookups, 0);
+    }
+}

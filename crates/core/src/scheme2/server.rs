@@ -1,0 +1,587 @@
+//! Scheme 2 server.
+//!
+//! Per keyword tag, the server keeps a [`GenerationList`] of masked
+//! generations. On update it appends blindly (it cannot decrypt anything).
+//! On search it receives `(t_w, t'_w)`, finds the tag in `O(log u)`, then
+//! *walks the hash chain forward* from `t'_w`: at each element `e` it
+//! checks `f'(e)` against the commitment of the next locked generation
+//! (newest first), decrypting as commitments match. The walk length is the
+//! measurable `l/2x`-style cost of Table 1 — exposed in
+//! [`Scheme2ServerStats::chain_steps`].
+
+use super::protocol::{self, GenerationEntry, Request};
+use super::{key_commitment, Scheme2Config};
+use crate::error::{Result, SseError};
+use crate::proto_common;
+use sse_index::bptree::BpTree;
+use sse_index::postings::{Generation, GenerationList};
+use sse_net::link::Service;
+use sse_net::wire::{WireReader, WireWriter};
+use sse_primitives::etm::EtmKey;
+use sse_primitives::hashchain::chain_step;
+use sse_storage::crc32::crc32;
+use sse_storage::store::DocStore;
+use sse_storage::StorageError;
+use std::io::Write;
+use std::path::Path;
+
+const INDEX_MAGIC: &[u8; 8] = b"SSE2IDX1";
+
+/// Out-of-band observability counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Scheme2ServerStats {
+    /// Searches served.
+    pub searches: u64,
+    /// Total forward hash-chain steps across all searches.
+    pub chain_steps: u64,
+    /// Generations decrypted across all searches.
+    pub generations_decrypted: u64,
+    /// Generations served straight from the Optimization-1 cache.
+    pub generations_from_cache: u64,
+    /// Generation entries appended.
+    pub generations_appended: u64,
+    /// B+-tree nodes visited across lookups.
+    pub tree_nodes_visited: u64,
+}
+
+/// The Scheme 2 server.
+pub struct Scheme2Server {
+    tree: BpTree<[u8; 32], GenerationList>,
+    store: DocStore,
+    config: Scheme2Config,
+    stats: Scheme2ServerStats,
+    /// Durable home directory (None for in-memory servers).
+    dir: Option<std::path::PathBuf>,
+}
+
+impl Scheme2Server {
+    /// In-memory server.
+    #[must_use]
+    pub fn new_in_memory(config: Scheme2Config) -> Self {
+        Scheme2Server {
+            tree: BpTree::new(),
+            store: DocStore::in_memory(),
+            config,
+            stats: Scheme2ServerStats::default(),
+            dir: None,
+        }
+    }
+
+    /// Durable server persisting document blobs under `dir`. If an index
+    /// snapshot exists there (written by [`Scheme2Server::save_index`]),
+    /// the generation lists are recovered too.
+    ///
+    /// # Errors
+    /// Storage errors while opening or recovering the document store or a
+    /// corrupt index snapshot.
+    pub fn open_durable(config: Scheme2Config, dir: &Path) -> Result<Self> {
+        let store = DocStore::open(dir, sse_storage::store::StoreOptions::default())?;
+        let mut server = Scheme2Server {
+            tree: BpTree::new(),
+            store,
+            config,
+            stats: Scheme2ServerStats::default(),
+            dir: Some(dir.to_path_buf()),
+        };
+        let index_path = dir.join("scheme2.index");
+        if index_path.exists() {
+            server.load_index(&index_path)?;
+        }
+        Ok(server)
+    }
+
+    /// Persist the generation lists to a CRC-protected snapshot. The
+    /// Optimization-1 plaintext cache is *not* persisted — it is an
+    /// optimization the next search rebuilds, and keeping recovered state
+    /// minimal follows the principle of storing only what is necessary.
+    ///
+    /// # Errors
+    /// Filesystem errors.
+    pub fn save_index(&self, path: &Path) -> Result<()> {
+        let mut body = WireWriter::new();
+        body.put_u64(self.tree.len() as u64);
+        for (tag, list) in self.tree.iter() {
+            body.put_array(tag);
+            body.put_u64(list.len() as u64);
+            for generation in list.iter() {
+                body.put_bytes(&generation.masked_ids);
+                body.put_array(&generation.key_commitment);
+            }
+        }
+        let body = body.finish();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(StorageError::Io)?;
+            f.write_all(INDEX_MAGIC).map_err(StorageError::Io)?;
+            f.write_all(&crc32(&body).to_le_bytes())
+                .map_err(StorageError::Io)?;
+            f.write_all(&body).map_err(StorageError::Io)?;
+            f.sync_data().map_err(StorageError::Io)?;
+        }
+        std::fs::rename(&tmp, path).map_err(StorageError::Io)?;
+        Ok(())
+    }
+
+    /// Load an index snapshot written by [`Scheme2Server::save_index`].
+    ///
+    /// # Errors
+    /// Corruption (bad magic/CRC) or I/O failures.
+    pub fn load_index(&mut self, path: &Path) -> Result<()> {
+        let bytes = std::fs::read(path).map_err(StorageError::Io)?;
+        if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
+            return Err(SseError::Storage(StorageError::Corrupt {
+                what: "scheme2 index snapshot",
+                detail: "bad magic or truncated".to_string(),
+            }));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let body = &bytes[12..];
+        if crc32(body) != stored_crc {
+            return Err(SseError::Storage(StorageError::Corrupt {
+                what: "scheme2 index snapshot",
+                detail: "checksum mismatch".to_string(),
+            }));
+        }
+        let mut r = WireReader::new(body);
+        let n = r.get_count(40)?;
+        let mut tree = BpTree::new();
+        for _ in 0..n {
+            let tag = r.get_array32()?;
+            let gens = r.get_count(40)?;
+            let mut list = GenerationList::new();
+            for _ in 0..gens {
+                let masked_ids = r.get_bytes()?.to_vec();
+                let key_commitment = r.get_array32()?;
+                list.push(Generation {
+                    masked_ids,
+                    key_commitment,
+                });
+            }
+            tree.insert(tag, list);
+        }
+        r.finish()?;
+        self.tree = tree;
+        Ok(())
+    }
+
+    /// Checkpoint everything durable: document store + index snapshot.
+    ///
+    /// # Errors
+    /// Filesystem errors.
+    pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
+        self.store.checkpoint()?;
+        self.save_index(&dir.join("scheme2.index"))
+    }
+
+    /// Number of unique keywords indexed (`u`).
+    #[must_use]
+    pub fn unique_keywords(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of stored documents.
+    #[must_use]
+    pub fn stored_docs(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Height of the tag tree.
+    #[must_use]
+    pub fn tree_height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Observability counters.
+    #[must_use]
+    pub fn stats(&self) -> Scheme2ServerStats {
+        self.stats
+    }
+
+    /// Reset the observability counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = Scheme2ServerStats::default();
+    }
+
+    /// Total stored index bytes across all generation lists (diagnostic).
+    #[must_use]
+    pub fn index_bytes(&self) -> usize {
+        self.tree.iter().map(|(_, l)| l.stored_bytes()).sum()
+    }
+
+    fn handle_request(&mut self, request: Request) -> Vec<u8> {
+        match request {
+            Request::PutDocs(docs) => {
+                for (id, blob) in docs {
+                    if let Err(e) = self.store.put(id, &blob) {
+                        return proto_common::encode_error(&e.to_string());
+                    }
+                }
+                proto_common::encode_ack()
+            }
+            Request::AppendGenerations(entries) => {
+                for GenerationEntry {
+                    tag,
+                    sealed_ids,
+                    commitment,
+                } in entries
+                {
+                    let generation = Generation {
+                        masked_ids: sealed_ids,
+                        key_commitment: commitment,
+                    };
+                    match self.tree.get_mut(&tag) {
+                        Some(list) => list.push(generation),
+                        None => {
+                            let mut list = GenerationList::new();
+                            list.push(generation);
+                            self.tree.insert(tag, list);
+                        }
+                    }
+                    self.stats.generations_appended += 1;
+                }
+                proto_common::encode_ack()
+            }
+            Request::Search { tag, t_prime } => match self.search_one(tag, t_prime) {
+                Ok(docs) => proto_common::encode_result(&docs),
+                Err(msg) => proto_common::encode_error(&msg),
+            },
+            Request::SearchMany(trapdoors) => {
+                let mut results = Vec::with_capacity(trapdoors.len());
+                for (tag, t_prime) in trapdoors {
+                    match self.search_one(tag, t_prime) {
+                        Ok(docs) => results.push(docs),
+                        Err(msg) => return proto_common::encode_error(&msg),
+                    }
+                }
+                proto_common::encode_result_many(&results)
+            }
+            Request::ResetIndex => {
+                self.tree = BpTree::new();
+                proto_common::encode_ack()
+            }
+            Request::Checkpoint => {
+                let Some(dir) = self.dir.clone() else {
+                    return proto_common::encode_error(
+                        "checkpoint requested on an in-memory server",
+                    );
+                };
+                match self.checkpoint(&dir) {
+                    Ok(()) => proto_common::encode_ack(),
+                    Err(e) => proto_common::encode_error(&e.to_string()),
+                }
+            }
+            Request::RemoveDocs(ids) => {
+                for id in ids {
+                    // Deleting an unknown id is a no-op, not an error: the
+                    // posting-side delete entries may arrive first.
+                    let _ = self.store.delete(id);
+                }
+                proto_common::encode_ack()
+            }
+        }
+    }
+
+    /// Execute one Fig. 4 search, returning the matching encrypted
+    /// documents or an error description.
+    fn search_one(
+        &mut self,
+        tag: [u8; 32],
+        t_prime: [u8; 32],
+    ) -> std::result::Result<Vec<(u64, Vec<u8>)>, String> {
+        let max_walk = self.config.chain_length as usize + 1;
+        let use_cache = self.config.server_cache;
+
+        let (found, tree_stats) = self.tree.get_with_stats(&tag);
+        self.stats.tree_nodes_visited += tree_stats.nodes_visited as u64;
+        if found.is_none() {
+            self.stats.searches += 1;
+            return Ok(Vec::new());
+        }
+        // Re-borrow mutably (the immutable borrow above was for stats).
+        let list = self.tree.get_mut(&tag).expect("checked present");
+
+        self.stats.generations_from_cache += list.cached_generations() as u64;
+
+        // Unlock the undecrypted suffix newest-to-oldest while walking the
+        // chain forward from the trapdoor. Each generation decrypts to an
+        // (added ids, deleted ids) pair; deletions are the beyond-paper
+        // dynamic-SSE extension (an empty delete list is the paper's case).
+        let locked: Vec<Generation> = list.undecrypted().to_vec();
+        let mut decoded: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); locked.len()];
+        let mut element = t_prime;
+        let mut steps_used = 0usize;
+        for (pos, generation) in locked.iter().enumerate().rev() {
+            // Advance until the commitment matches this generation's key.
+            let mut matched = key_commitment(&element) == generation.key_commitment;
+            while !matched {
+                if steps_used >= max_walk {
+                    self.stats.searches += 1;
+                    self.stats.chain_steps += steps_used as u64;
+                    return Err(format!(
+                        "chain walk exceeded {max_walk} steps; client/server desync"
+                    ));
+                }
+                element = chain_step(&element);
+                steps_used += 1;
+                matched = key_commitment(&element) == generation.key_commitment;
+            }
+            // `element` is the generation key: decrypt the posting entry.
+            let etm = EtmKey::new(&element);
+            let plain = match etm.open(&generation.masked_ids) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.stats.searches += 1;
+                    return Err(format!("generation decryption failed: {e}"));
+                }
+            };
+            let mut r = WireReader::new(&plain);
+            let parsed: std::result::Result<(Vec<u64>, Vec<u64>), _> = (|| {
+                let adds = r.get_u64_vec()?;
+                let dels = r.get_u64_vec()?;
+                r.finish()?;
+                Ok::<_, sse_net::wire::WireError>((adds, dels))
+            })();
+            match parsed {
+                Ok(pair) => decoded[pos] = pair,
+                Err(e) => {
+                    self.stats.searches += 1;
+                    return Err(format!("generation payload malformed: {e}"));
+                }
+            }
+        }
+        self.stats.chain_steps += steps_used as u64;
+        self.stats.generations_decrypted += locked.len() as u64;
+        self.stats.searches += 1;
+
+        // Apply generations in chronological order on top of the
+        // Optimization-1 cache: adds union in, deletes remove.
+        let mut all_ids: Vec<u64> = list.cached_ids().to_vec();
+        for (adds, dels) in &decoded {
+            for id in adds {
+                if !all_ids.contains(id) {
+                    all_ids.push(*id);
+                }
+            }
+            for id in dels {
+                all_ids.retain(|x| x != id);
+            }
+        }
+        if use_cache {
+            list.set_cached(all_ids.clone());
+        }
+
+        all_ids.sort_unstable();
+        Ok(self.store.get_many(&all_ids))
+    }
+}
+
+impl Service for Scheme2Server {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        match protocol::decode_request(request) {
+            Ok(req) => self.handle_request(req),
+            Err(e) => proto_common::encode_error(&e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto_common::{decode_ack, decode_result};
+    use sse_primitives::hashchain::{walk_forward, HashChain};
+    use sse_net::wire::WireWriter;
+
+    fn sealed_ids(key: &[u8; 32], ids: &[u64]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64_vec(ids);
+        w.put_u64_vec(&[]); // no deletions
+        EtmKey::new(key).seal(&w.finish())
+    }
+
+    fn server() -> Scheme2Server {
+        Scheme2Server::new_in_memory(Scheme2Config::standard().with_chain_length(64))
+    }
+
+    #[test]
+    fn append_then_search_single_generation() {
+        let mut s = server();
+        s.handle(&protocol::encode_put_docs(&[(1, b"one".to_vec()), (2, b"two".to_vec())]));
+
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let k1 = chain.key_for_counter(1).unwrap();
+        let tag = [9u8; 32];
+        let resp = s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k1, &[1, 2]),
+            commitment: key_commitment(&k1),
+        }]));
+        decode_ack(&resp).unwrap();
+
+        // Trapdoor at the same counter: zero walk steps.
+        let resp = s.handle(&protocol::encode_search(&tag, &k1));
+        let docs = decode_result(&resp).unwrap();
+        assert_eq!(docs, vec![(1, b"one".to_vec()), (2, b"two".to_vec())]);
+        assert_eq!(s.stats().chain_steps, 0);
+        assert_eq!(s.stats().generations_decrypted, 1);
+    }
+
+    #[test]
+    fn newer_trapdoor_unlocks_older_generations() {
+        let mut s = server();
+        s.handle(&protocol::encode_put_docs(&[(1, b"a".to_vec()), (2, b"b".to_vec())]));
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [7u8; 32];
+        // Two generations at counters 1 and 5.
+        for (ctr, id) in [(1u64, 1u64), (5, 2)] {
+            let k = chain.key_for_counter(ctr).unwrap();
+            s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+                tag,
+                sealed_ids: sealed_ids(&k, &[id]),
+                commitment: key_commitment(&k),
+            }]));
+        }
+        // Trapdoor at counter 9: walk 4 steps to reach k(5), then 4 more to
+        // k(1).
+        let t9 = chain.key_for_counter(9).unwrap();
+        let resp = s.handle(&protocol::encode_search(&tag, &t9));
+        let docs = decode_result(&resp).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(s.stats().chain_steps, 8);
+    }
+
+    #[test]
+    fn cache_skips_decrypted_generations() {
+        let mut s = server();
+        s.handle(&protocol::encode_put_docs(&[(1, b"a".to_vec()), (2, b"b".to_vec())]));
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [3u8; 32];
+        let k1 = chain.key_for_counter(1).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k1, &[1]),
+            commitment: key_commitment(&k1),
+        }]));
+
+        let t = chain.key_for_counter(2).unwrap();
+        decode_result(&s.handle(&protocol::encode_search(&tag, &t))).unwrap();
+        assert_eq!(s.stats().generations_decrypted, 1);
+
+        // Second search: generation already cached, nothing to decrypt.
+        decode_result(&s.handle(&protocol::encode_search(&tag, &t))).unwrap();
+        assert_eq!(s.stats().generations_decrypted, 1, "no re-decryption");
+        assert_eq!(s.stats().generations_from_cache, 1);
+
+        // Append another generation; only the new one is decrypted.
+        let k3 = chain.key_for_counter(3).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k3, &[2]),
+            commitment: key_commitment(&k3),
+        }]));
+        let t4 = chain.key_for_counter(4).unwrap();
+        let docs =
+            decode_result(&s.handle(&protocol::encode_search(&tag, &t4))).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(s.stats().generations_decrypted, 2);
+    }
+
+    #[test]
+    fn cache_disabled_redecrypts_every_time() {
+        let mut s = Scheme2Server::new_in_memory(
+            Scheme2Config::standard()
+                .with_chain_length(64)
+                .with_server_cache(false),
+        );
+        s.handle(&protocol::encode_put_docs(&[(1, b"a".to_vec())]));
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [3u8; 32];
+        let k1 = chain.key_for_counter(1).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k1, &[1]),
+            commitment: key_commitment(&k1),
+        }]));
+        let t = chain.key_for_counter(2).unwrap();
+        decode_result(&s.handle(&protocol::encode_search(&tag, &t))).unwrap();
+        decode_result(&s.handle(&protocol::encode_search(&tag, &t))).unwrap();
+        assert_eq!(s.stats().generations_decrypted, 2, "no cache: decrypt twice");
+    }
+
+    #[test]
+    fn unknown_tag_returns_empty() {
+        let mut s = server();
+        let resp = s.handle(&protocol::encode_search(&[1u8; 32], &[2u8; 32]));
+        assert_eq!(decode_result(&resp).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn stale_trapdoor_cannot_unlock_newer_generation() {
+        // One-wayness in action: a trapdoor issued at counter 1 cannot
+        // unlock a generation keyed at counter 5 (the walk would need to go
+        // backwards). The server reports desync after exhausting the bound.
+        let mut s = server();
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [8u8; 32];
+        let k5 = chain.key_for_counter(5).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k5, &[1]),
+            commitment: key_commitment(&k5),
+        }]));
+        let t1 = chain.key_for_counter(1).unwrap();
+        let resp = s.handle(&protocol::encode_search(&tag, &t1));
+        assert!(decode_result(&resp).is_err(), "must not decrypt the future");
+    }
+
+    #[test]
+    fn reset_index_clears_keywords_keeps_docs() {
+        let mut s = server();
+        s.handle(&protocol::encode_put_docs(&[(1, b"kept".to_vec())]));
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let k = chain.key_for_counter(1).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag: [1u8; 32],
+            sealed_ids: sealed_ids(&k, &[1]),
+            commitment: key_commitment(&k),
+        }]));
+        assert_eq!(s.unique_keywords(), 1);
+        decode_ack(&s.handle(&protocol::encode_reset_index())).unwrap();
+        assert_eq!(s.unique_keywords(), 0);
+        assert_eq!(s.stored_docs(), 1);
+    }
+
+    #[test]
+    fn corrupted_generation_yields_error_response() {
+        let mut s = server();
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let k = chain.key_for_counter(1).unwrap();
+        let mut sealed = sealed_ids(&k, &[1]);
+        let len = sealed.len();
+        sealed[len / 2] ^= 0xFF;
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag: [1u8; 32],
+            sealed_ids: sealed,
+            commitment: key_commitment(&k),
+        }]));
+        let resp = s.handle(&protocol::encode_search(&[1u8; 32], &k));
+        assert!(decode_result(&resp).is_err());
+    }
+
+    #[test]
+    fn walk_costs_scale_with_counter_gap() {
+        let mut s = server();
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [2u8; 32];
+        let k10 = chain.key_for_counter(10).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k10, &[1]),
+            commitment: key_commitment(&k10),
+        }]));
+        // Sanity: walking forward from counter 30's key passes counter 10's.
+        let t30 = chain.key_for_counter(30).unwrap();
+        assert_eq!(walk_forward(&t30, 20), k10);
+        decode_result(&s.handle(&protocol::encode_search(&tag, &t30))).unwrap();
+        assert_eq!(s.stats().chain_steps, 20);
+    }
+}

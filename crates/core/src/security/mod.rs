@@ -1,0 +1,27 @@
+//! Executable versions of the paper's security machinery (§4.1, §5.3).
+//!
+//! * [`trace`] — Definitions 1–3: histories, the information a scheme is
+//!   *allowed* to leak (document ids/lengths, keyword count, result sets,
+//!   the search-pattern matrix `Π_q`), and real-view extraction from an
+//!   actual Scheme 1 run.
+//! * [`simulator`] — the simulator `S` from the proof of Theorem 1: builds
+//!   a view from the trace *alone* (random blobs, random index table,
+//!   `Π`-consistent trapdoors).
+//! * [`game`] — an empirical distinguishing experiment: statistical tests
+//!   applied to populations of real and simulated views estimate the
+//!   adversary's advantage. Theorem 1 predicts ≈ 0; the harness validates
+//!   itself on a deliberately broken scheme (mask disabled) where the
+//!   advantage must be large.
+//!
+//! This does not *prove* anything — proofs are in the paper — but it turns
+//! the security claim into a regression test: any code change that
+//! accidentally leaks structure (a reused nonce, an unmasked array) shows
+//! up as a nonzero advantage in E8.
+
+pub mod game;
+pub mod simulator;
+pub mod trace;
+
+pub use game::{estimate_advantage, DistinguisherReport, Statistic};
+pub use simulator::{simulate_view, SimulatorParams};
+pub use trace::{extract_scheme1_view, History, Trace, View};

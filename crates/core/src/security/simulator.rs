@@ -1,0 +1,206 @@
+//! The simulator `S` from the proof of Theorem 1 (§5.3).
+//!
+//! Given only the trace, the simulator fabricates a view:
+//!
+//! 1. random `R_i` with `|R_i| = |E_km(M_i)|` in place of each encrypted
+//!    document (the ciphertext length is public: `|M_i| + IV + tag`);
+//! 2. a table of `|W_D|` entries `(A_i, B_i, C_i)` with random `A_i`
+//!    (tag-width), `B_i` (index-width) and `C_i` (ElGamal-ciphertext-width);
+//! 3. trapdoors consistent with the search pattern: `T_t = T_j` whenever
+//!    `Π[j][t]`, otherwise a previously unused `A_j`.
+//!
+//! Theorem 1 says this fabrication is computationally indistinguishable
+//! from the real thing; experiment E8 checks that claim statistically.
+
+use super::trace::{Trace, View};
+use sse_primitives::bignum::BigUint;
+use sse_primitives::drbg::HmacDrbg;
+use sse_primitives::etm;
+use sse_primitives::modp::ModpGroup;
+
+/// Public structural parameters the simulator shares with the real scheme
+/// (all derivable from the deployment configuration, none secret).
+#[derive(Clone)]
+pub struct SimulatorParams {
+    /// Width of a masked index array in bytes (`ceil(capacity/8)`).
+    pub index_bytes: usize,
+    /// The ElGamal group — public, so the simulator can fabricate `C_i` as
+    /// genuine random ciphertexts `(g^a, g^b)` rather than uniform bytes
+    /// (uniform bytes would be distinguishable: real components are `< p`).
+    pub group: ModpGroup,
+}
+
+impl SimulatorParams {
+    /// Derive from a Scheme 1 configuration.
+    #[must_use]
+    pub fn from_config(config: &crate::scheme1::Scheme1Config) -> Self {
+        SimulatorParams {
+            index_bytes: config.index_bytes(),
+            group: config.group.clone(),
+        }
+    }
+
+    /// Width of a serialized ElGamal ciphertext.
+    #[must_use]
+    pub fn f_r_bytes(&self) -> usize {
+        self.group.element_len * 2
+    }
+
+    /// A random ciphertext-shaped value: two uniform group elements.
+    fn random_ciphertext(&self, drbg: &mut HmacDrbg) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.f_r_bytes());
+        for _ in 0..2 {
+            let e = BigUint::random_range(drbg, &BigUint::one(), &self.group.p);
+            out.extend_from_slice(
+                &e.to_bytes_be_padded(self.group.element_len)
+                    .expect("element fits"),
+            );
+        }
+        out
+    }
+}
+
+/// Run the simulator: build a view from the trace alone.
+#[must_use]
+pub fn simulate_view(trace: &Trace, params: &SimulatorParams, rng_seed: u64) -> View {
+    let mut drbg = HmacDrbg::from_u64(rng_seed);
+
+    // Step 1: random stand-ins for the encrypted documents.
+    let encrypted_docs: Vec<Vec<u8>> = trace
+        .doc_lengths
+        .iter()
+        .map(|&len| {
+            let mut blob = vec![0u8; etm::EtmKey::ciphertext_len(len)];
+            drbg.fill(&mut blob);
+            blob
+        })
+        .collect();
+
+    // Step 2: the random index table (A_i, B_i, C_i).
+    let mut representations: Vec<([u8; 32], Vec<u8>, Vec<u8>)> =
+        Vec::with_capacity(trace.unique_keywords);
+    for _ in 0..trace.unique_keywords {
+        let a = drbg.gen_key();
+        let mut b = vec![0u8; params.index_bytes];
+        drbg.fill(&mut b);
+        let c = params.random_ciphertext(&mut drbg);
+        representations.push((a, b, c));
+    }
+    // The real server's tree iterates in tag order; match that order so the
+    // distinguisher cannot win on sortedness alone.
+    representations.sort_by_key(|x| x.0);
+
+    // Step 3: Π-consistent trapdoors drawn from *random* unused A_j — the
+    // real queried keywords sit at uniformly random positions of the
+    // tag-sorted table, and the simulator must match that distribution.
+    let q = trace.search_pattern.len();
+    let mut trapdoors: Vec<[u8; 32]> = Vec::with_capacity(q);
+    let mut unused: Vec<usize> = (0..representations.len()).collect();
+    for t in 0..q {
+        if let Some(j) = (0..t).find(|&j| trace.search_pattern[j][t]) {
+            trapdoors.push(trapdoors[j]);
+        } else if unused.is_empty() {
+            // More distinct queries than keywords: synthesize a fresh tag.
+            trapdoors.push(drbg.gen_key());
+        } else {
+            let pick = drbg.gen_range(unused.len() as u64) as usize;
+            let idx = unused.swap_remove(pick);
+            trapdoors.push(representations[idx].0);
+        }
+    }
+
+    View {
+        ids: trace.ids.clone(),
+        encrypted_docs,
+        representations,
+        trapdoors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::trace::History;
+    use crate::types::{Document, Keyword};
+
+    fn trace() -> Trace {
+        Trace::from_history(&History::new(
+            vec![
+                Document::new(0, b"aaaa".to_vec(), ["x", "y"]),
+                Document::new(1, b"bbbbbbbb".to_vec(), ["y", "z"]),
+            ],
+            vec![Keyword::new("y"), Keyword::new("z"), Keyword::new("y")],
+        ))
+    }
+
+    fn params() -> SimulatorParams {
+        SimulatorParams {
+            index_bytes: 2,
+            group: ModpGroup::modp_256(),
+        }
+    }
+
+    #[test]
+    fn structure_matches_trace() {
+        let t = trace();
+        let v = simulate_view(&t, &params(), 1);
+        assert_eq!(v.ids, t.ids);
+        assert_eq!(v.encrypted_docs.len(), 2);
+        // Simulated ciphertext lengths match the public expansion rule.
+        assert_eq!(v.encrypted_docs[0].len(), 4 + 12 + 32);
+        assert_eq!(v.encrypted_docs[1].len(), 8 + 12 + 32);
+        assert_eq!(v.representations.len(), 3);
+        assert_eq!(v.representations[0].1.len(), 2);
+        assert_eq!(v.representations[0].2.len(), 64);
+        assert_eq!(v.trapdoors.len(), 3);
+    }
+
+    #[test]
+    fn trapdoors_respect_search_pattern() {
+        let v = simulate_view(&trace(), &params(), 2);
+        assert_eq!(v.trapdoors[0], v.trapdoors[2], "repeated query");
+        assert_ne!(v.trapdoors[0], v.trapdoors[1], "distinct queries");
+    }
+
+    #[test]
+    fn trapdoors_come_from_the_table() {
+        let v = simulate_view(&trace(), &params(), 3);
+        let table_tags: Vec<[u8; 32]> = v.representations.iter().map(|(a, _, _)| *a).collect();
+        for t in &v.trapdoors {
+            assert!(table_tags.contains(t), "trapdoor must point into the table");
+        }
+    }
+
+    #[test]
+    fn representations_are_tag_sorted() {
+        let v = simulate_view(&trace(), &params(), 4);
+        for w in v.representations.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_views() {
+        let a = simulate_view(&trace(), &params(), 5);
+        let b = simulate_view(&trace(), &params(), 6);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn more_queries_than_keywords_is_handled() {
+        // q > |W_D|: the simulator runs out of table tags and synthesizes.
+        let t = Trace::from_history(&History::new(
+            vec![Document::new(0, b"d".to_vec(), ["only"])],
+            vec![
+                Keyword::new("a"),
+                Keyword::new("b"),
+                Keyword::new("c"),
+            ],
+        ));
+        let v = simulate_view(&t, &params(), 7);
+        assert_eq!(v.trapdoors.len(), 3);
+        // All distinct queries -> all distinct trapdoors.
+        assert_ne!(v.trapdoors[0], v.trapdoors[1]);
+        assert_ne!(v.trapdoors[1], v.trapdoors[2]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Histories, traces and views — Definitions 1–3 made concrete.
+
+use crate::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use crate::types::{DocId, Document, Keyword, MasterKey};
+use std::collections::BTreeSet;
+
+/// Definition 1: a history `H_q = (D, w_1, ..., w_q)` — the client's input,
+/// which the scheme must hide.
+#[derive(Clone, Debug)]
+pub struct History {
+    /// The document collection `D`.
+    pub docs: Vec<Document>,
+    /// The `q` consecutive search queries.
+    pub queries: Vec<Keyword>,
+}
+
+impl History {
+    /// Construct a history.
+    #[must_use]
+    pub fn new(docs: Vec<Document>, queries: Vec<Keyword>) -> Self {
+        History { docs, queries }
+    }
+
+    /// Number of search queries `q`.
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+/// Definition 3: the trace — everything the server is *allowed* to learn.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Document identifiers `id(M_1), ..., id(M_n)`.
+    pub ids: Vec<DocId>,
+    /// Document lengths `|M_1|, ..., |M_n|`.
+    pub doc_lengths: Vec<usize>,
+    /// `|W_D|`: total number of unique keywords over all documents.
+    pub unique_keywords: usize,
+    /// `D(w_i)`: for each query, the ids of the matching documents.
+    pub results: Vec<Vec<DocId>>,
+    /// The search pattern `Π_q`: `pattern[i][j] == true` iff `w_i == w_j`.
+    pub search_pattern: Vec<Vec<bool>>,
+}
+
+impl Trace {
+    /// Compute the trace of a history (what Definition 3 prescribes).
+    #[must_use]
+    pub fn from_history(h: &History) -> Self {
+        let ids: Vec<DocId> = h.docs.iter().map(|d| d.id).collect();
+        let doc_lengths: Vec<usize> = h.docs.iter().map(|d| d.data.len()).collect();
+        let unique: BTreeSet<&Keyword> =
+            h.docs.iter().flat_map(|d| d.keywords.iter()).collect();
+        let results: Vec<Vec<DocId>> = h
+            .queries
+            .iter()
+            .map(|w| {
+                h.docs
+                    .iter()
+                    .filter(|d| d.has_keyword(w))
+                    .map(|d| d.id)
+                    .collect()
+            })
+            .collect();
+        let q = h.queries.len();
+        let mut search_pattern = vec![vec![false; q]; q];
+        for (i, row) in search_pattern.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = h.queries[i] == h.queries[j];
+            }
+        }
+        Trace {
+            ids,
+            doc_lengths,
+            unique_keywords: unique.len(),
+            results,
+            search_pattern,
+        }
+    }
+}
+
+/// Definition 2: the server's view of a Scheme 1 run.
+#[derive(Clone, Debug)]
+pub struct View {
+    /// Document identifiers (public).
+    pub ids: Vec<DocId>,
+    /// Encrypted data items `E_km(M_i)` in id order.
+    pub encrypted_docs: Vec<Vec<u8>>,
+    /// The set `S` of searchable representations
+    /// `(f_kw(w), I(w) ⊕ G(r), F(r))`, in tag order.
+    pub representations: Vec<([u8; 32], Vec<u8>, Vec<u8>)>,
+    /// The trapdoors `T_{w_1}, ..., T_{w_t}` sent so far.
+    pub trapdoors: Vec<[u8; 32]>,
+}
+
+impl View {
+    /// Flatten to bytes for the statistical distinguisher. Layout is fixed
+    /// so real and simulated views serialize identically when they carry
+    /// the same structure.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for id in &self.ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        for blob in &self.encrypted_docs {
+            out.extend_from_slice(blob);
+        }
+        for (tag, masked, f_r) in &self.representations {
+            out.extend_from_slice(tag);
+            out.extend_from_slice(masked);
+            out.extend_from_slice(f_r);
+        }
+        for t in &self.trapdoors {
+            out.extend_from_slice(t);
+        }
+        out
+    }
+
+    /// Only the index/trapdoor portion (excludes encrypted payloads) — the
+    /// part Theorem 1's simulator must match structurally.
+    #[must_use]
+    pub fn index_bytes_only(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (tag, masked, f_r) in &self.representations {
+            out.extend_from_slice(tag);
+            out.extend_from_slice(masked);
+            out.extend_from_slice(f_r);
+        }
+        for t in &self.trapdoors {
+            out.extend_from_slice(t);
+        }
+        out
+    }
+}
+
+/// Execute a history against a real Scheme 1 deployment and capture the
+/// server's view (Definition 2).
+///
+/// `break_mask` disables the PRG mask (stores `I(w)` in the clear) — the
+/// deliberately broken variant used to validate the distinguishing harness;
+/// see E8.
+///
+/// # Panics
+/// Panics if the protocol run fails (test harness context).
+#[must_use]
+pub fn extract_scheme1_view(
+    history: &History,
+    key: &MasterKey,
+    config: Scheme1Config,
+    rng_seed: u64,
+    break_mask: bool,
+) -> View {
+    let mut client = InMemoryScheme1Client::new_in_memory(key.clone(), config.clone());
+    // Reseed deterministically for reproducible experiments.
+    let server = std::mem::replace(
+        client.server_mut(),
+        crate::scheme1::Scheme1Server::new_in_memory(config.capacity_docs),
+    );
+    let link = sse_net::link::MeteredLink::new(server, sse_net::meter::Meter::new());
+    let mut client = crate::scheme1::Scheme1Client::new_seeded(
+        link,
+        key.clone(),
+        config.clone(),
+        rng_seed,
+    );
+
+    client.store(&history.docs).expect("storage succeeds");
+    let mut trapdoors = Vec::with_capacity(history.queries.len());
+    for w in &history.queries {
+        client.search(w).expect("search succeeds");
+        trapdoors.push(client.tag(w));
+    }
+
+    // Capture the server state.
+    let server = client.transport_mut().service_mut();
+    let blobs = server.export_blobs();
+    let mut representations = server.export_representations();
+
+    if break_mask {
+        // Replace each masked array with the *unmasked* posting bit array —
+        // what a broken PRG (all-zero keystream) would store.
+        use sse_index::bitset::DocBitSet;
+        let capacity = config.capacity_docs as usize;
+        let mut by_keyword: std::collections::BTreeMap<[u8; 32], DocBitSet> =
+            std::collections::BTreeMap::new();
+        let prf = sse_primitives::prf::Prf::new(key.derive_w("scheme1/tag"));
+        for d in &history.docs {
+            for w in &d.keywords {
+                by_keyword
+                    .entry(prf.eval(w.as_bytes()).0)
+                    .or_insert_with(|| DocBitSet::new(capacity))
+                    .set(d.id);
+            }
+        }
+        for (tag, masked, _) in &mut representations {
+            if let Some(bits) = by_keyword.get(tag) {
+                *masked = bits.as_bytes().to_vec();
+            }
+        }
+    }
+
+    View {
+        ids: blobs.iter().map(|(id, _)| *id).collect(),
+        encrypted_docs: blobs.into_iter().map(|(_, b)| b).collect(),
+        representations,
+        trapdoors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> History {
+        History::new(
+            vec![
+                Document::new(0, b"aaaa".to_vec(), ["x", "y"]),
+                Document::new(1, b"bbbbbbbb".to_vec(), ["y", "z"]),
+                Document::new(2, b"cc".to_vec(), ["z"]),
+            ],
+            vec![Keyword::new("y"), Keyword::new("z"), Keyword::new("y")],
+        )
+    }
+
+    #[test]
+    fn trace_captures_allowed_leakage() {
+        let t = Trace::from_history(&history());
+        assert_eq!(t.ids, vec![0, 1, 2]);
+        assert_eq!(t.doc_lengths, vec![4, 8, 2]);
+        assert_eq!(t.unique_keywords, 3);
+        assert_eq!(t.results, vec![vec![0, 1], vec![1, 2], vec![0, 1]]);
+        // Π: queries 0 and 2 are the same keyword.
+        assert!(t.search_pattern[0][2]);
+        assert!(t.search_pattern[2][0]);
+        assert!(!t.search_pattern[0][1]);
+        assert!(t.search_pattern[1][1]);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let h = history();
+        assert_eq!(Trace::from_history(&h), Trace::from_history(&h));
+    }
+
+    #[test]
+    fn real_view_has_expected_shape() {
+        let h = history();
+        let key = MasterKey::from_seed(1);
+        let v = extract_scheme1_view(&h, &key, Scheme1Config::fast_profile(16), 7, false);
+        assert_eq!(v.ids, vec![0, 1, 2]);
+        assert_eq!(v.encrypted_docs.len(), 3);
+        assert_eq!(v.representations.len(), 3, "u = 3 unique keywords");
+        assert_eq!(v.trapdoors.len(), 3);
+        // Repeated query -> repeated trapdoor (the search pattern leaks).
+        assert_eq!(v.trapdoors[0], v.trapdoors[2]);
+        assert_ne!(v.trapdoors[0], v.trapdoors[1]);
+        // Ciphertext expansion: |E(M)| = |M| + IV + tag.
+        assert_eq!(v.encrypted_docs[0].len(), 4 + 12 + 32);
+    }
+
+    #[test]
+    fn broken_view_exposes_postings() {
+        let h = history();
+        let key = MasterKey::from_seed(1);
+        let v = extract_scheme1_view(&h, &key, Scheme1Config::fast_profile(16), 7, true);
+        // The keyword "y" occurs in docs {0, 1}: some representation holds
+        // the raw bit pattern 0b00000011.
+        assert!(
+            v.representations.iter().any(|(_, m, _)| m[0] == 0b11),
+            "broken mask must expose raw bits"
+        );
+    }
+
+    #[test]
+    fn view_serialization_is_stable() {
+        let h = history();
+        let key = MasterKey::from_seed(2);
+        let v1 = extract_scheme1_view(&h, &key, Scheme1Config::fast_profile(16), 3, false);
+        let v2 = extract_scheme1_view(&h, &key, Scheme1Config::fast_profile(16), 3, false);
+        assert_eq!(v1.to_bytes(), v2.to_bytes(), "same seed, same view");
+        assert!(!v1.index_bytes_only().is_empty());
+    }
+}

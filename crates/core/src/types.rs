@@ -1,0 +1,204 @@
+//! Shared domain types: documents, keywords, keys.
+//!
+//! The paper's data model (§3): each document `D_i = (M_i, W_i)` pairs a
+//! data item `M_i` with a metadata item `W_i` — a set of keywords. The
+//! client assigns each document an exclusive identifier `i`.
+
+use sse_primitives::drbg::HmacDrbg;
+use sse_primitives::kdf::derive_key32;
+use sse_primitives::Key256;
+use std::collections::BTreeSet;
+
+/// Document identifier — the paper's `i`, assigned by the client.
+pub type DocId = u64;
+
+/// A search keyword.
+///
+/// Keywords are compared case-sensitively; normalisation (lower-casing,
+/// stemming) is an application concern — see the PHR crate's workload
+/// generator.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Keyword(String);
+
+impl Keyword {
+    /// Wrap a string as a keyword.
+    #[must_use]
+    pub fn new(s: impl Into<String>) -> Self {
+        Keyword(s.into())
+    }
+
+    /// Byte view — the PRF input.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// String view.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Keyword {
+    fn from(s: &str) -> Self {
+        Keyword::new(s)
+    }
+}
+
+impl From<String> for Keyword {
+    fn from(s: String) -> Self {
+        Keyword(s)
+    }
+}
+
+impl From<&String> for Keyword {
+    fn from(s: &String) -> Self {
+        Keyword(s.clone())
+    }
+}
+
+impl std::fmt::Display for Keyword {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A document `D_i = (M_i, W_i)` with its client-assigned identifier.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Document {
+    /// The identifier `i`.
+    pub id: DocId,
+    /// The data item `M_i` (arbitrary bytes; encrypted with `E_km` before
+    /// it ever reaches the server).
+    pub data: Vec<u8>,
+    /// The metadata item `W_i` — the set of keywords under which this
+    /// document is retrievable.
+    pub keywords: BTreeSet<Keyword>,
+}
+
+impl Document {
+    /// Construct a document from its parts.
+    pub fn new<K, I>(id: DocId, data: Vec<u8>, keywords: I) -> Self
+    where
+        K: Into<Keyword>,
+        I: IntoIterator<Item = K>,
+    {
+        Document {
+            id,
+            data,
+            keywords: keywords.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// True iff the document carries `keyword`.
+    #[must_use]
+    pub fn has_keyword(&self, keyword: &Keyword) -> bool {
+        self.keywords.contains(keyword)
+    }
+}
+
+/// The master key `K = (k_m, k_w)` of `Keygen(s)` with `s = 256`.
+///
+/// `k_m` encrypts data items; `k_w` drives everything keyword-related
+/// (PRF tags, PRG seeds, the ElGamal trapdoor, chain seeds). Sub-keys are
+/// derived by domain separation so the two halves never cross.
+#[derive(Clone)]
+pub struct MasterKey {
+    /// Data-encryption key `k_m`.
+    pub k_m: Key256,
+    /// Keyword/metadata key `k_w`.
+    pub k_w: Key256,
+}
+
+impl MasterKey {
+    /// `Keygen(s)`: sample a fresh master key from OS entropy.
+    #[must_use]
+    pub fn generate() -> Self {
+        MasterKey {
+            k_m: sse_primitives::random_key(),
+            k_w: sse_primitives::random_key(),
+        }
+    }
+
+    /// Deterministic key for tests and reproducible experiments.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut drbg = HmacDrbg::from_u64(seed);
+        MasterKey {
+            k_m: drbg.gen_key(),
+            k_w: drbg.gen_key(),
+        }
+    }
+
+    /// Derive a labelled 32-byte subkey of `k_w`.
+    #[must_use]
+    pub fn derive_w(&self, label: &str) -> Key256 {
+        derive_key32(&self.k_w, label)
+    }
+
+    /// Derive a labelled 32-byte subkey of `k_m`.
+    #[must_use]
+    pub fn derive_m(&self, label: &str) -> Key256 {
+        derive_key32(&self.k_m, label)
+    }
+}
+
+/// Result of a search: the matching documents, decrypted.
+pub type SearchHits = Vec<(DocId, Vec<u8>)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_construction() {
+        let d = Document::new(3, b"payload".to_vec(), ["alpha", "beta"]);
+        assert_eq!(d.id, 3);
+        assert!(d.has_keyword(&Keyword::new("alpha")));
+        assert!(!d.has_keyword(&Keyword::new("gamma")));
+        assert_eq!(d.keywords.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_keywords_collapse() {
+        let d = Document::new(1, vec![], ["x", "x", "y"]);
+        assert_eq!(d.keywords.len(), 2);
+    }
+
+    #[test]
+    fn master_key_from_seed_is_deterministic() {
+        let a = MasterKey::from_seed(5);
+        let b = MasterKey::from_seed(5);
+        let c = MasterKey::from_seed(6);
+        assert_eq!(a.k_m, b.k_m);
+        assert_eq!(a.k_w, b.k_w);
+        assert_ne!(a.k_m, c.k_m);
+        // The two halves are independent.
+        assert_ne!(a.k_m, a.k_w);
+    }
+
+    #[test]
+    fn generated_keys_differ() {
+        let a = MasterKey::generate();
+        let b = MasterKey::generate();
+        assert_ne!(a.k_m, b.k_m);
+    }
+
+    #[test]
+    fn derived_subkeys_are_domain_separated() {
+        let k = MasterKey::from_seed(1);
+        assert_ne!(k.derive_w("tag"), k.derive_w("chain"));
+        assert_ne!(k.derive_w("tag"), k.derive_m("tag"));
+        assert_eq!(k.derive_w("tag"), k.derive_w("tag"));
+    }
+
+    #[test]
+    fn keyword_ordering_and_display() {
+        let a = Keyword::new("apple");
+        let b = Keyword::new("banana");
+        assert!(a < b);
+        assert_eq!(a.to_string(), "apple");
+        assert_eq!(Keyword::from("x").as_str(), "x");
+    }
+}

@@ -1,0 +1,319 @@
+//! The document-id bit array `I(w)` of Scheme 1.
+//!
+//! "The set `I(w)` is represented as an array of bits where each bit is 0
+//! unless the position of this bit is equal to one of the document
+//! identifiers which occur in `I(w)`" (§5.2). The same representation is
+//! used for the update set `U(w)`; the server merges them with XOR, which
+//! *toggles* membership — adding a fresh document sets its bit, and
+//! re-sending an existing id removes it (that is how the paper's protocol
+//! supports deletion through the same message).
+
+/// A fixed-capacity bit array indexed by document id.
+///
+/// Capacity is in *bits* and is public information in the paper's model
+/// (the server sees `|I(w)|`). All arrays for one database share a capacity
+/// so masked arrays are indistinguishable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DocBitSet {
+    bits: Vec<u8>,
+    capacity: usize,
+}
+
+impl DocBitSet {
+    /// Create an empty set able to hold ids `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        DocBitSet {
+            bits: vec![0u8; capacity.div_ceil(8)],
+            capacity,
+        }
+    }
+
+    /// Create from set ids. Ids `>= capacity` are rejected.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range (caller bug).
+    #[must_use]
+    pub fn from_ids(capacity: usize, ids: &[u64]) -> Self {
+        let mut s = Self::new(capacity);
+        for &id in ids {
+            s.set(id);
+        }
+        s
+    }
+
+    /// Capacity in bits (the largest representable id plus one).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Size of the byte representation.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Set the bit for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= capacity`.
+    pub fn set(&mut self, id: u64) {
+        let i = self.index(id);
+        self.bits[i.0] |= 1 << i.1;
+    }
+
+    /// Clear the bit for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id >= capacity`.
+    pub fn clear(&mut self, id: u64) {
+        let i = self.index(id);
+        self.bits[i.0] &= !(1 << i.1);
+    }
+
+    /// Toggle the bit for `id` (the XOR-update semantics).
+    ///
+    /// # Panics
+    /// Panics if `id >= capacity`.
+    pub fn toggle(&mut self, id: u64) {
+        let i = self.index(id);
+        self.bits[i.0] ^= 1 << i.1;
+    }
+
+    /// Test the bit for `id`; ids beyond capacity read as unset.
+    #[must_use]
+    pub fn contains(&self, id: u64) -> bool {
+        if id as usize >= self.capacity {
+            return false;
+        }
+        let (byte, bit) = self.index(id);
+        (self.bits[byte] >> bit) & 1 == 1
+    }
+
+    fn index(&self, id: u64) -> (usize, u32) {
+        let idx = usize::try_from(id).expect("doc id fits usize");
+        assert!(
+            idx < self.capacity,
+            "doc id {id} out of capacity {}",
+            self.capacity
+        );
+        (idx / 8, (idx % 8) as u32)
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True iff no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// XOR-merge another set into this one (the server-side update step
+    /// `I'(w) = I(w) XOR U(w)`).
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch — mixed-capacity arrays would desync the
+    /// masked representation on the server.
+    pub fn xor_with(&mut self, other: &DocBitSet) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "bitset capacity mismatch in XOR merge"
+        );
+        for (d, s) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *d ^= s;
+        }
+    }
+
+    /// Iterate over set ids in increasing order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(byte_i, &b)| {
+            (0..8u32).filter_map(move |bit| {
+                if (b >> bit) & 1 == 1 {
+                    let id = (byte_i * 8) as u64 + u64::from(bit);
+                    if (id as usize) < self.capacity {
+                        Some(id)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Collect set ids into a vector.
+    #[must_use]
+    pub fn to_ids(&self) -> Vec<u64> {
+        self.iter_ids().collect()
+    }
+
+    /// Raw byte view — what gets masked with `G(r)` on the wire.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Rebuild from raw bytes and a bit capacity.
+    ///
+    /// Bits beyond `capacity` in the final byte are cleared so equality and
+    /// iteration stay canonical after unmasking.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not exactly `ceil(capacity/8)` long.
+    #[must_use]
+    pub fn from_bytes(capacity: usize, bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            capacity.div_ceil(8),
+            "byte length does not match capacity"
+        );
+        let mut bits = bytes.to_vec();
+        let tail_bits = capacity % 8;
+        if tail_bits != 0 {
+            if let Some(last) = bits.last_mut() {
+                *last &= (1u8 << tail_bits) - 1;
+            }
+        }
+        DocBitSet {
+            bits,
+            capacity,
+        }
+    }
+
+    /// Grow capacity to `new_capacity` bits, preserving contents.
+    ///
+    /// # Panics
+    /// Panics when shrinking (would silently drop ids).
+    pub fn grow(&mut self, new_capacity: usize) {
+        assert!(
+            new_capacity >= self.capacity,
+            "cannot shrink a DocBitSet ({} -> {new_capacity})",
+            self.capacity
+        );
+        self.bits.resize(new_capacity.div_ceil(8), 0);
+        self.capacity = new_capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_contains_clear() {
+        let mut s = DocBitSet::new(100);
+        assert!(!s.contains(5));
+        s.set(5);
+        s.set(99);
+        assert!(s.contains(5));
+        assert!(s.contains(99));
+        assert_eq!(s.count(), 2);
+        s.clear(5);
+        assert!(!s.contains(5));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn toggle_adds_then_removes() {
+        let mut s = DocBitSet::new(16);
+        s.toggle(3);
+        assert!(s.contains(3));
+        s.toggle(3);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn set_out_of_range_panics() {
+        DocBitSet::new(8).set(8);
+    }
+
+    #[test]
+    fn contains_beyond_capacity_is_false() {
+        let s = DocBitSet::new(8);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn xor_merge_toggles_membership() {
+        // I(w) = {1, 4}; U(w) = {4, 7} -> I'(w) = {1, 7}: id 4 removed,
+        // id 7 added, exactly as the Scheme-1 server computes.
+        let mut i_w = DocBitSet::from_ids(16, &[1, 4]);
+        let u_w = DocBitSet::from_ids(16, &[4, 7]);
+        i_w.xor_with(&u_w);
+        assert_eq!(i_w.to_ids(), vec![1, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn xor_capacity_mismatch_panics() {
+        let mut a = DocBitSet::new(8);
+        let b = DocBitSet::new(16);
+        a.xor_with(&b);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete() {
+        let ids = [0u64, 7, 8, 15, 16, 63, 64, 127];
+        let s = DocBitSet::from_ids(128, &ids);
+        assert_eq!(s.to_ids(), ids.to_vec());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let s = DocBitSet::from_ids(20, &[0, 9, 19]);
+        let back = DocBitSet::from_bytes(20, s.as_bytes());
+        assert_eq!(back, s);
+        assert_eq!(s.byte_len(), 3);
+    }
+
+    #[test]
+    fn from_bytes_canonicalizes_tail_bits() {
+        // Unmasking can leave garbage in the unused tail bits; from_bytes
+        // must clear them so equality is canonical.
+        let bytes = [0xFFu8, 0xFF];
+        let s = DocBitSet::from_bytes(12, &bytes);
+        assert_eq!(s.count(), 12);
+        assert!(!s.contains(12));
+        assert!(!s.contains(15));
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut s = DocBitSet::from_ids(10, &[2, 9]);
+        s.grow(1000);
+        assert!(s.contains(2));
+        assert!(s.contains(9));
+        assert_eq!(s.count(), 2);
+        s.set(999);
+        assert!(s.contains(999));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn shrink_panics() {
+        DocBitSet::new(16).grow(8);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut s = DocBitSet::new(64);
+        assert!(s.is_empty());
+        s.set(33);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_fine() {
+        let s = DocBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.byte_len(), 0);
+        assert_eq!(s.to_ids(), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,177 @@
+//! Bloom filters, for the Goh (2003) "secure indexes" baseline.
+//!
+//! Goh's scheme (cited as \[12\] in the paper) attaches one Bloom filter per
+//! *document*; a search tests the trapdoor against every document's filter,
+//! giving the `O(n)` behaviour the paper improves on. The filter itself is
+//! a standard `m`-bit / `k`-hash Bloom filter; hash positions are derived
+//! by the Kirsch–Mitzenmacher double-hashing trick from a single SHA-256.
+
+use sse_primitives::sha256::sha256_concat;
+
+/// A fixed-size Bloom filter.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    m_bits: usize,
+    k_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Create a filter with `m_bits` bits and `k_hashes` probes per item.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    #[must_use]
+    pub fn new(m_bits: usize, k_hashes: u32) -> Self {
+        assert!(m_bits > 0, "Bloom filter needs at least one bit");
+        assert!(k_hashes > 0, "Bloom filter needs at least one hash");
+        BloomFilter {
+            bits: vec![0u8; m_bits.div_ceil(8)],
+            m_bits,
+            k_hashes,
+        }
+    }
+
+    /// Choose near-optimal parameters for `expected_items` at
+    /// `false_positive_rate` (standard formulas).
+    #[must_use]
+    pub fn with_rate(expected_items: usize, false_positive_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = false_positive_rate.clamp(1e-9, 0.5);
+        let m = (-(n * p.ln()) / (2f64.ln().powi(2))).ceil().max(8.0) as usize;
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 30.0) as u32;
+        Self::new(m, k)
+    }
+
+    /// Derive the two base hash values for double hashing.
+    fn base_hashes(&self, item: &[u8]) -> (u64, u64) {
+        let d = sha256_concat(&[b"sse/bloom", item]);
+        let h1 = u64::from_be_bytes(d[0..8].try_into().expect("slice is 8 bytes"));
+        let h2 = u64::from_be_bytes(d[8..16].try_into().expect("slice is 8 bytes"));
+        // h2 must be odd so successive probes cycle through the table.
+        (h1, h2 | 1)
+    }
+
+    fn positions<'a>(&'a self, item: &[u8]) -> impl Iterator<Item = usize> + 'a {
+        let (h1, h2) = self.base_hashes(item);
+        let m = self.m_bits as u64;
+        (0..self.k_hashes).map(move |i| {
+            (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % m) as usize
+        })
+    }
+
+    /// Insert an item.
+    pub fn insert(&mut self, item: &[u8]) {
+        let positions: Vec<usize> = self.positions(item).collect();
+        for pos in positions {
+            self.bits[pos / 8] |= 1 << (pos % 8);
+        }
+    }
+
+    /// Membership test (no false negatives; tunable false positives).
+    #[must_use]
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.positions(item)
+            .all(|pos| (self.bits[pos / 8] >> (pos % 8)) & 1 == 1)
+    }
+
+    /// Number of bits in the filter.
+    #[must_use]
+    pub fn m_bits(&self) -> usize {
+        self.m_bits
+    }
+
+    /// Number of hash probes per item.
+    #[must_use]
+    pub fn k_hashes(&self) -> u32 {
+        self.k_hashes
+    }
+
+    /// Fraction of bits set (diagnostic; ~0.5 at design load).
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: usize = self.bits.iter().map(|b| b.count_ones() as usize).sum();
+        ones as f64 / self.m_bits as f64
+    }
+
+    /// Byte footprint.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_rate(1000, 0.01);
+        let items: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        for item in &items {
+            f.insert(item);
+        }
+        for item in &items {
+            assert!(f.contains(item), "inserted item must be found");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_near_design_point() {
+        let mut f = BloomFilter::with_rate(1000, 0.01);
+        for i in 0..1000u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        let mut fp = 0usize;
+        let probes = 20_000u32;
+        for i in 0..probes {
+            let probe = (1_000_000 + i).to_be_bytes();
+            if f.contains(&probe) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / f64::from(probes);
+        assert!(rate < 0.03, "false-positive rate {rate} too high");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::new(1024, 5);
+        for i in 0..100u32 {
+            assert!(!f.contains(&i.to_be_bytes()));
+        }
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn parameter_selection_is_sane() {
+        let f = BloomFilter::with_rate(100, 0.01);
+        // ~9.6 bits/item, ~7 hashes at 1% target.
+        assert!(f.m_bits() >= 800 && f.m_bits() <= 1200, "m = {}", f.m_bits());
+        assert!(f.k_hashes() >= 5 && f.k_hashes() <= 9, "k = {}", f.k_hashes());
+    }
+
+    #[test]
+    fn fill_ratio_near_half_at_design_load() {
+        let mut f = BloomFilter::with_rate(500, 0.01);
+        for i in 0..500u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        let r = f.fill_ratio();
+        assert!((0.4..0.6).contains(&r), "fill ratio {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        let _ = BloomFilter::new(0, 3);
+    }
+
+    #[test]
+    fn tiny_filters_work() {
+        let mut f = BloomFilter::new(8, 2);
+        f.insert(b"x");
+        assert!(f.contains(b"x"));
+    }
+}

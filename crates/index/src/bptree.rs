@@ -1,0 +1,703 @@
+//! An in-memory B+-tree.
+//!
+//! The paper obtains its headline `O(log u)` search "assuming a tree
+//! structure for the searchable representations" (§5.1). The server in this
+//! workspace keeps exactly that structure: a B+-tree mapping the PRF tag
+//! `f_kw(w)` to the keyword's searchable representation. The tree is
+//! instrumented — [`BpTree::get_with_stats`] reports the number of node
+//! visits — so experiment E1 can *measure* the logarithmic depth rather
+//! than assert it.
+//!
+//! Values live only in leaves; internal nodes hold copies of separator keys.
+//! Branching factor is [`ORDER`] (children per internal node / entries per
+//! leaf).
+
+use std::fmt::Debug;
+
+/// Maximum children per internal node and entries per leaf.
+pub const ORDER: usize = 16;
+/// Minimum fill for non-root nodes.
+const MIN_FILL: usize = ORDER / 2;
+
+enum Node<K, V> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (keys `< keys[i]`) from
+        /// `children[i+1]` (keys `>= keys[i]`).
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+    Leaf {
+        entries: Vec<(K, V)>,
+    },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn new_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::with_capacity(ORDER),
+        }
+    }
+
+    fn len_for_fill(&self) -> usize {
+        match self {
+            Node::Internal { children, .. } => children.len(),
+            Node::Leaf { entries } => entries.len(),
+        }
+    }
+}
+
+/// Result of inserting into a subtree: a value was replaced, and/or the node
+/// split producing a new right sibling with its separator key.
+struct InsertOutcome<K, V> {
+    replaced: Option<V>,
+    split: Option<(K, Node<K, V>)>,
+}
+
+/// Lookup statistics for one point query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes visited root→leaf (equals tree height).
+    pub nodes_visited: usize,
+    /// Key comparisons performed (binary-search probes).
+    pub comparisons: usize,
+}
+
+/// A B+-tree map from `K` to `V`.
+pub struct BpTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BpTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BpTree<K, V> {
+    /// Create an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        BpTree {
+            root: Node::new_leaf(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the tree holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (number of levels; 1 for a lone leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+
+    /// Insert `key -> value`, returning the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let outcome = Self::insert_rec(&mut self.root, key, value);
+        if let Some((sep, right)) = outcome.split {
+            // Grow a new root.
+            let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+            self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            };
+        }
+        if outcome.replaced.is_none() {
+            self.len += 1;
+        }
+        outcome.replaced
+    }
+
+    fn insert_rec(node: &mut Node<K, V>, key: K, value: V) -> InsertOutcome<K, V> {
+        match node {
+            Node::Leaf { entries } => {
+                match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                    Ok(pos) => InsertOutcome {
+                        replaced: Some(std::mem::replace(&mut entries[pos].1, value)),
+                        split: None,
+                    },
+                    Err(pos) => {
+                        entries.insert(pos, (key, value));
+                        let split = if entries.len() > ORDER {
+                            let right_entries = entries.split_off(entries.len() / 2);
+                            let sep = right_entries[0].0.clone();
+                            Some((
+                                sep,
+                                Node::Leaf {
+                                    entries: right_entries,
+                                },
+                            ))
+                        } else {
+                            None
+                        };
+                        InsertOutcome {
+                            replaced: None,
+                            split,
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| *k <= key);
+                let outcome = Self::insert_rec(&mut children[idx], key, value);
+                let mut result = InsertOutcome {
+                    replaced: outcome.replaced,
+                    split: None,
+                };
+                if let Some((sep, right)) = outcome.split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if children.len() > ORDER {
+                        // Split this internal node: middle key moves up.
+                        let mid = keys.len() / 2;
+                        let up_key = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // remove the promoted key
+                        let right_children = children.split_off(mid + 1);
+                        result.split = Some((
+                            up_key,
+                            Node::Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            },
+                        ));
+                    }
+                }
+                result
+            }
+        }
+    }
+
+    /// Point lookup.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.get_with_stats(key).0
+    }
+
+    /// Point lookup with instrumentation (node visits, comparisons).
+    #[must_use]
+    pub fn get_with_stats(&self, key: &K) -> (Option<&V>, SearchStats) {
+        let mut stats = SearchStats {
+            nodes_visited: 0,
+            comparisons: 0,
+        };
+        let mut node = &self.root;
+        loop {
+            stats.nodes_visited += 1;
+            match node {
+                Node::Internal { keys, children } => {
+                    stats.comparisons += keys.len().max(1).ilog2() as usize + 1;
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &children[idx];
+                }
+                Node::Leaf { entries } => {
+                    stats.comparisons += entries.len().max(1).ilog2() as usize + 1;
+                    return match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                        Ok(pos) => (Some(&entries[pos].1), stats),
+                        Err(_) => (None, stats),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Mutable point lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k <= key);
+                    node = &mut children[idx];
+                }
+                Node::Leaf { entries } => {
+                    return match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                        Ok(pos) => Some(&mut entries[pos].1),
+                        Err(_) => None,
+                    };
+                }
+            }
+        }
+    }
+
+    /// True iff `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Shrink the root if it became a pass-through internal node.
+        if let Node::Internal { children, .. } = &mut self.root {
+            if children.len() == 1 {
+                let only = children.pop().expect("checked length 1");
+                self.root = only;
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<K, V>, key: &K) -> Option<V> {
+        match node {
+            Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(key)) {
+                Ok(pos) => Some(entries.remove(pos).1),
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k <= key);
+                let removed = Self::remove_rec(&mut children[idx], key)?;
+                if children[idx].len_for_fill() < MIN_FILL {
+                    Self::rebalance_child(keys, children, idx);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    /// Restore the fill invariant of `children[idx]` by borrowing from a
+    /// sibling or merging with one.
+    fn rebalance_child(keys: &mut Vec<K>, children: &mut Vec<Node<K, V>>, idx: usize) {
+        // Try borrowing from the left sibling.
+        if idx > 0 && children[idx - 1].len_for_fill() > MIN_FILL {
+            let (left_slice, right_slice) = children.split_at_mut(idx);
+            let left = &mut left_slice[idx - 1];
+            let cur = &mut right_slice[0];
+            match (left, cur) {
+                (Node::Leaf { entries: le }, Node::Leaf { entries: ce }) => {
+                    let moved = le.pop().expect("left leaf has > MIN_FILL entries");
+                    keys[idx - 1] = moved.0.clone();
+                    ce.insert(0, moved);
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                ) => {
+                    let moved_child = lc.pop().expect("left internal has children");
+                    let moved_key = lk.pop().expect("left internal has keys");
+                    let sep = std::mem::replace(&mut keys[idx - 1], moved_key);
+                    ck.insert(0, sep);
+                    cc.insert(0, moved_child);
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if idx + 1 < children.len() && children[idx + 1].len_for_fill() > MIN_FILL {
+            let (left_slice, right_slice) = children.split_at_mut(idx + 1);
+            let cur = &mut left_slice[idx];
+            let right = &mut right_slice[0];
+            match (cur, right) {
+                (Node::Leaf { entries: ce }, Node::Leaf { entries: re }) => {
+                    let moved = re.remove(0);
+                    ce.push(moved);
+                    keys[idx] = re[0].0.clone();
+                }
+                (
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    let moved_child = rc.remove(0);
+                    let moved_key = rk.remove(0);
+                    let sep = std::mem::replace(&mut keys[idx], moved_key);
+                    ck.push(sep);
+                    cc.push(moved_child);
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+            return;
+        }
+        // Merge with a sibling (prefer left).
+        let merge_left = idx > 0;
+        let (l, r) = if merge_left { (idx - 1, idx) } else { (idx, idx + 1) };
+        if r >= children.len() {
+            // Root with a single child after shrink: nothing to merge with;
+            // the caller collapses pass-through roots.
+            return;
+        }
+        let right_node = children.remove(r);
+        let sep = keys.remove(l);
+        match (&mut children[l], right_node) {
+            (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
+                le.extend(re);
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.extend(rk);
+                lc.extend(rc);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// In-order iteration over `(key, value)` references.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            stack: vec![Frame {
+                node: &self.root,
+                idx: 0,
+            }],
+        }
+    }
+
+    /// Iterate entries with keys in `[low, high)`.
+    pub fn range<'a>(&'a self, low: &'a K, high: &'a K) -> impl Iterator<Item = (&'a K, &'a V)> {
+        // Simplicity over speed: range scans are rare in the schemes (only
+        // diagnostics use them); full in-order traversal with a filter is
+        // acceptable and keeps deletion logic simple.
+        self.iter().filter(move |(k, _)| *k >= low && *k < high)
+    }
+
+    /// Total number of tree nodes (diagnostic).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        fn count<K, V>(n: &Node<K, V>) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Internal { children, .. } => {
+                    1 + children.iter().map(count).sum::<usize>()
+                }
+            }
+        }
+        count(&self.root)
+    }
+}
+
+impl<K: Ord + Clone + Debug, V> BpTree<K, V> {
+    /// Verify structural invariants (fill factors, key ordering, uniform
+    /// depth). Test/debug aid; panics with a description on violation.
+    pub fn check_invariants(&self) {
+        fn walk<K: Ord + Clone + Debug, V>(
+            node: &Node<K, V>,
+            lower: Option<&K>,
+            upper: Option<&K>,
+            is_root: bool,
+        ) -> usize {
+            match node {
+                Node::Leaf { entries } => {
+                    if !is_root {
+                        assert!(
+                            entries.len() >= MIN_FILL,
+                            "leaf underfilled: {} < {MIN_FILL}",
+                            entries.len()
+                        );
+                    }
+                    assert!(entries.len() <= ORDER, "leaf overfilled");
+                    for w in entries.windows(2) {
+                        assert!(w[0].0 < w[1].0, "leaf keys out of order");
+                    }
+                    if let (Some(lo), Some(first)) = (lower, entries.first()) {
+                        assert!(&first.0 >= lo, "leaf key below lower bound");
+                    }
+                    if let (Some(hi), Some(last)) = (upper, entries.last()) {
+                        assert!(&last.0 < hi, "leaf key above upper bound");
+                    }
+                    1
+                }
+                Node::Internal { keys, children } => {
+                    assert_eq!(keys.len() + 1, children.len(), "key/child arity");
+                    if !is_root {
+                        assert!(children.len() >= MIN_FILL, "internal underfilled");
+                    }
+                    assert!(children.len() <= ORDER, "internal overfilled");
+                    for w in keys.windows(2) {
+                        assert!(w[0] < w[1], "internal keys out of order");
+                    }
+                    let mut depth = None;
+                    for (i, child) in children.iter().enumerate() {
+                        let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
+                        let hi = if i == keys.len() { upper } else { Some(&keys[i]) };
+                        let d = walk(child, lo, hi, false);
+                        if let Some(prev) = depth {
+                            assert_eq!(prev, d, "unequal subtree depths");
+                        }
+                        depth = Some(d);
+                    }
+                    depth.expect("internal node has children") + 1
+                }
+            }
+        }
+        walk(&self.root, None, None, true);
+    }
+}
+
+struct Frame<'a, K, V> {
+    node: &'a Node<K, V>,
+    idx: usize,
+}
+
+/// In-order iterator over a [`BpTree`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<Frame<'a, K, V>>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let frame = self.stack.last_mut()?;
+            match frame.node {
+                Node::Leaf { entries } => {
+                    if frame.idx < entries.len() {
+                        let (k, v) = &entries[frame.idx];
+                        frame.idx += 1;
+                        return Some((k, v));
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { children, .. } => {
+                    if frame.idx < children.len() {
+                        let child = &children[frame.idx];
+                        frame.idx += 1;
+                        self.stack.push(Frame { node: child, idx: 0 });
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree_basics() {
+        let t: BpTree<u64, String> = BpTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = BpTree::new();
+        assert_eq!(t.insert(1u64, "a"), None);
+        assert_eq!(t.insert(2, "b"), None);
+        assert_eq!(t.insert(1, "c"), Some("a"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&1), Some(&"c"));
+        assert_eq!(t.get(&3), None);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BpTree::new();
+        t.insert(7u64, vec![1]);
+        t.get_mut(&7).unwrap().push(2);
+        assert_eq!(t.get(&7), Some(&vec![1, 2]));
+        assert!(t.get_mut(&8).is_none());
+    }
+
+    #[test]
+    fn many_inserts_stay_sorted_and_balanced() {
+        let mut t = BpTree::new();
+        let n = 10_000u64;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = (i * 2_654_435_761) % n;
+            t.insert(k, k * 10);
+        }
+        assert_eq!(t.len() as u64, n);
+        t.check_invariants();
+        let keys: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..n).collect::<Vec<_>>());
+        // Height must be logarithmic: log_8(10^4) < 6.
+        assert!(t.height() <= 6, "height {} too tall", t.height());
+        for probe in [0u64, 1, 4_999, 9_999] {
+            assert_eq!(t.get(&probe), Some(&(probe * 10)));
+        }
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut prev_height = 0;
+        for exp in [6u32, 8, 10, 12, 14] {
+            let n = 1u64 << exp;
+            let mut t = BpTree::new();
+            for i in 0..n {
+                t.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i);
+            }
+            let h = t.height();
+            assert!(h >= prev_height, "height should be monotone in n");
+            // ORDER/2=8 minimum fill: height <= log_8(n) + 2.
+            let bound = (n as f64).log(MIN_FILL as f64).ceil() as usize + 2;
+            assert!(h <= bound, "n={n}: height {h} > bound {bound}");
+            prev_height = h;
+        }
+    }
+
+    #[test]
+    fn search_stats_report_visits() {
+        let mut t = BpTree::new();
+        for i in 0..5000u64 {
+            t.insert(i, ());
+        }
+        let (found, stats) = t.get_with_stats(&1234);
+        assert!(found.is_some());
+        assert_eq!(stats.nodes_visited, t.height());
+        assert!(stats.comparisons > 0);
+    }
+
+    #[test]
+    fn remove_from_small_tree() {
+        let mut t = BpTree::new();
+        for i in 0..10u64 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.remove(&5), Some(5));
+        assert_eq!(t.remove(&5), None);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(&5), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_everything_in_insertion_order() {
+        let mut t = BpTree::new();
+        let n = 3000u64;
+        for i in 0..n {
+            t.insert(i, i);
+        }
+        for i in 0..n {
+            assert_eq!(t.remove(&i), Some(i), "removing {i}");
+            if i % 271 == 0 {
+                t.check_invariants();
+            }
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn remove_everything_in_reverse_order() {
+        let mut t = BpTree::new();
+        let n = 3000u64;
+        for i in 0..n {
+            t.insert(i, i);
+        }
+        for i in (0..n).rev() {
+            assert_eq!(t.remove(&i), Some(i));
+            if i % 271 == 0 {
+                t.check_invariants();
+            }
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn range_query_filters_correctly() {
+        let mut t = BpTree::new();
+        for i in 0..100u64 {
+            t.insert(i, i);
+        }
+        let r: Vec<u64> = t.range(&10, &20).map(|(k, _)| *k).collect();
+        assert_eq!(r, (10..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_with_byte_array_keys() {
+        // The production key type: 32-byte PRF tags.
+        let mut t: BpTree<[u8; 32], u64> = BpTree::new();
+        for i in 0..500u64 {
+            let mut k = [0u8; 32];
+            k[..8].copy_from_slice(&i.to_be_bytes());
+            k[8] = (i % 7) as u8;
+            t.insert(k, i);
+        }
+        assert_eq!(t.len(), 500);
+        let mut probe = [0u8; 32];
+        probe[..8].copy_from_slice(&123u64.to_be_bytes());
+        probe[8] = (123 % 7) as u8;
+        assert_eq!(t.get(&probe), Some(&123));
+        t.check_invariants();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Against the std BTreeMap oracle: arbitrary interleavings of
+        /// insert/remove/get produce identical observable behaviour.
+        #[test]
+        fn behaves_like_btreemap(ops in prop::collection::vec(
+            (0u8..3, 0u16..512, 0u32..1000), 1..400)) {
+            let mut ours: BpTree<u16, u32> = BpTree::new();
+            let mut oracle: BTreeMap<u16, u32> = BTreeMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => prop_assert_eq!(ours.insert(k, v), oracle.insert(k, v)),
+                    1 => prop_assert_eq!(ours.remove(&k), oracle.remove(&k)),
+                    _ => prop_assert_eq!(ours.get(&k), oracle.get(&k)),
+                }
+                prop_assert_eq!(ours.len(), oracle.len());
+            }
+            ours.check_invariants();
+            let got: Vec<(u16, u32)> = ours.iter().map(|(k, v)| (*k, *v)).collect();
+            let want: Vec<(u16, u32)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Height stays logarithmic for random key sets.
+        #[test]
+        fn height_is_logarithmic(keys in prop::collection::hash_set(any::<u64>(), 100..2000)) {
+            let mut t = BpTree::new();
+            for &k in &keys {
+                t.insert(k, ());
+            }
+            let n = keys.len() as f64;
+            let bound = n.log(MIN_FILL as f64).ceil() as usize + 2;
+            prop_assert!(t.height() <= bound,
+                "height {} exceeds bound {} for n={}", t.height(), bound, keys.len());
+        }
+    }
+}

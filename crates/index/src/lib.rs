@@ -1,0 +1,24 @@
+//! # sse-index
+//!
+//! Server-side index substrates for the SSE reproduction.
+//!
+//! The paper's server stores one *searchable representation* per unique
+//! keyword and must locate it in `O(log u)` ("assuming a tree structure for
+//! the searchable representations", §5.1). This crate supplies:
+//!
+//! * [`bitset`] — the growable document-id bit array `I(w)` of Scheme 1,
+//!   with the XOR-merge semantics the update protocol relies on;
+//! * [`bptree`] — an in-memory B+-tree keyed by 32-byte PRF tags, with
+//!   instrumentation (node visits per lookup) so the `O(log u)` claim is
+//!   *measured*, not assumed;
+//! * [`postings`] — the append-only masked generation lists of Scheme 2,
+//!   including the decrypted-prefix cache of Optimization 1;
+//! * [`bloom`] — Bloom filters for the Goh (2003) per-document baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod bloom;
+pub mod bptree;
+pub mod postings;

@@ -1,0 +1,196 @@
+//! Masked posting-list *generations* for Scheme 2.
+//!
+//! After `j` updates, the searchable representation of a keyword is
+//! `S(w) = (f_kw(w), E_{k1}(I_1), f'(k_1), ..., E_{kj}(I_j), f'(k_j))`
+//! (§5.5): an append-only list of encrypted document-id batches, each
+//! accompanied by a *commitment* `f'(k_i)` to the key that masks it. The
+//! server appends blindly on update, and on search walks the hash chain
+//! forward (from the trapdoor's key) matching commitments to unlock each
+//! generation.
+//!
+//! Optimization 1 (§5.6) is also housed here: once a generation has been
+//! decrypted during a search, the server caches the plaintext ids so a
+//! later search only decrypts generations added since.
+
+/// One masked generation: an encrypted batch of document ids plus the
+/// commitment to its masking key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Generation {
+    /// `E_{k_i}(I_i(w))` — opaque to the server until a search reveals `k_i`.
+    pub masked_ids: Vec<u8>,
+    /// `f'(k_i)` — lets the server recognize `k_i` while walking the chain.
+    pub key_commitment: [u8; 32],
+}
+
+/// The generation list for one keyword, with the Optimization-1 cache.
+#[derive(Clone, Debug, Default)]
+pub struct GenerationList {
+    generations: Vec<Generation>,
+    /// Plaintext ids recovered by previous searches (Optimization 1).
+    cached_ids: Vec<u64>,
+    /// How many leading generations `cached_ids` covers.
+    cached_upto: usize,
+}
+
+impl GenerationList {
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a generation (server side of `MetadataStorage`).
+    pub fn push(&mut self, generation: Generation) {
+        self.generations.push(generation);
+    }
+
+    /// Total number of generations ever appended.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.generations.len()
+    }
+
+    /// True iff no generation has been appended.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.generations.is_empty()
+    }
+
+    /// The generations *not yet* covered by the plaintext cache — exactly
+    /// the ones a new search still has to decrypt (Optimization 1).
+    #[must_use]
+    pub fn undecrypted(&self) -> &[Generation] {
+        &self.generations[self.cached_upto..]
+    }
+
+    /// Number of generations the cache already covers.
+    #[must_use]
+    pub fn cached_generations(&self) -> usize {
+        self.cached_upto
+    }
+
+    /// The cached plaintext ids (server-visible after prior searches).
+    #[must_use]
+    pub fn cached_ids(&self) -> &[u64] {
+        &self.cached_ids
+    }
+
+    /// Record the plaintext ids recovered for the currently-undecrypted
+    /// suffix, extending the cache to cover the whole list.
+    ///
+    /// `newly_decrypted` are the ids from `undecrypted()` in order; they are
+    /// appended to the cache and deduplicated (a doc id can legitimately
+    /// appear in several generations; the paper's list semantics make the
+    /// posting set their union).
+    pub fn absorb_decrypted(&mut self, newly_decrypted: &[u64]) {
+        for &id in newly_decrypted {
+            if !self.cached_ids.contains(&id) {
+                self.cached_ids.push(id);
+            }
+        }
+        self.cached_upto = self.generations.len();
+    }
+
+    /// Replace the cached plaintext state wholesale with an already-applied
+    /// id set and mark every generation covered. Used when generations
+    /// carry add *and* delete entries (the deletion extension), where the
+    /// caller applies them in chronological order itself.
+    pub fn set_cached(&mut self, ids: Vec<u64>) {
+        self.cached_ids = ids;
+        self.cached_upto = self.generations.len();
+    }
+
+    /// Clear the plaintext cache (used when re-keying after chain
+    /// exhaustion, and by the no-optimization experiment arms).
+    pub fn clear_cache(&mut self) {
+        self.cached_ids.clear();
+        self.cached_upto = 0;
+    }
+
+    /// Iterate all generations (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &Generation> {
+        self.generations.iter()
+    }
+
+    /// Byte footprint of the stored representation (for storage accounting).
+    #[must_use]
+    pub fn stored_bytes(&self) -> usize {
+        self.generations
+            .iter()
+            .map(|g| g.masked_ids.len() + g.key_commitment.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generation(tag: u8, len: usize) -> Generation {
+        Generation {
+            masked_ids: vec![tag; len],
+            key_commitment: [tag; 32],
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut l = GenerationList::new();
+        assert!(l.is_empty());
+        l.push(generation(1, 10));
+        l.push(generation(2, 20));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.undecrypted().len(), 2);
+        assert_eq!(l.stored_bytes(), 10 + 32 + 20 + 32);
+    }
+
+    #[test]
+    fn cache_covers_decrypted_prefix() {
+        let mut l = GenerationList::new();
+        l.push(generation(1, 4));
+        l.push(generation(2, 4));
+        l.absorb_decrypted(&[10, 11]);
+        assert_eq!(l.cached_ids(), &[10, 11]);
+        assert_eq!(l.undecrypted().len(), 0);
+        assert_eq!(l.cached_generations(), 2);
+
+        // New generations appear after the cache point.
+        l.push(generation(3, 4));
+        assert_eq!(l.undecrypted().len(), 1);
+        assert_eq!(l.undecrypted()[0], generation(3, 4));
+
+        l.absorb_decrypted(&[12]);
+        assert_eq!(l.cached_ids(), &[10, 11, 12]);
+        assert_eq!(l.undecrypted().len(), 0);
+    }
+
+    #[test]
+    fn absorb_deduplicates_ids() {
+        let mut l = GenerationList::new();
+        l.push(generation(1, 4));
+        l.absorb_decrypted(&[5, 6]);
+        l.push(generation(2, 4));
+        l.absorb_decrypted(&[6, 7]);
+        assert_eq!(l.cached_ids(), &[5, 6, 7]);
+    }
+
+    #[test]
+    fn clear_cache_resets_progress() {
+        let mut l = GenerationList::new();
+        l.push(generation(1, 4));
+        l.absorb_decrypted(&[1]);
+        l.clear_cache();
+        assert_eq!(l.cached_ids(), &[] as &[u64]);
+        assert_eq!(l.undecrypted().len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_append_order() {
+        let mut l = GenerationList::new();
+        for i in 0..5u8 {
+            l.push(generation(i, 2));
+        }
+        let tags: Vec<u8> = l.iter().map(|g| g.masked_ids[0]).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4]);
+    }
+}

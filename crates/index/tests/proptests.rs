@@ -1,0 +1,80 @@
+//! Property-based tests for the index structures beyond the B+-tree's
+//! in-module suite: bitset XOR algebra and Bloom-filter guarantees.
+
+use proptest::prelude::*;
+use sse_index::bitset::DocBitSet;
+use sse_index::bloom::BloomFilter;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// XOR-merging two id sets equals their symmetric difference — the law
+    /// the whole Scheme 1 update protocol rests on.
+    #[test]
+    fn bitset_xor_is_symmetric_difference(
+        a in prop::collection::btree_set(0u64..256, 0..40),
+        b in prop::collection::btree_set(0u64..256, 0..40),
+    ) {
+        let ids_a: Vec<u64> = a.iter().copied().collect();
+        let ids_b: Vec<u64> = b.iter().copied().collect();
+        let mut sa = DocBitSet::from_ids(256, &ids_a);
+        let sb = DocBitSet::from_ids(256, &ids_b);
+        sa.xor_with(&sb);
+        let expect: BTreeSet<u64> = a.symmetric_difference(&b).copied().collect();
+        prop_assert_eq!(sa.to_ids().into_iter().collect::<BTreeSet<_>>(), expect);
+    }
+
+    #[test]
+    fn bitset_bytes_round_trip_canonically(
+        ids in prop::collection::btree_set(0u64..100, 0..30),
+        capacity in 100usize..150,
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let s = DocBitSet::from_ids(capacity, &ids);
+        let back = DocBitSet::from_bytes(capacity, s.as_bytes());
+        prop_assert_eq!(&back, &s);
+        prop_assert_eq!(back.to_ids(), ids);
+    }
+
+    #[test]
+    fn bitset_xor_is_involutive(
+        a in prop::collection::btree_set(0u64..128, 0..30),
+        b in prop::collection::btree_set(0u64..128, 0..30),
+    ) {
+        let ids_a: Vec<u64> = a.iter().copied().collect();
+        let ids_b: Vec<u64> = b.iter().copied().collect();
+        let orig = DocBitSet::from_ids(128, &ids_a);
+        let delta = DocBitSet::from_ids(128, &ids_b);
+        let mut s = orig.clone();
+        s.xor_with(&delta);
+        s.xor_with(&delta);
+        prop_assert_eq!(s, orig);
+    }
+
+    /// Bloom filters never produce false negatives, for any item set.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        items in prop::collection::btree_set(prop::collection::vec(any::<u8>(), 1..20), 1..100),
+    ) {
+        let mut f = BloomFilter::with_rate(items.len(), 0.01);
+        for item in &items {
+            f.insert(item);
+        }
+        for item in &items {
+            prop_assert!(f.contains(item));
+        }
+    }
+
+    #[test]
+    fn bitset_grow_preserves_semantics(
+        ids in prop::collection::btree_set(0u64..64, 0..20),
+        extra in 0usize..512,
+    ) {
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let mut s = DocBitSet::from_ids(64, &ids);
+        s.grow(64 + extra);
+        prop_assert_eq!(s.to_ids(), ids);
+        prop_assert_eq!(s.capacity(), 64 + extra);
+    }
+}

@@ -1,0 +1,159 @@
+//! Length-prefixed message framing for the byte-stream transport.
+//!
+//! `[len: u32 LE][body]`. The decoder accepts bytes in arbitrary chunks
+//! (as a TCP stream would deliver them) and yields complete frames.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Maximum frame body size (64 MiB) — matches the wire codec's field limit.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Encode one frame.
+#[must_use]
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    assert!(
+        body.len() <= MAX_FRAME_LEN as usize,
+        "frame body too large: {}",
+        body.len()
+    );
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_u32_le(body.len() as u32);
+    out.put_slice(body);
+    out.to_vec()
+}
+
+/// Incremental frame decoder.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+/// Decoder failure: a peer declared an oversized frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The declared body length.
+    pub declared: u32,
+}
+
+impl std::fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame body of {} bytes exceeds limit", self.declared)
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+impl FrameDecoder {
+    /// New empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed received bytes into the decoder.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    /// [`FrameTooLarge`] when the length prefix exceeds [`MAX_FRAME_LEN`];
+    /// the decoder is then poisoned and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLarge> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(FrameTooLarge { declared: len });
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let body = self.buf.split_to(len as usize);
+        Ok(Some(body.to_vec()))
+    }
+
+    /// Bytes buffered but not yet consumed.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_round_trip() {
+        let mut d = FrameDecoder::new();
+        d.push(&encode_frame(b"hello"));
+        assert_eq!(d.next_frame().unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let mut d = FrameDecoder::new();
+        d.push(&encode_frame(b""));
+        assert_eq!(d.next_frame().unwrap(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn fragmented_delivery() {
+        let frame = encode_frame(b"fragmented message body");
+        let mut d = FrameDecoder::new();
+        for chunk in frame.chunks(3) {
+            d.push(chunk);
+        }
+        assert_eq!(
+            d.next_frame().unwrap(),
+            Some(b"fragmented message body".to_vec())
+        );
+    }
+
+    #[test]
+    fn coalesced_frames() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(b"one"));
+        stream.extend_from_slice(&encode_frame(b"two"));
+        stream.extend_from_slice(&encode_frame(b"three"));
+        let mut d = FrameDecoder::new();
+        d.push(&stream);
+        assert_eq!(d.next_frame().unwrap(), Some(b"one".to_vec()));
+        assert_eq!(d.next_frame().unwrap(), Some(b"two".to_vec()));
+        assert_eq!(d.next_frame().unwrap(), Some(b"three".to_vec()));
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_header_waits() {
+        let mut d = FrameDecoder::new();
+        d.push(&[5, 0]);
+        assert_eq!(d.next_frame().unwrap(), None);
+        d.push(&[0, 0]);
+        assert_eq!(d.next_frame().unwrap(), None); // header complete, body missing
+        d.push(b"abcde");
+        assert_eq!(d.next_frame().unwrap(), Some(b"abcde".to_vec()));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut d = FrameDecoder::new();
+        d.push(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn encode_rejects_oversized_body() {
+        // Use a fake huge slice length via a zero-filled vec just over limit.
+        let body = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let _ = encode_frame(&body);
+    }
+}

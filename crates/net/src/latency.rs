@@ -1,0 +1,137 @@
+//! Network latency model.
+//!
+//! Converts a metered transcript ([`MeterSnapshot`]) into simulated
+//! wall-clock time: `rounds * RTT + bytes / bandwidth`. This is how the
+//! paper's qualitative claim — "the time delay due to the second round of
+//! communication" matters for thin links but not broadband (§6) — becomes a
+//! quantitative experiment (E3): the same protocol transcript is priced
+//! under different link profiles.
+
+use crate::meter::MeterSnapshot;
+use std::time::Duration;
+
+/// A symmetric link profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkProfile {
+    /// Round-trip time charged per protocol round.
+    pub rtt: Duration,
+    /// Link bandwidth in bytes/second (both directions), `None` = infinite.
+    pub bandwidth_bps: Option<u64>,
+    /// Profile name for experiment output.
+    pub name: &'static str,
+}
+
+impl LinkProfile {
+    /// A domestic broadband link: 20 ms RTT, 100 Mbit/s.
+    #[must_use]
+    pub fn broadband() -> Self {
+        LinkProfile {
+            rtt: Duration::from_millis(20),
+            bandwidth_bps: Some(12_500_000),
+            name: "broadband",
+        }
+    }
+
+    /// A 2010-era mobile link (the paper's traveler): 300 ms RTT, 1 Mbit/s.
+    #[must_use]
+    pub fn mobile() -> Self {
+        LinkProfile {
+            rtt: Duration::from_millis(300),
+            bandwidth_bps: Some(125_000),
+            name: "mobile",
+        }
+    }
+
+    /// A LAN link: 1 ms RTT, 1 Gbit/s.
+    #[must_use]
+    pub fn lan() -> Self {
+        LinkProfile {
+            rtt: Duration::from_millis(1),
+            bandwidth_bps: Some(125_000_000),
+            name: "lan",
+        }
+    }
+
+    /// Zero-cost link (isolates computation in experiments).
+    #[must_use]
+    pub fn free() -> Self {
+        LinkProfile {
+            rtt: Duration::ZERO,
+            bandwidth_bps: None,
+            name: "free",
+        }
+    }
+
+    /// Simulated time to execute a transcript over this link.
+    #[must_use]
+    pub fn simulate(&self, transcript: &MeterSnapshot) -> Duration {
+        let round_cost = self.rtt * u32::try_from(transcript.rounds).unwrap_or(u32::MAX);
+        let transfer_cost = match self.bandwidth_bps {
+            None => Duration::ZERO,
+            Some(bps) => {
+                let bytes = transcript.bytes_total();
+                Duration::from_secs_f64(bytes as f64 / bps as f64)
+            }
+        };
+        round_cost + transfer_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transcript(rounds: u64, up: u64, down: u64) -> MeterSnapshot {
+        MeterSnapshot {
+            rounds,
+            bytes_up: up,
+            bytes_down: down,
+        }
+    }
+
+    #[test]
+    fn rtt_dominates_small_messages() {
+        let p = LinkProfile::mobile();
+        let one_round = p.simulate(&transcript(1, 100, 100));
+        let two_rounds = p.simulate(&transcript(2, 100, 100));
+        assert!(two_rounds > one_round);
+        // The extra round costs ~one RTT.
+        let diff = two_rounds - one_round;
+        assert_eq!(diff, Duration::from_millis(300));
+    }
+
+    #[test]
+    fn bandwidth_charges_for_bytes() {
+        let p = LinkProfile {
+            rtt: Duration::ZERO,
+            bandwidth_bps: Some(1000),
+            name: "test",
+        };
+        let t = p.simulate(&transcript(1, 500, 500));
+        assert_eq!(t, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn free_link_is_free() {
+        let p = LinkProfile::free();
+        assert_eq!(p.simulate(&transcript(10, 1 << 30, 1 << 30)), Duration::ZERO);
+    }
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        let t = transcript(2, 10_000, 10_000);
+        let lan = LinkProfile::lan().simulate(&t);
+        let broadband = LinkProfile::broadband().simulate(&t);
+        let mobile = LinkProfile::mobile().simulate(&t);
+        assert!(lan < broadband);
+        assert!(broadband < mobile);
+    }
+
+    #[test]
+    fn empty_transcript_is_instant() {
+        assert_eq!(
+            LinkProfile::mobile().simulate(&MeterSnapshot::default()),
+            Duration::ZERO
+        );
+    }
+}

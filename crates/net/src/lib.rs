@@ -1,0 +1,29 @@
+//! # sse-net
+//!
+//! Client↔server transport simulation.
+//!
+//! The paper's two schemes differ in *communication rounds* (Table 1:
+//! Scheme 1 needs two rounds per search/update, Scheme 2 one) and in
+//! *bandwidth* (Scheme 1 ships a full bit-array per updated keyword). The
+//! authors had no testbed; to turn their analytical claims into
+//! measurements this crate provides:
+//!
+//! * [`wire`] — a compact, dependency-free binary codec for protocol
+//!   messages;
+//! * [`frame`] — length-prefixed framing over [`bytes`] buffers, for the
+//!   threaded transport;
+//! * [`meter`] — round/byte accounting shared by all protocol runs — the
+//!   data source for experiments E3 and E4;
+//! * [`link`] — [`link::MeteredLink`], the synchronous request/response
+//!   channel the schemes run over, and a threaded [`link::Duplex`] variant;
+//! * [`latency`] — converts a metered transcript into simulated wall-clock
+//!   time under a configurable RTT/bandwidth model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod latency;
+pub mod link;
+pub mod meter;
+pub mod wire;

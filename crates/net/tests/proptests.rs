@@ -1,0 +1,113 @@
+//! Property-based tests for the transport layer: frame decoding under
+//! arbitrary chunking, and wire-codec round trips for arbitrary field
+//! sequences.
+
+use proptest::prelude::*;
+use sse_net::frame::{encode_frame, FrameDecoder};
+use sse_net::wire::{WireReader, WireWriter};
+
+/// A field in a synthetic wire message.
+#[derive(Clone, Debug)]
+enum Field {
+    U8(u8),
+    U32(u32),
+    U64(u64),
+    Bytes(Vec<u8>),
+    U64Vec(Vec<u64>),
+}
+
+fn field_strategy() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<u8>().prop_map(Field::U8),
+        any::<u32>().prop_map(Field::U32),
+        any::<u64>().prop_map(Field::U64),
+        prop::collection::vec(any::<u8>(), 0..100).prop_map(Field::Bytes),
+        prop::collection::vec(any::<u64>(), 0..20).prop_map(Field::U64Vec),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_round_trips_arbitrary_field_sequences(
+        fields in prop::collection::vec(field_strategy(), 0..20)
+    ) {
+        let mut w = WireWriter::new();
+        for f in &fields {
+            match f {
+                Field::U8(v) => { w.put_u8(*v); }
+                Field::U32(v) => { w.put_u32(*v); }
+                Field::U64(v) => { w.put_u64(*v); }
+                Field::Bytes(v) => { w.put_bytes(v); }
+                Field::U64Vec(v) => { w.put_u64_vec(v); }
+            }
+        }
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        for f in &fields {
+            match f {
+                Field::U8(v) => prop_assert_eq!(r.get_u8().unwrap(), *v),
+                Field::U32(v) => prop_assert_eq!(r.get_u32().unwrap(), *v),
+                Field::U64(v) => prop_assert_eq!(r.get_u64().unwrap(), *v),
+                Field::Bytes(v) => prop_assert_eq!(r.get_bytes().unwrap(), &v[..]),
+                Field::U64Vec(v) => prop_assert_eq!(&r.get_u64_vec().unwrap(), v),
+            }
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_wire_messages_never_panic(
+        fields in prop::collection::vec(field_strategy(), 1..10),
+        cut in any::<usize>(),
+    ) {
+        let mut w = WireWriter::new();
+        for f in &fields {
+            match f {
+                Field::U8(v) => { w.put_u8(*v); }
+                Field::U32(v) => { w.put_u32(*v); }
+                Field::U64(v) => { w.put_u64(*v); }
+                Field::Bytes(v) => { w.put_bytes(v); }
+                Field::U64Vec(v) => { w.put_u64_vec(v); }
+            }
+        }
+        let buf = w.finish();
+        let cut = cut % (buf.len() + 1);
+        // Reading the truncated buffer must return errors, never panic.
+        let mut r = WireReader::new(&buf[..cut]);
+        for f in &fields {
+            let res = match f {
+                Field::U8(_) => r.get_u8().map(|_| ()),
+                Field::U32(_) => r.get_u32().map(|_| ()),
+                Field::U64(_) => r.get_u64().map(|_| ()),
+                Field::Bytes(_) => r.get_bytes().map(|_| ()),
+                Field::U64Vec(_) => r.get_u64_vec().map(|_| ()),
+            };
+            if res.is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_chunking(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..10),
+        chunk_size in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for b in &bodies {
+            stream.extend_from_slice(&encode_frame(b));
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(chunk_size) {
+            decoder.push(chunk);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, bodies);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+}

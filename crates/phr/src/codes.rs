@@ -1,0 +1,147 @@
+//! A compact synthetic medical vocabulary.
+//!
+//! Real PHR systems key their records with coding systems (ICD, ATC,
+//! SNOMED); those code lists are licensed, so this module carries a small
+//! free-standing vocabulary with the same *shape*: short code-like strings
+//! in three families. The workload generator samples them Zipf-distributed,
+//! mirroring how a handful of common conditions dominate real records.
+
+/// Condition codes (the "diagnosis" family).
+pub const CONDITIONS: &[&str] = &[
+    "cond:hypertension",
+    "cond:influenza",
+    "cond:diabetes-t2",
+    "cond:asthma",
+    "cond:back-pain",
+    "cond:migraine",
+    "cond:eczema",
+    "cond:anxiety",
+    "cond:depression",
+    "cond:otitis-media",
+    "cond:sinusitis",
+    "cond:bronchitis",
+    "cond:uti",
+    "cond:gerd",
+    "cond:allergic-rhinitis",
+    "cond:hyperlipidemia",
+    "cond:hypothyroidism",
+    "cond:osteoarthritis",
+    "cond:copd",
+    "cond:anemia",
+    "cond:gout",
+    "cond:psoriasis",
+    "cond:insomnia",
+    "cond:obesity",
+    "cond:tonsillitis",
+    "cond:conjunctivitis",
+    "cond:dermatitis",
+    "cond:gastroenteritis",
+    "cond:pneumonia",
+    "cond:sprain-ankle",
+    "cond:fracture-wrist",
+    "cond:concussion",
+    "cond:vertigo",
+    "cond:palpitations",
+    "cond:afib",
+    "cond:angina",
+    "cond:ckd",
+    "cond:hepatitis-b",
+    "cond:measles",
+    "cond:chickenpox",
+];
+
+/// Medication codes (the "prescription" family).
+pub const MEDICATIONS: &[&str] = &[
+    "med:paracetamol",
+    "med:ibuprofen",
+    "med:amoxicillin",
+    "med:metformin",
+    "med:lisinopril",
+    "med:atorvastatin",
+    "med:salbutamol",
+    "med:omeprazole",
+    "med:levothyroxine",
+    "med:sertraline",
+    "med:amlodipine",
+    "med:metoprolol",
+    "med:prednisone",
+    "med:azithromycin",
+    "med:cetirizine",
+    "med:insulin-glargine",
+    "med:warfarin",
+    "med:clopidogrel",
+    "med:tramadol",
+    "med:diazepam",
+    "med:fluoxetine",
+    "med:doxycycline",
+    "med:naproxen",
+    "med:ranitidine",
+    "med:hydrochlorothiazide",
+];
+
+/// Procedure / encounter codes.
+pub const PROCEDURES: &[&str] = &[
+    "proc:annual-checkup",
+    "proc:blood-panel",
+    "proc:x-ray",
+    "proc:mri",
+    "proc:ecg",
+    "proc:vaccination-flu",
+    "proc:vaccination-tetanus",
+    "proc:vaccination-hepb",
+    "proc:vaccination-mmr",
+    "proc:spirometry",
+    "proc:ultrasound",
+    "proc:biopsy",
+    "proc:colonoscopy",
+    "proc:physiotherapy",
+    "proc:suture",
+];
+
+/// The full vocabulary, concatenated (conditions, medications, procedures).
+#[must_use]
+pub fn full_vocabulary() -> Vec<&'static str> {
+    CONDITIONS
+        .iter()
+        .chain(MEDICATIONS.iter())
+        .chain(PROCEDURES.iter())
+        .copied()
+        .collect()
+}
+
+/// A synthetic open-ended vocabulary for scaling experiments that need more
+/// unique keywords than the curated lists provide: `kw-0000`, `kw-0001`, …
+#[must_use]
+pub fn synthetic_vocabulary(size: usize) -> Vec<String> {
+    (0..size).map(|i| format!("kw-{i:05}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_nonempty_and_unique() {
+        let v = full_vocabulary();
+        assert_eq!(v.len(), CONDITIONS.len() + MEDICATIONS.len() + PROCEDURES.len());
+        let set: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(set.len(), v.len(), "no duplicate codes");
+    }
+
+    #[test]
+    fn families_are_prefixed() {
+        assert!(CONDITIONS.iter().all(|c| c.starts_with("cond:")));
+        assert!(MEDICATIONS.iter().all(|c| c.starts_with("med:")));
+        assert!(PROCEDURES.iter().all(|c| c.starts_with("proc:")));
+    }
+
+    #[test]
+    fn synthetic_vocabulary_scales() {
+        let v = synthetic_vocabulary(1000);
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v[0], "kw-00000");
+        assert_eq!(v[999], "kw-00999");
+        let set: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(set.len(), 1000);
+    }
+}

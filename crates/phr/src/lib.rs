@@ -1,0 +1,29 @@
+//! # sse-phr
+//!
+//! The paper's §6 application: **PHR+**, a privacy-enhanced personal health
+//! record system where medical records are stored on an honest-but-curious
+//! server under searchable encryption.
+//!
+//! * [`codes`] — a compact synthetic medical vocabulary (conditions,
+//!   medications, procedures) standing in for the coding systems a real
+//!   PHR would use; see DESIGN.md §4 on this substitution.
+//! * [`record`] — the medical-record model and its mapping onto the
+//!   schemes' `Document` type (payload = serialized record, keywords =
+//!   codes + record type).
+//! * [`zipf`] — a Zipf sampler: real keyword frequencies are heavy-tailed,
+//!   and the experiments need that shape.
+//! * [`workload`] — corpus and session generators for the paper's two
+//!   usage profiles: the *traveler* (bulk store, occasional searches —
+//!   Scheme 1 territory) and the *GP* (update/search interleaved every
+//!   visit — Scheme 2 territory).
+//! * [`system`] — [`system::PhrSystem`]: a small façade exposing
+//!   store-record / find-by-code over either scheme.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codes;
+pub mod record;
+pub mod system;
+pub mod workload;
+pub mod zipf;

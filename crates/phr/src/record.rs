@@ -1,0 +1,173 @@
+//! The medical-record model and its mapping to scheme documents.
+
+use sse_core::types::{DocId, Document, Keyword};
+use sse_net::wire::{WireReader, WireWriter};
+
+/// Kind of medical record (also indexed as a keyword, so a GP can ask for
+/// e.g. all vaccination records).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A consultation note.
+    Consultation,
+    /// A laboratory result.
+    LabResult,
+    /// A prescription.
+    Prescription,
+    /// A vaccination entry (the §6 traveler's use case).
+    Vaccination,
+}
+
+impl RecordKind {
+    /// The keyword under which this kind is indexed.
+    #[must_use]
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            RecordKind::Consultation => "kind:consultation",
+            RecordKind::LabResult => "kind:lab-result",
+            RecordKind::Prescription => "kind:prescription",
+            RecordKind::Vaccination => "kind:vaccination",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            RecordKind::Consultation => 0,
+            RecordKind::LabResult => 1,
+            RecordKind::Prescription => 2,
+            RecordKind::Vaccination => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => RecordKind::Consultation,
+            1 => RecordKind::LabResult,
+            2 => RecordKind::Prescription,
+            3 => RecordKind::Vaccination,
+            _ => return None,
+        })
+    }
+}
+
+/// One medical record in a PHR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MedicalRecord {
+    /// Record identifier (becomes the scheme's document id).
+    pub id: DocId,
+    /// Kind of record.
+    pub kind: RecordKind,
+    /// Day number (days since an epoch; a real system would use dates).
+    pub day: u32,
+    /// Medical codes attached to the record — these are the searchable
+    /// keywords.
+    pub codes: Vec<String>,
+    /// Free-text note (encrypted payload only, never indexed).
+    pub note: String,
+}
+
+impl MedicalRecord {
+    /// Serialize the payload (everything the server stores encrypted).
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.id)
+            .put_u8(self.kind.to_u8())
+            .put_u32(self.day)
+            .put_u64(self.codes.len() as u64);
+        for c in &self.codes {
+            w.put_bytes(c.as_bytes());
+        }
+        w.put_bytes(self.note.as_bytes());
+        w.finish()
+    }
+
+    /// Parse a payload back into a record.
+    #[must_use]
+    pub fn from_payload(bytes: &[u8]) -> Option<Self> {
+        let mut r = WireReader::new(bytes);
+        let id = r.get_u64().ok()?;
+        let kind = RecordKind::from_u8(r.get_u8().ok()?)?;
+        let day = r.get_u32().ok()?;
+        let n = r.get_u64().ok()? as usize;
+        let mut codes = Vec::with_capacity(n);
+        for _ in 0..n {
+            codes.push(String::from_utf8(r.get_bytes().ok()?.to_vec()).ok()?);
+        }
+        let note = String::from_utf8(r.get_bytes().ok()?.to_vec()).ok()?;
+        r.finish().ok()?;
+        Some(MedicalRecord {
+            id,
+            kind,
+            day,
+            codes,
+            note,
+        })
+    }
+
+    /// Map to the scheme document: payload encrypted, codes + kind indexed.
+    #[must_use]
+    pub fn to_document(&self) -> Document {
+        let mut keywords: Vec<Keyword> =
+            self.codes.iter().map(Keyword::from).collect();
+        keywords.push(Keyword::new(self.kind.keyword()));
+        Document::new(self.id, self.to_payload(), keywords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> MedicalRecord {
+        MedicalRecord {
+            id: 42,
+            kind: RecordKind::Vaccination,
+            day: 1234,
+            codes: vec!["proc:vaccination-flu".to_string(), "med:paracetamol".to_string()],
+            note: "traveler check, no adverse reaction".to_string(),
+        }
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let r = record();
+        let back = MedicalRecord::from_payload(&r.to_payload()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_payload_is_none() {
+        assert!(MedicalRecord::from_payload(&[]).is_none());
+        let mut bytes = record().to_payload();
+        bytes[8] = 99; // invalid kind
+        assert!(MedicalRecord::from_payload(&bytes).is_none());
+        let mut extended = record().to_payload();
+        extended.push(0);
+        assert!(MedicalRecord::from_payload(&extended).is_none());
+    }
+
+    #[test]
+    fn document_mapping_indexes_codes_and_kind() {
+        let d = record().to_document();
+        assert_eq!(d.id, 42);
+        assert!(d.has_keyword(&Keyword::new("proc:vaccination-flu")));
+        assert!(d.has_keyword(&Keyword::new("med:paracetamol")));
+        assert!(d.has_keyword(&Keyword::new("kind:vaccination")));
+        assert_eq!(d.keywords.len(), 3);
+        // Note text is in the payload, not the keywords.
+        assert!(!d.has_keyword(&Keyword::new("traveler")));
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [
+            RecordKind::Consultation,
+            RecordKind::LabResult,
+            RecordKind::Prescription,
+            RecordKind::Vaccination,
+        ] {
+            assert_eq!(RecordKind::from_u8(kind.to_u8()), Some(kind));
+        }
+        assert_eq!(RecordKind::from_u8(7), None);
+    }
+}

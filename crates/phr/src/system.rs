@@ -1,0 +1,243 @@
+//! The PHR+ façade: medical-record operations over any SSE scheme.
+
+use crate::record::MedicalRecord;
+use crate::workload::PhrEvent;
+use sse_core::error::Result;
+use sse_core::scheme::SseClientApi;
+use sse_core::types::{Document, Keyword};
+
+/// A privacy-enhanced personal health record system running over an SSE
+/// client (either of the paper's schemes, or a baseline for comparison).
+pub struct PhrSystem<C: SseClientApi> {
+    client: C,
+    records_stored: u64,
+    searches_run: u64,
+}
+
+impl<C: SseClientApi> PhrSystem<C> {
+    /// Wrap an SSE client.
+    #[must_use]
+    pub fn new(client: C) -> Self {
+        PhrSystem {
+            client,
+            records_stored: 0,
+            searches_run: 0,
+        }
+    }
+
+    /// Store medical records (encrypted payload, indexed by code).
+    ///
+    /// # Errors
+    /// Scheme errors propagate (e.g. chain exhaustion on Scheme 2).
+    pub fn add_records(&mut self, records: &[MedicalRecord]) -> Result<()> {
+        let docs: Vec<Document> = records.iter().map(MedicalRecord::to_document).collect();
+        self.client.add_documents(&docs)?;
+        self.records_stored += records.len() as u64;
+        Ok(())
+    }
+
+    /// Retrieve and decode all records carrying a code.
+    ///
+    /// # Errors
+    /// Scheme errors propagate.
+    pub fn find_by_code(&mut self, code: &str) -> Result<Vec<MedicalRecord>> {
+        let hits = self.client.search(&Keyword::new(code))?;
+        self.searches_run += 1;
+        Ok(hits
+            .into_iter()
+            .filter_map(|(_, payload)| MedicalRecord::from_payload(&payload))
+            .collect())
+    }
+
+    /// Retrieve records matching a boolean code query, e.g. "influenza AND
+    /// paracetamol" — one batched protocol exchange plus client-side set
+    /// algebra.
+    ///
+    /// # Errors
+    /// Scheme errors propagate.
+    pub fn find_by_query(
+        &mut self,
+        query: &sse_core::query::Query,
+    ) -> Result<Vec<MedicalRecord>> {
+        let hits = sse_core::query::execute_query(&mut self.client, query)?;
+        self.searches_run += 1;
+        Ok(hits
+            .into_iter()
+            .filter_map(|(_, payload)| MedicalRecord::from_payload(&payload))
+            .collect())
+    }
+
+    /// Replay a workload profile, returning `(records stored, searches run,
+    /// total hits)`.
+    ///
+    /// # Errors
+    /// Scheme errors propagate.
+    pub fn run_profile(&mut self, events: &[PhrEvent]) -> Result<(u64, u64, u64)> {
+        let mut hits = 0u64;
+        let (mut stored, mut searched) = (0u64, 0u64);
+        for e in events {
+            match e {
+                PhrEvent::Store(records) => {
+                    self.add_records(records)?;
+                    stored += records.len() as u64;
+                }
+                PhrEvent::Search(kw) => {
+                    hits += self.client.search(kw)?.len() as u64;
+                    self.searches_run += 1;
+                    searched += 1;
+                }
+            }
+        }
+        Ok((stored, searched, hits))
+    }
+
+    /// Records stored so far.
+    #[must_use]
+    pub fn records_stored(&self) -> u64 {
+        self.records_stored
+    }
+
+    /// Searches run so far.
+    #[must_use]
+    pub fn searches_run(&self) -> u64 {
+        self.searches_run
+    }
+
+    /// The wrapped client.
+    pub fn client_mut(&mut self) -> &mut C {
+        &mut self.client
+    }
+
+    /// Scheme name (for reports).
+    #[must_use]
+    pub fn scheme_name(&self) -> &'static str {
+        self.client.scheme_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+    use crate::workload::{gp_profile, traveler_profile};
+    use sse_core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+    use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+    use sse_core::types::MasterKey;
+
+    fn sample_records() -> Vec<MedicalRecord> {
+        vec![
+            MedicalRecord {
+                id: 0,
+                kind: RecordKind::Vaccination,
+                day: 100,
+                codes: vec!["proc:vaccination-flu".into()],
+                note: "flu shot".into(),
+            },
+            MedicalRecord {
+                id: 1,
+                kind: RecordKind::Consultation,
+                day: 200,
+                codes: vec!["cond:influenza".into(), "med:paracetamol".into()],
+                note: "flu-like symptoms".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn phr_over_scheme1() {
+        let client = InMemoryScheme1Client::new_in_memory(
+            MasterKey::from_seed(1),
+            Scheme1Config::fast_profile(256),
+        );
+        let mut phr = PhrSystem::new(client);
+        phr.add_records(&sample_records()).unwrap();
+        let found = phr.find_by_code("cond:influenza").unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].note, "flu-like symptoms");
+        let vax = phr.find_by_code("kind:vaccination").unwrap();
+        assert_eq!(vax.len(), 1);
+        assert_eq!(vax[0].id, 0);
+        assert_eq!(phr.scheme_name(), "scheme1");
+    }
+
+    #[test]
+    fn phr_over_scheme2() {
+        let client = InMemoryScheme2Client::new_in_memory(
+            MasterKey::from_seed(2),
+            Scheme2Config::standard().with_chain_length(128),
+        );
+        let mut phr = PhrSystem::new(client);
+        phr.add_records(&sample_records()).unwrap();
+        assert_eq!(phr.find_by_code("med:paracetamol").unwrap().len(), 1);
+        assert_eq!(phr.records_stored(), 2);
+        assert_eq!(phr.searches_run(), 2 - 1);
+    }
+
+    #[test]
+    fn boolean_code_queries_work() {
+        use sse_core::query::Query;
+        let client = InMemoryScheme2Client::new_in_memory(
+            MasterKey::from_seed(8),
+            Scheme2Config::standard().with_chain_length(64),
+        );
+        let mut phr = PhrSystem::new(client);
+        phr.add_records(&sample_records()).unwrap();
+        // influenza AND paracetamol -> record 1 only.
+        let both = phr
+            .find_by_query(&Query::all_of(["cond:influenza", "med:paracetamol"]))
+            .unwrap();
+        assert_eq!(both.len(), 1);
+        assert_eq!(both[0].id, 1);
+        // vaccination OR influenza -> both records.
+        let either = phr
+            .find_by_query(&Query::any_of(["kind:vaccination", "cond:influenza"]))
+            .unwrap();
+        assert_eq!(either.len(), 2);
+    }
+
+    #[test]
+    fn gp_can_remove_an_erroneous_record() {
+        let client = InMemoryScheme2Client::new_in_memory(
+            MasterKey::from_seed(21),
+            Scheme2Config::standard().with_chain_length(64),
+        );
+        let mut phr = PhrSystem::new(client);
+        phr.add_records(&sample_records()).unwrap();
+        assert_eq!(phr.find_by_code("cond:influenza").unwrap().len(), 1);
+        // The record was entered in error: remove it (deletion extension).
+        let doc = sample_records()[1].to_document();
+        phr.client_mut().remove(std::slice::from_ref(&doc)).unwrap();
+        assert!(phr.find_by_code("cond:influenza").unwrap().is_empty());
+        // The unrelated vaccination record is untouched.
+        assert_eq!(phr.find_by_code("kind:vaccination").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn gp_profile_runs_over_scheme2() {
+        let client = InMemoryScheme2Client::new_in_memory(
+            MasterKey::from_seed(3),
+            Scheme2Config::standard().with_chain_length(256),
+        );
+        let mut phr = PhrSystem::new(client);
+        let events = gp_profile(8, 2, 4);
+        let (stored, searched, _hits) = phr.run_profile(&events).unwrap();
+        assert_eq!(stored, 16);
+        assert_eq!(searched, 8);
+    }
+
+    #[test]
+    fn traveler_profile_runs_over_scheme1() {
+        let client = InMemoryScheme1Client::new_in_memory(
+            MasterKey::from_seed(4),
+            Scheme1Config::fast_profile(512),
+        );
+        let mut phr = PhrSystem::new(client);
+        let events = traveler_profile(30, 4, 5);
+        let (stored, searched, hits) = phr.run_profile(&events).unwrap();
+        assert_eq!(stored, 30);
+        assert_eq!(searched, 4);
+        // Vaccination records exist in a 30-record corpus with ~1/4
+        // vaccination probability; at least some search should hit.
+        assert!(hits > 0, "expected some vaccination hits");
+    }
+}

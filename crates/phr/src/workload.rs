@@ -1,0 +1,256 @@
+//! Workload generators for the experiments and the §6 usage profiles.
+
+use crate::codes;
+use crate::record::{MedicalRecord, RecordKind};
+use crate::zipf::Zipf;
+use sse_core::types::{Document, Keyword};
+use sse_primitives::drbg::HmacDrbg;
+
+/// Parameters for a synthetic document corpus.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of documents.
+    pub docs: usize,
+    /// Vocabulary size (unique keywords available).
+    pub vocab_size: usize,
+    /// Zipf exponent for keyword popularity (1.0 ≈ natural text).
+    pub zipf_s: f64,
+    /// Keywords per document: uniform in `[min, max]`.
+    pub keywords_per_doc: (usize, usize),
+    /// Payload size per document in bytes.
+    pub payload_bytes: usize,
+    /// DRBG seed (reproducibility).
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            docs: 256,
+            vocab_size: 1024,
+            zipf_s: 1.0,
+            keywords_per_doc: (3, 8),
+            payload_bytes: 128,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Generate a synthetic corpus with Zipf-distributed keywords.
+#[must_use]
+pub fn generate_corpus(config: &CorpusConfig) -> Vec<Document> {
+    let vocab = codes::synthetic_vocabulary(config.vocab_size);
+    let zipf = Zipf::new(config.vocab_size, config.zipf_s);
+    let mut drbg = HmacDrbg::from_u64(config.seed);
+    let (kmin, kmax) = config.keywords_per_doc;
+    assert!(kmin <= kmax && kmax <= config.vocab_size, "bad keyword range");
+
+    (0..config.docs as u64)
+        .map(|id| {
+            let k = kmin + drbg.gen_range((kmax - kmin + 1) as u64) as usize;
+            let ranks = zipf.sample_distinct(&mut drbg, k);
+            let kws: Vec<Keyword> = ranks
+                .into_iter()
+                .map(|r| Keyword::new(vocab[r].clone()))
+                .collect();
+            let mut payload = vec![0u8; config.payload_bytes];
+            drbg.fill(&mut payload);
+            Document::new(id, payload, kws)
+        })
+        .collect()
+}
+
+/// Generate `n` synthetic medical records drawn from the curated vocabulary.
+#[must_use]
+pub fn generate_records(n: usize, seed: u64) -> Vec<MedicalRecord> {
+    let mut drbg = HmacDrbg::from_u64(seed);
+    let cond_zipf = Zipf::new(codes::CONDITIONS.len(), 1.1);
+    let med_zipf = Zipf::new(codes::MEDICATIONS.len(), 1.1);
+    let proc_zipf = Zipf::new(codes::PROCEDURES.len(), 1.1);
+
+    (0..n as u64)
+        .map(|id| {
+            let kind = match drbg.gen_range(4) {
+                0 => RecordKind::Consultation,
+                1 => RecordKind::LabResult,
+                2 => RecordKind::Prescription,
+                _ => RecordKind::Vaccination,
+            };
+            let mut record_codes =
+                vec![codes::CONDITIONS[cond_zipf.sample(&mut drbg)].to_string()];
+            if drbg.gen_range(2) == 0 {
+                record_codes.push(codes::MEDICATIONS[med_zipf.sample(&mut drbg)].to_string());
+            }
+            if matches!(kind, RecordKind::Vaccination) || drbg.gen_range(3) == 0 {
+                record_codes.push(codes::PROCEDURES[proc_zipf.sample(&mut drbg)].to_string());
+            }
+            record_codes.dedup();
+            MedicalRecord {
+                id,
+                kind,
+                day: drbg.gen_range(3650) as u32,
+                codes: record_codes,
+                note: format!("synthetic note for record {id}"),
+            }
+        })
+        .collect()
+}
+
+/// One event in a usage profile.
+#[derive(Clone, Debug)]
+pub enum PhrEvent {
+    /// Store new records (an update).
+    Store(Vec<MedicalRecord>),
+    /// Search for a code.
+    Search(Keyword),
+}
+
+/// The §6 *GP profile*: visits interleave retrieval and update — one search
+/// per visit, `updates_per_search` record stores between searches (the
+/// paper's `x`).
+#[must_use]
+pub fn gp_profile(visits: usize, updates_per_search: usize, seed: u64) -> Vec<PhrEvent> {
+    let mut drbg = HmacDrbg::from_u64(seed);
+    let cond_zipf = Zipf::new(codes::CONDITIONS.len(), 1.1);
+    let mut events = Vec::new();
+    let mut next_id = 0u64;
+    for _ in 0..visits {
+        // Before the visit: retrieve records about the presenting condition.
+        let code = codes::CONDITIONS[cond_zipf.sample(&mut drbg)];
+        events.push(PhrEvent::Search(Keyword::new(code)));
+        // After the visit (and possibly follow-ups): new records.
+        for _ in 0..updates_per_search {
+            let mut records = generate_records(1, drbg.gen_u64());
+            records[0].id = next_id;
+            // Bias toward the searched condition so results accumulate.
+            records[0].codes.push(code.to_string());
+            records[0].codes.dedup();
+            next_id += 1;
+            events.push(PhrEvent::Store(records));
+        }
+    }
+    events
+}
+
+/// The §6 *traveler profile*: one bulk load of history, then occasional
+/// searches (vaccination checks), no further updates.
+#[must_use]
+pub fn traveler_profile(history_records: usize, searches: usize, seed: u64) -> Vec<PhrEvent> {
+    let mut events = Vec::new();
+    events.push(PhrEvent::Store(generate_records(history_records, seed)));
+    let mut drbg = HmacDrbg::from_u64(seed ^ 0xABCD);
+    for _ in 0..searches {
+        // The journalist checking vaccination validity (§6).
+        let code = if drbg.gen_range(2) == 0 {
+            RecordKind::Vaccination.keyword().to_string()
+        } else {
+            codes::PROCEDURES[drbg.gen_range(codes::PROCEDURES.len() as u64) as usize]
+                .to_string()
+        };
+        events.push(PhrEvent::Search(Keyword::new(code)));
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let config = CorpusConfig {
+            docs: 100,
+            vocab_size: 500,
+            keywords_per_doc: (2, 5),
+            payload_bytes: 64,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate_corpus(&config);
+        assert_eq!(corpus.len(), 100);
+        for d in &corpus {
+            assert!((2..=5).contains(&d.keywords.len()), "{}", d.keywords.len());
+            assert_eq!(d.data.len(), 64);
+        }
+        // Ids are unique and sequential.
+        let ids: Vec<u64> = corpus.iter().map(|d| d.id).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn corpus_is_reproducible() {
+        let config = CorpusConfig::default();
+        let a = generate_corpus(&config);
+        let b = generate_corpus(&config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corpus_keyword_popularity_is_skewed() {
+        let config = CorpusConfig {
+            docs: 500,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate_corpus(&config);
+        let mut counts: std::collections::HashMap<&Keyword, usize> =
+            std::collections::HashMap::new();
+        for d in &corpus {
+            for k in &d.keywords {
+                *counts.entry(k).or_insert(0) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let used = counts.len();
+        // Zipf: the most popular keyword appears in many docs while many
+        // keywords appear once.
+        assert!(max > 50, "head keyword count {max}");
+        assert!(used > 100, "tail breadth {used}");
+    }
+
+    #[test]
+    fn records_have_valid_codes() {
+        let records = generate_records(200, 9);
+        let vocab: BTreeSet<&str> = codes::full_vocabulary().into_iter().collect();
+        for r in &records {
+            assert!(!r.codes.is_empty());
+            for c in &r.codes {
+                assert!(vocab.contains(c.as_str()), "unknown code {c}");
+            }
+            assert!(MedicalRecord::from_payload(&r.to_payload()).is_some());
+        }
+    }
+
+    #[test]
+    fn gp_profile_interleaves_with_ratio() {
+        let events = gp_profile(10, 3, 1);
+        assert_eq!(events.len(), 10 * (1 + 3));
+        // Pattern: S U U U S U U U ...
+        for (i, e) in events.iter().enumerate() {
+            if i % 4 == 0 {
+                assert!(matches!(e, PhrEvent::Search(_)), "event {i}");
+            } else {
+                assert!(matches!(e, PhrEvent::Store(_)), "event {i}");
+            }
+        }
+        // Stored record ids are unique.
+        let ids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                PhrEvent::Store(rs) => Some(rs[0].id),
+                PhrEvent::Search(_) => None,
+            })
+            .collect();
+        let set: BTreeSet<u64> = ids.iter().copied().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+
+    #[test]
+    fn traveler_profile_is_bulk_then_search() {
+        let events = traveler_profile(50, 5, 2);
+        assert_eq!(events.len(), 6);
+        assert!(matches!(&events[0], PhrEvent::Store(rs) if rs.len() == 50));
+        for e in &events[1..] {
+            assert!(matches!(e, PhrEvent::Search(_)));
+        }
+    }
+}

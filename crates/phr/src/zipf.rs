@@ -1,0 +1,161 @@
+//! Zipf-distributed sampling.
+//!
+//! Keyword frequencies in text and in medical coding are heavy-tailed: a
+//! few codes (hypertension, paracetamol) appear everywhere, most appear
+//! rarely. The experiments need that shape — uniform keywords would make
+//! every posting list the same length and flatter the schemes.
+//!
+//! Implementation: precomputed cumulative distribution + binary search,
+//! exact for any rank count and exponent.
+
+use sse_primitives::drbg::HmacDrbg;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ 1 / (k+1)^s`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample one rank.
+    #[must_use]
+    pub fn sample(&self, drbg: &mut HmacDrbg) -> usize {
+        let u = drbg.gen_f64();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Sample `count` distinct ranks (rejection; count must be ≤ n).
+    ///
+    /// # Panics
+    /// Panics if `count > n`.
+    #[must_use]
+    pub fn sample_distinct(&self, drbg: &mut HmacDrbg, count: usize) -> Vec<usize> {
+        assert!(count <= self.n(), "cannot draw {count} distinct of {}", self.n());
+        let mut out = Vec::with_capacity(count);
+        let mut seen = std::collections::HashSet::new();
+        // Rejection sampling is fine: count << n in our workloads. For the
+        // degenerate count ≈ n case, fall back to a shuffled full range.
+        let mut attempts = 0usize;
+        while out.len() < count {
+            attempts += 1;
+            if attempts > 64 * count.max(8) {
+                // Degenerate: fill with the unused ranks in order.
+                for r in 0..self.n() {
+                    if out.len() == count {
+                        break;
+                    }
+                    if seen.insert(r) {
+                        out.push(r);
+                    }
+                }
+                break;
+            }
+            let r = self.sample(drbg);
+            if seen.insert(r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut drbg = HmacDrbg::from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut drbg) < 100);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 1.0);
+        let mut drbg = HmacDrbg::from_u64(2);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut drbg)] += 1;
+        }
+        // Rank 0 should be sampled far more than rank 100.
+        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        // And the head (top 10 ranks) should carry a large share.
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 5000, "head share {head} of 20000");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut drbg = HmacDrbg::from_u64(3);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut drbg)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "uniform-ish expected: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_has_no_duplicates() {
+        let z = Zipf::new(50, 1.2);
+        let mut drbg = HmacDrbg::from_u64(4);
+        let s = z.sample_distinct(&mut drbg, 20);
+        assert_eq!(s.len(), 20);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+    }
+
+    #[test]
+    fn distinct_sampling_full_range() {
+        let z = Zipf::new(8, 2.0);
+        let mut drbg = HmacDrbg::from_u64(5);
+        let mut s = z.sample_distinct(&mut drbg, 8);
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

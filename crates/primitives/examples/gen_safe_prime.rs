@@ -1,0 +1,27 @@
+//! One-off generator for the fast-profile safe prime (dev tool).
+use sse_primitives::bignum::BigUint;
+use sse_primitives::drbg::HmacDrbg;
+
+fn main() {
+    let mut drbg = HmacDrbg::from_u64(20100706);
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    let low = BigUint::one().shl(255);
+    let high = BigUint::one().shl(256);
+    let mut tries = 0u64;
+    loop {
+        tries += 1;
+        // random odd q in [2^254, 2^255), p = 2q+1 in [2^255, 2^256)
+        let mut q = BigUint::random_range(&mut drbg, &low.shr(1), &high.shr(1));
+        if q.is_even() { q = q.add(&one); }
+        if !q.is_probable_prime(8, &mut drbg) { continue; }
+        let p = q.mul(&two).add(&one);
+        if p.bit_len() != 256 { continue; }
+        if !p.is_probable_prime(32, &mut drbg) { continue; }
+        if !q.is_probable_prime(32, &mut drbg) { continue; }
+        let hex: String = p.to_bytes_be().iter().map(|b| format!("{b:02X}")).collect();
+        println!("tries={tries}");
+        println!("p = {hex}");
+        break;
+    }
+}

@@ -1,0 +1,382 @@
+//! AES-128 block cipher (FIPS 197).
+//!
+//! AES instantiates the paper's pseudo-random permutation `E` — the "secure
+//! permutation function" used to mask posting-list generations in Scheme 2 —
+//! and, in CTR mode (see [`crate::ctr`]), the data-item encryption `E_km`.
+//!
+//! This is a straightforward table-free implementation (the S-box is a table
+//! but round transforms are computed); it favours clarity and auditability
+//! over raw speed, which is fine because AES is never the bottleneck in the
+//! reproduced experiments (the paper's costs are dominated by modexp and
+//! hash-chain walks).
+
+use crate::error::{CryptoError, Result};
+
+/// Block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+/// Key size in bytes (AES-128).
+pub const KEY_LEN: usize = 16;
+const ROUNDS: usize = 10;
+
+/// Forward S-box (FIPS 197 Fig. 7).
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Inverse S-box (FIPS 197 Fig. 14).
+const INV_SBOX: [u8; 256] = [
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7, 0xfb,
+    0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde, 0xe9, 0xcb,
+    0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42, 0xfa, 0xc3, 0x4e,
+    0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49, 0x6d, 0x8b, 0xd1, 0x25,
+    0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16, 0xd4, 0xa4, 0x5c, 0xcc, 0x5d, 0x65, 0xb6, 0x92,
+    0x6c, 0x70, 0x48, 0x50, 0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15, 0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84,
+    0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7, 0xe4, 0x58, 0x05, 0xb8, 0xb3, 0x45, 0x06,
+    0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02, 0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b,
+    0x3a, 0x91, 0x11, 0x41, 0x4f, 0x67, 0xdc, 0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73,
+    0x96, 0xac, 0x74, 0x22, 0xe7, 0xad, 0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8, 0x1c, 0x75, 0xdf, 0x6e,
+    0x47, 0xf1, 0x1a, 0x71, 0x1d, 0x29, 0xc5, 0x89, 0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b,
+    0xfc, 0x56, 0x3e, 0x4b, 0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4,
+    0x1f, 0xdd, 0xa8, 0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59, 0x27, 0x80, 0xec, 0x5f,
+    0x60, 0x51, 0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d, 0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef,
+    0xa0, 0xe0, 0x3b, 0x4d, 0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0c, 0x7d,
+];
+
+/// Round constants for key expansion.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply by x (i.e. {02}) in GF(2^8) with the AES polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    let hi = b & 0x80;
+    let shifted = b << 1;
+    if hi != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+/// General GF(2^8) multiplication.
+#[inline]
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key, ready to encrypt and decrypt blocks.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expand a 16-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                // RotWord + SubWord + Rcon
+                temp = [
+                    SBOX[temp[1] as usize] ^ RCON[i / 4 - 1],
+                    SBOX[temp[2] as usize],
+                    SBOX[temp[3] as usize],
+                    SBOX[temp[0] as usize],
+                ];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for r in 0..=ROUNDS {
+            for c in 0..4 {
+                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Construct from a slice, validating the length.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidLength`] unless `key.len() == 16`.
+    pub fn from_slice(key: &[u8]) -> Result<Self> {
+        let arr: [u8; KEY_LEN] = key.try_into().map_err(|_| CryptoError::InvalidLength {
+            what: "AES-128 key",
+            expected: KEY_LEN,
+            got: key.len(),
+        })?;
+        Ok(Self::new(&arr))
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..ROUNDS {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[ROUNDS]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[ROUNDS]);
+        for r in (1..ROUNDS).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypt a copy of `block`.
+    #[must_use]
+    pub fn encrypt(&self, block: &[u8; BLOCK_LEN]) -> [u8; BLOCK_LEN] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+
+    /// Decrypt a copy of `block`.
+    #[must_use]
+    pub fn decrypt(&self, block: &[u8; BLOCK_LEN]) -> [u8; BLOCK_LEN] {
+        let mut b = *block;
+        self.decrypt_block(&mut b);
+        b
+    }
+}
+
+// State layout: byte i of the flat block is row i%4, column i/4 (FIPS 197
+// column-major convention).
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    // Row r (bytes r, r+4, r+8, r+12) rotates left by r.
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        state[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    /// FIPS 197 Appendix B worked example.
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt(&pt);
+        assert_eq!(hex(&ct), "3925841d02dc09fbdc118597196a0b32");
+        assert_eq!(aes.decrypt(&ct), pt);
+    }
+
+    /// FIPS 197 Appendix C.1 (AES-128) example vector.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt(&pt);
+        assert_eq!(hex(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(aes.decrypt(&ct), pt);
+    }
+
+    /// NIST SP 800-38A F.1.1 ECB-AES128 vectors (all four blocks).
+    #[test]
+    fn sp800_38a_ecb_vectors() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let aes = Aes128::new(&key);
+        let cases: [([u8; 16], &str); 4] = [
+            (
+                [
+                    0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73,
+                    0x93, 0x17, 0x2a,
+                ],
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+            ),
+            (
+                [
+                    0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45,
+                    0xaf, 0x8e, 0x51,
+                ],
+                "f5d3d58503b9699de785895a96fdbaaf",
+            ),
+            (
+                [
+                    0x30, 0xc8, 0x1c, 0x46, 0xa3, 0x5c, 0xe4, 0x11, 0xe5, 0xfb, 0xc1, 0x19, 0x1a,
+                    0x0a, 0x52, 0xef,
+                ],
+                "43b1cd7f598ece23881b00e3ed030688",
+            ),
+            (
+                [
+                    0xf6, 0x9f, 0x24, 0x45, 0xdf, 0x4f, 0x9b, 0x17, 0xad, 0x2b, 0x41, 0x7b, 0xe6,
+                    0x6c, 0x37, 0x10,
+                ],
+                "7b0c785e27e8ad3f8223207104725dd4",
+            ),
+        ];
+        for (pt, want) in cases {
+            assert_eq!(hex(&aes.encrypt(&pt)), want);
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_for_many_blocks() {
+        let aes = Aes128::new(&[0xA5u8; 16]);
+        for i in 0..64u8 {
+            let pt: [u8; 16] = core::array::from_fn(|j| i.wrapping_mul(17).wrapping_add(j as u8));
+            assert_eq!(aes.decrypt(&aes.encrypt(&pt)), pt);
+        }
+    }
+
+    #[test]
+    fn from_slice_validates_length() {
+        assert!(Aes128::from_slice(&[0u8; 16]).is_ok());
+        assert!(matches!(
+            Aes128::from_slice(&[0u8; 15]),
+            Err(CryptoError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    fn gf_mul_basics() {
+        // {57} x {83} = {c1} (FIPS 197 §4.2 example)
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+        // {57} x {13} = {fe}
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(0x01, 0xab), 0xab);
+        assert_eq!(gmul(0x00, 0xab), 0x00);
+    }
+
+    #[test]
+    fn shift_rows_round_trips() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_round_trips() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(31));
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+}

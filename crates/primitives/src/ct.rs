@@ -1,0 +1,123 @@
+//! Constant-time comparison helpers.
+//!
+//! The server-side `Search` algorithm compares PRF tags, and the
+//! encrypt-then-MAC construction compares authentication tags. Both
+//! comparisons must not leak *where* two byte strings first differ, so they
+//! are implemented without data-dependent branches.
+
+/// Compare two byte slices in time independent of their contents.
+///
+/// Returns `true` iff `a == b`. Slices of different lengths compare unequal
+/// immediately — length is considered public.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // Collapse to 0/1 without a data-dependent branch.
+    acc == 0
+}
+
+/// Constant-time conditional select over byte slices: writes `a` into `out`
+/// when `choice` is true, `b` otherwise. All three slices must share a length.
+///
+/// # Panics
+/// Panics if the slice lengths differ (a programming error, not an input
+/// error).
+pub fn ct_select(choice: bool, a: &[u8], b: &[u8], out: &mut [u8]) {
+    assert_eq!(a.len(), b.len(), "ct_select: operand length mismatch");
+    assert_eq!(a.len(), out.len(), "ct_select: output length mismatch");
+    let mask = if choice { 0xffu8 } else { 0x00u8 };
+    for i in 0..out.len() {
+        out[i] = (a[i] & mask) | (b[i] & !mask);
+    }
+}
+
+/// XOR `src` into `dst` in place. Lengths must match.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_in_place: length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+/// Return the XOR of two equal-length slices as a fresh vector.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+#[must_use]
+pub fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "xor: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_accepts_equal() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn eq_rejects_unequal_content() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(&[0u8; 32], &[1u8; 32]));
+        // differ only in the last bit of the last byte
+        let a = [0u8; 32];
+        let mut b = [0u8; 32];
+        b[31] = 1;
+        assert!(!ct_eq(&a, &b));
+    }
+
+    #[test]
+    fn eq_rejects_unequal_length() {
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"", b"x"));
+    }
+
+    #[test]
+    fn select_picks_correct_operand() {
+        let a = [1u8, 2, 3];
+        let b = [9u8, 8, 7];
+        let mut out = [0u8; 3];
+        ct_select(true, &a, &b, &mut out);
+        assert_eq!(out, a);
+        ct_select(false, &a, &b, &mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn xor_roundtrip() {
+        let a = [0xAAu8, 0x55, 0xFF, 0x00];
+        let b = [0x0Fu8, 0xF0, 0x12, 0x34];
+        let c = xor(&a, &b);
+        let back = xor(&c, &b);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn xor_in_place_matches_xor() {
+        let a = [1u8, 2, 3, 4];
+        let b = [5u8, 6, 7, 8];
+        let mut d = a;
+        xor_in_place(&mut d, &b);
+        assert_eq!(d.to_vec(), xor(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_panics_on_length_mismatch() {
+        let _ = xor(b"ab", b"abc");
+    }
+}

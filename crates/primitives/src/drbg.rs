@@ -1,0 +1,202 @@
+//! HMAC-DRBG (NIST SP 800-90A) — a deterministic random bit generator.
+//!
+//! The schemes and the security-game harness need *reproducible* randomness
+//! (so that experiments and property tests are replayable from a seed) that
+//! is still cryptographically strong. HMAC-DRBG over our HMAC-SHA-256
+//! provides exactly that; production callers seed it from [`crate::os_random`].
+
+use crate::hmac::HmacSha256;
+
+/// Deterministic random bit generator (HMAC-SHA-256 variant).
+pub struct HmacDrbg {
+    key: [u8; 32],
+    value: [u8; 32],
+    reseed_counter: u64,
+}
+
+impl HmacDrbg {
+    /// Instantiate from seed material (entropy || nonce || personalization).
+    #[must_use]
+    pub fn new(seed_material: &[u8]) -> Self {
+        let mut drbg = HmacDrbg {
+            key: [0u8; 32],
+            value: [1u8; 32],
+            reseed_counter: 1,
+        };
+        drbg.update(Some(seed_material));
+        drbg
+    }
+
+    /// Instantiate from a 64-bit test seed (convenience for experiments).
+    #[must_use]
+    pub fn from_u64(seed: u64) -> Self {
+        Self::new(&seed.to_be_bytes())
+    }
+
+    /// Mix optional data into the state (SP 800-90A HMAC_DRBG_Update).
+    fn update(&mut self, provided: Option<&[u8]>) {
+        let mut h = HmacSha256::new(&self.key);
+        h.update(&self.value);
+        h.update(&[0x00]);
+        if let Some(p) = provided {
+            h.update(p);
+        }
+        self.key = h.finalize();
+        self.value = crate::hmac::hmac_sha256(&self.key, &self.value);
+
+        if let Some(p) = provided {
+            let mut h = HmacSha256::new(&self.key);
+            h.update(&self.value);
+            h.update(&[0x01]);
+            h.update(p);
+            self.key = h.finalize();
+            self.value = crate::hmac::hmac_sha256(&self.key, &self.value);
+        }
+    }
+
+    /// Mix fresh entropy into the generator.
+    pub fn reseed(&mut self, entropy: &[u8]) {
+        self.update(Some(entropy));
+        self.reseed_counter = 1;
+    }
+
+    /// Fill `out` with pseudo-random bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        let mut filled = 0;
+        while filled < out.len() {
+            self.value = crate::hmac::hmac_sha256(&self.key, &self.value);
+            let take = (out.len() - filled).min(32);
+            out[filled..filled + take].copy_from_slice(&self.value[..take]);
+            filled += take;
+        }
+        self.update(None);
+        self.reseed_counter += 1;
+    }
+
+    /// Generate a 32-byte value.
+    #[must_use]
+    pub fn gen_key(&mut self) -> [u8; 32] {
+        let mut k = [0u8; 32];
+        self.fill(&mut k);
+        k
+    }
+
+    /// Generate a uniform `u64`.
+    #[must_use]
+    pub fn gen_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Generate a uniform value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[must_use]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range: bound must be positive");
+        if bound.is_power_of_two() {
+            return self.gen_u64() & (bound - 1);
+        }
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.gen_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Generate a uniform `f64` in `[0, 1)`.
+    #[must_use]
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.gen_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = HmacDrbg::from_u64(42);
+        let mut b = HmacDrbg::from_u64(42);
+        assert_eq!(a.gen_key(), b.gen_key());
+        assert_eq!(a.gen_u64(), b.gen_u64());
+    }
+
+    #[test]
+    fn seed_sensitive() {
+        let mut a = HmacDrbg::from_u64(1);
+        let mut b = HmacDrbg::from_u64(2);
+        assert_ne!(a.gen_key(), b.gen_key());
+    }
+
+    #[test]
+    fn successive_outputs_differ() {
+        let mut d = HmacDrbg::from_u64(7);
+        let k1 = d.gen_key();
+        let k2 = d.gen_key();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn reseed_changes_stream() {
+        let mut a = HmacDrbg::from_u64(5);
+        let mut b = HmacDrbg::from_u64(5);
+        b.reseed(b"extra entropy");
+        assert_ne!(a.gen_key(), b.gen_key());
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut d = HmacDrbg::from_u64(11);
+        for bound in [1u64, 2, 3, 10, 1000, 1 << 33] {
+            for _ in 0..100 {
+                assert!(d.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut d = HmacDrbg::from_u64(13);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[d.gen_range(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut d = HmacDrbg::from_u64(17);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x = d.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 1000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn fill_is_chunking_invariant() {
+        // Filling 64 bytes at once equals two 32-byte fills only if the
+        // DRBG state advances identically — SP 800-90A updates state once
+        // per generate call, so the streams legitimately differ. What must
+        // hold is determinism per call pattern.
+        let mut a = HmacDrbg::from_u64(3);
+        let mut b = HmacDrbg::from_u64(3);
+        let mut out_a = [0u8; 64];
+        a.fill(&mut out_a);
+        let mut out_b = [0u8; 64];
+        b.fill(&mut out_b);
+        assert_eq!(out_a, out_b);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type shared by all primitives.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A key, nonce or tag had the wrong length.
+    InvalidLength {
+        /// What was being parsed or consumed.
+        what: &'static str,
+        /// The length that was expected.
+        expected: usize,
+        /// The length that was provided.
+        got: usize,
+    },
+    /// An authentication tag did not verify.
+    TagMismatch,
+    /// Ciphertext too short to contain the mandatory framing (nonce/tag).
+    CiphertextTooShort {
+        /// Minimum number of bytes required.
+        min: usize,
+        /// Number of bytes provided.
+        got: usize,
+    },
+    /// A big-integer operand was out of range for the requested operation
+    /// (e.g. a group element not in `[1, p-1]`).
+    OutOfRange(&'static str),
+    /// A modular inverse does not exist (operand shares a factor with the
+    /// modulus).
+    NotInvertible,
+    /// A Lamport hash chain has been fully consumed and must be re-seeded.
+    ChainExhausted,
+    /// Malformed serialized value.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidLength {
+                what,
+                expected,
+                got,
+            } => write!(f, "invalid length for {what}: expected {expected}, got {got}"),
+            CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
+            CryptoError::CiphertextTooShort { min, got } => {
+                write!(f, "ciphertext too short: need at least {min} bytes, got {got}")
+            }
+            CryptoError::OutOfRange(what) => write!(f, "operand out of range: {what}"),
+            CryptoError::NotInvertible => write!(f, "element is not invertible"),
+            CryptoError::ChainExhausted => write!(f, "hash chain exhausted; re-seed required"),
+            CryptoError::Malformed(what) => write!(f, "malformed value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CryptoError>;

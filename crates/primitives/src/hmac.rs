@@ -1,0 +1,188 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! HMAC instantiates the paper's pseudo-random functions `f` (keyword →
+//! searchable-representation tag) and `f'` (chain-key commitment in
+//! Scheme 2). Keys longer than the 64-byte block are hashed first, exactly
+//! per the RFC.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Incremental HMAC-SHA-256 computation.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Key XOR opad, kept to finish the outer hash.
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Start an HMAC computation under `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256::sha256(key);
+            block_key[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = block_key[i] ^ IPAD;
+            opad_key[i] = block_key[i] ^ OPAD;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and return the 32-byte MAC.
+    #[must_use]
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Verify `tag` against the absorbed message in constant time.
+    #[must_use]
+    pub fn verify(self, tag: &[u8]) -> bool {
+        crate::ct::ct_eq(&self.finalize(), tag)
+    }
+}
+
+/// One-shot HMAC-SHA-256.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = HmacSha256::new(key);
+    h.update(msg);
+    h.finalize()
+}
+
+/// One-shot HMAC over the concatenation of several message parts.
+#[must_use]
+pub fn hmac_sha256_concat(key: &[u8], parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+    let mut h = HmacSha256::new(key);
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_4() {
+        let key: Vec<u8> = (1u8..=25).collect();
+        let msg = [0xcdu8; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_long_msg() {
+        let key = [0xaau8; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            hex(&hmac_sha256(&key, msg)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"some key";
+        let msg: Vec<u8> = (0..300u16).map(|i| (i & 0xff) as u8).collect();
+        let want = hmac_sha256(key, &msg);
+        let mut h = HmacSha256::new(key);
+        for chunk in msg.chunks(11) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), want);
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        let mut h = HmacSha256::new(b"k");
+        h.update(b"m");
+        assert!(h.clone().verify(&tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!h.verify(&bad));
+    }
+
+    #[test]
+    fn different_keys_give_different_macs() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+
+    #[test]
+    fn concat_matches_manual() {
+        assert_eq!(
+            hmac_sha256_concat(b"k", &[b"ab", b"cd"]),
+            hmac_sha256(b"k", b"abcd")
+        );
+    }
+}

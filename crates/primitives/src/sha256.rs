@@ -1,0 +1,298 @@
+//! SHA-256 (FIPS 180-4), implemented from the specification.
+//!
+//! Provides both a one-shot [`sha256`] function and an incremental
+//! [`Sha256`] hasher. This is the hash underlying the paper's PRF `f`
+//! (via HMAC), the Lamport chain `h`, and the key-derivation function.
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 32;
+/// Internal block size in bytes (also HMAC's block size for SHA-256).
+pub const BLOCK_LEN: usize = 64;
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use sse_primitives::sha256::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     hex(&h.finalize()),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Total message length in bytes processed so far (excluding buffered).
+    len: u64,
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb more message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self
+            .len
+            .checked_add(data.len() as u64)
+            .expect("SHA-256 message length overflow");
+        // Top up a partially filled buffer first.
+        if self.buf_len > 0 {
+            let take = (BLOCK_LEN - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while data.len() >= BLOCK_LEN {
+            let (block, rest) = data.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish and return the 32-byte digest.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then 64-bit big-endian bit length.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        let pad_len = if self.buf_len < 56 {
+            BLOCK_LEN - self.buf_len
+        } else {
+            2 * BLOCK_LEN - self.buf_len
+        };
+        pad[0] = 0x80;
+        pad[pad_len - 8..pad_len].copy_from_slice(&bit_len.to_be_bytes());
+        self.update_no_len(&pad[..pad_len]);
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Like `update` but without advancing the message length counter — used
+    /// only to feed padding in `finalize`.
+    fn update_no_len(&mut self, data: &[u8]) {
+        let saved = self.len;
+        self.update(data);
+        self.len = saved;
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+#[must_use]
+pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-256 over the concatenation of several parts, without
+/// materializing the concatenation.
+#[must_use]
+pub fn sha256_concat(parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // FIPS 180-4 / NIST CAVP short-message vectors.
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn four_block_message() {
+        let m = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        assert_eq!(
+            hex(&sha256(m)),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let m = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&m)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        // 64-byte message exercises the "padding needs a second block" path.
+        let m = [0x61u8; 64];
+        let one_shot = sha256(&m);
+        let mut inc = Sha256::new();
+        inc.update(&m[..1]);
+        inc.update(&m[1..]);
+        assert_eq!(inc.finalize(), one_shot);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_for_all_split_points() {
+        let msg: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let want = sha256(&msg);
+        for split in 0..msg.len() {
+            let mut h = Sha256::new();
+            h.update(&msg[..split]);
+            h.update(&msg[split..]);
+            assert_eq!(h.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn concat_helper_matches_manual_concat() {
+        let a = b"hello ";
+        let b = b"world";
+        let mut joined = Vec::new();
+        joined.extend_from_slice(a);
+        joined.extend_from_slice(b);
+        assert_eq!(sha256_concat(&[a, b]), sha256(&joined));
+    }
+
+    #[test]
+    fn fifty_five_and_fifty_six_byte_messages() {
+        // 55 bytes: padding fits in one block; 56 bytes: needs an extra block.
+        for n in [55usize, 56, 57, 63, 64, 65] {
+            let m = vec![0xabu8; n];
+            let d1 = sha256(&m);
+            let mut h = Sha256::new();
+            for chunk in m.chunks(7) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), d1, "length {n}");
+        }
+    }
+}

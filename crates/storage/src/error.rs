@@ -1,0 +1,60 @@
+//! Storage-engine error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A checksum or structural check failed while reading persisted data.
+    Corrupt {
+        /// Which structure failed validation.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A record id referenced a record that does not exist.
+    RecordNotFound,
+    /// A record exceeds the maximum representable size.
+    RecordTooLarge {
+        /// Requested size in bytes.
+        size: usize,
+        /// Maximum supported size in bytes.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt { what, detail } => {
+                write!(f, "corrupt {what}: {detail}")
+            }
+            StorageError::RecordNotFound => write!(f, "record not found"),
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,32 @@
+//! # sse-storage
+//!
+//! Durable server-side storage for the SSE reproduction.
+//!
+//! The paper's server stores tuples `(E_km(M_i), i)` — encrypted blobs keyed
+//! by document id — and must survive restarts without learning anything from
+//! what it stores. This crate provides that substrate as a small storage
+//! engine:
+//!
+//! * [`crc32`] — CRC-32 (ISO-HDLC) used to frame and verify on-disk records;
+//! * [`page`] — 8 KiB slotted pages;
+//! * [`heap`] — a heap file of slotted pages with overflow-fragment chains
+//!   for blobs larger than one page;
+//! * [`wal`] — a CRC-framed append-only write-ahead log with torn-tail
+//!   detection on replay;
+//! * [`store`] — [`store::DocStore`]: the blob store the SSE server uses,
+//!   combining an in-memory id→record index, the heap, the WAL and
+//!   checkpointing into a snapshot file.
+//!
+//! Everything is plain `std::fs`; no external crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod store;
+pub mod wal;
+
+pub use error::{Result, StorageError};

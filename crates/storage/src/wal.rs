@@ -1,0 +1,274 @@
+//! Write-ahead log with CRC-framed records and torn-tail recovery.
+//!
+//! Record framing: `[len: u32][crc32(payload): u32][payload]`. On replay,
+//! the first record whose frame is incomplete or whose checksum mismatches
+//! terminates the scan — everything before it is considered durable, the
+//! torn tail is truncated. This is the standard redo-log contract: an
+//! operation is durable once `append` (with sync) returns.
+
+use crate::crc32::crc32;
+use crate::error::{Result, StorageError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-only write-ahead log backed by a file.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Durable length in bytes (end of the last valid record).
+    len: u64,
+    /// Whether `append` fsyncs. Experiments disable it; the store's
+    /// durability tests enable it.
+    sync_on_append: bool,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, scanning for its valid prefix
+    /// and truncating any torn tail.
+    ///
+    /// # Errors
+    /// I/O errors from the filesystem.
+    pub fn open(path: &Path, sync_on_append: bool) -> Result<Self> {
+        let valid_len = match std::fs::metadata(path) {
+            Ok(_) => Self::scan_valid_prefix(path)?,
+            Err(_) => 0,
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(valid_len)?;
+        let mut writer = BufWriter::new(file);
+        writer.seek(SeekFrom::Start(valid_len))?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            writer,
+            len: valid_len,
+            sync_on_append,
+        })
+    }
+
+    /// Length in bytes of the durable prefix.
+    #[must_use]
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Scan the file, returning the byte length of the valid record prefix.
+    fn scan_valid_prefix(path: &Path) -> Result<u64> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        debug_assert_eq!(buf.len() as u64, file_len);
+        let mut pos = 0usize;
+        loop {
+            if pos + 8 > buf.len() {
+                return Ok(pos as u64);
+            }
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let body_start = pos + 8;
+            if body_start + len > buf.len() {
+                return Ok(pos as u64);
+            }
+            if crc32(&buf[body_start..body_start + len]) != crc {
+                return Ok(pos as u64);
+            }
+            pos = body_start + len;
+        }
+    }
+
+    /// Append one record; durable on return when `sync_on_append` is set.
+    ///
+    /// # Errors
+    /// I/O errors from the filesystem.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let len = u32::try_from(payload.len()).map_err(|_| StorageError::RecordTooLarge {
+            size: payload.len(),
+            max: u32::MAX as usize,
+        })?;
+        self.writer.write_all(&len.to_le_bytes())?;
+        self.writer.write_all(&crc32(payload).to_le_bytes())?;
+        self.writer.write_all(payload)?;
+        self.writer.flush()?;
+        if self.sync_on_append {
+            self.writer.get_ref().sync_data()?;
+        }
+        self.len += 8 + u64::from(len);
+        Ok(())
+    }
+
+    /// Read every valid record from the start of the log.
+    ///
+    /// # Errors
+    /// I/O errors from the filesystem. Torn tails are not errors; they
+    /// simply end the iteration.
+    pub fn replay(path: &Path) -> Result<Vec<Vec<u8>>> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            if pos + 8 > buf.len() {
+                return Ok(records);
+            }
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let body_start = pos + 8;
+            if body_start + len > buf.len()
+                || crc32(&buf[body_start..body_start + len]) != crc
+            {
+                return Ok(records);
+            }
+            records.push(buf[body_start..body_start + len].to_vec());
+            pos = body_start + len;
+        }
+    }
+
+    /// Truncate the log to empty (after a checkpoint has made its contents
+    /// redundant).
+    ///
+    /// # Errors
+    /// I/O errors from the filesystem.
+    pub fn reset(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().set_len(0)?;
+        self.writer.seek(SeekFrom::Start(0))?;
+        self.writer.get_ref().sync_data()?;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Path of the backing file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "sse-wal-test-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = temp_path("basic");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+            wal.append(b"").unwrap();
+        }
+        let records = Wal::replay(&path).unwrap();
+        assert_eq!(records, vec![b"first".to_vec(), b"second".to_vec(), vec![]]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_missing_file_is_empty() {
+        let path = temp_path("missing");
+        assert_eq!(Wal::replay(&path).unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_truncated_on_open() {
+        let path = temp_path("torn");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(b"durable").unwrap();
+        }
+        // Simulate a crash mid-write: append garbage that looks like the
+        // start of a frame but is incomplete.
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&100u32.to_le_bytes()).unwrap(); // len
+            f.write_all(&0xDEAD_BEEFu32.to_le_bytes()).unwrap(); // bogus crc
+            f.write_all(b"only a few bytes").unwrap(); // short body
+        }
+        assert_eq!(Wal::replay(&path).unwrap(), vec![b"durable".to_vec()]);
+        // Re-opening truncates the tail and appending continues cleanly.
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(b"after recovery").unwrap();
+        }
+        assert_eq!(
+            Wal::replay(&path).unwrap(),
+            vec![b"durable".to_vec(), b"after recovery".to_vec()]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_stops_replay() {
+        let path = temp_path("corrupt");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(b"good one").unwrap();
+            wal.append(b"will be corrupted").unwrap();
+            wal.append(b"unreachable").unwrap();
+        }
+        // Flip a byte inside the second record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_payload_start = 8 + b"good one".len() + 8;
+        bytes[second_payload_start + 2] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap(), vec![b"good one".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_path("reset");
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(b"ephemeral").unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.len_bytes(), 0);
+        wal.append(b"fresh").unwrap();
+        drop(wal);
+        assert_eq!(Wal::replay(&path).unwrap(), vec![b"fresh".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn large_records_survive() {
+        let path = temp_path("large");
+        let big: Vec<u8> = (0..100_000u32).map(|i| (i % 253) as u8).collect();
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(&big).unwrap();
+        }
+        assert_eq!(Wal::replay(&path).unwrap(), vec![big]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_mode_appends_work() {
+        let path = temp_path("sync");
+        let mut wal = Wal::open(&path, true).unwrap();
+        wal.append(b"synced").unwrap();
+        drop(wal);
+        assert_eq!(Wal::replay(&path).unwrap(), vec![b"synced".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,163 @@
+//! Interactive CLI for the SSE reproduction: drive either scheme from a
+//! shell. Commands arrive on stdin, one per line:
+//!
+//! ```text
+//! put <id> <keyword,keyword,...> <text...>   store a document
+//! get <keyword>                              search one keyword
+//! all <kw1> <kw2> [...]                      conjunctive query (AND)
+//! any <kw1> <kw2> [...]                      disjunctive query (OR)
+//! stats                                      server + traffic counters
+//! help / quit
+//! ```
+//!
+//! ```sh
+//! cargo run --release --example cli                 # Scheme 2 (default)
+//! cargo run --release --example cli -- scheme1      # Scheme 1
+//! printf 'put 0 flu,fever notes\nget fever\nquit\n' | cargo run --release --example cli
+//! ```
+
+use sse_repro::core::query::{execute_query, Query};
+use sse_repro::core::scheme::SseClientApi;
+use sse_repro::core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_repro::core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_repro::core::types::{Document, Keyword, MasterKey};
+use sse_repro::net::meter::Meter;
+use std::io::{BufRead, Write};
+
+enum AnyClient {
+    S1(InMemoryScheme1Client),
+    S2(InMemoryScheme2Client),
+}
+
+impl AnyClient {
+    fn api(&mut self) -> &mut dyn SseClientApi {
+        match self {
+            AnyClient::S1(c) => c,
+            AnyClient::S2(c) => c,
+        }
+    }
+
+    fn meter(&self) -> Meter {
+        match self {
+            AnyClient::S1(c) => c.meter(),
+            AnyClient::S2(c) => c.meter(),
+        }
+    }
+
+    fn stats_line(&mut self) -> String {
+        match self {
+            AnyClient::S1(c) => {
+                let s = c.server_mut();
+                format!(
+                    "scheme1: {} docs, {} unique keywords, tree height {}",
+                    s.stored_docs(),
+                    s.unique_keywords(),
+                    s.tree_height()
+                )
+            }
+            AnyClient::S2(c) => {
+                let remaining = c.chain_remaining();
+                let s = c.server_mut();
+                format!(
+                    "scheme2: {} docs, {} unique keywords, tree height {}, \
+chain steps {}, chain budget left {}",
+                    s.stored_docs(),
+                    s.unique_keywords(),
+                    s.tree_height(),
+                    s.stats().chain_steps,
+                    remaining
+                )
+            }
+        }
+    }
+}
+
+fn main() {
+    let scheme = std::env::args().nth(1).unwrap_or_else(|| "scheme2".into());
+    let key = MasterKey::generate();
+    let mut client = match scheme.as_str() {
+        "scheme1" => AnyClient::S1(InMemoryScheme1Client::new_in_memory(
+            key,
+            Scheme1Config::fast_profile(4096),
+        )),
+        _ => AnyClient::S2(InMemoryScheme2Client::new_in_memory(
+            key,
+            Scheme2Config::standard(),
+        )),
+    };
+    println!(
+        "sse-repro CLI ({}). Type 'help' for commands.",
+        client.api().scheme_name()
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["quit" | "exit"] => break,
+            ["help"] => {
+                println!("put <id> <kw,kw,...> <text...> | get <kw> | all <kw>... | any <kw>... | stats | quit");
+            }
+            ["put", id, kws, text @ ..] => {
+                let Ok(id) = id.parse::<u64>() else {
+                    println!("bad id");
+                    continue;
+                };
+                let keywords: Vec<&str> = kws.split(',').filter(|k| !k.is_empty()).collect();
+                let doc = Document::new(id, text.join(" ").into_bytes(), keywords);
+                match client.api().add_documents(&[doc]) {
+                    Ok(()) => println!("stored doc {id}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            ["get", kw] => match client.api().search(&Keyword::new(*kw)) {
+                Ok(hits) => {
+                    println!("{} hit(s)", hits.len());
+                    for (id, data) in hits {
+                        println!("  doc {id}: {}", String::from_utf8_lossy(&data));
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            ["all", kws @ ..] if !kws.is_empty() => {
+                run_query(&mut client, Query::all_of(kws.iter().copied()));
+            }
+            ["any", kws @ ..] if !kws.is_empty() => {
+                run_query(&mut client, Query::any_of(kws.iter().copied()));
+            }
+            ["stats"] => {
+                println!("{}", client.stats_line());
+                let t = client.meter().snapshot();
+                println!(
+                    "traffic: {} rounds, {} B up, {} B down",
+                    t.rounds, t.bytes_up, t.bytes_down
+                );
+            }
+            _ => println!("unknown command; try 'help'"),
+        }
+    }
+}
+
+fn run_query(client: &mut AnyClient, q: Query) {
+    let result = match client {
+        AnyClient::S1(c) => execute_query(c, &q),
+        AnyClient::S2(c) => execute_query(c, &q),
+    };
+    match result {
+        Ok(hits) => {
+            println!("{} hit(s)", hits.len());
+            for (id, data) in hits {
+                println!("  doc {id}: {}", String::from_utf8_lossy(&data));
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}

@@ -1,0 +1,105 @@
+//! Leakage audit: what do updates reveal, and how well do the §5.7
+//! mitigations (batching, fake-update padding) hide it? Plus a live run of
+//! the Theorem-1 simulator against real views.
+//!
+//! ```sh
+//! cargo run --release --example leakage_audit
+//! ```
+
+use sse_repro::core::leakage::{analyze_updates, batch_documents};
+use sse_repro::core::scheme1::Scheme1Config;
+use sse_repro::core::security::{
+    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams,
+    Statistic, Trace,
+};
+use sse_repro::core::types::{Keyword, MasterKey};
+use sse_repro::phr::workload::{generate_corpus, CorpusConfig};
+
+fn main() {
+    // --- Part 1: update leakage vs batching and padding -------------------
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 120,
+        vocab_size: 400,
+        keywords_per_doc: (1, 9),
+        payload_bytes: 32,
+        ..CorpusConfig::default()
+    });
+
+    println!("update leakage (per-document keyword-count inference):");
+    println!("{:>10} {:>10} {:>16} {:>18}", "batch", "padding", "per-doc MAE", "obs entropy bits");
+    for batch in [1usize, 4, 16, 60] {
+        let batches = batch_documents(&corpus, batch);
+        let plain = analyze_updates(&batches, None);
+        println!(
+            "{batch:>10} {:>10} {:>16.3} {:>18.3}",
+            "none", plain.per_doc_mae, plain.observation_entropy_bits
+        );
+    }
+    let padded = analyze_updates(&batch_documents(&corpus, 1), Some(12));
+    println!(
+        "{:>10} {:>10} {:>16.3} {:>18.3}  <- every update looks identical",
+        1, "pad-to-12", padded.per_doc_mae, padded.observation_entropy_bits
+    );
+
+    // --- Part 2: the Theorem-1 simulator in action ------------------------
+    let config = Scheme1Config::fast_profile(64);
+    let docs = generate_corpus(&CorpusConfig {
+        docs: 24,
+        vocab_size: 64,
+        keywords_per_doc: (2, 4),
+        payload_bytes: 48,
+        ..CorpusConfig::default()
+    });
+    let queries = vec![
+        Keyword::new("kw-00000"),
+        Keyword::new("kw-00001"),
+        Keyword::new("kw-00000"),
+    ];
+    let history = History::new(docs, queries);
+    let trace = Trace::from_history(&history);
+    let params = SimulatorParams::from_config(&config);
+
+    // The game's probabilities range over Keygen's coins too, so each real
+    // trial draws a fresh master key.
+    let trials = 40;
+    let real: Vec<Vec<u8>> = (0..trials)
+        .map(|i| {
+            let key = MasterKey::from_seed(9000 + i);
+            extract_scheme1_view(&history, &key, config.clone(), i, false).index_bytes_only()
+        })
+        .collect();
+    let simulated: Vec<Vec<u8>> = (0..trials)
+        .map(|i| simulate_view(&trace, &params, 1000 + i).index_bytes_only())
+        .collect();
+    // Null control: two independent simulator populations. Any "advantage"
+    // here is pure sampling noise — the floor to compare against.
+    let simulated2: Vec<Vec<u8>> = (0..trials)
+        .map(|i| simulate_view(&trace, &params, 2000 + i).index_bytes_only())
+        .collect();
+    let broken: Vec<Vec<u8>> = (0..trials)
+        .map(|i| {
+            let key = MasterKey::from_seed(9000 + i);
+            extract_scheme1_view(&history, &key, config.clone(), i, true).index_bytes_only()
+        })
+        .collect();
+
+    println!("\ndistinguishing game (Definition 4, empirically):");
+    println!(
+        "{:<16} {:>18} {:>18} {:>18}",
+        "statistic", "noise floor", "adv(real, sim)", "adv(broken, sim)"
+    );
+    for &stat in Statistic::all() {
+        let floor = estimate_advantage(stat, &simulated, &simulated2);
+        let honest = estimate_advantage(stat, &real, &simulated);
+        let cracked = estimate_advantage(stat, &broken, &simulated);
+        println!(
+            "{:<16} {:>18.3} {:>18.3} {:>18.3}",
+            stat.name(),
+            floor.advantage,
+            honest.advantage,
+            cracked.advantage
+        );
+    }
+    println!("\nTheorem 1 predicts adv(real, sim) ≈ the noise floor; the broken");
+    println!("variant (mask disabled) validates that the harness detects leaks.");
+}

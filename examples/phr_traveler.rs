@@ -1,0 +1,80 @@
+//! The §6 *traveler* scenario on Scheme 1.
+//!
+//! A traveler bulk-loads her medical history once, then retrieves records
+//! selectively from anywhere — e.g. a border check of vaccination validity.
+//! Updates are rare, searches run over broadband, so Scheme 1's two-round
+//! search is acceptable and its constant-time-ish computation shines.
+//!
+//! ```sh
+//! cargo run --release --example phr_traveler
+//! ```
+
+use sse_repro::core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_repro::core::types::MasterKey;
+use sse_repro::net::latency::LinkProfile;
+use sse_repro::phr::system::PhrSystem;
+use sse_repro::phr::workload::{generate_records, traveler_profile, PhrEvent};
+
+fn main() {
+    let key = MasterKey::from_seed(77);
+    let client = InMemoryScheme1Client::new_in_memory(key, Scheme1Config::fast_profile(4096));
+    let meter = client.meter();
+    let mut phr = PhrSystem::new(client);
+
+    // One-time bulk load of the traveler's history.
+    let history = generate_records(200, 42);
+    let vaccinations = history
+        .iter()
+        .filter(|r| matches!(r.kind, sse_repro::phr::record::RecordKind::Vaccination))
+        .count();
+    phr.add_records(&history).expect("bulk load");
+    let load = meter.snapshot();
+    println!(
+        "bulk-loaded {} records ({} vaccinations) in {} rounds, {:.1} KiB up",
+        history.len(),
+        vaccinations,
+        load.rounds,
+        load.bytes_up as f64 / 1024.0
+    );
+
+    // At the border: check vaccination records.
+    meter.reset();
+    let vax = phr.find_by_code("kind:vaccination").expect("search");
+    let search = meter.snapshot();
+    println!(
+        "\nborder check: {} vaccination records retrieved in {} rounds",
+        vax.len(),
+        search.rounds
+    );
+    for r in vax.iter().take(5) {
+        println!("  record {} day {} codes {:?}", r.id, r.day, r.codes);
+    }
+    if vax.len() > 5 {
+        println!("  ... and {} more", vax.len() - 5);
+    }
+
+    // Price the same transcript under different links (Table 1's
+    // "communication overhead" made concrete).
+    println!("\nsimulated search latency by link profile:");
+    for profile in [LinkProfile::lan(), LinkProfile::broadband(), LinkProfile::mobile()] {
+        println!(
+            "  {:<10} {:>8.1} ms",
+            profile.name,
+            profile.simulate(&search).as_secs_f64() * 1000.0
+        );
+    }
+
+    // Replay a full traveler profile for the record.
+    let events = traveler_profile(0, 6, 7);
+    let searches = events
+        .iter()
+        .filter(|e| matches!(e, PhrEvent::Search(_)))
+        .count();
+    meter.reset();
+    phr.run_profile(&events).expect("profile");
+    println!(
+        "\nreplayed {searches} ad-hoc searches: {} total rounds ({} per search — Table 1: two)",
+        meter.snapshot().rounds,
+        meter.snapshot().rounds / searches as u64
+    );
+}

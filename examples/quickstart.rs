@@ -1,0 +1,97 @@
+//! Quickstart: store documents under both schemes, search, update, and
+//! look at what each operation costs on the wire.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sse_repro::core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_repro::core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_repro::core::types::{Document, Keyword, MasterKey};
+
+fn main() {
+    let docs = vec![
+        Document::new(0, b"2024-01-03 consultation notes".to_vec(), ["flu", "fever"]),
+        Document::new(1, b"2024-01-09 lab results".to_vec(), ["fever"]),
+        Document::new(2, b"2024-02-14 prescription".to_vec(), ["migraine"]),
+    ];
+
+    println!("=== Scheme 1: computationally efficient, two rounds ===");
+    let key = MasterKey::from_seed(2024);
+    let mut c1 = InMemoryScheme1Client::new_in_memory(key, Scheme1Config::fast_profile(1024));
+    let meter1 = c1.meter();
+
+    c1.store(&docs).expect("store");
+    let store_traffic = meter1.snapshot();
+    println!(
+        "store 3 docs: {} rounds, {} bytes up, {} bytes down",
+        store_traffic.rounds, store_traffic.bytes_up, store_traffic.bytes_down
+    );
+
+    meter1.reset();
+    let hits = c1.search(&Keyword::new("fever")).expect("search");
+    let search_traffic = meter1.snapshot();
+    println!(
+        "search 'fever': {} hits in {} rounds ({} bytes down)",
+        hits.len(),
+        search_traffic.rounds,
+        search_traffic.bytes_down
+    );
+    for (id, data) in &hits {
+        println!("  doc {id}: {}", String::from_utf8_lossy(data));
+    }
+
+    // Updating later is the same operation as storing.
+    meter1.reset();
+    c1.store(&[Document::new(3, b"2024-03-01 follow-up".to_vec(), ["fever"])])
+        .expect("update");
+    println!(
+        "incremental update: {} rounds, {} bytes up (Θ(capacity) bit-array per keyword)",
+        meter1.snapshot().rounds,
+        meter1.snapshot().bytes_up
+    );
+    println!(
+        "search again: {} hits",
+        c1.search(&Keyword::new("fever")).expect("search").len()
+    );
+
+    println!();
+    println!("=== Scheme 2: communication efficient, one round ===");
+    let key = MasterKey::from_seed(2024);
+    let mut c2 = InMemoryScheme2Client::new_in_memory(key, Scheme2Config::standard());
+    let meter2 = c2.meter();
+
+    c2.store(&docs).expect("store");
+    println!(
+        "store 3 docs: {} rounds, {} bytes up",
+        meter2.snapshot().rounds,
+        meter2.snapshot().bytes_up
+    );
+
+    meter2.reset();
+    let hits = c2.search(&Keyword::new("fever")).expect("search");
+    println!(
+        "search 'fever': {} hits in {} round(s)",
+        hits.len(),
+        meter2.snapshot().rounds
+    );
+
+    meter2.reset();
+    c2.store(&[Document::new(3, b"2024-03-01 follow-up".to_vec(), ["fever"])])
+        .expect("update");
+    println!(
+        "incremental update: {} round(s), {} bytes up (Θ(batch), not Θ(capacity))",
+        meter2.snapshot().rounds,
+        meter2.snapshot().bytes_up
+    );
+    let stats = c2.server_mut().stats();
+    println!(
+        "server chain walk so far: {} steps, {} generations decrypted",
+        stats.chain_steps, stats.generations_decrypted
+    );
+    println!(
+        "chain budget remaining: {} of {} counter values",
+        c2.chain_remaining(),
+        4096
+    );
+}

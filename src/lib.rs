@@ -1,0 +1,27 @@
+//! # sse-repro
+//!
+//! Umbrella crate for the reproduction of *Adaptively Secure Computationally
+//! Efficient Searchable Symmetric Encryption* (Sedghi, van Liesdonk, Doumen,
+//! Hartel, Jonker — SDM@VLDB 2010).
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`core`] — the paper's two schemes and the security harness;
+//! * [`primitives`] — the from-scratch cryptographic substrate;
+//! * [`index`] — bitsets, the tag B+-tree, posting generations, Bloom
+//!   filters;
+//! * [`storage`] — the WAL + slotted-page document store;
+//! * [`net`] — metered transports and the latency model;
+//! * [`baselines`] — SWP, Goh, Curtmola SSE-1, naive;
+//! * [`phr`] — the §6 personal-health-record application.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use sse_baselines as baselines;
+pub use sse_core as core;
+pub use sse_index as index;
+pub use sse_net as net;
+pub use sse_phr as phr;
+pub use sse_primitives as primitives;
+pub use sse_storage as storage;

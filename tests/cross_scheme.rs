@@ -1,0 +1,285 @@
+//! Cross-scheme parity: the paper's two schemes and every baseline must
+//! return identical search results on the same corpus — they differ only
+//! in cost. Also pins the Table-1 round counts side by side.
+
+use sse_repro::baselines::curtmola::CurtmolaClient;
+use sse_repro::baselines::goh::{GohClient, GohConfig};
+use sse_repro::baselines::naive::NaiveClient;
+use sse_repro::baselines::swp::SwpClient;
+use sse_repro::core::scheme::SseClientApi;
+use sse_repro::core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_repro::core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_repro::core::types::{DocId, Document, Keyword, MasterKey};
+use sse_repro::net::meter::Meter;
+use sse_repro::phr::workload::{generate_corpus, CorpusConfig};
+use std::collections::BTreeSet;
+
+fn corpus() -> Vec<Document> {
+    generate_corpus(&CorpusConfig {
+        docs: 100,
+        vocab_size: 150,
+        keywords_per_doc: (2, 6),
+        payload_bytes: 40,
+        seed: 0x7777,
+        ..CorpusConfig::default()
+    })
+}
+
+fn all_clients() -> Vec<Box<dyn SseClientApi>> {
+    let key = MasterKey::from_seed(42);
+    vec![
+        Box::new(InMemoryScheme1Client::new_in_memory(
+            key.clone(),
+            Scheme1Config::fast_profile(256),
+        )),
+        Box::new(InMemoryScheme2Client::new_in_memory(
+            key.clone(),
+            Scheme2Config::standard().with_chain_length(2048),
+        )),
+        Box::new(SwpClient::new(&key, Meter::new(), 1)),
+        Box::new(GohClient::new(&key, GohConfig::default(), Meter::new(), 2)),
+        Box::new(CurtmolaClient::new(&key, Meter::new(), 3)),
+        Box::new(NaiveClient::new(&key, Meter::new(), 4)),
+    ]
+}
+
+fn ids(hits: &[(DocId, Vec<u8>)]) -> BTreeSet<DocId> {
+    hits.iter().map(|(id, _)| *id).collect()
+}
+
+#[test]
+fn all_schemes_agree_on_search_results() {
+    let docs = corpus();
+    let queries: Vec<Keyword> = (0..25).map(|i| Keyword::new(format!("kw-{i:05}"))).collect();
+
+    // Ground truth.
+    let truth: Vec<BTreeSet<DocId>> = queries
+        .iter()
+        .map(|q| {
+            docs.iter()
+                .filter(|d| d.has_keyword(q))
+                .map(|d| d.id)
+                .collect()
+        })
+        .collect();
+
+    for mut client in all_clients() {
+        client.add_documents(&docs).unwrap();
+        for (q, want) in queries.iter().zip(truth.iter()) {
+            let got = ids(&client.search(q).unwrap());
+            if client.scheme_name() == "goh" {
+                // Bloom filters may add false positives but never miss.
+                assert!(
+                    got.is_superset(want),
+                    "{}: {q} missed documents",
+                    client.scheme_name()
+                );
+                assert!(
+                    got.len() <= want.len() + 3,
+                    "{}: too many false positives for {q}",
+                    client.scheme_name()
+                );
+            } else {
+                assert_eq!(&got, want, "{}: {q}", client.scheme_name());
+            }
+        }
+    }
+}
+
+#[test]
+fn all_schemes_agree_after_incremental_updates() {
+    let docs = corpus();
+    let (initial, update) = docs.split_at(70);
+    let q = Keyword::new("kw-00000"); // Zipf head: appears in many docs
+
+    let mut results: Vec<(String, BTreeSet<DocId>)> = Vec::new();
+    for mut client in all_clients() {
+        client.add_documents(initial).unwrap();
+        let _ = client.search(&q).unwrap();
+        client.add_documents(update).unwrap();
+        results.push((client.scheme_name().to_string(), ids(&client.search(&q).unwrap())));
+    }
+    let reference = &results[0].1;
+    assert!(!reference.is_empty(), "head keyword must match documents");
+    for (name, got) in &results {
+        if name == "goh" {
+            assert!(got.is_superset(reference), "{name} missed updates");
+        } else {
+            assert_eq!(got, reference, "{name} diverged after update");
+        }
+    }
+}
+
+#[test]
+fn table1_round_counts_hold_for_the_papers_schemes() {
+    let docs = corpus();
+    let key = MasterKey::from_seed(9);
+
+    let mut s1 = InMemoryScheme1Client::new_in_memory(key.clone(), Scheme1Config::fast_profile(256));
+    let m1 = s1.meter();
+    s1.store(&docs).unwrap();
+    m1.reset();
+    s1.search(&Keyword::new("kw-00001")).unwrap();
+    assert_eq!(m1.snapshot().rounds, 2, "Scheme 1 search: two rounds");
+    m1.reset();
+    s1.store(&[Document::new(200, vec![], ["kw-00001"])]).unwrap();
+    assert_eq!(
+        m1.snapshot().rounds,
+        3,
+        "Scheme 1 update: 1 blob round + 2 metadata rounds"
+    );
+
+    let mut s2 = InMemoryScheme2Client::new_in_memory(
+        key,
+        Scheme2Config::standard().with_chain_length(2048),
+    );
+    let m2 = s2.meter();
+    s2.store(&docs).unwrap();
+    m2.reset();
+    s2.search(&Keyword::new("kw-00001")).unwrap();
+    assert_eq!(m2.snapshot().rounds, 1, "Scheme 2 search: one round");
+    m2.reset();
+    s2.store(&[Document::new(200, vec![], ["kw-00001"])]).unwrap();
+    assert_eq!(
+        m2.snapshot().rounds,
+        2,
+        "Scheme 2 update: 1 blob round + 1 metadata round"
+    );
+}
+
+#[test]
+fn update_cost_contrast_scheme1_vs_scheme2_vs_curtmola() {
+    // The paper's core trade-off, pinned as assertions:
+    //   Scheme 1 update bytes ~ capacity; Scheme 2 ~ batch;
+    //   Curtmola update bytes ~ whole database.
+    let docs = corpus();
+    let key = MasterKey::from_seed(10);
+    let single_update = vec![Document::new(200, b"tiny".to_vec(), ["kw-00001"])];
+
+    let mut s1 = InMemoryScheme1Client::new_in_memory(
+        key.clone(),
+        Scheme1Config::fast_profile(8192),
+    );
+    s1.store(&docs).unwrap();
+    let m = s1.meter();
+    m.reset();
+    s1.store(&single_update).unwrap();
+    let s1_bytes = m.snapshot().bytes_up;
+
+    let mut s2 = InMemoryScheme2Client::new_in_memory(
+        key.clone(),
+        Scheme2Config::standard().with_chain_length(2048),
+    );
+    s2.store(&docs).unwrap();
+    let m = s2.meter();
+    m.reset();
+    s2.store(&single_update).unwrap();
+    let s2_bytes = m.snapshot().bytes_up;
+
+    let meter_c = Meter::new();
+    let mut cm = CurtmolaClient::new(&key, meter_c.clone(), 5);
+    cm.add_documents(&docs).unwrap();
+    meter_c.reset();
+    cm.add_documents(&single_update).unwrap();
+    let cm_bytes = meter_c.snapshot().bytes_up;
+
+    // Scheme 2 cheapest, Scheme 1 pays the 8192-bit array, Curtmola pays
+    // the whole index rebuild.
+    assert!(
+        s2_bytes < s1_bytes,
+        "scheme2 ({s2_bytes}) must beat scheme1 ({s1_bytes}) on update bytes"
+    );
+    assert!(
+        s1_bytes < cm_bytes,
+        "scheme1 ({s1_bytes}) must beat a Curtmola rebuild ({cm_bytes})"
+    );
+    assert!(
+        s1_bytes as usize >= 8192 / 8,
+        "scheme1 must ship at least the bit array"
+    );
+}
+
+#[test]
+fn boolean_queries_agree_across_all_schemes() {
+    use sse_repro::core::query::{execute_query, Query};
+    let docs = corpus();
+    let q = Query::Or(vec![
+        Query::all_of(["kw-00000", "kw-00001"]),
+        Query::AndNot(
+            Box::new(Query::keyword("kw-00002")),
+            Box::new(Query::keyword("kw-00000")),
+        ),
+    ]);
+    let mut answers: Vec<(String, BTreeSet<DocId>)> = Vec::new();
+    for mut client in all_clients() {
+        client.add_documents(&docs).unwrap();
+        let hits = execute_query(client.as_mut(), &q).unwrap();
+        answers.push((
+            client.scheme_name().to_string(),
+            hits.iter().map(|(id, _)| *id).collect(),
+        ));
+    }
+    let reference = answers
+        .iter()
+        .find(|(n, _)| n == "scheme1")
+        .map(|(_, ids)| ids.clone())
+        .unwrap();
+    for (name, got) in &answers {
+        if name == "goh" {
+            // Bloom false positives can perturb set differences slightly.
+            continue;
+        }
+        assert_eq!(got, &reference, "{name} diverged on the boolean query");
+    }
+}
+
+#[test]
+fn search_many_default_matches_loop_for_baselines() {
+    let docs = corpus();
+    let kws: Vec<Keyword> = (0..6).map(|i| Keyword::new(format!("kw-{i:05}"))).collect();
+    for mut client in all_clients() {
+        client.add_documents(&docs).unwrap();
+        let batched = client.search_many(&kws).unwrap();
+        let looped: Vec<_> = kws.iter().map(|w| client.search(w).unwrap()).collect();
+        // Compare id sets (payload order within a list is deterministic).
+        for (b, l) in batched.iter().zip(looped.iter()) {
+            let b_ids: BTreeSet<DocId> = b.iter().map(|(id, _)| *id).collect();
+            let l_ids: BTreeSet<DocId> = l.iter().map(|(id, _)| *id).collect();
+            assert_eq!(b_ids, l_ids, "{}", client.scheme_name());
+        }
+    }
+}
+
+#[test]
+fn linear_baselines_touch_everything_tree_schemes_do_not() {
+    let docs = corpus();
+    let key = MasterKey::from_seed(11);
+
+    let mut swp = SwpClient::new(&key, Meter::new(), 6);
+    swp.add_documents(&docs).unwrap();
+    swp.search(&Keyword::new("zzz-absent")).unwrap();
+    assert_eq!(
+        swp.server().comparisons as usize,
+        swp.server().stored_words(),
+        "SWP must scan every stored word"
+    );
+
+    let mut goh = GohClient::new(&key, GohConfig::default(), Meter::new(), 7);
+    goh.add_documents(&docs).unwrap();
+    goh.search(&Keyword::new("zzz-absent")).unwrap();
+    assert_eq!(
+        goh.server().filters_probed as usize,
+        docs.len(),
+        "Goh must probe every document's filter"
+    );
+
+    let mut s1 = InMemoryScheme1Client::new_in_memory(key, Scheme1Config::fast_profile(256));
+    s1.store(&docs).unwrap();
+    let before = s1.server_mut().stats().tree_nodes_visited;
+    s1.search(&Keyword::new("zzz-absent")).unwrap();
+    let visited = s1.server_mut().stats().tree_nodes_visited - before;
+    assert!(
+        visited <= 5,
+        "Scheme 1 lookup touches only a root-to-leaf path, got {visited}"
+    );
+}

@@ -1,0 +1,184 @@
+//! Property-based integration tests: random operation sequences against a
+//! plaintext oracle, for both schemes.
+
+use proptest::prelude::*;
+use sse_repro::core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_repro::core::scheme2::{InMemoryScheme2Client, Scheme2Config};
+use sse_repro::core::types::{DocId, Document, Keyword, MasterKey};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A compact operation alphabet the strategies generate.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Store a new document with keyword indices from a tiny vocabulary.
+    Store { kw_indices: Vec<u8> },
+    /// Search one vocabulary keyword.
+    Search { kw_index: u8 },
+    /// Remove a previously stored document (deletion extension; Scheme 2
+    /// arm only — Scheme 1 removal is the XOR toggle, tested separately).
+    Remove { victim: usize },
+}
+
+const VOCAB: usize = 12;
+
+fn kw(i: u8) -> Keyword {
+    Keyword::new(format!("vocab-{}", i as usize % VOCAB))
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop::collection::vec(0u8..VOCAB as u8, 1..4)
+            .prop_map(|kw_indices| Op::Store { kw_indices }),
+        3 => (0u8..VOCAB as u8).prop_map(|kw_index| Op::Search { kw_index }),
+        1 => any::<usize>().prop_map(|victim| Op::Remove { victim }),
+    ]
+}
+
+/// Oracle state: keyword → set of doc ids (Scheme 2 semantics: append-only).
+#[derive(Default)]
+struct Oracle {
+    postings: BTreeMap<Keyword, BTreeSet<DocId>>,
+    payloads: BTreeMap<DocId, Vec<u8>>,
+}
+
+impl Oracle {
+    fn store(&mut self, id: DocId, kws: &[Keyword], payload: &[u8]) {
+        for k in kws {
+            self.postings.entry(k.clone()).or_default().insert(id);
+        }
+        self.payloads.insert(id, payload.to_vec());
+    }
+
+    fn remove(&mut self, id: DocId, kws: &[Keyword]) {
+        for k in kws {
+            if let Some(set) = self.postings.get_mut(k) {
+                set.remove(&id);
+            }
+        }
+        self.payloads.remove(&id);
+    }
+
+    fn search(&self, k: &Keyword) -> BTreeSet<DocId> {
+        self.postings.get(k).cloned().unwrap_or_default()
+    }
+}
+
+fn dedup_kws(indices: &[u8]) -> Vec<Keyword> {
+    let set: BTreeSet<u8> = indices.iter().map(|i| i % VOCAB as u8).collect();
+    set.into_iter().map(kw).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scheme2_matches_oracle_on_random_workloads(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+        seed in 0u64..1000,
+    ) {
+        let mut client = InMemoryScheme2Client::new_in_memory(
+            MasterKey::from_seed(seed),
+            Scheme2Config::standard().with_chain_length(4096),
+        );
+        let mut oracle = Oracle::default();
+        let mut next_id = 0u64;
+        let mut alive: Vec<Document> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Store { kw_indices } => {
+                    let kws = dedup_kws(kw_indices);
+                    let payload = next_id.to_le_bytes().to_vec();
+                    let doc = Document::new(next_id, payload.clone(), kws.clone());
+                    client.store(std::slice::from_ref(&doc)).unwrap();
+                    oracle.store(next_id, &kws, &payload);
+                    alive.push(doc);
+                    next_id += 1;
+                }
+                Op::Remove { victim } => {
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let doc = alive.remove(victim % alive.len());
+                    client.remove(std::slice::from_ref(&doc)).unwrap();
+                    let kws: Vec<Keyword> = doc.keywords.iter().cloned().collect();
+                    oracle.remove(doc.id, &kws);
+                }
+                Op::Search { kw_index } => {
+                    let k = kw(*kw_index);
+                    let hits = client.search(&k).unwrap();
+                    let got: BTreeSet<DocId> = hits.iter().map(|(id, _)| *id).collect();
+                    prop_assert_eq!(&got, &oracle.search(&k));
+                    for (id, payload) in &hits {
+                        prop_assert_eq!(payload, oracle.payloads.get(id).unwrap());
+                    }
+                }
+            }
+        }
+        // Final sweep over the whole vocabulary.
+        for i in 0..VOCAB as u8 {
+            let k = kw(i);
+            let got: BTreeSet<DocId> =
+                client.search(&k).unwrap().iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(&got, &oracle.search(&k));
+        }
+    }
+
+    #[test]
+    fn scheme1_matches_oracle_on_random_workloads(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let mut client = InMemoryScheme1Client::new_in_memory(
+            MasterKey::from_seed(seed),
+            Scheme1Config::fast_profile(128),
+        );
+        let mut oracle = Oracle::default();
+        let mut next_id = 0u64;
+        for op in &ops {
+            match op {
+                Op::Store { kw_indices } => {
+                    if next_id >= 128 { continue; } // capacity bound
+                    let kws = dedup_kws(kw_indices);
+                    let payload = next_id.to_le_bytes().to_vec();
+                    let doc = Document::new(next_id, payload.clone(), kws.clone());
+                    client.store(std::slice::from_ref(&doc)).unwrap();
+                    oracle.store(next_id, &kws, &payload);
+                    next_id += 1;
+                }
+                Op::Remove { .. } => {} // not exercised in the Scheme 1 arm
+                Op::Search { kw_index } => {
+                    let k = kw(*kw_index);
+                    let got: BTreeSet<DocId> =
+                        client.search(&k).unwrap().iter().map(|(id, _)| *id).collect();
+                    prop_assert_eq!(&got, &oracle.search(&k));
+                }
+            }
+        }
+        for i in 0..VOCAB as u8 {
+            let k = kw(i);
+            let got: BTreeSet<DocId> =
+                client.search(&k).unwrap().iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(&got, &oracle.search(&k));
+        }
+    }
+
+    /// Scheme 1's XOR semantics: toggling the same (doc, keyword) pair an
+    /// even number of times is a no-op, odd number of times an insert.
+    #[test]
+    fn scheme1_xor_toggle_parity(toggles in 1u8..6, seed in 0u64..100) {
+        let mut client = InMemoryScheme1Client::new_in_memory(
+            MasterKey::from_seed(seed),
+            Scheme1Config::fast_profile(16),
+        );
+        let doc = Document::new(3, b"payload".to_vec(), ["toggled"]);
+        for _ in 0..toggles {
+            client.store(std::slice::from_ref(&doc)).unwrap();
+        }
+        let hits = client.search(&Keyword::new("toggled")).unwrap();
+        if toggles % 2 == 1 {
+            prop_assert_eq!(hits.len(), 1);
+        } else {
+            prop_assert!(hits.is_empty());
+        }
+    }
+}

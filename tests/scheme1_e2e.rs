@@ -1,0 +1,191 @@
+//! End-to-end integration tests for Scheme 1 against a plaintext oracle.
+
+use sse_repro::core::scheme1::{InMemoryScheme1Client, Scheme1Config};
+use sse_repro::core::types::{DocId, Document, Keyword, MasterKey};
+use sse_repro::phr::workload::{generate_corpus, CorpusConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Plaintext inverted index — ground truth.
+fn oracle(docs: &[Document]) -> BTreeMap<Keyword, BTreeSet<DocId>> {
+    let mut idx: BTreeMap<Keyword, BTreeSet<DocId>> = BTreeMap::new();
+    for d in docs {
+        for w in &d.keywords {
+            idx.entry(w.clone()).or_default().insert(d.id);
+        }
+    }
+    idx
+}
+
+fn hits_ids(hits: &[(DocId, Vec<u8>)]) -> BTreeSet<DocId> {
+    hits.iter().map(|(id, _)| *id).collect()
+}
+
+#[test]
+fn large_corpus_search_matches_oracle() {
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 300,
+        vocab_size: 600,
+        keywords_per_doc: (2, 8),
+        payload_bytes: 64,
+        seed: 0xA11CE,
+        ..CorpusConfig::default()
+    });
+    let mut client = InMemoryScheme1Client::new_in_memory(
+        MasterKey::from_seed(1),
+        Scheme1Config::fast_profile(512),
+    );
+    client.store(&corpus).unwrap();
+
+    let idx = oracle(&corpus);
+    assert!(idx.len() > 100, "corpus should have many unique keywords");
+    for (kw, want) in idx.iter().take(120) {
+        let got = hits_ids(&client.search(kw).unwrap());
+        assert_eq!(&got, want, "keyword {kw}");
+    }
+    // Payloads decrypt to the original data.
+    let (kw, ids) = idx.iter().next().unwrap();
+    for (id, data) in client.search(kw).unwrap() {
+        assert!(ids.contains(&id));
+        assert_eq!(data, corpus[id as usize].data);
+    }
+}
+
+#[test]
+fn incremental_updates_match_oracle_at_every_step() {
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 120,
+        vocab_size: 100,
+        keywords_per_doc: (1, 4),
+        payload_bytes: 16,
+        seed: 0xB0B,
+        ..CorpusConfig::default()
+    });
+    let mut client = InMemoryScheme1Client::new_in_memory(
+        MasterKey::from_seed(2),
+        Scheme1Config::fast_profile(128),
+    );
+
+    let mut stored: Vec<Document> = Vec::new();
+    for chunk in corpus.chunks(17) {
+        client.store(chunk).unwrap();
+        stored.extend_from_slice(chunk);
+        let idx = oracle(&stored);
+        // Probe a rotating sample of keywords after each batch.
+        for (kw, want) in idx.iter().step_by(7) {
+            let got = hits_ids(&client.search(kw).unwrap());
+            assert_eq!(&got, want, "after {} docs, keyword {kw}", stored.len());
+        }
+    }
+}
+
+#[test]
+fn deletion_via_toggle_matches_oracle() {
+    let mut client = InMemoryScheme1Client::new_in_memory(
+        MasterKey::from_seed(3),
+        Scheme1Config::fast_profile(64),
+    );
+    let docs = vec![
+        Document::new(0, b"a".to_vec(), ["k1", "k2"]),
+        Document::new(1, b"b".to_vec(), ["k1"]),
+        Document::new(2, b"c".to_vec(), ["k2"]),
+    ];
+    client.store(&docs).unwrap();
+
+    // Toggle doc 0 out of k1 (re-send the same (doc, keyword) pair).
+    client
+        .store(&[Document::new(0, b"a".to_vec(), ["k1"])])
+        .unwrap();
+    assert_eq!(hits_ids(&client.search(&Keyword::new("k1")).unwrap()), BTreeSet::from([1]));
+    // k2 untouched.
+    assert_eq!(
+        hits_ids(&client.search(&Keyword::new("k2")).unwrap()),
+        BTreeSet::from([0, 2])
+    );
+    // Toggle it back in.
+    client
+        .store(&[Document::new(0, b"a".to_vec(), ["k1"])])
+        .unwrap();
+    assert_eq!(
+        hits_ids(&client.search(&Keyword::new("k1")).unwrap()),
+        BTreeSet::from([0, 1])
+    );
+}
+
+#[test]
+fn remask_mode_is_equivalent_for_results() {
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 60,
+        vocab_size: 80,
+        seed: 0xC0DE,
+        ..CorpusConfig::default()
+    });
+    let mut plain = InMemoryScheme1Client::new_in_memory(
+        MasterKey::from_seed(4),
+        Scheme1Config::fast_profile(64),
+    );
+    let mut remask = InMemoryScheme1Client::new_in_memory(
+        MasterKey::from_seed(4),
+        Scheme1Config::fast_profile(64).with_remask(),
+    );
+    plain.store(&corpus).unwrap();
+    remask.store(&corpus).unwrap();
+    let idx = oracle(&corpus);
+    for kw in idx.keys().take(30) {
+        // Search twice in remask mode: re-randomization must not corrupt.
+        let a = hits_ids(&plain.search(kw).unwrap());
+        let b1 = hits_ids(&remask.search(kw).unwrap());
+        let b2 = hits_ids(&remask.search(kw).unwrap());
+        assert_eq!(a, b1, "{kw}");
+        assert_eq!(b1, b2, "{kw} after remask");
+    }
+}
+
+#[test]
+fn secure_profile_2048_bit_works() {
+    // One small end-to-end pass in the paper-strength group (slow: modexp
+    // on 2048-bit values), proving the fast profile is a drop-in swap.
+    let mut client = InMemoryScheme1Client::new_in_memory(
+        MasterKey::from_seed(5),
+        Scheme1Config::secure_profile(16),
+    );
+    let docs = vec![
+        Document::new(0, b"secret zero".to_vec(), ["x"]),
+        Document::new(1, b"secret one".to_vec(), ["x", "y"]),
+    ];
+    client.store(&docs).unwrap();
+    assert_eq!(
+        hits_ids(&client.search(&Keyword::new("x")).unwrap()),
+        BTreeSet::from([0, 1])
+    );
+    client
+        .store(&[Document::new(2, b"secret two".to_vec(), ["y"])])
+        .unwrap();
+    assert_eq!(
+        hits_ids(&client.search(&Keyword::new("y")).unwrap()),
+        BTreeSet::from([1, 2])
+    );
+}
+
+#[test]
+fn server_tree_height_is_logarithmic_in_keywords() {
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 400,
+        vocab_size: 2000,
+        keywords_per_doc: (4, 10),
+        payload_bytes: 8,
+        seed: 0xD00D,
+        ..CorpusConfig::default()
+    });
+    let mut client = InMemoryScheme1Client::new_in_memory(
+        MasterKey::from_seed(6),
+        Scheme1Config::fast_profile(512),
+    );
+    client.store(&corpus).unwrap();
+    let server = client.server_mut();
+    let u = server.unique_keywords();
+    let h = server.tree_height();
+    assert!(u > 500, "u = {u}");
+    // B+-tree with min fill 8: height <= log_8(u) + 2.
+    let bound = (u as f64).log(8.0).ceil() as usize + 2;
+    assert!(h <= bound, "height {h} exceeds log bound {bound} for u={u}");
+}

@@ -1,0 +1,244 @@
+//! End-to-end integration tests for Scheme 2 against a plaintext oracle,
+//! including optimization-equivalence and chain-lifecycle coverage.
+
+use sse_repro::core::scheme2::{
+    CtrPolicy, InMemoryScheme2Client, Scheme2Config,
+};
+use sse_repro::core::types::{DocId, Document, Keyword, MasterKey};
+use sse_repro::core::SseError;
+use sse_repro::phr::workload::{generate_corpus, CorpusConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn oracle(docs: &[Document]) -> BTreeMap<Keyword, BTreeSet<DocId>> {
+    let mut idx: BTreeMap<Keyword, BTreeSet<DocId>> = BTreeMap::new();
+    for d in docs {
+        for w in &d.keywords {
+            idx.entry(w.clone()).or_default().insert(d.id);
+        }
+    }
+    idx
+}
+
+fn hits_ids(hits: &[(DocId, Vec<u8>)]) -> BTreeSet<DocId> {
+    hits.iter().map(|(id, _)| *id).collect()
+}
+
+#[test]
+fn large_corpus_search_matches_oracle() {
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 300,
+        vocab_size: 600,
+        keywords_per_doc: (2, 8),
+        payload_bytes: 64,
+        seed: 0xFACE,
+        ..CorpusConfig::default()
+    });
+    let mut client = InMemoryScheme2Client::new_in_memory(
+        MasterKey::from_seed(1),
+        Scheme2Config::standard().with_chain_length(1024),
+    );
+    client.store(&corpus).unwrap();
+    let idx = oracle(&corpus);
+    for (kw, want) in idx.iter().take(120) {
+        assert_eq!(&hits_ids(&client.search(kw).unwrap()), want, "keyword {kw}");
+    }
+}
+
+#[test]
+fn every_optimization_combination_gives_identical_results() {
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 80,
+        vocab_size: 60,
+        keywords_per_doc: (1, 5),
+        payload_bytes: 24,
+        seed: 0xBEEF,
+        ..CorpusConfig::default()
+    });
+    let idx = oracle(&corpus);
+    let configs = [
+        Scheme2Config::base(2048),
+        Scheme2Config::base(2048).with_server_cache(true),
+        Scheme2Config::base(2048).with_ctr_policy(CtrPolicy::OnSearchOnly),
+        Scheme2Config::standard().with_chain_length(2048),
+    ];
+    for (ci, config) in configs.into_iter().enumerate() {
+        let mut client =
+            InMemoryScheme2Client::new_in_memory(MasterKey::from_seed(2), config);
+        // Interleave: store in chunks, search between chunks.
+        let mut stored = 0usize;
+        for chunk in corpus.chunks(13) {
+            client.store(chunk).unwrap();
+            stored += chunk.len();
+            let probe = idx.keys().nth(stored % idx.len()).unwrap();
+            let _ = client.search(probe).unwrap();
+        }
+        for (kw, want) in idx.iter().step_by(3) {
+            assert_eq!(
+                &hits_ids(&client.search(kw).unwrap()),
+                want,
+                "config {ci}, keyword {kw}"
+            );
+        }
+    }
+}
+
+#[test]
+fn heavy_interleaving_with_repeat_searches() {
+    let mut client = InMemoryScheme2Client::new_in_memory(
+        MasterKey::from_seed(3),
+        Scheme2Config::standard().with_chain_length(4096),
+    );
+    let kw = Keyword::new("hot");
+    let mut expected = BTreeSet::new();
+    for round in 0u64..60 {
+        let id = round;
+        let mut kws = vec!["hot".to_string()];
+        if round % 3 == 0 {
+            kws.push(format!("cold-{round}"));
+        }
+        client
+            .store(&[Document::new(id, round.to_le_bytes().to_vec(), kws.iter().map(String::as_str))])
+            .unwrap();
+        expected.insert(id);
+        if round % 2 == 0 {
+            assert_eq!(hits_ids(&client.search(&kw).unwrap()), expected, "round {round}");
+        }
+    }
+    // Cold keywords still retrievable at the end (long chain walks).
+    assert_eq!(
+        hits_ids(&client.search(&Keyword::new("cold-0")).unwrap()),
+        BTreeSet::from([0])
+    );
+    assert_eq!(
+        hits_ids(&client.search(&Keyword::new("cold-57")).unwrap()),
+        BTreeSet::from([57])
+    );
+}
+
+#[test]
+fn opt2_extends_chain_lifetime() {
+    // Same workload; Always exhausts, OnSearchOnly survives.
+    let workload: Vec<Document> = (0..10u64)
+        .map(|i| Document::new(i, vec![], ["kw"]))
+        .collect();
+
+    let mut always = InMemoryScheme2Client::new_in_memory(
+        MasterKey::from_seed(4),
+        Scheme2Config::base(5),
+    );
+    let mut result_always = Ok(());
+    for d in &workload {
+        result_always = always.store(std::slice::from_ref(d));
+        if result_always.is_err() {
+            break;
+        }
+    }
+    assert!(
+        matches!(result_always, Err(SseError::ChainExhausted)),
+        "Always policy must exhaust a length-5 chain on 10 updates"
+    );
+
+    let mut lazy = InMemoryScheme2Client::new_in_memory(
+        MasterKey::from_seed(4),
+        Scheme2Config::base(5).with_ctr_policy(CtrPolicy::OnSearchOnly),
+    );
+    for d in &workload {
+        lazy.store(std::slice::from_ref(d)).unwrap();
+    }
+    // Only 1 counter value consumed for 10 update-only operations.
+    assert_eq!(lazy.state().ctr, 1);
+    assert_eq!(hits_ids(&lazy.search(&Keyword::new("kw")).unwrap()).len(), 10);
+}
+
+#[test]
+fn full_lifecycle_with_reinitialization() {
+    let config = Scheme2Config::base(3);
+    let mut client = InMemoryScheme2Client::new_in_memory(MasterKey::from_seed(5), config);
+    let mut all_docs: Vec<Document> = Vec::new();
+
+    // Fill the chain.
+    for i in 0u64..3 {
+        let d = Document::new(i, format!("gen{i}").into_bytes(), ["k"]);
+        client.store(std::slice::from_ref(&d)).unwrap();
+        all_docs.push(d);
+    }
+    assert!(matches!(
+        client.store(&[Document::new(9, vec![], ["k"])]),
+        Err(SseError::ChainExhausted)
+    ));
+
+    // Re-initialize and continue for two more epochs.
+    for epoch in 1u64..3 {
+        client.reinitialize(&all_docs).unwrap();
+        assert_eq!(client.state().epoch, epoch);
+        assert_eq!(
+            hits_ids(&client.search(&Keyword::new("k")).unwrap()).len(),
+            all_docs.len(),
+            "epoch {epoch} must retain all documents"
+        );
+        let next_id = 10 * epoch;
+        let d = Document::new(next_id, b"fresh".to_vec(), ["k"]);
+        client.store(std::slice::from_ref(&d)).unwrap();
+        all_docs.push(d);
+    }
+    assert_eq!(
+        hits_ids(&client.search(&Keyword::new("k")).unwrap()).len(),
+        all_docs.len()
+    );
+}
+
+#[test]
+fn opt1_cache_saves_work_without_changing_results() {
+    let corpus = generate_corpus(&CorpusConfig {
+        docs: 50,
+        vocab_size: 10,
+        keywords_per_doc: (1, 2),
+        payload_bytes: 8,
+        seed: 0xCAFE,
+        ..CorpusConfig::default()
+    });
+    let run = |cache: bool| {
+        let mut client = InMemoryScheme2Client::new_in_memory(
+            MasterKey::from_seed(6),
+            Scheme2Config::standard()
+                .with_chain_length(1024)
+                .with_server_cache(cache),
+        );
+        let kw = Keyword::new("kw-00000");
+        let mut results = Vec::new();
+        for chunk in corpus.chunks(10) {
+            client.store(chunk).unwrap();
+            results.push(hits_ids(&client.search(&kw).unwrap()));
+            // Repeat search: the cache arm should decrypt nothing new.
+            results.push(hits_ids(&client.search(&kw).unwrap()));
+        }
+        (results, client.server_mut().stats().generations_decrypted)
+    };
+    let (with_cache, decrypted_cached) = run(true);
+    let (without_cache, decrypted_plain) = run(false);
+    assert_eq!(with_cache, without_cache, "results identical");
+    assert!(
+        decrypted_cached < decrypted_plain,
+        "cache must reduce decryptions: {decrypted_cached} vs {decrypted_plain}"
+    );
+}
+
+#[test]
+fn stored_index_grows_with_generations_not_capacity() {
+    let mut client = InMemoryScheme2Client::new_in_memory(
+        MasterKey::from_seed(7),
+        Scheme2Config::standard().with_chain_length(4096),
+    );
+    let mut last = 0usize;
+    for i in 0u64..10 {
+        client
+            .store(&[Document::new(i, vec![], ["kw"])])
+            .unwrap();
+        client.search(&Keyword::new("kw")).unwrap(); // advance ctr
+        let size = client.server_mut().index_bytes();
+        assert!(size > last, "index must grow by one generation");
+        // Each generation is small: sealed id-list + 32-byte commitment.
+        assert!(size - last < 200, "generation too large: {}", size - last);
+        last = size;
+    }
+}
