@@ -52,11 +52,7 @@ impl CurtmolaServer {
     #[must_use]
     pub fn index_bytes(&self) -> usize {
         self.array.iter().map(Vec::len).sum::<usize>()
-            + self
-                .table
-                .values()
-                .map(|v| 32 + v.len())
-                .sum::<usize>()
+            + self.table.values().map(|v| 32 + v.len()).sum::<usize>()
     }
 }
 
@@ -102,7 +98,9 @@ impl CurtmolaClient {
 
     /// Sealing key for the table entry of `w`.
     fn table_key(&self, w: &Keyword) -> [u8; 32] {
-        Prf::new(self.index_key).eval_parts(&[b"table", w.as_bytes()]).0
+        Prf::new(self.index_key)
+            .eval_parts(&[b"table", w.as_bytes()])
+            .0
     }
 
     /// Rebuild the entire index from the cached metadata and upload it.
@@ -130,8 +128,7 @@ impl CurtmolaClient {
 
         for (w, ids) in &postings {
             // Assign each node of this list a slot and a fresh key.
-            let addrs: Vec<u64> =
-                (0..ids.len()).map(|k| slots[slot_cursor + k]).collect();
+            let addrs: Vec<u64> = (0..ids.len()).map(|k| slots[slot_cursor + k]).collect();
             slot_cursor += ids.len();
             let keys: Vec<[u8; 32]> = (0..ids.len()).map(|_| self.drbg.gen_key()).collect();
 
@@ -155,8 +152,7 @@ impl CurtmolaClient {
             w_entry.put_u64(addrs[0]).put_array(&keys[0]);
             let mut iv = [0u8; 12];
             self.drbg.fill(&mut iv);
-            let sealed =
-                EtmKey::new(&self.table_key(w)).seal_with_iv(&iv, &w_entry.finish());
+            let sealed = EtmKey::new(&self.table_key(w)).seal_with_iv(&iv, &w_entry.finish());
             table.insert(self.tag(w), sealed);
         }
 

@@ -157,7 +157,12 @@ mod tests {
     use super::*;
 
     fn client() -> GohClient {
-        GohClient::new(&MasterKey::from_seed(3), GohConfig::default(), Meter::new(), 4)
+        GohClient::new(
+            &MasterKey::from_seed(3),
+            GohConfig::default(),
+            Meter::new(),
+            4,
+        )
     }
 
     fn docs() -> Vec<Document> {

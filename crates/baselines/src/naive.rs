@@ -166,8 +166,10 @@ mod tests {
     #[test]
     fn updates_extend_results() {
         let mut c = client();
-        c.add_documents(&[Document::new(0, b"z".to_vec(), ["k"])]).unwrap();
-        c.add_documents(&[Document::new(1, b"o".to_vec(), ["k"])]).unwrap();
+        c.add_documents(&[Document::new(0, b"z".to_vec(), ["k"])])
+            .unwrap();
+        c.add_documents(&[Document::new(1, b"o".to_vec(), ["k"])])
+            .unwrap();
         assert_eq!(c.search(&Keyword::new("k")).unwrap().len(), 2);
         assert_eq!(c.server().stored_docs(), 2);
     }

@@ -2,9 +2,9 @@
 //! Reproduces Table 1 "Searching computation" + the §3 O(n) critique.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sse_bench::corpus::{docs_for, exact_corpus, probe_keyword};
 use sse_baselines::goh::{GohClient, GohConfig};
 use sse_baselines::swp::SwpClient;
+use sse_bench::corpus::{docs_for, exact_corpus, probe_keyword};
 use sse_core::scheme::SseClientApi;
 use sse_core::scheme1::{InMemoryScheme1Client, Scheme1Config};
 use sse_core::scheme2::{InMemoryScheme2Client, Scheme2Config};

@@ -18,17 +18,13 @@ fn bench_update_cost(c: &mut Criterion) {
         let mut s1 =
             InMemoryScheme1Client::new_in_memory(key.clone(), Scheme1Config::fast_profile(cap));
         s1.store(&corpus).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("scheme1_capacity", cap),
-            &cap,
-            |b, _| {
-                b.iter(|| {
-                    // Toggle the same id in and out: steady-state updates.
-                    s1.store(&[Document::new(300, vec![0u8; 32], ["kw-000001"])])
-                        .unwrap();
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("scheme1_capacity", cap), &cap, |b, _| {
+            b.iter(|| {
+                // Toggle the same id in and out: steady-state updates.
+                s1.store(&[Document::new(300, vec![0u8; 32], ["kw-000001"])])
+                    .unwrap();
+            });
+        });
     }
 
     let mut s2 = InMemoryScheme2Client::new_in_memory(

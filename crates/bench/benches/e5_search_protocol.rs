@@ -11,7 +11,8 @@ fn client_with_history(cache: bool, generations: u64) -> InMemoryScheme2Client {
         Scheme2Config::base(1 << 16).with_server_cache(cache),
     );
     for i in 0..generations {
-        c.store(&[Document::new(i, vec![0u8; 16], ["hot"])]).unwrap();
+        c.store(&[Document::new(i, vec![0u8; 16], ["hot"])])
+            .unwrap();
     }
     // Prime: first search decrypts the backlog (and fills the cache when on).
     c.search(&Keyword::new("hot")).unwrap();

@@ -18,15 +18,9 @@ fn bench_chain_derivation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("derive_ctr1_l", l), &l, |b, _| {
             b.iter(|| std::hint::black_box(chain.key_for_counter(1).unwrap()));
         });
-        group.bench_with_input(
-            BenchmarkId::new("derive_near_tip_l", l),
-            &l,
-            |b, &l| {
-                b.iter(|| {
-                    std::hint::black_box(chain.key_for_counter(l as u64 - 1).unwrap())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("derive_near_tip_l", l), &l, |b, &l| {
+            b.iter(|| std::hint::black_box(chain.key_for_counter(l as u64 - 1).unwrap()));
+        });
     }
 
     // Epoch re-initialization: rebuild metadata for a database of n docs.

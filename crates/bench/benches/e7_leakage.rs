@@ -22,13 +22,9 @@ fn bench_leakage(c: &mut Criterion) {
 
     for batch in [1usize, 16, 64] {
         let batches = batch_documents(&corpus, batch);
-        group.bench_with_input(
-            BenchmarkId::new("analyze_batch", batch),
-            &batch,
-            |b, _| {
-                b.iter(|| std::hint::black_box(analyze_updates(&batches, Some(12))));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("analyze_batch", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(analyze_updates(&batches, Some(12))));
+        });
     }
 
     // The runtime price of a fake update (the mitigation itself).

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sse_core::scheme1::Scheme1Config;
 use sse_core::security::{
-    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams,
-    Statistic, Trace,
+    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams, Statistic,
+    Trace,
 };
 use sse_core::types::{Keyword, MasterKey};
 use sse_phr::workload::{generate_corpus, CorpusConfig};
@@ -20,7 +20,10 @@ fn bench_simulator(c: &mut Criterion) {
         seed: 0xE8,
         ..CorpusConfig::default()
     });
-    let history = History::new(docs, vec![Keyword::new("kw-00000"), Keyword::new("kw-00001")]);
+    let history = History::new(
+        docs,
+        vec![Keyword::new("kw-00000"), Keyword::new("kw-00001")],
+    );
     let trace = Trace::from_history(&history);
     let params = SimulatorParams::from_config(&config);
 
@@ -32,7 +35,13 @@ fn bench_simulator(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            std::hint::black_box(extract_scheme1_view(&history, &key, config.clone(), i, false))
+            std::hint::black_box(extract_scheme1_view(
+                &history,
+                &key,
+                config.clone(),
+                i,
+                false,
+            ))
         });
     });
 

@@ -86,12 +86,7 @@ generations, so 'gens decrypted/search' stays ≈ x instead of growing with hist
 }
 
 /// Helper reused by the Criterion bench: one (x updates + 1 search) cycle.
-pub fn one_cycle(
-    client: &mut InMemoryScheme2Client,
-    next_id: &mut u64,
-    x: u64,
-    keyword: &Keyword,
-) {
+pub fn one_cycle(client: &mut InMemoryScheme2Client, next_id: &mut u64, x: u64, keyword: &Keyword) {
     for _ in 0..x {
         client
             .store(&[Document::new(*next_id, vec![0u8; 16], [keyword.as_str()])])

@@ -103,7 +103,10 @@ pub fn e3_comm_overhead(scale: Scale) -> Table {
             cost.rounds.to_string(),
             fmt_bytes(cost.up),
             fmt_bytes(cost.down),
-            format!("{:.1} ms", LinkProfile::lan().simulate(&snap).as_secs_f64() * 1e3),
+            format!(
+                "{:.1} ms",
+                LinkProfile::lan().simulate(&snap).as_secs_f64() * 1e3
+            ),
             format!(
                 "{:.1} ms",
                 LinkProfile::broadband().simulate(&snap).as_secs_f64() * 1e3

@@ -78,12 +78,8 @@ pub fn e4_update_cost(scale: Scale) -> Table {
         let mut cm = CurtmolaClient::new(&key, meter.clone(), 1);
         cm.add_documents(&exact_corpus(512, stored, 32)).unwrap();
         meter.reset();
-        cm.add_documents(&[Document::new(
-            stored as u64,
-            vec![0u8; 32],
-            ["kw-000001"],
-        )])
-        .unwrap();
+        cm.add_documents(&[Document::new(stored as u64, vec![0u8; 32], ["kw-000001"])])
+            .unwrap();
         let cm_bytes = meter.snapshot().bytes_up;
 
         table.row(vec![

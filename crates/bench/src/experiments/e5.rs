@@ -24,7 +24,11 @@ pub fn e5_search_protocol(scale: Scale) -> Table {
         "E5",
         "search transcripts (Figs. 2/4) and the Optimization-1 cache",
         "Fig. 2, Fig. 4, §5.6 Optimization 1",
-        &["configuration", "repeat-search latency", "gens decrypted on repeat"],
+        &[
+            "configuration",
+            "repeat-search latency",
+            "gens decrypted on repeat",
+        ],
     );
 
     // --- Fig. 2 transcript shape (Scheme 1) --------------------------------
@@ -84,8 +88,7 @@ pub fn e5_search_protocol(scale: Scale) -> Table {
         });
         let stats = client.server_mut().stats();
         let repeats = stats.searches - 1;
-        let per_repeat =
-            (stats.generations_decrypted - after_first) as f64 / repeats.max(1) as f64;
+        let per_repeat = (stats.generations_decrypted - after_first) as f64 / repeats.max(1) as f64;
         table.row(vec![
             format!(
                 "opt1 {} ({} gens history)",

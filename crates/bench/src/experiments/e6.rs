@@ -79,10 +79,8 @@ chain never advances past the first key.",
 
     // Re-initialization cost: one full epoch rebuild.
     let l = 8u64;
-    let mut client = InMemoryScheme2Client::new_in_memory(
-        MasterKey::from_seed(0xE6),
-        Scheme2Config::base(l),
-    );
+    let mut client =
+        InMemoryScheme2Client::new_in_memory(MasterKey::from_seed(0xE6), Scheme2Config::base(l));
     let mut docs = Vec::new();
     for i in 0..l {
         let d = Document::new(i, vec![0u8; 32], ["k"]);
@@ -97,10 +95,7 @@ chain never advances past the first key.",
     meter.reset();
     client.reinitialize(&docs).unwrap();
     let rebuild = meter.snapshot();
-    assert_eq!(
-        client.search(&Keyword::new("k")).unwrap().len(),
-        docs.len()
-    );
+    assert_eq!(client.search(&Keyword::new("k")).unwrap().len(), docs.len());
     table.note(format!(
         "re-initialization after exhaustion (l={l}, {} docs): {} rounds, {} bytes up — \
 the whole metadata is re-sent, which is why Opt. 2 matters.",

@@ -8,8 +8,8 @@ use crate::table::Table;
 use crate::Scale;
 use sse_core::scheme1::Scheme1Config;
 use sse_core::security::{
-    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams,
-    Statistic, Trace,
+    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams, Statistic,
+    Trace,
 };
 use sse_core::types::{Keyword, MasterKey};
 use sse_phr::workload::{generate_corpus, CorpusConfig};

@@ -68,7 +68,11 @@ pub fn t1_summary(scale: Scale) -> Table {
         "T1",
         "Table 1 regenerated from measurements",
         "Table 1 (the paper's feature summary)",
-        &["feature", "scheme 1 (paper: measured)", "scheme 2 (paper: measured)"],
+        &[
+            "feature",
+            "scheme 1 (paper: measured)",
+            "scheme 2 (paper: measured)",
+        ],
     );
     table.row(vec![
         "communication overhead (search)".into(),

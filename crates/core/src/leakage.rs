@@ -99,9 +99,7 @@ pub fn analyze_updates(batches: &[Vec<Document>], pad_to: Option<usize>) -> Leak
 
     LeakageReport {
         per_doc_mae,
-        observation_entropy_bits: shannon_entropy(
-            observations.iter().map(|o| o.keyword_entries),
-        ),
+        observation_entropy_bits: shannon_entropy(observations.iter().map(|o| o.keyword_entries)),
         observations,
     }
 }
@@ -196,11 +194,7 @@ mod tests {
 
     #[test]
     fn padding_never_truncates() {
-        let batch = vec![Document::new(
-            0,
-            vec![],
-            ["a", "b", "c", "d", "e", "f"],
-        )];
+        let batch = vec![Document::new(0, vec![], ["a", "b", "c", "d", "e", "f"])];
         let report = analyze_updates(&[batch], Some(3));
         assert_eq!(report.observations[0].keyword_entries, 6);
     }

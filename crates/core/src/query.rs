@@ -94,7 +94,10 @@ impl Query {
 ///
 /// # Errors
 /// Propagates the underlying scheme's search errors.
-pub fn execute_query<C: SseClientApi + ?Sized>(client: &mut C, query: &Query) -> Result<SearchHits> {
+pub fn execute_query<C: SseClientApi + ?Sized>(
+    client: &mut C,
+    query: &Query,
+) -> Result<SearchHits> {
     // Fetch each mentioned keyword once, in a single batched exchange
     // (2 rounds on Scheme 1, 1 round on Scheme 2).
     let keywords: Vec<Keyword> = query.mentioned_keywords().into_iter().collect();
@@ -170,10 +173,7 @@ mod tests {
         assert_eq!(ids(&or), vec![0, 1, 2, 3]);
         let andnot = execute_query(
             &mut c,
-            &Query::AndNot(
-                Box::new(Query::keyword("a")),
-                Box::new(Query::keyword("c")),
-            ),
+            &Query::AndNot(Box::new(Query::keyword("a")), Box::new(Query::keyword("c"))),
         )
         .unwrap();
         assert_eq!(ids(&andnot), vec![0, 1]);
@@ -201,8 +201,12 @@ mod tests {
             Scheme1Config::fast_profile(16),
         );
         c.store(&docs()).unwrap();
-        assert!(execute_query(&mut c, &Query::And(vec![])).unwrap().is_empty());
-        assert!(execute_query(&mut c, &Query::Or(vec![])).unwrap().is_empty());
+        assert!(execute_query(&mut c, &Query::And(vec![]))
+            .unwrap()
+            .is_empty());
+        assert!(execute_query(&mut c, &Query::Or(vec![]))
+            .unwrap()
+            .is_empty());
         assert!(execute_query(&mut c, &Query::keyword("zzz"))
             .unwrap()
             .is_empty());

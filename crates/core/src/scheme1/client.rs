@@ -35,8 +35,7 @@ pub struct Scheme1Client<T: Transport> {
 }
 
 /// Convenience alias: a client wired directly to an in-process server.
-pub type InMemoryScheme1Client =
-    Scheme1Client<MeteredLink<super::server::Scheme1Server>>;
+pub type InMemoryScheme1Client = Scheme1Client<MeteredLink<super::server::Scheme1Server>>;
 
 impl InMemoryScheme1Client {
     /// Build client + in-memory server + metered link in one call.
@@ -522,8 +521,12 @@ mod tests {
         c.store(&docs()).unwrap();
         for round in 0u64..5 {
             let id = 10 + round;
-            c.store(&[Document::new(id, format!("gen {round}").into_bytes(), ["fever"])])
-                .unwrap();
+            c.store(&[Document::new(
+                id,
+                format!("gen {round}").into_bytes(),
+                ["fever"],
+            )])
+            .unwrap();
             let hits = c.search(&Keyword::new("fever")).unwrap();
             assert_eq!(hits.len(), 2 + (round as usize) + 1);
         }
@@ -532,9 +535,7 @@ mod tests {
     #[test]
     fn capacity_is_enforced_client_side() {
         let mut c = client(4);
-        let err = c
-            .store(&[Document::new(4, vec![], ["x"])])
-            .unwrap_err();
+        let err = c.store(&[Document::new(4, vec![], ["x"])]).unwrap_err();
         assert!(matches!(err, SseError::DocIdOutOfRange { id: 4, .. }));
     }
 
@@ -589,7 +590,10 @@ mod tests {
         let mut c1 = client(64);
         c1.store(&docs()).unwrap();
         // Fresh client with a different key over the *same* server.
-        let server = std::mem::replace(c1.server_mut(), super::super::server::Scheme1Server::new_in_memory(64));
+        let server = std::mem::replace(
+            c1.server_mut(),
+            super::super::server::Scheme1Server::new_in_memory(64),
+        );
         let link = MeteredLink::new(server, Meter::new());
         let mut c2 = Scheme1Client::new_seeded(
             link,
@@ -614,7 +618,11 @@ mod tests {
         let meter = c.meter();
         meter.reset();
         let batched = c.search_many(&kws).unwrap();
-        assert_eq!(meter.snapshot().rounds, 2, "batched search is 2 rounds total");
+        assert_eq!(
+            meter.snapshot().rounds,
+            2,
+            "batched search is 2 rounds total"
+        );
         assert_eq!(batched, individual);
     }
 
@@ -689,7 +697,8 @@ mod tests {
         // Grow twice in a row; all state must carry through both hops.
         c.migrate_capacity(32).unwrap();
         c.migrate_capacity(512).unwrap();
-        c.store(&[Document::new(400, b"c".to_vec(), ["k2"])]).unwrap();
+        c.store(&[Document::new(400, b"c".to_vec(), ["k2"])])
+            .unwrap();
         let results = c
             .search_many(&[Keyword::new("k1"), Keyword::new("k2")])
             .unwrap();
@@ -703,7 +712,8 @@ mod tests {
     fn migration_of_empty_database_works() {
         let mut c = client(8);
         c.migrate_capacity(64).unwrap();
-        c.store(&[Document::new(50, b"x".to_vec(), ["kw"])]).unwrap();
+        c.store(&[Document::new(50, b"x".to_vec(), ["kw"])])
+            .unwrap();
         assert_eq!(c.search(&Keyword::new("kw")).unwrap().len(), 1);
     }
 
@@ -716,7 +726,8 @@ mod tests {
     #[test]
     fn migration_costs_two_rounds() {
         let mut c = client(8);
-        c.store(&docs().into_iter().take(2).collect::<Vec<_>>()).unwrap();
+        c.store(&docs().into_iter().take(2).collect::<Vec<_>>())
+            .unwrap();
         let meter = c.meter();
         meter.reset();
         c.migrate_capacity(128).unwrap();

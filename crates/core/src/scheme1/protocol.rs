@@ -214,7 +214,8 @@ pub fn encode_result(docs: &[(u64, Vec<u8>)]) -> Vec<u8> {
 #[must_use]
 pub fn encode_index_dump(entries: &[([u8; 32], Vec<u8>, Vec<u8>)]) -> Vec<u8> {
     let mut w = WireWriter::new();
-    w.put_u8(RESP_TAGS::INDEX_DUMP).put_u64(entries.len() as u64);
+    w.put_u8(RESP_TAGS::INDEX_DUMP)
+        .put_u64(entries.len() as u64);
     for (tag, masked, f_r) in entries {
         w.put_array(tag);
         w.put_bytes(masked);

@@ -323,18 +323,14 @@ impl Scheme1Server {
             }
             Request::Checkpoint => {
                 let Some(dir) = self.dir.clone() else {
-                    return protocol::encode_error(
-                        "checkpoint requested on an in-memory server",
-                    );
+                    return protocol::encode_error("checkpoint requested on an in-memory server");
                 };
                 match self.checkpoint(&dir) {
                     Ok(()) => protocol::encode_ack(),
                     Err(e) => protocol::encode_error(&e.to_string()),
                 }
             }
-            Request::ExportIndex => {
-                protocol::encode_index_dump(&self.export_representations())
-            }
+            Request::ExportIndex => protocol::encode_index_dump(&self.export_representations()),
             Request::ReplaceIndex { capacity, entries } => {
                 let new_width = (capacity as usize).div_ceil(8);
                 if let Some(bad) = entries.iter().find(|e| e.delta.len() != new_width) {
@@ -488,7 +484,10 @@ mod tests {
     #[test]
     fn search_reveal_unmasks_and_returns_docs() {
         let mut s = server();
-        s.handle(&encode_put_docs(&[(3, b"three".to_vec()), (7, b"seven".to_vec())]));
+        s.handle(&encode_put_docs(&[
+            (3, b"three".to_vec()),
+            (7, b"seven".to_vec()),
+        ]));
 
         // Build I(w) = {3, 7} masked under a known seed.
         let seed = [0x42u8; 32];
@@ -503,10 +502,7 @@ mod tests {
 
         let resp = s.handle(&encode_search_reveal(&tag, &seed));
         let docs = decode_result(&resp).unwrap();
-        assert_eq!(
-            docs,
-            vec![(3, b"three".to_vec()), (7, b"seven".to_vec())]
-        );
+        assert_eq!(docs, vec![(3, b"three".to_vec()), (7, b"seven".to_vec())]);
     }
 
     #[test]

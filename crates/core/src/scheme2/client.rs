@@ -58,8 +58,7 @@ pub struct Scheme2Client<T: Transport> {
 }
 
 /// Convenience alias: client wired to an in-process server.
-pub type InMemoryScheme2Client =
-    Scheme2Client<MeteredLink<super::server::Scheme2Server>>;
+pub type InMemoryScheme2Client = Scheme2Client<MeteredLink<super::server::Scheme2Server>>;
 
 impl InMemoryScheme2Client {
     /// Build client + in-memory server + metered link in one call.
@@ -499,8 +498,12 @@ mod tests {
         c.store(&docs()).unwrap();
         for round in 0u64..10 {
             let id = 10 + round;
-            c.store(&[Document::new(id, format!("r{round}").into_bytes(), ["fever"])])
-                .unwrap();
+            c.store(&[Document::new(
+                id,
+                format!("r{round}").into_bytes(),
+                ["fever"],
+            )])
+            .unwrap();
             let hits = c.search(&Keyword::new("fever")).unwrap();
             assert_eq!(hits.len(), 3 + round as usize, "round {round}");
         }
@@ -536,7 +539,10 @@ mod tests {
         c.store(&[Document::new(400, b"tiny".to_vec(), ["kw1"])])
             .unwrap();
         let up = meter.snapshot().bytes_up;
-        assert!(up < 400, "single-doc update should be small, got {up} bytes");
+        assert!(
+            up < 400,
+            "single-doc update should be small, got {up} bytes"
+        );
     }
 
     #[test]
@@ -560,7 +566,8 @@ mod tests {
         assert_eq!(c.state().ctr, 1);
         // No search since: three more updates reuse ctr = 1.
         for i in 0..3u64 {
-            c.store(&[Document::new(10 + i, vec![], ["fever"])]).unwrap();
+            c.store(&[Document::new(10 + i, vec![], ["fever"])])
+                .unwrap();
             assert_eq!(c.state().ctr, 1, "update {i} must reuse the counter");
         }
         // All four generations are still searchable.
@@ -643,7 +650,11 @@ mod tests {
         let meter = c.meter();
         meter.reset();
         let batched = c.search_many(&kws).unwrap();
-        assert_eq!(meter.snapshot().rounds, 1, "batched search is 1 round total");
+        assert_eq!(
+            meter.snapshot().rounds,
+            1,
+            "batched search is 1 round total"
+        );
         assert_eq!(batched, individual);
     }
 
@@ -754,10 +765,12 @@ mod tests {
     #[test]
     fn duplicate_doc_ids_across_generations_dedup_in_results() {
         let mut c = client(Scheme2Config::standard().with_chain_length(64));
-        c.store(&[Document::new(0, b"v1".to_vec(), ["kw"])]).unwrap();
+        c.store(&[Document::new(0, b"v1".to_vec(), ["kw"])])
+            .unwrap();
         c.search(&Keyword::new("kw")).unwrap();
         // Same doc id appears in a second generation (e.g. re-indexing).
-        c.store(&[Document::new(0, b"v2".to_vec(), ["kw"])]).unwrap();
+        c.store(&[Document::new(0, b"v2".to_vec(), ["kw"])])
+            .unwrap();
         let hits = c.search(&Keyword::new("kw")).unwrap();
         assert_eq!(hits.len(), 1, "dedup across generations");
         assert_eq!(hits[0].1, b"v2".to_vec(), "latest blob wins");

@@ -136,7 +136,10 @@ mod tests {
         // f'(k) must not collide with h(k), or the server's walk would
         // confuse commitments with chain elements.
         let k = [7u8; 32];
-        assert_ne!(key_commitment(&k), sse_primitives::hashchain::chain_step(&k));
+        assert_ne!(
+            key_commitment(&k),
+            sse_primitives::hashchain::chain_step(&k)
+        );
     }
 
     #[test]

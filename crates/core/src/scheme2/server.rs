@@ -388,8 +388,8 @@ impl Service for Scheme2Server {
 mod tests {
     use super::*;
     use crate::proto_common::{decode_ack, decode_result};
-    use sse_primitives::hashchain::{walk_forward, HashChain};
     use sse_net::wire::WireWriter;
+    use sse_primitives::hashchain::{walk_forward, HashChain};
 
     fn sealed_ids(key: &[u8; 32], ids: &[u64]) -> Vec<u8> {
         let mut w = WireWriter::new();
@@ -405,7 +405,10 @@ mod tests {
     #[test]
     fn append_then_search_single_generation() {
         let mut s = server();
-        s.handle(&protocol::encode_put_docs(&[(1, b"one".to_vec()), (2, b"two".to_vec())]));
+        s.handle(&protocol::encode_put_docs(&[
+            (1, b"one".to_vec()),
+            (2, b"two".to_vec()),
+        ]));
 
         let chain = HashChain::new(&[b"kw", b"key"], 64);
         let k1 = chain.key_for_counter(1).unwrap();
@@ -428,7 +431,10 @@ mod tests {
     #[test]
     fn newer_trapdoor_unlocks_older_generations() {
         let mut s = server();
-        s.handle(&protocol::encode_put_docs(&[(1, b"a".to_vec()), (2, b"b".to_vec())]));
+        s.handle(&protocol::encode_put_docs(&[
+            (1, b"a".to_vec()),
+            (2, b"b".to_vec()),
+        ]));
         let chain = HashChain::new(&[b"kw", b"key"], 64);
         let tag = [7u8; 32];
         // Two generations at counters 1 and 5.
@@ -452,7 +458,10 @@ mod tests {
     #[test]
     fn cache_skips_decrypted_generations() {
         let mut s = server();
-        s.handle(&protocol::encode_put_docs(&[(1, b"a".to_vec()), (2, b"b".to_vec())]));
+        s.handle(&protocol::encode_put_docs(&[
+            (1, b"a".to_vec()),
+            (2, b"b".to_vec()),
+        ]));
         let chain = HashChain::new(&[b"kw", b"key"], 64);
         let tag = [3u8; 32];
         let k1 = chain.key_for_counter(1).unwrap();
@@ -479,8 +488,7 @@ mod tests {
             commitment: key_commitment(&k3),
         }]));
         let t4 = chain.key_for_counter(4).unwrap();
-        let docs =
-            decode_result(&s.handle(&protocol::encode_search(&tag, &t4))).unwrap();
+        let docs = decode_result(&s.handle(&protocol::encode_search(&tag, &t4))).unwrap();
         assert_eq!(docs.len(), 2);
         assert_eq!(s.stats().generations_decrypted, 2);
     }
@@ -504,7 +512,11 @@ mod tests {
         let t = chain.key_for_counter(2).unwrap();
         decode_result(&s.handle(&protocol::encode_search(&tag, &t))).unwrap();
         decode_result(&s.handle(&protocol::encode_search(&tag, &t))).unwrap();
-        assert_eq!(s.stats().generations_decrypted, 2, "no cache: decrypt twice");
+        assert_eq!(
+            s.stats().generations_decrypted,
+            2,
+            "no cache: decrypt twice"
+        );
     }
 
     #[test]

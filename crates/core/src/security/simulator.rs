@@ -191,11 +191,7 @@ mod tests {
         // q > |W_D|: the simulator runs out of table tags and synthesizes.
         let t = Trace::from_history(&History::new(
             vec![Document::new(0, b"d".to_vec(), ["only"])],
-            vec![
-                Keyword::new("a"),
-                Keyword::new("b"),
-                Keyword::new("c"),
-            ],
+            vec![Keyword::new("a"), Keyword::new("b"), Keyword::new("c")],
         ));
         let v = simulate_view(&t, &params(), 7);
         assert_eq!(v.trapdoors.len(), 3);

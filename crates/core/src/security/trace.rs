@@ -49,8 +49,7 @@ impl Trace {
     pub fn from_history(h: &History) -> Self {
         let ids: Vec<DocId> = h.docs.iter().map(|d| d.id).collect();
         let doc_lengths: Vec<usize> = h.docs.iter().map(|d| d.data.len()).collect();
-        let unique: BTreeSet<&Keyword> =
-            h.docs.iter().flat_map(|d| d.keywords.iter()).collect();
+        let unique: BTreeSet<&Keyword> = h.docs.iter().flat_map(|d| d.keywords.iter()).collect();
         let results: Vec<Vec<DocId>> = h
             .queries
             .iter()
@@ -158,12 +157,8 @@ pub fn extract_scheme1_view(
         crate::scheme1::Scheme1Server::new_in_memory(config.capacity_docs),
     );
     let link = sse_net::link::MeteredLink::new(server, sse_net::meter::Meter::new());
-    let mut client = crate::scheme1::Scheme1Client::new_seeded(
-        link,
-        key.clone(),
-        config.clone(),
-        rng_seed,
-    );
+    let mut client =
+        crate::scheme1::Scheme1Client::new_seeded(link, key.clone(), config.clone(), rng_seed);
 
     client.store(&history.docs).expect("storage succeeds");
     let mut trapdoors = Vec::with_capacity(history.queries.len());

@@ -180,10 +180,7 @@ impl DocBitSet {
                 *last &= (1u8 << tail_bits) - 1;
             }
         }
-        DocBitSet {
-            bits,
-            capacity,
-        }
+        DocBitSet { bits, capacity }
     }
 
     /// Grow capacity to `new_capacity` bits, preserving contents.

@@ -55,9 +55,8 @@ impl BloomFilter {
     fn positions<'a>(&'a self, item: &[u8]) -> impl Iterator<Item = usize> + 'a {
         let (h1, h2) = self.base_hashes(item);
         let m = self.m_bits as u64;
-        (0..self.k_hashes).map(move |i| {
-            (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % m) as usize
-        })
+        (0..self.k_hashes)
+            .map(move |i| (h1.wrapping_add(h2.wrapping_mul(u64::from(i))) % m) as usize)
     }
 
     /// Insert an item.
@@ -148,8 +147,16 @@ mod tests {
     fn parameter_selection_is_sane() {
         let f = BloomFilter::with_rate(100, 0.01);
         // ~9.6 bits/item, ~7 hashes at 1% target.
-        assert!(f.m_bits() >= 800 && f.m_bits() <= 1200, "m = {}", f.m_bits());
-        assert!(f.k_hashes() >= 5 && f.k_hashes() <= 9, "k = {}", f.k_hashes());
+        assert!(
+            f.m_bits() >= 800 && f.m_bits() <= 1200,
+            "m = {}",
+            f.m_bits()
+        );
+        assert!(
+            f.k_hashes() >= 5 && f.k_hashes() <= 9,
+            "k = {}",
+            f.k_hashes()
+        );
     }
 
     #[test]

@@ -127,33 +127,31 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
 
     fn insert_rec(node: &mut Node<K, V>, key: K, value: V) -> InsertOutcome<K, V> {
         match node {
-            Node::Leaf { entries } => {
-                match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
-                    Ok(pos) => InsertOutcome {
-                        replaced: Some(std::mem::replace(&mut entries[pos].1, value)),
-                        split: None,
-                    },
-                    Err(pos) => {
-                        entries.insert(pos, (key, value));
-                        let split = if entries.len() > ORDER {
-                            let right_entries = entries.split_off(entries.len() / 2);
-                            let sep = right_entries[0].0.clone();
-                            Some((
-                                sep,
-                                Node::Leaf {
-                                    entries: right_entries,
-                                },
-                            ))
-                        } else {
-                            None
-                        };
-                        InsertOutcome {
-                            replaced: None,
-                            split,
-                        }
+            Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(pos) => InsertOutcome {
+                    replaced: Some(std::mem::replace(&mut entries[pos].1, value)),
+                    split: None,
+                },
+                Err(pos) => {
+                    entries.insert(pos, (key, value));
+                    let split = if entries.len() > ORDER {
+                        let right_entries = entries.split_off(entries.len() / 2);
+                        let sep = right_entries[0].0.clone();
+                        Some((
+                            sep,
+                            Node::Leaf {
+                                entries: right_entries,
+                            },
+                        ))
+                    } else {
+                        None
+                    };
+                    InsertOutcome {
+                        replaced: None,
+                        split,
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| *k <= key);
                 let outcome = Self::insert_rec(&mut children[idx], key, value);
@@ -343,7 +341,11 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
         }
         // Merge with a sibling (prefer left).
         let merge_left = idx > 0;
-        let (l, r) = if merge_left { (idx - 1, idx) } else { (idx, idx + 1) };
+        let (l, r) = if merge_left {
+            (idx - 1, idx)
+        } else {
+            (idx, idx + 1)
+        };
         if r >= children.len() {
             // Root with a single child after shrink: nothing to merge with;
             // the caller collapses pass-through roots.
@@ -397,9 +399,7 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
         fn count<K, V>(n: &Node<K, V>) -> usize {
             match n {
                 Node::Leaf { .. } => 1,
-                Node::Internal { children, .. } => {
-                    1 + children.iter().map(count).sum::<usize>()
-                }
+                Node::Internal { children, .. } => 1 + children.iter().map(count).sum::<usize>(),
             }
         }
         count(&self.root)
@@ -449,7 +449,11 @@ impl<K: Ord + Clone + Debug, V> BpTree<K, V> {
                     let mut depth = None;
                     for (i, child) in children.iter().enumerate() {
                         let lo = if i == 0 { lower } else { Some(&keys[i - 1]) };
-                        let hi = if i == keys.len() { upper } else { Some(&keys[i]) };
+                        let hi = if i == keys.len() {
+                            upper
+                        } else {
+                            Some(&keys[i])
+                        };
                         let d = walk(child, lo, hi, false);
                         if let Some(prev) = depth {
                             assert_eq!(prev, d, "unequal subtree depths");
@@ -493,7 +497,10 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
                     if frame.idx < children.len() {
                         let child = &children[frame.idx];
                         frame.idx += 1;
-                        self.stack.push(Frame { node: child, idx: 0 });
+                        self.stack.push(Frame {
+                            node: child,
+                            idx: 0,
+                        });
                     } else {
                         self.stack.pop();
                     }

@@ -23,9 +23,18 @@ pub fn encode_frame(body: &[u8]) -> Vec<u8> {
 }
 
 /// Incremental frame decoder.
-#[derive(Default)]
 pub struct FrameDecoder {
     buf: BytesMut,
+    max_len: u32,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder {
+            buf: BytesMut::default(),
+            max_len: MAX_FRAME_LEN,
+        }
+    }
 }
 
 /// Decoder failure: a peer declared an oversized frame.
@@ -44,10 +53,30 @@ impl std::fmt::Display for FrameTooLarge {
 impl std::error::Error for FrameTooLarge {}
 
 impl FrameDecoder {
-    /// New empty decoder.
+    /// New empty decoder accepting bodies up to [`MAX_FRAME_LEN`].
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New empty decoder accepting bodies up to `max_len` bytes. Servers
+    /// facing untrusted sockets should set this to the largest message the
+    /// protocol can legitimately produce: the length prefix is
+    /// attacker-controlled, and the limit is what stops a forged prefix
+    /// from driving an unbounded allocation (the TCP analogue of the wire
+    /// codec's `get_count` hardening). Capped at [`MAX_FRAME_LEN`].
+    #[must_use]
+    pub fn with_max_len(max_len: u32) -> Self {
+        FrameDecoder {
+            buf: BytesMut::default(),
+            max_len: max_len.min(MAX_FRAME_LEN),
+        }
+    }
+
+    /// The configured per-frame body limit.
+    #[must_use]
+    pub fn max_len(&self) -> u32 {
+        self.max_len
     }
 
     /// Feed received bytes into the decoder.
@@ -58,14 +87,15 @@ impl FrameDecoder {
     /// Pop the next complete frame, if one is buffered.
     ///
     /// # Errors
-    /// [`FrameTooLarge`] when the length prefix exceeds [`MAX_FRAME_LEN`];
-    /// the decoder is then poisoned and the connection should be dropped.
+    /// [`FrameTooLarge`] when the length prefix exceeds the configured
+    /// limit ([`MAX_FRAME_LEN`] by default); the decoder is then poisoned
+    /// and the connection should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLarge> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
-        if len > MAX_FRAME_LEN {
+        if len > self.max_len {
             return Err(FrameTooLarge { declared: len });
         }
         let total = 4 + len as usize;
@@ -147,6 +177,30 @@ mod tests {
         let mut d = FrameDecoder::new();
         d.push(&(MAX_FRAME_LEN + 1).to_le_bytes());
         assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn configured_limit_rejects_before_allocating() {
+        let mut d = FrameDecoder::with_max_len(1024);
+        assert_eq!(d.max_len(), 1024);
+        // A forged prefix above the limit errors with only 4 bytes on hand.
+        d.push(&2048u32.to_le_bytes());
+        assert_eq!(d.next_frame(), Err(FrameTooLarge { declared: 2048 }));
+    }
+
+    #[test]
+    fn configured_limit_still_accepts_small_frames() {
+        let mut d = FrameDecoder::with_max_len(16);
+        d.push(&encode_frame(b"ok"));
+        assert_eq!(d.next_frame().unwrap(), Some(b"ok".to_vec()));
+        d.push(&encode_frame(&[0u8; 17]));
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn limit_is_capped_at_protocol_maximum() {
+        let d = FrameDecoder::with_max_len(u32::MAX);
+        assert_eq!(d.max_len(), MAX_FRAME_LEN);
     }
 
     #[test]

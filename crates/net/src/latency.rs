@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn free_link_is_free() {
         let p = LinkProfile::free();
-        assert_eq!(p.simulate(&transcript(10, 1 << 30, 1 << 30)), Duration::ZERO);
+        assert_eq!(
+            p.simulate(&transcript(10, 1 << 30, 1 << 30)),
+            Duration::ZERO
+        );
     }
 
     #[test]

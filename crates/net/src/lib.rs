@@ -26,4 +26,5 @@ pub mod frame;
 pub mod latency;
 pub mod link;
 pub mod meter;
+pub mod shutdown;
 pub mod wire;

@@ -12,7 +12,10 @@
 
 use crate::frame::{encode_frame, FrameDecoder};
 use crate::meter::Meter;
+use crate::shutdown::ShutdownSignal;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
 /// Client-side view of a request/response channel. Implemented by both
 /// [`MeteredLink`] (synchronous, in-process) and [`Duplex`] (threaded), so
@@ -85,23 +88,46 @@ impl<S: Service> MeteredLink<S> {
     }
 }
 
+/// Slot holding the server thread's join handle; shared between the
+/// [`Duplex`] (joins on drop) and the [`ServerHandle`] (explicit join).
+/// Whichever side takes the handle first performs the join.
+type JoinSlot = Arc<Mutex<Option<JoinHandle<()>>>>;
+
 /// Client handle to a service running on its own thread.
+///
+/// Dropping the `Duplex` shuts the server thread down and **joins it**: no
+/// detached thread outlives the link (the original implementation leaked
+/// the thread unless [`ServerHandle::join`] was called explicitly).
 pub struct Duplex {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
     meter: Meter,
+    shutdown: ShutdownSignal,
+    join: JoinSlot,
 }
 
 /// Handle used to join the server thread after the client hangs up.
+/// Optional since the [`Duplex`] itself joins on drop; kept for callers
+/// that want to observe the join point explicitly.
 pub struct ServerHandle {
-    join: std::thread::JoinHandle<()>,
+    join: JoinSlot,
 }
 
 impl ServerHandle {
     /// Wait for the server thread to finish (it exits when the client side
-    /// is dropped).
+    /// is dropped). A no-op if the dropped `Duplex` already joined it.
+    ///
+    /// # Panics
+    /// Panics if the server thread panicked.
     pub fn join(self) {
-        self.join.join().expect("server thread panicked");
+        let handle = self
+            .join
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            handle.join().expect("server thread panicked");
+        }
     }
 }
 
@@ -110,9 +136,15 @@ impl Duplex {
     pub fn spawn<S: Service + 'static>(mut service: S, meter: Meter) -> (Duplex, ServerHandle) {
         let (req_tx, req_rx) = unbounded::<Vec<u8>>();
         let (resp_tx, resp_rx) = unbounded::<Vec<u8>>();
+        let shutdown = ShutdownSignal::new();
+        let server_shutdown = shutdown.clone();
         let join = std::thread::spawn(move || {
             let mut decoder = FrameDecoder::new();
-            while let Ok(chunk) = req_rx.recv() {
+            loop {
+                if server_shutdown.is_requested() {
+                    return;
+                }
+                let Ok(chunk) = req_rx.recv() else { return };
                 decoder.push(&chunk);
                 loop {
                     match decoder.next_frame() {
@@ -128,11 +160,14 @@ impl Duplex {
                 }
             }
         });
+        let join: JoinSlot = Arc::new(Mutex::new(Some(join)));
         (
             Duplex {
                 tx: req_tx,
                 rx: resp_rx,
                 meter,
+                shutdown,
+                join: join.clone(),
             },
             ServerHandle { join },
         )
@@ -163,6 +198,33 @@ impl Duplex {
     #[must_use]
     pub fn meter(&self) -> &Meter {
         &self.meter
+    }
+
+    /// The shutdown signal driving the server thread — the same primitive
+    /// the TCP daemon's drain logic uses.
+    #[must_use]
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        self.shutdown.clone()
+    }
+}
+
+impl Drop for Duplex {
+    fn drop(&mut self) {
+        self.shutdown.request();
+        // Wake the server loop if it is blocked on recv: an empty chunk is
+        // a no-op for the frame decoder. (Send can only fail if the thread
+        // already exited, which is fine.)
+        let _ = self.tx.send(Vec::new());
+        let handle = self
+            .join
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
+            // Swallow a server panic here: panicking in drop would abort.
+            // ServerHandle::join (if still held) sees an empty slot.
+            let _ = handle.join();
+        }
     }
 }
 

@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn vocabulary_is_nonempty_and_unique() {
         let v = full_vocabulary();
-        assert_eq!(v.len(), CONDITIONS.len() + MEDICATIONS.len() + PROCEDURES.len());
+        assert_eq!(
+            v.len(),
+            CONDITIONS.len() + MEDICATIONS.len() + PROCEDURES.len()
+        );
         let set: std::collections::HashSet<_> = v.iter().collect();
         assert_eq!(set.len(), v.len(), "no duplicate codes");
     }

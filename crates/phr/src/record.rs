@@ -107,8 +107,7 @@ impl MedicalRecord {
     /// Map to the scheme document: payload encrypted, codes + kind indexed.
     #[must_use]
     pub fn to_document(&self) -> Document {
-        let mut keywords: Vec<Keyword> =
-            self.codes.iter().map(Keyword::from).collect();
+        let mut keywords: Vec<Keyword> = self.codes.iter().map(Keyword::from).collect();
         keywords.push(Keyword::new(self.kind.keyword()));
         Document::new(self.id, self.to_payload(), keywords)
     }
@@ -123,7 +122,10 @@ mod tests {
             id: 42,
             kind: RecordKind::Vaccination,
             day: 1234,
-            codes: vec!["proc:vaccination-flu".to_string(), "med:paracetamol".to_string()],
+            codes: vec![
+                "proc:vaccination-flu".to_string(),
+                "med:paracetamol".to_string(),
+            ],
             note: "traveler check, no adverse reaction".to_string(),
         }
     }

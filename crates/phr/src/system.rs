@@ -55,10 +55,7 @@ impl<C: SseClientApi> PhrSystem<C> {
     ///
     /// # Errors
     /// Scheme errors propagate.
-    pub fn find_by_query(
-        &mut self,
-        query: &sse_core::query::Query,
-    ) -> Result<Vec<MedicalRecord>> {
+    pub fn find_by_query(&mut self, query: &sse_core::query::Query) -> Result<Vec<MedicalRecord>> {
         let hits = sse_core::query::execute_query(&mut self.client, query)?;
         self.searches_run += 1;
         Ok(hits

@@ -43,7 +43,10 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<Document> {
     let zipf = Zipf::new(config.vocab_size, config.zipf_s);
     let mut drbg = HmacDrbg::from_u64(config.seed);
     let (kmin, kmax) = config.keywords_per_doc;
-    assert!(kmin <= kmax && kmax <= config.vocab_size, "bad keyword range");
+    assert!(
+        kmin <= kmax && kmax <= config.vocab_size,
+        "bad keyword range"
+    );
 
     (0..config.docs as u64)
         .map(|id| {
@@ -76,8 +79,7 @@ pub fn generate_records(n: usize, seed: u64) -> Vec<MedicalRecord> {
                 2 => RecordKind::Prescription,
                 _ => RecordKind::Vaccination,
             };
-            let mut record_codes =
-                vec![codes::CONDITIONS[cond_zipf.sample(&mut drbg)].to_string()];
+            let mut record_codes = vec![codes::CONDITIONS[cond_zipf.sample(&mut drbg)].to_string()];
             if drbg.gen_range(2) == 0 {
                 record_codes.push(codes::MEDICATIONS[med_zipf.sample(&mut drbg)].to_string());
             }
@@ -144,8 +146,7 @@ pub fn traveler_profile(history_records: usize, searches: usize, seed: u64) -> V
         let code = if drbg.gen_range(2) == 0 {
             RecordKind::Vaccination.keyword().to_string()
         } else {
-            codes::PROCEDURES[drbg.gen_range(codes::PROCEDURES.len() as u64) as usize]
-                .to_string()
+            codes::PROCEDURES[drbg.gen_range(codes::PROCEDURES.len() as u64) as usize].to_string()
         };
         events.push(PhrEvent::Search(Keyword::new(code)));
     }

@@ -64,7 +64,11 @@ impl Zipf {
     /// Panics if `count > n`.
     #[must_use]
     pub fn sample_distinct(&self, drbg: &mut HmacDrbg, count: usize) -> Vec<usize> {
-        assert!(count <= self.n(), "cannot draw {count} distinct of {}", self.n());
+        assert!(
+            count <= self.n(),
+            "cannot draw {count} distinct of {}",
+            self.n()
+        );
         let mut out = Vec::with_capacity(count);
         let mut seen = std::collections::HashSet::new();
         // Rejection sampling is fine: count << n in our workloads. For the
@@ -115,7 +119,12 @@ mod tests {
             counts[z.sample(&mut drbg)] += 1;
         }
         // Rank 0 should be sampled far more than rank 100.
-        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
         // And the head (top 10 ranks) should carry a large share.
         let head: usize = counts[..10].iter().sum();
         assert!(head > 5000, "head share {head} of 20000");

@@ -13,12 +13,22 @@ fn main() {
         tries += 1;
         // random odd q in [2^254, 2^255), p = 2q+1 in [2^255, 2^256)
         let mut q = BigUint::random_range(&mut drbg, &low.shr(1), &high.shr(1));
-        if q.is_even() { q = q.add(&one); }
-        if !q.is_probable_prime(8, &mut drbg) { continue; }
+        if q.is_even() {
+            q = q.add(&one);
+        }
+        if !q.is_probable_prime(8, &mut drbg) {
+            continue;
+        }
         let p = q.mul(&two).add(&one);
-        if p.bit_len() != 256 { continue; }
-        if !p.is_probable_prime(32, &mut drbg) { continue; }
-        if !q.is_probable_prime(32, &mut drbg) { continue; }
+        if p.bit_len() != 256 {
+            continue;
+        }
+        if !p.is_probable_prime(32, &mut drbg) {
+            continue;
+        }
+        if !q.is_probable_prime(32, &mut drbg) {
+            continue;
+        }
         let hex: String = p.to_bytes_be().iter().map(|b| format!("{b:02X}")).collect();
         println!("tries={tries}");
         println!("p = {hex}");

@@ -526,7 +526,11 @@ impl BigUint {
             return Err(CryptoError::NotInvertible);
         }
         let (mag, neg) = t0;
-        Ok(if neg { modulus.sub(&mag.rem(modulus)).rem(modulus) } else { mag.rem(modulus) })
+        Ok(if neg {
+            modulus.sub(&mag.rem(modulus)).rem(modulus)
+        } else {
+            mag.rem(modulus)
+        })
     }
 
     /// Uniform random value in `[0, bound)` from a DRBG, by rejection.
@@ -694,9 +698,7 @@ impl Montgomery {
             // a += m * n << (64*i)
             let mut carry = 0u128;
             for j in 0..k {
-                let p = u128::from(m) * u128::from(self.n.limbs[j])
-                    + u128::from(a[i + j])
-                    + carry;
+                let p = u128::from(m) * u128::from(self.n.limbs[j]) + u128::from(a[i + j]) + carry;
                 a[i + j] = p as u64;
                 carry = p >> 64;
             }
@@ -758,7 +760,10 @@ mod tests {
         assert!(BigUint::zero().is_zero());
         assert!(BigUint::one().is_one());
         assert_eq!(BigUint::from_bytes_be(&[]).bit_len(), 0);
-        assert_eq!(BigUint::from_bytes_be(&[0, 0, 1, 2]).to_bytes_be(), vec![1, 2]);
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 1, 2]).to_bytes_be(),
+            vec![1, 2]
+        );
         let x = BigUint::from_hex("0102030405060708090a").unwrap();
         assert_eq!(
             x.to_bytes_be(),

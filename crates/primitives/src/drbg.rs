@@ -169,7 +169,10 @@ mod tests {
         for _ in 0..500 {
             seen[d.gen_range(5) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 
     #[test]

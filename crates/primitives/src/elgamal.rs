@@ -205,11 +205,7 @@ mod tests {
     fn encrypt_decrypt_round_trip() {
         let (eg, mut drbg) = fast_keys(1);
         for _ in 0..10 {
-            let m = BigUint::random_range(
-                &mut drbg,
-                &BigUint::from_u64(2),
-                &eg.group().p,
-            );
+            let m = BigUint::random_range(&mut drbg, &BigUint::from_u64(2), &eg.group().p);
             let ct = eg.encrypt_element(&m, &mut drbg);
             assert_eq!(eg.decrypt_element(&ct).unwrap(), m);
         }

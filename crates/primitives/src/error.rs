@@ -42,10 +42,16 @@ impl fmt::Display for CryptoError {
                 what,
                 expected,
                 got,
-            } => write!(f, "invalid length for {what}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "invalid length for {what}: expected {expected}, got {got}"
+            ),
             CryptoError::TagMismatch => write!(f, "authentication tag mismatch"),
             CryptoError::CiphertextTooShort { min, got } => {
-                write!(f, "ciphertext too short: need at least {min} bytes, got {got}")
+                write!(
+                    f,
+                    "ciphertext too short: need at least {min} bytes, got {got}"
+                )
             }
             CryptoError::OutOfRange(what) => write!(f, "operand out of range: {what}"),
             CryptoError::NotInvertible => write!(f, "element is not invertible"),

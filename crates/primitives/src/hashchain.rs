@@ -170,7 +170,10 @@ mod tests {
     fn chain_is_deterministic() {
         let c1 = HashChain::new(&[b"word", b"key"], 16);
         let c2 = HashChain::new(&[b"word", b"key"], 16);
-        assert_eq!(c1.key_for_counter(3).unwrap(), c2.key_for_counter(3).unwrap());
+        assert_eq!(
+            c1.key_for_counter(3).unwrap(),
+            c2.key_for_counter(3).unwrap()
+        );
     }
 
     #[test]
@@ -209,8 +212,7 @@ mod tests {
         let older = c.key_for_counter(25).unwrap();
         // Searching forward from the newest key must reach the older one in
         // exactly 15 steps.
-        let (steps, found) =
-            forward_search(&newest, |k| k == &older, 64).expect("must be found");
+        let (steps, found) = forward_search(&newest, |k| k == &older, 64).expect("must be found");
         assert_eq!(steps, 15);
         assert_eq!(found, older);
     }
@@ -257,7 +259,11 @@ mod tests {
         let l = 10_000usize;
         let pebbled = HashChain::with_checkpoints(&[b"w", b"k"], l);
         // interval = ceil(sqrt(10000)) = 100 -> ~101 checkpoints.
-        assert!(pebbled.checkpoints.len() <= 110, "{}", pebbled.checkpoints.len());
+        assert!(
+            pebbled.checkpoints.len() <= 110,
+            "{}",
+            pebbled.checkpoints.len()
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl Prf {
     #[must_use]
     pub fn eval_parts(&self, parts: &[&[u8]]) -> Tag {
         let mut framed: Vec<&[u8]> = Vec::with_capacity(parts.len() * 2);
-        let lens: Vec<[u8; 8]> = parts.iter().map(|p| (p.len() as u64).to_be_bytes()).collect();
+        let lens: Vec<[u8; 8]> = parts
+            .iter()
+            .map(|p| (p.len() as u64).to_be_bytes())
+            .collect();
         for (p, l) in parts.iter().zip(lens.iter()) {
             framed.push(l);
             framed.push(p);

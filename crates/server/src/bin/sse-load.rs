@@ -1,0 +1,160 @@
+//! `sse-load` — closed-loop load generator for `sse-serverd`.
+//!
+//! ```text
+//! sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N]
+//!          [--scheme 1|2|both] [--profile gp|traveler] [--events N]
+//!          [--seed N] [--shutdown]
+//! ```
+//!
+//! Drives N concurrent clients, each replaying a §6 PHR workload (Zipf
+//! over medical codes) through a real scheme client over TCP, and prints
+//! ops/sec plus client-observed p50/p95/p99 latency. `--spawn` starts an
+//! in-process daemon on an ephemeral port (a one-command demo);
+//! `--shutdown` sends `ADMIN_SHUTDOWN` to the target daemon after the run.
+
+use sse_server::daemon::{Daemon, ServerConfig};
+use sse_server::load::{run_load, LoadOptions, Profile};
+use sse_server::proto::SchemeId;
+use sse_server::transport::TcpTransport;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N] \
+         [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric value: {s}");
+        usage()
+    })
+}
+
+struct Cli {
+    opts: LoadOptions,
+    spawn: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        opts: LoadOptions::default(),
+        spawn: false,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cli.opts.addr = value(),
+            "--spawn" => cli.spawn = true,
+            "--shutdown" => cli.shutdown = true,
+            "--clients" => cli.opts.clients = parse(&value()),
+            "--tenants" => cli.opts.tenants = parse(&value()),
+            "--events" => cli.opts.events = parse(&value()),
+            "--seed" => cli.opts.seed = parse(&value()),
+            "--scheme" => {
+                cli.opts.schemes = match value().as_str() {
+                    "1" => vec![SchemeId::Scheme1],
+                    "2" => vec![SchemeId::Scheme2],
+                    "both" => vec![SchemeId::Scheme1, SchemeId::Scheme2],
+                    other => {
+                        eprintln!("unknown scheme: {other}");
+                        usage();
+                    }
+                }
+            }
+            "--profile" => {
+                cli.opts.profile = match value().as_str() {
+                    "gp" => Profile::Gp,
+                    "traveler" => Profile::Traveler,
+                    other => {
+                        eprintln!("unknown profile: {other}");
+                        usage();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let mut cli = parse_args();
+    let daemon = if cli.spawn {
+        match Daemon::spawn(ServerConfig::default()) {
+            Ok(d) => {
+                cli.opts.addr = d.local_addr().to_string();
+                println!("sse-load: spawned in-process daemon on {}", cli.opts.addr);
+                Some(d)
+            }
+            Err(e) => {
+                eprintln!("sse-load: failed to spawn daemon: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    println!(
+        "sse-load: {} clients x {:?} profile over {:?} scheme(s), {} tenant(s), target {}",
+        cli.opts.clients, cli.opts.profile, cli.opts.schemes, cli.opts.tenants, cli.opts.addr
+    );
+    let report = match run_load(&cli.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sse-load: run failed: {e}");
+            if let Some(d) = daemon {
+                d.shutdown();
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sse-load: {report}");
+
+    // Pull the server-side view over the ADMIN protocol.
+    match TcpTransport::connect(&cli.opts.addr, "admin", SchemeId::Scheme2).and_then(|mut t| {
+        let stats = t.admin_stats()?;
+        if cli.shutdown && daemon.is_none() {
+            t.admin_shutdown()?;
+        }
+        Ok(stats)
+    }) {
+        Ok(stats) => println!(
+            "sse-load: server stats: {} ok / {} busy / {} err, {} bytes in, {} bytes out, \
+             server-side p50 {} ns p95 {} ns p99 {} ns",
+            stats.requests_ok,
+            stats.requests_busy,
+            stats.requests_err,
+            stats.bytes_in,
+            stats.bytes_out,
+            stats.p50_ns,
+            stats.p95_ns,
+            stats.p99_ns
+        ),
+        Err(e) => eprintln!("sse-load: stats query failed: {e}"),
+    }
+
+    if let Some(d) = daemon {
+        let report = d.shutdown();
+        println!(
+            "sse-load: daemon drained ({} workers, {} connections joined)",
+            report.workers_joined, report.connections_joined
+        );
+    }
+    ExitCode::SUCCESS
+}

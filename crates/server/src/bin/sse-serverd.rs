@@ -1,0 +1,95 @@
+//! `sse-serverd` — the multi-tenant SSE TCP daemon.
+//!
+//! ```text
+//! sse-serverd [--addr HOST:PORT] [--workers N] [--queue N]
+//!             [--scheme1-capacity N] [--scheme2-chain N]
+//! ```
+//!
+//! Serves until an `ADMIN_SHUTDOWN` frame arrives (e.g. `sse-load
+//! --shutdown`, or any `TcpTransport::admin_shutdown` call), then drains
+//! queued requests and exits, printing final serving stats.
+
+use sse_server::daemon::{Daemon, ServerConfig};
+use sse_server::tenant::TenantParams;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sse-serverd [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--scheme1-capacity N] [--scheme2-chain N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric value: {s}");
+        usage()
+    })
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4460".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut params = TenantParams::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--workers" => config.workers = parse(&value()),
+            "--queue" => config.queue_depth = parse(&value()),
+            "--scheme1-capacity" => params.scheme1_capacity = parse(&value()),
+            "--scheme2-chain" => params.scheme2_chain_length = parse(&value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    config.tenant_params = params;
+    config
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let daemon = match Daemon::spawn(config.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sse-serverd: bind {} failed: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sse-serverd listening on {} ({} workers, queue depth {})",
+        daemon.local_addr(),
+        config.workers,
+        config.queue_depth
+    );
+    daemon.wait_for_shutdown_request();
+    println!("sse-serverd: shutdown requested, draining…");
+    let stats = daemon.stats();
+    let tenants = daemon.tenant_count();
+    let report = daemon.shutdown();
+    println!(
+        "sse-serverd: served {} requests ({} busy, {} errors) for {} tenant database(s); \
+         {} bytes in, {} bytes out; joined {} workers and {} connections",
+        stats.requests_ok,
+        stats.requests_busy,
+        stats.requests_err,
+        tenants,
+        stats.bytes_in,
+        stats.bytes_out,
+        report.workers_joined,
+        report.connections_joined
+    );
+    ExitCode::SUCCESS
+}

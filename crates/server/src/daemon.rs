@@ -1,0 +1,392 @@
+//! The multi-tenant TCP daemon.
+//!
+//! Thread architecture:
+//!
+//! ```text
+//!  listener thread ──accept──▶ connection threads (one per socket)
+//!                                   │  parse frames, route ADMIN inline
+//!                                   │  try_send DATA jobs (bounded queue)
+//!                                   ▼            │ queue full ⇒ BUSY reply
+//!                          crossbeam bounded channel
+//!                                   │
+//!                                   ▼
+//!                          worker pool (N threads)
+//!                            lock tenant ▸ Service::handle ▸ reply
+//! ```
+//!
+//! Backpressure is explicit: when the job queue is full the connection
+//! thread answers `BUSY` immediately instead of buffering unboundedly —
+//! the client retries with backoff ([`crate::transport::TcpTransport`]).
+//!
+//! Graceful shutdown reuses [`sse_net::shutdown::ShutdownSignal`] (the
+//! same primitive that stops [`sse_net::link::Duplex`]): the listener
+//! stops accepting, connection threads stop reading and hang up, the job
+//! sender side drops, and workers drain every queued job before exiting.
+//! [`Daemon::shutdown`] joins all of them — no thread outlives the call.
+
+use crate::proto::{
+    self, Hello, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, KIND_ADMIN, KIND_DATA, STATUS_BUSY,
+    STATUS_ERR, STATUS_OK,
+};
+use crate::stats::ServingStats;
+use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use sse_net::frame::{encode_frame, FrameDecoder};
+use sse_net::shutdown::ShutdownSignal;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing scheme requests.
+    pub workers: usize,
+    /// Bounded job-queue depth; beyond it requests get `BUSY`.
+    pub queue_depth: usize,
+    /// Per-frame body limit enforced on client input (forged length
+    /// prefixes are rejected before any allocation).
+    pub max_frame_len: u32,
+    /// Parameters for lazily created tenant databases.
+    pub tenant_params: TenantParams,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            max_frame_len: sse_net::frame::MAX_FRAME_LEN,
+            tenant_params: TenantParams::default(),
+        }
+    }
+}
+
+/// One queued DATA request.
+struct Job {
+    tenant: TenantHandle,
+    payload: Vec<u8>,
+    writer: Arc<Mutex<TcpStream>>,
+    accepted: Instant,
+}
+
+/// Counts reported by [`Daemon::shutdown`] — evidence that every spawned
+/// thread was joined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Worker threads joined.
+    pub workers_joined: usize,
+    /// Connection threads joined.
+    pub connections_joined: usize,
+}
+
+/// A running daemon. Dropping it without calling [`Daemon::shutdown`]
+/// leaves the threads serving (the handle is not the lifecycle).
+pub struct Daemon {
+    local_addr: SocketAddr,
+    shutdown: ShutdownSignal,
+    stats: Arc<ServingStats>,
+    registry: Arc<TenantRegistry>,
+    listener_join: JoinHandle<()>,
+    conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    worker_joins: Vec<JoinHandle<()>>,
+    job_tx: Sender<Job>,
+}
+
+impl Daemon {
+    /// Bind, spawn the thread pool, and start serving.
+    ///
+    /// # Errors
+    /// I/O errors from binding the listener.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = ShutdownSignal::new();
+        let stats = Arc::new(ServingStats::new());
+        let registry = Arc::new(TenantRegistry::new(config.tenant_params));
+        let (job_tx, job_rx) = bounded::<Job>(config.queue_depth);
+
+        let worker_joins: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let rx: Receiver<Job> = job_rx.clone();
+                let stats = stats.clone();
+                std::thread::spawn(move || worker_loop(&rx, &stats))
+            })
+            .collect();
+
+        let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let listener_join = {
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            let registry = registry.clone();
+            let conn_joins = conn_joins.clone();
+            let job_tx = job_tx.clone();
+            let max_frame_len = config.max_frame_len;
+            std::thread::spawn(move || {
+                listener_loop(
+                    &listener,
+                    &shutdown,
+                    &stats,
+                    &registry,
+                    &conn_joins,
+                    &job_tx,
+                    max_frame_len,
+                );
+            })
+        };
+
+        Ok(Daemon {
+            local_addr,
+            shutdown,
+            stats,
+            registry,
+            listener_join,
+            conn_joins,
+            worker_joins,
+            job_tx,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The daemon's shutdown signal. Requesting it (from any thread, or via
+    /// the `ADMIN_SHUTDOWN` command) starts a graceful drain.
+    #[must_use]
+    pub fn shutdown_signal(&self) -> ShutdownSignal {
+        self.shutdown.clone()
+    }
+
+    /// Current serving statistics.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of tenant databases created so far.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.registry.tenant_count()
+    }
+
+    /// Block until the shutdown signal is requested (e.g. by an
+    /// `ADMIN_SHUTDOWN` frame).
+    pub fn wait_for_shutdown_request(&self) {
+        while !self.shutdown.is_requested() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    /// Gracefully stop: request shutdown, drain queued requests, join every
+    /// thread. In-flight requests get their responses; the listener socket
+    /// closes.
+    ///
+    /// # Panics
+    /// Panics if a daemon thread panicked.
+    pub fn shutdown(self) -> ShutdownReport {
+        self.shutdown.request();
+        self.listener_join.join().expect("listener thread panicked");
+        // The listener has stopped spawning; connection threads notice the
+        // flag within one poll interval and hang up.
+        let conns = std::mem::take(
+            &mut *self
+                .conn_joins
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        let connections_joined = conns.len();
+        for join in conns {
+            join.join().expect("connection thread panicked");
+        }
+        // All request producers are gone: dropping the daemon's own sender
+        // disconnects the channel, and workers exit after draining it.
+        drop(self.job_tx);
+        let workers_joined = self.worker_joins.len();
+        for join in self.worker_joins {
+            join.join().expect("worker thread panicked");
+        }
+        ShutdownReport {
+            workers_joined,
+            connections_joined,
+        }
+    }
+}
+
+fn listener_loop(
+    listener: &TcpListener,
+    shutdown: &ShutdownSignal,
+    stats: &Arc<ServingStats>,
+    registry: &Arc<TenantRegistry>,
+    conn_joins: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    job_tx: &Sender<Job>,
+    max_frame_len: u32,
+) {
+    while !shutdown.is_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shutdown = shutdown.clone();
+                let stats = stats.clone();
+                let registry = registry.clone();
+                let job_tx = job_tx.clone();
+                let join = std::thread::spawn(move || {
+                    connection_loop(stream, &shutdown, &stats, &registry, &job_tx, max_frame_len);
+                });
+                conn_joins
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(join);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => return, // listener socket died
+        }
+    }
+}
+
+/// Write one framed response under the connection's writer lock (frames
+/// from the reader thread and from workers must not interleave).
+fn write_response(writer: &Arc<Mutex<TcpStream>>, status: u8, payload: &[u8]) -> bool {
+    let frame = encode_frame(&proto::encode_response(status, payload));
+    let mut stream = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    stream.write_all(&frame).is_ok()
+}
+
+fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
+    // `recv` yields every job still queued even after all senders drop —
+    // shutdown drains the backlog rather than abandoning it.
+    while let Ok(job) = rx.recv() {
+        let response = {
+            let mut service = job.tenant.lock();
+            service.handle(&job.payload)
+        };
+        if write_response(&job.writer, STATUS_OK, &response) {
+            stats.record_ok(job.payload.len(), response.len(), job.accepted.elapsed());
+        }
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    shutdown: &ShutdownSignal,
+    stats: &Arc<ServingStats>,
+    registry: &Arc<TenantRegistry>,
+    job_tx: &Sender<Job>,
+    max_frame_len: u32,
+) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let mut decoder = FrameDecoder::with_max_len(max_frame_len);
+    let mut tenant: Option<TenantHandle> = None;
+    let mut buf = [0u8; 16 * 1024];
+
+    'conn: while !shutdown.is_requested() {
+        match reader.read(&mut buf) {
+            Ok(0) => break, // peer hung up
+            Ok(n) => decoder.push(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue; // poll tick: re-check the shutdown flag
+            }
+            Err(_) => break,
+        }
+        loop {
+            let frame = match decoder.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(too_large) => {
+                    stats.record_err();
+                    write_response(&writer, STATUS_ERR, too_large.to_string().as_bytes());
+                    break 'conn;
+                }
+            };
+            // First frame must be the hello.
+            let Some(current_tenant) = tenant.as_ref() else {
+                match Hello::decode(&frame) {
+                    Some(hello) => {
+                        tenant = Some(registry.get_or_create(&hello.tenant, hello.scheme));
+                        if !write_response(&writer, STATUS_OK, &[]) {
+                            break 'conn;
+                        }
+                    }
+                    None => {
+                        stats.record_err();
+                        write_response(&writer, STATUS_ERR, b"malformed hello");
+                        break 'conn;
+                    }
+                }
+                continue;
+            };
+            let Some((&kind, payload)) = frame.split_first() else {
+                stats.record_err();
+                write_response(&writer, STATUS_ERR, b"empty request");
+                break 'conn;
+            };
+            match kind {
+                KIND_DATA => {
+                    let job = Job {
+                        tenant: current_tenant.clone(),
+                        payload: payload.to_vec(),
+                        writer: writer.clone(),
+                        accepted: Instant::now(),
+                    };
+                    match job_tx.try_send(job) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(_)) => {
+                            // Explicit backpressure: reject now, let the
+                            // client retry, never queue unboundedly.
+                            stats.record_busy();
+                            if !write_response(&writer, STATUS_BUSY, &[]) {
+                                break 'conn;
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => break 'conn,
+                    }
+                }
+                KIND_ADMIN => match payload.first().copied() {
+                    Some(ADMIN_STATS) => {
+                        let snap = stats.snapshot().encode();
+                        if !write_response(&writer, STATUS_OK, &snap) {
+                            break 'conn;
+                        }
+                    }
+                    Some(ADMIN_SHUTDOWN) => {
+                        write_response(&writer, STATUS_OK, &[]);
+                        shutdown.request();
+                        break 'conn;
+                    }
+                    _ => {
+                        stats.record_err();
+                        write_response(&writer, STATUS_ERR, b"unknown admin command");
+                        break 'conn;
+                    }
+                },
+                _ => {
+                    stats.record_err();
+                    write_response(&writer, STATUS_ERR, b"unknown request kind");
+                    break 'conn;
+                }
+            }
+        }
+    }
+}

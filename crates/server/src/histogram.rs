@@ -1,0 +1,124 @@
+//! Lock-free log-bucketed latency histogram.
+//!
+//! Sixty-four power-of-two buckets over nanoseconds cover every latency a
+//! `u64` can express with ≤ 2× relative error per bucket — plenty for the
+//! p50/p95/p99 serving numbers, and recordable from any number of worker
+//! threads without a lock (one relaxed atomic increment per sample).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: one per possible bit length of a `u64` sample.
+const BUCKETS: usize = 64;
+
+/// Concurrent latency histogram with logarithmic buckets.
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// New empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        // Bucket b holds samples with bit length b+1: [2^b, 2^(b+1)).
+        let bucket = (63 - ns.max(1).leading_zeros()) as usize;
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate `q`-quantile in nanoseconds (`q` in `[0, 1]`): the
+    /// geometric midpoint of the bucket holding the `ceil(q·n)`-th sample.
+    /// Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, count) in snapshot.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let lo = 1u64 << bucket;
+                return lo.saturating_add(lo / 2); // midpoint of [2^b, 2^(b+1))
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_order() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples (~1 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p50 < 4_000, "p50 in the microsecond range, got {p50}");
+        assert!(p99 > 500_000, "p99 in the millisecond range, got {p99}");
+        assert!(p50 <= h.quantile_ns(0.95));
+        assert!(h.quantile_ns(0.95) <= p99);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_nanos(i + 1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

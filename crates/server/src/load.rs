@@ -1,0 +1,244 @@
+//! Closed-loop load generation against a running daemon.
+//!
+//! Each simulated client owns one TCP connection and replays an
+//! [`sse_phr`] usage profile (GP or traveler — the paper's §6 workloads,
+//! Zipf-distributed over medical codes) through a real scheme client,
+//! timing every operation. Closed-loop means a client issues its next
+//! operation only after the previous one completes, so offered load scales
+//! with the number of clients.
+//!
+//! Clients sharing a tenant use distinct master keys: their PRF tags (and
+//! thus their keyword representations) are disjoint, so they can share one
+//! tenant database without coordinating — only document ids must not
+//! collide, which [`run_load`] arranges by striding ids per client.
+
+use crate::histogram::LatencyHistogram;
+use crate::proto::SchemeId;
+use crate::transport::TcpTransport;
+use sse_core::scheme::SseClientApi;
+use sse_core::scheme1::{Scheme1Client, Scheme1Config};
+use sse_core::scheme2::{Scheme2Client, Scheme2Config};
+use sse_core::types::MasterKey;
+use sse_phr::system::PhrSystem;
+use sse_phr::workload::{gp_profile, traveler_profile, PhrEvent};
+use std::io::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which §6 usage profile each client replays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// General-practitioner: searches interleaved with record stores.
+    Gp,
+    /// Traveler: one bulk store, then read-mostly searches.
+    Traveler,
+}
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Tenants the clients are spread across (round-robin).
+    pub tenants: usize,
+    /// Schemes the clients are spread across (round-robin).
+    pub schemes: Vec<SchemeId>,
+    /// Usage profile to replay.
+    pub profile: Profile,
+    /// Profile size: GP visits, or traveler history records.
+    pub events: usize,
+    /// Workload seed (each client derives its own sub-seed).
+    pub seed: u64,
+    /// Must match the daemon's Scheme 1 tenant capacity (the bit-array
+    /// length is fixed at setup on both sides).
+    pub scheme1_capacity: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            addr: "127.0.0.1:4460".to_string(),
+            clients: 8,
+            tenants: 2,
+            schemes: vec![SchemeId::Scheme1, SchemeId::Scheme2],
+            profile: Profile::Gp,
+            events: 24,
+            seed: 7,
+            scheme1_capacity: crate::tenant::TenantParams::default().scheme1_capacity,
+        }
+    }
+}
+
+/// Aggregate results of one load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Operations completed (stores + searches across all clients).
+    pub ops: u64,
+    /// Records retrieved by searches (sanity signal: > 0 means the
+    /// workload actually found what it stored).
+    pub hits: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+    /// Client-observed median operation latency (ns).
+    pub p50_ns: u64,
+    /// Client-observed 95th-percentile latency (ns).
+    pub p95_ns: u64,
+    /// Client-observed 99th-percentile latency (ns).
+    pub p99_ns: u64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        #[allow(clippy::cast_precision_loss)]
+        fn ms(ns: u64) -> f64 {
+            ns as f64 / 1e6
+        }
+        write!(
+            f,
+            "{} ops in {:.2?} ({:.1} ops/sec), {} hits, latency p50 {:.3} ms / p95 {:.3} ms / p99 {:.3} ms",
+            self.ops,
+            self.elapsed,
+            self.ops_per_sec,
+            self.hits,
+            ms(self.p50_ns),
+            ms(self.p95_ns),
+            ms(self.p99_ns),
+        )
+    }
+}
+
+/// Replay one client's profile over an established PHR system, timing
+/// each operation.
+fn drive<C: SseClientApi>(
+    phr: &mut PhrSystem<C>,
+    events: &[PhrEvent],
+    histogram: &LatencyHistogram,
+    ops: &AtomicU64,
+    hits: &AtomicU64,
+) -> Result<()> {
+    for event in events {
+        let started = Instant::now();
+        match event {
+            PhrEvent::Store(records) => {
+                phr.add_records(records)
+                    .map_err(|e| Error::other(e.to_string()))?;
+            }
+            PhrEvent::Search(keyword) => {
+                let found = phr
+                    .find_by_code(keyword.as_str())
+                    .map_err(|e| Error::other(e.to_string()))?;
+                hits.fetch_add(found.len() as u64, Ordering::Relaxed);
+            }
+        }
+        histogram.record(started.elapsed());
+        ops.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Build a client's workload, with document ids strided so clients sharing
+/// a tenant never write the same storage slot.
+fn client_events(opts: &LoadOptions, client: usize) -> Vec<PhrEvent> {
+    let seed = opts
+        .seed
+        .wrapping_mul(1_000_003)
+        .wrapping_add(client as u64);
+    let mut events = match opts.profile {
+        Profile::Gp => gp_profile(opts.events, 2, seed),
+        Profile::Traveler => traveler_profile(opts.events, opts.events, seed),
+    };
+    let stride = opts.clients.max(1) as u64;
+    for event in &mut events {
+        if let PhrEvent::Store(records) = event {
+            for record in records {
+                record.id = record.id * stride + client as u64;
+            }
+        }
+    }
+    events
+}
+
+/// Run a closed-loop load test. Blocks until every client finishes.
+///
+/// # Errors
+/// Connection failures or scheme errors from any client (first one wins).
+pub fn run_load(opts: &LoadOptions) -> Result<LoadReport> {
+    assert!(opts.clients > 0, "need at least one client");
+    assert!(!opts.schemes.is_empty(), "need at least one scheme");
+    let histogram = Arc::new(LatencyHistogram::new());
+    let ops = Arc::new(AtomicU64::new(0));
+    let hits = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+
+    let joins: Vec<_> = (0..opts.clients)
+        .map(|client| {
+            let opts = opts.clone();
+            let histogram = histogram.clone();
+            let ops = ops.clone();
+            let hits = hits.clone();
+            std::thread::spawn(move || -> Result<()> {
+                let tenant = format!("tenant-{}", client % opts.tenants.max(1));
+                let scheme = opts.schemes[client % opts.schemes.len()];
+                let transport = TcpTransport::connect(&opts.addr, &tenant, scheme)?;
+                let key = MasterKey::from_seed(opts.seed ^ ((client as u64) << 32) ^ 0xC11E);
+                let events = client_events(&opts, client);
+                let rng_seed = opts.seed.wrapping_add(client as u64);
+                match scheme {
+                    SchemeId::Scheme1 => {
+                        let sse = Scheme1Client::new_seeded(
+                            transport,
+                            key,
+                            Scheme1Config::fast_profile(opts.scheme1_capacity),
+                            rng_seed,
+                        );
+                        drive(&mut PhrSystem::new(sse), &events, &histogram, &ops, &hits)
+                    }
+                    SchemeId::Scheme2 => {
+                        let sse = Scheme2Client::new_seeded(
+                            transport,
+                            key,
+                            Scheme2Config::standard(),
+                            rng_seed,
+                        );
+                        drive(&mut PhrSystem::new(sse), &events, &histogram, &ops, &hits)
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut first_error: Option<Error> = None;
+    for join in joins {
+        match join.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                first_error.get_or_insert(e);
+            }
+            Err(_) => {
+                first_error.get_or_insert_with(|| Error::other("load client panicked"));
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+
+    let elapsed = started.elapsed();
+    let ops = ops.load(Ordering::Relaxed);
+    #[allow(clippy::cast_precision_loss)]
+    let ops_per_sec = ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(LoadReport {
+        ops,
+        hits: hits.load(Ordering::Relaxed),
+        elapsed,
+        ops_per_sec,
+        p50_ns: histogram.quantile_ns(0.50),
+        p95_ns: histogram.quantile_ns(0.95),
+        p99_ns: histogram.quantile_ns(0.99),
+    })
+}

@@ -1,0 +1,251 @@
+//! The daemon's envelope protocol, layered over [`sse_net::frame`].
+//!
+//! Every connection starts with a **hello** frame naming the tenant and the
+//! scheme, after which each request frame is an envelope around either a
+//! scheme protocol message (DATA — the bytes the existing [`sse_net::link::
+//! Service`] implementations already speak, unchanged) or a serving-layer
+//! command (ADMIN). Responses carry a one-byte status so the server can
+//! signal queue backpressure (`BUSY`) without touching the scheme payload.
+//!
+//! Because DATA payloads are passed through byte-for-byte, the daemon adds
+//! *no* scheme-visible state: the wire protocol (and therefore the leakage
+//! profile analyzed in DESIGN.md) is exactly that of the in-process links.
+
+use sse_net::wire::{WireError, WireReader, WireWriter};
+
+/// Hello-frame magic: "SSE1".
+pub const HELLO_MAGIC: u32 = 0x3145_5353;
+
+/// Request kind: scheme protocol payload for the tenant's server.
+pub const KIND_DATA: u8 = 0;
+/// Request kind: serving-layer command.
+pub const KIND_ADMIN: u8 = 1;
+
+/// ADMIN command: return a [`StatsSnapshot`].
+pub const ADMIN_STATS: u8 = 0;
+/// ADMIN command: begin graceful shutdown (drain and exit).
+pub const ADMIN_SHUTDOWN: u8 = 1;
+
+/// Response status: request served; payload is the scheme response (DATA)
+/// or the encoded command result (ADMIN).
+pub const STATUS_OK: u8 = 0;
+/// Response status: the worker queue is full — retry after a backoff. The
+/// request was **not** executed.
+pub const STATUS_BUSY: u8 = 1;
+/// Response status: protocol violation; payload is a UTF-8 message. The
+/// connection is closed after an error.
+pub const STATUS_ERR: u8 = 2;
+
+/// Scheme selector carried in the hello frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeId {
+    /// The paper's §5.2 computationally efficient scheme.
+    Scheme1,
+    /// The paper's §5.4 communication efficient scheme.
+    Scheme2,
+}
+
+impl SchemeId {
+    /// Wire byte for this scheme.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            SchemeId::Scheme1 => 1,
+            SchemeId::Scheme2 => 2,
+        }
+    }
+
+    /// Parse the wire byte.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(SchemeId::Scheme1),
+            2 => Some(SchemeId::Scheme2),
+            _ => None,
+        }
+    }
+}
+
+/// The parsed hello frame: which tenant's database, which scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Tenant identifier (routing key for the per-tenant scheme server).
+    pub tenant: String,
+    /// Scheme the connection will speak.
+    pub scheme: SchemeId,
+}
+
+impl Hello {
+    /// Encode as a frame body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(HELLO_MAGIC)
+            .put_u8(self.scheme.as_u8())
+            .put_bytes(self.tenant.as_bytes());
+        w.finish()
+    }
+
+    /// Decode a frame body.
+    ///
+    /// # Errors
+    /// `None` on bad magic, unknown scheme, non-UTF-8 tenant, or trailing
+    /// bytes.
+    #[must_use]
+    pub fn decode(body: &[u8]) -> Option<Hello> {
+        let mut r = WireReader::new(body);
+        let ok = (|| -> Result<Hello, WireError> {
+            let magic = r.get_u32()?;
+            if magic != HELLO_MAGIC {
+                return Err(WireError::UnknownTag(0));
+            }
+            let scheme = SchemeId::from_u8(r.get_u8()?).ok_or(WireError::UnknownTag(0))?;
+            let tenant =
+                String::from_utf8(r.get_bytes()?.to_vec()).map_err(|_| WireError::UnknownTag(0))?;
+            Ok(Hello { tenant, scheme })
+        })();
+        let hello = ok.ok()?;
+        r.finish().ok()?;
+        Some(hello)
+    }
+}
+
+/// Build a response frame body.
+#[must_use]
+pub fn encode_response(status: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + payload.len());
+    out.push(status);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Split a response frame body into `(status, payload)`.
+#[must_use]
+pub fn decode_response(body: &[u8]) -> Option<(u8, &[u8])> {
+    let (&status, payload) = body.split_first()?;
+    Some((status, payload))
+}
+
+/// Build a request frame body.
+#[must_use]
+pub fn encode_request(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + payload.len());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Point-in-time serving statistics, as answered to [`ADMIN_STATS`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// DATA requests served successfully.
+    pub requests_ok: u64,
+    /// DATA requests rejected with `BUSY` (queue full).
+    pub requests_busy: u64,
+    /// Malformed requests answered with `ERR`.
+    pub requests_err: u64,
+    /// Request payload bytes received (framing and envelope excluded).
+    pub bytes_in: u64,
+    /// Response payload bytes sent.
+    pub bytes_out: u64,
+    /// Median service latency in nanoseconds (queue wait + handler).
+    pub p50_ns: u64,
+    /// 95th-percentile service latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile service latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Encode as an ADMIN response payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.requests_ok)
+            .put_u64(self.requests_busy)
+            .put_u64(self.requests_err)
+            .put_u64(self.bytes_in)
+            .put_u64(self.bytes_out)
+            .put_u64(self.p50_ns)
+            .put_u64(self.p95_ns)
+            .put_u64(self.p99_ns);
+        w.finish()
+    }
+
+    /// Decode an ADMIN response payload.
+    #[must_use]
+    pub fn decode(body: &[u8]) -> Option<StatsSnapshot> {
+        let mut r = WireReader::new(body);
+        let snap = StatsSnapshot {
+            requests_ok: r.get_u64().ok()?,
+            requests_busy: r.get_u64().ok()?,
+            requests_err: r.get_u64().ok()?,
+            bytes_in: r.get_u64().ok()?,
+            bytes_out: r.get_u64().ok()?,
+            p50_ns: r.get_u64().ok()?,
+            p95_ns: r.get_u64().ok()?,
+            p99_ns: r.get_u64().ok()?,
+        };
+        r.finish().ok()?;
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_round_trip() {
+        let hello = Hello {
+            tenant: "clinic-7".into(),
+            scheme: SchemeId::Scheme2,
+        };
+        assert_eq!(Hello::decode(&hello.encode()), Some(hello));
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic() {
+        let hello = Hello {
+            tenant: "x".into(),
+            scheme: SchemeId::Scheme1,
+        };
+        let mut body = hello.encode();
+        body[0] ^= 0xFF;
+        assert_eq!(Hello::decode(&body), None);
+    }
+
+    #[test]
+    fn hello_rejects_trailing_bytes() {
+        let mut body = Hello {
+            tenant: "x".into(),
+            scheme: SchemeId::Scheme1,
+        }
+        .encode();
+        body.push(0);
+        assert_eq!(Hello::decode(&body), None);
+    }
+
+    #[test]
+    fn response_envelope_round_trip() {
+        let body = encode_response(STATUS_BUSY, b"payload");
+        assert_eq!(decode_response(&body), Some((STATUS_BUSY, &b"payload"[..])));
+        assert_eq!(decode_response(&[]), None);
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let snap = StatsSnapshot {
+            requests_ok: 10,
+            requests_busy: 2,
+            requests_err: 1,
+            bytes_in: 4096,
+            bytes_out: 8192,
+            p50_ns: 1_000,
+            p95_ns: 9_000,
+            p99_ns: 20_000,
+        };
+        assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap));
+        assert_eq!(StatsSnapshot::decode(b"short"), None);
+    }
+}

@@ -1,0 +1,85 @@
+//! Daemon-wide serving statistics.
+//!
+//! Counters are plain atomics (incremented from reader and worker threads
+//! alike); latency goes to a [`LatencyHistogram`]. A [`StatsSnapshot`] is
+//! taken on demand to answer `ADMIN_STATS` requests.
+
+use crate::histogram::LatencyHistogram;
+use crate::proto::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared mutable serving counters. One instance per daemon.
+#[derive(Default)]
+pub struct ServingStats {
+    requests_ok: AtomicU64,
+    requests_busy: AtomicU64,
+    requests_err: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ServingStats {
+    /// New zeroed stats.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one served DATA request: payload sizes and end-to-end service
+    /// latency (queue wait + handler time).
+    pub fn record_ok(&self, bytes_in: usize, bytes_out: usize, latency: Duration) {
+        self.requests_ok.fetch_add(1, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(bytes_out as u64, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Record one BUSY rejection (queue full; request not executed).
+    pub fn record_busy(&self) {
+        self.requests_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one protocol error.
+    pub fn record_err(&self) {
+        self.requests_err.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot for the ADMIN protocol.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_busy: self.requests_busy.load(Ordering::Relaxed),
+            requests_err: self.requests_err.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            p50_ns: self.latency.quantile_ns(0.50),
+            p95_ns: self.latency.quantile_ns(0.95),
+            p99_ns: self.latency.quantile_ns(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_traffic() {
+        let stats = ServingStats::new();
+        stats.record_ok(100, 300, Duration::from_micros(10));
+        stats.record_ok(50, 150, Duration::from_micros(20));
+        stats.record_busy();
+        stats.record_err();
+        let s = stats.snapshot();
+        assert_eq!(s.requests_ok, 2);
+        assert_eq!(s.requests_busy, 1);
+        assert_eq!(s.requests_err, 1);
+        assert_eq!(s.bytes_in, 150);
+        assert_eq!(s.bytes_out, 450);
+        assert!(s.p50_ns > 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Multi-tenant routing: one scheme server per `(tenant, scheme)` pair.
+//!
+//! The hello frame names a tenant; the registry lazily creates that
+//! tenant's server-side state on first use and hands out a shared handle.
+//! Requests for the same tenant serialize on the tenant's mutex (the
+//! scheme servers are sequential state machines); requests for different
+//! tenants run on different worker threads concurrently.
+
+use crate::proto::SchemeId;
+use parking_lot::Mutex;
+use sse_core::scheme1::Scheme1Server;
+use sse_core::scheme2::{Scheme2Config, Scheme2Server};
+use sse_net::link::Service;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared handle to one tenant's scheme server.
+pub type TenantHandle = Arc<Mutex<Box<dyn Service>>>;
+
+/// Server-side parameters for newly created tenant databases.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantParams {
+    /// Scheme 1 bit-array capacity in documents (fixed at setup by the
+    /// paper's design; clients must encode against the same capacity).
+    pub scheme1_capacity: u64,
+    /// Scheme 2 hash-chain length `l`.
+    pub scheme2_chain_length: u64,
+}
+
+impl Default for TenantParams {
+    fn default() -> Self {
+        TenantParams {
+            scheme1_capacity: 4096,
+            scheme2_chain_length: 4096,
+        }
+    }
+}
+
+/// Lazily populated map from `(tenant, scheme)` to server state.
+pub struct TenantRegistry {
+    params: TenantParams,
+    tenants: Mutex<HashMap<(String, SchemeId), TenantHandle>>,
+}
+
+impl TenantRegistry {
+    /// Empty registry creating tenants with `params`.
+    #[must_use]
+    pub fn new(params: TenantParams) -> Self {
+        TenantRegistry {
+            params,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fetch a tenant's server, creating it on first reference.
+    pub fn get_or_create(&self, tenant: &str, scheme: SchemeId) -> TenantHandle {
+        let mut map = self.tenants.lock();
+        map.entry((tenant.to_string(), scheme))
+            .or_insert_with(|| {
+                let service: Box<dyn Service> = match scheme {
+                    SchemeId::Scheme1 => {
+                        Box::new(Scheme1Server::new_in_memory(self.params.scheme1_capacity))
+                    }
+                    SchemeId::Scheme2 => Box::new(Scheme2Server::new_in_memory(
+                        Scheme2Config::standard()
+                            .with_chain_length(self.params.scheme2_chain_length),
+                    )),
+                };
+                Arc::new(Mutex::new(service))
+            })
+            .clone()
+    }
+
+    /// Number of live tenant databases.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_shares_state_different_key_does_not() {
+        let reg = TenantRegistry::new(TenantParams::default());
+        let a1 = reg.get_or_create("alice", SchemeId::Scheme2);
+        let a2 = reg.get_or_create("alice", SchemeId::Scheme2);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let b = reg.get_or_create("bob", SchemeId::Scheme2);
+        assert!(!Arc::ptr_eq(&a1, &b));
+        let a_s1 = reg.get_or_create("alice", SchemeId::Scheme1);
+        assert!(!Arc::ptr_eq(&a1, &a_s1));
+        assert_eq!(reg.tenant_count(), 3);
+    }
+}

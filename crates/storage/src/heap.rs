@@ -116,8 +116,7 @@ impl HeapFile {
                     detail: format!("fragment shorter than header: {}", frag.len()),
                 });
             }
-            let total_remaining =
-                u32::from_le_bytes(frag[0..4].try_into().expect("4 bytes"));
+            let total_remaining = u32::from_le_bytes(frag[0..4].try_into().expect("4 bytes"));
             if let Some(exp) = expected {
                 if total_remaining != exp {
                     return Err(StorageError::Corrupt {
@@ -256,9 +255,7 @@ mod tests {
         h.delete(id).unwrap();
         assert!(matches!(h.get(id), Err(StorageError::RecordNotFound)));
         // All fragment slots are tombstoned.
-        let live: usize = (0..h.page_count())
-            .map(|i| h.pages[i].live_records())
-            .sum();
+        let live: usize = (0..h.page_count()).map(|i| h.pages[i].live_records()).sum();
         assert_eq!(live, 0);
     }
 

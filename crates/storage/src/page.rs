@@ -271,7 +271,11 @@ mod tests {
             slots.push((p.insert(&i.to_le_bytes()).unwrap(), i));
             i += 1;
         }
-        assert!(slots.len() > 500, "expected many records, got {}", slots.len());
+        assert!(
+            slots.len() > 500,
+            "expected many records, got {}",
+            slots.len()
+        );
         for (slot, val) in slots {
             assert_eq!(p.get(slot).unwrap(), val.to_le_bytes());
         }

@@ -22,13 +22,11 @@ const OP_PUT: u8 = 0;
 const OP_DELETE: u8 = 1;
 
 /// Configuration for a [`DocStore`].
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct StoreOptions {
     /// fsync the WAL on every mutation (safest, slowest).
     pub sync_on_append: bool,
 }
-
 
 enum Backing {
     /// Durable: WAL + snapshot files live in a directory.
@@ -177,8 +175,7 @@ impl DocStore {
                     });
                 }
                 let id = u64::from_le_bytes(record[1..9].try_into().expect("8 bytes"));
-                let len =
-                    u32::from_le_bytes(record[9..13].try_into().expect("4 bytes")) as usize;
+                let len = u32::from_le_bytes(record[9..13].try_into().expect("4 bytes")) as usize;
                 if record.len() != 13 + len {
                     return Err(StorageError::Corrupt {
                         what: "wal put record",

@@ -124,9 +124,7 @@ impl Wal {
             let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
             let body_start = pos + 8;
-            if body_start + len > buf.len()
-                || crc32(&buf[body_start..body_start + len]) != crc
-            {
+            if body_start + len > buf.len() || crc32(&buf[body_start..body_start + len]) != crc {
                 return Ok(records);
             }
             records.push(buf[body_start..body_start + len].to_vec());

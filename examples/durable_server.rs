@@ -47,12 +47,8 @@ fn main() {
         server.stored_docs(),
         server.unique_keywords()
     );
-    let mut client = Scheme2Client::new_seeded(
-        MeteredLink::new(server, Meter::new()),
-        key,
-        config,
-        2,
-    );
+    let mut client =
+        Scheme2Client::new_seeded(MeteredLink::new(server, Meter::new()), key, config, 2);
     client.restore_state(saved_state);
 
     // No re-indexing needed: the checkpointed index answers immediately.

@@ -9,8 +9,8 @@
 use sse_repro::core::leakage::{analyze_updates, batch_documents};
 use sse_repro::core::scheme1::Scheme1Config;
 use sse_repro::core::security::{
-    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams,
-    Statistic, Trace,
+    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams, Statistic,
+    Trace,
 };
 use sse_repro::core::types::{Keyword, MasterKey};
 use sse_repro::phr::workload::{generate_corpus, CorpusConfig};
@@ -26,7 +26,10 @@ fn main() {
     });
 
     println!("update leakage (per-document keyword-count inference):");
-    println!("{:>10} {:>10} {:>16} {:>18}", "batch", "padding", "per-doc MAE", "obs entropy bits");
+    println!(
+        "{:>10} {:>10} {:>16} {:>18}",
+        "batch", "padding", "per-doc MAE", "obs entropy bits"
+    );
     for batch in [1usize, 4, 16, 60] {
         let batches = batch_documents(&corpus, batch);
         let plain = analyze_updates(&batches, None);

@@ -43,7 +43,10 @@ fn main() {
     println!("\nserver-side cost profile:");
     println!("  chain-walk steps:        {}", stats.chain_steps);
     println!("  generations decrypted:   {}", stats.generations_decrypted);
-    println!("  served from Opt-1 cache: {}", stats.generations_from_cache);
+    println!(
+        "  served from Opt-1 cache: {}",
+        stats.generations_from_cache
+    );
     println!(
         "  avg walk per search:     {:.1} steps (interleaving keeps x small)",
         stats.chain_steps as f64 / stats.searches.max(1) as f64

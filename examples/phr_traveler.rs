@@ -56,7 +56,11 @@ fn main() {
     // Price the same transcript under different links (Table 1's
     // "communication overhead" made concrete).
     println!("\nsimulated search latency by link profile:");
-    for profile in [LinkProfile::lan(), LinkProfile::broadband(), LinkProfile::mobile()] {
+    for profile in [
+        LinkProfile::lan(),
+        LinkProfile::broadband(),
+        LinkProfile::mobile(),
+    ] {
         println!(
             "  {:<10} {:>8.1} ms",
             profile.name,

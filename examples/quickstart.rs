@@ -11,7 +11,11 @@ use sse_repro::core::types::{Document, Keyword, MasterKey};
 
 fn main() {
     let docs = vec![
-        Document::new(0, b"2024-01-03 consultation notes".to_vec(), ["flu", "fever"]),
+        Document::new(
+            0,
+            b"2024-01-03 consultation notes".to_vec(),
+            ["flu", "fever"],
+        ),
         Document::new(1, b"2024-01-09 lab results".to_vec(), ["fever"]),
         Document::new(2, b"2024-02-14 prescription".to_vec(), ["migraine"]),
     ];
@@ -43,8 +47,12 @@ fn main() {
 
     // Updating later is the same operation as storing.
     meter1.reset();
-    c1.store(&[Document::new(3, b"2024-03-01 follow-up".to_vec(), ["fever"])])
-        .expect("update");
+    c1.store(&[Document::new(
+        3,
+        b"2024-03-01 follow-up".to_vec(),
+        ["fever"],
+    )])
+    .expect("update");
     println!(
         "incremental update: {} rounds, {} bytes up (Θ(capacity) bit-array per keyword)",
         meter1.snapshot().rounds,
@@ -77,8 +85,12 @@ fn main() {
     );
 
     meter2.reset();
-    c2.store(&[Document::new(3, b"2024-03-01 follow-up".to_vec(), ["fever"])])
-        .expect("update");
+    c2.store(&[Document::new(
+        3,
+        b"2024-03-01 follow-up".to_vec(),
+        ["fever"],
+    )])
+    .expect("update");
     println!(
         "incremental update: {} round(s), {} bytes up (Θ(batch), not Θ(capacity))",
         meter2.snapshot().rounds,

@@ -1,0 +1,62 @@
+//! Serving-layer quickstart: spawn the multi-tenant TCP daemon in-process,
+//! run a Scheme 2 client over a real socket, and read the serving stats
+//! back over the ADMIN protocol.
+//!
+//! ```text
+//! cargo run --release --example tcp_quickstart
+//! ```
+
+use sse_repro::core::scheme2::{Scheme2Client, Scheme2Config};
+use sse_repro::core::types::{Document, Keyword, MasterKey};
+use sse_repro::server::daemon::{Daemon, ServerConfig};
+use sse_repro::server::proto::SchemeId;
+use sse_repro::server::transport::TcpTransport;
+
+fn main() {
+    // 1. A daemon on an ephemeral port: 4 workers, bounded queue.
+    let daemon = Daemon::spawn(ServerConfig::default()).expect("bind");
+    let addr = daemon.local_addr();
+    println!("daemon listening on {addr}");
+
+    // 2. The existing Scheme 2 client, unchanged — only the transport is
+    //    new: hello routes this connection to tenant "clinic"'s database.
+    let transport = TcpTransport::connect(addr, "clinic", SchemeId::Scheme2).expect("connect");
+    let mut client = Scheme2Client::new_seeded(
+        transport,
+        MasterKey::from_seed(42),
+        Scheme2Config::standard(),
+        42,
+    );
+
+    client
+        .store(&[
+            Document::new(0, b"patient A, influenza".to_vec(), ["influenza"]),
+            Document::new(
+                1,
+                b"patient B, influenza + fever".to_vec(),
+                ["influenza", "fever"],
+            ),
+            Document::new(2, b"patient C, fracture".to_vec(), ["fracture"]),
+        ])
+        .expect("store");
+    let hits = client.search(&Keyword::new("influenza")).expect("search");
+    println!("search(influenza) over TCP: {} hits", hits.len());
+    for (id, payload) in &hits {
+        println!("  doc {id}: {}", String::from_utf8_lossy(payload));
+    }
+
+    // 3. Serving stats over the same wire protocol.
+    let mut admin = TcpTransport::connect(addr, "clinic", SchemeId::Scheme2).expect("connect");
+    let stats = admin.admin_stats().expect("stats");
+    println!(
+        "served {} requests, {} bytes in / {} bytes out, p50 {} ns, p99 {} ns",
+        stats.requests_ok, stats.bytes_in, stats.bytes_out, stats.p50_ns, stats.p99_ns
+    );
+
+    // 4. Graceful shutdown: drains the queue, joins every thread.
+    let report = daemon.shutdown();
+    println!(
+        "daemon stopped ({} workers, {} connections joined)",
+        report.workers_joined, report.connections_joined
+    );
+}

@@ -13,7 +13,8 @@
 //! * [`storage`] — the WAL + slotted-page document store;
 //! * [`net`] — metered transports and the latency model;
 //! * [`baselines`] — SWP, Goh, Curtmola SSE-1, naive;
-//! * [`phr`] — the §6 personal-health-record application.
+//! * [`phr`] — the §6 personal-health-record application;
+//! * [`server`] — the multi-tenant TCP daemon and load generator.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, `DESIGN.md` for the
 //! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -24,4 +25,5 @@ pub use sse_index as index;
 pub use sse_net as net;
 pub use sse_phr as phr;
 pub use sse_primitives as primitives;
+pub use sse_server as server;
 pub use sse_storage as storage;

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-ce5b1255828ba323.d: vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-ce5b1255828ba323.rmeta: vendor/bytes/src/lib.rs Cargo.toml
+
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-df51402992a1a6e6.d: vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-df51402992a1a6e6.rmeta: vendor/bytes/src/lib.rs Cargo.toml
+
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-2f33e5c8590224f5.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-2f33e5c8590224f5: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-78165cb7153c0308.d: vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-78165cb7153c0308.rmeta: vendor/criterion/src/lib.rs Cargo.toml
+
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

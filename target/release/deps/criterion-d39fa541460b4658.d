@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-d39fa541460b4658.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d39fa541460b4658.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d39fa541460b4658.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

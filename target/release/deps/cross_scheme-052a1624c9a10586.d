@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_scheme-052a1624c9a10586.d: tests/cross_scheme.rs
+
+/root/repo/target/release/deps/cross_scheme-052a1624c9a10586: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_scheme-3e85e1c418964ab0.d: tests/cross_scheme.rs
+
+/root/repo/target/release/deps/cross_scheme-3e85e1c418964ab0: tests/cross_scheme.rs
+
+tests/cross_scheme.rs:

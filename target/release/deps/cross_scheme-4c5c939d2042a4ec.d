@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cross_scheme-4c5c939d2042a4ec.d: tests/cross_scheme.rs Cargo.toml
+
+/root/repo/target/release/deps/libcross_scheme-4c5c939d2042a4ec.rmeta: tests/cross_scheme.rs Cargo.toml
+
+tests/cross_scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-772c4d2f9e5c6b9a.d: vendor/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-772c4d2f9e5c6b9a.rmeta: vendor/crossbeam/src/lib.rs Cargo.toml
+
+vendor/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

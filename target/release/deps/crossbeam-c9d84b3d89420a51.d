@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-c9d84b3d89420a51.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-c9d84b3d89420a51: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e1_search_scaling-6576e5a5185a4d49.d: crates/bench/benches/e1_search_scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libe1_search_scaling-6576e5a5185a4d49.rmeta: crates/bench/benches/e1_search_scaling.rs Cargo.toml
+
+crates/bench/benches/e1_search_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e2_chain_walk-6612ac5e887596f9.d: crates/bench/benches/e2_chain_walk.rs Cargo.toml
+
+/root/repo/target/release/deps/libe2_chain_walk-6612ac5e887596f9.rmeta: crates/bench/benches/e2_chain_walk.rs Cargo.toml
+
+crates/bench/benches/e2_chain_walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e3_comm_overhead-cd56ace13e475867.d: crates/bench/benches/e3_comm_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libe3_comm_overhead-cd56ace13e475867.rmeta: crates/bench/benches/e3_comm_overhead.rs Cargo.toml
+
+crates/bench/benches/e3_comm_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e4_update_cost-ace9e41b4a1acb66.d: crates/bench/benches/e4_update_cost.rs Cargo.toml
+
+/root/repo/target/release/deps/libe4_update_cost-ace9e41b4a1acb66.rmeta: crates/bench/benches/e4_update_cost.rs Cargo.toml
+
+crates/bench/benches/e4_update_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e5_search_protocol-bd92dbac884fd7cf.d: crates/bench/benches/e5_search_protocol.rs Cargo.toml
+
+/root/repo/target/release/deps/libe5_search_protocol-bd92dbac884fd7cf.rmeta: crates/bench/benches/e5_search_protocol.rs Cargo.toml
+
+crates/bench/benches/e5_search_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

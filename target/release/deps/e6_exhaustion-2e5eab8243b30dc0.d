@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e6_exhaustion-2e5eab8243b30dc0.d: crates/bench/benches/e6_exhaustion.rs Cargo.toml
+
+/root/repo/target/release/deps/libe6_exhaustion-2e5eab8243b30dc0.rmeta: crates/bench/benches/e6_exhaustion.rs Cargo.toml
+
+crates/bench/benches/e6_exhaustion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e7_leakage-9396b77565a18652.d: crates/bench/benches/e7_leakage.rs Cargo.toml
+
+/root/repo/target/release/deps/libe7_leakage-9396b77565a18652.rmeta: crates/bench/benches/e7_leakage.rs Cargo.toml
+
+crates/bench/benches/e7_leakage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

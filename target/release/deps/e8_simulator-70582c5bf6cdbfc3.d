@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/e8_simulator-70582c5bf6cdbfc3.d: crates/bench/benches/e8_simulator.rs Cargo.toml
+
+/root/repo/target/release/deps/libe8_simulator-70582c5bf6cdbfc3.rmeta: crates/bench/benches/e8_simulator.rs Cargo.toml
+
+crates/bench/benches/e8_simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-12dee7a3467ee73d.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-12dee7a3467ee73d: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/harness-5bfd4f172fa83ca6.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/release/deps/libharness-5bfd4f172fa83ca6.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/harness-7bd7bd4466222dfa.d: crates/bench/src/bin/harness.rs Cargo.toml
+
+/root/repo/target/release/deps/libharness-7bd7bd4466222dfa.rmeta: crates/bench/src/bin/harness.rs Cargo.toml
+
+crates/bench/src/bin/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

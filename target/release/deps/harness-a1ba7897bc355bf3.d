@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-a1ba7897bc355bf3.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-a1ba7897bc355bf3: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/persistence-26e53118903b1283.d: tests/persistence.rs
+
+/root/repo/target/release/deps/persistence-26e53118903b1283: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/persistence-ca3722247ba03ce3.d: tests/persistence.rs
+
+/root/repo/target/release/deps/persistence-ca3722247ba03ce3: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/primitives-e734f6942f5d9ea8.d: crates/bench/benches/primitives.rs Cargo.toml
+
+/root/repo/target/release/deps/libprimitives-e734f6942f5d9ea8.rmeta: crates/bench/benches/primitives.rs Cargo.toml
+
+crates/bench/benches/primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

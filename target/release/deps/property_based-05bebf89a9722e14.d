@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_based-05bebf89a9722e14.d: tests/property_based.rs
+
+/root/repo/target/release/deps/property_based-05bebf89a9722e14: tests/property_based.rs
+
+tests/property_based.rs:

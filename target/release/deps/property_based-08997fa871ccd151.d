@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/property_based-08997fa871ccd151.d: tests/property_based.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperty_based-08997fa871ccd151.rmeta: tests/property_based.rs Cargo.toml
+
+tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_based-2c5567642211af5e.d: tests/property_based.rs
+
+/root/repo/target/release/deps/property_based-2c5567642211af5e: tests/property_based.rs
+
+tests/property_based.rs:

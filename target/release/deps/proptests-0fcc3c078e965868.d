@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-0fcc3c078e965868.d: crates/index/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-0fcc3c078e965868: crates/index/tests/proptests.rs
+
+crates/index/tests/proptests.rs:

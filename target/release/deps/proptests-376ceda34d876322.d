@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-376ceda34d876322.d: crates/primitives/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-376ceda34d876322: crates/primitives/tests/proptests.rs
+
+crates/primitives/tests/proptests.rs:

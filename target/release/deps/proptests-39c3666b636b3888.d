@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-39c3666b636b3888.d: crates/net/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-39c3666b636b3888.rmeta: crates/net/tests/proptests.rs Cargo.toml
+
+crates/net/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-3ce779a88981c0c2.d: crates/storage/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-3ce779a88981c0c2: crates/storage/tests/proptests.rs
+
+crates/storage/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-476aeb7fb7bbf3ec.d: crates/net/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-476aeb7fb7bbf3ec: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-4ff7e67f8b8fb66d.d: crates/primitives/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-4ff7e67f8b8fb66d.rmeta: crates/primitives/tests/proptests.rs Cargo.toml
+
+crates/primitives/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

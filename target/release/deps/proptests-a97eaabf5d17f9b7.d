@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-a97eaabf5d17f9b7.d: crates/index/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-a97eaabf5d17f9b7.rmeta: crates/index/tests/proptests.rs Cargo.toml
+
+crates/index/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-c12455b371e772da.d: crates/storage/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-c12455b371e772da.rmeta: crates/storage/tests/proptests.rs Cargo.toml
+
+crates/storage/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

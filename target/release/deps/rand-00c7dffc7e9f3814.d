@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-00c7dffc7e9f3814.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-00c7dffc7e9f3814.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme1_e2e-0028f5dc1d76133b.d: tests/scheme1_e2e.rs
+
+/root/repo/target/release/deps/scheme1_e2e-0028f5dc1d76133b: tests/scheme1_e2e.rs
+
+tests/scheme1_e2e.rs:

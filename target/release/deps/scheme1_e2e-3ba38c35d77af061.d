@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme1_e2e-3ba38c35d77af061.d: tests/scheme1_e2e.rs
+
+/root/repo/target/release/deps/scheme1_e2e-3ba38c35d77af061: tests/scheme1_e2e.rs
+
+tests/scheme1_e2e.rs:

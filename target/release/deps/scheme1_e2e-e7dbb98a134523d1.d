@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scheme1_e2e-e7dbb98a134523d1.d: tests/scheme1_e2e.rs Cargo.toml
+
+/root/repo/target/release/deps/libscheme1_e2e-e7dbb98a134523d1.rmeta: tests/scheme1_e2e.rs Cargo.toml
+
+tests/scheme1_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

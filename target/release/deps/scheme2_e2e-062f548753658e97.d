@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scheme2_e2e-062f548753658e97.d: tests/scheme2_e2e.rs Cargo.toml
+
+/root/repo/target/release/deps/libscheme2_e2e-062f548753658e97.rmeta: tests/scheme2_e2e.rs Cargo.toml
+
+tests/scheme2_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme2_e2e-5f9d6949270d6339.d: tests/scheme2_e2e.rs
+
+/root/repo/target/release/deps/scheme2_e2e-5f9d6949270d6339: tests/scheme2_e2e.rs
+
+tests/scheme2_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme2_e2e-9ef25482d5025d04.d: tests/scheme2_e2e.rs
+
+/root/repo/target/release/deps/scheme2_e2e-9ef25482d5025d04: tests/scheme2_e2e.rs
+
+tests/scheme2_e2e.rs:

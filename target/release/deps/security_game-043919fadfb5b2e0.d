@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_game-043919fadfb5b2e0.d: tests/security_game.rs
+
+/root/repo/target/release/deps/security_game-043919fadfb5b2e0: tests/security_game.rs
+
+tests/security_game.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/security_game-9f1b0cdfec37f10a.d: tests/security_game.rs Cargo.toml
+
+/root/repo/target/release/deps/libsecurity_game-9f1b0cdfec37f10a.rmeta: tests/security_game.rs Cargo.toml
+
+tests/security_game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_game-d325cf63f21331f5.d: tests/security_game.rs
+
+/root/repo/target/release/deps/security_game-d325cf63f21331f5: tests/security_game.rs
+
+tests/security_game.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/server_robustness-409aaac9a4b1edf4.d: crates/core/tests/server_robustness.rs Cargo.toml
+
+/root/repo/target/release/deps/libserver_robustness-409aaac9a4b1edf4.rmeta: crates/core/tests/server_robustness.rs Cargo.toml
+
+crates/core/tests/server_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

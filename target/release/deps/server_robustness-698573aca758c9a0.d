@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/server_robustness-698573aca758c9a0.d: crates/core/tests/server_robustness.rs
+
+/root/repo/target/release/deps/server_robustness-698573aca758c9a0: crates/core/tests/server_robustness.rs
+
+crates/core/tests/server_robustness.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sse_baselines-3397274d2e9c0ee5.d: crates/baselines/src/lib.rs crates/baselines/src/curtmola.rs crates/baselines/src/goh.rs crates/baselines/src/naive.rs crates/baselines/src/swp.rs
+
+/root/repo/target/release/deps/libsse_baselines-3397274d2e9c0ee5.rlib: crates/baselines/src/lib.rs crates/baselines/src/curtmola.rs crates/baselines/src/goh.rs crates/baselines/src/naive.rs crates/baselines/src/swp.rs
+
+/root/repo/target/release/deps/libsse_baselines-3397274d2e9c0ee5.rmeta: crates/baselines/src/lib.rs crates/baselines/src/curtmola.rs crates/baselines/src/goh.rs crates/baselines/src/naive.rs crates/baselines/src/swp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/curtmola.rs:
+crates/baselines/src/goh.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/swp.rs:

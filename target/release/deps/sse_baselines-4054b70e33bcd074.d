@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sse_baselines-4054b70e33bcd074.d: crates/baselines/src/lib.rs crates/baselines/src/curtmola.rs crates/baselines/src/goh.rs crates/baselines/src/naive.rs crates/baselines/src/swp.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_baselines-4054b70e33bcd074.rmeta: crates/baselines/src/lib.rs crates/baselines/src/curtmola.rs crates/baselines/src/goh.rs crates/baselines/src/naive.rs crates/baselines/src/swp.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/curtmola.rs:
+crates/baselines/src/goh.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/swp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sse_baselines-61830c9e7d7f14ec.d: crates/baselines/src/lib.rs crates/baselines/src/curtmola.rs crates/baselines/src/goh.rs crates/baselines/src/naive.rs crates/baselines/src/swp.rs
+
+/root/repo/target/release/deps/sse_baselines-61830c9e7d7f14ec: crates/baselines/src/lib.rs crates/baselines/src/curtmola.rs crates/baselines/src/goh.rs crates/baselines/src/naive.rs crates/baselines/src/swp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/curtmola.rs:
+crates/baselines/src/goh.rs:
+crates/baselines/src/naive.rs:
+crates/baselines/src/swp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/sse_bench-4edc8902d84c198f.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e1.rs crates/bench/src/experiments/e2.rs crates/bench/src/experiments/e3.rs crates/bench/src/experiments/e4.rs crates/bench/src/experiments/e5.rs crates/bench/src/experiments/e6.rs crates/bench/src/experiments/e7.rs crates/bench/src/experiments/e8.rs crates/bench/src/experiments/t1.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/sse_bench-4edc8902d84c198f: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e1.rs crates/bench/src/experiments/e2.rs crates/bench/src/experiments/e3.rs crates/bench/src/experiments/e4.rs crates/bench/src/experiments/e5.rs crates/bench/src/experiments/e6.rs crates/bench/src/experiments/e7.rs crates/bench/src/experiments/e8.rs crates/bench/src/experiments/t1.rs crates/bench/src/table.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e1.rs:
+crates/bench/src/experiments/e2.rs:
+crates/bench/src/experiments/e3.rs:
+crates/bench/src/experiments/e4.rs:
+crates/bench/src/experiments/e5.rs:
+crates/bench/src/experiments/e6.rs:
+crates/bench/src/experiments/e7.rs:
+crates/bench/src/experiments/e8.rs:
+crates/bench/src/experiments/t1.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:

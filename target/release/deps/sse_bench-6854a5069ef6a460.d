@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/sse_bench-6854a5069ef6a460.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e1.rs crates/bench/src/experiments/e2.rs crates/bench/src/experiments/e3.rs crates/bench/src/experiments/e4.rs crates/bench/src/experiments/e5.rs crates/bench/src/experiments/e6.rs crates/bench/src/experiments/e7.rs crates/bench/src/experiments/e8.rs crates/bench/src/experiments/t1.rs crates/bench/src/table.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_bench-6854a5069ef6a460.rmeta: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/e1.rs crates/bench/src/experiments/e2.rs crates/bench/src/experiments/e3.rs crates/bench/src/experiments/e4.rs crates/bench/src/experiments/e5.rs crates/bench/src/experiments/e6.rs crates/bench/src/experiments/e7.rs crates/bench/src/experiments/e8.rs crates/bench/src/experiments/t1.rs crates/bench/src/table.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/e1.rs:
+crates/bench/src/experiments/e2.rs:
+crates/bench/src/experiments/e3.rs:
+crates/bench/src/experiments/e4.rs:
+crates/bench/src/experiments/e5.rs:
+crates/bench/src/experiments/e6.rs:
+crates/bench/src/experiments/e7.rs:
+crates/bench/src/experiments/e8.rs:
+crates/bench/src/experiments/t1.rs:
+crates/bench/src/table.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

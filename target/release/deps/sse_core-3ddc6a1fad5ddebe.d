@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/sse_core-3ddc6a1fad5ddebe.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/leakage.rs crates/core/src/proto_common.rs crates/core/src/query.rs crates/core/src/scheme.rs crates/core/src/scheme1/mod.rs crates/core/src/scheme1/client.rs crates/core/src/scheme1/protocol.rs crates/core/src/scheme1/server.rs crates/core/src/scheme2/mod.rs crates/core/src/scheme2/client.rs crates/core/src/scheme2/protocol.rs crates/core/src/scheme2/server.rs crates/core/src/security/mod.rs crates/core/src/security/game.rs crates/core/src/security/simulator.rs crates/core/src/security/trace.rs crates/core/src/types.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_core-3ddc6a1fad5ddebe.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/leakage.rs crates/core/src/proto_common.rs crates/core/src/query.rs crates/core/src/scheme.rs crates/core/src/scheme1/mod.rs crates/core/src/scheme1/client.rs crates/core/src/scheme1/protocol.rs crates/core/src/scheme1/server.rs crates/core/src/scheme2/mod.rs crates/core/src/scheme2/client.rs crates/core/src/scheme2/protocol.rs crates/core/src/scheme2/server.rs crates/core/src/security/mod.rs crates/core/src/security/game.rs crates/core/src/security/simulator.rs crates/core/src/security/trace.rs crates/core/src/types.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/leakage.rs:
+crates/core/src/proto_common.rs:
+crates/core/src/query.rs:
+crates/core/src/scheme.rs:
+crates/core/src/scheme1/mod.rs:
+crates/core/src/scheme1/client.rs:
+crates/core/src/scheme1/protocol.rs:
+crates/core/src/scheme1/server.rs:
+crates/core/src/scheme2/mod.rs:
+crates/core/src/scheme2/client.rs:
+crates/core/src/scheme2/protocol.rs:
+crates/core/src/scheme2/server.rs:
+crates/core/src/security/mod.rs:
+crates/core/src/security/game.rs:
+crates/core/src/security/simulator.rs:
+crates/core/src/security/trace.rs:
+crates/core/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sse_index-44d568e1eddd7cc1.d: crates/index/src/lib.rs crates/index/src/bitset.rs crates/index/src/bloom.rs crates/index/src/bptree.rs crates/index/src/postings.rs
+
+/root/repo/target/release/deps/libsse_index-44d568e1eddd7cc1.rlib: crates/index/src/lib.rs crates/index/src/bitset.rs crates/index/src/bloom.rs crates/index/src/bptree.rs crates/index/src/postings.rs
+
+/root/repo/target/release/deps/libsse_index-44d568e1eddd7cc1.rmeta: crates/index/src/lib.rs crates/index/src/bitset.rs crates/index/src/bloom.rs crates/index/src/bptree.rs crates/index/src/postings.rs
+
+crates/index/src/lib.rs:
+crates/index/src/bitset.rs:
+crates/index/src/bloom.rs:
+crates/index/src/bptree.rs:
+crates/index/src/postings.rs:

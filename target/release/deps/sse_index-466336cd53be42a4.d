@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sse_index-466336cd53be42a4.d: crates/index/src/lib.rs crates/index/src/bitset.rs crates/index/src/bloom.rs crates/index/src/bptree.rs crates/index/src/postings.rs
+
+/root/repo/target/release/deps/sse_index-466336cd53be42a4: crates/index/src/lib.rs crates/index/src/bitset.rs crates/index/src/bloom.rs crates/index/src/bptree.rs crates/index/src/postings.rs
+
+crates/index/src/lib.rs:
+crates/index/src/bitset.rs:
+crates/index/src/bloom.rs:
+crates/index/src/bptree.rs:
+crates/index/src/postings.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sse_index-7fe9182a94ab4c56.d: crates/index/src/lib.rs crates/index/src/bitset.rs crates/index/src/bloom.rs crates/index/src/bptree.rs crates/index/src/postings.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_index-7fe9182a94ab4c56.rmeta: crates/index/src/lib.rs crates/index/src/bitset.rs crates/index/src/bloom.rs crates/index/src/bptree.rs crates/index/src/postings.rs Cargo.toml
+
+crates/index/src/lib.rs:
+crates/index/src/bitset.rs:
+crates/index/src/bloom.rs:
+crates/index/src/bptree.rs:
+crates/index/src/postings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

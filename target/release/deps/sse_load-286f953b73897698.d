@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sse_load-286f953b73897698.d: crates/server/src/bin/sse-load.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_load-286f953b73897698.rmeta: crates/server/src/bin/sse-load.rs Cargo.toml
+
+crates/server/src/bin/sse-load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sse_load-5aae26175f1bf986.d: crates/server/src/bin/sse-load.rs
+
+/root/repo/target/release/deps/sse_load-5aae26175f1bf986: crates/server/src/bin/sse-load.rs
+
+crates/server/src/bin/sse-load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sse_load-bad520f7f1c07fd1.d: crates/server/src/bin/sse-load.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_load-bad520f7f1c07fd1.rmeta: crates/server/src/bin/sse-load.rs Cargo.toml
+
+crates/server/src/bin/sse-load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

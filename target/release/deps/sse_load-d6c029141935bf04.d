@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sse_load-d6c029141935bf04.d: crates/server/src/bin/sse-load.rs
+
+/root/repo/target/release/deps/sse_load-d6c029141935bf04: crates/server/src/bin/sse-load.rs
+
+crates/server/src/bin/sse-load.rs:

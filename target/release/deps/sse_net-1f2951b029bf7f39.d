@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sse_net-1f2951b029bf7f39.d: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/latency.rs crates/net/src/link.rs crates/net/src/meter.rs crates/net/src/shutdown.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_net-1f2951b029bf7f39.rmeta: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/latency.rs crates/net/src/link.rs crates/net/src/meter.rs crates/net/src/shutdown.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/frame.rs:
+crates/net/src/latency.rs:
+crates/net/src/link.rs:
+crates/net/src/meter.rs:
+crates/net/src/shutdown.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

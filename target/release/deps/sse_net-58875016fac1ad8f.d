@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sse_net-58875016fac1ad8f.d: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/latency.rs crates/net/src/link.rs crates/net/src/meter.rs crates/net/src/shutdown.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libsse_net-58875016fac1ad8f.rlib: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/latency.rs crates/net/src/link.rs crates/net/src/meter.rs crates/net/src/shutdown.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libsse_net-58875016fac1ad8f.rmeta: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/latency.rs crates/net/src/link.rs crates/net/src/meter.rs crates/net/src/shutdown.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/frame.rs:
+crates/net/src/latency.rs:
+crates/net/src/link.rs:
+crates/net/src/meter.rs:
+crates/net/src/shutdown.rs:
+crates/net/src/wire.rs:

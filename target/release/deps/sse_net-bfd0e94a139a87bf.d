@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sse_net-bfd0e94a139a87bf.d: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/latency.rs crates/net/src/link.rs crates/net/src/meter.rs crates/net/src/shutdown.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/sse_net-bfd0e94a139a87bf: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/latency.rs crates/net/src/link.rs crates/net/src/meter.rs crates/net/src/shutdown.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/frame.rs:
+crates/net/src/latency.rs:
+crates/net/src/link.rs:
+crates/net/src/meter.rs:
+crates/net/src/shutdown.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sse_phr-b955a4d637390769.d: crates/phr/src/lib.rs crates/phr/src/codes.rs crates/phr/src/record.rs crates/phr/src/system.rs crates/phr/src/workload.rs crates/phr/src/zipf.rs
+
+/root/repo/target/release/deps/libsse_phr-b955a4d637390769.rlib: crates/phr/src/lib.rs crates/phr/src/codes.rs crates/phr/src/record.rs crates/phr/src/system.rs crates/phr/src/workload.rs crates/phr/src/zipf.rs
+
+/root/repo/target/release/deps/libsse_phr-b955a4d637390769.rmeta: crates/phr/src/lib.rs crates/phr/src/codes.rs crates/phr/src/record.rs crates/phr/src/system.rs crates/phr/src/workload.rs crates/phr/src/zipf.rs
+
+crates/phr/src/lib.rs:
+crates/phr/src/codes.rs:
+crates/phr/src/record.rs:
+crates/phr/src/system.rs:
+crates/phr/src/workload.rs:
+crates/phr/src/zipf.rs:

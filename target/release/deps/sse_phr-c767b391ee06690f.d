@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sse_phr-c767b391ee06690f.d: crates/phr/src/lib.rs crates/phr/src/codes.rs crates/phr/src/record.rs crates/phr/src/system.rs crates/phr/src/workload.rs crates/phr/src/zipf.rs
+
+/root/repo/target/release/deps/sse_phr-c767b391ee06690f: crates/phr/src/lib.rs crates/phr/src/codes.rs crates/phr/src/record.rs crates/phr/src/system.rs crates/phr/src/workload.rs crates/phr/src/zipf.rs
+
+crates/phr/src/lib.rs:
+crates/phr/src/codes.rs:
+crates/phr/src/record.rs:
+crates/phr/src/system.rs:
+crates/phr/src/workload.rs:
+crates/phr/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sse_phr-cae3490763d3b9eb.d: crates/phr/src/lib.rs crates/phr/src/codes.rs crates/phr/src/record.rs crates/phr/src/system.rs crates/phr/src/workload.rs crates/phr/src/zipf.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_phr-cae3490763d3b9eb.rmeta: crates/phr/src/lib.rs crates/phr/src/codes.rs crates/phr/src/record.rs crates/phr/src/system.rs crates/phr/src/workload.rs crates/phr/src/zipf.rs Cargo.toml
+
+crates/phr/src/lib.rs:
+crates/phr/src/codes.rs:
+crates/phr/src/record.rs:
+crates/phr/src/system.rs:
+crates/phr/src/workload.rs:
+crates/phr/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

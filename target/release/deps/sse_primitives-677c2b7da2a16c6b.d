@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/sse_primitives-677c2b7da2a16c6b.d: crates/primitives/src/lib.rs crates/primitives/src/aes.rs crates/primitives/src/bignum.rs crates/primitives/src/chacha20.rs crates/primitives/src/ct.rs crates/primitives/src/ctr.rs crates/primitives/src/drbg.rs crates/primitives/src/elgamal.rs crates/primitives/src/error.rs crates/primitives/src/etm.rs crates/primitives/src/hashchain.rs crates/primitives/src/hmac.rs crates/primitives/src/kdf.rs crates/primitives/src/modp.rs crates/primitives/src/prf.rs crates/primitives/src/prg.rs crates/primitives/src/sha256.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_primitives-677c2b7da2a16c6b.rmeta: crates/primitives/src/lib.rs crates/primitives/src/aes.rs crates/primitives/src/bignum.rs crates/primitives/src/chacha20.rs crates/primitives/src/ct.rs crates/primitives/src/ctr.rs crates/primitives/src/drbg.rs crates/primitives/src/elgamal.rs crates/primitives/src/error.rs crates/primitives/src/etm.rs crates/primitives/src/hashchain.rs crates/primitives/src/hmac.rs crates/primitives/src/kdf.rs crates/primitives/src/modp.rs crates/primitives/src/prf.rs crates/primitives/src/prg.rs crates/primitives/src/sha256.rs Cargo.toml
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/aes.rs:
+crates/primitives/src/bignum.rs:
+crates/primitives/src/chacha20.rs:
+crates/primitives/src/ct.rs:
+crates/primitives/src/ctr.rs:
+crates/primitives/src/drbg.rs:
+crates/primitives/src/elgamal.rs:
+crates/primitives/src/error.rs:
+crates/primitives/src/etm.rs:
+crates/primitives/src/hashchain.rs:
+crates/primitives/src/hmac.rs:
+crates/primitives/src/kdf.rs:
+crates/primitives/src/modp.rs:
+crates/primitives/src/prf.rs:
+crates/primitives/src/prg.rs:
+crates/primitives/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sse_repro-303078a4f2e1a54b.d: src/lib.rs
+
+/root/repo/target/release/deps/sse_repro-303078a4f2e1a54b: src/lib.rs
+
+src/lib.rs:

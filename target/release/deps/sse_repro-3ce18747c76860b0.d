@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sse_repro-3ce18747c76860b0.d: src/lib.rs
+
+/root/repo/target/release/deps/libsse_repro-3ce18747c76860b0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsse_repro-3ce18747c76860b0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sse_repro-5bb6a50dafb71607.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_repro-5bb6a50dafb71607.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

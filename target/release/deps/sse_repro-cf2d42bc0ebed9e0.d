@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sse_repro-cf2d42bc0ebed9e0.d: src/lib.rs
+
+/root/repo/target/release/deps/libsse_repro-cf2d42bc0ebed9e0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsse_repro-cf2d42bc0ebed9e0.rmeta: src/lib.rs
+
+src/lib.rs:

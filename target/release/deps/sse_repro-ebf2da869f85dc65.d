@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sse_repro-ebf2da869f85dc65.d: src/lib.rs
+
+/root/repo/target/release/deps/sse_repro-ebf2da869f85dc65: src/lib.rs
+
+src/lib.rs:

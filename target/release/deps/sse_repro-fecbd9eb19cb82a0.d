@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sse_repro-fecbd9eb19cb82a0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_repro-fecbd9eb19cb82a0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sse_server-2e920de07390c02f.d: crates/server/src/lib.rs crates/server/src/daemon.rs crates/server/src/histogram.rs crates/server/src/load.rs crates/server/src/proto.rs crates/server/src/stats.rs crates/server/src/tenant.rs crates/server/src/transport.rs
+
+/root/repo/target/release/deps/libsse_server-2e920de07390c02f.rlib: crates/server/src/lib.rs crates/server/src/daemon.rs crates/server/src/histogram.rs crates/server/src/load.rs crates/server/src/proto.rs crates/server/src/stats.rs crates/server/src/tenant.rs crates/server/src/transport.rs
+
+/root/repo/target/release/deps/libsse_server-2e920de07390c02f.rmeta: crates/server/src/lib.rs crates/server/src/daemon.rs crates/server/src/histogram.rs crates/server/src/load.rs crates/server/src/proto.rs crates/server/src/stats.rs crates/server/src/tenant.rs crates/server/src/transport.rs
+
+crates/server/src/lib.rs:
+crates/server/src/daemon.rs:
+crates/server/src/histogram.rs:
+crates/server/src/load.rs:
+crates/server/src/proto.rs:
+crates/server/src/stats.rs:
+crates/server/src/tenant.rs:
+crates/server/src/transport.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/sse_server-ed14006511dd7547.d: crates/server/src/lib.rs crates/server/src/daemon.rs crates/server/src/histogram.rs crates/server/src/load.rs crates/server/src/proto.rs crates/server/src/stats.rs crates/server/src/tenant.rs crates/server/src/transport.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_server-ed14006511dd7547.rmeta: crates/server/src/lib.rs crates/server/src/daemon.rs crates/server/src/histogram.rs crates/server/src/load.rs crates/server/src/proto.rs crates/server/src/stats.rs crates/server/src/tenant.rs crates/server/src/transport.rs Cargo.toml
+
+crates/server/src/lib.rs:
+crates/server/src/daemon.rs:
+crates/server/src/histogram.rs:
+crates/server/src/load.rs:
+crates/server/src/proto.rs:
+crates/server/src/stats.rs:
+crates/server/src/tenant.rs:
+crates/server/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

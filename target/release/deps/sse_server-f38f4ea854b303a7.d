@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sse_server-f38f4ea854b303a7.d: crates/server/src/lib.rs crates/server/src/daemon.rs crates/server/src/histogram.rs crates/server/src/load.rs crates/server/src/proto.rs crates/server/src/stats.rs crates/server/src/tenant.rs crates/server/src/transport.rs
+
+/root/repo/target/release/deps/sse_server-f38f4ea854b303a7: crates/server/src/lib.rs crates/server/src/daemon.rs crates/server/src/histogram.rs crates/server/src/load.rs crates/server/src/proto.rs crates/server/src/stats.rs crates/server/src/tenant.rs crates/server/src/transport.rs
+
+crates/server/src/lib.rs:
+crates/server/src/daemon.rs:
+crates/server/src/histogram.rs:
+crates/server/src/load.rs:
+crates/server/src/proto.rs:
+crates/server/src/stats.rs:
+crates/server/src/tenant.rs:
+crates/server/src/transport.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sse_serverd-0ba1b8baca09e5ba.d: crates/server/src/bin/sse-serverd.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_serverd-0ba1b8baca09e5ba.rmeta: crates/server/src/bin/sse-serverd.rs Cargo.toml
+
+crates/server/src/bin/sse-serverd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sse_serverd-5c137715ffea1c8a.d: crates/server/src/bin/sse-serverd.rs
+
+/root/repo/target/release/deps/sse_serverd-5c137715ffea1c8a: crates/server/src/bin/sse-serverd.rs
+
+crates/server/src/bin/sse-serverd.rs:

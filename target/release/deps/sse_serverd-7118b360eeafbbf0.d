@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sse_serverd-7118b360eeafbbf0.d: crates/server/src/bin/sse-serverd.rs
+
+/root/repo/target/release/deps/sse_serverd-7118b360eeafbbf0: crates/server/src/bin/sse-serverd.rs
+
+crates/server/src/bin/sse-serverd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sse_serverd-d45c44ed44e87a0c.d: crates/server/src/bin/sse-serverd.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_serverd-d45c44ed44e87a0c.rmeta: crates/server/src/bin/sse-serverd.rs Cargo.toml
+
+crates/server/src/bin/sse-serverd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

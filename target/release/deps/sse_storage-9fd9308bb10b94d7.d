@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sse_storage-9fd9308bb10b94d7.d: crates/storage/src/lib.rs crates/storage/src/crc32.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libsse_storage-9fd9308bb10b94d7.rlib: crates/storage/src/lib.rs crates/storage/src/crc32.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libsse_storage-9fd9308bb10b94d7.rmeta: crates/storage/src/lib.rs crates/storage/src/crc32.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/crc32.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/store.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sse_storage-a8bf39fed5dfa093.d: crates/storage/src/lib.rs crates/storage/src/crc32.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/store.rs crates/storage/src/wal.rs Cargo.toml
+
+/root/repo/target/release/deps/libsse_storage-a8bf39fed5dfa093.rmeta: crates/storage/src/lib.rs crates/storage/src/crc32.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/store.rs crates/storage/src/wal.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/crc32.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/store.rs:
+crates/storage/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sse_storage-eee039161ddd0d52.d: crates/storage/src/lib.rs crates/storage/src/crc32.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/sse_storage-eee039161ddd0d52: crates/storage/src/lib.rs crates/storage/src/crc32.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/store.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/crc32.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/store.rs:
+crates/storage/src/wal.rs:

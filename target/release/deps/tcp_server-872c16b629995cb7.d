@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tcp_server-872c16b629995cb7.d: tests/tcp_server.rs
+
+/root/repo/target/release/deps/tcp_server-872c16b629995cb7: tests/tcp_server.rs
+
+tests/tcp_server.rs:

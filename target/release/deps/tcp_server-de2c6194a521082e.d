@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tcp_server-de2c6194a521082e.d: tests/tcp_server.rs Cargo.toml
+
+/root/repo/target/release/deps/libtcp_server-de2c6194a521082e.rmeta: tests/tcp_server.rs Cargo.toml
+
+tests/tcp_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threaded_transport-318e788681d01524.d: tests/threaded_transport.rs
+
+/root/repo/target/release/deps/threaded_transport-318e788681d01524: tests/threaded_transport.rs
+
+tests/threaded_transport.rs:

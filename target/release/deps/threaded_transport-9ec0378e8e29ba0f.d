@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threaded_transport-9ec0378e8e29ba0f.d: tests/threaded_transport.rs
+
+/root/repo/target/release/deps/threaded_transport-9ec0378e8e29ba0f: tests/threaded_transport.rs
+
+tests/threaded_transport.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/threaded_transport-dabb8ebbc232219b.d: tests/threaded_transport.rs Cargo.toml
+
+/root/repo/target/release/deps/libthreaded_transport-dabb8ebbc232219b.rmeta: tests/threaded_transport.rs Cargo.toml
+
+tests/threaded_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cli-73acd22f311c39d3.d: examples/cli.rs
+
+/root/repo/target/release/examples/cli-73acd22f311c39d3: examples/cli.rs
+
+examples/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/cli-ac229cb29a876445.d: examples/cli.rs Cargo.toml
+
+/root/repo/target/release/examples/libcli-ac229cb29a876445.rmeta: examples/cli.rs Cargo.toml
+
+examples/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

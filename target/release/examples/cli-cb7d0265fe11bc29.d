@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cli-cb7d0265fe11bc29.d: examples/cli.rs
+
+/root/repo/target/release/examples/cli-cb7d0265fe11bc29: examples/cli.rs
+
+examples/cli.rs:

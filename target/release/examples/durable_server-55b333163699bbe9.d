@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/durable_server-55b333163699bbe9.d: examples/durable_server.rs
+
+/root/repo/target/release/examples/durable_server-55b333163699bbe9: examples/durable_server.rs
+
+examples/durable_server.rs:

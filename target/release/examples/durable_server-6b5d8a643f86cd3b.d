@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/durable_server-6b5d8a643f86cd3b.d: examples/durable_server.rs Cargo.toml
+
+/root/repo/target/release/examples/libdurable_server-6b5d8a643f86cd3b.rmeta: examples/durable_server.rs Cargo.toml
+
+examples/durable_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

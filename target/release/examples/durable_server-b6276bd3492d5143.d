@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/durable_server-b6276bd3492d5143.d: examples/durable_server.rs
+
+/root/repo/target/release/examples/durable_server-b6276bd3492d5143: examples/durable_server.rs
+
+examples/durable_server.rs:

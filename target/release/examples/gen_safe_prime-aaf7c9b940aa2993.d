@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gen_safe_prime-aaf7c9b940aa2993.d: crates/primitives/examples/gen_safe_prime.rs
+
+/root/repo/target/release/examples/gen_safe_prime-aaf7c9b940aa2993: crates/primitives/examples/gen_safe_prime.rs
+
+crates/primitives/examples/gen_safe_prime.rs:

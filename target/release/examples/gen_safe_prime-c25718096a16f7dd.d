@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/gen_safe_prime-c25718096a16f7dd.d: crates/primitives/examples/gen_safe_prime.rs Cargo.toml
+
+/root/repo/target/release/examples/libgen_safe_prime-c25718096a16f7dd.rmeta: crates/primitives/examples/gen_safe_prime.rs Cargo.toml
+
+crates/primitives/examples/gen_safe_prime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/leakage_audit-1b19a1cc55c5e49a.d: examples/leakage_audit.rs
+
+/root/repo/target/release/examples/leakage_audit-1b19a1cc55c5e49a: examples/leakage_audit.rs
+
+examples/leakage_audit.rs:

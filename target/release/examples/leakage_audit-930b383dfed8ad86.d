@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/leakage_audit-930b383dfed8ad86.d: examples/leakage_audit.rs Cargo.toml
+
+/root/repo/target/release/examples/libleakage_audit-930b383dfed8ad86.rmeta: examples/leakage_audit.rs Cargo.toml
+
+examples/leakage_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

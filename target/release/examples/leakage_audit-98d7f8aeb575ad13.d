@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/leakage_audit-98d7f8aeb575ad13.d: examples/leakage_audit.rs
+
+/root/repo/target/release/examples/leakage_audit-98d7f8aeb575ad13: examples/leakage_audit.rs
+
+examples/leakage_audit.rs:

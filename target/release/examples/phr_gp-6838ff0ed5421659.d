@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/phr_gp-6838ff0ed5421659.d: examples/phr_gp.rs Cargo.toml
+
+/root/repo/target/release/examples/libphr_gp-6838ff0ed5421659.rmeta: examples/phr_gp.rs Cargo.toml
+
+examples/phr_gp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/phr_gp-934ed5434e2cb1a5.d: examples/phr_gp.rs
+
+/root/repo/target/release/examples/phr_gp-934ed5434e2cb1a5: examples/phr_gp.rs
+
+examples/phr_gp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/phr_gp-f5c6ade033840e9f.d: examples/phr_gp.rs
+
+/root/repo/target/release/examples/phr_gp-f5c6ade033840e9f: examples/phr_gp.rs
+
+examples/phr_gp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/phr_traveler-6794ad567a6f0c46.d: examples/phr_traveler.rs
+
+/root/repo/target/release/examples/phr_traveler-6794ad567a6f0c46: examples/phr_traveler.rs
+
+examples/phr_traveler.rs:

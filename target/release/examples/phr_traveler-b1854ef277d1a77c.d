@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/phr_traveler-b1854ef277d1a77c.d: examples/phr_traveler.rs
+
+/root/repo/target/release/examples/phr_traveler-b1854ef277d1a77c: examples/phr_traveler.rs
+
+examples/phr_traveler.rs:

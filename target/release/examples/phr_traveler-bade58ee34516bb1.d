@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/phr_traveler-bade58ee34516bb1.d: examples/phr_traveler.rs Cargo.toml
+
+/root/repo/target/release/examples/libphr_traveler-bade58ee34516bb1.rmeta: examples/phr_traveler.rs Cargo.toml
+
+examples/phr_traveler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3e64e2ba0d1f0392.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3e64e2ba0d1f0392: examples/quickstart.rs
+
+examples/quickstart.rs:

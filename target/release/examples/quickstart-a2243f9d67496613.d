@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-a2243f9d67496613.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-a2243f9d67496613.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

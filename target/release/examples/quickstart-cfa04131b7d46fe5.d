@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-cfa04131b7d46fe5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-cfa04131b7d46fe5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/tcp_quickstart-0e1c89d6ee2174b8.d: examples/tcp_quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libtcp_quickstart-0e1c89d6ee2174b8.rmeta: examples/tcp_quickstart.rs Cargo.toml
+
+examples/tcp_quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tcp_quickstart-e32f1f2af7e1acce.d: examples/tcp_quickstart.rs
+
+/root/repo/target/release/examples/tcp_quickstart-e32f1f2af7e1acce: examples/tcp_quickstart.rs
+
+examples/tcp_quickstart.rs:

@@ -50,7 +50,9 @@ fn ids(hits: &[(DocId, Vec<u8>)]) -> BTreeSet<DocId> {
 #[test]
 fn all_schemes_agree_on_search_results() {
     let docs = corpus();
-    let queries: Vec<Keyword> = (0..25).map(|i| Keyword::new(format!("kw-{i:05}"))).collect();
+    let queries: Vec<Keyword> = (0..25)
+        .map(|i| Keyword::new(format!("kw-{i:05}")))
+        .collect();
 
     // Ground truth.
     let truth: Vec<BTreeSet<DocId>> = queries
@@ -97,7 +99,10 @@ fn all_schemes_agree_after_incremental_updates() {
         client.add_documents(initial).unwrap();
         let _ = client.search(&q).unwrap();
         client.add_documents(update).unwrap();
-        results.push((client.scheme_name().to_string(), ids(&client.search(&q).unwrap())));
+        results.push((
+            client.scheme_name().to_string(),
+            ids(&client.search(&q).unwrap()),
+        ));
     }
     let reference = &results[0].1;
     assert!(!reference.is_empty(), "head keyword must match documents");
@@ -115,14 +120,16 @@ fn table1_round_counts_hold_for_the_papers_schemes() {
     let docs = corpus();
     let key = MasterKey::from_seed(9);
 
-    let mut s1 = InMemoryScheme1Client::new_in_memory(key.clone(), Scheme1Config::fast_profile(256));
+    let mut s1 =
+        InMemoryScheme1Client::new_in_memory(key.clone(), Scheme1Config::fast_profile(256));
     let m1 = s1.meter();
     s1.store(&docs).unwrap();
     m1.reset();
     s1.search(&Keyword::new("kw-00001")).unwrap();
     assert_eq!(m1.snapshot().rounds, 2, "Scheme 1 search: two rounds");
     m1.reset();
-    s1.store(&[Document::new(200, vec![], ["kw-00001"])]).unwrap();
+    s1.store(&[Document::new(200, vec![], ["kw-00001"])])
+        .unwrap();
     assert_eq!(
         m1.snapshot().rounds,
         3,
@@ -139,7 +146,8 @@ fn table1_round_counts_hold_for_the_papers_schemes() {
     s2.search(&Keyword::new("kw-00001")).unwrap();
     assert_eq!(m2.snapshot().rounds, 1, "Scheme 2 search: one round");
     m2.reset();
-    s2.store(&[Document::new(200, vec![], ["kw-00001"])]).unwrap();
+    s2.store(&[Document::new(200, vec![], ["kw-00001"])])
+        .unwrap();
     assert_eq!(
         m2.snapshot().rounds,
         2,
@@ -156,10 +164,8 @@ fn update_cost_contrast_scheme1_vs_scheme2_vs_curtmola() {
     let key = MasterKey::from_seed(10);
     let single_update = vec![Document::new(200, b"tiny".to_vec(), ["kw-00001"])];
 
-    let mut s1 = InMemoryScheme1Client::new_in_memory(
-        key.clone(),
-        Scheme1Config::fast_profile(8192),
-    );
+    let mut s1 =
+        InMemoryScheme1Client::new_in_memory(key.clone(), Scheme1Config::fast_profile(8192));
     s1.store(&docs).unwrap();
     let m = s1.meter();
     m.reset();

@@ -50,12 +50,8 @@ fn scheme2_blobs_survive_restart_and_reindex() {
     {
         let server = Scheme2Server::open_durable(config.clone(), &dir).unwrap();
         assert_eq!(server.stored_docs(), 3, "blobs must survive restart");
-        let mut client = Scheme2Client::new_seeded(
-            MeteredLink::new(server, Meter::new()),
-            key,
-            config,
-            2,
-        );
+        let mut client =
+            Scheme2Client::new_seeded(MeteredLink::new(server, Meter::new()), key, config, 2);
         client.restore_state(saved_state);
         client.reinitialize(&docs()).unwrap();
         let hits = client.search(&Keyword::new("beta")).unwrap();
@@ -87,12 +83,8 @@ fn scheme1_durable_server_round_trip() {
         // Scheme 1's index is a bit-array per keyword; re-store rebuilds it
         // (XOR toggling would double-toggle, so a fresh server-side index
         // needs a fresh client view of the postings).
-        let mut client = Scheme1Client::new_seeded(
-            MeteredLink::new(server, Meter::new()),
-            key,
-            config,
-            2,
-        );
+        let mut client =
+            Scheme1Client::new_seeded(MeteredLink::new(server, Meter::new()), key, config, 2);
         client.store(&docs()).unwrap(); // re-index against recovered blobs
         assert_eq!(client.search(&Keyword::new("beta")).unwrap().len(), 2);
     }
@@ -114,23 +106,27 @@ fn scheme1_index_snapshot_restores_search_without_reindex() {
         );
         client.store(&docs()).unwrap();
         // Checkpoint both halves: blobs + keyword index.
-        client.transport_mut().service_mut().checkpoint(&dir).unwrap();
+        client
+            .transport_mut()
+            .service_mut()
+            .checkpoint(&dir)
+            .unwrap();
         // Post-checkpoint update lands only in the WAL/live index.
         client
             .store(&[Document::new(3, b"late".to_vec(), ["alpha"])])
             .unwrap();
-        client.transport_mut().service_mut().checkpoint(&dir).unwrap();
+        client
+            .transport_mut()
+            .service_mut()
+            .checkpoint(&dir)
+            .unwrap();
     }
     // Restart: searches work immediately, no client re-indexing.
     {
         let server = Scheme1Server::open_durable(64, &dir).unwrap();
         assert_eq!(server.unique_keywords(), 2);
-        let mut client = Scheme1Client::new_seeded(
-            MeteredLink::new(server, Meter::new()),
-            key,
-            config,
-            2,
-        );
+        let mut client =
+            Scheme1Client::new_seeded(MeteredLink::new(server, Meter::new()), key, config, 2);
         let hits = client.search(&Keyword::new("alpha")).unwrap();
         assert_eq!(hits.len(), 3);
         assert_eq!(client.search(&Keyword::new("beta")).unwrap().len(), 2);
@@ -156,18 +152,18 @@ fn scheme2_index_snapshot_restores_search_without_reindex() {
         client
             .store(&[Document::new(3, b"late".to_vec(), ["beta"])])
             .unwrap();
-        client.transport_mut().service_mut().checkpoint(&dir).unwrap();
+        client
+            .transport_mut()
+            .service_mut()
+            .checkpoint(&dir)
+            .unwrap();
         client.state()
     };
     {
         let server = Scheme2Server::open_durable(config.clone(), &dir).unwrap();
         assert_eq!(server.unique_keywords(), 2);
-        let mut client = Scheme2Client::new_seeded(
-            MeteredLink::new(server, Meter::new()),
-            key,
-            config,
-            2,
-        );
+        let mut client =
+            Scheme2Client::new_seeded(MeteredLink::new(server, Meter::new()), key, config, 2);
         client.restore_state(saved_state);
         // All generations recovered: both the pre- and post-search ones.
         assert_eq!(client.search(&Keyword::new("beta")).unwrap().len(), 3);
@@ -229,12 +225,8 @@ fn remote_checkpoint_round_trips_both_schemes() {
     }
     {
         let server = Scheme1Server::open_durable(64, &dir).unwrap();
-        let mut client = Scheme1Client::new_seeded(
-            MeteredLink::new(server, Meter::new()),
-            key,
-            s1_config,
-            2,
-        );
+        let mut client =
+            Scheme1Client::new_seeded(MeteredLink::new(server, Meter::new()), key, s1_config, 2);
         assert_eq!(client.search(&Keyword::new("beta")).unwrap().len(), 2);
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -263,7 +255,11 @@ fn corrupt_index_snapshot_is_rejected() {
             1,
         );
         client.store(&docs()).unwrap();
-        client.transport_mut().service_mut().checkpoint(&dir).unwrap();
+        client
+            .transport_mut()
+            .service_mut()
+            .checkpoint(&dir)
+            .unwrap();
     }
     let snap = dir.join("scheme1.index");
     let mut bytes = std::fs::read(&snap).unwrap();

@@ -95,7 +95,10 @@ fn deletion_via_toggle_matches_oracle() {
     client
         .store(&[Document::new(0, b"a".to_vec(), ["k1"])])
         .unwrap();
-    assert_eq!(hits_ids(&client.search(&Keyword::new("k1")).unwrap()), BTreeSet::from([1]));
+    assert_eq!(
+        hits_ids(&client.search(&Keyword::new("k1")).unwrap()),
+        BTreeSet::from([1])
+    );
     // k2 untouched.
     assert_eq!(
         hits_ids(&client.search(&Keyword::new("k2")).unwrap()),

@@ -1,9 +1,7 @@
 //! End-to-end integration tests for Scheme 2 against a plaintext oracle,
 //! including optimization-equivalence and chain-lifecycle coverage.
 
-use sse_repro::core::scheme2::{
-    CtrPolicy, InMemoryScheme2Client, Scheme2Config,
-};
+use sse_repro::core::scheme2::{CtrPolicy, InMemoryScheme2Client, Scheme2Config};
 use sse_repro::core::types::{DocId, Document, Keyword, MasterKey};
 use sse_repro::core::SseError;
 use sse_repro::phr::workload::{generate_corpus, CorpusConfig};
@@ -62,8 +60,7 @@ fn every_optimization_combination_gives_identical_results() {
         Scheme2Config::standard().with_chain_length(2048),
     ];
     for (ci, config) in configs.into_iter().enumerate() {
-        let mut client =
-            InMemoryScheme2Client::new_in_memory(MasterKey::from_seed(2), config);
+        let mut client = InMemoryScheme2Client::new_in_memory(MasterKey::from_seed(2), config);
         // Interleave: store in chunks, search between chunks.
         let mut stored = 0usize;
         for chunk in corpus.chunks(13) {
@@ -97,11 +94,19 @@ fn heavy_interleaving_with_repeat_searches() {
             kws.push(format!("cold-{round}"));
         }
         client
-            .store(&[Document::new(id, round.to_le_bytes().to_vec(), kws.iter().map(String::as_str))])
+            .store(&[Document::new(
+                id,
+                round.to_le_bytes().to_vec(),
+                kws.iter().map(String::as_str),
+            )])
             .unwrap();
         expected.insert(id);
         if round % 2 == 0 {
-            assert_eq!(hits_ids(&client.search(&kw).unwrap()), expected, "round {round}");
+            assert_eq!(
+                hits_ids(&client.search(&kw).unwrap()),
+                expected,
+                "round {round}"
+            );
         }
     }
     // Cold keywords still retrievable at the end (long chain walks).
@@ -122,10 +127,8 @@ fn opt2_extends_chain_lifetime() {
         .map(|i| Document::new(i, vec![], ["kw"]))
         .collect();
 
-    let mut always = InMemoryScheme2Client::new_in_memory(
-        MasterKey::from_seed(4),
-        Scheme2Config::base(5),
-    );
+    let mut always =
+        InMemoryScheme2Client::new_in_memory(MasterKey::from_seed(4), Scheme2Config::base(5));
     let mut result_always = Ok(());
     for d in &workload {
         result_always = always.store(std::slice::from_ref(d));
@@ -147,7 +150,10 @@ fn opt2_extends_chain_lifetime() {
     }
     // Only 1 counter value consumed for 10 update-only operations.
     assert_eq!(lazy.state().ctr, 1);
-    assert_eq!(hits_ids(&lazy.search(&Keyword::new("kw")).unwrap()).len(), 10);
+    assert_eq!(
+        hits_ids(&lazy.search(&Keyword::new("kw")).unwrap()).len(),
+        10
+    );
 }
 
 #[test]
@@ -231,9 +237,7 @@ fn stored_index_grows_with_generations_not_capacity() {
     );
     let mut last = 0usize;
     for i in 0u64..10 {
-        client
-            .store(&[Document::new(i, vec![], ["kw"])])
-            .unwrap();
+        client.store(&[Document::new(i, vec![], ["kw"])]).unwrap();
         client.search(&Keyword::new("kw")).unwrap(); // advance ctr
         let size = client.server_mut().index_bytes();
         assert!(size > last, "index must grow by one generation");

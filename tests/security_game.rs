@@ -4,8 +4,8 @@
 
 use sse_repro::core::scheme1::Scheme1Config;
 use sse_repro::core::security::{
-    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams,
-    Statistic, Trace,
+    estimate_advantage, extract_scheme1_view, simulate_view, History, SimulatorParams, Statistic,
+    Trace,
 };
 use sse_repro::core::types::{Keyword, MasterKey};
 use sse_repro::phr::workload::{generate_corpus, CorpusConfig};
@@ -134,7 +134,11 @@ fn trace_never_contains_keywords_or_plaintext() {
     // no query keyword and no document plaintext appears in it.
     let docs = vec![
         sse_repro::core::types::Document::new(0, b"SECRET-PAYLOAD".to_vec(), ["confidential-kw"]),
-        sse_repro::core::types::Document::new(1, b"OTHER-PAYLOAD".to_vec(), ["confidential-kw", "second-kw"]),
+        sse_repro::core::types::Document::new(
+            1,
+            b"OTHER-PAYLOAD".to_vec(),
+            ["confidential-kw", "second-kw"],
+        ),
     ];
     let history = History::new(docs, vec![Keyword::new("confidential-kw")]);
     let trace = Trace::from_history(&history);

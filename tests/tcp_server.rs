@@ -1,0 +1,182 @@
+//! The TCP daemon under concurrency: several clients on separate tenants
+//! drive interleaved Scheme 2 updates and searches at once, and every
+//! search result must equal what the same operation sequence produces
+//! against a private in-memory server (the sequential oracle). Shutdown
+//! must drain and join every daemon thread.
+
+use sse_repro::core::scheme2::{Scheme2Client, Scheme2Config};
+use sse_repro::core::types::{Document, Keyword, MasterKey, SearchHits};
+use sse_repro::server::daemon::{Daemon, ServerConfig};
+use sse_repro::server::proto::SchemeId;
+use sse_repro::server::transport::TcpTransport;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const ROUNDS: u64 = 4;
+
+/// The deterministic op sequence client `i` runs: each round stores a
+/// small batch, then searches two keywords (one shared hot keyword, one
+/// per-client keyword).
+fn round_docs(client: u64, round: u64) -> Vec<Document> {
+    let base = round * 10;
+    vec![
+        Document::new(
+            base,
+            format!("c{client}-r{round}-a").into_bytes(),
+            ["hot", "warm"],
+        ),
+        Document::new(
+            base + 1,
+            format!("c{client}-r{round}-b").into_bytes(),
+            [format!("own-{client}").as_str(), "hot"],
+        ),
+    ]
+}
+
+fn sorted(mut hits: SearchHits) -> SearchHits {
+    hits.sort();
+    hits
+}
+
+/// Run the op sequence against any transport-backed client, returning the
+/// transcript of all search results.
+fn run_ops<T: sse_repro::net::link::Transport>(
+    sse: &mut Scheme2Client<T>,
+    client: u64,
+) -> Vec<SearchHits> {
+    let mut transcript = Vec::new();
+    for round in 0..ROUNDS {
+        sse.store(&round_docs(client, round)).unwrap();
+        transcript.push(sorted(sse.search(&Keyword::new("hot")).unwrap()));
+        transcript.push(sorted(
+            sse.search(&Keyword::new(format!("own-{client}"))).unwrap(),
+        ));
+    }
+    transcript
+}
+
+#[test]
+fn concurrent_tenants_match_sequential_oracle() {
+    let daemon = Daemon::spawn(ServerConfig {
+        workers: 3,
+        queue_depth: 4, // small on purpose: exercises BUSY + client retry
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    let joins: Vec<_> = (0..CLIENTS as u64)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let transport =
+                    TcpTransport::connect(addr, &format!("tenant-{client}"), SchemeId::Scheme2)
+                        .unwrap();
+                let mut sse = Scheme2Client::new_seeded(
+                    transport,
+                    MasterKey::from_seed(100 + client),
+                    Scheme2Config::standard(),
+                    client,
+                );
+                run_ops(&mut sse, client)
+            })
+        })
+        .collect();
+    let concurrent: Vec<Vec<SearchHits>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+
+    // Oracle: the same per-client sequences run sequentially, each against
+    // its own in-memory server (what "separate tenants" must behave like).
+    for (client, observed) in concurrent.iter().enumerate() {
+        let client = client as u64;
+        let mut oracle = Scheme2Client::new_in_memory(
+            MasterKey::from_seed(100 + client),
+            Scheme2Config::standard(),
+        );
+        let expected = run_ops(&mut oracle, client);
+        assert_eq!(observed, &expected, "tenant-{client} diverged from oracle");
+        // Shape sanity: round r's "hot" search sees both docs of every
+        // round so far; the per-client keyword sees one per round.
+        for round in 0..ROUNDS as usize {
+            assert_eq!(observed[2 * round].len(), 2 * (round + 1));
+            assert_eq!(observed[2 * round + 1].len(), round + 1);
+        }
+    }
+
+    let stats = daemon.stats();
+    assert!(
+        stats.requests_ok >= (CLIENTS as u64) * ROUNDS * 3,
+        "every store and search was served: {stats:?}"
+    );
+    assert_eq!(stats.requests_err, 0, "no protocol errors: {stats:?}");
+    assert_eq!(daemon.tenant_count(), CLIENTS);
+
+    // Graceful shutdown drains and joins every thread the daemon spawned.
+    let report = daemon.shutdown();
+    assert_eq!(report.workers_joined, 3);
+    assert!(report.connections_joined >= CLIENTS);
+
+    // The listener is gone: new connections are refused (or time out).
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(refused.is_err(), "listener still accepting after shutdown");
+}
+
+#[test]
+fn scheme1_and_scheme2_share_a_tenant_name_without_mixing() {
+    use sse_repro::core::scheme1::{Scheme1Client, Scheme1Config};
+
+    let daemon = Daemon::spawn(ServerConfig::default()).unwrap();
+    let addr = daemon.local_addr();
+
+    // Same tenant string, different schemes: routed to different databases.
+    let t1 = TcpTransport::connect(addr, "shared", SchemeId::Scheme1).unwrap();
+    let t2 = TcpTransport::connect(addr, "shared", SchemeId::Scheme2).unwrap();
+    let mut c1 = Scheme1Client::new_seeded(
+        t1,
+        MasterKey::from_seed(1),
+        Scheme1Config::fast_profile(4096),
+        7,
+    );
+    let mut c2 =
+        Scheme2Client::new_seeded(t2, MasterKey::from_seed(1), Scheme2Config::standard(), 7);
+
+    c1.store(&[Document::new(0, b"s1".to_vec(), ["alpha"])])
+        .unwrap();
+    c2.store(&[Document::new(0, b"s2".to_vec(), ["alpha"])])
+        .unwrap();
+    let h1 = c1.search(&Keyword::new("alpha")).unwrap();
+    let h2 = c2.search(&Keyword::new("alpha")).unwrap();
+    assert_eq!(h1, vec![(0, b"s1".to_vec())]);
+    assert_eq!(h2, vec![(0, b"s2".to_vec())]);
+    assert_eq!(daemon.tenant_count(), 2);
+    daemon.shutdown();
+}
+
+#[test]
+fn admin_stats_are_queryable_over_the_wire() {
+    let daemon = Daemon::spawn(ServerConfig::default()).unwrap();
+    let addr = daemon.local_addr();
+
+    let transport = TcpTransport::connect(addr, "t", SchemeId::Scheme2).unwrap();
+    let mut sse = Scheme2Client::new_seeded(
+        transport,
+        MasterKey::from_seed(3),
+        Scheme2Config::standard(),
+        3,
+    );
+    sse.store(&[Document::new(0, b"doc".to_vec(), ["kw"])])
+        .unwrap();
+    sse.search(&Keyword::new("kw")).unwrap();
+
+    let mut admin = TcpTransport::connect(addr, "t", SchemeId::Scheme2).unwrap();
+    let stats = admin.admin_stats().unwrap();
+    assert!(stats.requests_ok >= 2, "{stats:?}");
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0, "{stats:?}");
+    assert!(
+        stats.p50_ns > 0 && stats.p50_ns <= stats.p99_ns,
+        "{stats:?}"
+    );
+
+    admin.admin_shutdown().unwrap();
+    daemon.wait_for_shutdown_request();
+    daemon.shutdown();
+}

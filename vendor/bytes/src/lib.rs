@@ -1,0 +1,180 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the minimal API surface it actually uses: a growable byte buffer with a
+//! cheap consuming front cursor ([`BytesMut`]) plus the [`Buf`] / [`BufMut`]
+//! traits. Semantics match the real crate for this subset; the
+//! implementation favours simplicity (a `Vec<u8>` plus a start offset that
+//! is compacted opportunistically) over the real crate's refcounted slabs.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// Consume `cnt` bytes from the front.
+    fn advance(&mut self, cnt: usize);
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+/// A growable, front-consumable byte buffer.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// New empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Bytes currently readable.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether no bytes are readable.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes at the back.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.compact_if_worthwhile();
+        self.data.extend_from_slice(src);
+    }
+
+    /// Split off and return the first `at` readable bytes.
+    ///
+    /// # Panics
+    /// Panics if `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let piece = self.data[self.start..self.start + at].to_vec();
+        self.start += at;
+        BytesMut {
+            data: piece,
+            start: 0,
+        }
+    }
+
+    /// Copy the readable bytes out.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.start..].to_vec()
+    }
+
+    /// Drop the consumed prefix when it dominates the allocation.
+    fn compact_if_worthwhile(&mut self) {
+        if self.start > 4096 && self.start * 2 > self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.data[start..]
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:02x?})", &self[..])
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_advance_split() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32_le(5);
+        b.extend_from_slice(b"hello");
+        assert_eq!(b.len(), 9);
+        assert_eq!(&b[..4], 5u32.to_le_bytes());
+        b.advance(4);
+        let body = b.split_to(5);
+        assert_eq!(body.to_vec(), b"hello");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&vec![7u8; 10_000]);
+        b.advance(9_000);
+        b.extend_from_slice(&[1, 2, 3]); // triggers compaction
+        assert_eq!(b.len(), 1_003);
+        assert_eq!(&b[1_000..], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Collection strategies: `vec`, `btree_set`, `hash_set`.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// A size constraint for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Smallest allowed size.
+    pub min: usize,
+    /// Largest allowed size (inclusive).
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Ordered sets with a size drawn from `size` (best-effort when the element
+/// domain is smaller than the requested size).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 10 + 100 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Hash sets with a size drawn from `size` (best-effort when the element
+/// domain is smaller than the requested size).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 10 + 100 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::for_test("vec");
+        let s = vec(any::<u8>(), 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn sets_hit_their_target_size_in_large_domains() {
+        let mut rng = TestRng::for_test("sets");
+        let s = btree_set(any::<u64>(), 10..=10);
+        assert_eq!(s.generate(&mut rng).len(), 10);
+        let h = hash_set(any::<u64>(), 100..101);
+        assert_eq!(h.generate(&mut rng).len(), 100);
+    }
+
+    #[test]
+    fn small_domain_sets_saturate_gracefully() {
+        let mut rng = TestRng::for_test("small");
+        let s = btree_set(0u8..3, 0..40);
+        let v = s.generate(&mut rng);
+        assert!(v.len() <= 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! self-contained property-testing harness exposing the subset of the
+//! proptest API its tests use: the [`proptest!`] macro, `prop_assert*!`,
+//! `prop_assume!`, `prop_oneof!`, [`Strategy`] with `prop_map`, integer
+//! range and `any::<T>()` strategies, tuple strategies, collection
+//! strategies (`vec`, `btree_set`, `hash_set`) and `sample::select`.
+//!
+//! Differences from the real crate, deliberate for size:
+//!
+//! * no shrinking — a failing case reports its generated inputs and the
+//!   test panics immediately;
+//! * generation is deterministic per test (seeded from the test's module
+//!   path), so failures reproduce across runs without a persistence file.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Deterministic pseudorandom source for strategy generation.
+pub mod rng {
+    /// SplitMix64 generator; cheap, uniform, deterministic.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary string (e.g. a test's module path).
+        #[must_use]
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)` via rejection sampling.
+        ///
+        /// # Panics
+        /// Panics if `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range");
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+}
+
+/// Run one property-test case, annotating any panic with the generated
+/// inputs (the shim's substitute for shrinking).
+#[doc(hidden)]
+pub fn run_case<F: FnOnce()>(case_index: u32, described_inputs: &str, body: F) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        eprintln!("proptest case {case_index} failed with inputs: {described_inputs}");
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// The `proptest!` macro: runs each embedded test function over
+/// `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::rng::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let strategies = ($($strat,)+);
+                for case_index in 0..config.cases {
+                    let values =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let described = format!("{values:?}");
+                    $crate::run_case(case_index, &described, move || {
+                        let ($($pat,)+) = values;
+                        $body
+                    });
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property test (shim: plain `assert!` semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when the precondition is not met.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Choose between several strategies with a common value type, uniformly
+/// or by `weight => strategy` arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}

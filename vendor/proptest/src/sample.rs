@@ -1,0 +1,45 @@
+//! Sampling strategies over concrete value lists.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// Uniformly select one of the given values.
+///
+/// # Panics
+/// Panics if `values` is empty.
+#[must_use]
+pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select from an empty list");
+    Select { values }
+}
+
+/// Output of [`select`].
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.values.len() as u64) as usize;
+        self.values[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_all_values() {
+        let mut rng = TestRng::for_test("select");
+        let s = select(vec![1u8, 2, 3]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+}

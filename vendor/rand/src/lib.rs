@@ -1,0 +1,151 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build container cannot reach crates.io; this vendors the one entry
+//! point the workspace uses — `rand::rng().fill_bytes(..)` as the OS
+//! randomness source — plus small conveniences. Entropy comes from
+//! `/dev/urandom` where available, falling back to a hash of volatile
+//! process state (time, pid, thread id, a global counter) expanded through
+//! a SplitMix64-style mixer. The fallback is not cryptographically strong;
+//! on the Linux containers this repo targets, `/dev/urandom` is always
+//! present.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Random number generator operations (merged `Rng`/`RngCore` subset).
+pub trait Rng {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `buf` with random bytes.
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    fn random_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// The process-wide OS-entropy generator returned by [`rng`].
+pub struct ThreadRng {
+    state: u64,
+    /// Whether `/dev/urandom` seeded the state.
+    os_seeded: bool,
+}
+
+static FALLBACK_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn os_seed() -> Option<u64> {
+    use std::io::Read;
+    let mut f = std::fs::File::open("/dev/urandom").ok()?;
+    let mut seed = [0u8; 8];
+    f.read_exact(&mut seed).ok()?;
+    Some(u64::from_le_bytes(seed))
+}
+
+fn fallback_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u128(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0),
+    );
+    h.write_u32(std::process::id());
+    h.write_u64(FALLBACK_COUNTER.fetch_add(1, Ordering::Relaxed));
+    h.finish()
+}
+
+/// A fresh generator seeded from OS entropy.
+#[must_use]
+pub fn rng() -> ThreadRng {
+    match os_seed() {
+        Some(seed) => ThreadRng {
+            state: seed,
+            os_seeded: true,
+        },
+        None => ThreadRng {
+            state: fallback_seed(),
+            os_seeded: false,
+        },
+    }
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        if self.os_seeded {
+            // Periodically fold in fresh OS entropy so long fills are not a
+            // pure PRG expansion of 64 bits.
+            if self.state.is_multiple_of(257) {
+                if let Some(seed) = os_seed() {
+                    self.state ^= seed;
+                }
+            }
+        }
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_exact_and_ragged_lengths() {
+        let mut r = rng();
+        for len in [0usize, 1, 7, 8, 9, 32, 33] {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 16 {
+                assert_ne!(buf, vec![0u8; len], "all-zero fill of {len} bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn two_generators_disagree() {
+        let mut a = rng();
+        let mut b = rng();
+        let mut x = [0u8; 32];
+        let mut y = [0u8; 32];
+        a.fill_bytes(&mut x);
+        b.fill_bytes(&mut y);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn random_range_is_in_bounds() {
+        let mut r = rng();
+        for bound in [1u64, 2, 7, 1000] {
+            for _ in 0..100 {
+                assert!(r.random_range(bound) < bound);
+            }
+        }
+    }
+}
