@@ -25,8 +25,8 @@
 //! [`Daemon::shutdown`] joins all of them — no thread outlives the call.
 
 use crate::proto::{
-    self, Hello, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, KIND_ADMIN, KIND_DATA, STATUS_BUSY,
-    STATUS_ERR, STATUS_OK,
+    self, Hello, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN, KIND_DATA,
+    STATUS_BUSY, STATUS_ERR, STATUS_OK,
 };
 use crate::stats::ServingStats;
 use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
@@ -73,6 +73,9 @@ impl Default for ServerConfig {
 /// One queued DATA request.
 struct Job {
     tenant: TenantHandle,
+    /// Client sequence number, echoed in the response so a pipelining
+    /// client can match responses that workers complete out of order.
+    seq: u32,
     payload: Vec<u8>,
     writer: Arc<Mutex<TcpStream>>,
     accepted: Instant,
@@ -252,15 +255,21 @@ fn listener_loop(
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
             }
-            Err(_) => return, // listener socket died
+            Err(_) => {
+                // The listener socket died: without it the daemon can never
+                // accept again, so start a graceful drain instead of
+                // lingering as a server that silently refuses connections.
+                shutdown.request();
+                return;
+            }
         }
     }
 }
 
 /// Write one framed response under the connection's writer lock (frames
 /// from the reader thread and from workers must not interleave).
-fn write_response(writer: &Arc<Mutex<TcpStream>>, status: u8, payload: &[u8]) -> bool {
-    let frame = encode_frame(&proto::encode_response(status, payload));
+fn write_response(writer: &Arc<Mutex<TcpStream>>, status: u8, seq: u32, payload: &[u8]) -> bool {
+    let frame = encode_frame(&proto::encode_response(status, seq, payload));
     let mut stream = writer
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -275,7 +284,7 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
             let mut service = job.tenant.lock();
             service.handle(&job.payload)
         };
-        if write_response(&job.writer, STATUS_OK, &response) {
+        if write_response(&job.writer, STATUS_OK, job.seq, &response) {
             stats.record_ok(job.payload.len(), response.len(), job.accepted.elapsed());
         }
     }
@@ -316,7 +325,12 @@ fn connection_loop(
                 Ok(None) => break,
                 Err(too_large) => {
                     stats.record_err();
-                    write_response(&writer, STATUS_ERR, too_large.to_string().as_bytes());
+                    write_response(
+                        &writer,
+                        STATUS_ERR,
+                        HELLO_SEQ,
+                        too_large.to_string().as_bytes(),
+                    );
                     break 'conn;
                 }
             };
@@ -325,27 +339,28 @@ fn connection_loop(
                 match Hello::decode(&frame) {
                     Some(hello) => {
                         tenant = Some(registry.get_or_create(&hello.tenant, hello.scheme));
-                        if !write_response(&writer, STATUS_OK, &[]) {
+                        if !write_response(&writer, STATUS_OK, HELLO_SEQ, &[]) {
                             break 'conn;
                         }
                     }
                     None => {
                         stats.record_err();
-                        write_response(&writer, STATUS_ERR, b"malformed hello");
+                        write_response(&writer, STATUS_ERR, HELLO_SEQ, b"malformed hello");
                         break 'conn;
                     }
                 }
                 continue;
             };
-            let Some((&kind, payload)) = frame.split_first() else {
+            let Some((kind, seq, payload)) = proto::decode_request(&frame) else {
                 stats.record_err();
-                write_response(&writer, STATUS_ERR, b"empty request");
+                write_response(&writer, STATUS_ERR, HELLO_SEQ, b"malformed request");
                 break 'conn;
             };
             match kind {
                 KIND_DATA => {
                     let job = Job {
                         tenant: current_tenant.clone(),
+                        seq,
                         payload: payload.to_vec(),
                         writer: writer.clone(),
                         accepted: Instant::now(),
@@ -356,7 +371,7 @@ fn connection_loop(
                             // Explicit backpressure: reject now, let the
                             // client retry, never queue unboundedly.
                             stats.record_busy();
-                            if !write_response(&writer, STATUS_BUSY, &[]) {
+                            if !write_response(&writer, STATUS_BUSY, seq, &[]) {
                                 break 'conn;
                             }
                         }
@@ -366,24 +381,24 @@ fn connection_loop(
                 KIND_ADMIN => match payload.first().copied() {
                     Some(ADMIN_STATS) => {
                         let snap = stats.snapshot().encode();
-                        if !write_response(&writer, STATUS_OK, &snap) {
+                        if !write_response(&writer, STATUS_OK, seq, &snap) {
                             break 'conn;
                         }
                     }
                     Some(ADMIN_SHUTDOWN) => {
-                        write_response(&writer, STATUS_OK, &[]);
+                        write_response(&writer, STATUS_OK, seq, &[]);
                         shutdown.request();
                         break 'conn;
                     }
                     _ => {
                         stats.record_err();
-                        write_response(&writer, STATUS_ERR, b"unknown admin command");
+                        write_response(&writer, STATUS_ERR, seq, b"unknown admin command");
                         break 'conn;
                     }
                 },
                 _ => {
                     stats.record_err();
-                    write_response(&writer, STATUS_ERR, b"unknown request kind");
+                    write_response(&writer, STATUS_ERR, seq, b"unknown request kind");
                     break 'conn;
                 }
             }

@@ -7,6 +7,17 @@
 //! command (ADMIN). Responses carry a one-byte status so the server can
 //! signal queue backpressure (`BUSY`) without touching the scheme payload.
 //!
+//! ## Request/response correlation
+//!
+//! Each request carries a client-chosen sequence number that the server
+//! echoes in the response (including `BUSY` and `ERR`). DATA jobs from one
+//! connection may execute on different worker threads, so a client that
+//! pipelines several requests can receive the responses **out of order**;
+//! the echoed sequence number is the correlation key. The hello response
+//! uses the reserved [`HELLO_SEQ`]. [`crate::transport::TcpTransport`] is
+//! closed-loop — one outstanding request per connection — and verifies the
+//! echo, turning any mismatch into a hard error.
+//!
 //! Because DATA payloads are passed through byte-for-byte, the daemon adds
 //! *no* scheme-visible state: the wire protocol (and therefore the leakage
 //! profile analyzed in DESIGN.md) is exactly that of the in-process links.
@@ -15,6 +26,10 @@ use sse_net::wire::{WireError, WireReader, WireWriter};
 
 /// Hello-frame magic: "SSE1".
 pub const HELLO_MAGIC: u32 = 0x3145_5353;
+
+/// Sequence number echoed in the hello response. Regular requests start
+/// numbering above it.
+pub const HELLO_SEQ: u32 = 0;
 
 /// Request kind: scheme protocol payload for the tenant's server.
 pub const KIND_DATA: u8 = 0;
@@ -110,29 +125,40 @@ impl Hello {
     }
 }
 
-/// Build a response frame body.
+/// Build a response frame body: `status ‖ seq ‖ payload`.
 #[must_use]
-pub fn encode_response(status: u8, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(1 + payload.len());
+pub fn encode_response(status: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + payload.len());
     out.push(status);
+    out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
 
-/// Split a response frame body into `(status, payload)`.
+/// Split a response frame body into `(status, seq, payload)`.
 #[must_use]
-pub fn decode_response(body: &[u8]) -> Option<(u8, &[u8])> {
-    let (&status, payload) = body.split_first()?;
-    Some((status, payload))
+pub fn decode_response(body: &[u8]) -> Option<(u8, u32, &[u8])> {
+    let (&status, rest) = body.split_first()?;
+    let (seq, payload) = rest.split_first_chunk::<4>()?;
+    Some((status, u32::from_le_bytes(*seq), payload))
 }
 
-/// Build a request frame body.
+/// Build a request frame body: `kind ‖ seq ‖ payload`.
 #[must_use]
-pub fn encode_request(kind: u8, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(1 + payload.len());
+pub fn encode_request(kind: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + payload.len());
     out.push(kind);
+    out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// Split a request frame body into `(kind, seq, payload)`.
+#[must_use]
+pub fn decode_request(body: &[u8]) -> Option<(u8, u32, &[u8])> {
+    let (&kind, rest) = body.split_first()?;
+    let (seq, payload) = rest.split_first_chunk::<4>()?;
+    Some((kind, u32::from_le_bytes(*seq), payload))
 }
 
 /// Point-in-time serving statistics, as answered to [`ADMIN_STATS`].
@@ -228,9 +254,24 @@ mod tests {
 
     #[test]
     fn response_envelope_round_trip() {
-        let body = encode_response(STATUS_BUSY, b"payload");
-        assert_eq!(decode_response(&body), Some((STATUS_BUSY, &b"payload"[..])));
+        let body = encode_response(STATUS_BUSY, 7, b"payload");
+        assert_eq!(
+            decode_response(&body),
+            Some((STATUS_BUSY, 7, &b"payload"[..]))
+        );
         assert_eq!(decode_response(&[]), None);
+        assert_eq!(decode_response(&[STATUS_OK, 1, 2]), None); // truncated seq
+    }
+
+    #[test]
+    fn request_envelope_round_trip() {
+        let body = encode_request(KIND_DATA, u32::MAX, b"msg");
+        assert_eq!(
+            decode_request(&body),
+            Some((KIND_DATA, u32::MAX, &b"msg"[..]))
+        );
+        assert_eq!(decode_request(&[]), None);
+        assert_eq!(decode_request(&[KIND_DATA, 0, 0]), None); // truncated seq
     }
 
     #[test]

@@ -11,24 +11,31 @@
 //! exponential backoff, so schemes never observe them.
 
 use crate::proto::{
-    self, Hello, SchemeId, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, KIND_ADMIN, KIND_DATA,
-    STATUS_BUSY, STATUS_OK,
+    self, Hello, SchemeId, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN,
+    KIND_DATA, STATUS_BUSY, STATUS_OK,
 };
 use sse_net::frame::{encode_frame, FrameDecoder};
 use sse_net::link::Transport;
 use std::io::{Error, ErrorKind, Read, Result, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Initial retry delay after a `BUSY` response.
 const BUSY_BACKOFF_START: Duration = Duration::from_millis(1);
 /// Backoff ceiling.
 const BUSY_BACKOFF_MAX: Duration = Duration::from_millis(64);
+/// Total time budget for `BUSY` retries of one request; past it the
+/// request fails with [`ErrorKind::TimedOut`] instead of blocking forever
+/// against a permanently saturated daemon.
+const BUSY_RETRY_DEADLINE: Duration = Duration::from_secs(10);
 
 /// A framed TCP connection to one tenant database on an `sse-serverd`.
 pub struct TcpTransport {
     stream: TcpStream,
     decoder: FrameDecoder,
+    /// Sequence number for the next request; the server echoes it in the
+    /// matching response ([`HELLO_SEQ`] is reserved for the handshake).
+    next_seq: u32,
 }
 
 impl TcpTransport {
@@ -42,14 +49,15 @@ impl TcpTransport {
         let mut transport = TcpTransport {
             stream,
             decoder: FrameDecoder::new(),
+            next_seq: HELLO_SEQ.wrapping_add(1),
         };
         let hello = Hello {
             tenant: tenant.to_string(),
             scheme,
         };
         transport.send_raw(&hello.encode())?;
-        let (status, _payload) = transport.read_response()?;
-        if status != STATUS_OK {
+        let (status, seq, _payload) = transport.read_response()?;
+        if status != STATUS_OK || seq != HELLO_SEQ {
             return Err(Error::new(
                 ErrorKind::ConnectionRefused,
                 "server rejected hello",
@@ -83,25 +91,49 @@ impl TcpTransport {
         }
     }
 
-    fn read_response(&mut self) -> Result<(u8, Vec<u8>)> {
+    fn read_response(&mut self) -> Result<(u8, u32, Vec<u8>)> {
         let frame = self.read_frame()?;
-        let (status, payload) = proto::decode_response(&frame)
-            .ok_or_else(|| Error::new(ErrorKind::InvalidData, "empty response frame"))?;
-        Ok((status, payload.to_vec()))
+        let (status, seq, payload) = proto::decode_response(&frame)
+            .ok_or_else(|| Error::new(ErrorKind::InvalidData, "malformed response frame"))?;
+        Ok((status, seq, payload.to_vec()))
     }
 
-    /// One request/response exchange, transparently retrying `BUSY`.
+    /// One request/response exchange, transparently retrying `BUSY` up to
+    /// a total deadline. The transport is closed-loop (one outstanding
+    /// request), and the response's echoed sequence number is checked
+    /// against the request's.
     ///
     /// # Errors
-    /// I/O errors, or a server-reported protocol error.
+    /// I/O errors, a server-reported protocol error, a correlation
+    /// mismatch, or [`ErrorKind::TimedOut`] if the server stays `BUSY`
+    /// past the retry deadline.
     pub fn request(&mut self, kind: u8, payload: &[u8]) -> Result<Vec<u8>> {
         let mut backoff = BUSY_BACKOFF_START;
+        let deadline = Instant::now() + BUSY_RETRY_DEADLINE;
         loop {
-            self.send_raw(&proto::encode_request(kind, payload))?;
-            let (status, body) = self.read_response()?;
+            let seq = self.next_seq;
+            // Skip the reserved hello sequence number on wrap-around.
+            self.next_seq = match self.next_seq.wrapping_add(1) {
+                HELLO_SEQ => HELLO_SEQ.wrapping_add(1),
+                next => next,
+            };
+            self.send_raw(&proto::encode_request(kind, seq, payload))?;
+            let (status, echoed, body) = self.read_response()?;
+            if echoed != seq {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("response correlation mismatch: sent seq {seq}, got {echoed}"),
+                ));
+            }
             match status {
                 STATUS_OK => return Ok(body),
                 STATUS_BUSY => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::new(
+                            ErrorKind::TimedOut,
+                            "server still BUSY after the retry deadline",
+                        ));
+                    }
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(BUSY_BACKOFF_MAX);
                 }

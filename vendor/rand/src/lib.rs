@@ -2,14 +2,18 @@
 //!
 //! The build container cannot reach crates.io; this vendors the one entry
 //! point the workspace uses — `rand::rng().fill_bytes(..)` as the OS
-//! randomness source — plus small conveniences. Entropy comes from
-//! `/dev/urandom` where available, falling back to a hash of volatile
-//! process state (time, pid, thread id, a global counter) expanded through
-//! a SplitMix64-style mixer. The fallback is not cryptographically strong;
-//! on the Linux containers this repo targets, `/dev/urandom` is always
-//! present.
+//! randomness source — plus small conveniences. Every output byte is read
+//! directly from the operating system's CSPRNG (`/dev/urandom`): there is
+//! no user-space expansion, mixing, or seeding step between the kernel and
+//! the caller, so a 32-byte key really does carry 256 bits of OS entropy.
+//!
+//! If `/dev/urandom` cannot be opened or read, the shim panics. Scheme
+//! keys, ElGamal randomness, and encrypt-then-MAC IVs all flow through
+//! here; degrading silently to a weak source (time/pid hashing) would
+//! invalidate the security model, so failure is loud by design.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fs::File;
+use std::io::Read;
 
 /// Random number generator operations (merged `Rng`/`RngCore` subset).
 pub trait Rng {
@@ -46,69 +50,38 @@ pub trait Rng {
     }
 }
 
-/// The process-wide OS-entropy generator returned by [`rng`].
+/// The OS-entropy generator returned by [`rng`]: an open handle to
+/// `/dev/urandom`, read on demand.
 pub struct ThreadRng {
-    state: u64,
-    /// Whether `/dev/urandom` seeded the state.
-    os_seeded: bool,
+    urandom: File,
 }
 
-static FALLBACK_COUNTER: AtomicU64 = AtomicU64::new(0);
-
-fn os_seed() -> Option<u64> {
-    use std::io::Read;
-    let mut f = std::fs::File::open("/dev/urandom").ok()?;
-    let mut seed = [0u8; 8];
-    f.read_exact(&mut seed).ok()?;
-    Some(u64::from_le_bytes(seed))
-}
-
-fn fallback_seed() -> u64 {
-    use std::hash::{BuildHasher, Hasher};
-    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
-    h.write_u128(
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos())
-            .unwrap_or(0),
-    );
-    h.write_u32(std::process::id());
-    h.write_u64(FALLBACK_COUNTER.fetch_add(1, Ordering::Relaxed));
-    h.finish()
-}
-
-/// A fresh generator seeded from OS entropy.
+/// A generator drawing directly from the OS CSPRNG.
+///
+/// # Panics
+/// Panics if `/dev/urandom` cannot be opened — weak fallback sources are
+/// refused.
 #[must_use]
 pub fn rng() -> ThreadRng {
-    match os_seed() {
-        Some(seed) => ThreadRng {
-            state: seed,
-            os_seeded: true,
-        },
-        None => ThreadRng {
-            state: fallback_seed(),
-            os_seeded: false,
-        },
+    ThreadRng {
+        urandom: File::open("/dev/urandom")
+            .expect("rand shim: cannot open /dev/urandom; refusing to emit weak randomness"),
     }
 }
 
 impl Rng for ThreadRng {
     fn next_u64(&mut self) -> u64 {
-        if self.os_seeded {
-            // Periodically fold in fresh OS entropy so long fills are not a
-            // pure PRG expansion of 64 bits.
-            if self.state.is_multiple_of(257) {
-                if let Some(seed) = os_seed() {
-                    self.state ^= seed;
-                }
-            }
-        }
-        // SplitMix64.
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        let mut b = [0u8; 8];
+        self.urandom
+            .read_exact(&mut b)
+            .expect("rand shim: read from /dev/urandom failed");
+        u64::from_le_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.urandom
+            .read_exact(buf)
+            .expect("rand shim: read from /dev/urandom failed");
     }
 }
 
@@ -137,6 +110,14 @@ mod tests {
         a.fill_bytes(&mut x);
         b.fill_bytes(&mut y);
         assert_ne!(x, y);
+    }
+
+    #[test]
+    fn consecutive_words_disagree() {
+        let mut r = rng();
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert_ne!(a, b);
     }
 
     #[test]
