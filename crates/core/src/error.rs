@@ -38,6 +38,10 @@ pub enum SseError {
         /// Steps walked before giving up.
         steps: usize,
     },
+    /// The transport carrying a protocol round failed (connection lost,
+    /// frame dropped or truncated, reconnect exhausted). The round's
+    /// effect on the server is *unknown*: it may or may not have applied.
+    Transport(std::io::Error),
 }
 
 impl fmt::Display for SseError {
@@ -58,6 +62,9 @@ impl fmt::Display for SseError {
             SseError::ChainDesync { steps } => {
                 write!(f, "chain walk failed after {steps} steps; state desync")
             }
+            SseError::Transport(e) => {
+                write!(f, "transport failed (round outcome unknown): {e}")
+            }
         }
     }
 }
@@ -68,6 +75,7 @@ impl std::error::Error for SseError {
             SseError::Crypto(e) => Some(e),
             SseError::Storage(e) => Some(e),
             SseError::Wire(e) => Some(e),
+            SseError::Transport(e) => Some(e),
             _ => None,
         }
     }
@@ -91,6 +99,12 @@ impl From<StorageError> for SseError {
 impl From<WireError> for SseError {
     fn from(e: WireError) -> Self {
         SseError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for SseError {
+    fn from(e: std::io::Error) -> Self {
+        SseError::Transport(e)
     }
 }
 

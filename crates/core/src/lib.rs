@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod journal;
 pub mod leakage;
 pub mod proto_common;
 pub mod query;

@@ -117,7 +117,7 @@ impl<T: Transport> Scheme1Client<T> {
                 .iter()
                 .map(|d| (d.id, self.seal_blob(&d.data)))
                 .collect();
-            let resp = self.link.round_trip(&protocol::encode_put_docs(&blobs));
+            let resp = self.link.round_trip(&protocol::encode_put_docs(&blobs))?;
             protocol::decode_ack(&resp)?;
         }
 
@@ -144,7 +144,7 @@ impl<T: Transport> Scheme1Client<T> {
         let tags: Vec<[u8; 32]> = updates.keys().copied().collect();
 
         // Round 1: fetch F(r) for every touched keyword.
-        let resp = self.link.round_trip(&protocol::encode_get_nonces(&tags));
+        let resp = self.link.round_trip(&protocol::encode_get_nonces(&tags))?;
         let nonces = protocol::decode_nonces(&resp)?;
         if nonces.len() != tags.len() {
             return Err(SseError::ProtocolViolation {
@@ -174,7 +174,7 @@ impl<T: Transport> Scheme1Client<T> {
         }
         let resp = self
             .link
-            .round_trip(&protocol::encode_apply_updates(&entries));
+            .round_trip(&protocol::encode_apply_updates(&entries))?;
         protocol::decode_ack(&resp)
     }
 
@@ -187,7 +187,7 @@ impl<T: Transport> Scheme1Client<T> {
         let tag = self.tag(keyword);
 
         // Round 1: T_w = f_kw(w); expect F(r).
-        let resp = self.link.round_trip(&protocol::encode_search_find(&tag));
+        let resp = self.link.round_trip(&protocol::encode_search_find(&tag))?;
         let Some(f_r_bytes) = protocol::decode_found(&resp)? else {
             return Ok(Vec::new());
         };
@@ -197,7 +197,7 @@ impl<T: Transport> Scheme1Client<T> {
         // Round 2: reveal r; expect the matching encrypted documents.
         let resp = self
             .link
-            .round_trip(&protocol::encode_search_reveal(&tag, &seed));
+            .round_trip(&protocol::encode_search_reveal(&tag, &seed))?;
         let encrypted = protocol::decode_result(&resp)?;
         let mut hits = Vec::with_capacity(encrypted.len());
         for (id, blob) in encrypted {
@@ -224,7 +224,7 @@ impl<T: Transport> Scheme1Client<T> {
         let tags: Vec<[u8; 32]> = keywords.iter().map(|w| self.tag(w)).collect();
 
         // Round 1: F(r) for every tag (unknown keywords come back absent).
-        let resp = self.link.round_trip(&protocol::encode_get_nonces(&tags));
+        let resp = self.link.round_trip(&protocol::encode_get_nonces(&tags))?;
         let nonces = protocol::decode_nonces(&resp)?;
         if nonces.len() != tags.len() {
             return Err(SseError::ProtocolViolation {
@@ -252,7 +252,7 @@ impl<T: Transport> Scheme1Client<T> {
         // Round 2: reveal everything at once.
         let resp = self
             .link
-            .round_trip(&protocol::encode_search_reveal_many(&reveal));
+            .round_trip(&protocol::encode_search_reveal_many(&reveal))?;
         let results = crate::proto_common::decode_result_many(&resp)?;
         if results.len() != reveal.len() {
             return Err(SseError::ProtocolViolation {
@@ -286,7 +286,7 @@ impl<T: Transport> Scheme1Client<T> {
                 .collect();
             let resp = self
                 .link
-                .round_trip(&protocol::encode_apply_updates(&entries));
+                .round_trip(&protocol::encode_apply_updates(&entries))?;
             protocol::decode_ack(&resp)?;
         }
         Ok(out)
@@ -321,7 +321,7 @@ impl<T: Transport> Scheme1Client<T> {
     /// # Errors
     /// Protocol failures, or a server-side error for in-memory servers.
     pub fn request_checkpoint(&mut self) -> Result<()> {
-        let resp = self.link.round_trip(&protocol::encode_checkpoint());
+        let resp = self.link.round_trip(&protocol::encode_checkpoint())?;
         protocol::decode_ack(&resp)
     }
 
@@ -347,7 +347,7 @@ impl<T: Transport> Scheme1Client<T> {
         let new_width = (new_capacity as usize).div_ceil(8);
 
         // Round 1: download the index.
-        let resp = self.link.round_trip(&protocol::encode_export_index());
+        let resp = self.link.round_trip(&protocol::encode_export_index())?;
         let dump = protocol::decode_index_dump(&resp)?;
 
         // Re-mask every entry at the new width.
@@ -375,7 +375,7 @@ impl<T: Transport> Scheme1Client<T> {
         // Round 2: atomic replace.
         let resp = self
             .link
-            .round_trip(&protocol::encode_replace_index(new_capacity, &entries));
+            .round_trip(&protocol::encode_replace_index(new_capacity, &entries))?;
         protocol::decode_ack(&resp)?;
         self.config.capacity_docs = new_capacity;
         Ok(())
@@ -395,7 +395,7 @@ impl<T: Transport> Scheme1Client<T> {
                 tag,
                 delta,
                 f_r: f_r_new,
-            }]));
+            }]))?;
         protocol::decode_ack(&resp)
     }
 

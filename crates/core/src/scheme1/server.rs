@@ -9,6 +9,7 @@
 
 use super::protocol::{self, Request, UpdateEntry};
 use crate::error::{Result, SseError};
+use crate::journal::{IndexJournal, ServerRecovery};
 use sse_index::bitset::DocBitSet;
 use sse_index::bptree::BpTree;
 use sse_net::link::Service;
@@ -16,11 +17,15 @@ use sse_net::wire::{WireReader, WireWriter};
 use sse_primitives::prg::Prg;
 use sse_storage::crc32::crc32;
 use sse_storage::store::DocStore;
-use sse_storage::StorageError;
-use std::io::Write;
+use sse_storage::{RealVfs, StorageError, Vfs};
 use std::path::Path;
+use std::sync::Arc;
 
-const INDEX_MAGIC: &[u8; 8] = b"SSE1IDX1";
+/// Snapshot magic, v2: the body now leads with the `last_op_seq` covered
+/// by the snapshot so journal replay can skip already-applied mutations.
+const INDEX_MAGIC: &[u8; 8] = b"SSE1IDX2";
+/// Index journal file name inside the server's home directory.
+const JOURNAL_FILE: &str = "scheme1.wal";
 
 /// One searchable representation as stored by the server.
 struct Entry {
@@ -55,6 +60,12 @@ pub struct Scheme1Server {
     stats: Scheme1ServerStats,
     /// Durable home directory (None for in-memory servers).
     dir: Option<std::path::PathBuf>,
+    /// The VFS every index file goes through (real or fault-injecting).
+    vfs: Arc<dyn Vfs>,
+    /// Index mutation journal (None for in-memory servers).
+    journal: Option<IndexJournal>,
+    /// What the last [`Scheme1Server::open_durable`] had to repair.
+    recovery: ServerRecovery,
 }
 
 impl Scheme1Server {
@@ -68,18 +79,41 @@ impl Scheme1Server {
             store: DocStore::in_memory(),
             stats: Scheme1ServerStats::default(),
             dir: None,
+            vfs: RealVfs::arc(),
+            journal: None,
+            recovery: ServerRecovery::default(),
         }
     }
 
-    /// Durable server persisting blobs under `dir`. If an index snapshot
-    /// exists there (written by [`Scheme1Server::save_index`]), the keyword
-    /// index is recovered too — otherwise the client must re-index.
+    /// Durable server persisting blobs under `dir`. Recovery brings back
+    /// everything acknowledged before a crash: the document store replays
+    /// its WAL, the index snapshot (if any) is loaded, and index mutations
+    /// journaled after the snapshot are re-applied in order.
     ///
     /// # Errors
-    /// Storage errors while opening or recovering the document store or a
-    /// corrupt index snapshot.
+    /// Storage errors while opening or recovering the document store, a
+    /// corrupt index snapshot, or a corrupt journal record.
     pub fn open_durable(capacity_docs: u64, dir: &Path) -> Result<Self> {
-        let store = DocStore::open(dir, sse_storage::store::StoreOptions::default())?;
+        Self::open_durable_with_vfs(RealVfs::arc(), capacity_docs, dir)
+    }
+
+    /// [`Scheme1Server::open_durable`] over an explicit [`Vfs`] (fault
+    /// injection runs the whole server through a
+    /// [`sse_storage::FaultVfs`]).
+    ///
+    /// # Errors
+    /// As [`Scheme1Server::open_durable`], plus injected faults.
+    pub fn open_durable_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        capacity_docs: u64,
+        dir: &Path,
+    ) -> Result<Self> {
+        let store = DocStore::open_with_vfs(
+            vfs.clone(),
+            dir,
+            sse_storage::store::StoreOptions::default(),
+        )?;
+        let store_recovery = store.recovery_report();
         let mut server = Scheme1Server {
             index_bytes: (capacity_docs as usize).div_ceil(8),
             capacity_docs,
@@ -87,12 +121,36 @@ impl Scheme1Server {
             store,
             stats: Scheme1ServerStats::default(),
             dir: Some(dir.to_path_buf()),
+            vfs: vfs.clone(),
+            journal: None,
+            recovery: ServerRecovery::default(),
         };
         let index_path = dir.join("scheme1.index");
-        if index_path.exists() {
-            server.load_index(&index_path)?;
+        let mut snapshot_seq = 0u64;
+        if vfs.exists(&index_path) {
+            let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
+            snapshot_seq = server.load_index_bytes(&bytes)?;
         }
+        let (journal, journal_recovery) =
+            IndexJournal::open_with_vfs(vfs, &dir.join(JOURNAL_FILE), true, snapshot_seq)?;
+        for raw in &journal_recovery.replay {
+            server.replay_mutation(raw)?;
+        }
+        server.journal = Some(journal);
+        server.recovery = ServerRecovery {
+            index_ops_replayed: journal_recovery.replay.len() as u64,
+            index_torn_bytes: journal_recovery.torn_bytes_truncated,
+            store_snapshot_loaded: store_recovery.snapshot_loaded,
+            store_wal_records_replayed: store_recovery.wal_records_replayed,
+            store_torn_bytes: store_recovery.torn_bytes_truncated,
+        };
         Ok(server)
+    }
+
+    /// What the last [`Scheme1Server::open_durable`] had to repair.
+    #[must_use]
+    pub fn recovery(&self) -> ServerRecovery {
+        self.recovery
     }
 
     /// Persist the keyword index (the searchable representations) to a
@@ -104,6 +162,7 @@ impl Scheme1Server {
     /// Filesystem errors.
     pub fn save_index(&self, path: &Path) -> Result<()> {
         let mut body = WireWriter::new();
+        body.put_u64(self.journal.as_ref().map_or(0, IndexJournal::last_seq));
         body.put_u64(self.capacity_docs);
         body.put_u64(self.tree.len() as u64);
         for (tag, entry) in self.tree.iter() {
@@ -114,14 +173,15 @@ impl Scheme1Server {
         let body = body.finish();
         let tmp = path.with_extension("tmp");
         {
-            let mut f = std::fs::File::create(&tmp).map_err(StorageError::Io)?;
-            f.write_all(INDEX_MAGIC).map_err(StorageError::Io)?;
-            f.write_all(&crc32(&body).to_le_bytes())
-                .map_err(StorageError::Io)?;
+            let mut f = self.vfs.create(&tmp).map_err(StorageError::Io)?;
+            let mut header = Vec::with_capacity(12);
+            header.extend_from_slice(INDEX_MAGIC);
+            header.extend_from_slice(&crc32(&body).to_le_bytes());
+            f.write_all(&header).map_err(StorageError::Io)?;
             f.write_all(&body).map_err(StorageError::Io)?;
             f.sync_data().map_err(StorageError::Io)?;
         }
-        std::fs::rename(&tmp, path).map_err(StorageError::Io)?;
+        self.vfs.rename(&tmp, path).map_err(StorageError::Io)?;
         Ok(())
     }
 
@@ -130,7 +190,13 @@ impl Scheme1Server {
     /// # Errors
     /// Corruption (bad magic/CRC), capacity mismatch, or I/O failures.
     pub fn load_index(&mut self, path: &Path) -> Result<()> {
-        let bytes = std::fs::read(path).map_err(StorageError::Io)?;
+        let bytes = self.vfs.read(path).map_err(StorageError::Io)?;
+        self.load_index_bytes(&bytes)?;
+        Ok(())
+    }
+
+    /// Decode snapshot `bytes`, returning the `last_op_seq` it covers.
+    fn load_index_bytes(&mut self, bytes: &[u8]) -> Result<u64> {
         if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
             return Err(SseError::Storage(StorageError::Corrupt {
                 what: "scheme1 index snapshot",
@@ -146,6 +212,7 @@ impl Scheme1Server {
             }));
         }
         let mut r = WireReader::new(body);
+        let last_op_seq = r.get_u64()?;
         let capacity = r.get_u64()?;
         if capacity != self.capacity_docs {
             return Err(SseError::Storage(StorageError::Corrupt {
@@ -176,16 +243,36 @@ impl Scheme1Server {
         }
         r.finish()?;
         self.tree = tree;
-        Ok(())
+        Ok(last_op_seq)
     }
 
-    /// Checkpoint everything durable: document store + index snapshot.
+    /// Checkpoint everything durable, in crash-safe order: document store
+    /// snapshot, then the index snapshot (which records the journal's
+    /// `last_op_seq`), then journal truncation. A crash between any two
+    /// steps recovers correctly: the snapshot's sequence number tells
+    /// replay exactly which journaled mutations are already inside it.
     ///
     /// # Errors
     /// Filesystem errors. No-op index-wise for in-memory servers.
     pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
         self.store.checkpoint()?;
-        self.save_index(&dir.join("scheme1.index"))
+        self.save_index(&dir.join("scheme1.index"))?;
+        if let Some(journal) = &mut self.journal {
+            journal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint into the server's own home directory; no-op for
+    /// in-memory servers.
+    ///
+    /// # Errors
+    /// Filesystem errors.
+    pub fn checkpoint_home(&mut self) -> Result<()> {
+        match self.dir.clone() {
+            Some(dir) => self.checkpoint(&dir),
+            None => Ok(()),
+        }
     }
 
     /// Number of unique keywords indexed (`u`).
@@ -242,7 +329,125 @@ impl Scheme1Server {
         self.store.get_many(&ids)
     }
 
-    fn handle_request(&mut self, req: Request) -> Vec<u8> {
+    /// Append `raw` to the index journal (durable servers only). A failed
+    /// append refuses the mutation: nothing may be acknowledged that a
+    /// restart would lose.
+    fn journal_mutation(&mut self, raw: &[u8]) -> Result<()> {
+        if let Some(journal) = &mut self.journal {
+            journal.append(raw)?;
+        }
+        Ok(())
+    }
+
+    /// Re-apply one journaled mutation during recovery (no re-journaling).
+    fn replay_mutation(&mut self, raw: &[u8]) -> Result<()> {
+        let resp = match protocol::decode_request(raw)? {
+            Request::ApplyUpdates(entries) => self.handle_apply_updates(raw, entries, false),
+            Request::ReplaceIndex { capacity, entries } => {
+                self.handle_replace_index(raw, capacity, entries, false)
+            }
+            _ => {
+                return Err(SseError::Storage(StorageError::Corrupt {
+                    what: "scheme1 index journal",
+                    detail: "journal holds a non-mutating request".to_string(),
+                }))
+            }
+        };
+        protocol::decode_ack(&resp)
+    }
+
+    fn handle_apply_updates(
+        &mut self,
+        raw: &[u8],
+        entries: Vec<UpdateEntry>,
+        durable: bool,
+    ) -> Vec<u8> {
+        // Validate before journaling so the journal only ever holds
+        // mutations that actually applied.
+        for entry in &entries {
+            if entry.delta.len() != self.index_bytes {
+                return protocol::encode_error(&format!(
+                    "delta length {} != index width {}",
+                    entry.delta.len(),
+                    self.index_bytes
+                ));
+            }
+        }
+        if durable {
+            if let Err(e) = self.journal_mutation(raw) {
+                return protocol::encode_error(&e.to_string());
+            }
+        }
+        for UpdateEntry { tag, delta, f_r } in entries {
+            match self.tree.get_mut(&tag) {
+                Some(entry) => {
+                    // I(w)⊕G(r) ⊕ (U(w)⊕G(r)⊕G(r')) = I'(w)⊕G(r')
+                    for (d, s) in entry.masked_index.iter_mut().zip(delta.iter()) {
+                        *d ^= s;
+                    }
+                    entry.f_r = f_r;
+                }
+                None => {
+                    // Fresh keyword: I(w) = 0, so the delta *is*
+                    // I'(w)⊕G(r').
+                    self.tree.insert(
+                        tag,
+                        Entry {
+                            masked_index: delta,
+                            f_r,
+                        },
+                    );
+                }
+            }
+            self.stats.updates_applied += 1;
+        }
+        protocol::encode_ack()
+    }
+
+    fn handle_replace_index(
+        &mut self,
+        raw: &[u8],
+        capacity: u64,
+        entries: Vec<UpdateEntry>,
+        durable: bool,
+    ) -> Vec<u8> {
+        let new_width = (capacity as usize).div_ceil(8);
+        if let Some(bad) = entries.iter().find(|e| e.delta.len() != new_width) {
+            return protocol::encode_error(&format!(
+                "entry width {} != new index width {new_width}",
+                bad.delta.len()
+            ));
+        }
+        // Migration must not lose keywords: the replacement set
+        // must cover every currently stored tag.
+        let new_tags: std::collections::HashSet<[u8; 32]> = entries.iter().map(|e| e.tag).collect();
+        for (tag, _) in self.tree.iter() {
+            if !new_tags.contains(tag) {
+                return protocol::encode_error("replacement index is missing a stored keyword tag");
+            }
+        }
+        if durable {
+            if let Err(e) = self.journal_mutation(raw) {
+                return protocol::encode_error(&e.to_string());
+            }
+        }
+        let mut tree = BpTree::new();
+        for UpdateEntry { tag, delta, f_r } in entries {
+            tree.insert(
+                tag,
+                Entry {
+                    masked_index: delta,
+                    f_r,
+                },
+            );
+        }
+        self.tree = tree;
+        self.capacity_docs = capacity;
+        self.index_bytes = new_width;
+        protocol::encode_ack()
+    }
+
+    fn handle_request(&mut self, raw: &[u8], req: Request) -> Vec<u8> {
         match req {
             Request::PutDocs(docs) => {
                 for (id, blob) in docs {
@@ -271,39 +476,7 @@ impl Scheme1Server {
                     .collect();
                 protocol::encode_nonces(&items)
             }
-            Request::ApplyUpdates(entries) => {
-                for UpdateEntry { tag, delta, f_r } in entries {
-                    if delta.len() != self.index_bytes {
-                        return protocol::encode_error(&format!(
-                            "delta length {} != index width {}",
-                            delta.len(),
-                            self.index_bytes
-                        ));
-                    }
-                    match self.tree.get_mut(&tag) {
-                        Some(entry) => {
-                            // I(w)⊕G(r) ⊕ (U(w)⊕G(r)⊕G(r')) = I'(w)⊕G(r')
-                            for (d, s) in entry.masked_index.iter_mut().zip(delta.iter()) {
-                                *d ^= s;
-                            }
-                            entry.f_r = f_r;
-                        }
-                        None => {
-                            // Fresh keyword: I(w) = 0, so the delta *is*
-                            // I'(w)⊕G(r').
-                            self.tree.insert(
-                                tag,
-                                Entry {
-                                    masked_index: delta,
-                                    f_r,
-                                },
-                            );
-                        }
-                    }
-                    self.stats.updates_applied += 1;
-                }
-                protocol::encode_ack()
-            }
+            Request::ApplyUpdates(entries) => self.handle_apply_updates(raw, entries, true),
             Request::SearchFind(tag) => {
                 let (entry, s) = self.tree.get_with_stats(&tag);
                 self.stats.tree_lookups += 1;
@@ -332,38 +505,7 @@ impl Scheme1Server {
             }
             Request::ExportIndex => protocol::encode_index_dump(&self.export_representations()),
             Request::ReplaceIndex { capacity, entries } => {
-                let new_width = (capacity as usize).div_ceil(8);
-                if let Some(bad) = entries.iter().find(|e| e.delta.len() != new_width) {
-                    return protocol::encode_error(&format!(
-                        "entry width {} != new index width {new_width}",
-                        bad.delta.len()
-                    ));
-                }
-                // Migration must not lose keywords: the replacement set
-                // must cover every currently stored tag.
-                let new_tags: std::collections::HashSet<[u8; 32]> =
-                    entries.iter().map(|e| e.tag).collect();
-                for (tag, _) in self.tree.iter() {
-                    if !new_tags.contains(tag) {
-                        return protocol::encode_error(
-                            "replacement index is missing a stored keyword tag",
-                        );
-                    }
-                }
-                let mut tree = BpTree::new();
-                for UpdateEntry { tag, delta, f_r } in entries {
-                    tree.insert(
-                        tag,
-                        Entry {
-                            masked_index: delta,
-                            f_r,
-                        },
-                    );
-                }
-                self.tree = tree;
-                self.capacity_docs = capacity;
-                self.index_bytes = new_width;
-                protocol::encode_ack()
+                self.handle_replace_index(raw, capacity, entries, true)
             }
         }
     }
@@ -387,9 +529,17 @@ impl Scheme1Server {
 impl Service for Scheme1Server {
     fn handle(&mut self, request: &[u8]) -> Vec<u8> {
         match protocol::decode_request(request) {
-            Ok(req) => self.handle_request(req),
+            Ok(req) => self.handle_request(request, req),
             Err(e) => protocol::encode_error(&e.to_string()),
         }
+    }
+
+    fn on_shutdown(&mut self) {
+        // Collapse the WAL + journal into snapshots so a clean shutdown
+        // leaves nothing to replay. Best effort: a failing disk at
+        // shutdown must not abort the process, and recovery replays the
+        // logs anyway.
+        let _ = self.checkpoint_home();
     }
 }
 

@@ -192,7 +192,7 @@ impl<T: Transport> Scheme2Client<T> {
                 .iter()
                 .map(|d| (d.id, self.seal_blob(&d.data)))
                 .collect();
-            let resp = self.link.round_trip(&protocol::encode_put_docs(&blobs));
+            let resp = self.link.round_trip(&protocol::encode_put_docs(&blobs))?;
             proto_common::decode_ack(&resp)?;
         }
 
@@ -219,7 +219,7 @@ impl<T: Transport> Scheme2Client<T> {
         }
         let resp = self
             .link
-            .round_trip(&protocol::encode_append_generations(&entries));
+            .round_trip(&protocol::encode_append_generations(&entries))?;
         proto_common::decode_ack(&resp)?;
 
         if advanced {
@@ -239,7 +239,7 @@ impl<T: Transport> Scheme2Client<T> {
         let t_prime = self.chain(keyword).key_for_counter(ctr)?;
         let resp = self
             .link
-            .round_trip(&protocol::encode_search(&tag, &t_prime));
+            .round_trip(&protocol::encode_search(&tag, &t_prime))?;
         let encrypted = proto_common::decode_result(&resp)?;
         let mut hits = Vec::with_capacity(encrypted.len());
         for (id, blob) in encrypted {
@@ -267,7 +267,7 @@ impl<T: Transport> Scheme2Client<T> {
         }
         let resp = self
             .link
-            .round_trip(&protocol::encode_search_many(&trapdoors));
+            .round_trip(&protocol::encode_search_many(&trapdoors))?;
         let results = proto_common::decode_result_many(&resp)?;
         if results.len() != keywords.len() {
             return Err(SseError::ProtocolViolation {
@@ -310,7 +310,7 @@ impl<T: Transport> Scheme2Client<T> {
         }
         let resp = self
             .link
-            .round_trip(&protocol::encode_append_generations(&entries));
+            .round_trip(&protocol::encode_append_generations(&entries))?;
         proto_common::decode_ack(&resp)?;
         if advanced {
             self.state.ctr = ctr;
@@ -333,7 +333,7 @@ impl<T: Transport> Scheme2Client<T> {
             return Ok(());
         }
         let ids: Vec<DocId> = docs.iter().map(|d| d.id).collect();
-        let resp = self.link.round_trip(&protocol::encode_remove_docs(&ids));
+        let resp = self.link.round_trip(&protocol::encode_remove_docs(&ids))?;
         proto_common::decode_ack(&resp)?;
 
         let mut per_keyword: BTreeMap<Keyword, Vec<DocId>> = BTreeMap::new();
@@ -357,7 +357,7 @@ impl<T: Transport> Scheme2Client<T> {
         }
         let resp = self
             .link
-            .round_trip(&protocol::encode_append_generations(&entries));
+            .round_trip(&protocol::encode_append_generations(&entries))?;
         proto_common::decode_ack(&resp)?;
         if advanced {
             self.state.ctr = ctr;
@@ -372,7 +372,7 @@ impl<T: Transport> Scheme2Client<T> {
     /// # Errors
     /// Protocol failures, or a server-side error for in-memory servers.
     pub fn request_checkpoint(&mut self) -> Result<()> {
-        let resp = self.link.round_trip(&protocol::encode_checkpoint());
+        let resp = self.link.round_trip(&protocol::encode_checkpoint())?;
         proto_common::decode_ack(&resp)
     }
 
@@ -384,7 +384,7 @@ impl<T: Transport> Scheme2Client<T> {
     /// # Errors
     /// Protocol/crypto failures during the rebuild.
     pub fn reinitialize(&mut self, all_docs: &[Document]) -> Result<()> {
-        let resp = self.link.round_trip(&protocol::encode_reset_index());
+        let resp = self.link.round_trip(&protocol::encode_reset_index())?;
         proto_common::decode_ack(&resp)?;
         self.state.epoch += 1;
         self.state.ctr = 0;
@@ -412,7 +412,7 @@ impl<T: Transport> Scheme2Client<T> {
         }
         let resp = self
             .link
-            .round_trip(&protocol::encode_append_generations(&entries));
+            .round_trip(&protocol::encode_append_generations(&entries))?;
         proto_common::decode_ack(&resp)?;
         if advanced {
             self.state.ctr = ctr;

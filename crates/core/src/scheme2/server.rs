@@ -12,6 +12,7 @@
 use super::protocol::{self, GenerationEntry, Request};
 use super::{key_commitment, Scheme2Config};
 use crate::error::{Result, SseError};
+use crate::journal::{IndexJournal, ServerRecovery};
 use crate::proto_common;
 use sse_index::bptree::BpTree;
 use sse_index::postings::{Generation, GenerationList};
@@ -21,11 +22,15 @@ use sse_primitives::etm::EtmKey;
 use sse_primitives::hashchain::chain_step;
 use sse_storage::crc32::crc32;
 use sse_storage::store::DocStore;
-use sse_storage::StorageError;
-use std::io::Write;
+use sse_storage::{RealVfs, StorageError, Vfs};
 use std::path::Path;
+use std::sync::Arc;
 
-const INDEX_MAGIC: &[u8; 8] = b"SSE2IDX1";
+/// Snapshot magic, v2: the body now leads with the `last_op_seq` covered
+/// by the snapshot so journal replay can skip already-applied mutations.
+const INDEX_MAGIC: &[u8; 8] = b"SSE2IDX2";
+/// Index journal file name inside the server's home directory.
+const JOURNAL_FILE: &str = "scheme2.wal";
 
 /// Out-of-band observability counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -52,6 +57,12 @@ pub struct Scheme2Server {
     stats: Scheme2ServerStats,
     /// Durable home directory (None for in-memory servers).
     dir: Option<std::path::PathBuf>,
+    /// The VFS every index file goes through (real or fault-injecting).
+    vfs: Arc<dyn Vfs>,
+    /// Index mutation journal (None for in-memory servers).
+    journal: Option<IndexJournal>,
+    /// What the last [`Scheme2Server::open_durable`] had to repair.
+    recovery: ServerRecovery,
 }
 
 impl Scheme2Server {
@@ -64,30 +75,78 @@ impl Scheme2Server {
             config,
             stats: Scheme2ServerStats::default(),
             dir: None,
+            vfs: RealVfs::arc(),
+            journal: None,
+            recovery: ServerRecovery::default(),
         }
     }
 
-    /// Durable server persisting document blobs under `dir`. If an index
-    /// snapshot exists there (written by [`Scheme2Server::save_index`]),
-    /// the generation lists are recovered too.
+    /// Durable server persisting document blobs under `dir`. Recovery
+    /// brings back everything acknowledged before a crash: the document
+    /// store replays its WAL, the index snapshot (if any) is loaded, and
+    /// index mutations journaled after the snapshot are re-applied in
+    /// order.
     ///
     /// # Errors
-    /// Storage errors while opening or recovering the document store or a
-    /// corrupt index snapshot.
+    /// Storage errors while opening or recovering the document store, a
+    /// corrupt index snapshot, or a corrupt journal record.
     pub fn open_durable(config: Scheme2Config, dir: &Path) -> Result<Self> {
-        let store = DocStore::open(dir, sse_storage::store::StoreOptions::default())?;
+        Self::open_durable_with_vfs(RealVfs::arc(), config, dir)
+    }
+
+    /// [`Scheme2Server::open_durable`] over an explicit [`Vfs`] (fault
+    /// injection runs the whole server through a
+    /// [`sse_storage::FaultVfs`]).
+    ///
+    /// # Errors
+    /// As [`Scheme2Server::open_durable`], plus injected faults.
+    pub fn open_durable_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        config: Scheme2Config,
+        dir: &Path,
+    ) -> Result<Self> {
+        let store = DocStore::open_with_vfs(
+            vfs.clone(),
+            dir,
+            sse_storage::store::StoreOptions::default(),
+        )?;
+        let store_recovery = store.recovery_report();
         let mut server = Scheme2Server {
             tree: BpTree::new(),
             store,
             config,
             stats: Scheme2ServerStats::default(),
             dir: Some(dir.to_path_buf()),
+            vfs: vfs.clone(),
+            journal: None,
+            recovery: ServerRecovery::default(),
         };
         let index_path = dir.join("scheme2.index");
-        if index_path.exists() {
-            server.load_index(&index_path)?;
+        let mut snapshot_seq = 0u64;
+        if vfs.exists(&index_path) {
+            let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
+            snapshot_seq = server.load_index_bytes(&bytes)?;
         }
+        let (journal, journal_recovery) =
+            IndexJournal::open_with_vfs(vfs, &dir.join(JOURNAL_FILE), true, snapshot_seq)?;
+        for raw in &journal_recovery.replay {
+            server.replay_mutation(raw)?;
+        }
+        server.journal = Some(journal);
+        server.recovery = ServerRecovery {
+            index_ops_replayed: journal_recovery.replay.len() as u64,
+            index_torn_bytes: journal_recovery.torn_bytes_truncated,
+            store_snapshot_loaded: store_recovery.snapshot_loaded,
+            store_wal_records_replayed: store_recovery.wal_records_replayed,
+            store_torn_bytes: store_recovery.torn_bytes_truncated,
+        };
         Ok(server)
+    }
+
+    /// What the last [`Scheme2Server::open_durable`] had to repair.
+    #[must_use]
+    pub fn recovery(&self) -> ServerRecovery {
+        self.recovery
     }
 
     /// Persist the generation lists to a CRC-protected snapshot. The
@@ -99,6 +158,7 @@ impl Scheme2Server {
     /// Filesystem errors.
     pub fn save_index(&self, path: &Path) -> Result<()> {
         let mut body = WireWriter::new();
+        body.put_u64(self.journal.as_ref().map_or(0, IndexJournal::last_seq));
         body.put_u64(self.tree.len() as u64);
         for (tag, list) in self.tree.iter() {
             body.put_array(tag);
@@ -111,14 +171,15 @@ impl Scheme2Server {
         let body = body.finish();
         let tmp = path.with_extension("tmp");
         {
-            let mut f = std::fs::File::create(&tmp).map_err(StorageError::Io)?;
-            f.write_all(INDEX_MAGIC).map_err(StorageError::Io)?;
-            f.write_all(&crc32(&body).to_le_bytes())
-                .map_err(StorageError::Io)?;
+            let mut f = self.vfs.create(&tmp).map_err(StorageError::Io)?;
+            let mut header = Vec::with_capacity(12);
+            header.extend_from_slice(INDEX_MAGIC);
+            header.extend_from_slice(&crc32(&body).to_le_bytes());
+            f.write_all(&header).map_err(StorageError::Io)?;
             f.write_all(&body).map_err(StorageError::Io)?;
             f.sync_data().map_err(StorageError::Io)?;
         }
-        std::fs::rename(&tmp, path).map_err(StorageError::Io)?;
+        self.vfs.rename(&tmp, path).map_err(StorageError::Io)?;
         Ok(())
     }
 
@@ -127,7 +188,13 @@ impl Scheme2Server {
     /// # Errors
     /// Corruption (bad magic/CRC) or I/O failures.
     pub fn load_index(&mut self, path: &Path) -> Result<()> {
-        let bytes = std::fs::read(path).map_err(StorageError::Io)?;
+        let bytes = self.vfs.read(path).map_err(StorageError::Io)?;
+        self.load_index_bytes(&bytes)?;
+        Ok(())
+    }
+
+    /// Decode snapshot `bytes`, returning the `last_op_seq` it covers.
+    fn load_index_bytes(&mut self, bytes: &[u8]) -> Result<u64> {
         if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
             return Err(SseError::Storage(StorageError::Corrupt {
                 what: "scheme2 index snapshot",
@@ -143,6 +210,7 @@ impl Scheme2Server {
             }));
         }
         let mut r = WireReader::new(body);
+        let last_op_seq = r.get_u64()?;
         let n = r.get_count(40)?;
         let mut tree = BpTree::new();
         for _ in 0..n {
@@ -161,16 +229,36 @@ impl Scheme2Server {
         }
         r.finish()?;
         self.tree = tree;
-        Ok(())
+        Ok(last_op_seq)
     }
 
-    /// Checkpoint everything durable: document store + index snapshot.
+    /// Checkpoint everything durable, in crash-safe order: document store
+    /// snapshot, then the index snapshot (which records the journal's
+    /// `last_op_seq`), then journal truncation. A crash between any two
+    /// steps recovers correctly: the snapshot's sequence number tells
+    /// replay exactly which journaled mutations are already inside it.
     ///
     /// # Errors
     /// Filesystem errors.
     pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
         self.store.checkpoint()?;
-        self.save_index(&dir.join("scheme2.index"))
+        self.save_index(&dir.join("scheme2.index"))?;
+        if let Some(journal) = &mut self.journal {
+            journal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint into the server's own home directory; no-op for
+    /// in-memory servers.
+    ///
+    /// # Errors
+    /// Filesystem errors.
+    pub fn checkpoint_home(&mut self) -> Result<()> {
+        match self.dir.clone() {
+            Some(dir) => self.checkpoint(&dir),
+            None => Ok(()),
+        }
     }
 
     /// Number of unique keywords indexed (`u`).
@@ -208,7 +296,76 @@ impl Scheme2Server {
         self.tree.iter().map(|(_, l)| l.stored_bytes()).sum()
     }
 
-    fn handle_request(&mut self, request: Request) -> Vec<u8> {
+    /// Append `raw` to the index journal (durable servers only). A failed
+    /// append refuses the mutation: nothing may be acknowledged that a
+    /// restart would lose.
+    fn journal_mutation(&mut self, raw: &[u8]) -> Result<()> {
+        if let Some(journal) = &mut self.journal {
+            journal.append(raw)?;
+        }
+        Ok(())
+    }
+
+    /// Re-apply one journaled mutation during recovery (no re-journaling).
+    fn replay_mutation(&mut self, raw: &[u8]) -> Result<()> {
+        let resp = match protocol::decode_request(raw)? {
+            Request::AppendGenerations(entries) => self.handle_append(raw, entries, false),
+            Request::ResetIndex => self.handle_reset_index(raw, false),
+            _ => {
+                return Err(SseError::Storage(StorageError::Corrupt {
+                    what: "scheme2 index journal",
+                    detail: "journal holds a non-mutating request".to_string(),
+                }))
+            }
+        };
+        proto_common::decode_ack(&resp)
+    }
+
+    fn handle_append(
+        &mut self,
+        raw: &[u8],
+        entries: Vec<GenerationEntry>,
+        durable: bool,
+    ) -> Vec<u8> {
+        if durable {
+            if let Err(e) = self.journal_mutation(raw) {
+                return proto_common::encode_error(&e.to_string());
+            }
+        }
+        for GenerationEntry {
+            tag,
+            sealed_ids,
+            commitment,
+        } in entries
+        {
+            let generation = Generation {
+                masked_ids: sealed_ids,
+                key_commitment: commitment,
+            };
+            match self.tree.get_mut(&tag) {
+                Some(list) => list.push(generation),
+                None => {
+                    let mut list = GenerationList::new();
+                    list.push(generation);
+                    self.tree.insert(tag, list);
+                }
+            }
+            self.stats.generations_appended += 1;
+        }
+        proto_common::encode_ack()
+    }
+
+    fn handle_reset_index(&mut self, raw: &[u8], durable: bool) -> Vec<u8> {
+        if durable {
+            if let Err(e) = self.journal_mutation(raw) {
+                return proto_common::encode_error(&e.to_string());
+            }
+        }
+        self.tree = BpTree::new();
+        proto_common::encode_ack()
+    }
+
+    fn handle_request(&mut self, raw: &[u8], request: Request) -> Vec<u8> {
         match request {
             Request::PutDocs(docs) => {
                 for (id, blob) in docs {
@@ -218,29 +375,7 @@ impl Scheme2Server {
                 }
                 proto_common::encode_ack()
             }
-            Request::AppendGenerations(entries) => {
-                for GenerationEntry {
-                    tag,
-                    sealed_ids,
-                    commitment,
-                } in entries
-                {
-                    let generation = Generation {
-                        masked_ids: sealed_ids,
-                        key_commitment: commitment,
-                    };
-                    match self.tree.get_mut(&tag) {
-                        Some(list) => list.push(generation),
-                        None => {
-                            let mut list = GenerationList::new();
-                            list.push(generation);
-                            self.tree.insert(tag, list);
-                        }
-                    }
-                    self.stats.generations_appended += 1;
-                }
-                proto_common::encode_ack()
-            }
+            Request::AppendGenerations(entries) => self.handle_append(raw, entries, true),
             Request::Search { tag, t_prime } => match self.search_one(tag, t_prime) {
                 Ok(docs) => proto_common::encode_result(&docs),
                 Err(msg) => proto_common::encode_error(&msg),
@@ -255,10 +390,7 @@ impl Scheme2Server {
                 }
                 proto_common::encode_result_many(&results)
             }
-            Request::ResetIndex => {
-                self.tree = BpTree::new();
-                proto_common::encode_ack()
-            }
+            Request::ResetIndex => self.handle_reset_index(raw, true),
             Request::Checkpoint => {
                 let Some(dir) = self.dir.clone() else {
                     return proto_common::encode_error(
@@ -378,9 +510,17 @@ impl Scheme2Server {
 impl Service for Scheme2Server {
     fn handle(&mut self, request: &[u8]) -> Vec<u8> {
         match protocol::decode_request(request) {
-            Ok(req) => self.handle_request(req),
+            Ok(req) => self.handle_request(request, req),
             Err(e) => proto_common::encode_error(&e.to_string()),
         }
+    }
+
+    fn on_shutdown(&mut self) {
+        // Collapse the WAL + journal into snapshots so a clean shutdown
+        // leaves nothing to replay. Best effort: a failing disk at
+        // shutdown must not abort the process, and recovery replays the
+        // logs anyway.
+        let _ = self.checkpoint_home();
     }
 }
 

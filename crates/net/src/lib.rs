@@ -17,11 +17,14 @@
 //! * [`link`] — [`link::MeteredLink`], the synchronous request/response
 //!   channel the schemes run over, and a threaded [`link::Duplex`] variant;
 //! * [`latency`] — converts a metered transcript into simulated wall-clock
-//!   time under a configurable RTT/bandwidth model.
+//!   time under a configurable RTT/bandwidth model;
+//! * [`fault`] — [`fault::FaultyLink`], a transport wrapper that drops,
+//!   truncates, duplicates or delays whole rounds on a seeded schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod frame;
 pub mod latency;
 pub mod link;

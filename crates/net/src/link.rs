@@ -17,23 +17,30 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Client-side view of a request/response channel. Implemented by both
-/// [`MeteredLink`] (synchronous, in-process) and [`Duplex`] (threaded), so
-/// protocol clients are written once and run over either.
+/// Client-side view of a request/response channel. Implemented by
+/// [`MeteredLink`] (synchronous, in-process), [`Duplex`] (threaded) and the
+/// TCP transport, so protocol clients are written once and run over any.
 pub trait Transport {
     /// Execute one round: send `request`, block for the response.
-    fn round_trip(&mut self, request: &[u8]) -> Vec<u8>;
+    ///
+    /// # Errors
+    /// An error means the round **failed in transit** — dropped, truncated,
+    /// connection lost — and the caller must treat the request's server-side
+    /// effect as unknown. Implementations never silently retransmit: the SSE
+    /// index mutations are not idempotent, so at-most-once delivery is part
+    /// of the transport contract.
+    fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>>;
 }
 
 impl<S: Service> Transport for MeteredLink<S> {
-    fn round_trip(&mut self, request: &[u8]) -> Vec<u8> {
-        self.call(request)
+    fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        Ok(self.call(request))
     }
 }
 
 impl Transport for Duplex {
-    fn round_trip(&mut self, request: &[u8]) -> Vec<u8> {
-        self.call(request)
+    fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        self.try_call(request)
     }
 }
 
@@ -41,6 +48,11 @@ impl Transport for Duplex {
 pub trait Service: Send {
     /// Handle one request message, producing the response message.
     fn handle(&mut self, request: &[u8]) -> Vec<u8>;
+
+    /// Called exactly once when the hosting transport shuts down (graceful
+    /// stop, client hang-up, poisoned stream). Durable servers override
+    /// this to checkpoint so a clean shutdown leaves no WAL to replay.
+    fn on_shutdown(&mut self) {}
 }
 
 impl<F> Service for F
@@ -140,25 +152,30 @@ impl Duplex {
         let server_shutdown = shutdown.clone();
         let join = std::thread::spawn(move || {
             let mut decoder = FrameDecoder::new();
-            loop {
+            'serve: loop {
                 if server_shutdown.is_requested() {
-                    return;
+                    break;
                 }
-                let Ok(chunk) = req_rx.recv() else { return };
+                let Ok(chunk) = req_rx.recv() else {
+                    break;
+                };
                 decoder.push(&chunk);
                 loop {
                     match decoder.next_frame() {
                         Ok(Some(request)) => {
                             let response = service.handle(&request);
                             if resp_tx.send(encode_frame(&response)).is_err() {
-                                return;
+                                break 'serve;
                             }
                         }
                         Ok(None) => break,
-                        Err(_) => return, // poisoned stream: drop connection
+                        Err(_) => break 'serve, // poisoned stream: drop connection
                     }
                 }
             }
+            // Every exit path lands here: give durable services their
+            // chance to checkpoint unflushed state before the thread dies.
+            service.on_shutdown();
         });
         let join: JoinSlot = Arc::new(Mutex::new(Some(join)));
         (
@@ -178,18 +195,35 @@ impl Duplex {
     /// # Panics
     /// Panics if the server thread has died (test environments only).
     pub fn call(&self, request: &[u8]) -> Vec<u8> {
+        self.try_call(request).expect("server thread alive")
+    }
+
+    /// One metered round, surfacing a dead server thread or a corrupt
+    /// response stream as an error instead of panicking.
+    ///
+    /// # Errors
+    /// [`std::io::ErrorKind::BrokenPipe`] if the server thread is gone;
+    /// [`std::io::ErrorKind::InvalidData`] for a corrupt response frame.
+    pub fn try_call(&self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        use std::io::{Error, ErrorKind};
         self.tx
             .send(encode_frame(request))
-            .expect("server thread alive");
+            .map_err(|_| Error::new(ErrorKind::BrokenPipe, "server thread exited"))?;
         let mut decoder = FrameDecoder::new();
         // Responses arrive frame-aligned from our server loop, but decode
         // defensively anyway.
         loop {
-            let chunk = self.rx.recv().expect("server thread alive");
+            let chunk = self
+                .rx
+                .recv()
+                .map_err(|_| Error::new(ErrorKind::BrokenPipe, "server thread exited"))?;
             decoder.push(&chunk);
-            if let Some(response) = decoder.next_frame().expect("well-formed response") {
+            if let Some(response) = decoder
+                .next_frame()
+                .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?
+            {
                 self.meter.record_round(request.len(), response.len());
-                return response;
+                return Ok(response);
             }
         }
     }

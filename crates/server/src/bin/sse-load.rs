@@ -134,18 +134,28 @@ fn main() -> ExitCode {
         }
         Ok(stats)
     }) {
-        Ok(stats) => println!(
-            "sse-load: server stats: {} ok / {} busy / {} err, {} bytes in, {} bytes out, \
-             server-side p50 {} ns p95 {} ns p99 {} ns",
-            stats.requests_ok,
-            stats.requests_busy,
-            stats.requests_err,
-            stats.bytes_in,
-            stats.bytes_out,
-            stats.p50_ns,
-            stats.p95_ns,
-            stats.p99_ns
-        ),
+        Ok(stats) => {
+            println!(
+                "sse-load: server stats: {} ok / {} busy / {} err, {} bytes in, {} bytes out, \
+                 server-side p50 {} ns p95 {} ns p99 {} ns",
+                stats.requests_ok,
+                stats.requests_busy,
+                stats.requests_err,
+                stats.bytes_in,
+                stats.bytes_out,
+                stats.p50_ns,
+                stats.p95_ns,
+                stats.p99_ns
+            );
+            println!(
+                "sse-load: server robustness: {} fault(s) injected, {} WAL recover(ies), \
+                 {} torn byte(s) truncated, {} client re-attach(es)",
+                stats.faults_injected,
+                stats.wal_recoveries,
+                stats.torn_tails_truncated,
+                stats.reconnects
+            );
+        }
         Err(e) => eprintln!("sse-load: stats query failed: {e}"),
     }
 

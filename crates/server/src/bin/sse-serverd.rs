@@ -3,11 +3,17 @@
 //! ```text
 //! sse-serverd [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--scheme1-capacity N] [--scheme2-chain N]
+//!             [--data-dir DIR] [--idle-timeout-ms N]
 //! ```
 //!
 //! Serves until an `ADMIN_SHUTDOWN` frame arrives (e.g. `sse-load
 //! --shutdown`, or any `TcpTransport::admin_shutdown` call), then drains
 //! queued requests and exits, printing final serving stats.
+//!
+//! With `--data-dir` the daemon is **durable**: tenant databases persist
+//! under the directory, WALs left by a crash are replayed before the
+//! listener opens, and the drain checkpoints every tenant so a clean
+//! restart has nothing to replay.
 
 use sse_server::daemon::{Daemon, ServerConfig};
 use sse_server::tenant::TenantParams;
@@ -16,7 +22,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: sse-serverd [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--scheme1-capacity N] [--scheme2-chain N]"
+         [--scheme1-capacity N] [--scheme2-chain N] [--data-dir DIR] \
+         [--idle-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +55,10 @@ fn parse_args() -> ServerConfig {
             "--queue" => config.queue_depth = parse(&value()),
             "--scheme1-capacity" => params.scheme1_capacity = parse(&value()),
             "--scheme2-chain" => params.scheme2_chain_length = parse(&value()),
+            "--data-dir" => config.data_dir = Some(std::path::PathBuf::from(value())),
+            "--idle-timeout-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(parse(&value()));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -74,6 +85,22 @@ fn main() -> ExitCode {
         config.workers,
         config.queue_depth
     );
+    match &config.data_dir {
+        Some(dir) => {
+            let startup = daemon.stats();
+            println!(
+                "sse-serverd: durable mode, data dir {} ({} tenant database(s) recovered; \
+                 {} needed WAL replay, {} torn byte(s) truncated)",
+                dir.display(),
+                daemon.tenant_count(),
+                startup.wal_recoveries,
+                startup.torn_tails_truncated
+            );
+        }
+        None => {
+            println!("sse-serverd: in-memory mode (no --data-dir; state dies with the process)")
+        }
+    }
     daemon.wait_for_shutdown_request();
     println!("sse-serverd: shutdown requested, draining…");
     let stats = daemon.stats();
@@ -81,7 +108,8 @@ fn main() -> ExitCode {
     let report = daemon.shutdown();
     println!(
         "sse-serverd: served {} requests ({} busy, {} errors) for {} tenant database(s); \
-         {} bytes in, {} bytes out; joined {} workers and {} connections",
+         {} bytes in, {} bytes out; joined {} workers and {} connections; \
+         checkpointed {} tenant(s)",
         stats.requests_ok,
         stats.requests_busy,
         stats.requests_err,
@@ -89,7 +117,13 @@ fn main() -> ExitCode {
         stats.bytes_in,
         stats.bytes_out,
         report.workers_joined,
-        report.connections_joined
+        report.connections_joined,
+        report.tenants_checkpointed
+    );
+    println!(
+        "sse-serverd: robustness: {} fault(s) injected, {} WAL recover(ies), \
+         {} torn byte(s) truncated, {} client re-attach(es)",
+        stats.faults_injected, stats.wal_recoveries, stats.torn_tails_truncated, stats.reconnects
     );
     ExitCode::SUCCESS
 }

@@ -32,15 +32,21 @@ use crate::stats::ServingStats;
 use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sse_net::frame::{encode_frame, FrameDecoder};
+use sse_net::link::Service;
 use sse_net::shutdown::ShutdownSignal;
+use sse_storage::{FaultConfig, FaultStats, FaultVfs, RealVfs, Vfs};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How often blocked threads re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Default per-connection idle timeout (see [`ServerConfig::idle_timeout`]).
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -56,6 +62,18 @@ pub struct ServerConfig {
     pub max_frame_len: u32,
     /// Parameters for lazily created tenant databases.
     pub tenant_params: TenantParams,
+    /// `Some` ⇒ durable mode: tenant databases persist under this
+    /// directory, are recovered (WAL replay) at startup, and are
+    /// checkpointed on graceful shutdown.
+    pub data_dir: Option<PathBuf>,
+    /// Close a connection that has sent no bytes for this long. Without it
+    /// an idle (or vanished, on a network that never RSTs) client pins a
+    /// reader thread forever.
+    pub idle_timeout: Duration,
+    /// `Some` ⇒ route all tenant file I/O through a seeded
+    /// [`FaultVfs`] (torture testing only); injected-fault counts show up
+    /// in `ADMIN_STATS`.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for ServerConfig {
@@ -66,7 +84,34 @@ impl Default for ServerConfig {
             queue_depth: 64,
             max_frame_len: sse_net::frame::MAX_FRAME_LEN,
             tenant_params: TenantParams::default(),
+            data_dir: None,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            fault: None,
         }
+    }
+}
+
+/// State shared by the listener, connection and admin paths.
+struct Shared {
+    shutdown: ShutdownSignal,
+    stats: Arc<ServingStats>,
+    registry: Arc<TenantRegistry>,
+    fault_stats: Option<Arc<FaultStats>>,
+    max_frame_len: u32,
+    idle_timeout: Duration,
+}
+
+impl Shared {
+    /// Serving counters plus the storage-side robustness counters that
+    /// live with the registry / fault VFS.
+    fn full_snapshot(&self) -> StatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.wal_recoveries = self.registry.wal_recoveries();
+        snap.torn_tails_truncated = self.registry.torn_tails_truncated();
+        if let Some(f) = &self.fault_stats {
+            snap.faults_injected = f.injected();
+        }
+        snap
     }
 }
 
@@ -89,15 +134,16 @@ pub struct ShutdownReport {
     pub workers_joined: usize,
     /// Connection threads joined.
     pub connections_joined: usize,
+    /// Tenant databases checkpointed to disk during the drain (always 0
+    /// for an in-memory daemon).
+    pub tenants_checkpointed: usize,
 }
 
 /// A running daemon. Dropping it without calling [`Daemon::shutdown`]
 /// leaves the threads serving (the handle is not the lifecycle).
 pub struct Daemon {
     local_addr: SocketAddr,
-    shutdown: ShutdownSignal,
-    stats: Arc<ServingStats>,
-    registry: Arc<TenantRegistry>,
+    shared: Arc<Shared>,
     listener_join: JoinHandle<()>,
     conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
     worker_joins: Vec<JoinHandle<()>>,
@@ -105,10 +151,14 @@ pub struct Daemon {
 }
 
 impl Daemon {
-    /// Bind, spawn the thread pool, and start serving.
+    /// Bind, spawn the thread pool, and start serving. In durable mode
+    /// (`config.data_dir`) every tenant database already on disk is opened
+    /// — and crash-recovered — before the listener accepts its first
+    /// connection.
     ///
     /// # Errors
-    /// I/O errors from binding the listener.
+    /// I/O errors from binding the listener, or storage errors from
+    /// recovering an existing tenant database.
     pub fn spawn(config: ServerConfig) -> std::io::Result<Daemon> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -116,7 +166,19 @@ impl Daemon {
 
         let shutdown = ShutdownSignal::new();
         let stats = Arc::new(ServingStats::new());
-        let registry = Arc::new(TenantRegistry::new(config.tenant_params));
+        let (vfs, fault_stats): (Arc<dyn Vfs>, Option<Arc<FaultStats>>) = match config.fault {
+            None => (RealVfs::arc(), None),
+            Some(cfg) => {
+                let fv = FaultVfs::new(RealVfs::arc(), cfg);
+                let fstats = fv.stats();
+                (Arc::new(fv), Some(fstats))
+            }
+        };
+        let registry = Arc::new(match config.data_dir {
+            None => TenantRegistry::new(config.tenant_params),
+            Some(dir) => TenantRegistry::durable(config.tenant_params, dir, vfs),
+        });
+        registry.preopen_existing().map_err(std::io::Error::other)?;
         let (job_tx, job_rx) = bounded::<Job>(config.queue_depth);
 
         let worker_joins: Vec<JoinHandle<()>> = (0..config.workers.max(1))
@@ -127,32 +189,28 @@ impl Daemon {
             })
             .collect();
 
+        let shared = Arc::new(Shared {
+            shutdown,
+            stats,
+            registry,
+            fault_stats,
+            max_frame_len: config.max_frame_len,
+            idle_timeout: config.idle_timeout,
+        });
+
         let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let listener_join = {
-            let shutdown = shutdown.clone();
-            let stats = stats.clone();
-            let registry = registry.clone();
+            let shared = shared.clone();
             let conn_joins = conn_joins.clone();
             let job_tx = job_tx.clone();
-            let max_frame_len = config.max_frame_len;
             std::thread::spawn(move || {
-                listener_loop(
-                    &listener,
-                    &shutdown,
-                    &stats,
-                    &registry,
-                    &conn_joins,
-                    &job_tx,
-                    max_frame_len,
-                );
+                listener_loop(&listener, &shared, &conn_joins, &job_tx);
             })
         };
 
         Ok(Daemon {
             local_addr,
-            shutdown,
-            stats,
-            registry,
+            shared,
             listener_join,
             conn_joins,
             worker_joins,
@@ -170,37 +228,39 @@ impl Daemon {
     /// the `ADMIN_SHUTDOWN` command) starts a graceful drain.
     #[must_use]
     pub fn shutdown_signal(&self) -> ShutdownSignal {
-        self.shutdown.clone()
+        self.shared.shutdown.clone()
     }
 
-    /// Current serving statistics.
+    /// Current serving statistics, including the robustness counters.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.shared.full_snapshot()
     }
 
     /// Number of tenant databases created so far.
     #[must_use]
     pub fn tenant_count(&self) -> usize {
-        self.registry.tenant_count()
+        self.shared.registry.tenant_count()
     }
 
     /// Block until the shutdown signal is requested (e.g. by an
     /// `ADMIN_SHUTDOWN` frame).
     pub fn wait_for_shutdown_request(&self) {
-        while !self.shutdown.is_requested() {
+        while !self.shared.shutdown.is_requested() {
             std::thread::sleep(POLL_INTERVAL);
         }
     }
 
     /// Gracefully stop: request shutdown, drain queued requests, join every
-    /// thread. In-flight requests get their responses; the listener socket
-    /// closes.
+    /// thread, then checkpoint every durable tenant so no WAL is left to
+    /// replay (the checkpoint runs **after** the workers drain — queued
+    /// mutations land in the snapshot, not just the log). In-flight
+    /// requests get their responses; the listener socket closes.
     ///
     /// # Panics
     /// Panics if a daemon thread panicked.
     pub fn shutdown(self) -> ShutdownReport {
-        self.shutdown.request();
+        self.shared.shutdown.request();
         self.listener_join.join().expect("listener thread panicked");
         // The listener has stopped spawning; connection threads notice the
         // flag within one poll interval and hang up.
@@ -221,31 +281,32 @@ impl Daemon {
         for join in self.worker_joins {
             join.join().expect("worker thread panicked");
         }
+        // Workers have drained: every accepted mutation is at least in a
+        // tenant WAL. Fold the WALs into snapshots so a daemon restart
+        // starts clean. A checkpoint failure (e.g. disk full) is not fatal
+        // here — the WALs themselves still replay on the next open.
+        let tenants_checkpointed = self.shared.registry.checkpoint_all().unwrap_or(0);
         ShutdownReport {
             workers_joined,
             connections_joined,
+            tenants_checkpointed,
         }
     }
 }
 
 fn listener_loop(
     listener: &TcpListener,
-    shutdown: &ShutdownSignal,
-    stats: &Arc<ServingStats>,
-    registry: &Arc<TenantRegistry>,
+    shared: &Arc<Shared>,
     conn_joins: &Arc<Mutex<Vec<JoinHandle<()>>>>,
     job_tx: &Sender<Job>,
-    max_frame_len: u32,
 ) {
-    while !shutdown.is_requested() {
+    while !shared.shutdown.is_requested() {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let shutdown = shutdown.clone();
-                let stats = stats.clone();
-                let registry = registry.clone();
+                let shared = shared.clone();
                 let job_tx = job_tx.clone();
                 let join = std::thread::spawn(move || {
-                    connection_loop(stream, &shutdown, &stats, &registry, &job_tx, max_frame_len);
+                    connection_loop(stream, &shared, &job_tx);
                 });
                 conn_joins
                     .lock()
@@ -259,7 +320,7 @@ fn listener_loop(
                 // The listener socket died: without it the daemon can never
                 // accept again, so start a graceful drain instead of
                 // lingering as a server that silently refuses connections.
-                shutdown.request();
+                shared.shutdown.request();
                 return;
             }
         }
@@ -290,14 +351,13 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
     }
 }
 
-fn connection_loop(
-    stream: TcpStream,
-    shutdown: &ShutdownSignal,
-    stats: &Arc<ServingStats>,
-    registry: &Arc<TenantRegistry>,
-    job_tx: &Sender<Job>,
-    max_frame_len: u32,
-) {
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
+    let Shared {
+        shutdown,
+        stats,
+        registry,
+        ..
+    } = &**shared;
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
@@ -306,16 +366,26 @@ fn connection_loop(
         Err(_) => return,
     };
     let mut reader = stream;
-    let mut decoder = FrameDecoder::with_max_len(max_frame_len);
+    let mut decoder = FrameDecoder::with_max_len(shared.max_frame_len);
     let mut tenant: Option<TenantHandle> = None;
     let mut buf = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
 
     'conn: while !shutdown.is_requested() {
         match reader.read(&mut buf) {
             Ok(0) => break, // peer hung up
-            Ok(n) => decoder.push(&buf[..n]),
+            Ok(n) => {
+                last_activity = Instant::now();
+                decoder.push(&buf[..n]);
+            }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                continue; // poll tick: re-check the shutdown flag
+                // Poll tick: re-check the shutdown flag, and hang up on
+                // clients that have gone silent — a vanished peer (or an
+                // idle one) must not pin this reader thread forever.
+                if last_activity.elapsed() >= shared.idle_timeout {
+                    break;
+                }
+                continue;
             }
             Err(_) => break,
         }
@@ -338,9 +408,27 @@ fn connection_loop(
             let Some(current_tenant) = tenant.as_ref() else {
                 match Hello::decode(&frame) {
                     Some(hello) => {
-                        tenant = Some(registry.get_or_create(&hello.tenant, hello.scheme));
-                        if !write_response(&writer, STATUS_OK, HELLO_SEQ, &[]) {
-                            break 'conn;
+                        let existed = registry.contains(&hello.tenant, hello.scheme);
+                        match registry.get_or_create(&hello.tenant, hello.scheme) {
+                            Ok(handle) => {
+                                if existed {
+                                    stats.record_reconnect();
+                                }
+                                tenant = Some(handle);
+                                if !write_response(&writer, STATUS_OK, HELLO_SEQ, &[]) {
+                                    break 'conn;
+                                }
+                            }
+                            Err(e) => {
+                                stats.record_err();
+                                write_response(
+                                    &writer,
+                                    STATUS_ERR,
+                                    HELLO_SEQ,
+                                    format!("tenant open failed: {e}").as_bytes(),
+                                );
+                                break 'conn;
+                            }
                         }
                     }
                     None => {
@@ -380,7 +468,7 @@ fn connection_loop(
                 }
                 KIND_ADMIN => match payload.first().copied() {
                     Some(ADMIN_STATS) => {
-                        let snap = stats.snapshot().encode();
+                        let snap = shared.full_snapshot().encode();
                         if !write_response(&writer, STATUS_OK, seq, &snap) {
                             break 'conn;
                         }

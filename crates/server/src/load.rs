@@ -90,6 +90,10 @@ pub struct LoadReport {
     pub p95_ns: u64,
     /// Client-observed 99th-percentile latency (ns).
     pub p99_ns: u64,
+    /// `BUSY` responses absorbed by transport backoff across all clients.
+    pub busy_retries: u64,
+    /// Broken connections the transports re-established.
+    pub reconnects: u64,
 }
 
 impl std::fmt::Display for LoadReport {
@@ -100,7 +104,8 @@ impl std::fmt::Display for LoadReport {
         }
         write!(
             f,
-            "{} ops in {:.2?} ({:.1} ops/sec), {} hits, latency p50 {:.3} ms / p95 {:.3} ms / p99 {:.3} ms",
+            "{} ops in {:.2?} ({:.1} ops/sec), {} hits, latency p50 {:.3} ms / p95 {:.3} ms / p99 {:.3} ms, \
+             {} busy retries, {} reconnects",
             self.ops,
             self.elapsed,
             self.ops_per_sec,
@@ -108,6 +113,8 @@ impl std::fmt::Display for LoadReport {
             ms(self.p50_ns),
             ms(self.p95_ns),
             ms(self.p99_ns),
+            self.busy_retries,
+            self.reconnects,
         )
     }
 }
@@ -173,6 +180,8 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport> {
     let histogram = Arc::new(LatencyHistogram::new());
     let ops = Arc::new(AtomicU64::new(0));
     let hits = Arc::new(AtomicU64::new(0));
+    let busy_retries = Arc::new(AtomicU64::new(0));
+    let reconnects = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
 
     let joins: Vec<_> = (0..opts.clients)
@@ -181,6 +190,8 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport> {
             let histogram = histogram.clone();
             let ops = ops.clone();
             let hits = hits.clone();
+            let busy_retries = busy_retries.clone();
+            let reconnects = reconnects.clone();
             std::thread::spawn(move || -> Result<()> {
                 let tenant = format!("tenant-{}", client % opts.tenants.max(1));
                 let scheme = opts.schemes[client % opts.schemes.len()];
@@ -188,6 +199,12 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport> {
                 let key = MasterKey::from_seed(opts.seed ^ ((client as u64) << 32) ^ 0xC11E);
                 let events = client_events(&opts, client);
                 let rng_seed = opts.seed.wrapping_add(client as u64);
+                // Record the transport's robustness counters even if the
+                // drive failed partway.
+                let note = |t: &TcpTransport| {
+                    busy_retries.fetch_add(t.busy_retries(), Ordering::Relaxed);
+                    reconnects.fetch_add(t.reconnects(), Ordering::Relaxed);
+                };
                 match scheme {
                     SchemeId::Scheme1 => {
                         let sse = Scheme1Client::new_seeded(
@@ -196,7 +213,10 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport> {
                             Scheme1Config::fast_profile(opts.scheme1_capacity),
                             rng_seed,
                         );
-                        drive(&mut PhrSystem::new(sse), &events, &histogram, &ops, &hits)
+                        let mut phr = PhrSystem::new(sse);
+                        let result = drive(&mut phr, &events, &histogram, &ops, &hits);
+                        note(phr.client_mut().transport_mut());
+                        result
                     }
                     SchemeId::Scheme2 => {
                         let sse = Scheme2Client::new_seeded(
@@ -205,7 +225,10 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport> {
                             Scheme2Config::standard(),
                             rng_seed,
                         );
-                        drive(&mut PhrSystem::new(sse), &events, &histogram, &ops, &hits)
+                        let mut phr = PhrSystem::new(sse);
+                        let result = drive(&mut phr, &events, &histogram, &ops, &hits);
+                        note(phr.client_mut().transport_mut());
+                        result
                     }
                 }
             })
@@ -240,5 +263,7 @@ pub fn run_load(opts: &LoadOptions) -> Result<LoadReport> {
         p50_ns: histogram.quantile_ns(0.50),
         p95_ns: histogram.quantile_ns(0.95),
         p99_ns: histogram.quantile_ns(0.99),
+        busy_retries: busy_retries.load(Ordering::Relaxed),
+        reconnects: reconnects.load(Ordering::Relaxed),
     })
 }

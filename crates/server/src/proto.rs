@@ -180,6 +180,17 @@ pub struct StatsSnapshot {
     pub p95_ns: u64,
     /// 99th-percentile service latency in nanoseconds.
     pub p99_ns: u64,
+    /// Storage faults injected by a configured fault VFS (0 unless the
+    /// daemon was started with fault injection enabled).
+    pub faults_injected: u64,
+    /// Tenant database opens that performed WAL replay or torn-tail
+    /// truncation (crash recoveries observed by this daemon).
+    pub wal_recoveries: u64,
+    /// Torn log-tail bytes truncated across all tenant opens.
+    pub torn_tails_truncated: u64,
+    /// Hello frames that re-attached to an already-open tenant database
+    /// (client reconnects, as seen from the server).
+    pub reconnects: u64,
 }
 
 impl StatsSnapshot {
@@ -194,7 +205,11 @@ impl StatsSnapshot {
             .put_u64(self.bytes_out)
             .put_u64(self.p50_ns)
             .put_u64(self.p95_ns)
-            .put_u64(self.p99_ns);
+            .put_u64(self.p99_ns)
+            .put_u64(self.faults_injected)
+            .put_u64(self.wal_recoveries)
+            .put_u64(self.torn_tails_truncated)
+            .put_u64(self.reconnects);
         w.finish()
     }
 
@@ -211,6 +226,10 @@ impl StatsSnapshot {
             p50_ns: r.get_u64().ok()?,
             p95_ns: r.get_u64().ok()?,
             p99_ns: r.get_u64().ok()?,
+            faults_injected: r.get_u64().ok()?,
+            wal_recoveries: r.get_u64().ok()?,
+            torn_tails_truncated: r.get_u64().ok()?,
+            reconnects: r.get_u64().ok()?,
         };
         r.finish().ok()?;
         Some(snap)
@@ -285,6 +304,10 @@ mod tests {
             p50_ns: 1_000,
             p95_ns: 9_000,
             p99_ns: 20_000,
+            faults_injected: 3,
+            wal_recoveries: 2,
+            torn_tails_truncated: 17,
+            reconnects: 5,
         };
         assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap));
         assert_eq!(StatsSnapshot::decode(b"short"), None);

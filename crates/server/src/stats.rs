@@ -17,6 +17,9 @@ pub struct ServingStats {
     requests_err: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    /// Hello frames that attached to an already-open tenant database —
+    /// the server-side view of client reconnects.
+    reconnects: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -47,7 +50,15 @@ impl ServingStats {
         self.requests_err.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Point-in-time snapshot for the ADMIN protocol.
+    /// Record a hello that re-attached to an already-open tenant database.
+    pub fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot for the ADMIN protocol. The storage-side
+    /// robustness counters (`faults_injected`, `wal_recoveries`,
+    /// `torn_tails_truncated`) live with the tenant registry / fault VFS;
+    /// the daemon overlays them before encoding the ADMIN response.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -59,6 +70,10 @@ impl ServingStats {
             p50_ns: self.latency.quantile_ns(0.50),
             p95_ns: self.latency.quantile_ns(0.95),
             p99_ns: self.latency.quantile_ns(0.99),
+            faults_injected: 0,
+            wal_recoveries: 0,
+            torn_tails_truncated: 0,
+            reconnects: self.reconnects.load(Ordering::Relaxed),
         }
     }
 }

@@ -5,17 +5,80 @@
 //! Requests for the same tenant serialize on the tenant's mutex (the
 //! scheme servers are sequential state machines); requests for different
 //! tenants run on different worker threads concurrently.
+//!
+//! With a data directory the registry becomes **durable**: each
+//! `(tenant, scheme)` database lives under
+//! `data_dir/<encoded-tenant>/s1|s2/`, is opened via
+//! `open_durable_with_vfs` (replaying any WAL left by a crash), is
+//! re-opened eagerly on daemon restart ([`TenantRegistry::preopen_existing`])
+//! and is checkpointed by [`TenantRegistry::checkpoint_all`] on graceful
+//! shutdown. Tenant names are arbitrary UTF-8; directory names use a
+//! reversible percent-encoding restricted to `[A-Za-z0-9_-]`.
 
 use crate::proto::SchemeId;
 use parking_lot::Mutex;
+use sse_core::error::SseError;
+use sse_core::journal::ServerRecovery;
 use sse_core::scheme1::Scheme1Server;
 use sse_core::scheme2::{Scheme2Config, Scheme2Server};
 use sse_net::link::Service;
+use sse_storage::{RealVfs, Vfs};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// One tenant's scheme server — the concrete state behind a handle, kept
+/// as an enum (not `Box<dyn Service>`) so the registry can reach
+/// scheme-specific operations like checkpointing.
+pub enum TenantDb {
+    /// A Scheme 1 (XOR-masked bit-array index) server.
+    S1(Scheme1Server),
+    /// A Scheme 2 (hash-chain generation list) server.
+    S2(Scheme2Server),
+}
+
+impl TenantDb {
+    /// Checkpoint to the database's home directory (no-op for in-memory
+    /// tenants, which have no home).
+    ///
+    /// # Errors
+    /// Storage errors from the snapshot write.
+    pub fn checkpoint_home(&mut self) -> Result<(), SseError> {
+        match self {
+            TenantDb::S1(s) => s.checkpoint_home(),
+            TenantDb::S2(s) => s.checkpoint_home(),
+        }
+    }
+
+    /// What recovery work the open performed.
+    #[must_use]
+    pub fn recovery(&self) -> ServerRecovery {
+        match self {
+            TenantDb::S1(s) => s.recovery(),
+            TenantDb::S2(s) => s.recovery(),
+        }
+    }
+}
+
+impl Service for TenantDb {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        match self {
+            TenantDb::S1(s) => s.handle(request),
+            TenantDb::S2(s) => s.handle(request),
+        }
+    }
+
+    fn on_shutdown(&mut self) {
+        match self {
+            TenantDb::S1(s) => s.on_shutdown(),
+            TenantDb::S2(s) => s.on_shutdown(),
+        }
+    }
+}
+
 /// Shared handle to one tenant's scheme server.
-pub type TenantHandle = Arc<Mutex<Box<dyn Service>>>;
+pub type TenantHandle = Arc<Mutex<TenantDb>>;
 
 /// Server-side parameters for newly created tenant databases.
 #[derive(Clone, Copy, Debug)]
@@ -39,36 +102,172 @@ impl Default for TenantParams {
 /// Lazily populated map from `(tenant, scheme)` to server state.
 pub struct TenantRegistry {
     params: TenantParams,
+    /// `Some` ⇒ durable mode: tenants live on disk under this directory.
+    data_dir: Option<PathBuf>,
+    vfs: Arc<dyn Vfs>,
     tenants: Mutex<HashMap<(String, SchemeId), TenantHandle>>,
+    /// Tenant opens that had to replay WAL records or truncate torn tails.
+    wal_recoveries: AtomicU64,
+    /// Total bytes of torn log tails truncated across all tenant opens.
+    torn_tails_truncated: AtomicU64,
 }
 
 impl TenantRegistry {
-    /// Empty registry creating tenants with `params`.
+    /// Empty in-memory registry creating tenants with `params`.
     #[must_use]
     pub fn new(params: TenantParams) -> Self {
         TenantRegistry {
             params,
+            data_dir: None,
+            vfs: RealVfs::arc(),
             tenants: Mutex::new(HashMap::new()),
+            wal_recoveries: AtomicU64::new(0),
+            torn_tails_truncated: AtomicU64::new(0),
         }
     }
 
-    /// Fetch a tenant's server, creating it on first reference.
-    pub fn get_or_create(&self, tenant: &str, scheme: SchemeId) -> TenantHandle {
+    /// Durable registry: tenants are opened from / persisted to
+    /// `data_dir`, with all file I/O routed through `vfs` (pass a
+    /// `FaultVfs` to torture-test the serving stack).
+    #[must_use]
+    pub fn durable(params: TenantParams, data_dir: PathBuf, vfs: Arc<dyn Vfs>) -> Self {
+        TenantRegistry {
+            params,
+            data_dir: Some(data_dir),
+            vfs,
+            tenants: Mutex::new(HashMap::new()),
+            wal_recoveries: AtomicU64::new(0),
+            torn_tails_truncated: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether tenants persist to disk.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.data_dir.is_some()
+    }
+
+    /// Fetch a tenant's server, creating it (in-memory mode) or opening it
+    /// from disk (durable mode, replaying any crash-left WAL) on first
+    /// reference.
+    ///
+    /// # Errors
+    /// Durable mode only: storage errors from the open/recovery path.
+    pub fn get_or_create(&self, tenant: &str, scheme: SchemeId) -> Result<TenantHandle, SseError> {
         let mut map = self.tenants.lock();
-        map.entry((tenant.to_string(), scheme))
-            .or_insert_with(|| {
-                let service: Box<dyn Service> = match scheme {
-                    SchemeId::Scheme1 => {
-                        Box::new(Scheme1Server::new_in_memory(self.params.scheme1_capacity))
-                    }
-                    SchemeId::Scheme2 => Box::new(Scheme2Server::new_in_memory(
+        if let Some(handle) = map.get(&(tenant.to_string(), scheme)) {
+            return Ok(handle.clone());
+        }
+        let db = self.open_tenant(tenant, scheme)?;
+        self.note_recovery(&db.recovery());
+        let handle = Arc::new(Mutex::new(db));
+        map.insert((tenant.to_string(), scheme), handle.clone());
+        Ok(handle)
+    }
+
+    fn open_tenant(&self, tenant: &str, scheme: SchemeId) -> Result<TenantDb, SseError> {
+        match &self.data_dir {
+            None => Ok(match scheme {
+                SchemeId::Scheme1 => {
+                    TenantDb::S1(Scheme1Server::new_in_memory(self.params.scheme1_capacity))
+                }
+                SchemeId::Scheme2 => TenantDb::S2(Scheme2Server::new_in_memory(
+                    Scheme2Config::standard().with_chain_length(self.params.scheme2_chain_length),
+                )),
+            }),
+            Some(root) => {
+                let dir = tenant_dir(root, tenant, scheme);
+                self.vfs.create_dir_all(&dir)?;
+                Ok(match scheme {
+                    SchemeId::Scheme1 => TenantDb::S1(Scheme1Server::open_durable_with_vfs(
+                        Arc::clone(&self.vfs),
+                        self.params.scheme1_capacity,
+                        &dir,
+                    )?),
+                    SchemeId::Scheme2 => TenantDb::S2(Scheme2Server::open_durable_with_vfs(
+                        Arc::clone(&self.vfs),
                         Scheme2Config::standard()
                             .with_chain_length(self.params.scheme2_chain_length),
-                    )),
-                };
-                Arc::new(Mutex::new(service))
-            })
-            .clone()
+                        &dir,
+                    )?),
+                })
+            }
+        }
+    }
+
+    fn note_recovery(&self, recovery: &ServerRecovery) {
+        if recovery.recovered_anything() {
+            self.wal_recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.torn_tails_truncated
+            .fetch_add(recovery.torn_bytes(), Ordering::Relaxed);
+    }
+
+    /// Durable mode: eagerly re-open every tenant database already present
+    /// under the data directory, so recovery (and its cost) happens at
+    /// daemon startup rather than on a client's first request. Returns how
+    /// many databases were opened.
+    ///
+    /// # Errors
+    /// Directory-scan I/O errors or storage errors from any open.
+    pub fn preopen_existing(&self) -> Result<usize, SseError> {
+        let Some(root) = self.data_dir.clone() else {
+            return Ok(0);
+        };
+        let mut opened = 0;
+        let entries = match std::fs::read_dir(&root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry.map_err(SseError::from)?;
+            if !entry.file_type().map_err(SseError::from)?.is_dir() {
+                continue;
+            }
+            let Some(tenant) = entry.file_name().to_str().and_then(decode_tenant_dir_name) else {
+                continue; // not a name we wrote; skip
+            };
+            for scheme in [SchemeId::Scheme1, SchemeId::Scheme2] {
+                if tenant_dir(&root, &tenant, scheme).is_dir() {
+                    self.get_or_create(&tenant, scheme)?;
+                    opened += 1;
+                }
+            }
+        }
+        Ok(opened)
+    }
+
+    /// Checkpoint every open tenant database to its home directory, so a
+    /// graceful shutdown leaves no WAL to replay. In-memory tenants are
+    /// no-ops. Returns how many databases checkpointed.
+    ///
+    /// # Errors
+    /// The first storage error encountered (remaining tenants are still
+    /// attempted — a failure on one tenant must not strand the others'
+    /// unflushed WALs).
+    pub fn checkpoint_all(&self) -> Result<usize, SseError> {
+        let handles: Vec<TenantHandle> = self.tenants.lock().values().cloned().collect();
+        let mut checkpointed = 0;
+        let mut first_err = None;
+        for handle in handles {
+            match handle.lock().checkpoint_home() {
+                Ok(()) => checkpointed += 1,
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            None => Ok(checkpointed),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Whether a tenant database is already open.
+    #[must_use]
+    pub fn contains(&self, tenant: &str, scheme: SchemeId) -> bool {
+        self.tenants
+            .lock()
+            .contains_key(&(tenant.to_string(), scheme))
     }
 
     /// Number of live tenant databases.
@@ -76,6 +275,63 @@ impl TenantRegistry {
     pub fn tenant_count(&self) -> usize {
         self.tenants.lock().len()
     }
+
+    /// Tenant opens that performed WAL replay or torn-tail truncation.
+    #[must_use]
+    pub fn wal_recoveries(&self) -> u64 {
+        self.wal_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Total torn log-tail bytes truncated across tenant opens.
+    #[must_use]
+    pub fn torn_tails_truncated(&self) -> u64 {
+        self.torn_tails_truncated.load(Ordering::Relaxed)
+    }
+}
+
+/// On-disk directory for one `(tenant, scheme)` database.
+fn tenant_dir(root: &Path, tenant: &str, scheme: SchemeId) -> PathBuf {
+    let sub = match scheme {
+        SchemeId::Scheme1 => "s1",
+        SchemeId::Scheme2 => "s2",
+    };
+    root.join(encode_tenant_dir_name(tenant)).join(sub)
+}
+
+/// Reversible filesystem-safe encoding of a tenant name: `[A-Za-z0-9_-]`
+/// pass through, everything else (including `%` itself) becomes `%XX`.
+#[must_use]
+pub fn encode_tenant_dir_name(tenant: &str) -> String {
+    let mut out = String::with_capacity(tenant.len());
+    for b in tenant.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_tenant_dir_name`]; `None` for names this daemon
+/// could not have written (stray directories are skipped, not trusted).
+#[must_use]
+pub fn decode_tenant_dir_name(name: &str) -> Option<String> {
+    let mut bytes = Vec::with_capacity(name.len());
+    let mut chars = name.bytes();
+    while let Some(b) = chars.next() {
+        match b {
+            b'%' => {
+                let hi = chars.next()?;
+                let lo = chars.next()?;
+                let hex = [hi, lo];
+                let hex = std::str::from_utf8(&hex).ok()?;
+                bytes.push(u8::from_str_radix(hex, 16).ok()?);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-' => bytes.push(b),
+            _ => return None,
+        }
+    }
+    String::from_utf8(bytes).ok()
 }
 
 #[cfg(test)]
@@ -85,13 +341,66 @@ mod tests {
     #[test]
     fn same_key_shares_state_different_key_does_not() {
         let reg = TenantRegistry::new(TenantParams::default());
-        let a1 = reg.get_or_create("alice", SchemeId::Scheme2);
-        let a2 = reg.get_or_create("alice", SchemeId::Scheme2);
+        let a1 = reg.get_or_create("alice", SchemeId::Scheme2).unwrap();
+        let a2 = reg.get_or_create("alice", SchemeId::Scheme2).unwrap();
         assert!(Arc::ptr_eq(&a1, &a2));
-        let b = reg.get_or_create("bob", SchemeId::Scheme2);
+        let b = reg.get_or_create("bob", SchemeId::Scheme2).unwrap();
         assert!(!Arc::ptr_eq(&a1, &b));
-        let a_s1 = reg.get_or_create("alice", SchemeId::Scheme1);
+        let a_s1 = reg.get_or_create("alice", SchemeId::Scheme1).unwrap();
         assert!(!Arc::ptr_eq(&a1, &a_s1));
         assert_eq!(reg.tenant_count(), 3);
+    }
+
+    #[test]
+    fn tenant_dir_names_round_trip() {
+        for name in ["alice", "weird name/with:stuff", "100%-sure", "著者", ""] {
+            let encoded = encode_tenant_dir_name(name);
+            assert!(
+                encoded
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'%'),
+                "unsafe byte in {encoded:?}"
+            );
+            assert_eq!(decode_tenant_dir_name(&encoded).as_deref(), Some(name));
+        }
+        // Names we did not write are rejected, not guessed at.
+        assert_eq!(decode_tenant_dir_name("has space"), None);
+        assert_eq!(decode_tenant_dir_name("trailing%4"), None);
+        assert_eq!(decode_tenant_dir_name("bad%zz"), None);
+    }
+
+    #[test]
+    fn durable_registry_recovers_tenants_across_reopen() {
+        let dir = tempdir();
+        let reg = TenantRegistry::durable(
+            TenantParams::default(),
+            dir.clone(),
+            sse_storage::RealVfs::arc(),
+        );
+        assert_eq!(reg.preopen_existing().unwrap(), 0);
+        reg.get_or_create("alice", SchemeId::Scheme2).unwrap();
+        reg.get_or_create("bob", SchemeId::Scheme1).unwrap();
+        assert_eq!(reg.checkpoint_all().unwrap(), 2);
+        drop(reg);
+
+        let reg2 = TenantRegistry::durable(
+            TenantParams::default(),
+            dir.clone(),
+            sse_storage::RealVfs::arc(),
+        );
+        assert_eq!(reg2.preopen_existing().unwrap(), 2);
+        assert_eq!(reg2.tenant_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sse-tenant-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 }

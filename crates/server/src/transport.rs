@@ -9,6 +9,13 @@
 //!
 //! `BUSY` responses (bounded-queue backpressure) are retried here with
 //! exponential backoff, so schemes never observe them.
+//!
+//! On a broken connection the transport **fails the in-flight operation**
+//! (its server-side effect is unknown and the index mutations are not
+//! idempotent, so retransmitting could corrupt the index) but re-dials the
+//! daemon with bounded exponential backoff + jitter so *subsequent*
+//! operations go through once the server is back. [`TcpTransport::reconnects`]
+//! and [`TcpTransport::busy_retries`] expose what happened for reporting.
 
 use crate::proto::{
     self, Hello, SchemeId, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN,
@@ -17,7 +24,7 @@ use crate::proto::{
 use sse_net::frame::{encode_frame, FrameDecoder};
 use sse_net::link::Transport;
 use std::io::{Error, ErrorKind, Read, Result, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Initial retry delay after a `BUSY` response.
@@ -28,14 +35,26 @@ const BUSY_BACKOFF_MAX: Duration = Duration::from_millis(64);
 /// request fails with [`ErrorKind::TimedOut`] instead of blocking forever
 /// against a permanently saturated daemon.
 const BUSY_RETRY_DEADLINE: Duration = Duration::from_secs(10);
+/// How many times a broken connection is re-dialed before giving up.
+const RECONNECT_ATTEMPTS: u32 = 5;
+/// First re-dial delay; doubles per attempt (plus jitter) up to the cap.
+const RECONNECT_BACKOFF_START: Duration = Duration::from_millis(10);
+/// Re-dial backoff ceiling.
+const RECONNECT_BACKOFF_MAX: Duration = Duration::from_millis(200);
 
 /// A framed TCP connection to one tenant database on an `sse-serverd`.
 pub struct TcpTransport {
     stream: TcpStream,
     decoder: FrameDecoder,
+    /// Resolved peer address, kept for re-dialing after a broken pipe.
+    peer: SocketAddr,
+    /// Hello replayed on every (re)connection.
+    hello: Hello,
     /// Sequence number for the next request; the server echoes it in the
     /// matching response ([`HELLO_SEQ`] is reserved for the handshake).
     next_seq: u32,
+    reconnects: u64,
+    busy_retries: u64,
 }
 
 impl TcpTransport {
@@ -44,26 +63,87 @@ impl TcpTransport {
     /// # Errors
     /// Connection errors, or a rejected hello.
     pub fn connect(addr: impl ToSocketAddrs, tenant: &str, scheme: SchemeId) -> Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok(); // latency over batching
-        let mut transport = TcpTransport {
-            stream,
-            decoder: FrameDecoder::new(),
-            next_seq: HELLO_SEQ.wrapping_add(1),
-        };
+        let peer = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| Error::new(ErrorKind::InvalidInput, "address resolved to nothing"))?;
         let hello = Hello {
             tenant: tenant.to_string(),
             scheme,
         };
-        transport.send_raw(&hello.encode())?;
-        let (status, seq, _payload) = transport.read_response()?;
+        let (stream, decoder) = Self::establish(peer, &hello)?;
+        Ok(TcpTransport {
+            stream,
+            decoder,
+            peer,
+            hello,
+            next_seq: HELLO_SEQ.wrapping_add(1),
+            reconnects: 0,
+            busy_retries: 0,
+        })
+    }
+
+    /// Dial `peer` and run the hello handshake, returning a ready
+    /// stream + frame decoder pair.
+    fn establish(peer: SocketAddr, hello: &Hello) -> Result<(TcpStream, FrameDecoder)> {
+        let mut stream = TcpStream::connect(peer)?;
+        stream.set_nodelay(true).ok(); // latency over batching
+        let mut decoder = FrameDecoder::new();
+        stream.write_all(&encode_frame(&hello.encode()))?;
+        let frame = read_frame_from(&mut stream, &mut decoder)?;
+        let (status, seq, _payload) = proto::decode_response(&frame)
+            .ok_or_else(|| Error::new(ErrorKind::InvalidData, "malformed response frame"))?;
         if status != STATUS_OK || seq != HELLO_SEQ {
             return Err(Error::new(
                 ErrorKind::ConnectionRefused,
                 "server rejected hello",
             ));
         }
-        Ok(transport)
+        Ok((stream, decoder))
+    }
+
+    /// Re-dial the daemon with bounded exponential backoff + deterministic
+    /// jitter, replaying the hello. On success the transport is usable for
+    /// *new* requests; the request that exposed the broken connection has
+    /// already been failed.
+    fn reconnect(&mut self) -> Result<()> {
+        let mut delay = RECONNECT_BACKOFF_START;
+        let mut last_err = Error::new(ErrorKind::NotConnected, "no reconnect attempted");
+        for attempt in 0..RECONNECT_ATTEMPTS {
+            // Deterministic jitter (pure function of our own counters) so
+            // a herd of clients doesn't re-dial in lock-step.
+            let jitter = splitmix64(
+                self.reconnects
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(attempt)),
+            ) % 1_000;
+            std::thread::sleep(delay + Duration::from_micros(jitter));
+            delay = (delay * 2).min(RECONNECT_BACKOFF_MAX);
+            match Self::establish(self.peer, &self.hello) {
+                Ok((stream, decoder)) => {
+                    self.stream = stream;
+                    self.decoder = decoder;
+                    // Fresh connection, fresh sequence space.
+                    self.next_seq = HELLO_SEQ.wrapping_add(1);
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// How many times the transport re-established a broken connection.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// How many `BUSY` responses were absorbed by backoff-and-retry.
+    #[must_use]
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
     }
 
     fn send_raw(&mut self, body: &[u8]) -> Result<()> {
@@ -71,24 +151,7 @@ impl TcpTransport {
     }
 
     fn read_frame(&mut self) -> Result<Vec<u8>> {
-        let mut buf = [0u8; 16 * 1024];
-        loop {
-            if let Some(frame) = self
-                .decoder
-                .next_frame()
-                .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?
-            {
-                return Ok(frame);
-            }
-            let n = self.stream.read(&mut buf)?;
-            if n == 0 {
-                return Err(Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                ));
-            }
-            self.decoder.push(&buf[..n]);
-        }
+        read_frame_from(&mut self.stream, &mut self.decoder)
     }
 
     fn read_response(&mut self) -> Result<(u8, u32, Vec<u8>)> {
@@ -103,11 +166,31 @@ impl TcpTransport {
     /// request), and the response's echoed sequence number is checked
     /// against the request's.
     ///
+    /// If the connection breaks mid-round, the round **fails** (its effect
+    /// on the server is unknown; `BUSY` is the only status safe to retry,
+    /// because a `BUSY` request was never enqueued) but the transport
+    /// re-dials in the background of the error path so the *next* request
+    /// finds a live connection if the daemon recovered.
+    ///
     /// # Errors
     /// I/O errors, a server-reported protocol error, a correlation
     /// mismatch, or [`ErrorKind::TimedOut`] if the server stays `BUSY`
     /// past the retry deadline.
     pub fn request(&mut self, kind: u8, payload: &[u8]) -> Result<Vec<u8>> {
+        match self.request_once(kind, payload) {
+            Ok(body) => Ok(body),
+            Err(e) => {
+                if is_connection_error(&e) {
+                    // Heal the link for subsequent requests; the in-flight
+                    // one stays failed (at-most-once).
+                    let _ = self.reconnect();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn request_once(&mut self, kind: u8, payload: &[u8]) -> Result<Vec<u8>> {
         let mut backoff = BUSY_BACKOFF_START;
         let deadline = Instant::now() + BUSY_RETRY_DEADLINE;
         loop {
@@ -134,6 +217,7 @@ impl TcpTransport {
                             "server still BUSY after the retry deadline",
                         ));
                     }
+                    self.busy_retries += 1;
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(BUSY_BACKOFF_MAX);
                 }
@@ -167,11 +251,53 @@ impl TcpTransport {
 }
 
 impl Transport for TcpTransport {
-    /// Scheme clients assume a reliable link (the in-process transports
-    /// cannot fail), so transport-level failures surface as panics here —
-    /// the TCP analogue of a broken `Duplex` channel.
-    fn round_trip(&mut self, request: &[u8]) -> Vec<u8> {
+    fn round_trip(&mut self, request: &[u8]) -> Result<Vec<u8>> {
         self.request(KIND_DATA, request)
-            .expect("TCP transport failed")
     }
+}
+
+/// Does this error mean the connection itself is suspect (worth re-dialing)
+/// rather than a server-reported application failure?
+fn is_connection_error(e: &Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected
+            | ErrorKind::InvalidData // desynced framing: the stream is unusable
+    )
+}
+
+/// Pull one complete frame off `stream`, buffering partial reads in
+/// `decoder`. Shared by the handshake path (no `self` yet) and the
+/// request path.
+fn read_frame_from(stream: &mut TcpStream, decoder: &mut FrameDecoder) -> Result<Vec<u8>> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if let Some(frame) = decoder
+            .next_frame()
+            .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?
+        {
+            return Ok(frame);
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        decoder.push(&buf[..n]);
+    }
+}
+
+/// SplitMix64 — deterministic jitter source (no RNG dependency).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }

@@ -176,6 +176,26 @@ impl HeapFile {
         out
     }
 
+    /// Iterate the raw page images in order (each exactly
+    /// [`crate::page::PAGE_SIZE`] bytes).
+    pub fn page_images(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.pages.iter().map(|p| p.as_bytes().as_slice())
+    }
+
+    /// Stream every page into a [`crate::vfs::VfsFile`], one write per page
+    /// — so a crash while a snapshot is being written tears at a page
+    /// boundary at worst, and fault injection sees one crash point per
+    /// page rather than one per snapshot.
+    ///
+    /// # Errors
+    /// I/O errors from the file (including injected faults).
+    pub fn write_to(&self, file: &mut dyn crate::vfs::VfsFile) -> std::io::Result<()> {
+        for p in &self.pages {
+            file.write_all(p.as_bytes())?;
+        }
+        Ok(())
+    }
+
     /// Restore from snapshot bytes.
     ///
     /// # Errors

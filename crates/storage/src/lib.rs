@@ -15,7 +15,11 @@
 //!   detection on replay;
 //! * [`store`] — [`store::DocStore`]: the blob store the SSE server uses,
 //!   combining an in-memory id→record index, the heap, the WAL and
-//!   checkpointing into a snapshot file.
+//!   checkpointing into a snapshot file;
+//! * [`vfs`] — the file-I/O abstraction everything above runs on:
+//!   [`vfs::RealVfs`] (plain `std::fs`) and [`vfs::FaultVfs`] (seeded,
+//!   deterministic fault injection: failed/torn writes, failed fsyncs,
+//!   hard crash at any scheduled write point).
 //!
 //! Everything is plain `std::fs`; no external crates.
 
@@ -27,6 +31,8 @@ pub mod error;
 pub mod heap;
 pub mod page;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use error::{Result, StorageError};
+pub use vfs::{FaultConfig, FaultStats, FaultVfs, RealVfs, Vfs, VfsFile};

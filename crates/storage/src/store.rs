@@ -9,13 +9,14 @@
 //! log into an atomic snapshot (`write to temp + rename`) and resets the
 //! log. [`DocStore::open`] recovers snapshot + log after a crash.
 
-use crate::crc32::crc32;
+use crate::crc32::{crc32, Crc32};
 use crate::error::{Result, StorageError};
 use crate::heap::{HeapFile, RecordId};
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::Wal;
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SSESNAP1";
 const OP_PUT: u8 = 0;
@@ -28,9 +29,25 @@ pub struct StoreOptions {
     pub sync_on_append: bool,
 }
 
+/// What [`DocStore::open`] had to do to bring the store back: evidence of
+/// crash recovery, surfaced up to the serving layer's robustness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot file was loaded.
+    pub snapshot_loaded: bool,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records_replayed: u64,
+    /// Bytes of torn WAL tail truncated on open.
+    pub torn_bytes_truncated: u64,
+}
+
 enum Backing {
     /// Durable: WAL + snapshot files live in a directory.
-    Disk { wal: Wal, dir: PathBuf },
+    Disk {
+        wal: Wal,
+        dir: PathBuf,
+        vfs: Arc<dyn Vfs>,
+    },
     /// Ephemeral: everything in memory (benchmarks, simulators).
     Memory,
 }
@@ -40,6 +57,7 @@ pub struct DocStore {
     heap: HeapFile,
     index: BTreeMap<u64, RecordId>,
     backing: Backing,
+    recovery: RecoveryReport,
 }
 
 impl DocStore {
@@ -50,38 +68,61 @@ impl DocStore {
             heap: HeapFile::new(),
             index: BTreeMap::new(),
             backing: Backing::Memory,
+            recovery: RecoveryReport::default(),
         }
     }
 
-    /// Open (or create) a durable store in `dir`, recovering any existing
-    /// snapshot and WAL.
+    /// Open (or create) a durable store in `dir` on the real filesystem,
+    /// recovering any existing snapshot and WAL.
     ///
     /// # Errors
     /// I/O errors, or [`StorageError::Corrupt`] for damaged files.
     pub fn open(dir: &Path, opts: StoreOptions) -> Result<Self> {
-        std::fs::create_dir_all(dir)?;
+        Self::open_with_vfs(RealVfs::arc(), dir, opts)
+    }
+
+    /// [`DocStore::open`] over an explicit [`Vfs`] (fault injection runs
+    /// the whole store through a [`crate::vfs::FaultVfs`]).
+    ///
+    /// # Errors
+    /// I/O errors (including injected faults), or [`StorageError::Corrupt`]
+    /// for damaged files.
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, dir: &Path, opts: StoreOptions) -> Result<Self> {
+        vfs.create_dir_all(dir)?;
         let mut store = DocStore {
             heap: HeapFile::new(),
             index: BTreeMap::new(),
             backing: Backing::Memory, // placeholder while recovering
+            recovery: RecoveryReport::default(),
         };
         // 1. Load the snapshot, if any.
         let snap_path = dir.join("store.snapshot");
-        if snap_path.exists() {
-            store.load_snapshot(&snap_path)?;
+        if vfs.exists(&snap_path) {
+            store.load_snapshot(&vfs.read(&snap_path)?)?;
+            store.recovery.snapshot_loaded = true;
         }
         // 2. Replay the WAL on top.
         let wal_path = dir.join("store.wal");
-        for record in Wal::replay(&wal_path)? {
+        for record in Wal::replay_with_vfs(vfs.as_ref(), &wal_path)? {
             store.apply_record(&record)?;
+            store.recovery.wal_records_replayed += 1;
         }
         // 3. Open the WAL for appending (truncating any torn tail).
-        let wal = Wal::open(&wal_path, opts.sync_on_append)?;
+        let wal = Wal::open_with_vfs(vfs.clone(), &wal_path, opts.sync_on_append)?;
+        store.recovery.torn_bytes_truncated = wal.torn_bytes_truncated();
         store.backing = Backing::Disk {
             wal,
             dir: dir.to_path_buf(),
+            vfs,
         };
         Ok(store)
+    }
+
+    /// What recovery work the open performed (all-zero for in-memory
+    /// stores and clean opens).
+    #[must_use]
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery
     }
 
     /// Number of stored documents.
@@ -223,34 +264,44 @@ impl DocStore {
     /// # Errors
     /// I/O errors from the filesystem.
     pub fn checkpoint(&mut self) -> Result<()> {
-        let Backing::Disk { dir, .. } = &self.backing else {
+        let Backing::Disk { dir, vfs, .. } = &self.backing else {
             return Ok(());
         };
         let dir = dir.clone();
+        let vfs = vfs.clone();
         // Compact first so the snapshot does not persist tombstones.
         self.heap.compact_all();
 
-        let mut body = Vec::new();
-        body.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
+        // Snapshot body: index entries, heap length, then the heap pages.
+        // The heap is streamed page-by-page (never materialized twice), so
+        // the CRC is computed incrementally over the same byte sequence.
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
         for (id, rid) in &self.index {
-            body.extend_from_slice(&id.to_le_bytes());
-            body.extend_from_slice(&rid.page.to_le_bytes());
-            body.extend_from_slice(&rid.slot.to_le_bytes());
+            meta.extend_from_slice(&id.to_le_bytes());
+            meta.extend_from_slice(&rid.page.to_le_bytes());
+            meta.extend_from_slice(&rid.slot.to_le_bytes());
         }
-        let heap_bytes = self.heap.to_bytes();
-        body.extend_from_slice(&(heap_bytes.len() as u64).to_le_bytes());
-        body.extend_from_slice(&heap_bytes);
+        meta.extend_from_slice(&(self.heap.byte_size() as u64).to_le_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&meta);
+        for page in self.heap.page_images() {
+            crc.update(page);
+        }
 
         let tmp_path = dir.join("store.snapshot.tmp");
         let final_path = dir.join("store.snapshot");
         {
-            let mut f = std::fs::File::create(&tmp_path)?;
-            f.write_all(SNAPSHOT_MAGIC)?;
-            f.write_all(&crc32(&body).to_le_bytes())?;
-            f.write_all(&body)?;
+            let mut f = vfs.create(&tmp_path)?;
+            let mut header = Vec::with_capacity(12);
+            header.extend_from_slice(SNAPSHOT_MAGIC);
+            header.extend_from_slice(&crc.finalize().to_le_bytes());
+            f.write_all(&header)?;
+            f.write_all(&meta)?;
+            self.heap.write_to(f.as_mut())?;
             f.sync_data()?;
         }
-        std::fs::rename(&tmp_path, &final_path)?;
+        vfs.rename(&tmp_path, &final_path)?;
 
         if let Backing::Disk { wal, .. } = &mut self.backing {
             wal.reset()?;
@@ -258,8 +309,7 @@ impl DocStore {
         Ok(())
     }
 
-    fn load_snapshot(&mut self, path: &Path) -> Result<()> {
-        let bytes = std::fs::read(path)?;
+    fn load_snapshot(&mut self, bytes: &[u8]) -> Result<()> {
         if bytes.len() < 12 || &bytes[..8] != SNAPSHOT_MAGIC {
             return Err(StorageError::Corrupt {
                 what: "snapshot",

@@ -1,0 +1,574 @@
+//! Virtual filesystem abstraction for deterministic fault injection.
+//!
+//! Every durable structure in this crate ([`crate::wal::Wal`],
+//! [`crate::store::DocStore`], and through them the scheme servers) does its
+//! file I/O through the [`Vfs`] trait instead of `std::fs` directly. Two
+//! implementations exist:
+//!
+//! * [`RealVfs`] — a zero-cost passthrough to `std::fs`; the default.
+//! * [`FaultVfs`] — wraps another `Vfs` and injects faults on a **seeded,
+//!   deterministic schedule**: fail the N-th write, deliver a torn (partial)
+//!   write, fail an `fsync`, or simulate a hard crash at any scheduled write
+//!   point (the write is torn and every subsequent operation fails, exactly
+//!   like a process that died mid-write).
+//!
+//! The fault model is *process-crash*, not power-loss: bytes handed to a
+//! successful `write_all` are considered durable (no page-cache modeling).
+//! `sync_data` failures are injectable separately so callers' error paths
+//! are exercised, but a crash between write and sync does not lose the
+//! write. DESIGN.md §"Fault model & durability contract" spells this out.
+
+use std::io::{self, Error, ErrorKind};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An open file handle, produced by a [`Vfs`].
+pub trait VfsFile: Send {
+    /// Write all of `buf` at the current position.
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Flush file contents to stable storage.
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn sync_data(&mut self) -> io::Result<()>;
+
+    /// Truncate (or extend) the file to `len` bytes.
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+
+    /// Seek to an absolute byte offset.
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn seek_to(&mut self, pos: u64) -> io::Result<()>;
+}
+
+/// A minimal filesystem: exactly the operations the storage engine needs.
+pub trait Vfs: Send + Sync {
+    /// Read a whole file.
+    ///
+    /// # Errors
+    /// I/O errors ([`ErrorKind::NotFound`] when absent), or injected faults.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Length of the file in bytes, or `None` if it does not exist.
+    ///
+    /// # Errors
+    /// I/O errors other than not-found, or injected faults.
+    fn file_len(&self, path: &Path) -> io::Result<Option<u64>>;
+
+    /// Open a file for writing without truncating, creating it if missing.
+    /// The position starts at 0; callers seek as needed.
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Create (or truncate) a file for writing.
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Atomically rename `from` to `to` (the snapshot commit point).
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Create a directory and all its parents.
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether a file exists (false on any probe error).
+    fn exists(&self, path: &Path) -> bool {
+        matches!(self.file_len(path), Ok(Some(_)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RealVfs
+// ---------------------------------------------------------------------------
+
+/// Passthrough to `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+impl RealVfs {
+    /// A shared handle to the real filesystem.
+    #[must_use]
+    pub fn arc() -> Arc<dyn Vfs> {
+        Arc::new(RealVfs)
+    }
+}
+
+struct RealFile(std::fs::File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        use std::io::Seek;
+        self.0.seek(std::io::SeekFrom::Start(pos)).map(|_| ())
+    }
+}
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<Option<u64>> {
+        match std::fs::metadata(path) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(std::fs::File::create(path)?)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+// ---------------------------------------------------------------------------
+
+/// Which faults a [`FaultVfs`] injects, all on 1-based operation indices.
+/// Every field is independent; `None` disables that fault.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultConfig {
+    /// Seed for the deterministic schedule (torn-prefix lengths).
+    pub seed: u64,
+    /// Fail the N-th `write_all` cleanly: no bytes reach the file.
+    pub fail_write_at: Option<u64>,
+    /// Tear the N-th `write_all`: a seeded strict prefix of the buffer is
+    /// written, then the call fails.
+    pub torn_write_at: Option<u64>,
+    /// Fail the N-th `sync_data`.
+    pub fail_sync_at: Option<u64>,
+    /// Hard crash at the N-th `write_all`: the write is torn (seeded
+    /// prefix) and **every** subsequent operation on this VFS fails.
+    pub crash_at_write: Option<u64>,
+}
+
+/// Shared counters exposing what a [`FaultVfs`] saw and injected.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    /// Total `write_all` calls observed (the crash-point count).
+    pub writes_seen: AtomicU64,
+    /// Total `sync_data` calls observed.
+    pub syncs_seen: AtomicU64,
+    /// Faults injected of any kind.
+    pub injected_faults: AtomicU64,
+    /// Writes delivered torn (partial prefix then failure).
+    pub torn_writes: AtomicU64,
+    /// `sync_data` calls failed.
+    pub failed_syncs: AtomicU64,
+    /// Writes failed cleanly (zero bytes written).
+    pub failed_writes: AtomicU64,
+    /// Whether the simulated hard crash has happened.
+    pub crashed: AtomicBool,
+}
+
+impl FaultStats {
+    /// Total faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected_faults.load(Ordering::Relaxed)
+    }
+
+    /// Total writes observed so far (use a fault-free counting run to
+    /// enumerate the crash points of a workload).
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes_seen.load(Ordering::Relaxed)
+    }
+}
+
+/// SplitMix64 — tiny, seedable, deterministic; used only to derive torn
+/// prefix lengths, never for cryptography.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct FaultState {
+    cfg: FaultConfig,
+    stats: Arc<FaultStats>,
+}
+
+impl FaultState {
+    fn crashed_err() -> Error {
+        Error::other("injected fault: simulated crash (all I/O dead)")
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.stats.crashed.load(Ordering::SeqCst) {
+            return Err(Self::crashed_err());
+        }
+        Ok(())
+    }
+
+    /// Gate one write: returns `Ok(None)` to pass the full buffer through,
+    /// `Ok(Some(prefix_len))` to write only a prefix then report failure —
+    /// the caller must then return the supplied error.
+    fn on_write(&self, buf_len: usize) -> Result<Option<usize>, Error> {
+        self.check_alive()?;
+        let n = self.stats.writes_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        let torn_prefix = |salt: u64| {
+            if buf_len == 0 {
+                0
+            } else {
+                (splitmix64(self.cfg.seed ^ n ^ salt) % buf_len as u64) as usize
+            }
+        };
+        if self.cfg.crash_at_write == Some(n) {
+            self.stats.crashed.store(true, Ordering::SeqCst);
+            self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(torn_prefix(0xC4A5)));
+        }
+        if self.cfg.torn_write_at == Some(n) {
+            self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(torn_prefix(0x70BB)));
+        }
+        if self.cfg.fail_write_at == Some(n) {
+            self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::other(format!("injected fault: write {n} failed")));
+        }
+        Ok(None)
+    }
+
+    fn on_sync(&self) -> io::Result<()> {
+        self.check_alive()?;
+        let n = self.stats.syncs_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.cfg.fail_sync_at == Some(n) {
+            self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.stats.failed_syncs.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::other(format!("injected fault: fsync {n} failed")));
+        }
+        Ok(())
+    }
+}
+
+/// A [`Vfs`] that injects deterministic faults into an inner VFS.
+///
+/// One `FaultVfs` shares one schedule across every file opened through it,
+/// so "the N-th write" counts globally — exactly what a crash-at-every-
+/// write-point torture loop needs.
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    state: Arc<FaultState>,
+}
+
+impl FaultVfs {
+    /// Wrap `inner` with the fault schedule in `cfg`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Vfs>, cfg: FaultConfig) -> Self {
+        FaultVfs {
+            inner,
+            state: Arc::new(FaultState {
+                cfg,
+                stats: Arc::new(FaultStats::default()),
+            }),
+        }
+    }
+
+    /// Fault-free wrapper over the real filesystem that only counts
+    /// operations — the "counting run" enumerating a workload's write
+    /// points.
+    #[must_use]
+    pub fn counting() -> Self {
+        FaultVfs::new(RealVfs::arc(), FaultConfig::default())
+    }
+
+    /// Real-filesystem wrapper that hard-crashes at write point `n`
+    /// (1-based), tearing that write on a schedule derived from `seed`.
+    #[must_use]
+    pub fn crashing_at(seed: u64, n: u64) -> Self {
+        FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                seed,
+                crash_at_write: Some(n),
+                ..FaultConfig::default()
+            },
+        )
+    }
+
+    /// The shared fault counters.
+    #[must_use]
+    pub fn stats(&self) -> Arc<FaultStats> {
+        self.state.stats.clone()
+    }
+
+    /// Whether the simulated crash has fired.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.state.stats.crashed.load(Ordering::SeqCst)
+    }
+}
+
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    state: Arc<FaultState>,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.state.on_write(buf.len())? {
+            None => self.inner.write_all(buf),
+            Some(prefix) => {
+                // Deliver the torn prefix through the inner file, then fail.
+                self.inner.write_all(&buf[..prefix])?;
+                Err(Error::other(format!(
+                    "injected fault: torn write ({prefix} of {} bytes)",
+                    buf.len()
+                )))
+            }
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.state.on_sync()?;
+        self.inner.sync_data()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.state.check_alive()?;
+        self.inner.set_len(len)
+    }
+
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        self.state.check_alive()?;
+        self.inner.seek_to(pos)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.state.check_alive()?;
+        self.inner.read(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<Option<u64>> {
+        self.state.check_alive()?;
+        self.inner.file_len(path)
+    }
+
+    fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.state.check_alive()?;
+        Ok(Box::new(FaultFile {
+            inner: self.inner.open_write(path)?,
+            state: self.state.clone(),
+        }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.state.check_alive()?;
+        Ok(Box::new(FaultFile {
+            inner: self.inner.create(path)?,
+            state: self.state.clone(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.state.check_alive()?;
+        self.inner.rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.state.check_alive()?;
+        self.inner.create_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "sse-vfs-test-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    use std::path::PathBuf;
+
+    #[test]
+    fn real_vfs_round_trip() {
+        let path = temp_file("real");
+        let vfs = RealVfs;
+        {
+            let mut f = vfs.create(&path).unwrap();
+            f.write_all(b"hello ").unwrap();
+            f.write_all(b"world").unwrap();
+            f.sync_data().unwrap();
+        }
+        assert_eq!(vfs.read(&path).unwrap(), b"hello world");
+        assert_eq!(vfs.file_len(&path).unwrap(), Some(11));
+        assert!(vfs.exists(&path));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fault_vfs_counts_writes() {
+        let path = temp_file("count");
+        let vfs = FaultVfs::counting();
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"a").unwrap();
+        f.write_all(b"b").unwrap();
+        f.sync_data().unwrap();
+        assert_eq!(vfs.stats().writes(), 2);
+        assert_eq!(vfs.stats().syncs_seen.load(Ordering::Relaxed), 1);
+        assert_eq!(vfs.stats().injected(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fail_nth_write_writes_nothing() {
+        let path = temp_file("failw");
+        let vfs = FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                fail_write_at: Some(2),
+                ..FaultConfig::default()
+            },
+        );
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"one").unwrap();
+        assert!(f.write_all(b"two").is_err());
+        f.write_all(b"three").unwrap(); // only write 2 was scheduled
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"onethree");
+        assert_eq!(vfs.stats().failed_writes.load(Ordering::Relaxed), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_write_delivers_strict_prefix() {
+        let path = temp_file("torn");
+        let vfs = FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                seed: 7,
+                torn_write_at: Some(1),
+                ..FaultConfig::default()
+            },
+        );
+        let mut f = vfs.create(&path).unwrap();
+        assert!(f.write_all(b"0123456789").is_err());
+        drop(f);
+        let written = vfs.read(&path).unwrap();
+        assert!(written.len() < 10, "torn write must be a strict prefix");
+        assert_eq!(&written[..], &b"0123456789"[..written.len()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_length_is_deterministic_per_seed() {
+        let lens: Vec<usize> = (0..2)
+            .map(|_| {
+                let path = temp_file("det");
+                let vfs = FaultVfs::new(
+                    RealVfs::arc(),
+                    FaultConfig {
+                        seed: 42,
+                        torn_write_at: Some(1),
+                        ..FaultConfig::default()
+                    },
+                );
+                let mut f = vfs.create(&path).unwrap();
+                let _ = f.write_all(&[0xAB; 100]);
+                drop(f);
+                let len = vfs.read(&path).unwrap().len();
+                std::fs::remove_file(&path).unwrap();
+                len
+            })
+            .collect();
+        assert_eq!(lens[0], lens[1], "same seed, same torn length");
+    }
+
+    #[test]
+    fn crash_kills_all_subsequent_io() {
+        let path = temp_file("crash");
+        let vfs = FaultVfs::crashing_at(3, 1);
+        let mut f = vfs.create(&path).unwrap();
+        assert!(f.write_all(b"doomed").is_err());
+        assert!(vfs.crashed());
+        // Everything after the crash fails: writes, syncs, opens, renames.
+        assert!(f.write_all(b"more").is_err());
+        assert!(f.sync_data().is_err());
+        assert!(vfs.create(&temp_file("crash2")).is_err());
+        assert!(vfs.read(&path).is_err());
+        assert!(vfs.rename(&path, &temp_file("crash3")).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsync_fault_fires_once() {
+        let path = temp_file("sync");
+        let vfs = FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                fail_sync_at: Some(1),
+                ..FaultConfig::default()
+            },
+        );
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"x").unwrap();
+        assert!(f.sync_data().is_err());
+        f.sync_data().unwrap();
+        assert_eq!(vfs.stats().failed_syncs.load(Ordering::Relaxed), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -5,48 +5,63 @@
 //! terminates the scan — everything before it is considered durable, the
 //! torn tail is truncated. This is the standard redo-log contract: an
 //! operation is durable once `append` (with sync) returns.
+//!
+//! All file I/O goes through a [`crate::vfs::Vfs`], so the WAL can run over
+//! the real filesystem or a fault-injecting one. Each `append` issues the
+//! whole frame as **one** `write_all` — a single crash point per record —
+//! so a torn append always tears inside one CRC-framed record and recovery
+//! truncates exactly that record.
 
 use crate::crc32::crc32;
 use crate::error::{Result, StorageError};
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
+use crate::vfs::{RealVfs, Vfs, VfsFile};
+use std::path::Path;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Append-only write-ahead log backed by a file.
 pub struct Wal {
     path: PathBuf,
-    writer: BufWriter<File>,
+    file: Box<dyn VfsFile>,
     /// Durable length in bytes (end of the last valid record).
     len: u64,
+    /// Bytes of torn tail truncated when this log was opened.
+    torn_bytes_truncated: u64,
     /// Whether `append` fsyncs. Experiments disable it; the store's
     /// durability tests enable it.
     sync_on_append: bool,
 }
 
 impl Wal {
-    /// Open (or create) the log at `path`, scanning for its valid prefix
-    /// and truncating any torn tail.
+    /// Open (or create) the log at `path` on the real filesystem, scanning
+    /// for its valid prefix and truncating any torn tail.
     ///
     /// # Errors
     /// I/O errors from the filesystem.
     pub fn open(path: &Path, sync_on_append: bool) -> Result<Self> {
-        let valid_len = match std::fs::metadata(path) {
-            Ok(_) => Self::scan_valid_prefix(path)?,
-            Err(_) => 0,
+        Self::open_with_vfs(RealVfs::arc(), path, sync_on_append)
+    }
+
+    /// [`Wal::open`] over an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// I/O errors from the VFS (including injected faults).
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, path: &Path, sync_on_append: bool) -> Result<Self> {
+        let (valid_len, file_len) = match vfs.file_len(path)? {
+            Some(file_len) => {
+                let bytes = vfs.read(path)?;
+                (scan_valid_prefix(&bytes), file_len)
+            }
+            None => (0, 0),
         };
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .write(true)
-            .truncate(false)
-            .open(path)?;
+        let mut file = vfs.open_write(path)?;
         file.set_len(valid_len)?;
-        let mut writer = BufWriter::new(file);
-        writer.seek(SeekFrom::Start(valid_len))?;
+        file.seek_to(valid_len)?;
         Ok(Wal {
             path: path.to_path_buf(),
-            writer,
+            file,
             len: valid_len,
+            torn_bytes_truncated: file_len.saturating_sub(valid_len),
             sync_on_append,
         })
     }
@@ -57,32 +72,15 @@ impl Wal {
         self.len
     }
 
-    /// Scan the file, returning the byte length of the valid record prefix.
-    fn scan_valid_prefix(path: &Path) -> Result<u64> {
-        let mut file = File::open(path)?;
-        let file_len = file.metadata()?.len();
-        let mut buf = Vec::new();
-        file.read_to_end(&mut buf)?;
-        debug_assert_eq!(buf.len() as u64, file_len);
-        let mut pos = 0usize;
-        loop {
-            if pos + 8 > buf.len() {
-                return Ok(pos as u64);
-            }
-            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let body_start = pos + 8;
-            if body_start + len > buf.len() {
-                return Ok(pos as u64);
-            }
-            if crc32(&buf[body_start..body_start + len]) != crc {
-                return Ok(pos as u64);
-            }
-            pos = body_start + len;
-        }
+    /// Bytes of torn tail discarded when this log was opened (0 for a
+    /// cleanly closed log).
+    #[must_use]
+    pub fn torn_bytes_truncated(&self) -> u64 {
+        self.torn_bytes_truncated
     }
 
     /// Append one record; durable on return when `sync_on_append` is set.
+    /// The whole frame is issued as a single write.
     ///
     /// # Errors
     /// I/O errors from the filesystem.
@@ -91,30 +89,38 @@ impl Wal {
             size: payload.len(),
             max: u32::MAX as usize,
         })?;
-        self.writer.write_all(&len.to_le_bytes())?;
-        self.writer.write_all(&crc32(payload).to_le_bytes())?;
-        self.writer.write_all(payload)?;
-        self.writer.flush()?;
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
         if self.sync_on_append {
-            self.writer.get_ref().sync_data()?;
+            self.file.sync_data()?;
         }
         self.len += 8 + u64::from(len);
         Ok(())
     }
 
-    /// Read every valid record from the start of the log.
+    /// Read every valid record from the start of the log on the real
+    /// filesystem.
     ///
     /// # Errors
     /// I/O errors from the filesystem. Torn tails are not errors; they
     /// simply end the iteration.
     pub fn replay(path: &Path) -> Result<Vec<Vec<u8>>> {
-        let mut file = match File::open(path) {
-            Ok(f) => f,
+        Self::replay_with_vfs(&RealVfs, path)
+    }
+
+    /// [`Wal::replay`] over an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// I/O errors from the VFS (including injected faults).
+    pub fn replay_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Vec<Vec<u8>>> {
+        let buf = match vfs.read(path) {
+            Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e.into()),
         };
-        let mut buf = Vec::new();
-        file.read_to_end(&mut buf)?;
         let mut records = Vec::new();
         let mut pos = 0usize;
         loop {
@@ -138,10 +144,9 @@ impl Wal {
     /// # Errors
     /// I/O errors from the filesystem.
     pub fn reset(&mut self) -> Result<()> {
-        self.writer.flush()?;
-        self.writer.get_ref().set_len(0)?;
-        self.writer.seek(SeekFrom::Start(0))?;
-        self.writer.get_ref().sync_data()?;
+        self.file.set_len(0)?;
+        self.file.seek_to(0)?;
+        self.file.sync_data()?;
         self.len = 0;
         Ok(())
     }
@@ -153,9 +158,31 @@ impl Wal {
     }
 }
 
+/// Scan a log image, returning the byte length of the valid record prefix.
+fn scan_valid_prefix(buf: &[u8]) -> u64 {
+    let mut pos = 0usize;
+    loop {
+        if pos + 8 > buf.len() {
+            return pos as u64;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let body_start = pos + 8;
+        if body_start + len > buf.len() {
+            return pos as u64;
+        }
+        if crc32(&buf[body_start..body_start + len]) != crc {
+            return pos as u64;
+        }
+        pos = body_start + len;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultConfig, FaultVfs};
+    use std::io::Write;
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -208,6 +235,7 @@ mod tests {
         // Re-opening truncates the tail and appending continues cleanly.
         {
             let mut wal = Wal::open(&path, false).unwrap();
+            assert_eq!(wal.torn_bytes_truncated(), 24);
             wal.append(b"after recovery").unwrap();
         }
         assert_eq!(
@@ -268,5 +296,60 @@ mod tests {
         drop(wal);
         assert_eq!(Wal::replay(&path).unwrap(), vec![b"synced".to_vec()]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_append_recovers_to_previous_record() {
+        // A FaultVfs tears the second append mid-frame; reopening must
+        // recover exactly the first record and report the torn bytes.
+        let path = temp_path("fault-torn");
+        let vfs = Arc::new(FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                seed: 99,
+                torn_write_at: Some(2),
+                ..FaultConfig::default()
+            },
+        ));
+        {
+            let mut wal = Wal::open_with_vfs(vfs.clone(), &path, false).unwrap();
+            wal.append(b"kept").unwrap();
+            assert!(wal.append(b"torn away entirely").is_err());
+        }
+        let mut wal = Wal::open(&path, false).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap(), vec![b"kept".to_vec()]);
+        // Appending after recovery continues cleanly.
+        wal.append(b"next").unwrap();
+        drop(wal);
+        assert_eq!(
+            Wal::replay(&path).unwrap(),
+            vec![b"kept".to_vec(), b"next".to_vec()]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_at_every_append_point_preserves_prefix() {
+        // For each k, crash at write k of a 5-record workload; replay must
+        // yield exactly the first k-1 records (write k tears).
+        for k in 1..=5u64 {
+            let path = temp_path(&format!("crash-{k}"));
+            let vfs = Arc::new(FaultVfs::crashing_at(k, k));
+            let mut wal = Wal::open_with_vfs(vfs, &path, false).unwrap();
+            let mut completed = 0u64;
+            for i in 0..5u64 {
+                match wal.append(format!("record-{i}").as_bytes()) {
+                    Ok(()) => completed += 1,
+                    Err(_) => break,
+                }
+            }
+            assert_eq!(completed, k - 1);
+            let records = Wal::replay(&path).unwrap();
+            assert_eq!(records.len() as u64, completed, "crash point {k}");
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r, format!("record-{i}").as_bytes());
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 }

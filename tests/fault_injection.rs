@@ -1,0 +1,515 @@
+//! Deterministic fault-injection torture tests.
+//!
+//! Two fault surfaces, both on seeded schedules (`FAULT_SEED` env var
+//! overrides the default so CI can sweep several schedules):
+//!
+//! * **Storage crashes** — a ~100-op trace per scheme is first run under a
+//!   counting [`FaultVfs`] to enumerate every scheduled write point, then
+//!   re-run once per write point with a hard crash (torn final write, all
+//!   later I/O refused). After each crash the directory is reopened through
+//!   the real filesystem and every keyword is probed: the observable state
+//!   must equal the oracle after exactly `completed` or `completed + 1`
+//!   ops — each op is atomically in or out, never half-applied.
+//!
+//! * **Network faults** — the same style of trace runs over a
+//!   [`FaultyLink`] that drops, truncates (executed but response lost),
+//!   duplicates, and delays whole rounds. Every op either returns the
+//!   oracle answer or a clean error; a search may additionally see ops
+//!   whose ack was lost (in-doubt), but never an id that was neither
+//!   confirmed nor in-doubt — no silent wrong answers.
+
+use sse_repro::core::scheme1::{Scheme1Client, Scheme1Config, Scheme1Server};
+use sse_repro::core::scheme2::{Scheme2Client, Scheme2ClientState, Scheme2Config, Scheme2Server};
+use sse_repro::core::types::{Document, Keyword, MasterKey, SearchHits};
+use sse_repro::net::fault::{FaultyLink, NetFaultConfig};
+use sse_repro::net::link::MeteredLink;
+use sse_repro::net::meter::Meter;
+use sse_repro::storage::FaultVfs;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const KEYWORDS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+/// Scheme 1 document-id capacity (bit-array length per keyword).
+const CAPACITY: u64 = 128;
+/// Length of the torture trace.
+const TRACE_OPS: usize = 100;
+
+/// Seed for every schedule in this file. CI runs the suite under several
+/// distinct `FAULT_SEED` values; locally it defaults to a fixed seed so
+/// failures reproduce.
+fn fault_seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD15A57E2)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sse-fault-{name}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+enum Op {
+    Store(Document),
+    Search(Keyword),
+}
+
+fn doc_data(id: u64) -> Vec<u8> {
+    format!("doc-{id}").into_bytes()
+}
+
+/// Seeded mixed trace: ~70% single-document stores (1–2 keywords from the
+/// universe), ~30% searches. Ids are sequential so every doc fits the
+/// scheme-1 capacity and data is reconstructible from the id alone.
+fn build_trace(seed: u64) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(TRACE_OPS);
+    let mut next_id = 0u64;
+    for i in 0..TRACE_OPS {
+        let roll = splitmix64(seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        if roll % 10 < 3 && next_id > 0 {
+            let kw = KEYWORDS[(roll >> 8) as usize % KEYWORDS.len()];
+            ops.push(Op::Search(Keyword::new(kw)));
+        } else {
+            let id = next_id;
+            next_id += 1;
+            assert!(id < CAPACITY, "trace outgrew the scheme-1 capacity");
+            let mut kws = BTreeSet::new();
+            kws.insert(KEYWORDS[(roll >> 8) as usize % KEYWORDS.len()]);
+            kws.insert(KEYWORDS[(roll >> 16) as usize % KEYWORDS.len()]);
+            ops.push(Op::Store(Document::new(id, doc_data(id), kws)));
+        }
+    }
+    ops
+}
+
+/// Keyword → set of matching doc ids: the observable state of an index.
+type Index = BTreeMap<Keyword, BTreeSet<u64>>;
+
+fn empty_index() -> Index {
+    KEYWORDS
+        .iter()
+        .map(|k| (Keyword::new(*k), BTreeSet::new()))
+        .collect()
+}
+
+/// `oracle[c]` = the true index after the first `c` ops of `trace`.
+fn oracle_states(trace: &[Op]) -> Vec<Index> {
+    let mut states = Vec::with_capacity(trace.len() + 1);
+    let mut cur = empty_index();
+    states.push(cur.clone());
+    for op in trace {
+        if let Op::Store(doc) = op {
+            for kw in &doc.keywords {
+                cur.get_mut(kw).unwrap().insert(doc.id);
+            }
+        }
+        states.push(cur.clone());
+    }
+    states
+}
+
+/// Collapse search hits to an id set, checking payload integrity on the
+/// way: a durable (or faulty-network) server may omit documents, but it
+/// must never return wrong bytes for an id it does return.
+fn ids_checked(hits: &SearchHits) -> BTreeSet<u64> {
+    for (id, data) in hits {
+        assert_eq!(*data, doc_data(*id), "corrupt payload for doc {id}");
+    }
+    hits.iter().map(|(id, _)| *id).collect()
+}
+
+/// Probe every keyword through `search`, building the observable index.
+fn observe(mut search: impl FnMut(&Keyword) -> SearchHits) -> Index {
+    KEYWORDS
+        .iter()
+        .map(|k| {
+            let kw = Keyword::new(*k);
+            let ids = ids_checked(&search(&kw));
+            (kw, ids)
+        })
+        .collect()
+}
+
+/// Assert the post-crash observable index matches the oracle after
+/// `completed` ops, or after `completed + 1` (the crashed op's final
+/// journal write may have survived intact even though the client saw an
+/// error) — one consistent prefix, nothing in between.
+fn assert_prefix(observed: &Index, oracle: &[Index], completed: usize, context: &str) {
+    let lo = &oracle[completed];
+    let hi = &oracle[(completed + 1).min(oracle.len() - 1)];
+    assert!(
+        observed == lo || observed == hi,
+        "{context}: recovered state is not an op-atomic prefix \
+         (completed {completed} ops)\nobserved: {observed:?}\nexpected: {lo:?}\n \
+         or: {hi:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Storage crash sweeps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scheme1_crash_at_every_write_point_is_op_atomic() {
+    let seed = fault_seed();
+    let trace = build_trace(seed);
+    let oracle = oracle_states(&trace);
+    let config = Scheme1Config::fast_profile(CAPACITY);
+    let key = MasterKey::from_seed(seed ^ 0x51);
+
+    // Counting run: enumerate the workload's write points (the count
+    // depends only on the op sequence, so it transfers to the crash runs).
+    let count_dir = temp_dir("s1-count");
+    let counting = FaultVfs::counting();
+    let stats = counting.stats();
+    {
+        let server =
+            Scheme1Server::open_durable_with_vfs(Arc::new(counting), CAPACITY, &count_dir).unwrap();
+        let mut client = Scheme1Client::new_seeded(
+            MeteredLink::new(server, Meter::new()),
+            key.clone(),
+            config.clone(),
+            1,
+        );
+        for (i, op) in trace.iter().enumerate() {
+            match op {
+                Op::Store(doc) => client.store(std::slice::from_ref(doc)).unwrap(),
+                Op::Search(kw) => {
+                    // Fault-free runs must answer exactly.
+                    let ids = ids_checked(&client.search(kw).unwrap());
+                    assert_eq!(&ids, &oracle[i][kw], "fault-free search diverged at op {i}");
+                }
+            }
+        }
+    }
+    let write_points = stats.writes();
+    let _ = std::fs::remove_dir_all(&count_dir);
+    assert!(write_points > 0, "workload scheduled no writes");
+
+    let mut recoveries = 0u64;
+    for k in 1..=write_points {
+        let dir = temp_dir("s1-crash");
+        let vfs = FaultVfs::crashing_at(seed, k);
+        // Drive until the crash kills the "process": the first error ends
+        // the run, exactly like a real crash ends a real process.
+        let completed = match Scheme1Server::open_durable_with_vfs(Arc::new(vfs), CAPACITY, &dir) {
+            Err(_) => 0,
+            Ok(server) => {
+                let mut client = Scheme1Client::new_seeded(
+                    MeteredLink::new(server, Meter::new()),
+                    key.clone(),
+                    config.clone(),
+                    1,
+                );
+                let mut completed = 0usize;
+                for op in &trace {
+                    let res = match op {
+                        Op::Store(doc) => client.store(std::slice::from_ref(doc)),
+                        Op::Search(kw) => client.search(kw).map(|_| ()),
+                    };
+                    if res.is_err() {
+                        break;
+                    }
+                    completed += 1;
+                }
+                completed
+            }
+        };
+
+        // The crashed process is gone; recover through the real
+        // filesystem, as a restart would.
+        let server = Scheme1Server::open_durable(CAPACITY, &dir).unwrap();
+        if server.recovery().recovered_anything() {
+            recoveries += 1;
+        }
+        // Scheme 1 clients are stateless beyond the master key: a fresh
+        // client (any rng seed) can search everything the dead one wrote.
+        let mut probe = Scheme1Client::new_seeded(
+            MeteredLink::new(server, Meter::new()),
+            key.clone(),
+            config.clone(),
+            7,
+        );
+        let observed = observe(|kw| probe.search(kw).unwrap());
+        assert_prefix(
+            &observed,
+            &oracle,
+            completed,
+            &format!("crash at write {k}"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        recoveries > 0,
+        "{write_points} crash points never exercised recovery"
+    );
+}
+
+#[test]
+fn scheme2_crash_at_every_write_point_is_op_atomic() {
+    let seed = fault_seed();
+    let trace = build_trace(seed ^ 0x2222);
+    let oracle = oracle_states(&trace);
+    // CtrPolicy::Always (the base profile) makes the counter a pure
+    // function of attempted updates, so crash recovery can restore it
+    // without consulting the server.
+    let config = Scheme2Config::base(512);
+    let key = MasterKey::from_seed(seed ^ 0x52);
+
+    let count_dir = temp_dir("s2-count");
+    let counting = FaultVfs::counting();
+    let stats = counting.stats();
+    {
+        let server =
+            Scheme2Server::open_durable_with_vfs(Arc::new(counting), config.clone(), &count_dir)
+                .unwrap();
+        let mut client = Scheme2Client::new_seeded(
+            MeteredLink::new(server, Meter::new()),
+            key.clone(),
+            config.clone(),
+            1,
+        );
+        for (i, op) in trace.iter().enumerate() {
+            match op {
+                Op::Store(doc) => client.store(std::slice::from_ref(doc)).unwrap(),
+                Op::Search(kw) => {
+                    let ids = ids_checked(&client.search(kw).unwrap());
+                    assert_eq!(&ids, &oracle[i][kw], "fault-free search diverged at op {i}");
+                }
+            }
+        }
+    }
+    let write_points = stats.writes();
+    let _ = std::fs::remove_dir_all(&count_dir);
+    assert!(write_points > 0, "workload scheduled no writes");
+
+    let mut recoveries = 0u64;
+    for k in 1..=write_points {
+        let dir = temp_dir("s2-crash");
+        let vfs = FaultVfs::crashing_at(seed, k);
+        let (completed, attempted_updates) =
+            match Scheme2Server::open_durable_with_vfs(Arc::new(vfs), config.clone(), &dir) {
+                Err(_) => (0, 0),
+                Ok(server) => {
+                    let mut client = Scheme2Client::new_seeded(
+                        MeteredLink::new(server, Meter::new()),
+                        key.clone(),
+                        config.clone(),
+                        1,
+                    );
+                    let mut completed = 0usize;
+                    let mut attempted = 0u64;
+                    for op in &trace {
+                        let res = match op {
+                            Op::Store(doc) => {
+                                // Write-ahead: count the update before
+                                // issuing it, so the restored counter is
+                                // valid whether or not the crashed op's
+                                // generation landed.
+                                attempted += 1;
+                                client.store(std::slice::from_ref(doc))
+                            }
+                            Op::Search(kw) => client.search(kw).map(|_| ()),
+                        };
+                        if res.is_err() {
+                            break;
+                        }
+                        completed += 1;
+                    }
+                    (completed, attempted)
+                }
+            };
+
+        let server = Scheme2Server::open_durable(config.clone(), &dir).unwrap();
+        if server.recovery().recovered_anything() {
+            recoveries += 1;
+        }
+        // Scheme 2 clients carry a counter; restore it at the attempted
+        // count. If the crashed update never landed, the trapdoor is one
+        // step ahead and the server's chain walk absorbs the gap.
+        let mut probe = Scheme2Client::new_seeded(
+            MeteredLink::new(server, Meter::new()),
+            key.clone(),
+            config.clone(),
+            7,
+        );
+        probe.restore_state(Scheme2ClientState {
+            ctr: attempted_updates,
+            epoch: 0,
+            searched_since_update: true,
+        });
+        let observed = observe(|kw| probe.search(kw).unwrap());
+        assert_prefix(
+            &observed,
+            &oracle,
+            completed,
+            &format!("crash at write {k}"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        recoveries > 0,
+        "{write_points} crash points never exercised recovery"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Network fault traces
+// ---------------------------------------------------------------------------
+
+fn torture_net_config(seed: u64) -> NetFaultConfig {
+    NetFaultConfig {
+        seed,
+        drop_per_mille: 60,
+        truncate_per_mille: 60,
+        duplicate_per_mille: 40,
+        delay_per_mille: 40,
+        delay_micros: 50,
+        forced: Vec::new(),
+    }
+}
+
+/// Check one successful search against the confirmed/in-doubt ledgers:
+/// everything acknowledged must be present, and nothing outside
+/// `confirmed ∪ in-doubt` may ever appear.
+fn assert_no_silent_lies(kw: &Keyword, ids: &BTreeSet<u64>, confirmed: &Index, indoubt: &Index) {
+    let c = &confirmed[kw];
+    let d = &indoubt[kw];
+    assert!(
+        c.is_subset(ids),
+        "search {kw} lost acknowledged docs: expected ⊇ {c:?}, got {ids:?}"
+    );
+    for id in ids {
+        assert!(
+            c.contains(id) || d.contains(id),
+            "search {kw} fabricated doc {id} (confirmed {c:?}, in-doubt {d:?})"
+        );
+    }
+}
+
+#[test]
+fn scheme1_network_faults_fail_clean_or_answer_truthfully() {
+    let seed = fault_seed();
+    let trace = build_trace(seed ^ 0x1111);
+    let config = Scheme1Config::fast_profile(CAPACITY);
+    let key = MasterKey::from_seed(seed ^ 0x61);
+
+    let server = Scheme1Server::new_in_memory(CAPACITY);
+    let link = FaultyLink::new(
+        MeteredLink::new(server, Meter::new()),
+        torture_net_config(seed),
+    );
+    let stats = link.stats();
+    let mut client = Scheme1Client::new_seeded(link, key, config, 3);
+
+    let mut confirmed = empty_index();
+    let mut indoubt = empty_index();
+    let (mut ok_ops, mut failed_ops) = (0u64, 0u64);
+    for op in &trace {
+        match op {
+            Op::Store(doc) => match client.store(std::slice::from_ref(doc)) {
+                Ok(()) => {
+                    ok_ops += 1;
+                    for kw in &doc.keywords {
+                        confirmed.get_mut(kw).unwrap().insert(doc.id);
+                    }
+                }
+                Err(_) => {
+                    // Clean failure; the op may or may not have landed
+                    // (a lost response after execution). Track it as
+                    // in-doubt — it may legitimately show up later.
+                    failed_ops += 1;
+                    for kw in &doc.keywords {
+                        indoubt.get_mut(kw).unwrap().insert(doc.id);
+                    }
+                }
+            },
+            Op::Search(kw) => match client.search(kw) {
+                Ok(hits) => {
+                    ok_ops += 1;
+                    assert_no_silent_lies(kw, &ids_checked(&hits), &confirmed, &indoubt);
+                }
+                Err(_) => failed_ops += 1,
+            },
+        }
+    }
+    assert!(stats.injected() > 0, "schedule injected nothing — vacuous");
+    assert!(failed_ops > 0, "no op ever failed — schedule too quiet");
+    assert!(
+        ok_ops > trace.len() as u64 / 2,
+        "too few ops survived ({ok_ops} ok / {failed_ops} failed)"
+    );
+}
+
+#[test]
+fn scheme2_network_faults_fail_clean_or_answer_truthfully() {
+    let seed = fault_seed();
+    let trace = build_trace(seed ^ 0x3333);
+    let config = Scheme2Config::base(512);
+    let key = MasterKey::from_seed(seed ^ 0x62);
+
+    let server = Scheme2Server::new_in_memory(config.clone());
+    let link = FaultyLink::new(
+        MeteredLink::new(server, Meter::new()),
+        torture_net_config(seed ^ 0x9999),
+    );
+    let stats = link.stats();
+    let mut client = Scheme2Client::new_seeded(link, key, config, 3);
+
+    let mut confirmed = empty_index();
+    let mut indoubt = empty_index();
+    let (mut ok_ops, mut failed_ops) = (0u64, 0u64);
+    for op in &trace {
+        match op {
+            Op::Store(doc) => match client.store(std::slice::from_ref(doc)) {
+                Ok(()) => {
+                    ok_ops += 1;
+                    for kw in &doc.keywords {
+                        confirmed.get_mut(kw).unwrap().insert(doc.id);
+                    }
+                }
+                Err(_) => {
+                    failed_ops += 1;
+                    for kw in &doc.keywords {
+                        indoubt.get_mut(kw).unwrap().insert(doc.id);
+                    }
+                    // Write-ahead resync: advance the counter as if the
+                    // lost update landed. If it didn't, the trapdoor is
+                    // ahead and the server's chain walk unlocks the
+                    // older generations anyway.
+                    let mut st = client.state();
+                    st.ctr += 1;
+                    st.searched_since_update = true;
+                    client.restore_state(st);
+                }
+            },
+            Op::Search(kw) => match client.search(kw) {
+                Ok(hits) => {
+                    ok_ops += 1;
+                    assert_no_silent_lies(kw, &ids_checked(&hits), &confirmed, &indoubt);
+                }
+                Err(_) => failed_ops += 1,
+            },
+        }
+    }
+    assert!(stats.injected() > 0, "schedule injected nothing — vacuous");
+    assert!(failed_ops > 0, "no op ever failed — schedule too quiet");
+    assert!(
+        ok_ops > trace.len() as u64 / 2,
+        "too few ops survived ({ok_ops} ok / {failed_ops} failed)"
+    );
+}

@@ -180,3 +180,147 @@ fn admin_stats_are_queryable_over_the_wire() {
     daemon.wait_for_shutdown_request();
     daemon.shutdown();
 }
+
+/// The acceptance round-trip for durable serving: two tenants populate
+/// their databases over TCP, the daemon shuts down (checkpointing), a new
+/// daemon reopens the same data directory, and both tenants' searches
+/// return identical results over fresh connections — zero re-uploads.
+#[test]
+fn durable_daemon_restart_serves_identical_searches_without_reupload() {
+    use sse_repro::core::scheme1::{Scheme1Client, Scheme1Config};
+
+    let data_dir = std::env::temp_dir().join(format!(
+        "sse-daemon-restart-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let config = ServerConfig {
+        data_dir: Some(data_dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let alice_key = MasterKey::from_seed(11);
+    let bob_key = MasterKey::from_seed(22);
+    let s1_config = Scheme1Config::fast_profile(4096);
+    let s2_config = Scheme2Config::standard();
+
+    // Session 1: populate both tenants, remember what the searches said.
+    let (expected_alice, expected_bob, bob_state) = {
+        let daemon = Daemon::spawn(config.clone()).unwrap();
+        let addr = daemon.local_addr();
+
+        let t = TcpTransport::connect(addr, "alice", SchemeId::Scheme1).unwrap();
+        let mut alice = Scheme1Client::new_seeded(t, alice_key.clone(), s1_config.clone(), 1);
+        alice
+            .store(&[
+                Document::new(0, b"alice zero".to_vec(), ["alpha"]),
+                Document::new(1, b"alice one".to_vec(), ["alpha", "beta"]),
+            ])
+            .unwrap();
+
+        let t = TcpTransport::connect(addr, "bob", SchemeId::Scheme2).unwrap();
+        let mut bob = Scheme2Client::new_seeded(t, bob_key.clone(), s2_config.clone(), 1);
+        bob.store(&[
+            Document::new(0, b"bob zero".to_vec(), ["gamma"]),
+            Document::new(1, b"bob one".to_vec(), ["gamma", "delta"]),
+        ])
+        .unwrap();
+
+        let expected_alice = sorted(alice.search(&Keyword::new("alpha")).unwrap());
+        let expected_bob = sorted(bob.search(&Keyword::new("gamma")).unwrap());
+        let bob_state = bob.state();
+
+        let report = daemon.shutdown();
+        assert_eq!(
+            report.tenants_checkpointed, 2,
+            "graceful shutdown checkpoints every tenant"
+        );
+        (expected_alice, expected_bob, bob_state)
+    };
+    assert_eq!(expected_alice.len(), 2);
+    assert_eq!(expected_bob.len(), 2);
+
+    // Session 2: a new daemon process over the same directory.
+    let daemon = Daemon::spawn(config).unwrap();
+    assert_eq!(
+        daemon.tenant_count(),
+        2,
+        "both tenant databases reopen before the listener serves"
+    );
+    let addr = daemon.local_addr();
+
+    // Scheme 1 clients are stateless beyond the key: a brand-new client
+    // must see everything, with no re-upload.
+    let t = TcpTransport::connect(addr, "alice", SchemeId::Scheme1).unwrap();
+    let mut alice = Scheme1Client::new_seeded(t, alice_key, s1_config, 9);
+    assert_eq!(
+        sorted(alice.search(&Keyword::new("alpha")).unwrap()),
+        expected_alice
+    );
+
+    // Scheme 2 restores its persisted counter state, nothing else.
+    let t = TcpTransport::connect(addr, "bob", SchemeId::Scheme2).unwrap();
+    let mut bob = Scheme2Client::new_seeded(t, bob_key, s2_config, 9);
+    bob.restore_state(bob_state);
+    assert_eq!(
+        sorted(bob.search(&Keyword::new("gamma")).unwrap()),
+        expected_bob
+    );
+    assert_eq!(sorted(bob.search(&Keyword::new("delta")).unwrap()).len(), 1);
+
+    // Checkpointed shutdown means the restart replayed no WAL.
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.wal_recoveries, 0,
+        "clean shutdown left nothing to recover: {stats:?}"
+    );
+    assert_eq!(stats.torn_tails_truncated, 0, "{stats:?}");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+/// A connection that goes quiet past the idle timeout is reaped by the
+/// daemon; the client's next request fails cleanly and the transport
+/// re-dials, so the connection after that succeeds.
+#[test]
+fn idle_connections_are_reaped_and_clients_reattach() {
+    let daemon = Daemon::spawn(ServerConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    let transport = TcpTransport::connect(addr, "sleepy", SchemeId::Scheme2).unwrap();
+    let mut sse = Scheme2Client::new_seeded(
+        transport,
+        MasterKey::from_seed(5),
+        Scheme2Config::standard(),
+        5,
+    );
+    sse.store(&[Document::new(0, b"doc".to_vec(), ["kw"])])
+        .unwrap();
+
+    // Outlive the idle timeout; the server closes the connection.
+    std::thread::sleep(Duration::from_millis(600));
+
+    // The first post-idle op fails (its connection is gone — at-most-once
+    // forbids a silent retry) but heals the transport for the next one.
+    let first = sse.search(&Keyword::new("kw"));
+    assert!(first.is_err(), "idle connection was not reaped");
+    let second = sse.search(&Keyword::new("kw")).unwrap();
+    assert_eq!(second, vec![(0, b"doc".to_vec())]);
+    assert!(
+        sse.transport_mut().reconnects() >= 1,
+        "transport should have re-dialed after the reap"
+    );
+
+    let stats = daemon.stats();
+    assert!(
+        stats.reconnects >= 1,
+        "daemon should count the re-attach: {stats:?}"
+    );
+    daemon.shutdown();
+}
