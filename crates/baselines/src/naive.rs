@@ -54,6 +54,21 @@ impl NaiveClient {
         &self.server
     }
 
+    /// Remove documents by id (one round: the ids, in the clear — the
+    /// naive scheme hides nothing about which blobs die). Unknown ids are
+    /// ignored. Gives the baseline the same add/remove/search surface as
+    /// the real schemes, so differential tests can replay one trace
+    /// everywhere.
+    pub fn remove(&mut self, ids: &[DocId]) {
+        if ids.is_empty() {
+            return;
+        }
+        for id in ids {
+            self.server.blobs.remove(id);
+        }
+        self.meter.record_round(8 * ids.len(), 1);
+    }
+
     /// Blob payload: keywords + data sealed together (the client needs the
     /// keywords back to filter locally).
     fn seal_doc(&mut self, d: &Document) -> Vec<u8> {
@@ -160,6 +175,22 @@ mod tests {
         assert!(
             down > 20 * 100,
             "search must download everything, got {down} bytes"
+        );
+    }
+
+    #[test]
+    fn remove_deletes_blobs_and_results() {
+        let mut c = client();
+        c.add_documents(&[
+            Document::new(0, b"z".to_vec(), ["k"]),
+            Document::new(1, b"o".to_vec(), ["k"]),
+        ])
+        .unwrap();
+        c.remove(&[0, 99]);
+        assert_eq!(c.server().stored_docs(), 1);
+        assert_eq!(
+            c.search(&Keyword::new("k")).unwrap(),
+            vec![(1, b"o".to_vec())]
         );
     }
 

@@ -30,6 +30,12 @@ pub struct JournalRecovery {
     pub replay: Vec<Vec<u8>>,
     /// Records skipped because the snapshot already covered them.
     pub skipped: u64,
+    /// The request bytes of the skipped records, in log order. Cross-shard
+    /// batch recovery ([`crate::shard::resolve_shard_recoveries`]) needs
+    /// these: a batch slice replayed on one shard commits only if every
+    /// sibling shard *journaled* its slice — whether or not the sibling's
+    /// snapshot has since absorbed it.
+    pub skipped_raw: Vec<Vec<u8>>,
     /// Bytes of torn tail truncated from the journal file.
     pub torn_bytes_truncated: u64,
 }
@@ -103,6 +109,7 @@ impl IndexJournal {
                 recovery.replay.push(record[8..].to_vec());
             } else {
                 recovery.skipped += 1;
+                recovery.skipped_raw.push(record[8..].to_vec());
             }
             max_seq = max_seq.max(seq);
         }

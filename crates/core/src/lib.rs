@@ -57,6 +57,7 @@ pub mod scheme;
 pub mod scheme1;
 pub mod scheme2;
 pub mod security;
+pub mod shard;
 pub mod types;
 
 pub use error::{Result, SseError};

@@ -137,6 +137,69 @@ impl<T: Transport> Scheme1Client<T> {
         self.send_masked_updates(updates)
     }
 
+    /// [`Scheme1Client::store`] with the final two mutations (`PutDocs`,
+    /// `ApplyUpdates`) shipped through [`Transport::round_trip_batch`]: the
+    /// nonce fetch stays its own round, but over a batching transport (the
+    /// TCP `UPDATE_MANY` envelope) blobs and masked deltas land in one
+    /// message the server applies atomically — a racing search sees either
+    /// none or all of the update, and each index shard takes one journal
+    /// append. On non-batching transports this degrades to exactly the
+    /// message sequence of [`Scheme1Client::store`] with the `PutDocs`
+    /// reordered after the nonce fetch.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Scheme1Client::store`].
+    pub fn store_batch(&mut self, docs: &[Document]) -> Result<()> {
+        for d in docs {
+            if d.id >= self.config.capacity_docs {
+                return Err(SseError::DocIdOutOfRange {
+                    id: d.id,
+                    capacity: self.config.capacity_docs,
+                });
+            }
+        }
+        let mut updates: BTreeMap<[u8; 32], DocBitSet> = BTreeMap::new();
+        for d in docs {
+            for w in &d.keywords {
+                updates
+                    .entry(self.tag(w))
+                    .or_insert_with(|| DocBitSet::new(self.config.capacity_docs as usize))
+                    .toggle(d.id);
+            }
+        }
+
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(2);
+        if !docs.is_empty() {
+            let blobs: Vec<(u64, Vec<u8>)> = docs
+                .iter()
+                .map(|d| (d.id, self.seal_blob(&d.data)))
+                .collect();
+            parts.push(protocol::encode_put_docs(&blobs));
+        }
+        if !updates.is_empty() {
+            // Round 1: fetch F(r) for every touched keyword.
+            let tags: Vec<[u8; 32]> = updates.keys().copied().collect();
+            let resp = self.link.round_trip(&protocol::encode_get_nonces(&tags))?;
+            let nonces = protocol::decode_nonces(&resp)?;
+            if nonces.len() != tags.len() {
+                return Err(SseError::ProtocolViolation {
+                    expected: "one nonce slot per requested tag",
+                    got: format!("{} slots for {} tags", nonces.len(), tags.len()),
+                });
+            }
+            let entries = self.build_masked_entries(updates, nonces)?;
+            parts.push(protocol::encode_apply_updates(&entries));
+        }
+        if parts.is_empty() {
+            return Ok(());
+        }
+        let responses = self.link.round_trip_batch(&parts)?;
+        for resp in &responses {
+            protocol::decode_ack(resp)?;
+        }
+        Ok(())
+    }
+
     /// The two-round masked-update exchange of Fig. 1 for pre-built
     /// `tag → U(w)` arrays. Shared by [`Scheme1Client::store`] and the
     /// leakage-hiding fake updates.
@@ -154,7 +217,22 @@ impl<T: Transport> Scheme1Client<T> {
         }
 
         // Round 2: build and send the masked deltas.
-        let mut entries = Vec::with_capacity(tags.len());
+        let entries = self.build_masked_entries(updates, nonces)?;
+        let resp = self
+            .link
+            .round_trip(&protocol::encode_apply_updates(&entries))?;
+        protocol::decode_ack(&resp)
+    }
+
+    /// Turn `tag → U(w)` arrays plus their fetched `F(r)` slots into masked
+    /// [`UpdateEntry`]s: strip the old mask where a nonce exists, apply a
+    /// fresh `G(r')`.
+    fn build_masked_entries(
+        &mut self,
+        updates: BTreeMap<[u8; 32], DocBitSet>,
+        nonces: Vec<Option<Vec<u8>>>,
+    ) -> Result<Vec<UpdateEntry>> {
+        let mut entries = Vec::with_capacity(updates.len());
         for ((tag, u_w), stored_f_r) in updates.into_iter().zip(nonces) {
             let mut delta = u_w.as_bytes().to_vec();
             if let Some(f_r_bytes) = stored_f_r {
@@ -172,10 +250,7 @@ impl<T: Transport> Scheme1Client<T> {
                 f_r: f_r_new,
             });
         }
-        let resp = self
-            .link
-            .round_trip(&protocol::encode_apply_updates(&entries))?;
-        protocol::decode_ack(&resp)
+        Ok(entries)
     }
 
     /// `Trapdoor` + `Search` (Fig. 2, two rounds).
@@ -635,6 +710,31 @@ mod tests {
             .search_many(&[Keyword::new("nope1"), Keyword::new("nope2")])
             .unwrap();
         assert_eq!(r, vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn store_batch_matches_store_results() {
+        let mut a = client(64);
+        let mut b = client(64);
+        a.store(&docs()).unwrap();
+        b.store_batch(&docs()).unwrap();
+        for w in ["flu", "fever", "measles", "absent"] {
+            assert_eq!(
+                a.search(&Keyword::new(w)).unwrap(),
+                b.search(&Keyword::new(w)).unwrap(),
+                "keyword {w}"
+            );
+        }
+        // Batched updates toggle like plain ones.
+        b.store_batch(&[Document::new(1, b"doc one".to_vec(), ["fever"])])
+            .unwrap();
+        let ids: Vec<u64> = b
+            .search(&Keyword::new("fever"))
+            .unwrap()
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(ids, vec![0]);
     }
 
     #[test]

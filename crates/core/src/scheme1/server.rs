@@ -6,10 +6,24 @@
 //! sees a keyword, a plaintext, or — until a search reveals one — a PRG
 //! nonce. Every request is decoded defensively; malformed input produces an
 //! error response, never a panic.
+//!
+//! ## Sharding
+//!
+//! The keyword index is partitioned into N independently locked shards by
+//! [`crate::shard::shard_of`] over the tag — a public function of data the
+//! server already sees, so the leakage profile is unchanged (DESIGN.md
+//! §4d). Searches against distinct shards proceed concurrently, and a
+//! durable update's journal fsync only blocks its own shard. Mutations
+//! touching several shards journal [`crate::shard`] batch slices (one
+//! append per affected shard, all affected locks held) so crash recovery
+//! keeps them all-or-nothing. Lock order everywhere: geometry → shards in
+//! ascending index order → document store.
 
 use super::protocol::{self, Request, UpdateEntry};
 use crate::error::{Result, SseError};
 use crate::journal::{IndexJournal, ServerRecovery};
+use crate::shard::{self, shard_of, BatchId};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use sse_index::bitset::DocBitSet;
 use sse_index::bptree::BpTree;
 use sse_net::link::Service;
@@ -18,14 +32,35 @@ use sse_primitives::prg::Prg;
 use sse_storage::crc32::crc32;
 use sse_storage::store::DocStore;
 use sse_storage::{RealVfs, StorageError, Vfs};
+use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Snapshot magic, v2: the body now leads with the `last_op_seq` covered
-/// by the snapshot so journal replay can skip already-applied mutations.
+/// Snapshot magic, v2: the body leads with the `last_op_seq` covered by
+/// the snapshot so journal replay can skip already-applied mutations.
 const INDEX_MAGIC: &[u8; 8] = b"SSE1IDX2";
-/// Index journal file name inside the server's home directory.
-const JOURNAL_FILE: &str = "scheme1.wal";
+/// Shard manifest file inside the server's home directory.
+const MANIFEST_FILE: &str = "scheme1.meta";
+
+/// Index snapshot file for shard `i`. Shard 0 keeps the pre-sharding name
+/// so single-shard directories stay readable by (and from) older layouts.
+fn index_file(i: usize) -> String {
+    if i == 0 {
+        "scheme1.index".to_string()
+    } else {
+        format!("scheme1.{i}.index")
+    }
+}
+
+/// Journal file for shard `i` (same legacy-name rule as [`index_file`]).
+fn journal_file(i: usize) -> String {
+    if i == 0 {
+        "scheme1.wal".to_string()
+    } else {
+        format!("scheme1.{i}.wal")
+    }
+}
 
 /// One searchable representation as stored by the server.
 struct Entry {
@@ -33,6 +68,20 @@ struct Entry {
     masked_index: Vec<u8>,
     /// Serialized `F(r)`.
     f_r: Vec<u8>,
+}
+
+/// One independently locked index partition with its own journal.
+struct Shard {
+    tree: BpTree<[u8; 32], Entry>,
+    /// Index mutation journal (None for in-memory servers).
+    journal: Option<IndexJournal>,
+}
+
+/// Index width geometry — read by every request, rewritten only by
+/// `ReplaceIndex` (capacity migration).
+struct Geometry {
+    capacity_docs: u64,
+    index_bytes: usize,
 }
 
 /// Counters the experiments read out-of-band (they are *not* part of the
@@ -51,50 +100,88 @@ pub struct Scheme1ServerStats {
     pub docs_stored: u64,
 }
 
+/// Lock-free cells behind [`Scheme1ServerStats`], so concurrent requests
+/// can count without taking any index lock.
+#[derive(Default)]
+struct StatsCells {
+    tree_lookups: AtomicU64,
+    tree_nodes_visited: AtomicU64,
+    searches: AtomicU64,
+    updates_applied: AtomicU64,
+    docs_stored: AtomicU64,
+}
+
 /// The Scheme 1 server.
 pub struct Scheme1Server {
-    index_bytes: usize,
-    capacity_docs: u64,
-    tree: BpTree<[u8; 32], Entry>,
-    store: DocStore,
-    stats: Scheme1ServerStats,
+    geometry: RwLock<Geometry>,
+    shards: Vec<Mutex<Shard>>,
+    /// Contended shard-lock acquisitions, per shard (served via STATS).
+    contention: Vec<AtomicU64>,
+    store: RwLock<DocStore>,
+    stats: StatsCells,
     /// Durable home directory (None for in-memory servers).
     dir: Option<std::path::PathBuf>,
     /// The VFS every index file goes through (real or fault-injecting).
     vfs: Arc<dyn Vfs>,
-    /// Index mutation journal (None for in-memory servers).
-    journal: Option<IndexJournal>,
     /// What the last [`Scheme1Server::open_durable`] had to repair.
     recovery: ServerRecovery,
 }
 
 impl Scheme1Server {
-    /// In-memory server for a database of at most `capacity_docs` documents.
+    /// In-memory server for a database of at most `capacity_docs`
+    /// documents, with a single index shard.
     #[must_use]
     pub fn new_in_memory(capacity_docs: u64) -> Self {
+        Self::new_in_memory_sharded(capacity_docs, 1)
+    }
+
+    /// In-memory server with `shards` independently locked index shards.
+    #[must_use]
+    pub fn new_in_memory_sharded(capacity_docs: u64, shards: usize) -> Self {
+        let n = shards.max(1);
         Scheme1Server {
-            index_bytes: (capacity_docs as usize).div_ceil(8),
-            capacity_docs,
-            tree: BpTree::new(),
-            store: DocStore::in_memory(),
-            stats: Scheme1ServerStats::default(),
+            geometry: RwLock::new(Geometry {
+                capacity_docs,
+                index_bytes: (capacity_docs as usize).div_ceil(8),
+            }),
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        tree: BpTree::new(),
+                        journal: None,
+                    })
+                })
+                .collect(),
+            contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            store: RwLock::new(DocStore::in_memory()),
+            stats: StatsCells::default(),
             dir: None,
             vfs: RealVfs::arc(),
-            journal: None,
             recovery: ServerRecovery::default(),
         }
     }
 
-    /// Durable server persisting blobs under `dir`. Recovery brings back
-    /// everything acknowledged before a crash: the document store replays
-    /// its WAL, the index snapshot (if any) is loaded, and index mutations
-    /// journaled after the snapshot are re-applied in order.
+    /// Durable server persisting blobs under `dir`, single index shard.
+    /// Recovery brings back everything acknowledged before a crash: the
+    /// document store replays its WAL, each shard's index snapshot (if
+    /// any) is loaded, and index mutations journaled after the snapshots
+    /// are re-applied in order (incomplete cross-shard batches excluded).
     ///
     /// # Errors
     /// Storage errors while opening or recovering the document store, a
     /// corrupt index snapshot, or a corrupt journal record.
     pub fn open_durable(capacity_docs: u64, dir: &Path) -> Result<Self> {
         Self::open_durable_with_vfs(RealVfs::arc(), capacity_docs, dir)
+    }
+
+    /// [`Scheme1Server::open_durable`] with an index sharded `shards`
+    /// ways. The count is fixed at directory creation (recorded in the
+    /// shard manifest); reopening adopts whatever the directory holds.
+    ///
+    /// # Errors
+    /// As [`Scheme1Server::open_durable`].
+    pub fn open_durable_sharded(capacity_docs: u64, dir: &Path, shards: usize) -> Result<Self> {
+        Self::open_durable_with_vfs_sharded(RealVfs::arc(), capacity_docs, dir, shards)
     }
 
     /// [`Scheme1Server::open_durable`] over an explicit [`Vfs`] (fault
@@ -108,43 +195,77 @@ impl Scheme1Server {
         capacity_docs: u64,
         dir: &Path,
     ) -> Result<Self> {
+        Self::open_durable_with_vfs_sharded(vfs, capacity_docs, dir, 1)
+    }
+
+    /// [`Scheme1Server::open_durable_sharded`] over an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// As [`Scheme1Server::open_durable`], plus injected faults.
+    pub fn open_durable_with_vfs_sharded(
+        vfs: Arc<dyn Vfs>,
+        capacity_docs: u64,
+        dir: &Path,
+        shards: usize,
+    ) -> Result<Self> {
         let store = DocStore::open_with_vfs(
             vfs.clone(),
             dir,
             sse_storage::store::StoreOptions::default(),
         )?;
         let store_recovery = store.recovery_report();
-        let mut server = Scheme1Server {
-            index_bytes: (capacity_docs as usize).div_ceil(8),
+        let n =
+            shard::resolve_shard_count(vfs.as_ref(), dir, MANIFEST_FILE, &index_file(0), shards)?;
+        let mut geometry = Geometry {
             capacity_docs,
-            tree: BpTree::new(),
-            store,
-            stats: Scheme1ServerStats::default(),
+            index_bytes: (capacity_docs as usize).div_ceil(8),
+        };
+        let mut loaded: Vec<Shard> = Vec::with_capacity(n);
+        let mut recoveries = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut tree = BpTree::new();
+            let mut snapshot_seq = 0u64;
+            let index_path = dir.join(index_file(i));
+            if vfs.exists(&index_path) {
+                let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
+                snapshot_seq = load_shard_snapshot(&mut tree, &geometry, &bytes)?;
+            }
+            let (journal, recovery) = IndexJournal::open_with_vfs(
+                vfs.clone(),
+                &dir.join(journal_file(i)),
+                true,
+                snapshot_seq,
+            )?;
+            loaded.push(Shard {
+                tree,
+                journal: Some(journal),
+            });
+            recoveries.push(recovery);
+        }
+        let plan = shard::resolve_shard_recoveries(&recoveries)?;
+        let mut replayed = 0u64;
+        for (shard, apply) in loaded.iter_mut().zip(&plan.apply) {
+            for raw in apply {
+                replay_into(shard, &mut geometry, raw)?;
+                replayed += 1;
+            }
+        }
+        Ok(Scheme1Server {
+            geometry: RwLock::new(geometry),
+            shards: loaded.into_iter().map(Mutex::new).collect(),
+            contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            store: RwLock::new(store),
+            stats: StatsCells::default(),
             dir: Some(dir.to_path_buf()),
-            vfs: vfs.clone(),
-            journal: None,
-            recovery: ServerRecovery::default(),
-        };
-        let index_path = dir.join("scheme1.index");
-        let mut snapshot_seq = 0u64;
-        if vfs.exists(&index_path) {
-            let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
-            snapshot_seq = server.load_index_bytes(&bytes)?;
-        }
-        let (journal, journal_recovery) =
-            IndexJournal::open_with_vfs(vfs, &dir.join(JOURNAL_FILE), true, snapshot_seq)?;
-        for raw in &journal_recovery.replay {
-            server.replay_mutation(raw)?;
-        }
-        server.journal = Some(journal);
-        server.recovery = ServerRecovery {
-            index_ops_replayed: journal_recovery.replay.len() as u64,
-            index_torn_bytes: journal_recovery.torn_bytes_truncated,
-            store_snapshot_loaded: store_recovery.snapshot_loaded,
-            store_wal_records_replayed: store_recovery.wal_records_replayed,
-            store_torn_bytes: store_recovery.torn_bytes_truncated,
-        };
-        Ok(server)
+            vfs,
+            recovery: ServerRecovery {
+                index_ops_replayed: replayed,
+                index_torn_bytes: recoveries.iter().map(|r| r.torn_bytes_truncated).sum(),
+                store_snapshot_loaded: store_recovery.snapshot_loaded,
+                store_wal_records_replayed: store_recovery.wal_records_replayed,
+                store_torn_bytes: store_recovery.torn_bytes_truncated,
+            },
+        })
     }
 
     /// What the last [`Scheme1Server::open_durable`] had to repair.
@@ -153,112 +274,42 @@ impl Scheme1Server {
         self.recovery
     }
 
-    /// Persist the keyword index (the searchable representations) to a
-    /// CRC-protected snapshot. The index contains only what the server
-    /// already sees — masked arrays, tags and `F(r)` ciphertexts — so
-    /// persisting it leaks nothing new.
-    ///
-    /// # Errors
-    /// Filesystem errors.
-    pub fn save_index(&self, path: &Path) -> Result<()> {
-        let mut body = WireWriter::new();
-        body.put_u64(self.journal.as_ref().map_or(0, IndexJournal::last_seq));
-        body.put_u64(self.capacity_docs);
-        body.put_u64(self.tree.len() as u64);
-        for (tag, entry) in self.tree.iter() {
-            body.put_array(tag);
-            body.put_bytes(&entry.masked_index);
-            body.put_bytes(&entry.f_r);
-        }
-        let body = body.finish();
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = self.vfs.create(&tmp).map_err(StorageError::Io)?;
-            let mut header = Vec::with_capacity(12);
-            header.extend_from_slice(INDEX_MAGIC);
-            header.extend_from_slice(&crc32(&body).to_le_bytes());
-            f.write_all(&header).map_err(StorageError::Io)?;
-            f.write_all(&body).map_err(StorageError::Io)?;
-            f.sync_data().map_err(StorageError::Io)?;
-        }
-        self.vfs.rename(&tmp, path).map_err(StorageError::Io)?;
-        Ok(())
+    /// Number of index shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Load an index snapshot written by [`Scheme1Server::save_index`].
-    ///
-    /// # Errors
-    /// Corruption (bad magic/CRC), capacity mismatch, or I/O failures.
-    pub fn load_index(&mut self, path: &Path) -> Result<()> {
-        let bytes = self.vfs.read(path).map_err(StorageError::Io)?;
-        self.load_index_bytes(&bytes)?;
-        Ok(())
-    }
-
-    /// Decode snapshot `bytes`, returning the `last_op_seq` it covers.
-    fn load_index_bytes(&mut self, bytes: &[u8]) -> Result<u64> {
-        if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
-            return Err(SseError::Storage(StorageError::Corrupt {
-                what: "scheme1 index snapshot",
-                detail: "bad magic or truncated".to_string(),
-            }));
-        }
-        let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        let body = &bytes[12..];
-        if crc32(body) != stored_crc {
-            return Err(SseError::Storage(StorageError::Corrupt {
-                what: "scheme1 index snapshot",
-                detail: "checksum mismatch".to_string(),
-            }));
-        }
-        let mut r = WireReader::new(body);
-        let last_op_seq = r.get_u64()?;
-        let capacity = r.get_u64()?;
-        if capacity != self.capacity_docs {
-            return Err(SseError::Storage(StorageError::Corrupt {
-                what: "scheme1 index snapshot",
-                detail: format!(
-                    "capacity {capacity} does not match server capacity {}",
-                    self.capacity_docs
-                ),
-            }));
-        }
-        let n = r.get_count(48)?;
-        let mut tree = BpTree::new();
-        for _ in 0..n {
-            let tag = r.get_array32()?;
-            let masked_index = r.get_bytes()?.to_vec();
-            if masked_index.len() != self.index_bytes {
-                return Err(SseError::Storage(StorageError::Corrupt {
-                    what: "scheme1 index snapshot",
-                    detail: format!(
-                        "entry width {} != expected {}",
-                        masked_index.len(),
-                        self.index_bytes
-                    ),
-                }));
-            }
-            let f_r = r.get_bytes()?.to_vec();
-            tree.insert(tag, Entry { masked_index, f_r });
-        }
-        r.finish()?;
-        self.tree = tree;
-        Ok(last_op_seq)
+    /// Contended shard-lock acquisitions since startup, per shard.
+    #[must_use]
+    pub fn shard_contention(&self) -> Vec<u64> {
+        self.contention
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Checkpoint everything durable, in crash-safe order: document store
-    /// snapshot, then the index snapshot (which records the journal's
-    /// `last_op_seq`), then journal truncation. A crash between any two
-    /// steps recovers correctly: the snapshot's sequence number tells
-    /// replay exactly which journaled mutations are already inside it.
+    /// snapshot, then every shard's index snapshot (each recording its
+    /// journal's `last_op_seq`), then every journal truncation. The
+    /// snapshots-before-any-reset order matters across shards: a batch
+    /// slice is only resolvable while its sibling shards' journals still
+    /// hold (or their snapshots already cover) their slices, so no journal
+    /// may be reset until *all* snapshots are durable.
     ///
     /// # Errors
     /// Filesystem errors. No-op index-wise for in-memory servers.
-    pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
-        self.store.checkpoint()?;
-        self.save_index(&dir.join("scheme1.index"))?;
-        if let Some(journal) = &mut self.journal {
-            journal.reset()?;
+    pub fn checkpoint(&self, dir: &Path) -> Result<()> {
+        let _geometry = self.geometry.read();
+        let mut guards = self.lock_all_shards();
+        self.store.write().checkpoint()?;
+        for (i, shard) in guards.iter().enumerate() {
+            self.save_shard_snapshot(shard, &_geometry, &dir.join(index_file(i)))?;
+        }
+        for shard in guards.iter_mut() {
+            if let Some(journal) = &mut shard.journal {
+                journal.reset()?;
+            }
         }
         Ok(())
     }
@@ -268,7 +319,7 @@ impl Scheme1Server {
     ///
     /// # Errors
     /// Filesystem errors.
-    pub fn checkpoint_home(&mut self) -> Result<()> {
+    pub fn checkpoint_home(&self) -> Result<()> {
         match self.dir.clone() {
             Some(dir) => self.checkpoint(&dir),
             None => Ok(()),
@@ -278,139 +329,209 @@ impl Scheme1Server {
     /// Number of unique keywords indexed (`u`).
     #[must_use]
     pub fn unique_keywords(&self) -> usize {
-        self.tree.len()
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).tree.len())
+            .sum()
     }
 
     /// Number of stored documents.
     #[must_use]
     pub fn stored_docs(&self) -> usize {
-        self.store.len()
+        self.store.read().len()
     }
 
-    /// Height of the tag tree (the `O(log u)` factor, observable).
+    /// Height of the tallest shard's tag tree (the `O(log u)` factor,
+    /// observable).
     #[must_use]
     pub fn tree_height(&self) -> usize {
-        self.tree.height()
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).tree.height())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Observability counters.
     #[must_use]
     pub fn stats(&self) -> Scheme1ServerStats {
-        self.stats
+        Scheme1ServerStats {
+            tree_lookups: self.stats.tree_lookups.load(Ordering::Relaxed),
+            tree_nodes_visited: self.stats.tree_nodes_visited.load(Ordering::Relaxed),
+            searches: self.stats.searches.load(Ordering::Relaxed),
+            updates_applied: self.stats.updates_applied.load(Ordering::Relaxed),
+            docs_stored: self.stats.docs_stored.load(Ordering::Relaxed),
+        }
     }
 
     /// Reset the observability counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = Scheme1ServerStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.tree_lookups.store(0, Ordering::Relaxed);
+        self.stats.tree_nodes_visited.store(0, Ordering::Relaxed);
+        self.stats.searches.store(0, Ordering::Relaxed);
+        self.stats.updates_applied.store(0, Ordering::Relaxed);
+        self.stats.docs_stored.store(0, Ordering::Relaxed);
     }
 
     /// Byte size of every (masked) index array.
     #[must_use]
     pub fn index_bytes(&self) -> usize {
-        self.index_bytes
+        self.geometry.read().index_bytes
     }
 
     /// Export the stored searchable representations
     /// `(f_kw(w), I(w) ⊕ G(r), F(r))` — this *is* the set `S` in the
-    /// adversary's view (Definition 2). Used by the security harness.
+    /// adversary's view (Definition 2), merged across shards in tag order.
+    /// Used by the security harness.
     #[must_use]
     pub fn export_representations(&self) -> Vec<([u8; 32], Vec<u8>, Vec<u8>)> {
-        self.tree
+        let guards = self.lock_all_shards();
+        let mut out: Vec<([u8; 32], Vec<u8>, Vec<u8>)> = guards
             .iter()
-            .map(|(tag, e)| (*tag, e.masked_index.clone(), e.f_r.clone()))
-            .collect()
+            .flat_map(|s| {
+                s.tree
+                    .iter()
+                    .map(|(tag, e)| (*tag, e.masked_index.clone(), e.f_r.clone()))
+            })
+            .collect();
+        out.sort_unstable_by_key(|a| a.0);
+        out
     }
 
     /// Export the stored encrypted documents `(id, E_km(M_i))` in id order
     /// (the other half of the adversary's view).
     #[must_use]
     pub fn export_blobs(&self) -> Vec<(u64, Vec<u8>)> {
-        let ids: Vec<u64> = self.store.ids().collect();
-        self.store.get_many(&ids)
+        let store = self.store.read();
+        let ids: Vec<u64> = store.ids().collect();
+        store.get_many(&ids)
     }
 
-    /// Append `raw` to the index journal (durable servers only). A failed
-    /// append refuses the mutation: nothing may be acknowledged that a
-    /// restart would lose.
-    fn journal_mutation(&mut self, raw: &[u8]) -> Result<()> {
-        if let Some(journal) = &mut self.journal {
-            journal.append(raw)?;
+    /// Serve one request without exclusive access — the entry point the
+    /// multi-tenant daemon's workers call concurrently. Internal locking
+    /// is per shard, so requests against distinct shards run in parallel.
+    pub fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+        match protocol::decode_request(request) {
+            Ok(req) => self.handle_request(req),
+            Err(e) => protocol::encode_error(&e.to_string()),
         }
-        Ok(())
     }
 
-    /// Re-apply one journaled mutation during recovery (no re-journaling).
-    fn replay_mutation(&mut self, raw: &[u8]) -> Result<()> {
-        let resp = match protocol::decode_request(raw)? {
-            Request::ApplyUpdates(entries) => self.handle_apply_updates(raw, entries, false),
-            Request::ReplaceIndex { capacity, entries } => {
-                self.handle_replace_index(raw, capacity, entries, false)
-            }
-            _ => {
-                return Err(SseError::Storage(StorageError::Corrupt {
-                    what: "scheme1 index journal",
-                    detail: "journal holds a non-mutating request".to_string(),
-                }))
-            }
-        };
-        protocol::decode_ack(&resp)
-    }
-
-    fn handle_apply_updates(
-        &mut self,
-        raw: &[u8],
-        entries: Vec<UpdateEntry>,
-        durable: bool,
-    ) -> Vec<u8> {
-        // Validate before journaling so the journal only ever holds
-        // mutations that actually applied.
-        for entry in &entries {
-            if entry.delta.len() != self.index_bytes {
-                return protocol::encode_error(&format!(
-                    "delta length {} != index width {}",
-                    entry.delta.len(),
-                    self.index_bytes
-                ));
-            }
-        }
-        if durable {
-            if let Err(e) = self.journal_mutation(raw) {
-                return protocol::encode_error(&e.to_string());
-            }
-        }
-        for UpdateEntry { tag, delta, f_r } in entries {
-            match self.tree.get_mut(&tag) {
-                Some(entry) => {
-                    // I(w)⊕G(r) ⊕ (U(w)⊕G(r)⊕G(r')) = I'(w)⊕G(r')
-                    for (d, s) in entry.masked_index.iter_mut().zip(delta.iter()) {
-                        *d ^= s;
-                    }
-                    entry.f_r = f_r;
+    /// Apply an `UPDATE_MANY` batch: every part must be a mutation
+    /// (`PutDocs` or `ApplyUpdates`). All parts are decoded and validated
+    /// first, then applied all-or-nothing with respect to racing searches
+    /// (every affected shard stays locked for the whole application) and
+    /// with one journal append per affected shard.
+    pub fn apply_batch(&self, parts: &[&[u8]]) -> Vec<u8> {
+        let mut docs: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut entries: Vec<UpdateEntry> = Vec::new();
+        for part in parts {
+            match protocol::decode_request(part) {
+                Ok(Request::PutDocs(d)) => docs.extend(d),
+                Ok(Request::ApplyUpdates(e)) => entries.extend(e),
+                Ok(_) => {
+                    return protocol::encode_error(
+                        "batch parts must be mutations (PutDocs / ApplyUpdates)",
+                    )
                 }
-                None => {
-                    // Fresh keyword: I(w) = 0, so the delta *is*
-                    // I'(w)⊕G(r').
-                    self.tree.insert(
-                        tag,
-                        Entry {
-                            masked_index: delta,
-                            f_r,
-                        },
-                    );
+                Err(e) => return protocol::encode_error(&e.to_string()),
+            }
+        }
+        {
+            let geometry = self.geometry.read();
+            if let Some(resp) = self.put_docs_checked(&geometry, &docs) {
+                return resp;
+            }
+        }
+        self.apply_updates_sharded(entries)
+    }
+
+    /// Acquire shard `i`'s lock, counting a contended acquisition when the
+    /// lock was not immediately free.
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, Shard> {
+        match self.shards[i].try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention[i].fetch_add(1, Ordering::Relaxed);
+                self.shards[i].lock()
+            }
+        }
+    }
+
+    /// Lock every shard in ascending order (checkpoint / export paths).
+    fn lock_all_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
+        (0..self.shards.len()).map(|i| self.lock_shard(i)).collect()
+    }
+
+    /// Store `docs`, enforcing the capacity bound. Returns an error
+    /// response on failure, `None` on success.
+    fn put_docs_checked(&self, geometry: &Geometry, docs: &[(u64, Vec<u8>)]) -> Option<Vec<u8>> {
+        if docs.is_empty() {
+            return None;
+        }
+        for (id, _) in docs {
+            if *id >= geometry.capacity_docs {
+                return Some(protocol::encode_error(&format!(
+                    "doc id {id} exceeds capacity {}",
+                    geometry.capacity_docs
+                )));
+            }
+        }
+        let mut store = self.store.write();
+        for (id, blob) in docs {
+            if let Err(e) = store.put(*id, blob) {
+                return Some(protocol::encode_error(&e.to_string()));
+            }
+            self.stats.docs_stored.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// Apply validated update entries: group per shard (preserving input
+    /// order within each shard), lock affected shards ascending, journal
+    /// one record per shard (a plain request for a single shard, batch
+    /// slices for several), then mutate.
+    fn apply_updates_sharded(&self, entries: Vec<UpdateEntry>) -> Vec<u8> {
+        {
+            let geometry = self.geometry.read();
+            for entry in &entries {
+                if entry.delta.len() != geometry.index_bytes {
+                    return protocol::encode_error(&format!(
+                        "delta length {} != index width {}",
+                        entry.delta.len(),
+                        geometry.index_bytes
+                    ));
                 }
             }
-            self.stats.updates_applied += 1;
+        }
+        if entries.is_empty() {
+            return protocol::encode_ack();
+        }
+        let n = self.shards.len();
+        let mut groups: BTreeMap<usize, Vec<UpdateEntry>> = BTreeMap::new();
+        for entry in entries {
+            groups
+                .entry(shard_of(&entry.tag, n))
+                .or_default()
+                .push(entry);
+        }
+        let _geometry = self.geometry.read();
+        let idxs: Vec<usize> = groups.keys().copied().collect();
+        let mut guards: Vec<MutexGuard<'_, Shard>> =
+            idxs.iter().map(|&i| self.lock_shard(i)).collect();
+        if let Err(e) = journal_groups(&idxs, &mut guards, |i| {
+            protocol::encode_apply_updates(&groups[&i])
+        }) {
+            return protocol::encode_error(&e.to_string());
+        }
+        for (guard, (_, group)) in guards.iter_mut().zip(groups.iter()) {
+            for UpdateEntry { tag, delta, f_r } in group {
+                apply_entry(&mut guard.tree, *tag, delta.clone(), f_r.clone());
+                self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
+            }
         }
         protocol::encode_ack()
     }
 
-    fn handle_replace_index(
-        &mut self,
-        raw: &[u8],
-        capacity: u64,
-        entries: Vec<UpdateEntry>,
-        durable: bool,
-    ) -> Vec<u8> {
+    fn handle_replace_index(&self, capacity: u64, entries: Vec<UpdateEntry>) -> Vec<u8> {
         let new_width = (capacity as usize).div_ceil(8);
         if let Some(bad) = entries.iter().find(|e| e.delta.len() != new_width) {
             return protocol::encode_error(&format!(
@@ -418,69 +539,85 @@ impl Scheme1Server {
                 bad.delta.len()
             ));
         }
-        // Migration must not lose keywords: the replacement set
-        // must cover every currently stored tag.
+        // Migration must not lose keywords: the replacement set must cover
+        // every currently stored tag. Geometry is held exclusively and all
+        // shards are locked for the whole replacement.
+        let mut geometry = self.geometry.write();
+        let mut guards = self.lock_all_shards();
         let new_tags: std::collections::HashSet<[u8; 32]> = entries.iter().map(|e| e.tag).collect();
-        for (tag, _) in self.tree.iter() {
-            if !new_tags.contains(tag) {
-                return protocol::encode_error("replacement index is missing a stored keyword tag");
+        for shard in &guards {
+            for (tag, _) in shard.tree.iter() {
+                if !new_tags.contains(tag) {
+                    return protocol::encode_error(
+                        "replacement index is missing a stored keyword tag",
+                    );
+                }
             }
         }
-        if durable {
-            if let Err(e) = self.journal_mutation(raw) {
-                return protocol::encode_error(&e.to_string());
+        let n = self.shards.len();
+        let mut groups: Vec<Vec<UpdateEntry>> = (0..n).map(|_| Vec::new()).collect();
+        for entry in entries {
+            groups[shard_of(&entry.tag, n)].push(entry);
+        }
+        // ReplaceIndex rewrites every shard (a shard with no entries must
+        // still clear), so the batch spans all N shards.
+        let idxs: Vec<usize> = (0..n).collect();
+        if let Err(e) = journal_groups(&idxs, &mut guards, |i| {
+            protocol::encode_replace_index(capacity, &groups[i])
+        }) {
+            return protocol::encode_error(&e.to_string());
+        }
+        for (guard, group) in guards.iter_mut().zip(groups) {
+            let mut tree = BpTree::new();
+            for UpdateEntry { tag, delta, f_r } in group {
+                tree.insert(
+                    tag,
+                    Entry {
+                        masked_index: delta,
+                        f_r,
+                    },
+                );
             }
+            guard.tree = tree;
         }
-        let mut tree = BpTree::new();
-        for UpdateEntry { tag, delta, f_r } in entries {
-            tree.insert(
-                tag,
-                Entry {
-                    masked_index: delta,
-                    f_r,
-                },
-            );
-        }
-        self.tree = tree;
-        self.capacity_docs = capacity;
-        self.index_bytes = new_width;
+        geometry.capacity_docs = capacity;
+        geometry.index_bytes = new_width;
         protocol::encode_ack()
     }
 
-    fn handle_request(&mut self, raw: &[u8], req: Request) -> Vec<u8> {
+    fn handle_request(&self, req: Request) -> Vec<u8> {
         match req {
             Request::PutDocs(docs) => {
-                for (id, blob) in docs {
-                    if id >= self.capacity_docs {
-                        return protocol::encode_error(&format!(
-                            "doc id {id} exceeds capacity {}",
-                            self.capacity_docs
-                        ));
-                    }
-                    if let Err(e) = self.store.put(id, &blob) {
-                        return protocol::encode_error(&e.to_string());
-                    }
-                    self.stats.docs_stored += 1;
+                let geometry = self.geometry.read();
+                match self.put_docs_checked(&geometry, &docs) {
+                    Some(err) => err,
+                    None => protocol::encode_ack(),
                 }
-                protocol::encode_ack()
             }
             Request::GetNonces(tags) => {
+                let n = self.shards.len();
                 let items: Vec<Option<Vec<u8>>> = tags
                     .iter()
                     .map(|tag| {
-                        let (entry, s) = self.tree.get_with_stats(tag);
-                        self.stats.tree_lookups += 1;
-                        self.stats.tree_nodes_visited += s.nodes_visited as u64;
+                        let shard = self.lock_shard(shard_of(tag, n));
+                        let (entry, s) = shard.tree.get_with_stats(tag);
+                        self.stats.tree_lookups.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .tree_nodes_visited
+                            .fetch_add(s.nodes_visited as u64, Ordering::Relaxed);
                         entry.map(|e| e.f_r.clone())
                     })
                     .collect();
                 protocol::encode_nonces(&items)
             }
-            Request::ApplyUpdates(entries) => self.handle_apply_updates(raw, entries, true),
+            Request::ApplyUpdates(entries) => self.apply_updates_sharded(entries),
             Request::SearchFind(tag) => {
-                let (entry, s) = self.tree.get_with_stats(&tag);
-                self.stats.tree_lookups += 1;
-                self.stats.tree_nodes_visited += s.nodes_visited as u64;
+                let shard = self.lock_shard(shard_of(&tag, self.shards.len()));
+                let (entry, s) = shard.tree.get_with_stats(&tag);
+                self.stats.tree_lookups.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .tree_nodes_visited
+                    .fetch_add(s.nodes_visited as u64, Ordering::Relaxed);
                 protocol::encode_found(entry.map(|e| e.f_r.as_slice()))
             }
             Request::SearchReveal { tag, seed } => {
@@ -505,33 +642,217 @@ impl Scheme1Server {
             }
             Request::ExportIndex => protocol::encode_index_dump(&self.export_representations()),
             Request::ReplaceIndex { capacity, entries } => {
-                self.handle_replace_index(raw, capacity, entries, true)
+                self.handle_replace_index(capacity, entries)
             }
         }
     }
 
     /// Unmask one posting array with the revealed seed and fetch matches.
-    fn reveal_one(&mut self, tag: &[u8; 32], seed: &[u8; 32]) -> Vec<(u64, Vec<u8>)> {
-        let capacity = self.capacity_docs as usize;
-        let Some(entry) = self.tree.get(tag) else {
-            self.stats.searches += 1;
+    /// Only this keyword's shard is locked; searches against other shards
+    /// proceed concurrently.
+    fn reveal_one(&self, tag: &[u8; 32], seed: &[u8; 32]) -> Vec<(u64, Vec<u8>)> {
+        let capacity = self.geometry.read().capacity_docs as usize;
+        let shard = self.lock_shard(shard_of(tag, self.shards.len()));
+        self.stats.searches.fetch_add(1, Ordering::Relaxed);
+        let Some(entry) = shard.tree.get(tag) else {
             return Vec::new();
         };
         // Unmask: (I(w) ⊕ G(r)) ⊕ G(r) = I(w).
         let plain = Prg::mask(seed, &entry.masked_index);
-        debug_assert_eq!(plain.len(), self.index_bytes);
         let ids = DocBitSet::from_bytes(capacity, &plain).to_ids();
-        self.stats.searches += 1;
-        self.store.get_many(&ids)
+        self.store.read().get_many(&ids)
     }
+
+    /// Persist one shard's index snapshot (CRC-protected; carries the
+    /// shard journal's `last_op_seq`). The index contains only what the
+    /// server already sees — masked arrays, tags and `F(r)` ciphertexts —
+    /// so persisting it leaks nothing new.
+    fn save_shard_snapshot(&self, shard: &Shard, geometry: &Geometry, path: &Path) -> Result<()> {
+        let mut body = WireWriter::new();
+        body.put_u64(shard.journal.as_ref().map_or(0, IndexJournal::last_seq));
+        body.put_u64(geometry.capacity_docs);
+        body.put_u64(shard.tree.len() as u64);
+        for (tag, entry) in shard.tree.iter() {
+            body.put_array(tag);
+            body.put_bytes(&entry.masked_index);
+            body.put_bytes(&entry.f_r);
+        }
+        let body = body.finish();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = self.vfs.create(&tmp).map_err(StorageError::Io)?;
+            let mut header = Vec::with_capacity(12);
+            header.extend_from_slice(INDEX_MAGIC);
+            header.extend_from_slice(&crc32(&body).to_le_bytes());
+            f.write_all(&header).map_err(StorageError::Io)?;
+            f.write_all(&body).map_err(StorageError::Io)?;
+            f.sync_data().map_err(StorageError::Io)?;
+        }
+        self.vfs.rename(&tmp, path).map_err(StorageError::Io)?;
+        Ok(())
+    }
+
+    /// One shard's stored entry, exposed for in-crate tests.
+    #[cfg(test)]
+    fn entry_for(&self, tag: &[u8; 32]) -> Option<(Vec<u8>, Vec<u8>)> {
+        let shard = self.lock_shard(shard_of(tag, self.shards.len()));
+        shard
+            .tree
+            .get(tag)
+            .map(|e| (e.masked_index.clone(), e.f_r.clone()))
+    }
+}
+
+/// XOR-merge an update into the tree (or insert a fresh keyword).
+fn apply_entry(tree: &mut BpTree<[u8; 32], Entry>, tag: [u8; 32], delta: Vec<u8>, f_r: Vec<u8>) {
+    match tree.get_mut(&tag) {
+        Some(entry) => {
+            // I(w)⊕G(r) ⊕ (U(w)⊕G(r)⊕G(r')) = I'(w)⊕G(r')
+            for (d, s) in entry.masked_index.iter_mut().zip(delta.iter()) {
+                *d ^= s;
+            }
+            entry.f_r = f_r;
+        }
+        None => {
+            // Fresh keyword: I(w) = 0, so the delta *is* I'(w)⊕G(r').
+            tree.insert(
+                tag,
+                Entry {
+                    masked_index: delta,
+                    f_r,
+                },
+            );
+        }
+    }
+}
+
+/// Journal one record per affected shard: the plain shard-local request
+/// when the mutation touches a single shard, batch slices otherwise.
+/// `guards[k]` must be the lock for shard `idxs[k]`, ascending. A failed
+/// append refuses the whole mutation: nothing may be acknowledged that a
+/// restart would lose, and recovery discards the partial batch.
+fn journal_groups(
+    idxs: &[usize],
+    guards: &mut [MutexGuard<'_, Shard>],
+    encode_for: impl Fn(usize) -> Vec<u8>,
+) -> Result<()> {
+    debug_assert_eq!(idxs.len(), guards.len());
+    if guards.iter().all(|g| g.journal.is_none()) {
+        return Ok(());
+    }
+    if idxs.len() == 1 {
+        if let Some(journal) = &mut guards[0].journal {
+            journal.append(&encode_for(idxs[0]))?;
+        }
+        return Ok(());
+    }
+    let shard_set: Vec<u32> = idxs.iter().map(|&i| i as u32).collect();
+    let batch = BatchId {
+        coordinator: shard_set[0],
+        seq: guards[0].journal.as_ref().map_or(0, IndexJournal::next_seq),
+    };
+    for (guard, &i) in guards.iter_mut().zip(idxs) {
+        if let Some(journal) = &mut guard.journal {
+            journal.append(&shard::encode_slice(batch, &shard_set, &encode_for(i)))?;
+        }
+    }
+    Ok(())
+}
+
+/// Re-apply one journaled shard-local mutation during recovery (no
+/// re-journaling, no width validation — the record was validated before it
+/// was ever journaled, and each shard's log is internally ordered across
+/// capacity migrations).
+fn replay_into(shard: &mut Shard, geometry: &mut Geometry, raw: &[u8]) -> Result<()> {
+    match protocol::decode_request(raw)? {
+        Request::ApplyUpdates(entries) => {
+            for UpdateEntry { tag, delta, f_r } in entries {
+                apply_entry(&mut shard.tree, tag, delta, f_r);
+            }
+            Ok(())
+        }
+        Request::ReplaceIndex { capacity, entries } => {
+            let mut tree = BpTree::new();
+            for UpdateEntry { tag, delta, f_r } in entries {
+                tree.insert(
+                    tag,
+                    Entry {
+                        masked_index: delta,
+                        f_r,
+                    },
+                );
+            }
+            shard.tree = tree;
+            geometry.capacity_docs = capacity;
+            geometry.index_bytes = (capacity as usize).div_ceil(8);
+            Ok(())
+        }
+        _ => Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme1 index journal",
+            detail: "journal holds a non-mutating request".to_string(),
+        })),
+    }
+}
+
+/// Decode one shard snapshot into `tree`, returning the `last_op_seq` it
+/// covers.
+fn load_shard_snapshot(
+    tree: &mut BpTree<[u8; 32], Entry>,
+    geometry: &Geometry,
+    bytes: &[u8],
+) -> Result<u64> {
+    if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme1 index snapshot",
+            detail: "bad magic or truncated".to_string(),
+        }));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let body = &bytes[12..];
+    if crc32(body) != stored_crc {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme1 index snapshot",
+            detail: "checksum mismatch".to_string(),
+        }));
+    }
+    let mut r = WireReader::new(body);
+    let last_op_seq = r.get_u64()?;
+    let capacity = r.get_u64()?;
+    if capacity != geometry.capacity_docs {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme1 index snapshot",
+            detail: format!(
+                "capacity {capacity} does not match server capacity {}",
+                geometry.capacity_docs
+            ),
+        }));
+    }
+    let n = r.get_count(48)?;
+    let mut fresh = BpTree::new();
+    for _ in 0..n {
+        let tag = r.get_array32()?;
+        let masked_index = r.get_bytes()?.to_vec();
+        if masked_index.len() != geometry.index_bytes {
+            return Err(SseError::Storage(StorageError::Corrupt {
+                what: "scheme1 index snapshot",
+                detail: format!(
+                    "entry width {} != expected {}",
+                    masked_index.len(),
+                    geometry.index_bytes
+                ),
+            }));
+        }
+        let f_r = r.get_bytes()?.to_vec();
+        fresh.insert(tag, Entry { masked_index, f_r });
+    }
+    r.finish()?;
+    *tree = fresh;
+    Ok(last_op_seq)
 }
 
 impl Service for Scheme1Server {
     fn handle(&mut self, request: &[u8]) -> Vec<u8> {
-        match protocol::decode_request(request) {
-            Ok(req) => self.handle_request(request, req),
-            Err(e) => protocol::encode_error(&e.to_string()),
-        }
+        self.handle_shared(request)
     }
 
     fn on_shutdown(&mut self) {
@@ -596,9 +917,9 @@ mod tests {
         }]));
         decode_ack(&r).unwrap();
         assert_eq!(s.unique_keywords(), 1);
-        let entry = s.tree.get(&tag).unwrap();
-        assert_eq!(entry.masked_index, vec![0xF0u8; 8]);
-        assert_eq!(entry.f_r, vec![2]);
+        let (masked, f_r) = s.entry_for(&tag).unwrap();
+        assert_eq!(masked, vec![0xF0u8; 8]);
+        assert_eq!(f_r, vec![2]);
     }
 
     #[test]
@@ -679,5 +1000,73 @@ mod tests {
         assert!(st.tree_nodes_visited >= 3);
         s.reset_stats();
         assert_eq!(s.stats().tree_lookups, 0);
+    }
+
+    #[test]
+    fn sharded_server_answers_like_single_shard() {
+        // The same update/search conversation against 1 and 5 shards must
+        // be indistinguishable on the wire.
+        let mut single = Scheme1Server::new_in_memory(64);
+        let mut sharded = Scheme1Server::new_in_memory_sharded(64, 5);
+        assert_eq!(sharded.num_shards(), 5);
+        let docs: Vec<(u64, Vec<u8>)> = (0..10u64).map(|i| (i, vec![i as u8; 4])).collect();
+        let seed = [0x21u8; 32];
+        let mut tags = Vec::new();
+        let mut updates = Vec::new();
+        for i in 0..20u8 {
+            let mut tag = [0u8; 32];
+            tag[0] = i.wrapping_mul(37);
+            tag[1] = i;
+            tags.push(tag);
+            let ids = DocBitSet::from_ids(64, &[u64::from(i % 10)]);
+            updates.push(UpdateEntry {
+                tag,
+                delta: Prg::mask(&seed, ids.as_bytes()),
+                f_r: vec![i],
+            });
+        }
+        for s in [&mut single, &mut sharded] {
+            decode_ack(&s.handle(&encode_put_docs(&docs))).unwrap();
+            decode_ack(&s.handle(&encode_apply_updates(&updates))).unwrap();
+        }
+        assert_eq!(single.unique_keywords(), sharded.unique_keywords());
+        for tag in &tags {
+            let a = single.handle(&encode_search_reveal(tag, &seed));
+            let b = sharded.handle(&encode_search_reveal(tag, &seed));
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            single.export_representations(),
+            sharded.export_representations()
+        );
+    }
+
+    #[test]
+    fn apply_batch_is_all_or_nothing_on_validation() {
+        let s = server();
+        let good = encode_apply_updates(&[UpdateEntry {
+            tag: [1u8; 32],
+            delta: vec![0xFF; 8],
+            f_r: vec![1],
+        }]);
+        let bad = encode_apply_updates(&[UpdateEntry {
+            tag: [2u8; 32],
+            delta: vec![0xFF; 3], // wrong width
+            f_r: vec![2],
+        }]);
+        let resp = s.apply_batch(&[&good, &bad]);
+        assert!(decode_ack(&resp).is_err());
+        assert_eq!(s.unique_keywords(), 0, "no part of the batch applied");
+
+        let resp = s.apply_batch(&[&good]);
+        decode_ack(&resp).unwrap();
+        assert_eq!(s.unique_keywords(), 1);
+    }
+
+    #[test]
+    fn apply_batch_rejects_non_mutations() {
+        let s = server();
+        let resp = s.apply_batch(&[&encode_search_find(&[1u8; 32])]);
+        assert!(decode_ack(&resp).is_err());
     }
 }

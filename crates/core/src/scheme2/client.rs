@@ -229,6 +229,64 @@ impl<T: Transport> Scheme2Client<T> {
         Ok(())
     }
 
+    /// [`Scheme2Client::store`] with the two protocol messages (`PutDocs`,
+    /// `AppendGenerations`) shipped through
+    /// [`Transport::round_trip_batch`]: over a batching transport (the TCP
+    /// `UPDATE_MANY` envelope) the whole update becomes **one round** and
+    /// the server applies it atomically — a racing search observes either
+    /// none or all of the new generations, and each index shard takes a
+    /// single journal append for the batch. On non-batching transports this
+    /// degrades to exactly the message sequence of [`Scheme2Client::store`].
+    ///
+    /// # Errors
+    /// Same failure modes as [`Scheme2Client::store`].
+    pub fn store_batch(&mut self, docs: &[Document]) -> Result<()> {
+        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(2);
+        if !docs.is_empty() {
+            let blobs: Vec<(u64, Vec<u8>)> = docs
+                .iter()
+                .map(|d| (d.id, self.seal_blob(&d.data)))
+                .collect();
+            parts.push(protocol::encode_put_docs(&blobs));
+        }
+
+        let mut per_keyword: BTreeMap<Keyword, Vec<DocId>> = BTreeMap::new();
+        for d in docs {
+            for w in &d.keywords {
+                per_keyword.entry(w.clone()).or_default().push(d.id);
+            }
+        }
+        let mut counter = None;
+        if !per_keyword.is_empty() {
+            let (ctr, advanced) = self.next_update_counter()?;
+            let mut entries = Vec::with_capacity(per_keyword.len());
+            for (w, ids) in &per_keyword {
+                let k = self.chain(w).key_for_counter(ctr)?;
+                entries.push(GenerationEntry {
+                    tag: self.tag(w),
+                    sealed_ids: self.seal_posting(&k, ids, &[]),
+                    commitment: key_commitment(&k),
+                });
+            }
+            parts.push(protocol::encode_append_generations(&entries));
+            counter = Some((ctr, advanced));
+        }
+        if parts.is_empty() {
+            return Ok(());
+        }
+        let responses = self.link.round_trip_batch(&parts)?;
+        for resp in &responses {
+            proto_common::decode_ack(resp)?;
+        }
+        if let Some((ctr, advanced)) = counter {
+            if advanced {
+                self.state.ctr = ctr;
+            }
+            self.state.searched_since_update = false;
+        }
+        Ok(())
+    }
+
     /// `Trapdoor` + `Search` (Fig. 4): one round.
     ///
     /// # Errors
@@ -312,6 +370,46 @@ impl<T: Transport> Scheme2Client<T> {
             .link
             .round_trip(&protocol::encode_append_generations(&entries))?;
         proto_common::decode_ack(&resp)?;
+        if advanced {
+            self.state.ctr = ctr;
+        }
+        self.state.searched_since_update = false;
+        Ok(())
+    }
+
+    /// Batched [`Scheme2Client::fake_update`]: one `AppendGenerations`
+    /// message per keyword group, all shipped through
+    /// [`Transport::round_trip_batch`] — over TCP that is a single
+    /// `UPDATE_MANY` envelope the server applies atomically with one journal
+    /// append per touched shard. All groups share one counter value (they
+    /// form a single logical update). Used by the serving benchmark to issue
+    /// pure index-write load.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Scheme2Client::fake_update`].
+    pub fn fake_update_many(&mut self, keyword_groups: &[Vec<Keyword>]) -> Result<()> {
+        let groups: Vec<&Vec<Keyword>> = keyword_groups.iter().filter(|g| !g.is_empty()).collect();
+        if groups.is_empty() {
+            return Ok(());
+        }
+        let (ctr, advanced) = self.next_update_counter()?;
+        let mut parts = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut entries = Vec::with_capacity(group.len());
+            for w in group.iter() {
+                let k = self.chain(w).key_for_counter(ctr)?;
+                entries.push(GenerationEntry {
+                    tag: self.tag(w),
+                    sealed_ids: self.seal_posting(&k, &[], &[]),
+                    commitment: key_commitment(&k),
+                });
+            }
+            parts.push(protocol::encode_append_generations(&entries));
+        }
+        let responses = self.link.round_trip_batch(&parts)?;
+        for resp in &responses {
+            proto_common::decode_ack(resp)?;
+        }
         if advanced {
             self.state.ctr = ctr;
         }
@@ -751,6 +849,42 @@ mod tests {
         let before = c.search(&Keyword::new("fever")).unwrap();
         c.fake_update(&[Keyword::new("fever"), Keyword::new("measles")])
             .unwrap();
+        assert_eq!(c.search(&Keyword::new("fever")).unwrap(), before);
+    }
+
+    #[test]
+    fn store_batch_matches_store_results() {
+        let mut a = client(Scheme2Config::standard().with_chain_length(64));
+        let mut b = client(Scheme2Config::standard().with_chain_length(64));
+        a.store(&docs()).unwrap();
+        b.store_batch(&docs()).unwrap();
+        assert_eq!(a.state(), b.state());
+        for w in ["flu", "fever", "measles", "absent"] {
+            assert_eq!(
+                a.search(&Keyword::new(w)).unwrap(),
+                b.search(&Keyword::new(w)).unwrap(),
+                "keyword {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn fake_update_many_adds_no_results_and_uses_one_counter() {
+        let mut c = client(Scheme2Config::base(64));
+        c.store(&docs()).unwrap();
+        let ctr_before = c.state().ctr;
+        let before = c.search(&Keyword::new("fever")).unwrap();
+        c.fake_update_many(&[
+            vec![Keyword::new("fever")],
+            vec![],
+            vec![Keyword::new("measles"), Keyword::new("flu")],
+        ])
+        .unwrap();
+        assert_eq!(
+            c.state().ctr,
+            ctr_before + 1,
+            "all groups share one counter step"
+        );
         assert_eq!(c.search(&Keyword::new("fever")).unwrap(), before);
     }
 

@@ -8,12 +8,24 @@
 //! (newest first), decrypting as commitments match. The walk length is the
 //! measurable `l/2x`-style cost of Table 1 — exposed in
 //! [`Scheme2ServerStats::chain_steps`].
+//!
+//! ## Sharding
+//!
+//! Like Scheme 1, the tag tree is partitioned into N independently locked
+//! shards by [`crate::shard::shard_of`] (see DESIGN.md §4d — the shard id
+//! is a public function of the already-revealed tag, so leakage is
+//! unchanged). Searches and appends against distinct shards run
+//! concurrently; `ResetIndex` spans every shard and journals a
+//! [`crate::shard`] batch slice per shard so a crash mid-reset recovers
+//! all-or-nothing. Lock order: shards ascending → document store.
 
 use super::protocol::{self, GenerationEntry, Request};
 use super::{key_commitment, Scheme2Config};
 use crate::error::{Result, SseError};
 use crate::journal::{IndexJournal, ServerRecovery};
 use crate::proto_common;
+use crate::shard::{self, shard_of, BatchId};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use sse_index::bptree::BpTree;
 use sse_index::postings::{Generation, GenerationList};
 use sse_net::link::Service;
@@ -23,14 +35,35 @@ use sse_primitives::hashchain::chain_step;
 use sse_storage::crc32::crc32;
 use sse_storage::store::DocStore;
 use sse_storage::{RealVfs, StorageError, Vfs};
+use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Snapshot magic, v2: the body now leads with the `last_op_seq` covered
-/// by the snapshot so journal replay can skip already-applied mutations.
+/// Snapshot magic, v2: the body leads with the `last_op_seq` covered by
+/// the snapshot so journal replay can skip already-applied mutations.
 const INDEX_MAGIC: &[u8; 8] = b"SSE2IDX2";
-/// Index journal file name inside the server's home directory.
-const JOURNAL_FILE: &str = "scheme2.wal";
+/// Shard manifest file inside the server's home directory.
+const MANIFEST_FILE: &str = "scheme2.meta";
+
+/// Index snapshot file for shard `i` (shard 0 keeps the pre-sharding name
+/// so single-shard directories stay readable by and from older layouts).
+fn index_file(i: usize) -> String {
+    if i == 0 {
+        "scheme2.index".to_string()
+    } else {
+        format!("scheme2.{i}.index")
+    }
+}
+
+/// Journal file for shard `i` (same legacy-name rule as [`index_file`]).
+fn journal_file(i: usize) -> String {
+    if i == 0 {
+        "scheme2.wal".to_string()
+    } else {
+        format!("scheme2.{i}.wal")
+    }
+}
 
 /// Out-of-band observability counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -49,49 +82,93 @@ pub struct Scheme2ServerStats {
     pub tree_nodes_visited: u64,
 }
 
+/// Lock-free cells behind [`Scheme2ServerStats`], so concurrent requests
+/// can count without taking any index lock.
+#[derive(Default)]
+struct StatsCells {
+    searches: AtomicU64,
+    chain_steps: AtomicU64,
+    generations_decrypted: AtomicU64,
+    generations_from_cache: AtomicU64,
+    generations_appended: AtomicU64,
+    tree_nodes_visited: AtomicU64,
+}
+
+/// One independently locked tag-tree partition with its own journal.
+struct Shard {
+    tree: BpTree<[u8; 32], GenerationList>,
+    /// Index mutation journal (None for in-memory servers).
+    journal: Option<IndexJournal>,
+}
+
 /// The Scheme 2 server.
 pub struct Scheme2Server {
-    tree: BpTree<[u8; 32], GenerationList>,
-    store: DocStore,
+    shards: Vec<Mutex<Shard>>,
+    /// Contended shard-lock acquisitions, per shard (served via STATS).
+    contention: Vec<AtomicU64>,
+    store: RwLock<DocStore>,
     config: Scheme2Config,
-    stats: Scheme2ServerStats,
+    stats: StatsCells,
     /// Durable home directory (None for in-memory servers).
     dir: Option<std::path::PathBuf>,
     /// The VFS every index file goes through (real or fault-injecting).
     vfs: Arc<dyn Vfs>,
-    /// Index mutation journal (None for in-memory servers).
-    journal: Option<IndexJournal>,
     /// What the last [`Scheme2Server::open_durable`] had to repair.
     recovery: ServerRecovery,
 }
 
 impl Scheme2Server {
-    /// In-memory server.
+    /// In-memory server with a single index shard.
     #[must_use]
     pub fn new_in_memory(config: Scheme2Config) -> Self {
+        Self::new_in_memory_sharded(config, 1)
+    }
+
+    /// In-memory server with `shards` independently locked index shards.
+    #[must_use]
+    pub fn new_in_memory_sharded(config: Scheme2Config, shards: usize) -> Self {
+        let n = shards.max(1);
         Scheme2Server {
-            tree: BpTree::new(),
-            store: DocStore::in_memory(),
+            shards: (0..n)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        tree: BpTree::new(),
+                        journal: None,
+                    })
+                })
+                .collect(),
+            contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            store: RwLock::new(DocStore::in_memory()),
             config,
-            stats: Scheme2ServerStats::default(),
+            stats: StatsCells::default(),
             dir: None,
             vfs: RealVfs::arc(),
-            journal: None,
             recovery: ServerRecovery::default(),
         }
     }
 
-    /// Durable server persisting document blobs under `dir`. Recovery
-    /// brings back everything acknowledged before a crash: the document
-    /// store replays its WAL, the index snapshot (if any) is loaded, and
-    /// index mutations journaled after the snapshot are re-applied in
-    /// order.
+    /// Durable server persisting document blobs under `dir`, single index
+    /// shard. Recovery brings back everything acknowledged before a
+    /// crash: the document store replays its WAL, each shard's index
+    /// snapshot (if any) is loaded, and index mutations journaled after
+    /// the snapshots are re-applied in order (incomplete cross-shard
+    /// batches excluded).
     ///
     /// # Errors
     /// Storage errors while opening or recovering the document store, a
     /// corrupt index snapshot, or a corrupt journal record.
     pub fn open_durable(config: Scheme2Config, dir: &Path) -> Result<Self> {
         Self::open_durable_with_vfs(RealVfs::arc(), config, dir)
+    }
+
+    /// [`Scheme2Server::open_durable`] with an index sharded `shards`
+    /// ways. The count is fixed at directory creation (recorded in the
+    /// shard manifest); reopening adopts whatever the directory holds.
+    ///
+    /// # Errors
+    /// As [`Scheme2Server::open_durable`].
+    pub fn open_durable_sharded(config: Scheme2Config, dir: &Path, shards: usize) -> Result<Self> {
+        Self::open_durable_with_vfs_sharded(RealVfs::arc(), config, dir, shards)
     }
 
     /// [`Scheme2Server::open_durable`] over an explicit [`Vfs`] (fault
@@ -105,42 +182,73 @@ impl Scheme2Server {
         config: Scheme2Config,
         dir: &Path,
     ) -> Result<Self> {
+        Self::open_durable_with_vfs_sharded(vfs, config, dir, 1)
+    }
+
+    /// [`Scheme2Server::open_durable_sharded`] over an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// As [`Scheme2Server::open_durable`], plus injected faults.
+    pub fn open_durable_with_vfs_sharded(
+        vfs: Arc<dyn Vfs>,
+        config: Scheme2Config,
+        dir: &Path,
+        shards: usize,
+    ) -> Result<Self> {
         let store = DocStore::open_with_vfs(
             vfs.clone(),
             dir,
             sse_storage::store::StoreOptions::default(),
         )?;
         let store_recovery = store.recovery_report();
-        let mut server = Scheme2Server {
-            tree: BpTree::new(),
-            store,
+        let n =
+            shard::resolve_shard_count(vfs.as_ref(), dir, MANIFEST_FILE, &index_file(0), shards)?;
+        let mut loaded: Vec<Shard> = Vec::with_capacity(n);
+        let mut recoveries = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut tree = BpTree::new();
+            let mut snapshot_seq = 0u64;
+            let index_path = dir.join(index_file(i));
+            if vfs.exists(&index_path) {
+                let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
+                snapshot_seq = load_shard_snapshot(&mut tree, &bytes)?;
+            }
+            let (journal, recovery) = IndexJournal::open_with_vfs(
+                vfs.clone(),
+                &dir.join(journal_file(i)),
+                true,
+                snapshot_seq,
+            )?;
+            loaded.push(Shard {
+                tree,
+                journal: Some(journal),
+            });
+            recoveries.push(recovery);
+        }
+        let plan = shard::resolve_shard_recoveries(&recoveries)?;
+        let mut replayed = 0u64;
+        for (shard, apply) in loaded.iter_mut().zip(&plan.apply) {
+            for raw in apply {
+                replay_into(shard, raw)?;
+                replayed += 1;
+            }
+        }
+        Ok(Scheme2Server {
+            shards: loaded.into_iter().map(Mutex::new).collect(),
+            contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            store: RwLock::new(store),
             config,
-            stats: Scheme2ServerStats::default(),
+            stats: StatsCells::default(),
             dir: Some(dir.to_path_buf()),
-            vfs: vfs.clone(),
-            journal: None,
-            recovery: ServerRecovery::default(),
-        };
-        let index_path = dir.join("scheme2.index");
-        let mut snapshot_seq = 0u64;
-        if vfs.exists(&index_path) {
-            let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
-            snapshot_seq = server.load_index_bytes(&bytes)?;
-        }
-        let (journal, journal_recovery) =
-            IndexJournal::open_with_vfs(vfs, &dir.join(JOURNAL_FILE), true, snapshot_seq)?;
-        for raw in &journal_recovery.replay {
-            server.replay_mutation(raw)?;
-        }
-        server.journal = Some(journal);
-        server.recovery = ServerRecovery {
-            index_ops_replayed: journal_recovery.replay.len() as u64,
-            index_torn_bytes: journal_recovery.torn_bytes_truncated,
-            store_snapshot_loaded: store_recovery.snapshot_loaded,
-            store_wal_records_replayed: store_recovery.wal_records_replayed,
-            store_torn_bytes: store_recovery.torn_bytes_truncated,
-        };
-        Ok(server)
+            vfs,
+            recovery: ServerRecovery {
+                index_ops_replayed: replayed,
+                index_torn_bytes: recoveries.iter().map(|r| r.torn_bytes_truncated).sum(),
+                store_snapshot_loaded: store_recovery.snapshot_loaded,
+                store_wal_records_replayed: store_recovery.wal_records_replayed,
+                store_torn_bytes: store_recovery.torn_bytes_truncated,
+            },
+        })
     }
 
     /// What the last [`Scheme2Server::open_durable`] had to repair.
@@ -149,18 +257,384 @@ impl Scheme2Server {
         self.recovery
     }
 
-    /// Persist the generation lists to a CRC-protected snapshot. The
-    /// Optimization-1 plaintext cache is *not* persisted — it is an
-    /// optimization the next search rebuilds, and keeping recovered state
-    /// minimal follows the principle of storing only what is necessary.
+    /// Number of index shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Contended shard-lock acquisitions since startup, per shard.
+    #[must_use]
+    pub fn shard_contention(&self) -> Vec<u64> {
+        self.contention
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Checkpoint everything durable, in crash-safe order: document store
+    /// snapshot, then every shard's index snapshot (each recording its
+    /// journal's `last_op_seq`), then every journal truncation. No
+    /// journal may be reset until *all* snapshots are durable — a batch
+    /// slice is only resolvable while its sibling shards still hold (or
+    /// their snapshots already cover) their slices.
+    ///
+    /// # Errors
+    /// Filesystem errors. No-op index-wise for in-memory servers.
+    pub fn checkpoint(&self, dir: &Path) -> Result<()> {
+        let mut guards = self.lock_all_shards();
+        self.store.write().checkpoint()?;
+        for (i, shard) in guards.iter().enumerate() {
+            self.save_shard_snapshot(shard, &dir.join(index_file(i)))?;
+        }
+        for shard in guards.iter_mut() {
+            if let Some(journal) = &mut shard.journal {
+                journal.reset()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint into the server's own home directory; no-op for
+    /// in-memory servers.
     ///
     /// # Errors
     /// Filesystem errors.
-    pub fn save_index(&self, path: &Path) -> Result<()> {
+    pub fn checkpoint_home(&self) -> Result<()> {
+        match self.dir.clone() {
+            Some(dir) => self.checkpoint(&dir),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of unique keywords indexed (`u`).
+    #[must_use]
+    pub fn unique_keywords(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).tree.len())
+            .sum()
+    }
+
+    /// Number of stored documents.
+    #[must_use]
+    pub fn stored_docs(&self) -> usize {
+        self.store.read().len()
+    }
+
+    /// Height of the tallest shard's tag tree.
+    #[must_use]
+    pub fn tree_height(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).tree.height())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Observability counters.
+    #[must_use]
+    pub fn stats(&self) -> Scheme2ServerStats {
+        Scheme2ServerStats {
+            searches: self.stats.searches.load(Ordering::Relaxed),
+            chain_steps: self.stats.chain_steps.load(Ordering::Relaxed),
+            generations_decrypted: self.stats.generations_decrypted.load(Ordering::Relaxed),
+            generations_from_cache: self.stats.generations_from_cache.load(Ordering::Relaxed),
+            generations_appended: self.stats.generations_appended.load(Ordering::Relaxed),
+            tree_nodes_visited: self.stats.tree_nodes_visited.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the observability counters.
+    pub fn reset_stats(&self) {
+        self.stats.searches.store(0, Ordering::Relaxed);
+        self.stats.chain_steps.store(0, Ordering::Relaxed);
+        self.stats.generations_decrypted.store(0, Ordering::Relaxed);
+        self.stats
+            .generations_from_cache
+            .store(0, Ordering::Relaxed);
+        self.stats.generations_appended.store(0, Ordering::Relaxed);
+        self.stats.tree_nodes_visited.store(0, Ordering::Relaxed);
+    }
+
+    /// Total stored index bytes across all generation lists (diagnostic).
+    #[must_use]
+    pub fn index_bytes(&self) -> usize {
+        self.lock_all_shards()
+            .iter()
+            .map(|s| s.tree.iter().map(|(_, l)| l.stored_bytes()).sum::<usize>())
+            .sum()
+    }
+
+    /// Serve one request without exclusive access — the entry point the
+    /// multi-tenant daemon's workers call concurrently. Internal locking
+    /// is per shard, so requests against distinct shards run in parallel.
+    pub fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+        match protocol::decode_request(request) {
+            Ok(req) => self.handle_request(req),
+            Err(e) => proto_common::encode_error(&e.to_string()),
+        }
+    }
+
+    /// Apply an `UPDATE_MANY` batch: every part must be a mutation
+    /// (`PutDocs` or `AppendGenerations`). All parts are decoded first,
+    /// then applied all-or-nothing with respect to racing searches (every
+    /// affected shard stays locked for the whole application) and with
+    /// one journal append per affected shard.
+    pub fn apply_batch(&self, parts: &[&[u8]]) -> Vec<u8> {
+        let mut docs: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut entries: Vec<GenerationEntry> = Vec::new();
+        for part in parts {
+            match protocol::decode_request(part) {
+                Ok(Request::PutDocs(d)) => docs.extend(d),
+                Ok(Request::AppendGenerations(e)) => entries.extend(e),
+                Ok(_) => {
+                    return proto_common::encode_error(
+                        "batch parts must be mutations (PutDocs / AppendGenerations)",
+                    )
+                }
+                Err(e) => return proto_common::encode_error(&e.to_string()),
+            }
+        }
+        if !docs.is_empty() {
+            let mut store = self.store.write();
+            for (id, blob) in &docs {
+                if let Err(e) = store.put(*id, blob) {
+                    return proto_common::encode_error(&e.to_string());
+                }
+            }
+        }
+        self.append_sharded(entries)
+    }
+
+    /// Acquire shard `i`'s lock, counting a contended acquisition when the
+    /// lock was not immediately free.
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, Shard> {
+        match self.shards[i].try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contention[i].fetch_add(1, Ordering::Relaxed);
+                self.shards[i].lock()
+            }
+        }
+    }
+
+    /// Lock every shard in ascending order (checkpoint / reset paths).
+    fn lock_all_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
+        (0..self.shards.len()).map(|i| self.lock_shard(i)).collect()
+    }
+
+    /// Append generation entries: group per shard (preserving input order
+    /// within each shard), lock affected shards ascending, journal one
+    /// record per shard (a plain request for a single shard, batch slices
+    /// for several), then mutate.
+    fn append_sharded(&self, entries: Vec<GenerationEntry>) -> Vec<u8> {
+        if entries.is_empty() {
+            return proto_common::encode_ack();
+        }
+        let n = self.shards.len();
+        let mut groups: BTreeMap<usize, Vec<GenerationEntry>> = BTreeMap::new();
+        for entry in entries {
+            groups
+                .entry(shard_of(&entry.tag, n))
+                .or_default()
+                .push(entry);
+        }
+        let idxs: Vec<usize> = groups.keys().copied().collect();
+        let mut guards: Vec<MutexGuard<'_, Shard>> =
+            idxs.iter().map(|&i| self.lock_shard(i)).collect();
+        if let Err(e) = journal_groups(&idxs, &mut guards, |i| {
+            protocol::encode_append_generations(&groups[&i])
+        }) {
+            return proto_common::encode_error(&e.to_string());
+        }
+        for (guard, (_, group)) in guards.iter_mut().zip(groups) {
+            for entry in group {
+                append_entry(&mut guard.tree, entry);
+                self.stats
+                    .generations_appended
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        proto_common::encode_ack()
+    }
+
+    fn handle_reset_index(&self) -> Vec<u8> {
+        // ResetIndex rewrites every shard, so the batch spans all N.
+        let idxs: Vec<usize> = (0..self.shards.len()).collect();
+        let mut guards = self.lock_all_shards();
+        if let Err(e) = journal_groups(&idxs, &mut guards, |_| protocol::encode_reset_index()) {
+            return proto_common::encode_error(&e.to_string());
+        }
+        for guard in guards.iter_mut() {
+            guard.tree = BpTree::new();
+        }
+        proto_common::encode_ack()
+    }
+
+    fn handle_request(&self, request: Request) -> Vec<u8> {
+        match request {
+            Request::PutDocs(docs) => {
+                let mut store = self.store.write();
+                for (id, blob) in docs {
+                    if let Err(e) = store.put(id, &blob) {
+                        return proto_common::encode_error(&e.to_string());
+                    }
+                }
+                proto_common::encode_ack()
+            }
+            Request::AppendGenerations(entries) => self.append_sharded(entries),
+            Request::Search { tag, t_prime } => match self.search_one(tag, t_prime) {
+                Ok(docs) => proto_common::encode_result(&docs),
+                Err(msg) => proto_common::encode_error(&msg),
+            },
+            Request::SearchMany(trapdoors) => {
+                let mut results = Vec::with_capacity(trapdoors.len());
+                for (tag, t_prime) in trapdoors {
+                    match self.search_one(tag, t_prime) {
+                        Ok(docs) => results.push(docs),
+                        Err(msg) => return proto_common::encode_error(&msg),
+                    }
+                }
+                proto_common::encode_result_many(&results)
+            }
+            Request::ResetIndex => self.handle_reset_index(),
+            Request::Checkpoint => {
+                let Some(dir) = self.dir.clone() else {
+                    return proto_common::encode_error(
+                        "checkpoint requested on an in-memory server",
+                    );
+                };
+                match self.checkpoint(&dir) {
+                    Ok(()) => proto_common::encode_ack(),
+                    Err(e) => proto_common::encode_error(&e.to_string()),
+                }
+            }
+            Request::RemoveDocs(ids) => {
+                let mut store = self.store.write();
+                for id in ids {
+                    // Deleting an unknown id is a no-op, not an error: the
+                    // posting-side delete entries may arrive first.
+                    let _ = store.delete(id);
+                }
+                proto_common::encode_ack()
+            }
+        }
+    }
+
+    /// Execute one Fig. 4 search, returning the matching encrypted
+    /// documents or an error description. Only this keyword's shard is
+    /// locked (for the whole walk — the Optimization-1 cache mutates the
+    /// list), so searches against other shards proceed concurrently.
+    fn search_one(
+        &self,
+        tag: [u8; 32],
+        t_prime: [u8; 32],
+    ) -> std::result::Result<Vec<(u64, Vec<u8>)>, String> {
+        let max_walk = self.config.chain_length as usize + 1;
+        let use_cache = self.config.server_cache;
+
+        let mut shard = self.lock_shard(shard_of(&tag, self.shards.len()));
+        let (found, tree_stats) = shard.tree.get_with_stats(&tag);
+        self.stats
+            .tree_nodes_visited
+            .fetch_add(tree_stats.nodes_visited as u64, Ordering::Relaxed);
+        if found.is_none() {
+            self.stats.searches.fetch_add(1, Ordering::Relaxed);
+            return Ok(Vec::new());
+        }
+        // Re-borrow mutably (the immutable borrow above was for stats).
+        let list = shard.tree.get_mut(&tag).expect("checked present");
+
+        self.stats
+            .generations_from_cache
+            .fetch_add(list.cached_generations() as u64, Ordering::Relaxed);
+
+        // Unlock the undecrypted suffix newest-to-oldest while walking the
+        // chain forward from the trapdoor. Each generation decrypts to an
+        // (added ids, deleted ids) pair; deletions are the beyond-paper
+        // dynamic-SSE extension (an empty delete list is the paper's case).
+        let locked: Vec<Generation> = list.undecrypted().to_vec();
+        let mut decoded: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); locked.len()];
+        let mut element = t_prime;
+        let mut steps_used = 0usize;
+        for (pos, generation) in locked.iter().enumerate().rev() {
+            // Advance until the commitment matches this generation's key.
+            let mut matched = key_commitment(&element) == generation.key_commitment;
+            while !matched {
+                if steps_used >= max_walk {
+                    self.stats.searches.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .chain_steps
+                        .fetch_add(steps_used as u64, Ordering::Relaxed);
+                    return Err(format!(
+                        "chain walk exceeded {max_walk} steps; client/server desync"
+                    ));
+                }
+                element = chain_step(&element);
+                steps_used += 1;
+                matched = key_commitment(&element) == generation.key_commitment;
+            }
+            // `element` is the generation key: decrypt the posting entry.
+            let etm = EtmKey::new(&element);
+            let plain = match etm.open(&generation.masked_ids) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.stats.searches.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!("generation decryption failed: {e}"));
+                }
+            };
+            let mut r = WireReader::new(&plain);
+            let parsed: std::result::Result<(Vec<u64>, Vec<u64>), _> = (|| {
+                let adds = r.get_u64_vec()?;
+                let dels = r.get_u64_vec()?;
+                r.finish()?;
+                Ok::<_, sse_net::wire::WireError>((adds, dels))
+            })();
+            match parsed {
+                Ok(pair) => decoded[pos] = pair,
+                Err(e) => {
+                    self.stats.searches.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!("generation payload malformed: {e}"));
+                }
+            }
+        }
+        self.stats
+            .chain_steps
+            .fetch_add(steps_used as u64, Ordering::Relaxed);
+        self.stats
+            .generations_decrypted
+            .fetch_add(locked.len() as u64, Ordering::Relaxed);
+        self.stats.searches.fetch_add(1, Ordering::Relaxed);
+
+        // Apply generations in chronological order on top of the
+        // Optimization-1 cache: adds union in, deletes remove.
+        let mut all_ids: Vec<u64> = list.cached_ids().to_vec();
+        for (adds, dels) in &decoded {
+            for id in adds {
+                if !all_ids.contains(id) {
+                    all_ids.push(*id);
+                }
+            }
+            for id in dels {
+                all_ids.retain(|x| x != id);
+            }
+        }
+        if use_cache {
+            list.set_cached(all_ids.clone());
+        }
+
+        all_ids.sort_unstable();
+        Ok(self.store.read().get_many(&all_ids))
+    }
+
+    /// Persist one shard's generation lists to a CRC-protected snapshot.
+    /// The Optimization-1 plaintext cache is *not* persisted — it is an
+    /// optimization the next search rebuilds, and keeping recovered state
+    /// minimal follows the principle of storing only what is necessary.
+    fn save_shard_snapshot(&self, shard: &Shard, path: &Path) -> Result<()> {
         let mut body = WireWriter::new();
-        body.put_u64(self.journal.as_ref().map_or(0, IndexJournal::last_seq));
-        body.put_u64(self.tree.len() as u64);
-        for (tag, list) in self.tree.iter() {
+        body.put_u64(shard.journal.as_ref().map_or(0, IndexJournal::last_seq));
+        body.put_u64(shard.tree.len() as u64);
+        for (tag, list) in shard.tree.iter() {
             body.put_array(tag);
             body.put_u64(list.len() as u64);
             for generation in list.iter() {
@@ -182,337 +656,126 @@ impl Scheme2Server {
         self.vfs.rename(&tmp, path).map_err(StorageError::Io)?;
         Ok(())
     }
+}
 
-    /// Load an index snapshot written by [`Scheme2Server::save_index`].
-    ///
-    /// # Errors
-    /// Corruption (bad magic/CRC) or I/O failures.
-    pub fn load_index(&mut self, path: &Path) -> Result<()> {
-        let bytes = self.vfs.read(path).map_err(StorageError::Io)?;
-        self.load_index_bytes(&bytes)?;
-        Ok(())
-    }
-
-    /// Decode snapshot `bytes`, returning the `last_op_seq` it covers.
-    fn load_index_bytes(&mut self, bytes: &[u8]) -> Result<u64> {
-        if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
-            return Err(SseError::Storage(StorageError::Corrupt {
-                what: "scheme2 index snapshot",
-                detail: "bad magic or truncated".to_string(),
-            }));
-        }
-        let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        let body = &bytes[12..];
-        if crc32(body) != stored_crc {
-            return Err(SseError::Storage(StorageError::Corrupt {
-                what: "scheme2 index snapshot",
-                detail: "checksum mismatch".to_string(),
-            }));
-        }
-        let mut r = WireReader::new(body);
-        let last_op_seq = r.get_u64()?;
-        let n = r.get_count(40)?;
-        let mut tree = BpTree::new();
-        for _ in 0..n {
-            let tag = r.get_array32()?;
-            let gens = r.get_count(40)?;
+/// Append one generation entry to the shard tree.
+fn append_entry(tree: &mut BpTree<[u8; 32], GenerationList>, entry: GenerationEntry) {
+    let GenerationEntry {
+        tag,
+        sealed_ids,
+        commitment,
+    } = entry;
+    let generation = Generation {
+        masked_ids: sealed_ids,
+        key_commitment: commitment,
+    };
+    match tree.get_mut(&tag) {
+        Some(list) => list.push(generation),
+        None => {
             let mut list = GenerationList::new();
-            for _ in 0..gens {
-                let masked_ids = r.get_bytes()?.to_vec();
-                let key_commitment = r.get_array32()?;
-                list.push(Generation {
-                    masked_ids,
-                    key_commitment,
-                });
-            }
+            list.push(generation);
             tree.insert(tag, list);
         }
-        r.finish()?;
-        self.tree = tree;
-        Ok(last_op_seq)
     }
+}
 
-    /// Checkpoint everything durable, in crash-safe order: document store
-    /// snapshot, then the index snapshot (which records the journal's
-    /// `last_op_seq`), then journal truncation. A crash between any two
-    /// steps recovers correctly: the snapshot's sequence number tells
-    /// replay exactly which journaled mutations are already inside it.
-    ///
-    /// # Errors
-    /// Filesystem errors.
-    pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
-        self.store.checkpoint()?;
-        self.save_index(&dir.join("scheme2.index"))?;
-        if let Some(journal) = &mut self.journal {
-            journal.reset()?;
+/// Journal one record per affected shard: the plain shard-local request
+/// when the mutation touches a single shard, batch slices otherwise.
+/// `guards[k]` must be the lock for shard `idxs[k]`, ascending. A failed
+/// append refuses the whole mutation: nothing may be acknowledged that a
+/// restart would lose, and recovery discards the partial batch.
+fn journal_groups(
+    idxs: &[usize],
+    guards: &mut [MutexGuard<'_, Shard>],
+    encode_for: impl Fn(usize) -> Vec<u8>,
+) -> Result<()> {
+    debug_assert_eq!(idxs.len(), guards.len());
+    if guards.iter().all(|g| g.journal.is_none()) {
+        return Ok(());
+    }
+    if idxs.len() == 1 {
+        if let Some(journal) = &mut guards[0].journal {
+            journal.append(&encode_for(idxs[0]))?;
         }
-        Ok(())
+        return Ok(());
     }
-
-    /// Checkpoint into the server's own home directory; no-op for
-    /// in-memory servers.
-    ///
-    /// # Errors
-    /// Filesystem errors.
-    pub fn checkpoint_home(&mut self) -> Result<()> {
-        match self.dir.clone() {
-            Some(dir) => self.checkpoint(&dir),
-            None => Ok(()),
-        }
-    }
-
-    /// Number of unique keywords indexed (`u`).
-    #[must_use]
-    pub fn unique_keywords(&self) -> usize {
-        self.tree.len()
-    }
-
-    /// Number of stored documents.
-    #[must_use]
-    pub fn stored_docs(&self) -> usize {
-        self.store.len()
-    }
-
-    /// Height of the tag tree.
-    #[must_use]
-    pub fn tree_height(&self) -> usize {
-        self.tree.height()
-    }
-
-    /// Observability counters.
-    #[must_use]
-    pub fn stats(&self) -> Scheme2ServerStats {
-        self.stats
-    }
-
-    /// Reset the observability counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = Scheme2ServerStats::default();
-    }
-
-    /// Total stored index bytes across all generation lists (diagnostic).
-    #[must_use]
-    pub fn index_bytes(&self) -> usize {
-        self.tree.iter().map(|(_, l)| l.stored_bytes()).sum()
-    }
-
-    /// Append `raw` to the index journal (durable servers only). A failed
-    /// append refuses the mutation: nothing may be acknowledged that a
-    /// restart would lose.
-    fn journal_mutation(&mut self, raw: &[u8]) -> Result<()> {
-        if let Some(journal) = &mut self.journal {
-            journal.append(raw)?;
-        }
-        Ok(())
-    }
-
-    /// Re-apply one journaled mutation during recovery (no re-journaling).
-    fn replay_mutation(&mut self, raw: &[u8]) -> Result<()> {
-        let resp = match protocol::decode_request(raw)? {
-            Request::AppendGenerations(entries) => self.handle_append(raw, entries, false),
-            Request::ResetIndex => self.handle_reset_index(raw, false),
-            _ => {
-                return Err(SseError::Storage(StorageError::Corrupt {
-                    what: "scheme2 index journal",
-                    detail: "journal holds a non-mutating request".to_string(),
-                }))
-            }
-        };
-        proto_common::decode_ack(&resp)
-    }
-
-    fn handle_append(
-        &mut self,
-        raw: &[u8],
-        entries: Vec<GenerationEntry>,
-        durable: bool,
-    ) -> Vec<u8> {
-        if durable {
-            if let Err(e) = self.journal_mutation(raw) {
-                return proto_common::encode_error(&e.to_string());
-            }
-        }
-        for GenerationEntry {
-            tag,
-            sealed_ids,
-            commitment,
-        } in entries
-        {
-            let generation = Generation {
-                masked_ids: sealed_ids,
-                key_commitment: commitment,
-            };
-            match self.tree.get_mut(&tag) {
-                Some(list) => list.push(generation),
-                None => {
-                    let mut list = GenerationList::new();
-                    list.push(generation);
-                    self.tree.insert(tag, list);
-                }
-            }
-            self.stats.generations_appended += 1;
-        }
-        proto_common::encode_ack()
-    }
-
-    fn handle_reset_index(&mut self, raw: &[u8], durable: bool) -> Vec<u8> {
-        if durable {
-            if let Err(e) = self.journal_mutation(raw) {
-                return proto_common::encode_error(&e.to_string());
-            }
-        }
-        self.tree = BpTree::new();
-        proto_common::encode_ack()
-    }
-
-    fn handle_request(&mut self, raw: &[u8], request: Request) -> Vec<u8> {
-        match request {
-            Request::PutDocs(docs) => {
-                for (id, blob) in docs {
-                    if let Err(e) = self.store.put(id, &blob) {
-                        return proto_common::encode_error(&e.to_string());
-                    }
-                }
-                proto_common::encode_ack()
-            }
-            Request::AppendGenerations(entries) => self.handle_append(raw, entries, true),
-            Request::Search { tag, t_prime } => match self.search_one(tag, t_prime) {
-                Ok(docs) => proto_common::encode_result(&docs),
-                Err(msg) => proto_common::encode_error(&msg),
-            },
-            Request::SearchMany(trapdoors) => {
-                let mut results = Vec::with_capacity(trapdoors.len());
-                for (tag, t_prime) in trapdoors {
-                    match self.search_one(tag, t_prime) {
-                        Ok(docs) => results.push(docs),
-                        Err(msg) => return proto_common::encode_error(&msg),
-                    }
-                }
-                proto_common::encode_result_many(&results)
-            }
-            Request::ResetIndex => self.handle_reset_index(raw, true),
-            Request::Checkpoint => {
-                let Some(dir) = self.dir.clone() else {
-                    return proto_common::encode_error(
-                        "checkpoint requested on an in-memory server",
-                    );
-                };
-                match self.checkpoint(&dir) {
-                    Ok(()) => proto_common::encode_ack(),
-                    Err(e) => proto_common::encode_error(&e.to_string()),
-                }
-            }
-            Request::RemoveDocs(ids) => {
-                for id in ids {
-                    // Deleting an unknown id is a no-op, not an error: the
-                    // posting-side delete entries may arrive first.
-                    let _ = self.store.delete(id);
-                }
-                proto_common::encode_ack()
-            }
+    let shard_set: Vec<u32> = idxs.iter().map(|&i| i as u32).collect();
+    let batch = BatchId {
+        coordinator: shard_set[0],
+        seq: guards[0].journal.as_ref().map_or(0, IndexJournal::next_seq),
+    };
+    for (guard, &i) in guards.iter_mut().zip(idxs) {
+        if let Some(journal) = &mut guard.journal {
+            journal.append(&shard::encode_slice(batch, &shard_set, &encode_for(i)))?;
         }
     }
+    Ok(())
+}
 
-    /// Execute one Fig. 4 search, returning the matching encrypted
-    /// documents or an error description.
-    fn search_one(
-        &mut self,
-        tag: [u8; 32],
-        t_prime: [u8; 32],
-    ) -> std::result::Result<Vec<(u64, Vec<u8>)>, String> {
-        let max_walk = self.config.chain_length as usize + 1;
-        let use_cache = self.config.server_cache;
-
-        let (found, tree_stats) = self.tree.get_with_stats(&tag);
-        self.stats.tree_nodes_visited += tree_stats.nodes_visited as u64;
-        if found.is_none() {
-            self.stats.searches += 1;
-            return Ok(Vec::new());
-        }
-        // Re-borrow mutably (the immutable borrow above was for stats).
-        let list = self.tree.get_mut(&tag).expect("checked present");
-
-        self.stats.generations_from_cache += list.cached_generations() as u64;
-
-        // Unlock the undecrypted suffix newest-to-oldest while walking the
-        // chain forward from the trapdoor. Each generation decrypts to an
-        // (added ids, deleted ids) pair; deletions are the beyond-paper
-        // dynamic-SSE extension (an empty delete list is the paper's case).
-        let locked: Vec<Generation> = list.undecrypted().to_vec();
-        let mut decoded: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); locked.len()];
-        let mut element = t_prime;
-        let mut steps_used = 0usize;
-        for (pos, generation) in locked.iter().enumerate().rev() {
-            // Advance until the commitment matches this generation's key.
-            let mut matched = key_commitment(&element) == generation.key_commitment;
-            while !matched {
-                if steps_used >= max_walk {
-                    self.stats.searches += 1;
-                    self.stats.chain_steps += steps_used as u64;
-                    return Err(format!(
-                        "chain walk exceeded {max_walk} steps; client/server desync"
-                    ));
-                }
-                element = chain_step(&element);
-                steps_used += 1;
-                matched = key_commitment(&element) == generation.key_commitment;
+/// Re-apply one journaled shard-local mutation during recovery (no
+/// re-journaling).
+fn replay_into(shard: &mut Shard, raw: &[u8]) -> Result<()> {
+    match protocol::decode_request(raw)? {
+        Request::AppendGenerations(entries) => {
+            for entry in entries {
+                append_entry(&mut shard.tree, entry);
             }
-            // `element` is the generation key: decrypt the posting entry.
-            let etm = EtmKey::new(&element);
-            let plain = match etm.open(&generation.masked_ids) {
-                Ok(p) => p,
-                Err(e) => {
-                    self.stats.searches += 1;
-                    return Err(format!("generation decryption failed: {e}"));
-                }
-            };
-            let mut r = WireReader::new(&plain);
-            let parsed: std::result::Result<(Vec<u64>, Vec<u64>), _> = (|| {
-                let adds = r.get_u64_vec()?;
-                let dels = r.get_u64_vec()?;
-                r.finish()?;
-                Ok::<_, sse_net::wire::WireError>((adds, dels))
-            })();
-            match parsed {
-                Ok(pair) => decoded[pos] = pair,
-                Err(e) => {
-                    self.stats.searches += 1;
-                    return Err(format!("generation payload malformed: {e}"));
-                }
-            }
+            Ok(())
         }
-        self.stats.chain_steps += steps_used as u64;
-        self.stats.generations_decrypted += locked.len() as u64;
-        self.stats.searches += 1;
-
-        // Apply generations in chronological order on top of the
-        // Optimization-1 cache: adds union in, deletes remove.
-        let mut all_ids: Vec<u64> = list.cached_ids().to_vec();
-        for (adds, dels) in &decoded {
-            for id in adds {
-                if !all_ids.contains(id) {
-                    all_ids.push(*id);
-                }
-            }
-            for id in dels {
-                all_ids.retain(|x| x != id);
-            }
+        Request::ResetIndex => {
+            shard.tree = BpTree::new();
+            Ok(())
         }
-        if use_cache {
-            list.set_cached(all_ids.clone());
-        }
-
-        all_ids.sort_unstable();
-        Ok(self.store.get_many(&all_ids))
+        _ => Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme2 index journal",
+            detail: "journal holds a non-mutating request".to_string(),
+        })),
     }
+}
+
+/// Decode one shard snapshot into `tree`, returning the `last_op_seq` it
+/// covers.
+fn load_shard_snapshot(tree: &mut BpTree<[u8; 32], GenerationList>, bytes: &[u8]) -> Result<u64> {
+    if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme2 index snapshot",
+            detail: "bad magic or truncated".to_string(),
+        }));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let body = &bytes[12..];
+    if crc32(body) != stored_crc {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme2 index snapshot",
+            detail: "checksum mismatch".to_string(),
+        }));
+    }
+    let mut r = WireReader::new(body);
+    let last_op_seq = r.get_u64()?;
+    let n = r.get_count(40)?;
+    let mut fresh = BpTree::new();
+    for _ in 0..n {
+        let tag = r.get_array32()?;
+        let gens = r.get_count(40)?;
+        let mut list = GenerationList::new();
+        for _ in 0..gens {
+            let masked_ids = r.get_bytes()?.to_vec();
+            let key_commitment = r.get_array32()?;
+            list.push(Generation {
+                masked_ids,
+                key_commitment,
+            });
+        }
+        fresh.insert(tag, list);
+    }
+    r.finish()?;
+    *tree = fresh;
+    Ok(last_op_seq)
 }
 
 impl Service for Scheme2Server {
     fn handle(&mut self, request: &[u8]) -> Vec<u8> {
-        match protocol::decode_request(request) {
-            Ok(req) => self.handle_request(request, req),
-            Err(e) => proto_common::encode_error(&e.to_string()),
-        }
+        self.handle_shared(request)
     }
 
     fn on_shutdown(&mut self) {
@@ -735,5 +998,71 @@ mod tests {
         assert_eq!(walk_forward(&t30, 20), k10);
         decode_result(&s.handle(&protocol::encode_search(&tag, &t30))).unwrap();
         assert_eq!(s.stats().chain_steps, 20);
+    }
+
+    #[test]
+    fn sharded_server_answers_like_single_shard() {
+        // The same append/search conversation against 1 and 5 shards must
+        // be indistinguishable on the wire.
+        let mut single = server();
+        let mut sharded = Scheme2Server::new_in_memory_sharded(
+            Scheme2Config::standard().with_chain_length(64),
+            5,
+        );
+        assert_eq!(sharded.num_shards(), 5);
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let docs: Vec<(u64, Vec<u8>)> = (0..8u64).map(|i| (i, vec![i as u8; 4])).collect();
+        let mut tags = Vec::new();
+        let mut entries = Vec::new();
+        for i in 0..16u8 {
+            let mut tag = [0u8; 32];
+            tag[0] = i.wrapping_mul(41);
+            tag[1] = i;
+            tags.push(tag);
+            let k = chain.key_for_counter(1).unwrap();
+            entries.push(GenerationEntry {
+                tag,
+                sealed_ids: sealed_ids(&k, &[u64::from(i % 8)]),
+                commitment: key_commitment(&k),
+            });
+        }
+        for s in [&mut single, &mut sharded] {
+            decode_ack(&s.handle(&protocol::encode_put_docs(&docs))).unwrap();
+            decode_ack(&s.handle(&protocol::encode_append_generations(&entries))).unwrap();
+        }
+        assert_eq!(single.unique_keywords(), sharded.unique_keywords());
+        let t2 = chain.key_for_counter(2).unwrap();
+        for tag in &tags {
+            let a = single.handle(&protocol::encode_search(tag, &t2));
+            let b = sharded.handle(&protocol::encode_search(tag, &t2));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn apply_batch_combines_docs_and_generations() {
+        let s = server();
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let k = chain.key_for_counter(1).unwrap();
+        let tag = [4u8; 32];
+        let docs = protocol::encode_put_docs(&[(1, b"d".to_vec())]);
+        let gens = protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k, &[1]),
+            commitment: key_commitment(&k),
+        }]);
+        decode_ack(&s.apply_batch(&[&docs, &gens])).unwrap();
+        assert_eq!(s.stored_docs(), 1);
+        assert_eq!(s.unique_keywords(), 1);
+
+        let resp = s.handle_shared(&protocol::encode_search(&tag, &k));
+        assert_eq!(decode_result(&resp).unwrap(), vec![(1, b"d".to_vec())]);
+    }
+
+    #[test]
+    fn apply_batch_rejects_non_mutations() {
+        let s = server();
+        let resp = s.apply_batch(&[&protocol::encode_reset_index()]);
+        assert!(decode_ack(&resp).is_err());
     }
 }

@@ -30,6 +30,21 @@ pub trait Transport {
     /// index mutations are not idempotent, so at-most-once delivery is part
     /// of the transport contract.
     fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>>;
+
+    /// Execute a batch of mutation rounds, returning one response per
+    /// part. The default sends the parts as individual rounds, stopping at
+    /// the first transit failure — exactly the behaviour a caller looping
+    /// over [`Transport::round_trip`] would get, so links that cannot
+    /// coalesce lose nothing. Transports with a wire-level batch op (the
+    /// TCP transport's `UPDATE_MANY`) override this to ship all parts in a
+    /// single round and have the server journal them per index shard.
+    ///
+    /// # Errors
+    /// As [`Transport::round_trip`]; on error, any prefix of the batch may
+    /// already have taken effect server-side.
+    fn round_trip_batch(&mut self, parts: &[Vec<u8>]) -> std::io::Result<Vec<Vec<u8>>> {
+        parts.iter().map(|p| self.round_trip(p)).collect()
+    }
 }
 
 impl<S: Service> Transport for MeteredLink<S> {

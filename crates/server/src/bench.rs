@@ -1,0 +1,406 @@
+//! Serving benchmark: sharded vs single-shard search throughput.
+//!
+//! Spawns two durable daemons on ephemeral ports — one with a single index
+//! shard per tenant, one with `shards` — loads an identical seeded corpus
+//! into each, then drives the same mixed workload against both: half the
+//! clients search in a closed loop, half issue durable index writes
+//! (Scheme 2 fake updates through the `UPDATE_MANY` envelope). Every index
+//! write fsyncs its shard journal, so with one shard every search queues
+//! behind every in-flight fsync; with many shards searches and writes on
+//! different shards overlap even on a single core (the fsync is blocking
+//! I/O, not CPU). The report is written as `BENCH_serving.json` for CI.
+//!
+//! The updaters run Optimization 2 (`CtrPolicy::OnSearchOnly`) and never
+//! search, so their chain counter never advances past 1 and the workload
+//! cannot exhaust the chain regardless of duration.
+
+use crate::daemon::{Daemon, ServerConfig};
+use crate::histogram::LatencyHistogram;
+use crate::proto::SchemeId;
+use crate::tenant::TenantParams;
+use crate::transport::TcpTransport;
+use sse_core::scheme2::{Scheme2Client, Scheme2Config};
+use sse_core::types::{Document, Keyword, MasterKey};
+use std::io::{Error, Result};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Benchmark parameters.
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Concurrent clients per arm (half search, half update).
+    pub clients: usize,
+    /// Shard count of the sharded arm (the baseline arm always runs 1).
+    pub shards: usize,
+    /// Workload seed (corpus content and search order derive from it).
+    pub seed: u64,
+    /// Distinct keywords per searcher corpus.
+    pub keywords: usize,
+    /// Documents per searcher corpus.
+    pub docs: usize,
+    /// Measured window per arm.
+    pub duration: Duration,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            clients: 8,
+            shards: 8,
+            seed: 7,
+            keywords: 32,
+            docs: 32,
+            duration: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// One arm's measurements.
+#[derive(Clone, Debug)]
+pub struct BenchArm {
+    /// Shards per tenant database in this arm.
+    pub shards: usize,
+    /// Searches completed inside the measured window.
+    pub search_ops: u64,
+    /// Search throughput (searcher clients only).
+    pub search_ops_per_sec: f64,
+    /// Index writes completed inside the measured window.
+    pub update_ops: u64,
+    /// Client-observed search latency quantiles (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Per-shard lock-contention counters from `ADMIN_STATS` (a slot is
+    /// bumped each time a request found its shard lock held).
+    pub shard_contention: Vec<u64>,
+    /// `BUSY` responses absorbed by transport backoff.
+    pub busy_retries: u64,
+}
+
+/// Full benchmark report (both arms plus the headline ratio).
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Parameters the run used.
+    pub options: BenchOptions,
+    /// Single-shard baseline.
+    pub baseline: BenchArm,
+    /// Sharded arm.
+    pub sharded: BenchArm,
+    /// `sharded.search_ops_per_sec / baseline.search_ops_per_sec`.
+    pub speedup_search_ops_per_sec: f64,
+}
+
+impl BenchReport {
+    /// Serialize as the `BENCH_serving.json` document. Hand-rolled (the
+    /// workspace carries no JSON dependency); all fields are numeric so no
+    /// string escaping is needed.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn arm(a: &BenchArm) -> String {
+            let contention: Vec<String> = a.shard_contention.iter().map(u64::to_string).collect();
+            format!(
+                "{{\"shards\":{},\"search_ops\":{},\"search_ops_per_sec\":{:.2},\
+                 \"update_ops\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+                 \"shard_contention\":[{}],\"busy_retries\":{}}}",
+                a.shards,
+                a.search_ops,
+                a.search_ops_per_sec,
+                a.update_ops,
+                a.p50_ns,
+                a.p95_ns,
+                a.p99_ns,
+                contention.join(","),
+                a.busy_retries,
+            )
+        }
+        format!(
+            "{{\n\"benchmark\":\"sse-serving-sharded\",\n\"seed\":{},\n\"clients\":{},\n\
+             \"keywords\":{},\n\"docs\":{},\n\"duration_ms\":{},\n\
+             \"arms\":[\n{},\n{}\n],\n\"speedup_search_ops_per_sec\":{:.3}\n}}\n",
+            self.options.seed,
+            self.options.clients,
+            self.options.keywords,
+            self.options.docs,
+            self.options.duration.as_millis(),
+            arm(&self.baseline),
+            arm(&self.sharded),
+            self.speedup_search_ops_per_sec,
+        )
+    }
+}
+
+/// Tiny deterministic generator for corpus/search-order decisions (the
+/// workspace's `rand` shim lives elsewhere; splitmix64 is plenty here).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn keyword(i: usize) -> Keyword {
+    Keyword::new(format!("bench-kw-{i}"))
+}
+
+/// Build one searcher's corpus: `docs` documents spread over `keywords`
+/// distinct keywords, ids strided per client so clients sharing the tenant
+/// document store never collide.
+fn corpus(opts: &BenchOptions, client: usize) -> Vec<Document> {
+    let mut rng = SplitMix(opts.seed ^ ((client as u64) << 17) ^ 0xBE7C);
+    (0..opts.docs)
+        .map(|d| {
+            let kw = keyword((rng.next() as usize) % opts.keywords.max(1));
+            let id = (d * opts.clients.max(1) + client) as u64;
+            Document::new(
+                id,
+                format!("record-{client}-{d}").into_bytes(),
+                [kw.as_str()],
+            )
+        })
+        .collect()
+}
+
+fn connect_scheme2(
+    addr: &str,
+    seed: u64,
+    client: usize,
+    config: Scheme2Config,
+) -> Result<Scheme2Client<TcpTransport>> {
+    let transport = TcpTransport::connect(addr, "bench-tenant", SchemeId::Scheme2)?;
+    let key = MasterKey::from_seed(seed ^ ((client as u64) << 32) ^ 0xBEBC);
+    Ok(Scheme2Client::new_seeded(
+        transport,
+        key,
+        config,
+        seed.wrapping_add(client as u64),
+    ))
+}
+
+/// Run one arm: spawn a durable daemon with `shards` shards per tenant,
+/// load the corpus, drive the mixed workload for the measured window.
+fn run_arm(opts: &BenchOptions, shards: usize, data_dir: &Path) -> Result<BenchArm> {
+    let config = ServerConfig {
+        workers: opts.clients.max(2),
+        queue_depth: (opts.clients * 8).max(64),
+        tenant_params: TenantParams {
+            shards,
+            ..TenantParams::default()
+        },
+        data_dir: Some(data_dir.to_path_buf()),
+        ..ServerConfig::default()
+    };
+    let daemon = Daemon::spawn(config).map_err(|e| Error::other(format!("spawn: {e}")))?;
+    let addr = daemon.local_addr().to_string();
+
+    let searchers = (opts.clients / 2).max(1);
+    let updaters = opts.clients.saturating_sub(searchers).max(1);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(searchers + updaters + 1));
+    let search_ops = Arc::new(AtomicU64::new(0));
+    let update_ops = Arc::new(AtomicU64::new(0));
+    let busy_retries = Arc::new(AtomicU64::new(0));
+    let histogram = Arc::new(LatencyHistogram::new());
+
+    let mut joins = Vec::new();
+    for client in 0..searchers {
+        let addr = addr.clone();
+        let opts = opts.clone();
+        let stop = stop.clone();
+        let start = start.clone();
+        let search_ops = search_ops.clone();
+        let busy_retries = busy_retries.clone();
+        let histogram = histogram.clone();
+        joins.push(std::thread::spawn(move || -> Result<()> {
+            // Setup before the barrier: each searcher loads its own corpus
+            // (distinct master keys give disjoint tags, so clients share
+            // the tenant without coordination) and keeps the client — its
+            // chain counter state must carry into the searches.
+            // Short chains keep the client-side hash work per operation
+            // trivial; the benchmark measures serving, not chain building.
+            let mut c = connect_scheme2(
+                &addr,
+                opts.seed,
+                client,
+                Scheme2Config::standard().with_chain_length(64),
+            )?;
+            c.store_batch(&corpus(&opts, client))
+                .map_err(|e| Error::other(format!("setup store: {e}")))?;
+            let mut rng = SplitMix(opts.seed ^ ((client as u64) << 9) ^ 0x5EA7);
+            start.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let kw = keyword((rng.next() as usize) % opts.keywords.max(1));
+                let started = Instant::now();
+                c.search(&kw).map_err(|e| Error::other(e.to_string()))?;
+                histogram.record(started.elapsed());
+                search_ops.fetch_add(1, Ordering::Relaxed);
+            }
+            busy_retries.fetch_add(c.transport_mut().busy_retries(), Ordering::Relaxed);
+            Ok(())
+        }));
+    }
+    for updater in 0..updaters {
+        let addr = addr.clone();
+        let opts = opts.clone();
+        let stop = stop.clone();
+        let start = start.clone();
+        let update_ops = update_ops.clone();
+        let busy_retries = busy_retries.clone();
+        joins.push(std::thread::spawn(move || -> Result<()> {
+            // Updater keys are offset past the searcher range so their tags
+            // (and shard placement) are independent of the searchers'.
+            // Updaters never search, so their chains never advance past
+            // counter 1 (Opt. 2) and a short chain is all they need — each
+            // operation is then dominated by the server-side journal fsync,
+            // not by client hashing.
+            let mut c = connect_scheme2(
+                &addr,
+                opts.seed,
+                1000 + updater,
+                Scheme2Config::standard().with_chain_length(16),
+            )?;
+            let mut rng = SplitMix(opts.seed ^ ((updater as u64) << 5) ^ 0x0bda);
+            start.wait();
+            while !stop.load(Ordering::Relaxed) {
+                // One single-keyword group per envelope: one shard locked,
+                // one journal fsync — the minimal durable index write (the
+                // multi-part paths are covered by the test suites). A small
+                // keyword universe keeps every chain cached after the first
+                // few operations.
+                let pick = |rng: &mut SplitMix| keyword((rng.next() as usize) % 64);
+                let groups = vec![vec![pick(&mut rng)]];
+                c.fake_update_many(&groups)
+                    .map_err(|e| Error::other(e.to_string()))?;
+                update_ops.fetch_add(1, Ordering::Relaxed);
+            }
+            busy_retries.fetch_add(c.transport_mut().busy_retries(), Ordering::Relaxed);
+            Ok(())
+        }));
+    }
+
+    start.wait();
+    let measured = Instant::now();
+    std::thread::sleep(opts.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut first_error = None;
+    for join in joins {
+        match join.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                first_error.get_or_insert(e);
+            }
+            Err(_) => {
+                first_error.get_or_insert_with(|| Error::other("bench client panicked"));
+            }
+        }
+    }
+    let elapsed = measured.elapsed();
+    if let Some(e) = first_error {
+        daemon.shutdown();
+        return Err(e);
+    }
+
+    let mut admin = TcpTransport::connect(&addr, "bench-tenant", SchemeId::Scheme2)?;
+    let stats = admin.admin_stats()?;
+    drop(admin);
+    daemon.shutdown();
+
+    let search_ops = search_ops.load(Ordering::Relaxed);
+    #[allow(clippy::cast_precision_loss)]
+    let search_ops_per_sec = search_ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(BenchArm {
+        shards,
+        search_ops,
+        search_ops_per_sec,
+        update_ops: update_ops.load(Ordering::Relaxed),
+        p50_ns: histogram.quantile_ns(0.50),
+        p95_ns: histogram.quantile_ns(0.95),
+        p99_ns: histogram.quantile_ns(0.99),
+        shard_contention: stats.shard_contention,
+        busy_retries: busy_retries.load(Ordering::Relaxed),
+    })
+}
+
+/// Fresh scratch directory for one arm (removed by [`run_bench`]).
+fn scratch_dir(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("sse-bench-{tag}-{}-{seed}", std::process::id()))
+}
+
+/// Run both arms (1 shard, then `opts.shards`) on identical seeded
+/// corpora and workloads.
+///
+/// # Errors
+/// Daemon spawn, connection, or scheme errors from either arm.
+pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
+    assert!(
+        opts.clients >= 2,
+        "need at least one searcher and one updater"
+    );
+    let mut arms = Vec::with_capacity(2);
+    for shards in [1, opts.shards.max(1)] {
+        let dir = scratch_dir(&format!("s{shards}"), opts.seed);
+        let _ = std::fs::remove_dir_all(&dir); // stale state from a crashed run
+        std::fs::create_dir_all(&dir)?;
+        let result = run_arm(opts, shards, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        arms.push(result?);
+    }
+    let sharded = arms.pop().expect("two arms");
+    let baseline = arms.pop().expect("two arms");
+    let speedup = sharded.search_ops_per_sec / baseline.search_ops_per_sec.max(1e-9);
+    Ok(BenchReport {
+        options: opts.clone(),
+        baseline,
+        sharded,
+        speedup_search_ops_per_sec: speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_has_required_fields() {
+        let arm = |shards: usize| BenchArm {
+            shards,
+            search_ops: 10,
+            search_ops_per_sec: 100.0,
+            update_ops: 5,
+            p50_ns: 1,
+            p95_ns: 2,
+            p99_ns: 3,
+            shard_contention: vec![0, 4],
+            busy_retries: 0,
+        };
+        let report = BenchReport {
+            options: BenchOptions::default(),
+            baseline: arm(1),
+            sharded: arm(8),
+            speedup_search_ops_per_sec: 2.5,
+        };
+        let json = report.to_json();
+        for field in [
+            "\"benchmark\"",
+            "\"arms\"",
+            "\"shards\"",
+            "\"search_ops_per_sec\"",
+            "\"p50_ns\"",
+            "\"p95_ns\"",
+            "\"p99_ns\"",
+            "\"shard_contention\"",
+            "\"speedup_search_ops_per_sec\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

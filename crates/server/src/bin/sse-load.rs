@@ -4,6 +4,8 @@
 //! sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N]
 //!          [--scheme 1|2|both] [--profile gp|traveler] [--events N]
 //!          [--seed N] [--shutdown]
+//! sse-load --bench-json PATH [--shards N] [--clients N] [--seed N]
+//!          [--bench-ms N]
 //! ```
 //!
 //! Drives N concurrent clients, each replaying a §6 PHR workload (Zipf
@@ -11,7 +13,13 @@
 //! ops/sec plus client-observed p50/p95/p99 latency. `--spawn` starts an
 //! in-process daemon on an ephemeral port (a one-command demo);
 //! `--shutdown` sends `ADMIN_SHUTDOWN` to the target daemon after the run.
+//!
+//! `--bench-json PATH` switches to benchmark mode: spawn two durable
+//! daemons (1 shard vs `--shards` shards per tenant), run the same
+//! search+update workload against both, and write the comparison to PATH
+//! (see [`sse_server::bench`]).
 
+use sse_server::bench::{run_bench, BenchOptions};
 use sse_server::daemon::{Daemon, ServerConfig};
 use sse_server::load::{run_load, LoadOptions, Profile};
 use sse_server::proto::SchemeId;
@@ -21,7 +29,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N] \
-         [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]"
+         [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]\n\
+         \x20      sse-load --bench-json PATH [--shards N] [--clients N] [--seed N] [--bench-ms N]"
     );
     std::process::exit(2);
 }
@@ -37,6 +46,8 @@ struct Cli {
     opts: LoadOptions,
     spawn: bool,
     shutdown: bool,
+    bench_json: Option<std::path::PathBuf>,
+    bench: BenchOptions,
 }
 
 fn parse_args() -> Cli {
@@ -44,6 +55,8 @@ fn parse_args() -> Cli {
         opts: LoadOptions::default(),
         spawn: false,
         shutdown: false,
+        bench_json: None,
+        bench: BenchOptions::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -57,10 +70,21 @@ fn parse_args() -> Cli {
             "--addr" => cli.opts.addr = value(),
             "--spawn" => cli.spawn = true,
             "--shutdown" => cli.shutdown = true,
-            "--clients" => cli.opts.clients = parse(&value()),
+            "--clients" => {
+                cli.opts.clients = parse(&value());
+                cli.bench.clients = cli.opts.clients;
+            }
             "--tenants" => cli.opts.tenants = parse(&value()),
             "--events" => cli.opts.events = parse(&value()),
-            "--seed" => cli.opts.seed = parse(&value()),
+            "--seed" => {
+                cli.opts.seed = parse(&value());
+                cli.bench.seed = cli.opts.seed;
+            }
+            "--bench-json" => cli.bench_json = Some(std::path::PathBuf::from(value())),
+            "--shards" => cli.bench.shards = parse(&value()),
+            "--bench-ms" => {
+                cli.bench.duration = std::time::Duration::from_millis(parse(&value()));
+            }
             "--scheme" => {
                 cli.opts.schemes = match value().as_str() {
                     "1" => vec![SchemeId::Scheme1],
@@ -94,6 +118,46 @@ fn parse_args() -> Cli {
 
 fn main() -> ExitCode {
     let mut cli = parse_args();
+    if let Some(path) = &cli.bench_json {
+        println!(
+            "sse-load: benchmark mode: {} clients, 1 vs {} shard(s), {:?} window per arm",
+            cli.bench.clients, cli.bench.shards, cli.bench.duration
+        );
+        let report = match run_bench(&cli.bench) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sse-load: benchmark failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "sse-load: shards=1: {:.1} search ops/sec (p50 {} ns, p99 {} ns), {} update ops",
+            report.baseline.search_ops_per_sec,
+            report.baseline.p50_ns,
+            report.baseline.p99_ns,
+            report.baseline.update_ops
+        );
+        println!(
+            "sse-load: shards={}: {:.1} search ops/sec (p50 {} ns, p99 {} ns), {} update ops, \
+             contention {:?}",
+            report.sharded.shards,
+            report.sharded.search_ops_per_sec,
+            report.sharded.p50_ns,
+            report.sharded.p99_ns,
+            report.sharded.update_ops,
+            report.sharded.shard_contention
+        );
+        println!(
+            "sse-load: search throughput speedup: {:.2}x",
+            report.speedup_search_ops_per_sec
+        );
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("sse-load: writing {} failed: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("sse-load: wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
     let daemon = if cli.spawn {
         match Daemon::spawn(ServerConfig::default()) {
             Ok(d) => {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! sse-serverd [--addr HOST:PORT] [--workers N] [--queue N]
-//!             [--scheme1-capacity N] [--scheme2-chain N]
+//!             [--scheme1-capacity N] [--scheme2-chain N] [--shards N]
 //!             [--data-dir DIR] [--idle-timeout-ms N]
 //! ```
 //!
@@ -22,8 +22,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: sse-serverd [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--scheme1-capacity N] [--scheme2-chain N] [--data-dir DIR] \
-         [--idle-timeout-ms N]"
+         [--scheme1-capacity N] [--scheme2-chain N] [--shards N] \
+         [--data-dir DIR] [--idle-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -55,6 +55,7 @@ fn parse_args() -> ServerConfig {
             "--queue" => config.queue_depth = parse(&value()),
             "--scheme1-capacity" => params.scheme1_capacity = parse(&value()),
             "--scheme2-chain" => params.scheme2_chain_length = parse(&value()),
+            "--shards" => params.shards = parse(&value()),
             "--data-dir" => config.data_dir = Some(std::path::PathBuf::from(value())),
             "--idle-timeout-ms" => {
                 config.idle_timeout = std::time::Duration::from_millis(parse(&value()));
@@ -80,10 +81,11 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "sse-serverd listening on {} ({} workers, queue depth {})",
+        "sse-serverd listening on {} ({} workers, queue depth {}, {} index shard(s)/tenant)",
         daemon.local_addr(),
         config.workers,
-        config.queue_depth
+        config.queue_depth,
+        config.tenant_params.shards.max(1)
     );
     match &config.data_dir {
         Some(dir) => {

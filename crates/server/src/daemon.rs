@@ -26,13 +26,12 @@
 
 use crate::proto::{
     self, Hello, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN, KIND_DATA,
-    STATUS_BUSY, STATUS_ERR, STATUS_OK,
+    KIND_UPDATE_MANY, STATUS_BUSY, STATUS_ERR, STATUS_OK,
 };
 use crate::stats::ServingStats;
 use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sse_net::frame::{encode_frame, FrameDecoder};
-use sse_net::link::Service;
 use sse_net::shutdown::ShutdownSignal;
 use sse_storage::{FaultConfig, FaultStats, FaultVfs, RealVfs, Vfs};
 use std::io::{ErrorKind, Read, Write};
@@ -108,6 +107,7 @@ impl Shared {
         let mut snap = self.stats.snapshot();
         snap.wal_recoveries = self.registry.wal_recoveries();
         snap.torn_tails_truncated = self.registry.torn_tails_truncated();
+        snap.shard_contention = self.registry.shard_contention();
         if let Some(f) = &self.fault_stats {
             snap.faults_injected = f.injected();
         }
@@ -115,9 +115,12 @@ impl Shared {
     }
 }
 
-/// One queued DATA request.
+/// One queued DATA or UPDATE_MANY request.
 struct Job {
     tenant: TenantHandle,
+    /// [`KIND_DATA`] or [`KIND_UPDATE_MANY`] — decides how the worker
+    /// interprets the payload.
+    kind: u8,
     /// Client sequence number, echoed in the response so a pipelining
     /// client can match responses that workers complete out of order.
     seq: u32,
@@ -340,10 +343,23 @@ fn write_response(writer: &Arc<Mutex<TcpStream>>, status: u8, seq: u32, payload:
 fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
     // `recv` yields every job still queued even after all senders drop —
     // shutdown drains the backlog rather than abandoning it.
+    //
+    // No lock is taken here: the tenant handle is shared and the scheme
+    // servers lock per index shard internally, so workers executing
+    // requests against distinct shards of the same tenant genuinely run
+    // in parallel (and a search never queues behind another shard's
+    // journal fsync).
     while let Ok(job) = rx.recv() {
-        let response = {
-            let mut service = job.tenant.lock();
-            service.handle(&job.payload)
+        let response = match job.kind {
+            KIND_UPDATE_MANY => match proto::decode_batch(&job.payload) {
+                Some(parts) => job.tenant.apply_batch(&parts),
+                None => {
+                    stats.record_err();
+                    write_response(&job.writer, STATUS_ERR, job.seq, b"malformed batch");
+                    continue;
+                }
+            },
+            _ => job.tenant.handle_shared(&job.payload),
         };
         if write_response(&job.writer, STATUS_OK, job.seq, &response) {
             stats.record_ok(job.payload.len(), response.len(), job.accepted.elapsed());
@@ -445,9 +461,10 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                 break 'conn;
             };
             match kind {
-                KIND_DATA => {
+                KIND_DATA | KIND_UPDATE_MANY => {
                     let job = Job {
                         tenant: current_tenant.clone(),
+                        kind,
                         seq,
                         payload: payload.to_vec(),
                         writer: writer.clone(),

@@ -35,6 +35,11 @@ pub const HELLO_SEQ: u32 = 0;
 pub const KIND_DATA: u8 = 0;
 /// Request kind: serving-layer command.
 pub const KIND_ADMIN: u8 = 1;
+/// Request kind: a batch of scheme mutation payloads applied atomically
+/// (one journal append per affected index shard server-side). The
+/// response carries a single scheme response body valid for every part —
+/// batched mutations all acknowledge identically.
+pub const KIND_UPDATE_MANY: u8 = 2;
 
 /// ADMIN command: return a [`StatsSnapshot`].
 pub const ADMIN_STATS: u8 = 0;
@@ -161,8 +166,48 @@ pub fn decode_request(body: &[u8]) -> Option<(u8, u32, &[u8])> {
     Some((kind, u32::from_le_bytes(*seq), payload))
 }
 
+/// Encode an `UPDATE_MANY` payload: `[count u32]` then, per part,
+/// `[len u32][part bytes]`.
+#[must_use]
+pub fn encode_batch(parts: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + parts.iter().map(|p| 4 + p.len()).sum::<usize>());
+    out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for part in parts {
+        out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        out.extend_from_slice(part);
+    }
+    out
+}
+
+/// Decode an `UPDATE_MANY` payload into its parts. `None` on any length
+/// mismatch (truncated part, trailing bytes, or a forged count).
+#[must_use]
+pub fn decode_batch(payload: &[u8]) -> Option<Vec<&[u8]>> {
+    let (count, mut rest) = payload.split_first_chunk::<4>()?;
+    let count = u32::from_le_bytes(*count) as usize;
+    // Each part costs at least its 4-byte length prefix.
+    if count > rest.len() / 4 + 1 {
+        return None;
+    }
+    let mut parts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (len, tail) = rest.split_first_chunk::<4>()?;
+        let len = u32::from_le_bytes(*len) as usize;
+        if len > tail.len() {
+            return None;
+        }
+        let (part, tail) = tail.split_at(len);
+        parts.push(part);
+        rest = tail;
+    }
+    if !rest.is_empty() {
+        return None;
+    }
+    Some(parts)
+}
+
 /// Point-in-time serving statistics, as answered to [`ADMIN_STATS`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// DATA requests served successfully.
     pub requests_ok: u64,
@@ -191,6 +236,9 @@ pub struct StatsSnapshot {
     /// Hello frames that re-attached to an already-open tenant database
     /// (client reconnects, as seen from the server).
     pub reconnects: u64,
+    /// Contended shard-lock acquisitions per index shard, summed across
+    /// all open tenant databases. Empty when no tenant is open.
+    pub shard_contention: Vec<u64>,
 }
 
 impl StatsSnapshot {
@@ -209,7 +257,8 @@ impl StatsSnapshot {
             .put_u64(self.faults_injected)
             .put_u64(self.wal_recoveries)
             .put_u64(self.torn_tails_truncated)
-            .put_u64(self.reconnects);
+            .put_u64(self.reconnects)
+            .put_u64_vec(&self.shard_contention);
         w.finish()
     }
 
@@ -230,6 +279,7 @@ impl StatsSnapshot {
             wal_recoveries: r.get_u64().ok()?,
             torn_tails_truncated: r.get_u64().ok()?,
             reconnects: r.get_u64().ok()?,
+            shard_contention: r.get_u64_vec().ok()?,
         };
         r.finish().ok()?;
         Some(snap)
@@ -308,8 +358,34 @@ mod tests {
             wal_recoveries: 2,
             torn_tails_truncated: 17,
             reconnects: 5,
+            shard_contention: vec![3, 0, 7, 1],
         };
-        assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap));
+        assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap.clone()));
         assert_eq!(StatsSnapshot::decode(b"short"), None);
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let parts = vec![b"first".to_vec(), Vec::new(), b"third-part".to_vec()];
+        let payload = encode_batch(&parts);
+        let decoded = decode_batch(&payload).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0], b"first");
+        assert_eq!(decoded[1], b"");
+        assert_eq!(decoded[2], b"third-part");
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_payloads() {
+        let good = encode_batch(&[b"part".to_vec()]);
+        assert!(decode_batch(&good[..good.len() - 1]).is_none(), "truncated");
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_batch(&trailing).is_none(), "trailing bytes");
+        let mut forged = good;
+        forged[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_batch(&forged).is_none(), "forged count");
+        assert!(decode_batch(&[1, 2]).is_none(), "short header");
     }
 }

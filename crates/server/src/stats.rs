@@ -74,6 +74,7 @@ impl ServingStats {
             wal_recoveries: 0,
             torn_tails_truncated: 0,
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            shard_contention: Vec::new(),
         }
     }
 }

@@ -44,7 +44,7 @@ impl TenantDb {
     ///
     /// # Errors
     /// Storage errors from the snapshot write.
-    pub fn checkpoint_home(&mut self) -> Result<(), SseError> {
+    pub fn checkpoint_home(&self) -> Result<(), SseError> {
         match self {
             TenantDb::S1(s) => s.checkpoint_home(),
             TenantDb::S2(s) => s.checkpoint_home(),
@@ -59,14 +59,43 @@ impl TenantDb {
             TenantDb::S2(s) => s.recovery(),
         }
     }
+
+    /// Serve one scheme request. Safe to call from many worker threads at
+    /// once: the scheme servers lock per index shard internally, so
+    /// requests touching distinct shards genuinely run in parallel.
+    #[must_use]
+    pub fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+        match self {
+            TenantDb::S1(s) => s.handle_shared(request),
+            TenantDb::S2(s) => s.handle_shared(request),
+        }
+    }
+
+    /// Apply an `UPDATE_MANY` batch of mutation parts all-or-nothing (one
+    /// journal append per affected shard; racing searches see either none
+    /// or all of the batch). Returns a single scheme response valid for
+    /// every part.
+    #[must_use]
+    pub fn apply_batch(&self, parts: &[&[u8]]) -> Vec<u8> {
+        match self {
+            TenantDb::S1(s) => s.apply_batch(parts),
+            TenantDb::S2(s) => s.apply_batch(parts),
+        }
+    }
+
+    /// Per-shard contended lock acquisitions.
+    #[must_use]
+    pub fn shard_contention(&self) -> Vec<u64> {
+        match self {
+            TenantDb::S1(s) => s.shard_contention(),
+            TenantDb::S2(s) => s.shard_contention(),
+        }
+    }
 }
 
 impl Service for TenantDb {
     fn handle(&mut self, request: &[u8]) -> Vec<u8> {
-        match self {
-            TenantDb::S1(s) => s.handle(request),
-            TenantDb::S2(s) => s.handle(request),
-        }
+        self.handle_shared(request)
     }
 
     fn on_shutdown(&mut self) {
@@ -77,8 +106,10 @@ impl Service for TenantDb {
     }
 }
 
-/// Shared handle to one tenant's scheme server.
-pub type TenantHandle = Arc<Mutex<TenantDb>>;
+/// Shared handle to one tenant's scheme server. No outer mutex: the scheme
+/// servers synchronize internally per index shard, which is what lets the
+/// daemon's workers execute requests for one tenant concurrently.
+pub type TenantHandle = Arc<TenantDb>;
 
 /// Server-side parameters for newly created tenant databases.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +119,9 @@ pub struct TenantParams {
     pub scheme1_capacity: u64,
     /// Scheme 2 hash-chain length `l`.
     pub scheme2_chain_length: u64,
+    /// Index shards per tenant database (fixed at directory creation for
+    /// durable tenants; see the shard manifest).
+    pub shards: usize,
 }
 
 impl Default for TenantParams {
@@ -95,6 +129,7 @@ impl Default for TenantParams {
         TenantParams {
             scheme1_capacity: 4096,
             scheme2_chain_length: 4096,
+            shards: 1,
         }
     }
 }
@@ -160,36 +195,45 @@ impl TenantRegistry {
         }
         let db = self.open_tenant(tenant, scheme)?;
         self.note_recovery(&db.recovery());
-        let handle = Arc::new(Mutex::new(db));
+        let handle = Arc::new(db);
         map.insert((tenant.to_string(), scheme), handle.clone());
         Ok(handle)
     }
 
     fn open_tenant(&self, tenant: &str, scheme: SchemeId) -> Result<TenantDb, SseError> {
+        let shards = self.params.shards.max(1);
         match &self.data_dir {
             None => Ok(match scheme {
-                SchemeId::Scheme1 => {
-                    TenantDb::S1(Scheme1Server::new_in_memory(self.params.scheme1_capacity))
-                }
-                SchemeId::Scheme2 => TenantDb::S2(Scheme2Server::new_in_memory(
+                SchemeId::Scheme1 => TenantDb::S1(Scheme1Server::new_in_memory_sharded(
+                    self.params.scheme1_capacity,
+                    shards,
+                )),
+                SchemeId::Scheme2 => TenantDb::S2(Scheme2Server::new_in_memory_sharded(
                     Scheme2Config::standard().with_chain_length(self.params.scheme2_chain_length),
+                    shards,
                 )),
             }),
             Some(root) => {
                 let dir = tenant_dir(root, tenant, scheme);
                 self.vfs.create_dir_all(&dir)?;
                 Ok(match scheme {
-                    SchemeId::Scheme1 => TenantDb::S1(Scheme1Server::open_durable_with_vfs(
-                        Arc::clone(&self.vfs),
-                        self.params.scheme1_capacity,
-                        &dir,
-                    )?),
-                    SchemeId::Scheme2 => TenantDb::S2(Scheme2Server::open_durable_with_vfs(
-                        Arc::clone(&self.vfs),
-                        Scheme2Config::standard()
-                            .with_chain_length(self.params.scheme2_chain_length),
-                        &dir,
-                    )?),
+                    SchemeId::Scheme1 => {
+                        TenantDb::S1(Scheme1Server::open_durable_with_vfs_sharded(
+                            Arc::clone(&self.vfs),
+                            self.params.scheme1_capacity,
+                            &dir,
+                            shards,
+                        )?)
+                    }
+                    SchemeId::Scheme2 => {
+                        TenantDb::S2(Scheme2Server::open_durable_with_vfs_sharded(
+                            Arc::clone(&self.vfs),
+                            Scheme2Config::standard()
+                                .with_chain_length(self.params.scheme2_chain_length),
+                            &dir,
+                            shards,
+                        )?)
+                    }
                 })
             }
         }
@@ -251,7 +295,7 @@ impl TenantRegistry {
         let mut checkpointed = 0;
         let mut first_err = None;
         for handle in handles {
-            match handle.lock().checkpoint_home() {
+            match handle.checkpoint_home() {
                 Ok(()) => checkpointed += 1,
                 Err(e) => first_err = first_err.or(Some(e)),
             }
@@ -286,6 +330,24 @@ impl TenantRegistry {
     #[must_use]
     pub fn torn_tails_truncated(&self) -> u64 {
         self.torn_tails_truncated.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard contended lock acquisitions summed element-wise over
+    /// every open tenant database (the STATS contention vector).
+    #[must_use]
+    pub fn shard_contention(&self) -> Vec<u64> {
+        let handles: Vec<TenantHandle> = self.tenants.lock().values().cloned().collect();
+        let mut out: Vec<u64> = Vec::new();
+        for handle in handles {
+            let per_tenant = handle.shard_contention();
+            if per_tenant.len() > out.len() {
+                out.resize(per_tenant.len(), 0);
+            }
+            for (acc, c) in out.iter_mut().zip(per_tenant) {
+                *acc += c;
+            }
+        }
+        out
     }
 }
 

@@ -19,7 +19,7 @@
 
 use crate::proto::{
     self, Hello, SchemeId, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN,
-    KIND_DATA, STATUS_BUSY, STATUS_OK,
+    KIND_DATA, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_OK,
 };
 use sse_net::frame::{encode_frame, FrameDecoder};
 use sse_net::link::Transport;
@@ -31,10 +31,13 @@ use std::time::{Duration, Instant};
 const BUSY_BACKOFF_START: Duration = Duration::from_millis(1);
 /// Backoff ceiling.
 const BUSY_BACKOFF_MAX: Duration = Duration::from_millis(64);
-/// Total time budget for `BUSY` retries of one request; past it the
-/// request fails with [`ErrorKind::TimedOut`] instead of blocking forever
-/// against a permanently saturated daemon.
-const BUSY_RETRY_DEADLINE: Duration = Duration::from_secs(10);
+/// Default total time budget for `BUSY` retries of one request; past it
+/// the request fails with [`ErrorKind::TimedOut`] instead of blocking
+/// forever against a permanently saturated daemon. Measured on the
+/// **monotonic clock** ([`Instant`]) — a wall-clock jump (NTP step,
+/// suspend/resume) must neither cut the budget short nor extend it.
+/// Override per transport with [`TcpTransport::with_busy_retry_deadline`].
+pub const DEFAULT_BUSY_RETRY_DEADLINE: Duration = Duration::from_secs(10);
 /// How many times a broken connection is re-dialed before giving up.
 const RECONNECT_ATTEMPTS: u32 = 5;
 /// First re-dial delay; doubles per attempt (plus jitter) up to the cap.
@@ -55,6 +58,8 @@ pub struct TcpTransport {
     next_seq: u32,
     reconnects: u64,
     busy_retries: u64,
+    /// Total monotonic time budget for `BUSY` retries of one request.
+    busy_retry_deadline: Duration,
 }
 
 impl TcpTransport {
@@ -80,7 +85,17 @@ impl TcpTransport {
             next_seq: HELLO_SEQ.wrapping_add(1),
             reconnects: 0,
             busy_retries: 0,
+            busy_retry_deadline: DEFAULT_BUSY_RETRY_DEADLINE,
         })
+    }
+
+    /// Replace the `BUSY` retry budget (default
+    /// [`DEFAULT_BUSY_RETRY_DEADLINE`]). Tests use a short budget to
+    /// exercise the timeout path without waiting ten wall-clock seconds.
+    #[must_use]
+    pub fn with_busy_retry_deadline(mut self, deadline: Duration) -> Self {
+        self.busy_retry_deadline = deadline;
+        self
     }
 
     /// Dial `peer` and run the hello handshake, returning a ready
@@ -192,7 +207,11 @@ impl TcpTransport {
 
     fn request_once(&mut self, kind: u8, payload: &[u8]) -> Result<Vec<u8>> {
         let mut backoff = BUSY_BACKOFF_START;
-        let deadline = Instant::now() + BUSY_RETRY_DEADLINE;
+        // Monotonic deadline: `Instant` is immune to wall-clock steps, so
+        // an NTP adjustment mid-retry can neither starve nor inflate the
+        // budget (see `busy_deadline_is_monotonic_and_bounded` in
+        // tests/tcp_server.rs).
+        let started = Instant::now();
         loop {
             let seq = self.next_seq;
             // Skip the reserved hello sequence number on wrap-around.
@@ -211,7 +230,7 @@ impl TcpTransport {
             match status {
                 STATUS_OK => return Ok(body),
                 STATUS_BUSY => {
-                    if Instant::now() >= deadline {
+                    if started.elapsed() >= self.busy_retry_deadline {
                         return Err(Error::new(
                             ErrorKind::TimedOut,
                             "server still BUSY after the retry deadline",
@@ -253,6 +272,20 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn round_trip(&mut self, request: &[u8]) -> Result<Vec<u8>> {
         self.request(KIND_DATA, request)
+    }
+
+    /// Ship all parts in one `UPDATE_MANY` round. The server decodes,
+    /// validates, and applies the whole batch all-or-nothing with one
+    /// journal append per affected index shard, then sends back a single
+    /// response body valid for every part (batched mutations acknowledge
+    /// identically); it is replicated here so callers see one response
+    /// per part, exactly like the sequential default.
+    fn round_trip_batch(&mut self, parts: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        if parts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let body = self.request(KIND_UPDATE_MANY, &proto::encode_batch(parts))?;
+        Ok(vec![body; parts.len()])
     }
 }
 

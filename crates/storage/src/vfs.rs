@@ -24,7 +24,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An open file handle, produced by a [`Vfs`].
-pub trait VfsFile: Send {
+///
+/// `Send + Sync` so durable structures owning a handle can sit behind a
+/// shared lock (the sharded scheme servers wrap their [`crate::store::DocStore`]
+/// in an `RwLock` for concurrent reads).
+pub trait VfsFile: Send + Sync {
     /// Write all of `buf` at the current position.
     ///
     /// # Errors

@@ -1,0 +1,290 @@
+//! Differential testing: seeded random operation traces replayed against
+//! three implementations that must agree on every search result —
+//!
+//! 1. the naive download-everything baseline (`sse_baselines::naive`), an
+//!    oracle with no index at all,
+//! 2. the real scheme over a single-shard in-memory server, and
+//! 3. the same scheme over sharded servers (shard counts 4 and 16).
+//!
+//! A trace mixes adds, removes, leakage-hiding fake updates and searches.
+//! Every search's hit list is compared oracle-vs-scheme and
+//! shard-count-vs-shard-count, for both schemes, under three distinct
+//! seeds. Any divergence in sharding (wrong shard routing, a mutation
+//! applied to one shard twice, a search that misses a shard) surfaces as a
+//! result mismatch here.
+
+use sse_baselines::naive::NaiveClient;
+use sse_core::scheme::SseClientApi;
+use sse_core::scheme1::{Scheme1Client, Scheme1Config, Scheme1Server};
+use sse_core::scheme2::{Scheme2Client, Scheme2Config, Scheme2Server};
+use sse_core::types::{Document, Keyword, MasterKey, SearchHits};
+use sse_net::link::MeteredLink;
+use sse_net::meter::Meter;
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+const SEEDS: [u64; 3] = [11, 271_828, 3_141_592];
+const CAPACITY: u64 = 256;
+
+/// Deterministic trace generator (splitmix64).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n.max(1)
+    }
+}
+
+/// One step of a trace. Documents are identified by their position in the
+/// add-order so every backend sees byte-identical documents.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(Document),
+    /// Remove a previously added (and still live) document.
+    Remove(Document),
+    /// Leakage-hiding fake update: must not change any result.
+    FakeUpdate(Vec<Keyword>),
+    Search(Keyword),
+}
+
+fn keyword(i: usize) -> Keyword {
+    Keyword::new(format!("diff-kw-{i}"))
+}
+
+/// Generate a seeded trace of `len` operations over a small keyword
+/// universe. Removes only target live documents; ids are never reused
+/// (Scheme 1's XOR semantics would otherwise toggle a dead id back in).
+fn trace(seed: u64, len: usize, universe: usize) -> Vec<Op> {
+    let mut rng = SplitMix(seed);
+    let mut next_id = 0u64;
+    let mut live: Vec<Document> = Vec::new();
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll = rng.below(10);
+        if roll < 4 || live.is_empty() {
+            // Add a fresh document with 1–3 keywords.
+            let n_kws = 1 + rng.below(3);
+            let mut kws = Vec::with_capacity(n_kws);
+            for _ in 0..n_kws {
+                kws.push(keyword(rng.below(universe)));
+            }
+            kws.sort();
+            kws.dedup();
+            let id = next_id;
+            next_id += 1;
+            let doc = Document::new(
+                id,
+                format!("diff-doc-{id}").into_bytes(),
+                kws.iter().map(Keyword::as_str),
+            );
+            live.push(doc.clone());
+            ops.push(Op::Add(doc));
+        } else if roll < 6 {
+            let victim = live.swap_remove(rng.below(live.len()));
+            ops.push(Op::Remove(victim));
+        } else if roll < 7 {
+            let n = 1 + rng.below(3);
+            let kws: Vec<Keyword> = (0..n).map(|_| keyword(rng.below(universe))).collect();
+            ops.push(Op::FakeUpdate(kws));
+        } else {
+            ops.push(Op::Search(keyword(rng.below(universe))));
+        }
+    }
+    // Always end with a full sweep of the keyword universe.
+    for i in 0..universe {
+        ops.push(Op::Search(keyword(i)));
+    }
+    ops
+}
+
+/// Uniform driving surface over the three backends.
+trait Backend {
+    fn add(&mut self, doc: &Document);
+    fn remove(&mut self, doc: &Document);
+    fn fake_update(&mut self, kws: &[Keyword]);
+    fn search(&mut self, kw: &Keyword) -> SearchHits;
+}
+
+struct Oracle(NaiveClient);
+
+impl Backend for Oracle {
+    fn add(&mut self, doc: &Document) {
+        self.0.add_documents(std::slice::from_ref(doc)).unwrap();
+    }
+    fn remove(&mut self, doc: &Document) {
+        self.0.remove(&[doc.id]);
+    }
+    fn fake_update(&mut self, _kws: &[Keyword]) {
+        // The oracle has no index to re-randomize.
+    }
+    fn search(&mut self, kw: &Keyword) -> SearchHits {
+        self.0.search(kw).unwrap()
+    }
+}
+
+struct S1(Scheme1Client<MeteredLink<Scheme1Server>>);
+
+impl Backend for S1 {
+    fn add(&mut self, doc: &Document) {
+        self.0.store(std::slice::from_ref(doc)).unwrap();
+    }
+    fn remove(&mut self, doc: &Document) {
+        // Scheme 1 removal is XOR re-toggling the same document.
+        self.0.store(std::slice::from_ref(doc)).unwrap();
+    }
+    fn fake_update(&mut self, kws: &[Keyword]) {
+        self.0.fake_update(kws).unwrap();
+    }
+    fn search(&mut self, kw: &Keyword) -> SearchHits {
+        self.0.search(kw).unwrap()
+    }
+}
+
+struct S2(Scheme2Client<MeteredLink<Scheme2Server>>);
+
+impl Backend for S2 {
+    fn add(&mut self, doc: &Document) {
+        self.0.store(std::slice::from_ref(doc)).unwrap();
+    }
+    fn remove(&mut self, doc: &Document) {
+        self.0.remove(std::slice::from_ref(doc)).unwrap();
+    }
+    fn fake_update(&mut self, kws: &[Keyword]) {
+        self.0.fake_update(kws).unwrap();
+    }
+    fn search(&mut self, kw: &Keyword) -> SearchHits {
+        self.0.search(kw).unwrap()
+    }
+}
+
+fn scheme1_backend(seed: u64, shards: usize) -> S1 {
+    let server = Scheme1Server::new_in_memory_sharded(CAPACITY, shards);
+    let link = MeteredLink::new(server, Meter::new());
+    S1(Scheme1Client::new_seeded(
+        link,
+        MasterKey::from_seed(seed),
+        Scheme1Config::fast_profile(CAPACITY),
+        seed ^ 0xD1FF,
+    ))
+}
+
+fn scheme2_backend(seed: u64, shards: usize) -> S2 {
+    let config = Scheme2Config::standard();
+    let server = Scheme2Server::new_in_memory_sharded(config.clone(), shards);
+    let link = MeteredLink::new(server, Meter::new());
+    S2(Scheme2Client::new_seeded(
+        link,
+        MasterKey::from_seed(seed),
+        config,
+        seed ^ 0xD1FF,
+    ))
+}
+
+/// Replay a trace, collecting every search's hits sorted by doc id
+/// (backends may order hits differently; the *set* must agree).
+fn replay(backend: &mut dyn Backend, ops: &[Op]) -> Vec<SearchHits> {
+    let mut results = Vec::new();
+    for op in ops {
+        match op {
+            Op::Add(doc) => backend.add(doc),
+            Op::Remove(doc) => backend.remove(doc),
+            Op::FakeUpdate(kws) => backend.fake_update(kws),
+            Op::Search(kw) => {
+                let mut hits = backend.search(kw);
+                hits.sort();
+                results.push(hits);
+            }
+        }
+    }
+    results
+}
+
+fn assert_same(
+    label: &str,
+    seed: u64,
+    shards: usize,
+    ops: &[Op],
+    expected: &[SearchHits],
+    got: &[SearchHits],
+) {
+    assert_eq!(expected.len(), got.len(), "{label}: search count");
+    let searches: Vec<&Keyword> = ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::Search(kw) => Some(kw),
+            _ => None,
+        })
+        .collect();
+    for (i, (want, have)) in expected.iter().zip(got).enumerate() {
+        assert_eq!(
+            want, have,
+            "{label}: seed {seed}, {shards} shard(s), search #{i} ({:?}) diverged",
+            searches[i]
+        );
+    }
+}
+
+fn run_differential(scheme: &str) {
+    for seed in SEEDS {
+        let ops = trace(seed, 120, 10);
+        let oracle_results = replay(
+            &mut Oracle(NaiveClient::new(
+                &MasterKey::from_seed(seed),
+                Meter::new(),
+                seed,
+            )),
+            &ops,
+        );
+        assert!(
+            oracle_results.iter().any(|hits| !hits.is_empty()),
+            "degenerate trace: the oracle never found anything (seed {seed})"
+        );
+
+        let mut per_shard_count = Vec::new();
+        for shards in SHARD_COUNTS {
+            let results = match scheme {
+                "scheme1" => replay(&mut scheme1_backend(seed, shards), &ops),
+                "scheme2" => replay(&mut scheme2_backend(seed, shards), &ops),
+                other => panic!("unknown scheme {other}"),
+            };
+            assert_same(
+                &format!("{scheme} vs oracle"),
+                seed,
+                shards,
+                &ops,
+                &oracle_results,
+                &results,
+            );
+            per_shard_count.push((shards, results));
+        }
+        // Sharded vs unsharded: byte-identical result streams.
+        let (_, baseline) = &per_shard_count[0];
+        for (shards, results) in &per_shard_count[1..] {
+            assert_same(
+                &format!("{scheme} sharded vs unsharded"),
+                seed,
+                *shards,
+                &ops,
+                baseline,
+                results,
+            );
+        }
+    }
+}
+
+#[test]
+fn scheme1_matches_oracle_across_shard_counts_and_seeds() {
+    run_differential("scheme1");
+}
+
+#[test]
+fn scheme2_matches_oracle_across_shard_counts_and_seeds() {
+    run_differential("scheme2");
+}

@@ -17,6 +17,12 @@
 //!   oracle answer or a clean error; a search may additionally see ops
 //!   whose ack was lost (in-doubt), but never an id that was neither
 //!   confirmed nor in-doubt — no silent wrong answers.
+//!
+//! Each surface runs twice per scheme: the classic single-shard trace,
+//! and a batched trace (`store_batch` / `fake_update_many` — the client
+//! paths behind the TCP `UPDATE_MANY` envelope) against a 4-shard server,
+//! where multi-keyword mutations are journaled as cross-shard batch
+//! slices and the prefix assertion demands op-atomicity across shards.
 
 use sse_repro::core::scheme1::{Scheme1Client, Scheme1Config, Scheme1Server};
 use sse_repro::core::scheme2::{Scheme2Client, Scheme2ClientState, Scheme2Config, Scheme2Server};
@@ -65,6 +71,14 @@ fn temp_dir(name: &str) -> PathBuf {
 
 enum Op {
     Store(Document),
+    /// Multi-document batched store, driven through the client's
+    /// `store_batch` path. Its multi-keyword index mutation spans several
+    /// shards on a sharded server, where it is journaled as batch slices —
+    /// the crash sweep then checks op-atomicity *across* shards.
+    StoreBatch(Vec<Document>),
+    /// Batched fake updates (one shared counter value). Never changes any
+    /// search result; only the fault behavior is interesting.
+    FakeUpdateMany(Vec<Vec<Keyword>>),
     Search(Keyword),
 }
 
@@ -96,6 +110,56 @@ fn build_trace(seed: u64) -> Vec<Op> {
     ops
 }
 
+/// Length of the batched torture trace. Shorter than [`TRACE_OPS`]: the
+/// sharded crash sweep reruns it once per scheduled write, and every
+/// batch schedules several writes (one journal slice per touched shard).
+const BATCH_TRACE_OPS: usize = 60;
+
+/// Seeded batched trace: ~50% `StoreBatch` ops (1–2 documents with 2–3
+/// keywords each, so index mutations routinely straddle shards), ~20%
+/// `FakeUpdateMany`, ~30% searches.
+fn build_batched_trace(seed: u64) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(BATCH_TRACE_OPS);
+    let mut next_id = 0u64;
+    for i in 0..BATCH_TRACE_OPS {
+        let roll = splitmix64(seed ^ (i as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB));
+        if roll % 10 < 3 && next_id > 0 {
+            let kw = KEYWORDS[(roll >> 8) as usize % KEYWORDS.len()];
+            ops.push(Op::Search(Keyword::new(kw)));
+        } else if roll % 10 < 5 {
+            let n_groups = (1 + (roll >> 8) % 2) as usize;
+            let groups: Vec<Vec<Keyword>> = (0..n_groups)
+                .map(|g| {
+                    let n = (1 + (roll >> (16 + 8 * g)) % 2) as usize;
+                    (0..n)
+                        .map(|j| {
+                            Keyword::new(
+                                KEYWORDS[(roll >> (24 + 8 * g + j)) as usize % KEYWORDS.len()],
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            ops.push(Op::FakeUpdateMany(groups));
+        } else {
+            let n_docs = 1 + (roll >> 4) % 2;
+            let mut docs = Vec::new();
+            for d in 0..n_docs as usize {
+                let id = next_id;
+                next_id += 1;
+                assert!(id < CAPACITY, "trace outgrew the scheme-1 capacity");
+                let mut kws = BTreeSet::new();
+                for j in 0..3 {
+                    kws.insert(KEYWORDS[(roll >> (8 + 8 * d + 4 * j)) as usize % KEYWORDS.len()]);
+                }
+                docs.push(Document::new(id, doc_data(id), kws));
+            }
+            ops.push(Op::StoreBatch(docs));
+        }
+    }
+    ops
+}
+
 /// Keyword → set of matching doc ids: the observable state of an index.
 type Index = BTreeMap<Keyword, BTreeSet<u64>>;
 
@@ -112,14 +176,37 @@ fn oracle_states(trace: &[Op]) -> Vec<Index> {
     let mut cur = empty_index();
     states.push(cur.clone());
     for op in trace {
-        if let Op::Store(doc) = op {
-            for kw in &doc.keywords {
-                cur.get_mut(kw).unwrap().insert(doc.id);
+        match op {
+            Op::Store(doc) => {
+                for kw in &doc.keywords {
+                    cur.get_mut(kw).unwrap().insert(doc.id);
+                }
             }
+            Op::StoreBatch(docs) => {
+                for doc in docs {
+                    for kw in &doc.keywords {
+                        cur.get_mut(kw).unwrap().insert(doc.id);
+                    }
+                }
+            }
+            Op::FakeUpdateMany(_) | Op::Search(_) => {}
         }
         states.push(cur.clone());
     }
     states
+}
+
+/// The keywords a mutation may touch, for in-doubt bookkeeping, paired
+/// with the doc ids it may have landed (fake updates land nothing).
+fn mutated_ids(op: &Op) -> Vec<(Keyword, u64)> {
+    match op {
+        Op::Store(doc) => doc.keywords.iter().map(|kw| (kw.clone(), doc.id)).collect(),
+        Op::StoreBatch(docs) => docs
+            .iter()
+            .flat_map(|doc| doc.keywords.iter().map(|kw| (kw.clone(), doc.id)))
+            .collect(),
+        Op::FakeUpdateMany(_) | Op::Search(_) => Vec::new(),
+    }
 }
 
 /// Collapse search hits to an id set, checking payload integrity on the
@@ -163,11 +250,28 @@ fn assert_prefix(observed: &Index, oracle: &[Index], completed: usize, context: 
 // Storage crash sweeps
 // ---------------------------------------------------------------------------
 
-#[test]
-fn scheme1_crash_at_every_write_point_is_op_atomic() {
-    let seed = fault_seed();
-    let trace = build_trace(seed);
-    let oracle = oracle_states(&trace);
+/// Dispatch one trace op against a scheme-1 client.
+fn drive_scheme1<T: sse_repro::net::link::Transport>(
+    client: &mut Scheme1Client<T>,
+    op: &Op,
+) -> sse_repro::core::error::Result<()> {
+    match op {
+        Op::Store(doc) => client.store(std::slice::from_ref(doc)),
+        Op::StoreBatch(docs) => client.store_batch(docs),
+        // Scheme 1 has no counter to share across groups; the flattened
+        // list re-randomizes the same entries (stateless, result-neutral).
+        Op::FakeUpdateMany(groups) => client.fake_update(&groups.concat()),
+        Op::Search(kw) => client.search(kw).map(|_| ()),
+    }
+}
+
+/// Shared body of the scheme-1 crash sweeps. With `shards > 1` every
+/// multi-keyword mutation is journaled as batch slices across several
+/// independently fsynced shard journals, and [`assert_prefix`] then
+/// demands op-atomicity *across* shards: a batch whose slices only partly
+/// reached disk must roll back wholesale on recovery.
+fn scheme1_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
+    let oracle = oracle_states(trace);
     let config = Scheme1Config::fast_profile(CAPACITY);
     let key = MasterKey::from_seed(seed ^ 0x51);
 
@@ -177,8 +281,13 @@ fn scheme1_crash_at_every_write_point_is_op_atomic() {
     let counting = FaultVfs::counting();
     let stats = counting.stats();
     {
-        let server =
-            Scheme1Server::open_durable_with_vfs(Arc::new(counting), CAPACITY, &count_dir).unwrap();
+        let server = Scheme1Server::open_durable_with_vfs_sharded(
+            Arc::new(counting),
+            CAPACITY,
+            &count_dir,
+            shards,
+        )
+        .unwrap();
         let mut client = Scheme1Client::new_seeded(
             MeteredLink::new(server, Meter::new()),
             key.clone(),
@@ -187,12 +296,12 @@ fn scheme1_crash_at_every_write_point_is_op_atomic() {
         );
         for (i, op) in trace.iter().enumerate() {
             match op {
-                Op::Store(doc) => client.store(std::slice::from_ref(doc)).unwrap(),
                 Op::Search(kw) => {
                     // Fault-free runs must answer exactly.
                     let ids = ids_checked(&client.search(kw).unwrap());
                     assert_eq!(&ids, &oracle[i][kw], "fault-free search diverged at op {i}");
                 }
+                other => drive_scheme1(&mut client, other).unwrap(),
             }
         }
     }
@@ -206,7 +315,12 @@ fn scheme1_crash_at_every_write_point_is_op_atomic() {
         let vfs = FaultVfs::crashing_at(seed, k);
         // Drive until the crash kills the "process": the first error ends
         // the run, exactly like a real crash ends a real process.
-        let completed = match Scheme1Server::open_durable_with_vfs(Arc::new(vfs), CAPACITY, &dir) {
+        let completed = match Scheme1Server::open_durable_with_vfs_sharded(
+            Arc::new(vfs),
+            CAPACITY,
+            &dir,
+            shards,
+        ) {
             Err(_) => 0,
             Ok(server) => {
                 let mut client = Scheme1Client::new_seeded(
@@ -216,12 +330,8 @@ fn scheme1_crash_at_every_write_point_is_op_atomic() {
                     1,
                 );
                 let mut completed = 0usize;
-                for op in &trace {
-                    let res = match op {
-                        Op::Store(doc) => client.store(std::slice::from_ref(doc)),
-                        Op::Search(kw) => client.search(kw).map(|_| ()),
-                    };
-                    if res.is_err() {
+                for op in trace {
+                    if drive_scheme1(&mut client, op).is_err() {
                         break;
                     }
                     completed += 1;
@@ -231,11 +341,20 @@ fn scheme1_crash_at_every_write_point_is_op_atomic() {
         };
 
         // The crashed process is gone; recover through the real
-        // filesystem, as a restart would.
+        // filesystem, as a restart would. The shard manifest (not the
+        // caller) dictates the shard count on reopen.
         let server = Scheme1Server::open_durable(CAPACITY, &dir).unwrap();
         if server.recovery().recovered_anything() {
             recoveries += 1;
         }
+        // If the crash hit the first open before the manifest's atomic
+        // rename, the directory is still fresh and reopens single-shard;
+        // any run that got past open must reopen at the manifest's count.
+        assert!(
+            completed == 0 || server.num_shards() == shards,
+            "reopen must adopt the manifest's shard count (got {})",
+            server.num_shards()
+        );
         // Scheme 1 clients are stateless beyond the master key: a fresh
         // client (any rng seed) can search everything the dead one wrote.
         let mut probe = Scheme1Client::new_seeded(
@@ -249,7 +368,7 @@ fn scheme1_crash_at_every_write_point_is_op_atomic() {
             &observed,
             &oracle,
             completed,
-            &format!("crash at write {k}"),
+            &format!("crash at write {k} ({shards} shard(s))"),
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -260,10 +379,41 @@ fn scheme1_crash_at_every_write_point_is_op_atomic() {
 }
 
 #[test]
-fn scheme2_crash_at_every_write_point_is_op_atomic() {
+fn scheme1_crash_at_every_write_point_is_op_atomic() {
     let seed = fault_seed();
-    let trace = build_trace(seed ^ 0x2222);
-    let oracle = oracle_states(&trace);
+    scheme1_crash_sweep(&build_trace(seed), seed, 1);
+}
+
+#[test]
+fn scheme1_sharded_batches_crash_op_atomically_across_shards() {
+    let seed = fault_seed();
+    scheme1_crash_sweep(&build_batched_trace(seed ^ 0x4444), seed ^ 0x4444, 4);
+}
+
+/// Dispatch one trace op against a scheme-2 client. Every mutation
+/// variant consumes exactly one counter value (`store_batch` and
+/// `fake_update_many` share one across their parts by design), which the
+/// crash sweep's write-ahead counter accounting relies on.
+fn drive_scheme2<T: sse_repro::net::link::Transport>(
+    client: &mut Scheme2Client<T>,
+    op: &Op,
+) -> sse_repro::core::error::Result<()> {
+    match op {
+        Op::Store(doc) => client.store(std::slice::from_ref(doc)),
+        Op::StoreBatch(docs) => client.store_batch(docs),
+        Op::FakeUpdateMany(groups) => client.fake_update_many(groups),
+        Op::Search(kw) => client.search(kw).map(|_| ()),
+    }
+}
+
+fn is_mutation(op: &Op) -> bool {
+    matches!(op, Op::Store(_) | Op::StoreBatch(_) | Op::FakeUpdateMany(_))
+}
+
+/// Shared body of the scheme-2 crash sweeps (see [`scheme1_crash_sweep`]
+/// for what `shards > 1` adds).
+fn scheme2_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
+    let oracle = oracle_states(trace);
     // CtrPolicy::Always (the base profile) makes the counter a pure
     // function of attempted updates, so crash recovery can restore it
     // without consulting the server.
@@ -274,9 +424,13 @@ fn scheme2_crash_at_every_write_point_is_op_atomic() {
     let counting = FaultVfs::counting();
     let stats = counting.stats();
     {
-        let server =
-            Scheme2Server::open_durable_with_vfs(Arc::new(counting), config.clone(), &count_dir)
-                .unwrap();
+        let server = Scheme2Server::open_durable_with_vfs_sharded(
+            Arc::new(counting),
+            config.clone(),
+            &count_dir,
+            shards,
+        )
+        .unwrap();
         let mut client = Scheme2Client::new_seeded(
             MeteredLink::new(server, Meter::new()),
             key.clone(),
@@ -285,11 +439,11 @@ fn scheme2_crash_at_every_write_point_is_op_atomic() {
         );
         for (i, op) in trace.iter().enumerate() {
             match op {
-                Op::Store(doc) => client.store(std::slice::from_ref(doc)).unwrap(),
                 Op::Search(kw) => {
                     let ids = ids_checked(&client.search(kw).unwrap());
                     assert_eq!(&ids, &oracle[i][kw], "fault-free search diverged at op {i}");
                 }
+                other => drive_scheme2(&mut client, other).unwrap(),
             }
         }
     }
@@ -301,43 +455,50 @@ fn scheme2_crash_at_every_write_point_is_op_atomic() {
     for k in 1..=write_points {
         let dir = temp_dir("s2-crash");
         let vfs = FaultVfs::crashing_at(seed, k);
-        let (completed, attempted_updates) =
-            match Scheme2Server::open_durable_with_vfs(Arc::new(vfs), config.clone(), &dir) {
-                Err(_) => (0, 0),
-                Ok(server) => {
-                    let mut client = Scheme2Client::new_seeded(
-                        MeteredLink::new(server, Meter::new()),
-                        key.clone(),
-                        config.clone(),
-                        1,
-                    );
-                    let mut completed = 0usize;
-                    let mut attempted = 0u64;
-                    for op in &trace {
-                        let res = match op {
-                            Op::Store(doc) => {
-                                // Write-ahead: count the update before
-                                // issuing it, so the restored counter is
-                                // valid whether or not the crashed op's
-                                // generation landed.
-                                attempted += 1;
-                                client.store(std::slice::from_ref(doc))
-                            }
-                            Op::Search(kw) => client.search(kw).map(|_| ()),
-                        };
-                        if res.is_err() {
-                            break;
-                        }
-                        completed += 1;
+        let (completed, attempted_updates) = match Scheme2Server::open_durable_with_vfs_sharded(
+            Arc::new(vfs),
+            config.clone(),
+            &dir,
+            shards,
+        ) {
+            Err(_) => (0, 0),
+            Ok(server) => {
+                let mut client = Scheme2Client::new_seeded(
+                    MeteredLink::new(server, Meter::new()),
+                    key.clone(),
+                    config.clone(),
+                    1,
+                );
+                let mut completed = 0usize;
+                let mut attempted = 0u64;
+                for op in trace {
+                    // Write-ahead: count the update before issuing it, so
+                    // the restored counter is valid whether or not the
+                    // crashed op's generations landed.
+                    if is_mutation(op) {
+                        attempted += 1;
                     }
-                    (completed, attempted)
+                    if drive_scheme2(&mut client, op).is_err() {
+                        break;
+                    }
+                    completed += 1;
                 }
-            };
+                (completed, attempted)
+            }
+        };
 
         let server = Scheme2Server::open_durable(config.clone(), &dir).unwrap();
         if server.recovery().recovered_anything() {
             recoveries += 1;
         }
+        // If the crash hit the first open before the manifest's atomic
+        // rename, the directory is still fresh and reopens single-shard;
+        // any run that got past open must reopen at the manifest's count.
+        assert!(
+            completed == 0 || server.num_shards() == shards,
+            "reopen must adopt the manifest's shard count (got {})",
+            server.num_shards()
+        );
         // Scheme 2 clients carry a counter; restore it at the attempted
         // count. If the crashed update never landed, the trapdoor is one
         // step ahead and the server's chain walk absorbs the gap.
@@ -357,7 +518,7 @@ fn scheme2_crash_at_every_write_point_is_op_atomic() {
             &observed,
             &oracle,
             completed,
-            &format!("crash at write {k}"),
+            &format!("crash at write {k} ({shards} shard(s))"),
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -365,6 +526,18 @@ fn scheme2_crash_at_every_write_point_is_op_atomic() {
         recoveries > 0,
         "{write_points} crash points never exercised recovery"
     );
+}
+
+#[test]
+fn scheme2_crash_at_every_write_point_is_op_atomic() {
+    let seed = fault_seed();
+    scheme2_crash_sweep(&build_trace(seed ^ 0x2222), seed, 1);
+}
+
+#[test]
+fn scheme2_sharded_batches_crash_op_atomically_across_shards() {
+    let seed = fault_seed();
+    scheme2_crash_sweep(&build_batched_trace(seed ^ 0x6666), seed ^ 0x6666, 4);
 }
 
 // ---------------------------------------------------------------------------
@@ -401,14 +574,12 @@ fn assert_no_silent_lies(kw: &Keyword, ids: &BTreeSet<u64>, confirmed: &Index, i
     }
 }
 
-#[test]
-fn scheme1_network_faults_fail_clean_or_answer_truthfully() {
-    let seed = fault_seed();
-    let trace = build_trace(seed ^ 0x1111);
+/// Shared body of the scheme-1 network-fault sweeps.
+fn scheme1_network_sweep(trace: &[Op], seed: u64, shards: usize) {
     let config = Scheme1Config::fast_profile(CAPACITY);
     let key = MasterKey::from_seed(seed ^ 0x61);
 
-    let server = Scheme1Server::new_in_memory(CAPACITY);
+    let server = Scheme1Server::new_in_memory_sharded(CAPACITY, shards);
     let link = FaultyLink::new(
         MeteredLink::new(server, Meter::new()),
         torture_net_config(seed),
@@ -419,13 +590,21 @@ fn scheme1_network_faults_fail_clean_or_answer_truthfully() {
     let mut confirmed = empty_index();
     let mut indoubt = empty_index();
     let (mut ok_ops, mut failed_ops) = (0u64, 0u64);
-    for op in &trace {
-        match op {
-            Op::Store(doc) => match client.store(std::slice::from_ref(doc)) {
+    for op in trace {
+        if let Op::Search(kw) = op {
+            match client.search(kw) {
+                Ok(hits) => {
+                    ok_ops += 1;
+                    assert_no_silent_lies(kw, &ids_checked(&hits), &confirmed, &indoubt);
+                }
+                Err(_) => failed_ops += 1,
+            }
+        } else {
+            match drive_scheme1(&mut client, op) {
                 Ok(()) => {
                     ok_ops += 1;
-                    for kw in &doc.keywords {
-                        confirmed.get_mut(kw).unwrap().insert(doc.id);
+                    for (kw, id) in mutated_ids(op) {
+                        confirmed.get_mut(&kw).unwrap().insert(id);
                     }
                 }
                 Err(_) => {
@@ -433,18 +612,82 @@ fn scheme1_network_faults_fail_clean_or_answer_truthfully() {
                     // (a lost response after execution). Track it as
                     // in-doubt — it may legitimately show up later.
                     failed_ops += 1;
-                    for kw in &doc.keywords {
-                        indoubt.get_mut(kw).unwrap().insert(doc.id);
+                    for (kw, id) in mutated_ids(op) {
+                        indoubt.get_mut(&kw).unwrap().insert(id);
                     }
                 }
-            },
-            Op::Search(kw) => match client.search(kw) {
+            }
+        }
+    }
+    assert!(stats.injected() > 0, "schedule injected nothing — vacuous");
+    assert!(failed_ops > 0, "no op ever failed — schedule too quiet");
+    assert!(
+        ok_ops > trace.len() as u64 / 2,
+        "too few ops survived ({ok_ops} ok / {failed_ops} failed)"
+    );
+}
+
+#[test]
+fn scheme1_network_faults_fail_clean_or_answer_truthfully() {
+    let seed = fault_seed();
+    scheme1_network_sweep(&build_trace(seed ^ 0x1111), seed, 1);
+}
+
+#[test]
+fn scheme1_batched_network_faults_over_sharded_server() {
+    let seed = fault_seed();
+    scheme1_network_sweep(&build_batched_trace(seed ^ 0x5555), seed ^ 0x5555, 4);
+}
+
+/// Shared body of the scheme-2 network-fault sweeps.
+fn scheme2_network_sweep(trace: &[Op], seed: u64, shards: usize) {
+    let config = Scheme2Config::base(512);
+    let key = MasterKey::from_seed(seed ^ 0x62);
+
+    let server = Scheme2Server::new_in_memory_sharded(config.clone(), shards);
+    let link = FaultyLink::new(
+        MeteredLink::new(server, Meter::new()),
+        torture_net_config(seed ^ 0x9999),
+    );
+    let stats = link.stats();
+    let mut client = Scheme2Client::new_seeded(link, key, config, 3);
+
+    let mut confirmed = empty_index();
+    let mut indoubt = empty_index();
+    let (mut ok_ops, mut failed_ops) = (0u64, 0u64);
+    for op in trace {
+        if let Op::Search(kw) = op {
+            match client.search(kw) {
                 Ok(hits) => {
                     ok_ops += 1;
                     assert_no_silent_lies(kw, &ids_checked(&hits), &confirmed, &indoubt);
                 }
                 Err(_) => failed_ops += 1,
-            },
+            }
+        } else {
+            match drive_scheme2(&mut client, op) {
+                Ok(()) => {
+                    ok_ops += 1;
+                    for (kw, id) in mutated_ids(op) {
+                        confirmed.get_mut(&kw).unwrap().insert(id);
+                    }
+                }
+                Err(_) => {
+                    failed_ops += 1;
+                    for (kw, id) in mutated_ids(op) {
+                        indoubt.get_mut(&kw).unwrap().insert(id);
+                    }
+                    // Write-ahead resync: advance the counter as if the
+                    // lost update landed (every mutation variant consumes
+                    // exactly one counter value). If it didn't land, the
+                    // trapdoor is ahead and the server's chain walk
+                    // unlocks the older generations anyway.
+                    let mut st = client.state();
+                    st.ctr += 1;
+                    st.searched_since_update = true;
+                    client.restore_state(st);
+                }
+            }
         }
     }
     assert!(stats.injected() > 0, "schedule injected nothing — vacuous");
@@ -458,58 +701,11 @@ fn scheme1_network_faults_fail_clean_or_answer_truthfully() {
 #[test]
 fn scheme2_network_faults_fail_clean_or_answer_truthfully() {
     let seed = fault_seed();
-    let trace = build_trace(seed ^ 0x3333);
-    let config = Scheme2Config::base(512);
-    let key = MasterKey::from_seed(seed ^ 0x62);
+    scheme2_network_sweep(&build_trace(seed ^ 0x3333), seed, 1);
+}
 
-    let server = Scheme2Server::new_in_memory(config.clone());
-    let link = FaultyLink::new(
-        MeteredLink::new(server, Meter::new()),
-        torture_net_config(seed ^ 0x9999),
-    );
-    let stats = link.stats();
-    let mut client = Scheme2Client::new_seeded(link, key, config, 3);
-
-    let mut confirmed = empty_index();
-    let mut indoubt = empty_index();
-    let (mut ok_ops, mut failed_ops) = (0u64, 0u64);
-    for op in &trace {
-        match op {
-            Op::Store(doc) => match client.store(std::slice::from_ref(doc)) {
-                Ok(()) => {
-                    ok_ops += 1;
-                    for kw in &doc.keywords {
-                        confirmed.get_mut(kw).unwrap().insert(doc.id);
-                    }
-                }
-                Err(_) => {
-                    failed_ops += 1;
-                    for kw in &doc.keywords {
-                        indoubt.get_mut(kw).unwrap().insert(doc.id);
-                    }
-                    // Write-ahead resync: advance the counter as if the
-                    // lost update landed. If it didn't, the trapdoor is
-                    // ahead and the server's chain walk unlocks the
-                    // older generations anyway.
-                    let mut st = client.state();
-                    st.ctr += 1;
-                    st.searched_since_update = true;
-                    client.restore_state(st);
-                }
-            },
-            Op::Search(kw) => match client.search(kw) {
-                Ok(hits) => {
-                    ok_ops += 1;
-                    assert_no_silent_lies(kw, &ids_checked(&hits), &confirmed, &indoubt);
-                }
-                Err(_) => failed_ops += 1,
-            },
-        }
-    }
-    assert!(stats.injected() > 0, "schedule injected nothing — vacuous");
-    assert!(failed_ops > 0, "no op ever failed — schedule too quiet");
-    assert!(
-        ok_ops > trace.len() as u64 / 2,
-        "too few ops survived ({ok_ops} ok / {failed_ops} failed)"
-    );
+#[test]
+fn scheme2_batched_network_faults_over_sharded_server() {
+    let seed = fault_seed();
+    scheme2_network_sweep(&build_batched_trace(seed ^ 0x7777), seed ^ 0x7777, 4);
 }

@@ -273,7 +273,7 @@ fn corrupt_index_snapshot_is_rejected() {
 fn scheme1_index_capacity_mismatch_is_rejected() {
     let dir = temp_dir("s1-idx-cap");
     {
-        let mut server = Scheme1Server::open_durable(64, &dir).unwrap();
+        let server = Scheme1Server::open_durable(64, &dir).unwrap();
         server.checkpoint(&dir).unwrap();
     }
     // Reopen with a different capacity: the snapshot must not silently load.

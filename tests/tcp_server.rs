@@ -324,3 +324,319 @@ fn idle_connections_are_reaped_and_clients_reattach() {
     );
     daemon.shutdown();
 }
+
+const SHARED_CLIENTS: u64 = 16;
+const SHARED_SHARDS: usize = 8;
+const SHARED_ROUNDS: u64 = 3;
+
+/// The op sequence for the shared-tenant test: ids are strided by client
+/// (the tenant's doc store is shared, so ids must be globally unique), and
+/// keywords mix an overlapping string every client uses (`hot16`) with a
+/// per-client disjoint one — under distinct master keys the shared string
+/// still maps to distinct tags, so shard routing sees both patterns.
+fn shared_round_docs(client: u64, round: u64) -> Vec<Document> {
+    let base = (round * SHARED_CLIENTS + client) * 2;
+    vec![
+        Document::new(
+            base,
+            format!("s{client}-r{round}-a").into_bytes(),
+            ["hot16", "warm16"],
+        ),
+        Document::new(
+            base + 1,
+            format!("s{client}-r{round}-b").into_bytes(),
+            [format!("own16-{client}").as_str(), "hot16"],
+        ),
+    ]
+}
+
+/// Per-client sequence over the shared tenant. Odd clients ship their
+/// stores through the batched `UPDATE_MANY` path, even clients through
+/// plain per-message DATA requests, so both request kinds race on the
+/// same shard locks.
+fn shared_ops<T: sse_repro::net::link::Transport>(
+    sse: &mut Scheme2Client<T>,
+    client: u64,
+) -> Vec<SearchHits> {
+    let mut transcript = Vec::new();
+    for round in 0..SHARED_ROUNDS {
+        let docs = shared_round_docs(client, round);
+        if client % 2 == 1 {
+            sse.store_batch(&docs).unwrap();
+        } else {
+            sse.store(&docs).unwrap();
+        }
+        transcript.push(sorted(sse.search(&Keyword::new("hot16")).unwrap()));
+        transcript.push(sorted(
+            sse.search(&Keyword::new(format!("own16-{client}")))
+                .unwrap(),
+        ));
+    }
+    transcript
+}
+
+/// Sixteen clients hammer ONE sharded tenant database concurrently —
+/// distinct master keys, so their keyword sets are disjoint as tags even
+/// where the strings overlap — and every client's transcript must be
+/// linearizable: identical to the same sequence run sequentially against
+/// a private in-memory server. Any cross-shard routing error, lost update
+/// under contention, or UPDATE_MANY/DATA interleaving bug diverges here.
+#[test]
+fn sixteen_clients_share_a_sharded_tenant_linearizably() {
+    use sse_repro::server::tenant::TenantParams;
+
+    let daemon = Daemon::spawn(ServerConfig {
+        workers: SHARED_SHARDS,
+        queue_depth: 64,
+        tenant_params: TenantParams {
+            shards: SHARED_SHARDS,
+            ..TenantParams::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    let joins: Vec<_> = (0..SHARED_CLIENTS)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let transport =
+                    TcpTransport::connect(addr, "shared-shardy", SchemeId::Scheme2).unwrap();
+                let mut sse = Scheme2Client::new_seeded(
+                    transport,
+                    MasterKey::from_seed(500 + client),
+                    Scheme2Config::standard(),
+                    client,
+                );
+                shared_ops(&mut sse, client)
+            })
+        })
+        .collect();
+    let concurrent: Vec<Vec<SearchHits>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+
+    for (client, observed) in concurrent.iter().enumerate() {
+        let client = client as u64;
+        let mut oracle = Scheme2Client::new_in_memory(
+            MasterKey::from_seed(500 + client),
+            Scheme2Config::standard(),
+        );
+        let expected = shared_ops(&mut oracle, client);
+        assert_eq!(
+            observed, &expected,
+            "client {client} on the shared tenant diverged from its sequential oracle"
+        );
+        for round in 0..SHARED_ROUNDS as usize {
+            assert_eq!(observed[2 * round].len(), 2 * (round + 1));
+            assert_eq!(observed[2 * round + 1].len(), round + 1);
+        }
+    }
+
+    let stats = daemon.stats();
+    assert_eq!(stats.requests_err, 0, "no protocol errors: {stats:?}");
+    assert!(stats.requests_ok >= SHARED_CLIENTS * SHARED_ROUNDS * 3);
+    assert_eq!(daemon.tenant_count(), 1, "one shared tenant database");
+
+    // The per-shard contention counters are live and sized to the tenant's
+    // shard count (whether any acquisition contended is timing-dependent).
+    let mut admin = TcpTransport::connect(addr, "shared-shardy", SchemeId::Scheme2).unwrap();
+    let snap = admin.admin_stats().unwrap();
+    assert_eq!(
+        snap.shard_contention.len(),
+        SHARED_SHARDS,
+        "STATS exposes one contention counter per shard: {snap:?}"
+    );
+
+    daemon.shutdown();
+}
+
+/// An `UPDATE_MANY` envelope touching k keywords (k shards) is
+/// all-or-nothing to racing searches. The writer stores documents tagged
+/// with four keywords per envelope (one batched request, four shards);
+/// a concurrent reader sharing the master key searches the keywords one
+/// by one. Because the batch applies under the union of its shard locks,
+/// any doc id visible under an earlier-read keyword must be visible under
+/// every later-read one — a shard-by-shard (non-atomic) apply leaves a
+/// window where the subset chain breaks.
+#[test]
+fn update_many_is_all_or_nothing_to_racing_searches() {
+    use sse_repro::core::scheme2::Scheme2ClientState;
+    use sse_repro::server::tenant::TenantParams;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const ENVELOPES: u64 = 200;
+    const KWS: [&str; 4] = ["atom-0", "atom-1", "atom-2", "atom-3"];
+
+    let daemon = Daemon::spawn(ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        tenant_params: TenantParams {
+            shards: 8,
+            ..TenantParams::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.local_addr();
+    let key = MasterKey::from_seed(77);
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Writer: every store_batch is one UPDATE_MANY envelope appending one
+    // generation to each of the four keywords. It never searches, so under
+    // CtrPolicy::OnSearchOnly every generation stays at counter 1 and the
+    // reader below can unlock all of them with one restored counter.
+    let writer = {
+        let key = key.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let transport = TcpTransport::connect(addr, "atomic", SchemeId::Scheme2).unwrap();
+            let mut sse = Scheme2Client::new_seeded(transport, key, Scheme2Config::standard(), 1);
+            for n in 0..ENVELOPES {
+                sse.store_batch(&[Document::new(n, format!("atomic-{n}").into_bytes(), KWS)])
+                    .unwrap();
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    // Reader: same master key, counter pinned to the writer's value.
+    let reader = {
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let transport = TcpTransport::connect(addr, "atomic", SchemeId::Scheme2).unwrap();
+            let mut sse = Scheme2Client::new_seeded(transport, key, Scheme2Config::standard(), 2);
+            sse.restore_state(Scheme2ClientState {
+                ctr: 1,
+                epoch: 0,
+                searched_since_update: true,
+            });
+            let ids = |sse: &mut Scheme2Client<TcpTransport>, kw: &str| -> BTreeSet<u64> {
+                sse.search(&Keyword::new(kw))
+                    .unwrap()
+                    .into_iter()
+                    .map(|(id, _)| id)
+                    .collect()
+            };
+            let mut passes = 0u64;
+            loop {
+                let finished = done.load(Ordering::SeqCst);
+                let mut prev: Option<(usize, BTreeSet<u64>)> = None;
+                for (i, kw) in KWS.iter().enumerate() {
+                    let seen = ids(&mut sse, kw);
+                    if let Some((j, earlier)) = &prev {
+                        assert!(
+                            earlier.is_subset(&seen),
+                            "torn UPDATE_MANY: ids {:?} visible under {} but not under {} \
+                             (read later)",
+                            earlier.difference(&seen).collect::<Vec<_>>(),
+                            KWS[*j],
+                            kw,
+                        );
+                    }
+                    prev = Some((i, seen));
+                }
+                passes += 1;
+                if finished {
+                    break;
+                }
+            }
+            // Quiesced: every keyword sees every envelope.
+            let full: BTreeSet<u64> = (0..ENVELOPES).collect();
+            for kw in KWS {
+                assert_eq!(ids(&mut sse, kw), full, "{kw} missing envelopes at rest");
+            }
+            passes
+        })
+    };
+
+    writer.join().unwrap();
+    let passes = reader.join().unwrap();
+    assert!(
+        passes >= 2,
+        "reader never raced the writer ({passes} passes)"
+    );
+
+    let stats = daemon.stats();
+    assert_eq!(stats.requests_err, 0, "no protocol errors: {stats:?}");
+    daemon.shutdown();
+}
+
+/// Regression test for the BUSY retry budget: it is measured on the
+/// monotonic clock and configurable. Against a server that answers BUSY
+/// forever, a transport with a short budget must fail the request with
+/// `TimedOut` no earlier than the budget and nowhere near the 10 s
+/// default — i.e. the override is honored and the loop cannot spin
+/// unbounded (or be starved/stretched by wall-clock steps, which the
+/// monotonic `Instant` source is immune to by construction).
+#[test]
+fn busy_deadline_is_monotonic_and_bounded() {
+    use sse_repro::net::frame::{encode_frame, FrameDecoder};
+    use sse_repro::net::link::Transport;
+    use sse_repro::server::proto::{self, HELLO_SEQ, STATUS_BUSY, STATUS_OK};
+    use sse_repro::server::transport::DEFAULT_BUSY_RETRY_DEADLINE;
+    use std::io::{Read, Write};
+    use std::time::Instant;
+
+    // A minimal daemon impostor: accept one connection, ack the hello,
+    // then answer every request with BUSY (correctly correlated, so the
+    // transport keeps retrying rather than erroring out).
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        let mut greeted = false;
+        loop {
+            let frame = loop {
+                if let Some(f) = decoder.next_frame().unwrap() {
+                    break f;
+                }
+                match stream.read(&mut buf) {
+                    Ok(0) | Err(_) => return, // client hung up: test over
+                    Ok(n) => decoder.push(&buf[..n]),
+                }
+            };
+            let reply = if greeted {
+                let (_, seq, _) = proto::decode_request(&frame).unwrap();
+                proto::encode_response(STATUS_BUSY, seq, &[])
+            } else {
+                greeted = true;
+                proto::encode_response(STATUS_OK, HELLO_SEQ, &[])
+            };
+            if stream.write_all(&encode_frame(&reply)).is_err() {
+                return;
+            }
+        }
+    });
+
+    let deadline = Duration::from_millis(250);
+    let mut transport = TcpTransport::connect(addr, "busy", SchemeId::Scheme2)
+        .unwrap()
+        .with_busy_retry_deadline(deadline);
+
+    let started = Instant::now();
+    let err = transport.round_trip(b"any scheme payload").unwrap_err();
+    let elapsed = started.elapsed();
+
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+    assert!(
+        elapsed >= deadline,
+        "gave up after {elapsed:?}, before the {deadline:?} budget"
+    );
+    // Bounded: one more capped backoff past the budget at most, and far
+    // from the default budget the override replaced.
+    assert!(
+        elapsed < DEFAULT_BUSY_RETRY_DEADLINE / 4,
+        "spun for {elapsed:?} against a {deadline:?} budget"
+    );
+    assert!(
+        transport.busy_retries() >= 2,
+        "expected repeated BUSY retries, saw {}",
+        transport.busy_retries()
+    );
+
+    drop(transport); // closes the socket; the impostor thread exits
+    server.join().unwrap();
+}
