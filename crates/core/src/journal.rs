@@ -127,17 +127,47 @@ impl IndexJournal {
     /// Append one request, assigning and returning its sequence number.
     /// Durable on return (subject to the journal's sync policy).
     ///
+    /// The seq header and request bytes go through the WAL's scattered
+    /// (iovec) batch path, so the record is assembled once, directly in
+    /// the frame buffer — no intermediate `[seq][request]` copy.
+    ///
     /// # Errors
     /// I/O errors from the VFS (including injected faults). On error the
     /// sequence number is *not* consumed.
     pub fn append(&mut self, request: &[u8]) -> Result<u64> {
         let seq = self.next_seq;
-        let mut payload = Vec::with_capacity(8 + request.len());
-        payload.extend_from_slice(&seq.to_le_bytes());
-        payload.extend_from_slice(request);
-        self.wal.append(&payload)?;
+        let header = seq.to_le_bytes();
+        self.wal.append_batch(&[&[&header, request]])?;
         self.next_seq = seq + 1;
         Ok(seq)
+    }
+
+    /// Append a group of records that are **already stamped** with their
+    /// sequence numbers (`[op_seq: u64 LE][request bytes]` each), as one
+    /// write + one fsync. The group committer assigns seqs at stage time
+    /// (so cross-shard batch ids are known before the write); `first_seq`
+    /// is the seq stamped into `records[0]` and must equal this journal's
+    /// `next_seq` — group order and journal order are the same order.
+    ///
+    /// # Errors
+    /// I/O errors from the VFS (including injected faults). On error no
+    /// sequence number is consumed and nothing in the group is durable.
+    ///
+    /// # Panics
+    /// Panics if `first_seq` disagrees with the journal's `next_seq` —
+    /// that is a committer bug, not a runtime condition.
+    pub fn append_stamped_batch(&mut self, records: &[&[u8]], first_seq: u64) -> Result<()> {
+        assert_eq!(
+            first_seq, self.next_seq,
+            "stamped group must start at the journal's next_seq"
+        );
+        if records.is_empty() {
+            return Ok(());
+        }
+        let group: Vec<&[&[u8]]> = records.iter().map(std::slice::from_ref).collect();
+        self.wal.append_batch(&group)?;
+        self.next_seq += records.len() as u64;
+        Ok(())
     }
 
     /// The sequence number the next [`IndexJournal::append`] will assign.
@@ -208,6 +238,46 @@ mod tests {
         let (_, rec) = IndexJournal::open_with_vfs(RealVfs::arc(), &path, true, 2).unwrap();
         assert_eq!(rec.replay, vec![b"three".to_vec()]);
         assert_eq!(rec.skipped, 0);
+    }
+
+    #[test]
+    fn stamped_batch_replays_like_individual_appends() {
+        let path = temp_path("stamped");
+        let (mut j, _) = IndexJournal::open_with_vfs(RealVfs::arc(), &path, true, 0).unwrap();
+        let first = j.next_seq();
+        assert_eq!(first, 1);
+        let records: Vec<Vec<u8>> = (0..3u64)
+            .map(|i| {
+                let mut rec = (first + i).to_le_bytes().to_vec();
+                rec.extend_from_slice(format!("grouped-{i}").as_bytes());
+                rec
+            })
+            .collect();
+        let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+        j.append_stamped_batch(&refs, first).unwrap();
+        assert_eq!(j.next_seq(), 4);
+        assert_eq!(j.append(b"solo").unwrap(), 4);
+        drop(j);
+
+        let (_, rec) = IndexJournal::open_with_vfs(RealVfs::arc(), &path, true, 0).unwrap();
+        assert_eq!(
+            rec.replay,
+            vec![
+                b"grouped-0".to_vec(),
+                b"grouped-1".to_vec(),
+                b"grouped-2".to_vec(),
+                b"solo".to_vec()
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stamped group must start")]
+    fn stamped_batch_rejects_wrong_first_seq() {
+        let path = temp_path("stamped-wrong");
+        let (mut j, _) = IndexJournal::open_with_vfs(RealVfs::arc(), &path, true, 0).unwrap();
+        let rec = 7u64.to_le_bytes().to_vec();
+        let _ = j.append_stamped_batch(&[rec.as_slice()], 7);
     }
 
     #[test]

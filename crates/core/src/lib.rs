@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod error;
 pub mod journal;
 pub mod leakage;

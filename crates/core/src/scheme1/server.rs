@@ -7,19 +7,39 @@
 //! nonce. Every request is decoded defensively; malformed input produces an
 //! error response, never a panic.
 //!
-//! ## Sharding
+//! ## Sharding, group commit and snapshot reads
 //!
-//! The keyword index is partitioned into N independently locked shards by
+//! The keyword index is partitioned into N shards by
 //! [`crate::shard::shard_of`] over the tag — a public function of data the
 //! server already sees, so the leakage profile is unchanged (DESIGN.md
-//! §4d). Searches against distinct shards proceed concurrently, and a
-//! durable update's journal fsync only blocks its own shard. Mutations
-//! touching several shards journal [`crate::shard`] batch slices (one
-//! append per affected shard, all affected locks held) so crash recovery
-//! keeps them all-or-nothing. Lock order everywhere: geometry → shards in
-//! ascending index order → document store.
+//! §4d/§4e). Each shard is a pipeline, not a single mutex:
+//!
+//! * **Mutations** stage their journal record into the shard's
+//!   [`GroupCommitter`], which batches concurrent records into one
+//!   vectored write + one fsync (the PR 3 benchmark showed per-op fsyncs
+//!   dominate serving cost). Only after its group's fsync does a mutation
+//!   apply to the shard tree — in sequence-number order, enforced by a
+//!   per-shard condvar — and only after applying is it acknowledged. The
+//!   journal-then-ack durability contract is exactly as before; the fsync
+//!   is merely shared.
+//! * **Searches** never touch the shard mutex: every apply publishes an
+//!   immutable copy-on-write snapshot ([`sse_index::bptree::BpTree`]
+//!   clones are O(1) structural shares), and reads resolve tags against
+//!   the snapshot. A search therefore never queues behind an in-flight
+//!   fsync. A global epoch seqlock makes multi-shard batch swaps atomic
+//!   to readers: the coordinator publishes all touched shards inside an
+//!   odd-epoch window and readers retry around it.
+//!
+//! Mutations touching several shards stage [`crate::shard`] batch slices
+//! under every affected committer's stage lock (ascending), so crash
+//! recovery keeps them all-or-nothing; they apply under all affected data
+//! locks. Lock order everywhere: geometry → stage locks ascending → data
+//! locks ascending → document store. Mutations hold the geometry read
+//! lock across their whole stage→apply pipeline, so `ReplaceIndex` and
+//! checkpoints (geometry writers) run fully quiesced.
 
 use super::protocol::{self, Request, UpdateEntry};
+use crate::commit::{CommitCounters, CommitStats, GroupCommitter};
 use crate::error::{Result, SseError};
 use crate::journal::{IndexJournal, ServerRecovery};
 use crate::shard::{self, shard_of, BatchId};
@@ -35,7 +55,7 @@ use sse_storage::{RealVfs, StorageError, Vfs};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, PoisonError};
 
 /// Snapshot magic, v2: the body leads with the `last_op_seq` covered by
 /// the snapshot so journal replay can skip already-applied mutations.
@@ -63,6 +83,7 @@ fn journal_file(i: usize) -> String {
 }
 
 /// One searchable representation as stored by the server.
+#[derive(Clone)]
 struct Entry {
     /// `I(w) ⊕ G(r)`.
     masked_index: Vec<u8>,
@@ -70,15 +91,32 @@ struct Entry {
     f_r: Vec<u8>,
 }
 
-/// One independently locked index partition with its own journal.
-struct Shard {
+/// A shard's mutable state: the live tree plus the highest op-seq applied
+/// to it. Mutations apply in seq order (`applied_seq + 1 == my_seq`).
+struct ShardData {
     tree: BpTree<[u8; 32], Entry>,
-    /// Index mutation journal (None for in-memory servers).
-    journal: Option<IndexJournal>,
+    applied_seq: u64,
 }
 
-/// Index width geometry — read by every request, rewritten only by
-/// `ReplaceIndex` (capacity migration).
+/// The immutable view searches resolve against. Carries the capacity so
+/// the read path needs no geometry lock; a `ReplaceIndex` swaps tree and
+/// capacity together.
+struct SnapShard {
+    tree: BpTree<[u8; 32], Entry>,
+    capacity_docs: u64,
+}
+
+/// One index shard: group-commit pipeline + live tree + search snapshot.
+struct ShardSlot {
+    data: Mutex<ShardData>,
+    /// Signaled whenever `applied_seq` advances.
+    applied: Condvar,
+    committer: GroupCommitter,
+    snap: RwLock<Arc<SnapShard>>,
+}
+
+/// Index width geometry — read (and held) by every mutation pipeline,
+/// rewritten only under full quiescence (`ReplaceIndex`, checkpoint).
 struct Geometry {
     capacity_docs: u64,
     index_bytes: usize,
@@ -114,9 +152,13 @@ struct StatsCells {
 /// The Scheme 1 server.
 pub struct Scheme1Server {
     geometry: RwLock<Geometry>,
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<ShardSlot>,
+    /// Seqlock epoch: odd while a multi-shard batch swaps its snapshots.
+    epoch: AtomicU64,
     /// Contended shard-lock acquisitions, per shard (served via STATS).
     contention: Vec<AtomicU64>,
+    /// Group-commit pipeline counters, shared by every shard's committer.
+    commit_stats: Arc<CommitStats>,
     store: RwLock<DocStore>,
     stats: StatsCells,
     /// Durable home directory (None for in-memory servers).
@@ -139,20 +181,29 @@ impl Scheme1Server {
     #[must_use]
     pub fn new_in_memory_sharded(capacity_docs: u64, shards: usize) -> Self {
         let n = shards.max(1);
+        let commit_stats = Arc::new(CommitStats::default());
         Scheme1Server {
             geometry: RwLock::new(Geometry {
                 capacity_docs,
                 index_bytes: (capacity_docs as usize).div_ceil(8),
             }),
             shards: (0..n)
-                .map(|_| {
-                    Mutex::new(Shard {
+                .map(|_| ShardSlot {
+                    data: Mutex::new(ShardData {
                         tree: BpTree::new(),
-                        journal: None,
-                    })
+                        applied_seq: 0,
+                    }),
+                    applied: Condvar::new(),
+                    committer: GroupCommitter::new_in_memory(Arc::clone(&commit_stats)),
+                    snap: RwLock::new(Arc::new(SnapShard {
+                        tree: BpTree::new(),
+                        capacity_docs,
+                    })),
                 })
                 .collect(),
+            epoch: AtomicU64::new(0),
             contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            commit_stats,
             store: RwLock::new(DocStore::in_memory()),
             stats: StatsCells::default(),
             dir: None,
@@ -198,7 +249,8 @@ impl Scheme1Server {
         Self::open_durable_with_vfs_sharded(vfs, capacity_docs, dir, 1)
     }
 
-    /// [`Scheme1Server::open_durable_sharded`] over an explicit [`Vfs`].
+    /// [`Scheme1Server::open_durable_sharded`] over an explicit [`Vfs`],
+    /// with group commit enabled.
     ///
     /// # Errors
     /// As [`Scheme1Server::open_durable`], plus injected faults.
@@ -207,6 +259,23 @@ impl Scheme1Server {
         capacity_docs: u64,
         dir: &Path,
         shards: usize,
+    ) -> Result<Self> {
+        Self::open_durable_with_vfs_opts(vfs, capacity_docs, dir, shards, true)
+    }
+
+    /// [`Scheme1Server::open_durable_with_vfs_sharded`] with group commit
+    /// switchable: when `group_commit` is false every journal record is
+    /// flushed on its own (one fsync per op) — the benchmark's baseline
+    /// arm. Durability and recovery semantics are identical either way.
+    ///
+    /// # Errors
+    /// As [`Scheme1Server::open_durable`], plus injected faults.
+    pub fn open_durable_with_vfs_opts(
+        vfs: Arc<dyn Vfs>,
+        capacity_docs: u64,
+        dir: &Path,
+        shards: usize,
+        group_commit: bool,
     ) -> Result<Self> {
         let store = DocStore::open_with_vfs(
             vfs.clone(),
@@ -220,7 +289,8 @@ impl Scheme1Server {
             capacity_docs,
             index_bytes: (capacity_docs as usize).div_ceil(8),
         };
-        let mut loaded: Vec<Shard> = Vec::with_capacity(n);
+        let mut trees: Vec<BpTree<[u8; 32], Entry>> = Vec::with_capacity(n);
+        let mut journals: Vec<IndexJournal> = Vec::with_capacity(n);
         let mut recoveries = Vec::with_capacity(n);
         for i in 0..n {
             let mut tree = BpTree::new();
@@ -236,24 +306,46 @@ impl Scheme1Server {
                 true,
                 snapshot_seq,
             )?;
-            loaded.push(Shard {
-                tree,
-                journal: Some(journal),
-            });
+            trees.push(tree);
+            journals.push(journal);
             recoveries.push(recovery);
         }
         let plan = shard::resolve_shard_recoveries(&recoveries)?;
         let mut replayed = 0u64;
-        for (shard, apply) in loaded.iter_mut().zip(&plan.apply) {
+        for (tree, apply) in trees.iter_mut().zip(&plan.apply) {
             for raw in apply {
-                replay_into(shard, &mut geometry, raw)?;
+                replay_into(tree, &mut geometry, raw)?;
                 replayed += 1;
             }
         }
+        let commit_stats = Arc::new(CommitStats::default());
+        let capacity_docs = geometry.capacity_docs;
+        let shards: Vec<ShardSlot> = trees
+            .into_iter()
+            .zip(journals)
+            .map(|(tree, journal)| {
+                let applied_seq = journal.last_seq();
+                ShardSlot {
+                    snap: RwLock::new(Arc::new(SnapShard {
+                        tree: tree.clone(),
+                        capacity_docs,
+                    })),
+                    data: Mutex::new(ShardData { tree, applied_seq }),
+                    applied: Condvar::new(),
+                    committer: GroupCommitter::new_durable(
+                        journal,
+                        group_commit,
+                        Arc::clone(&commit_stats),
+                    ),
+                }
+            })
+            .collect();
         Ok(Scheme1Server {
             geometry: RwLock::new(geometry),
-            shards: loaded.into_iter().map(Mutex::new).collect(),
+            shards,
+            epoch: AtomicU64::new(0),
             contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            commit_stats,
             store: RwLock::new(store),
             stats: StatsCells::default(),
             dir: Some(dir.to_path_buf()),
@@ -289,27 +381,32 @@ impl Scheme1Server {
             .collect()
     }
 
+    /// Group-commit pipeline counters (groups, ops, fsyncs saved,
+    /// snapshot swaps) since startup.
+    #[must_use]
+    pub fn commit_counters(&self) -> CommitCounters {
+        self.commit_stats.counters()
+    }
+
     /// Checkpoint everything durable, in crash-safe order: document store
     /// snapshot, then every shard's index snapshot (each recording its
-    /// journal's `last_op_seq`), then every journal truncation. The
-    /// snapshots-before-any-reset order matters across shards: a batch
-    /// slice is only resolvable while its sibling shards' journals still
-    /// hold (or their snapshots already cover) their slices, so no journal
-    /// may be reset until *all* snapshots are durable.
+    /// `applied_seq` as `last_op_seq`), then every journal truncation.
+    /// The geometry write lock quiesces the mutation pipeline first, so
+    /// every staged record is both durable and applied — no journal may
+    /// be reset while a group is in flight, and the snapshots-before-any-
+    /// reset order keeps cross-shard batch slices resolvable.
     ///
     /// # Errors
     /// Filesystem errors. No-op index-wise for in-memory servers.
     pub fn checkpoint(&self, dir: &Path) -> Result<()> {
-        let _geometry = self.geometry.read();
-        let mut guards = self.lock_all_shards();
+        let geometry = self.geometry.write();
+        let datas = self.lock_all_data();
         self.store.write().checkpoint()?;
-        for (i, shard) in guards.iter().enumerate() {
-            self.save_shard_snapshot(shard, &_geometry, &dir.join(index_file(i)))?;
+        for (i, data) in datas.iter().enumerate() {
+            self.save_shard_snapshot(data, &geometry, &dir.join(index_file(i)))?;
         }
-        for shard in guards.iter_mut() {
-            if let Some(journal) = &mut shard.journal {
-                journal.reset()?;
-            }
+        for slot in &self.shards {
+            slot.committer.reset_journal()?;
         }
         Ok(())
     }
@@ -330,7 +427,7 @@ impl Scheme1Server {
     #[must_use]
     pub fn unique_keywords(&self) -> usize {
         (0..self.shards.len())
-            .map(|i| self.lock_shard(i).tree.len())
+            .map(|i| self.lock_data(i).tree.len())
             .sum()
     }
 
@@ -345,7 +442,7 @@ impl Scheme1Server {
     #[must_use]
     pub fn tree_height(&self) -> usize {
         (0..self.shards.len())
-            .map(|i| self.lock_shard(i).tree.height())
+            .map(|i| self.lock_data(i).tree.height())
             .max()
             .unwrap_or(0)
     }
@@ -383,7 +480,7 @@ impl Scheme1Server {
     /// Used by the security harness.
     #[must_use]
     pub fn export_representations(&self) -> Vec<([u8; 32], Vec<u8>, Vec<u8>)> {
-        let guards = self.lock_all_shards();
+        let guards = self.lock_all_data();
         let mut out: Vec<([u8; 32], Vec<u8>, Vec<u8>)> = guards
             .iter()
             .flat_map(|s| {
@@ -406,8 +503,9 @@ impl Scheme1Server {
     }
 
     /// Serve one request without exclusive access — the entry point the
-    /// multi-tenant daemon's workers call concurrently. Internal locking
-    /// is per shard, so requests against distinct shards run in parallel.
+    /// multi-tenant daemon's workers call concurrently. Searches run
+    /// against immutable snapshots; mutations pipeline through the
+    /// per-shard group committers.
     pub fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
         match protocol::decode_request(request) {
             Ok(req) => self.handle_request(req),
@@ -417,9 +515,9 @@ impl Scheme1Server {
 
     /// Apply an `UPDATE_MANY` batch: every part must be a mutation
     /// (`PutDocs` or `ApplyUpdates`). All parts are decoded and validated
-    /// first, then applied all-or-nothing with respect to racing searches
-    /// (every affected shard stays locked for the whole application) and
-    /// with one journal append per affected shard.
+    /// first, then journaled as one cross-shard batch and applied
+    /// all-or-nothing with respect to racing searches (all touched
+    /// shards' snapshots swap inside one epoch window).
     pub fn apply_batch(&self, parts: &[&[u8]]) -> Vec<u8> {
         let mut docs: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut entries: Vec<UpdateEntry> = Vec::new();
@@ -444,21 +542,187 @@ impl Scheme1Server {
         self.apply_updates_sharded(entries)
     }
 
-    /// Acquire shard `i`'s lock, counting a contended acquisition when the
-    /// lock was not immediately free.
-    fn lock_shard(&self, i: usize) -> MutexGuard<'_, Shard> {
-        match self.shards[i].try_lock() {
+    /// Acquire shard `i`'s data lock, counting a contended acquisition
+    /// when the lock was not immediately free.
+    fn lock_data(&self, i: usize) -> MutexGuard<'_, ShardData> {
+        match self.shards[i].data.try_lock() {
             Some(guard) => guard,
             None => {
                 self.contention[i].fetch_add(1, Ordering::Relaxed);
-                self.shards[i].lock()
+                self.shards[i].data.lock()
             }
         }
     }
 
-    /// Lock every shard in ascending order (checkpoint / export paths).
-    fn lock_all_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
-        (0..self.shards.len()).map(|i| self.lock_shard(i)).collect()
+    /// Lock every shard's data in ascending order (checkpoint / export).
+    fn lock_all_data(&self) -> Vec<MutexGuard<'_, ShardData>> {
+        (0..self.shards.len()).map(|i| self.lock_data(i)).collect()
+    }
+
+    /// Fetch shard `i`'s search snapshot, retrying around multi-shard
+    /// swap windows (odd epoch) so a reader never observes a half-swapped
+    /// batch across shards.
+    fn snap(&self, i: usize) -> Arc<SnapShard> {
+        loop {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = Arc::clone(&self.shards[i].snap.read());
+            if self.epoch.load(Ordering::Acquire) == before {
+                return snap;
+            }
+        }
+    }
+
+    /// Publish shard `i`'s current tree as the immutable search snapshot.
+    /// O(1): the tree clone shares all nodes copy-on-write.
+    fn publish(&self, i: usize, data: &ShardData, capacity_docs: u64) {
+        *self.shards[i].snap.write() = Arc::new(SnapShard {
+            tree: data.tree.clone(),
+            capacity_docs,
+        });
+        self.commit_stats.note_swap();
+    }
+
+    /// Wait until shard `i` has applied every predecessor of `seq`, then
+    /// run `apply`, advance `applied_seq`, publish the snapshot and wake
+    /// successors. The caller must have made `seq` durable first.
+    fn apply_at(&self, i: usize, seq: u64, capacity_docs: u64, apply: impl FnOnce(&mut ShardData)) {
+        let slot = &self.shards[i];
+        let mut data = self.lock_data(i);
+        while data.applied_seq + 1 != seq {
+            data = slot
+                .applied
+                .wait(data)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        apply(&mut data);
+        data.applied_seq = seq;
+        self.publish(i, &data, capacity_docs);
+        drop(data);
+        slot.applied.notify_all();
+    }
+
+    /// Run one mutation through the full pipeline: stage its journal
+    /// record(s) (one per affected shard, batch slices when several),
+    /// wait for the group fsync(s), then apply in seq order and publish
+    /// new snapshots. `idxs` must be ascending and non-empty.
+    ///
+    /// On partial durability (some shard's journal failed) nothing is
+    /// applied anywhere: durable shards advance `applied_seq` without
+    /// mutating (recovery's sibling-completeness check discards their
+    /// on-disk slices too), failed shards are poisoned, and the client
+    /// gets an error — the mutation is never acknowledged.
+    fn commit_mutation(
+        &self,
+        idxs: &[usize],
+        encode_for: impl Fn(usize) -> Vec<u8>,
+        mut apply_for: impl FnMut(usize, &mut ShardData),
+        capacity_docs: u64,
+    ) -> Result<()> {
+        debug_assert!(idxs.windows(2).all(|w| w[0] < w[1]));
+        if idxs.len() == 1 {
+            let i = idxs[0];
+            let seq = self.shards[i].committer.stage(&encode_for(i))?;
+            self.shards[i].committer.wait_durable(seq)?;
+            self.apply_at(i, seq, capacity_docs, |data| apply_for(i, data));
+            return Ok(());
+        }
+
+        // Phase S — stage every slice atomically under all stage locks
+        // (ascending), so the batch id (coordinator shard, coordinator
+        // seq) is consistent and no foreign record interleaves.
+        let shard_set: Vec<u32> = idxs.iter().map(|&i| i as u32).collect();
+        let mut guards: Vec<_> = idxs
+            .iter()
+            .map(|&i| self.shards[i].committer.lock())
+            .collect();
+        if guards.iter().any(crate::commit::StageGuard::poisoned) {
+            return Err(journal_unavailable());
+        }
+        let batch = BatchId {
+            coordinator: shard_set[0],
+            seq: guards[0].next_seq(),
+        };
+        let mut seqs = Vec::with_capacity(idxs.len());
+        for (guard, &i) in guards.iter_mut().zip(idxs) {
+            // Cannot fail: staging only errors on poison, checked above
+            // while continuously holding every stage lock.
+            seqs.push(guard.stage(&shard::encode_slice(batch, &shard_set, &encode_for(i)))?);
+        }
+        drop(guards);
+
+        // Phase D — wait for every shard's group fsync.
+        let mut durable = vec![false; idxs.len()];
+        let mut first_err = None;
+        for (k, &i) in idxs.iter().enumerate() {
+            match self.shards[i].committer.wait_durable(seqs[k]) {
+                Ok(()) => durable[k] = true,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        let apply = first_err.is_none();
+
+        // Phase R — wait (one shard at a time, holding nothing else)
+        // until each durable shard has applied all our predecessors.
+        // Stable once reached: our seq is the only possible successor.
+        for (k, &i) in idxs.iter().enumerate() {
+            if !durable[k] {
+                continue;
+            }
+            let slot = &self.shards[i];
+            let mut data = self.lock_data(i);
+            while data.applied_seq + 1 != seqs[k] {
+                data = slot
+                    .applied
+                    .wait(data)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        // Phase A — lock all durable shards (ascending) and swap them
+        // atomically inside an odd-epoch window so snapshot readers see
+        // the batch all-or-nothing.
+        if apply {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        let mut held: Vec<(usize, MutexGuard<'_, ShardData>)> = Vec::with_capacity(idxs.len());
+        for (k, &i) in idxs.iter().enumerate() {
+            if durable[k] {
+                held.push((k, self.lock_data(i)));
+            }
+        }
+        for (k, data) in &mut held {
+            debug_assert_eq!(data.applied_seq + 1, seqs[*k], "readiness must be stable");
+            if apply {
+                apply_for(idxs[*k], data);
+            }
+            data.applied_seq = seqs[*k];
+        }
+        if apply {
+            for (k, data) in &held {
+                self.publish(idxs[*k], data, capacity_docs);
+            }
+        }
+        drop(held);
+        if apply {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        for (k, &i) in idxs.iter().enumerate() {
+            if durable[k] {
+                self.shards[i].applied.notify_all();
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Store `docs`, enforcing the capacity bound. Returns an error
@@ -486,20 +750,18 @@ impl Scheme1Server {
     }
 
     /// Apply validated update entries: group per shard (preserving input
-    /// order within each shard), lock affected shards ascending, journal
-    /// one record per shard (a plain request for a single shard, batch
-    /// slices for several), then mutate.
+    /// order within each shard), then run the group-commit pipeline. The
+    /// geometry read lock is held across the whole pipeline so geometry
+    /// writers (`ReplaceIndex`, checkpoint) always see it quiesced.
     fn apply_updates_sharded(&self, entries: Vec<UpdateEntry>) -> Vec<u8> {
-        {
-            let geometry = self.geometry.read();
-            for entry in &entries {
-                if entry.delta.len() != geometry.index_bytes {
-                    return protocol::encode_error(&format!(
-                        "delta length {} != index width {}",
-                        entry.delta.len(),
-                        geometry.index_bytes
-                    ));
-                }
+        let geometry = self.geometry.read();
+        for entry in &entries {
+            if entry.delta.len() != geometry.index_bytes {
+                return protocol::encode_error(&format!(
+                    "delta length {} != index width {}",
+                    entry.delta.len(),
+                    geometry.index_bytes
+                ));
             }
         }
         if entries.is_empty() {
@@ -513,22 +775,22 @@ impl Scheme1Server {
                 .or_default()
                 .push(entry);
         }
-        let _geometry = self.geometry.read();
         let idxs: Vec<usize> = groups.keys().copied().collect();
-        let mut guards: Vec<MutexGuard<'_, Shard>> =
-            idxs.iter().map(|&i| self.lock_shard(i)).collect();
-        if let Err(e) = journal_groups(&idxs, &mut guards, |i| {
-            protocol::encode_apply_updates(&groups[&i])
-        }) {
-            return protocol::encode_error(&e.to_string());
+        let result = self.commit_mutation(
+            &idxs,
+            |i| protocol::encode_apply_updates(&groups[&i]),
+            |i, data| {
+                for UpdateEntry { tag, delta, f_r } in &groups[&i] {
+                    apply_entry(&mut data.tree, *tag, delta.clone(), f_r.clone());
+                    self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            geometry.capacity_docs,
+        );
+        match result {
+            Ok(()) => protocol::encode_ack(),
+            Err(e) => protocol::encode_error(&e.to_string()),
         }
-        for (guard, (_, group)) in guards.iter_mut().zip(groups.iter()) {
-            for UpdateEntry { tag, delta, f_r } in group {
-                apply_entry(&mut guard.tree, *tag, delta.clone(), f_r.clone());
-                self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        protocol::encode_ack()
     }
 
     fn handle_replace_index(&self, capacity: u64, entries: Vec<UpdateEntry>) -> Vec<u8> {
@@ -540,13 +802,14 @@ impl Scheme1Server {
             ));
         }
         // Migration must not lose keywords: the replacement set must cover
-        // every currently stored tag. Geometry is held exclusively and all
-        // shards are locked for the whole replacement.
+        // every currently stored tag. The geometry write lock quiesces
+        // every mutation pipeline, so the data trees are stable while we
+        // validate and replace.
         let mut geometry = self.geometry.write();
-        let mut guards = self.lock_all_shards();
         let new_tags: std::collections::HashSet<[u8; 32]> = entries.iter().map(|e| e.tag).collect();
-        for shard in &guards {
-            for (tag, _) in shard.tree.iter() {
+        for i in 0..self.shards.len() {
+            let data = self.lock_data(i);
+            for (tag, _) in data.tree.iter() {
                 if !new_tags.contains(tag) {
                     return protocol::encode_error(
                         "replacement index is missing a stored keyword tag",
@@ -562,27 +825,32 @@ impl Scheme1Server {
         // ReplaceIndex rewrites every shard (a shard with no entries must
         // still clear), so the batch spans all N shards.
         let idxs: Vec<usize> = (0..n).collect();
-        if let Err(e) = journal_groups(&idxs, &mut guards, |i| {
-            protocol::encode_replace_index(capacity, &groups[i])
-        }) {
-            return protocol::encode_error(&e.to_string());
-        }
-        for (guard, group) in guards.iter_mut().zip(groups) {
-            let mut tree = BpTree::new();
-            for UpdateEntry { tag, delta, f_r } in group {
-                tree.insert(
-                    tag,
-                    Entry {
-                        masked_index: delta,
-                        f_r,
-                    },
-                );
+        let result = self.commit_mutation(
+            &idxs,
+            |i| protocol::encode_replace_index(capacity, &groups[i]),
+            |i, data| {
+                let mut tree = BpTree::new();
+                for UpdateEntry { tag, delta, f_r } in &groups[i] {
+                    tree.insert(
+                        *tag,
+                        Entry {
+                            masked_index: delta.clone(),
+                            f_r: f_r.clone(),
+                        },
+                    );
+                }
+                data.tree = tree;
+            },
+            capacity,
+        );
+        match result {
+            Ok(()) => {
+                geometry.capacity_docs = capacity;
+                geometry.index_bytes = new_width;
+                protocol::encode_ack()
             }
-            guard.tree = tree;
+            Err(e) => protocol::encode_error(&e.to_string()),
         }
-        geometry.capacity_docs = capacity;
-        geometry.index_bytes = new_width;
-        protocol::encode_ack()
     }
 
     fn handle_request(&self, req: Request) -> Vec<u8> {
@@ -599,8 +867,8 @@ impl Scheme1Server {
                 let items: Vec<Option<Vec<u8>>> = tags
                     .iter()
                     .map(|tag| {
-                        let shard = self.lock_shard(shard_of(tag, n));
-                        let (entry, s) = shard.tree.get_with_stats(tag);
+                        let snap = self.snap(shard_of(tag, n));
+                        let (entry, s) = snap.tree.get_with_stats(tag);
                         self.stats.tree_lookups.fetch_add(1, Ordering::Relaxed);
                         self.stats
                             .tree_nodes_visited
@@ -612,8 +880,8 @@ impl Scheme1Server {
             }
             Request::ApplyUpdates(entries) => self.apply_updates_sharded(entries),
             Request::SearchFind(tag) => {
-                let shard = self.lock_shard(shard_of(&tag, self.shards.len()));
-                let (entry, s) = shard.tree.get_with_stats(&tag);
+                let snap = self.snap(shard_of(&tag, self.shards.len()));
+                let (entry, s) = snap.tree.get_with_stats(&tag);
                 self.stats.tree_lookups.fetch_add(1, Ordering::Relaxed);
                 self.stats
                     .tree_nodes_visited
@@ -648,31 +916,35 @@ impl Scheme1Server {
     }
 
     /// Unmask one posting array with the revealed seed and fetch matches.
-    /// Only this keyword's shard is locked; searches against other shards
-    /// proceed concurrently.
+    /// Lock-free against the index: resolves the tag on the shard's
+    /// immutable snapshot, never waiting on a shard mutex or an fsync.
     fn reveal_one(&self, tag: &[u8; 32], seed: &[u8; 32]) -> Vec<(u64, Vec<u8>)> {
-        let capacity = self.geometry.read().capacity_docs as usize;
-        let shard = self.lock_shard(shard_of(tag, self.shards.len()));
+        let snap = self.snap(shard_of(tag, self.shards.len()));
         self.stats.searches.fetch_add(1, Ordering::Relaxed);
-        let Some(entry) = shard.tree.get(tag) else {
+        let Some(entry) = snap.tree.get(tag) else {
             return Vec::new();
         };
         // Unmask: (I(w) ⊕ G(r)) ⊕ G(r) = I(w).
         let plain = Prg::mask(seed, &entry.masked_index);
-        let ids = DocBitSet::from_bytes(capacity, &plain).to_ids();
+        let ids = DocBitSet::from_bytes(snap.capacity_docs as usize, &plain).to_ids();
         self.store.read().get_many(&ids)
     }
 
     /// Persist one shard's index snapshot (CRC-protected; carries the
-    /// shard journal's `last_op_seq`). The index contains only what the
-    /// server already sees — masked arrays, tags and `F(r)` ciphertexts —
-    /// so persisting it leaks nothing new.
-    fn save_shard_snapshot(&self, shard: &Shard, geometry: &Geometry, path: &Path) -> Result<()> {
+    /// shard's `applied_seq` as `last_op_seq`). The index contains only
+    /// what the server already sees — masked arrays, tags and `F(r)`
+    /// ciphertexts — so persisting it leaks nothing new.
+    fn save_shard_snapshot(
+        &self,
+        data: &ShardData,
+        geometry: &Geometry,
+        path: &Path,
+    ) -> Result<()> {
         let mut body = WireWriter::new();
-        body.put_u64(shard.journal.as_ref().map_or(0, IndexJournal::last_seq));
+        body.put_u64(data.applied_seq);
         body.put_u64(geometry.capacity_docs);
-        body.put_u64(shard.tree.len() as u64);
-        for (tag, entry) in shard.tree.iter() {
+        body.put_u64(data.tree.len() as u64);
+        for (tag, entry) in data.tree.iter() {
             body.put_array(tag);
             body.put_bytes(&entry.masked_index);
             body.put_bytes(&entry.f_r);
@@ -695,12 +967,19 @@ impl Scheme1Server {
     /// One shard's stored entry, exposed for in-crate tests.
     #[cfg(test)]
     fn entry_for(&self, tag: &[u8; 32]) -> Option<(Vec<u8>, Vec<u8>)> {
-        let shard = self.lock_shard(shard_of(tag, self.shards.len()));
-        shard
-            .tree
+        let data = self.lock_data(shard_of(tag, self.shards.len()));
+        data.tree
             .get(tag)
             .map(|e| (e.masked_index.clone(), e.f_r.clone()))
     }
+}
+
+/// The error surfaced when a mutation reaches a shard whose journal was
+/// disabled by an earlier failed group commit.
+fn journal_unavailable() -> SseError {
+    SseError::Storage(StorageError::Io(std::io::Error::other(
+        "shard journal disabled by failed group commit",
+    )))
 }
 
 /// XOR-merge an update into the tree (or insert a fresh keyword).
@@ -726,55 +1005,26 @@ fn apply_entry(tree: &mut BpTree<[u8; 32], Entry>, tag: [u8; 32], delta: Vec<u8>
     }
 }
 
-/// Journal one record per affected shard: the plain shard-local request
-/// when the mutation touches a single shard, batch slices otherwise.
-/// `guards[k]` must be the lock for shard `idxs[k]`, ascending. A failed
-/// append refuses the whole mutation: nothing may be acknowledged that a
-/// restart would lose, and recovery discards the partial batch.
-fn journal_groups(
-    idxs: &[usize],
-    guards: &mut [MutexGuard<'_, Shard>],
-    encode_for: impl Fn(usize) -> Vec<u8>,
-) -> Result<()> {
-    debug_assert_eq!(idxs.len(), guards.len());
-    if guards.iter().all(|g| g.journal.is_none()) {
-        return Ok(());
-    }
-    if idxs.len() == 1 {
-        if let Some(journal) = &mut guards[0].journal {
-            journal.append(&encode_for(idxs[0]))?;
-        }
-        return Ok(());
-    }
-    let shard_set: Vec<u32> = idxs.iter().map(|&i| i as u32).collect();
-    let batch = BatchId {
-        coordinator: shard_set[0],
-        seq: guards[0].journal.as_ref().map_or(0, IndexJournal::next_seq),
-    };
-    for (guard, &i) in guards.iter_mut().zip(idxs) {
-        if let Some(journal) = &mut guard.journal {
-            journal.append(&shard::encode_slice(batch, &shard_set, &encode_for(i)))?;
-        }
-    }
-    Ok(())
-}
-
 /// Re-apply one journaled shard-local mutation during recovery (no
 /// re-journaling, no width validation — the record was validated before it
 /// was ever journaled, and each shard's log is internally ordered across
 /// capacity migrations).
-fn replay_into(shard: &mut Shard, geometry: &mut Geometry, raw: &[u8]) -> Result<()> {
+fn replay_into(
+    tree: &mut BpTree<[u8; 32], Entry>,
+    geometry: &mut Geometry,
+    raw: &[u8],
+) -> Result<()> {
     match protocol::decode_request(raw)? {
         Request::ApplyUpdates(entries) => {
             for UpdateEntry { tag, delta, f_r } in entries {
-                apply_entry(&mut shard.tree, tag, delta, f_r);
+                apply_entry(tree, tag, delta, f_r);
             }
             Ok(())
         }
         Request::ReplaceIndex { capacity, entries } => {
-            let mut tree = BpTree::new();
+            let mut fresh = BpTree::new();
             for UpdateEntry { tag, delta, f_r } in entries {
-                tree.insert(
+                fresh.insert(
                     tag,
                     Entry {
                         masked_index: delta,
@@ -782,7 +1032,7 @@ fn replay_into(shard: &mut Shard, geometry: &mut Geometry, raw: &[u8]) -> Result
                     },
                 );
             }
-            shard.tree = tree;
+            *tree = fresh;
             geometry.capacity_docs = capacity;
             geometry.index_bytes = (capacity as usize).div_ceil(8);
             Ok(())
@@ -1068,5 +1318,29 @@ mod tests {
         let s = server();
         let resp = s.apply_batch(&[&encode_search_find(&[1u8; 32])]);
         assert!(decode_ack(&resp).is_err());
+    }
+
+    #[test]
+    fn searches_see_acked_updates_through_snapshots() {
+        // Read-your-writes through the snapshot path: an acked update is
+        // immediately visible to GetNonces / SearchFind / reveal.
+        let s = Scheme1Server::new_in_memory_sharded(64, 4);
+        let seed = [0x37u8; 32];
+        for i in 0..32u8 {
+            let mut tag = [0u8; 32];
+            tag[0] = i;
+            tag[1] = i.wrapping_mul(101);
+            let ids = DocBitSet::from_ids(64, &[u64::from(i % 16)]);
+            let resp = s.handle_shared(&encode_apply_updates(&[UpdateEntry {
+                tag,
+                delta: Prg::mask(&seed, ids.as_bytes()),
+                f_r: vec![i, 0xEE],
+            }]));
+            decode_ack(&resp).unwrap();
+            let found = s.handle_shared(&encode_search_find(&tag));
+            assert_eq!(decode_found(&found).unwrap(), Some(vec![i, 0xEE]));
+        }
+        let counters = s.commit_counters();
+        assert_eq!(counters.snapshot_swaps, 32);
     }
 }

@@ -26,6 +26,7 @@ pub mod req {
 }
 
 /// One generation to append: `(f_kw(w), E_k(I_new), f'(k))`.
+#[derive(Clone)]
 pub struct GenerationEntry {
     /// `f_kw(w)`.
     pub tag: [u8; 32],

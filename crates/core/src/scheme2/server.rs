@@ -9,18 +9,36 @@
 //! measurable `l/2x`-style cost of Table 1 — exposed in
 //! [`Scheme2ServerStats::chain_steps`].
 //!
-//! ## Sharding
+//! ## Sharding, group commit and snapshot reads
 //!
-//! Like Scheme 1, the tag tree is partitioned into N independently locked
-//! shards by [`crate::shard::shard_of`] (see DESIGN.md §4d — the shard id
-//! is a public function of the already-revealed tag, so leakage is
-//! unchanged). Searches and appends against distinct shards run
-//! concurrently; `ResetIndex` spans every shard and journals a
-//! [`crate::shard`] batch slice per shard so a crash mid-reset recovers
-//! all-or-nothing. Lock order: shards ascending → document store.
+//! Like Scheme 1, the tag tree is partitioned into N shards by
+//! [`crate::shard::shard_of`] (see DESIGN.md §4d/§4e — the shard id is a
+//! public function of the already-revealed tag, so leakage is unchanged).
+//! Each shard is a group-commit pipeline:
+//!
+//! * **Appends** stage their journal record into the shard's
+//!   [`GroupCommitter`] (one vectored write + one fsync per *group* of
+//!   concurrent mutations), apply to the live tree in seq order after the
+//!   group fsync, then publish an immutable copy-on-write snapshot.
+//! * **Searches** resolve the tag — and walk the whole chain — against
+//!   the shard's snapshot, never taking the shard mutex and never waiting
+//!   on an fsync. The Optimization-1 cache is written back opportunistically
+//!   afterwards: a `try_lock` on the live shard that is simply skipped if
+//!   the shard is busy or has changed since the snapshot (the next search
+//!   rebuilds the cache — it is an optimization, not state).
+//!
+//! Mutations touching several shards (`ResetIndex`, batched appends) stage
+//! [`crate::shard`] batch slices under every affected committer's stage
+//! lock (ascending) and swap all touched snapshots inside one odd-epoch
+//! window, so crash recovery and racing searches both see them
+//! all-or-nothing. Mutations hold the barrier read lock across their whole
+//! stage→apply pipeline, so checkpoints (barrier writers) run fully
+//! quiesced. Lock order: barrier → stage locks ascending → data locks
+//! ascending → document store.
 
 use super::protocol::{self, GenerationEntry, Request};
 use super::{key_commitment, Scheme2Config};
+use crate::commit::{CommitCounters, CommitStats, GroupCommitter};
 use crate::error::{Result, SseError};
 use crate::journal::{IndexJournal, ServerRecovery};
 use crate::proto_common;
@@ -38,7 +56,7 @@ use sse_storage::{RealVfs, StorageError, Vfs};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, PoisonError};
 
 /// Snapshot magic, v2: the body leads with the `last_op_seq` covered by
 /// the snapshot so journal replay can skip already-applied mutations.
@@ -94,18 +112,40 @@ struct StatsCells {
     tree_nodes_visited: AtomicU64,
 }
 
-/// One independently locked tag-tree partition with its own journal.
-struct Shard {
+/// A shard's mutable state: the live tree plus the highest op-seq applied
+/// to it. Mutations apply in seq order (`applied_seq + 1 == my_seq`).
+struct ShardData {
     tree: BpTree<[u8; 32], GenerationList>,
-    /// Index mutation journal (None for in-memory servers).
-    journal: Option<IndexJournal>,
+    applied_seq: u64,
+}
+
+/// The immutable view searches resolve against.
+struct SnapShard {
+    tree: BpTree<[u8; 32], GenerationList>,
+}
+
+/// One index shard: group-commit pipeline + live tree + search snapshot.
+struct ShardSlot {
+    data: Mutex<ShardData>,
+    /// Signaled whenever `applied_seq` advances.
+    applied: Condvar,
+    committer: GroupCommitter,
+    snap: RwLock<Arc<SnapShard>>,
 }
 
 /// The Scheme 2 server.
 pub struct Scheme2Server {
-    shards: Vec<Mutex<Shard>>,
+    /// Read-held by every mutation pipeline, write-held by checkpoints —
+    /// a checkpoint must see every staged record already applied before
+    /// it may snapshot and reset journals.
+    barrier: RwLock<()>,
+    shards: Vec<ShardSlot>,
+    /// Seqlock epoch: odd while a multi-shard batch swaps its snapshots.
+    epoch: AtomicU64,
     /// Contended shard-lock acquisitions, per shard (served via STATS).
     contention: Vec<AtomicU64>,
+    /// Group-commit pipeline counters, shared by every shard's committer.
+    commit_stats: Arc<CommitStats>,
     store: RwLock<DocStore>,
     config: Scheme2Config,
     stats: StatsCells,
@@ -128,16 +168,25 @@ impl Scheme2Server {
     #[must_use]
     pub fn new_in_memory_sharded(config: Scheme2Config, shards: usize) -> Self {
         let n = shards.max(1);
+        let commit_stats = Arc::new(CommitStats::default());
         Scheme2Server {
+            barrier: RwLock::new(()),
             shards: (0..n)
-                .map(|_| {
-                    Mutex::new(Shard {
+                .map(|_| ShardSlot {
+                    data: Mutex::new(ShardData {
                         tree: BpTree::new(),
-                        journal: None,
-                    })
+                        applied_seq: 0,
+                    }),
+                    applied: Condvar::new(),
+                    committer: GroupCommitter::new_in_memory(Arc::clone(&commit_stats)),
+                    snap: RwLock::new(Arc::new(SnapShard {
+                        tree: BpTree::new(),
+                    })),
                 })
                 .collect(),
+            epoch: AtomicU64::new(0),
             contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            commit_stats,
             store: RwLock::new(DocStore::in_memory()),
             config,
             stats: StatsCells::default(),
@@ -185,7 +234,8 @@ impl Scheme2Server {
         Self::open_durable_with_vfs_sharded(vfs, config, dir, 1)
     }
 
-    /// [`Scheme2Server::open_durable_sharded`] over an explicit [`Vfs`].
+    /// [`Scheme2Server::open_durable_sharded`] over an explicit [`Vfs`],
+    /// with group commit enabled.
     ///
     /// # Errors
     /// As [`Scheme2Server::open_durable`], plus injected faults.
@@ -195,6 +245,23 @@ impl Scheme2Server {
         dir: &Path,
         shards: usize,
     ) -> Result<Self> {
+        Self::open_durable_with_vfs_opts(vfs, config, dir, shards, true)
+    }
+
+    /// [`Scheme2Server::open_durable_with_vfs_sharded`] with group commit
+    /// switchable: when `group_commit` is false every journal record is
+    /// flushed on its own (one fsync per op) — the benchmark's baseline
+    /// arm. Durability and recovery semantics are identical either way.
+    ///
+    /// # Errors
+    /// As [`Scheme2Server::open_durable`], plus injected faults.
+    pub fn open_durable_with_vfs_opts(
+        vfs: Arc<dyn Vfs>,
+        config: Scheme2Config,
+        dir: &Path,
+        shards: usize,
+        group_commit: bool,
+    ) -> Result<Self> {
         let store = DocStore::open_with_vfs(
             vfs.clone(),
             dir,
@@ -203,7 +270,8 @@ impl Scheme2Server {
         let store_recovery = store.recovery_report();
         let n =
             shard::resolve_shard_count(vfs.as_ref(), dir, MANIFEST_FILE, &index_file(0), shards)?;
-        let mut loaded: Vec<Shard> = Vec::with_capacity(n);
+        let mut trees: Vec<BpTree<[u8; 32], GenerationList>> = Vec::with_capacity(n);
+        let mut journals: Vec<IndexJournal> = Vec::with_capacity(n);
         let mut recoveries = Vec::with_capacity(n);
         for i in 0..n {
             let mut tree = BpTree::new();
@@ -219,23 +287,42 @@ impl Scheme2Server {
                 true,
                 snapshot_seq,
             )?;
-            loaded.push(Shard {
-                tree,
-                journal: Some(journal),
-            });
+            trees.push(tree);
+            journals.push(journal);
             recoveries.push(recovery);
         }
         let plan = shard::resolve_shard_recoveries(&recoveries)?;
         let mut replayed = 0u64;
-        for (shard, apply) in loaded.iter_mut().zip(&plan.apply) {
+        for (tree, apply) in trees.iter_mut().zip(&plan.apply) {
             for raw in apply {
-                replay_into(shard, raw)?;
+                replay_into(tree, raw)?;
                 replayed += 1;
             }
         }
+        let commit_stats = Arc::new(CommitStats::default());
+        let shards: Vec<ShardSlot> = trees
+            .into_iter()
+            .zip(journals)
+            .map(|(tree, journal)| {
+                let applied_seq = journal.last_seq();
+                ShardSlot {
+                    snap: RwLock::new(Arc::new(SnapShard { tree: tree.clone() })),
+                    data: Mutex::new(ShardData { tree, applied_seq }),
+                    applied: Condvar::new(),
+                    committer: GroupCommitter::new_durable(
+                        journal,
+                        group_commit,
+                        Arc::clone(&commit_stats),
+                    ),
+                }
+            })
+            .collect();
         Ok(Scheme2Server {
-            shards: loaded.into_iter().map(Mutex::new).collect(),
+            barrier: RwLock::new(()),
+            shards,
+            epoch: AtomicU64::new(0),
             contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            commit_stats,
             store: RwLock::new(store),
             config,
             stats: StatsCells::default(),
@@ -272,25 +359,32 @@ impl Scheme2Server {
             .collect()
     }
 
+    /// Group-commit pipeline counters (groups, ops, fsyncs saved,
+    /// snapshot swaps) since startup.
+    #[must_use]
+    pub fn commit_counters(&self) -> CommitCounters {
+        self.commit_stats.counters()
+    }
+
     /// Checkpoint everything durable, in crash-safe order: document store
     /// snapshot, then every shard's index snapshot (each recording its
-    /// journal's `last_op_seq`), then every journal truncation. No
-    /// journal may be reset until *all* snapshots are durable — a batch
-    /// slice is only resolvable while its sibling shards still hold (or
-    /// their snapshots already cover) their slices.
+    /// `applied_seq` as `last_op_seq`), then every journal truncation.
+    /// The barrier write lock quiesces the mutation pipeline first, so
+    /// every staged record is both durable and applied — no journal may
+    /// be reset while a group is in flight, and the snapshots-before-any-
+    /// reset order keeps cross-shard batch slices resolvable.
     ///
     /// # Errors
     /// Filesystem errors. No-op index-wise for in-memory servers.
     pub fn checkpoint(&self, dir: &Path) -> Result<()> {
-        let mut guards = self.lock_all_shards();
+        let _quiesce = self.barrier.write();
+        let datas = self.lock_all_data();
         self.store.write().checkpoint()?;
-        for (i, shard) in guards.iter().enumerate() {
-            self.save_shard_snapshot(shard, &dir.join(index_file(i)))?;
+        for (i, data) in datas.iter().enumerate() {
+            self.save_shard_snapshot(data, &dir.join(index_file(i)))?;
         }
-        for shard in guards.iter_mut() {
-            if let Some(journal) = &mut shard.journal {
-                journal.reset()?;
-            }
+        for slot in &self.shards {
+            slot.committer.reset_journal()?;
         }
         Ok(())
     }
@@ -311,7 +405,7 @@ impl Scheme2Server {
     #[must_use]
     pub fn unique_keywords(&self) -> usize {
         (0..self.shards.len())
-            .map(|i| self.lock_shard(i).tree.len())
+            .map(|i| self.lock_data(i).tree.len())
             .sum()
     }
 
@@ -325,7 +419,7 @@ impl Scheme2Server {
     #[must_use]
     pub fn tree_height(&self) -> usize {
         (0..self.shards.len())
-            .map(|i| self.lock_shard(i).tree.height())
+            .map(|i| self.lock_data(i).tree.height())
             .max()
             .unwrap_or(0)
     }
@@ -358,15 +452,16 @@ impl Scheme2Server {
     /// Total stored index bytes across all generation lists (diagnostic).
     #[must_use]
     pub fn index_bytes(&self) -> usize {
-        self.lock_all_shards()
+        self.lock_all_data()
             .iter()
             .map(|s| s.tree.iter().map(|(_, l)| l.stored_bytes()).sum::<usize>())
             .sum()
     }
 
     /// Serve one request without exclusive access — the entry point the
-    /// multi-tenant daemon's workers call concurrently. Internal locking
-    /// is per shard, so requests against distinct shards run in parallel.
+    /// multi-tenant daemon's workers call concurrently. Searches run
+    /// against immutable snapshots; mutations pipeline through the
+    /// per-shard group committers.
     pub fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
         match protocol::decode_request(request) {
             Ok(req) => self.handle_request(req),
@@ -376,9 +471,9 @@ impl Scheme2Server {
 
     /// Apply an `UPDATE_MANY` batch: every part must be a mutation
     /// (`PutDocs` or `AppendGenerations`). All parts are decoded first,
-    /// then applied all-or-nothing with respect to racing searches (every
-    /// affected shard stays locked for the whole application) and with
-    /// one journal append per affected shard.
+    /// then journaled as one cross-shard batch and applied all-or-nothing
+    /// with respect to racing searches (all touched shards' snapshots swap
+    /// inside one epoch window).
     pub fn apply_batch(&self, parts: &[&[u8]]) -> Vec<u8> {
         let mut docs: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut entries: Vec<GenerationEntry> = Vec::new();
@@ -405,31 +500,197 @@ impl Scheme2Server {
         self.append_sharded(entries)
     }
 
-    /// Acquire shard `i`'s lock, counting a contended acquisition when the
-    /// lock was not immediately free.
-    fn lock_shard(&self, i: usize) -> MutexGuard<'_, Shard> {
-        match self.shards[i].try_lock() {
+    /// Acquire shard `i`'s data lock, counting a contended acquisition
+    /// when the lock was not immediately free.
+    fn lock_data(&self, i: usize) -> MutexGuard<'_, ShardData> {
+        match self.shards[i].data.try_lock() {
             Some(guard) => guard,
             None => {
                 self.contention[i].fetch_add(1, Ordering::Relaxed);
-                self.shards[i].lock()
+                self.shards[i].data.lock()
             }
         }
     }
 
-    /// Lock every shard in ascending order (checkpoint / reset paths).
-    fn lock_all_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
-        (0..self.shards.len()).map(|i| self.lock_shard(i)).collect()
+    /// Lock every shard's data in ascending order (checkpoint / export).
+    fn lock_all_data(&self) -> Vec<MutexGuard<'_, ShardData>> {
+        (0..self.shards.len()).map(|i| self.lock_data(i)).collect()
+    }
+
+    /// Fetch shard `i`'s search snapshot, retrying around multi-shard
+    /// swap windows (odd epoch) so a reader never observes a half-swapped
+    /// batch across shards.
+    fn snap(&self, i: usize) -> Arc<SnapShard> {
+        loop {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = Arc::clone(&self.shards[i].snap.read());
+            if self.epoch.load(Ordering::Acquire) == before {
+                return snap;
+            }
+        }
+    }
+
+    /// Publish shard `i`'s current tree as the immutable search snapshot.
+    /// O(1): the tree clone shares all nodes copy-on-write.
+    fn publish(&self, i: usize, data: &ShardData) {
+        *self.shards[i].snap.write() = Arc::new(SnapShard {
+            tree: data.tree.clone(),
+        });
+        self.commit_stats.note_swap();
+    }
+
+    /// Wait until shard `i` has applied every predecessor of `seq`, then
+    /// run `apply`, advance `applied_seq`, publish the snapshot and wake
+    /// successors. The caller must have made `seq` durable first.
+    fn apply_at(&self, i: usize, seq: u64, apply: impl FnOnce(&mut ShardData)) {
+        let slot = &self.shards[i];
+        let mut data = self.lock_data(i);
+        while data.applied_seq + 1 != seq {
+            data = slot
+                .applied
+                .wait(data)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        apply(&mut data);
+        data.applied_seq = seq;
+        self.publish(i, &data);
+        drop(data);
+        slot.applied.notify_all();
+    }
+
+    /// Run one mutation through the full pipeline: stage its journal
+    /// record(s) (one per affected shard, batch slices when several),
+    /// wait for the group fsync(s), then apply in seq order and publish
+    /// new snapshots. `idxs` must be ascending and non-empty. The caller
+    /// must hold the barrier read lock.
+    ///
+    /// On partial durability (some shard's journal failed) nothing is
+    /// applied anywhere: durable shards advance `applied_seq` without
+    /// mutating (recovery's sibling-completeness check discards their
+    /// on-disk slices too), failed shards are poisoned, and the client
+    /// gets an error — the mutation is never acknowledged.
+    fn commit_mutation(
+        &self,
+        idxs: &[usize],
+        encode_for: impl Fn(usize) -> Vec<u8>,
+        mut apply_for: impl FnMut(usize, &mut ShardData),
+    ) -> Result<()> {
+        debug_assert!(idxs.windows(2).all(|w| w[0] < w[1]));
+        if idxs.len() == 1 {
+            let i = idxs[0];
+            let seq = self.shards[i].committer.stage(&encode_for(i))?;
+            self.shards[i].committer.wait_durable(seq)?;
+            self.apply_at(i, seq, |data| apply_for(i, data));
+            return Ok(());
+        }
+
+        // Phase S — stage every slice atomically under all stage locks
+        // (ascending), so the batch id (coordinator shard, coordinator
+        // seq) is consistent and no foreign record interleaves.
+        let shard_set: Vec<u32> = idxs.iter().map(|&i| i as u32).collect();
+        let mut guards: Vec<_> = idxs
+            .iter()
+            .map(|&i| self.shards[i].committer.lock())
+            .collect();
+        if guards.iter().any(crate::commit::StageGuard::poisoned) {
+            return Err(journal_unavailable());
+        }
+        let batch = BatchId {
+            coordinator: shard_set[0],
+            seq: guards[0].next_seq(),
+        };
+        let mut seqs = Vec::with_capacity(idxs.len());
+        for (guard, &i) in guards.iter_mut().zip(idxs) {
+            // Cannot fail: staging only errors on poison, checked above
+            // while continuously holding every stage lock.
+            seqs.push(guard.stage(&shard::encode_slice(batch, &shard_set, &encode_for(i)))?);
+        }
+        drop(guards);
+
+        // Phase D — wait for every shard's group fsync.
+        let mut durable = vec![false; idxs.len()];
+        let mut first_err = None;
+        for (k, &i) in idxs.iter().enumerate() {
+            match self.shards[i].committer.wait_durable(seqs[k]) {
+                Ok(()) => durable[k] = true,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        let apply = first_err.is_none();
+
+        // Phase R — wait (one shard at a time, holding nothing else)
+        // until each durable shard has applied all our predecessors.
+        // Stable once reached: our seq is the only possible successor.
+        for (k, &i) in idxs.iter().enumerate() {
+            if !durable[k] {
+                continue;
+            }
+            let slot = &self.shards[i];
+            let mut data = self.lock_data(i);
+            while data.applied_seq + 1 != seqs[k] {
+                data = slot
+                    .applied
+                    .wait(data)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        // Phase A — lock all durable shards (ascending) and swap them
+        // atomically inside an odd-epoch window so snapshot readers see
+        // the batch all-or-nothing.
+        if apply {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        let mut held: Vec<(usize, MutexGuard<'_, ShardData>)> = Vec::with_capacity(idxs.len());
+        for (k, &i) in idxs.iter().enumerate() {
+            if durable[k] {
+                held.push((k, self.lock_data(i)));
+            }
+        }
+        for (k, data) in &mut held {
+            debug_assert_eq!(data.applied_seq + 1, seqs[*k], "readiness must be stable");
+            if apply {
+                apply_for(idxs[*k], data);
+            }
+            data.applied_seq = seqs[*k];
+        }
+        if apply {
+            for (k, data) in &held {
+                self.publish(idxs[*k], data);
+            }
+        }
+        drop(held);
+        if apply {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        for (k, &i) in idxs.iter().enumerate() {
+            if durable[k] {
+                self.shards[i].applied.notify_all();
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Append generation entries: group per shard (preserving input order
-    /// within each shard), lock affected shards ascending, journal one
-    /// record per shard (a plain request for a single shard, batch slices
-    /// for several), then mutate.
+    /// within each shard), then run the group-commit pipeline. The
+    /// barrier read lock is held across the whole pipeline so barrier
+    /// writers (checkpoints) always see it quiesced.
     fn append_sharded(&self, entries: Vec<GenerationEntry>) -> Vec<u8> {
         if entries.is_empty() {
             return proto_common::encode_ack();
         }
+        let _pipeline = self.barrier.read();
         let n = self.shards.len();
         let mut groups: BTreeMap<usize, Vec<GenerationEntry>> = BTreeMap::new();
         for entry in entries {
@@ -439,35 +700,39 @@ impl Scheme2Server {
                 .push(entry);
         }
         let idxs: Vec<usize> = groups.keys().copied().collect();
-        let mut guards: Vec<MutexGuard<'_, Shard>> =
-            idxs.iter().map(|&i| self.lock_shard(i)).collect();
-        if let Err(e) = journal_groups(&idxs, &mut guards, |i| {
-            protocol::encode_append_generations(&groups[&i])
-        }) {
-            return proto_common::encode_error(&e.to_string());
+        let result = self.commit_mutation(
+            &idxs,
+            |i| protocol::encode_append_generations(&groups[&i]),
+            |i, data| {
+                for entry in &groups[&i] {
+                    append_entry(&mut data.tree, entry.clone());
+                    self.stats
+                        .generations_appended
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        match result {
+            Ok(()) => proto_common::encode_ack(),
+            Err(e) => proto_common::encode_error(&e.to_string()),
         }
-        for (guard, (_, group)) in guards.iter_mut().zip(groups) {
-            for entry in group {
-                append_entry(&mut guard.tree, entry);
-                self.stats
-                    .generations_appended
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        proto_common::encode_ack()
     }
 
     fn handle_reset_index(&self) -> Vec<u8> {
         // ResetIndex rewrites every shard, so the batch spans all N.
+        let _pipeline = self.barrier.read();
         let idxs: Vec<usize> = (0..self.shards.len()).collect();
-        let mut guards = self.lock_all_shards();
-        if let Err(e) = journal_groups(&idxs, &mut guards, |_| protocol::encode_reset_index()) {
-            return proto_common::encode_error(&e.to_string());
+        let result = self.commit_mutation(
+            &idxs,
+            |_| protocol::encode_reset_index(),
+            |_, data| {
+                data.tree = BpTree::new();
+            },
+        );
+        match result {
+            Ok(()) => proto_common::encode_ack(),
+            Err(e) => proto_common::encode_error(&e.to_string()),
         }
-        for guard in guards.iter_mut() {
-            guard.tree = BpTree::new();
-        }
-        proto_common::encode_ack()
     }
 
     fn handle_request(&self, request: Request) -> Vec<u8> {
@@ -521,9 +786,11 @@ impl Scheme2Server {
     }
 
     /// Execute one Fig. 4 search, returning the matching encrypted
-    /// documents or an error description. Only this keyword's shard is
-    /// locked (for the whole walk — the Optimization-1 cache mutates the
-    /// list), so searches against other shards proceed concurrently.
+    /// documents or an error description. Lock-free against the index:
+    /// the tag lookup and the entire chain walk run on the shard's
+    /// immutable snapshot, never waiting on a shard mutex or an fsync.
+    /// The Optimization-1 cache write-back afterwards is opportunistic
+    /// (see [`Scheme2Server::write_back_cache`]).
     fn search_one(
         &self,
         tag: [u8; 32],
@@ -532,17 +799,16 @@ impl Scheme2Server {
         let max_walk = self.config.chain_length as usize + 1;
         let use_cache = self.config.server_cache;
 
-        let mut shard = self.lock_shard(shard_of(&tag, self.shards.len()));
-        let (found, tree_stats) = shard.tree.get_with_stats(&tag);
+        let si = shard_of(&tag, self.shards.len());
+        let snap = self.snap(si);
+        let (found, tree_stats) = snap.tree.get_with_stats(&tag);
         self.stats
             .tree_nodes_visited
             .fetch_add(tree_stats.nodes_visited as u64, Ordering::Relaxed);
-        if found.is_none() {
+        let Some(list) = found else {
             self.stats.searches.fetch_add(1, Ordering::Relaxed);
             return Ok(Vec::new());
-        }
-        // Re-borrow mutably (the immutable borrow above was for stats).
-        let list = shard.tree.get_mut(&tag).expect("checked present");
+        };
 
         self.stats
             .generations_from_cache
@@ -552,7 +818,7 @@ impl Scheme2Server {
         // chain forward from the trapdoor. Each generation decrypts to an
         // (added ids, deleted ids) pair; deletions are the beyond-paper
         // dynamic-SSE extension (an empty delete list is the paper's case).
-        let locked: Vec<Generation> = list.undecrypted().to_vec();
+        let locked: &[Generation] = list.undecrypted();
         let mut decoded: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); locked.len()];
         let mut element = t_prime;
         let mut steps_used = 0usize;
@@ -618,23 +884,58 @@ impl Scheme2Server {
                 all_ids.retain(|x| x != id);
             }
         }
-        if use_cache {
-            list.set_cached(all_ids.clone());
+        if use_cache && !locked.is_empty() {
+            self.write_back_cache(si, &tag, list, all_ids.clone());
         }
 
         all_ids.sort_unstable();
         Ok(self.store.read().get_many(&all_ids))
     }
 
-    /// Persist one shard's generation lists to a CRC-protected snapshot.
-    /// The Optimization-1 plaintext cache is *not* persisted — it is an
+    /// Opportunistically record the Optimization-1 plaintext cache
+    /// computed by a snapshot search back into the live shard. Best
+    /// effort by design — the search already has its answer, and the
+    /// cache is a pure optimization the next search can rebuild:
+    ///
+    /// * `try_lock` only — a search must never queue behind a mutation
+    ///   (that is the whole point of the snapshot read path);
+    /// * skipped unless the live list is exactly the one the search saw
+    ///   (same length, same cache point, same newest commitment) — a
+    ///   racing append or reset invalidates the computed id set.
+    fn write_back_cache(
+        &self,
+        si: usize,
+        tag: &[u8; 32],
+        seen: &GenerationList,
+        all_ids: Vec<u64>,
+    ) {
+        let Some(mut data) = self.shards[si].data.try_lock() else {
+            return;
+        };
+        let Some(live) = data.tree.get_mut(tag) else {
+            return;
+        };
+        let unchanged = live.len() == seen.len()
+            && live.cached_generations() == seen.cached_generations()
+            && live.undecrypted().last().map(|g| g.key_commitment)
+                == seen.undecrypted().last().map(|g| g.key_commitment);
+        if !unchanged {
+            return;
+        }
+        live.set_cached(all_ids);
+        self.publish(si, &data);
+    }
+
+    /// Persist one shard's generation lists to a CRC-protected snapshot
+    /// (carrying the shard's `applied_seq` as `last_op_seq`). The
+    /// Optimization-1 plaintext cache is *not* persisted — it is an
     /// optimization the next search rebuilds, and keeping recovered state
     /// minimal follows the principle of storing only what is necessary.
-    fn save_shard_snapshot(&self, shard: &Shard, path: &Path) -> Result<()> {
+    fn save_shard_snapshot(&self, data: &ShardData, path: &Path) -> Result<()> {
         let mut body = WireWriter::new();
-        body.put_u64(shard.journal.as_ref().map_or(0, IndexJournal::last_seq));
-        body.put_u64(shard.tree.len() as u64);
-        for (tag, list) in shard.tree.iter() {
+        body.put_u64(data.applied_seq);
+        body.put_u64(data.tree.len() as u64);
+        for (tag, list) in data.tree.iter() {
             body.put_array(tag);
             body.put_u64(list.len() as u64);
             for generation in list.iter() {
@@ -658,6 +959,14 @@ impl Scheme2Server {
     }
 }
 
+/// The error surfaced when a mutation reaches a shard whose journal was
+/// disabled by an earlier failed group commit.
+fn journal_unavailable() -> SseError {
+    SseError::Storage(StorageError::Io(std::io::Error::other(
+        "shard journal disabled by failed group commit",
+    )))
+}
+
 /// Append one generation entry to the shard tree.
 fn append_entry(tree: &mut BpTree<[u8; 32], GenerationList>, entry: GenerationEntry) {
     let GenerationEntry {
@@ -679,51 +988,18 @@ fn append_entry(tree: &mut BpTree<[u8; 32], GenerationList>, entry: GenerationEn
     }
 }
 
-/// Journal one record per affected shard: the plain shard-local request
-/// when the mutation touches a single shard, batch slices otherwise.
-/// `guards[k]` must be the lock for shard `idxs[k]`, ascending. A failed
-/// append refuses the whole mutation: nothing may be acknowledged that a
-/// restart would lose, and recovery discards the partial batch.
-fn journal_groups(
-    idxs: &[usize],
-    guards: &mut [MutexGuard<'_, Shard>],
-    encode_for: impl Fn(usize) -> Vec<u8>,
-) -> Result<()> {
-    debug_assert_eq!(idxs.len(), guards.len());
-    if guards.iter().all(|g| g.journal.is_none()) {
-        return Ok(());
-    }
-    if idxs.len() == 1 {
-        if let Some(journal) = &mut guards[0].journal {
-            journal.append(&encode_for(idxs[0]))?;
-        }
-        return Ok(());
-    }
-    let shard_set: Vec<u32> = idxs.iter().map(|&i| i as u32).collect();
-    let batch = BatchId {
-        coordinator: shard_set[0],
-        seq: guards[0].journal.as_ref().map_or(0, IndexJournal::next_seq),
-    };
-    for (guard, &i) in guards.iter_mut().zip(idxs) {
-        if let Some(journal) = &mut guard.journal {
-            journal.append(&shard::encode_slice(batch, &shard_set, &encode_for(i)))?;
-        }
-    }
-    Ok(())
-}
-
 /// Re-apply one journaled shard-local mutation during recovery (no
 /// re-journaling).
-fn replay_into(shard: &mut Shard, raw: &[u8]) -> Result<()> {
+fn replay_into(tree: &mut BpTree<[u8; 32], GenerationList>, raw: &[u8]) -> Result<()> {
     match protocol::decode_request(raw)? {
         Request::AppendGenerations(entries) => {
             for entry in entries {
-                append_entry(&mut shard.tree, entry);
+                append_entry(tree, entry);
             }
             Ok(())
         }
         Request::ResetIndex => {
-            shard.tree = BpTree::new();
+            *tree = BpTree::new();
             Ok(())
         }
         _ => Err(SseError::Storage(StorageError::Corrupt {
@@ -1064,5 +1340,42 @@ mod tests {
         let s = server();
         let resp = s.apply_batch(&[&protocol::encode_reset_index()]);
         assert!(decode_ack(&resp).is_err());
+    }
+
+    #[test]
+    fn searches_see_acked_appends_through_snapshots() {
+        // Read-your-writes through the snapshot path: an acked append is
+        // immediately visible to a search, and the cache write-back
+        // republishes so the *next* search decrypts nothing.
+        let s = Scheme2Server::new_in_memory_sharded(
+            Scheme2Config::standard().with_chain_length(64),
+            4,
+        );
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        for i in 0..16u8 {
+            let mut tag = [0u8; 32];
+            tag[0] = i;
+            tag[1] = i.wrapping_mul(59);
+            let k = chain.key_for_counter(1).unwrap();
+            s.handle_shared(&protocol::encode_put_docs(&[(u64::from(i), vec![i; 3])]));
+            let resp = s.handle_shared(&protocol::encode_append_generations(&[GenerationEntry {
+                tag,
+                sealed_ids: sealed_ids(&k, &[u64::from(i)]),
+                commitment: key_commitment(&k),
+            }]));
+            decode_ack(&resp).unwrap();
+            let docs = decode_result(&s.handle_shared(&protocol::encode_search(&tag, &k))).unwrap();
+            assert_eq!(docs, vec![(u64::from(i), vec![i; 3])]);
+            // Repeat search hits the written-back cache.
+            decode_result(&s.handle_shared(&protocol::encode_search(&tag, &k))).unwrap();
+        }
+        assert_eq!(
+            s.stats().generations_decrypted,
+            16,
+            "second searches cached"
+        );
+        assert_eq!(s.stats().generations_from_cache, 16);
+        // 16 appends + 16 cache write-backs published snapshots.
+        assert_eq!(s.commit_counters().snapshot_swaps, 32);
     }
 }

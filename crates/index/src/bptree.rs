@@ -1,4 +1,4 @@
-//! An in-memory B+-tree.
+//! An in-memory B+-tree with copy-on-write structural sharing.
 //!
 //! The paper obtains its headline `O(log u)` search "assuming a tree
 //! structure for the searchable representations" (§5.1). The server in this
@@ -11,27 +11,36 @@
 //! Values live only in leaves; internal nodes hold copies of separator keys.
 //! Branching factor is [`ORDER`] (children per internal node / entries per
 //! leaf).
+//!
+//! Child pointers are [`Arc`]s: `BpTree::clone` copies only the root node
+//! (O(`ORDER`)), sharing every subtree, and mutations copy just the
+//! root-to-leaf path they touch ([`Arc::make_mut`]). The scheme servers
+//! lean on this to publish an immutable search snapshot after *every*
+//! mutation without paying an O(u) deep copy — the group-commit read path
+//! serves searches from such snapshots while writers keep mutating.
 
 use std::fmt::Debug;
+use std::sync::Arc;
 
 /// Maximum children per internal node and entries per leaf.
 pub const ORDER: usize = 16;
 /// Minimum fill for non-root nodes.
 const MIN_FILL: usize = ORDER / 2;
 
+#[derive(Clone)]
 enum Node<K, V> {
     Internal {
         /// `keys[i]` separates `children[i]` (keys `< keys[i]`) from
         /// `children[i+1]` (keys `>= keys[i]`).
         keys: Vec<K>,
-        children: Vec<Node<K, V>>,
+        children: Vec<Arc<Node<K, V>>>,
     },
     Leaf {
         entries: Vec<(K, V)>,
     },
 }
 
-impl<K: Ord + Clone, V> Node<K, V> {
+impl<K: Ord + Clone, V: Clone> Node<K, V> {
     fn new_leaf() -> Self {
         Node::Leaf {
             entries: Vec::with_capacity(ORDER),
@@ -44,6 +53,11 @@ impl<K: Ord + Clone, V> Node<K, V> {
             Node::Leaf { entries } => entries.len(),
         }
     }
+}
+
+/// Take a node out of its `Arc`, cloning only if a snapshot still shares it.
+fn unshare<K: Clone, V: Clone>(node: Arc<Node<K, V>>) -> Node<K, V> {
+    Arc::try_unwrap(node).unwrap_or_else(|shared| (*shared).clone())
 }
 
 /// Result of inserting into a subtree: a value was replaced, and/or the node
@@ -63,18 +77,25 @@ pub struct SearchStats {
 }
 
 /// A B+-tree map from `K` to `V`.
+///
+/// `Clone` is O(`ORDER`): it copies the root and shares every subtree.
+/// A clone is a stable snapshot — later mutations of either tree
+/// copy-on-write the paths they touch and never disturb the other. The
+/// scheme servers use this to publish immutable search snapshots of
+/// mutated shards.
+#[derive(Clone)]
 pub struct BpTree<K, V> {
     root: Node<K, V>,
     len: usize,
 }
 
-impl<K: Ord + Clone, V> Default for BpTree<K, V> {
+impl<K: Ord + Clone, V: Clone> Default for BpTree<K, V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<K: Ord + Clone, V> BpTree<K, V> {
+impl<K: Ord + Clone, V: Clone> BpTree<K, V> {
     /// Create an empty tree.
     #[must_use]
     pub fn new() -> Self {
@@ -103,7 +124,7 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
         let mut node = &self.root;
         while let Node::Internal { children, .. } = node {
             h += 1;
-            node = &children[0];
+            node = children[0].as_ref();
         }
         h
     }
@@ -116,7 +137,7 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
             let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
             self.root = Node::Internal {
                 keys: vec![sep],
-                children: vec![old_root, right],
+                children: vec![Arc::new(old_root), Arc::new(right)],
             };
         }
         if outcome.replaced.is_none() {
@@ -154,14 +175,14 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
             },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| *k <= key);
-                let outcome = Self::insert_rec(&mut children[idx], key, value);
+                let outcome = Self::insert_rec(Arc::make_mut(&mut children[idx]), key, value);
                 let mut result = InsertOutcome {
                     replaced: outcome.replaced,
                     split: None,
                 };
                 if let Some((sep, right)) = outcome.split {
                     keys.insert(idx, sep);
-                    children.insert(idx + 1, right);
+                    children.insert(idx + 1, Arc::new(right));
                     if children.len() > ORDER {
                         // Split this internal node: middle key moves up.
                         let mid = keys.len() / 2;
@@ -203,7 +224,7 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
                 Node::Internal { keys, children } => {
                     stats.comparisons += keys.len().max(1).ilog2() as usize + 1;
                     let idx = keys.partition_point(|k| k <= key);
-                    node = &children[idx];
+                    node = children[idx].as_ref();
                 }
                 Node::Leaf { entries } => {
                     stats.comparisons += entries.len().max(1).ilog2() as usize + 1;
@@ -216,14 +237,15 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
         }
     }
 
-    /// Mutable point lookup.
+    /// Mutable point lookup. Copy-on-write: unshares the root→leaf path if
+    /// a snapshot still holds it.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         let mut node = &mut self.root;
         loop {
             match node {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|k| k <= key);
-                    node = &mut children[idx];
+                    node = Arc::make_mut(&mut children[idx]);
                 }
                 Node::Leaf { entries } => {
                     return match entries.binary_search_by(|(k, _)| k.cmp(key)) {
@@ -251,7 +273,7 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
         if let Node::Internal { children, .. } = &mut self.root {
             if children.len() == 1 {
                 let only = children.pop().expect("checked length 1");
-                self.root = only;
+                self.root = unshare(only);
             }
         }
         removed
@@ -265,7 +287,7 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
             },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|k| k <= key);
-                let removed = Self::remove_rec(&mut children[idx], key)?;
+                let removed = Self::remove_rec(Arc::make_mut(&mut children[idx]), key)?;
                 if children[idx].len_for_fill() < MIN_FILL {
                     Self::rebalance_child(keys, children, idx);
                 }
@@ -276,12 +298,12 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
 
     /// Restore the fill invariant of `children[idx]` by borrowing from a
     /// sibling or merging with one.
-    fn rebalance_child(keys: &mut Vec<K>, children: &mut Vec<Node<K, V>>, idx: usize) {
+    fn rebalance_child(keys: &mut Vec<K>, children: &mut Vec<Arc<Node<K, V>>>, idx: usize) {
         // Try borrowing from the left sibling.
         if idx > 0 && children[idx - 1].len_for_fill() > MIN_FILL {
             let (left_slice, right_slice) = children.split_at_mut(idx);
-            let left = &mut left_slice[idx - 1];
-            let cur = &mut right_slice[0];
+            let left = Arc::make_mut(&mut left_slice[idx - 1]);
+            let cur = Arc::make_mut(&mut right_slice[0]);
             match (left, cur) {
                 (Node::Leaf { entries: le }, Node::Leaf { entries: ce }) => {
                     let moved = le.pop().expect("left leaf has > MIN_FILL entries");
@@ -311,8 +333,8 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
         // Try borrowing from the right sibling.
         if idx + 1 < children.len() && children[idx + 1].len_for_fill() > MIN_FILL {
             let (left_slice, right_slice) = children.split_at_mut(idx + 1);
-            let cur = &mut left_slice[idx];
-            let right = &mut right_slice[0];
+            let cur = Arc::make_mut(&mut left_slice[idx]);
+            let right = Arc::make_mut(&mut right_slice[0]);
             match (cur, right) {
                 (Node::Leaf { entries: ce }, Node::Leaf { entries: re }) => {
                     let moved = re.remove(0);
@@ -351,9 +373,9 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
             // the caller collapses pass-through roots.
             return;
         }
-        let right_node = children.remove(r);
+        let right_node = unshare(children.remove(r));
         let sep = keys.remove(l);
-        match (&mut children[l], right_node) {
+        match (Arc::make_mut(&mut children[l]), right_node) {
             (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
                 le.extend(re);
             }
@@ -399,14 +421,16 @@ impl<K: Ord + Clone, V> BpTree<K, V> {
         fn count<K, V>(n: &Node<K, V>) -> usize {
             match n {
                 Node::Leaf { .. } => 1,
-                Node::Internal { children, .. } => 1 + children.iter().map(count).sum::<usize>(),
+                Node::Internal { children, .. } => {
+                    1 + children.iter().map(|c| count(c.as_ref())).sum::<usize>()
+                }
             }
         }
         count(&self.root)
     }
 }
 
-impl<K: Ord + Clone + Debug, V> BpTree<K, V> {
+impl<K: Ord + Clone + Debug, V: Clone> BpTree<K, V> {
     /// Verify structural invariants (fill factors, key ordering, uniform
     /// depth). Test/debug aid; panics with a description on violation.
     pub fn check_invariants(&self) {
@@ -454,7 +478,7 @@ impl<K: Ord + Clone + Debug, V> BpTree<K, V> {
                         } else {
                             Some(&keys[i])
                         };
-                        let d = walk(child, lo, hi, false);
+                        let d = walk(child.as_ref(), lo, hi, false);
                         if let Some(prev) = depth {
                             assert_eq!(prev, d, "unequal subtree depths");
                         }
@@ -495,7 +519,7 @@ impl<'a, K, V> Iterator for Iter<'a, K, V> {
                 }
                 Node::Internal { children, .. } => {
                     if frame.idx < children.len() {
-                        let child = &children[frame.idx];
+                        let child = children[frame.idx].as_ref();
                         frame.idx += 1;
                         self.stack.push(Frame {
                             node: child,
@@ -670,6 +694,77 @@ mod tests {
         t.check_invariants();
     }
 
+    #[test]
+    fn clone_is_a_stable_snapshot_under_mutation() {
+        let mut t = BpTree::new();
+        let n = 2_000u64;
+        for i in 0..n {
+            t.insert(i, i * 3);
+        }
+        let snapshot = t.clone();
+        // Mutate the original every way the API allows.
+        for i in 0..n {
+            if i % 3 == 0 {
+                t.remove(&i);
+            } else if i % 3 == 1 {
+                t.insert(i, i * 7);
+            } else {
+                *t.get_mut(&i).unwrap() += 1;
+            }
+        }
+        t.insert(n + 1, 0);
+        t.check_invariants();
+        // The snapshot still reads exactly as frozen.
+        assert_eq!(snapshot.len() as u64, n);
+        snapshot.check_invariants();
+        for i in 0..n {
+            assert_eq!(snapshot.get(&i), Some(&(i * 3)), "snapshot drifted at {i}");
+        }
+        let keys: Vec<u64> = snapshot.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn snapshot_of_mutated_clone_leaves_original_intact() {
+        // Mutate the *clone* instead: the original must be untouched, and
+        // the clone must see its own writes (no accidental sharing).
+        let mut original = BpTree::new();
+        for i in 0..512u64 {
+            original.insert(i, i);
+        }
+        let mut clone = original.clone();
+        for i in 0..512u64 {
+            if i % 2 == 0 {
+                clone.remove(&i);
+            }
+        }
+        assert_eq!(clone.len(), 256);
+        clone.check_invariants();
+        assert_eq!(original.len(), 512);
+        for i in 0..512u64 {
+            assert_eq!(original.get(&i), Some(&i));
+            let expect = if i % 2 == 0 { None } else { Some(&i) };
+            assert_eq!(clone.get(&i), expect);
+        }
+    }
+
+    #[test]
+    fn clone_shares_structure_until_mutated() {
+        // A clone must not deep-copy: its node count is reachable through
+        // shared Arcs, and a single-key mutation unshares only one
+        // root-to-leaf path (O(height) new nodes, not O(n)).
+        let mut t = BpTree::new();
+        for i in 0..4_096u64 {
+            t.insert(i, [0u8; 64]);
+        }
+        let before = t.node_count();
+        let snapshot = t.clone();
+        *t.get_mut(&77).unwrap() = [1u8; 64];
+        assert_eq!(t.node_count(), before);
+        assert_eq!(snapshot.get(&77), Some(&[0u8; 64]));
+        assert_eq!(t.get(&77), Some(&[1u8; 64]));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -692,6 +787,32 @@ mod tests {
             let got: Vec<(u16, u32)> = ours.iter().map(|(k, v)| (*k, *v)).collect();
             let want: Vec<(u16, u32)> = oracle.iter().map(|(k, v)| (*k, *v)).collect();
             prop_assert_eq!(got, want);
+        }
+
+        /// Interleave mutations with snapshot clones: every snapshot keeps
+        /// answering as of its clone point while the live tree moves on.
+        #[test]
+        fn snapshots_are_immutable_under_interleaved_ops(ops in prop::collection::vec(
+            (0u8..4, 0u16..256, 0u32..1000), 1..200)) {
+            let mut live: BpTree<u16, u32> = BpTree::new();
+            let mut oracle: BTreeMap<u16, u32> = BTreeMap::new();
+            let mut snaps: Vec<(BpTree<u16, u32>, BTreeMap<u16, u32>)> = Vec::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => { live.insert(k, v); oracle.insert(k, v); }
+                    1 => { live.remove(&k); oracle.remove(&k); }
+                    2 => prop_assert_eq!(live.get(&k), oracle.get(&k)),
+                    _ => if snaps.len() < 8 {
+                        snaps.push((live.clone(), oracle.clone()));
+                    },
+                }
+            }
+            for (snap, frozen) in &snaps {
+                prop_assert_eq!(snap.len(), frozen.len());
+                let got: Vec<(u16, u32)> = snap.iter().map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u16, u32)> = frozen.iter().map(|(k, v)| (*k, *v)).collect();
+                prop_assert_eq!(got, want);
+            }
         }
 
         /// Height stays logarithmic for random key sets.

@@ -1,14 +1,22 @@
-//! Serving benchmark: sharded vs single-shard search throughput.
+//! Serving benchmarks: sharding and group-commit A/B comparisons.
 //!
-//! Spawns two durable daemons on ephemeral ports — one with a single index
-//! shard per tenant, one with `shards` — loads an identical seeded corpus
-//! into each, then drives the same mixed workload against both: half the
-//! clients search in a closed loop, half issue durable index writes
-//! (Scheme 2 fake updates through the `UPDATE_MANY` envelope). Every index
-//! write fsyncs its shard journal, so with one shard every search queues
-//! behind every in-flight fsync; with many shards searches and writes on
-//! different shards overlap even on a single core (the fsync is blocking
-//! I/O, not CPU). The report is written as `BENCH_serving.json` for CI.
+//! Both benchmarks spawn two durable daemons on ephemeral ports, load an
+//! identical seeded corpus into each, and drive the same mixed workload
+//! against both — some clients search in a closed loop, the rest issue
+//! durable index writes (Scheme 2 fake updates through the `UPDATE_MANY`
+//! envelope).
+//!
+//! * [`run_bench`] compares 1 shard vs `shards` shards per tenant
+//!   (`BENCH_serving.json`). Since searches moved to immutable snapshots
+//!   they never queue behind a journal fsync on any shard count, so this
+//!   arm now measures write-path parallelism rather than a search-path
+//!   collapse (the pre-group-commit servers showed 2x+ search speedups
+//!   here purely from fsync queueing).
+//! * [`run_group_commit_bench`] fixes the shard count and toggles
+//!   `TenantParams::group_commit` (`BENCH_groupcommit.json`): the grouped
+//!   arm amortizes one fsync over every mutation staged while the leader
+//!   flushed, which is where the fsyncs-per-op and update-throughput
+//!   deltas come from.
 //!
 //! The updaters run Optimization 2 (`CtrPolicy::OnSearchOnly`) and never
 //! search, so their chain counter never advances past 1 and the workload
@@ -62,12 +70,16 @@ impl Default for BenchOptions {
 pub struct BenchArm {
     /// Shards per tenant database in this arm.
     pub shards: usize,
+    /// Whether shard journals group-committed concurrent mutations.
+    pub group_commit: bool,
     /// Searches completed inside the measured window.
     pub search_ops: u64,
     /// Search throughput (searcher clients only).
     pub search_ops_per_sec: f64,
     /// Index writes completed inside the measured window.
     pub update_ops: u64,
+    /// Index write throughput (updater clients only).
+    pub update_ops_per_sec: f64,
     /// Client-observed search latency quantiles (ns).
     pub p50_ns: u64,
     /// 95th percentile (ns).
@@ -79,6 +91,21 @@ pub struct BenchArm {
     pub shard_contention: Vec<u64>,
     /// `BUSY` responses absorbed by transport backoff.
     pub busy_retries: u64,
+    /// Journal flush groups committed (one fsync each).
+    pub groups_committed: u64,
+    /// Mutations made durable across those groups.
+    pub ops_committed: u64,
+    /// `ops_committed / groups_committed` (0 when idle).
+    pub mean_group_size: f64,
+    /// Largest single flush group.
+    pub max_group_size: u64,
+    /// `groups_committed / ops_committed` — the headline amortization
+    /// ratio (1.0 means every mutation paid its own fsync).
+    pub fsyncs_per_op: f64,
+    /// Fsyncs avoided versus one-per-mutation.
+    pub fsyncs_saved: u64,
+    /// Immutable shard snapshots published for the lock-free search path.
+    pub snapshot_swaps: u64,
 }
 
 /// Full benchmark report (both arms plus the headline ratio).
@@ -94,29 +121,44 @@ pub struct BenchReport {
     pub speedup_search_ops_per_sec: f64,
 }
 
+/// Serialize one arm as a JSON object. Hand-rolled (the workspace carries
+/// no JSON dependency); all fields are numeric so no string escaping is
+/// needed.
+fn arm_json(a: &BenchArm) -> String {
+    let contention: Vec<String> = a.shard_contention.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"shards\":{},\"group_commit\":{},\"search_ops\":{},\
+         \"search_ops_per_sec\":{:.2},\"update_ops\":{},\
+         \"update_ops_per_sec\":{:.2},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+         \"shard_contention\":[{}],\"busy_retries\":{},\
+         \"groups_committed\":{},\"ops_committed\":{},\
+         \"mean_group_size\":{:.3},\"max_group_size\":{},\
+         \"fsyncs_per_op\":{:.4},\"fsyncs_saved\":{},\"snapshot_swaps\":{}}}",
+        a.shards,
+        a.group_commit,
+        a.search_ops,
+        a.search_ops_per_sec,
+        a.update_ops,
+        a.update_ops_per_sec,
+        a.p50_ns,
+        a.p95_ns,
+        a.p99_ns,
+        contention.join(","),
+        a.busy_retries,
+        a.groups_committed,
+        a.ops_committed,
+        a.mean_group_size,
+        a.max_group_size,
+        a.fsyncs_per_op,
+        a.fsyncs_saved,
+        a.snapshot_swaps,
+    )
+}
+
 impl BenchReport {
-    /// Serialize as the `BENCH_serving.json` document. Hand-rolled (the
-    /// workspace carries no JSON dependency); all fields are numeric so no
-    /// string escaping is needed.
+    /// Serialize as the `BENCH_serving.json` document.
     #[must_use]
     pub fn to_json(&self) -> String {
-        fn arm(a: &BenchArm) -> String {
-            let contention: Vec<String> = a.shard_contention.iter().map(u64::to_string).collect();
-            format!(
-                "{{\"shards\":{},\"search_ops\":{},\"search_ops_per_sec\":{:.2},\
-                 \"update_ops\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
-                 \"shard_contention\":[{}],\"busy_retries\":{}}}",
-                a.shards,
-                a.search_ops,
-                a.search_ops_per_sec,
-                a.update_ops,
-                a.p50_ns,
-                a.p95_ns,
-                a.p99_ns,
-                contention.join(","),
-                a.busy_retries,
-            )
-        }
         format!(
             "{{\n\"benchmark\":\"sse-serving-sharded\",\n\"seed\":{},\n\"clients\":{},\n\
              \"keywords\":{},\n\"docs\":{},\n\"duration_ms\":{},\n\
@@ -126,9 +168,50 @@ impl BenchReport {
             self.options.keywords,
             self.options.docs,
             self.options.duration.as_millis(),
-            arm(&self.baseline),
-            arm(&self.sharded),
+            arm_json(&self.baseline),
+            arm_json(&self.sharded),
             self.speedup_search_ops_per_sec,
+        )
+    }
+}
+
+/// Group-commit A/B report: both arms run the same shard count and mixed
+/// workload; only `TenantParams::group_commit` differs.
+#[derive(Clone, Debug)]
+pub struct GroupCommitReport {
+    /// Parameters the run used (`options.shards` is the fixed shard count
+    /// both arms share).
+    pub options: BenchOptions,
+    /// Baseline arm: one journal fsync per mutation.
+    pub ungrouped: BenchArm,
+    /// Group-commit arm: concurrent mutations share a flush group.
+    pub grouped: BenchArm,
+    /// `grouped.update_ops_per_sec / ungrouped.update_ops_per_sec`.
+    pub speedup_update_ops_per_sec: f64,
+    /// `grouped.p99_ns / ungrouped.p99_ns` for searches — below 1.0 when
+    /// grouping keeps searches from queueing behind fsyncing workers.
+    pub search_p99_ratio: f64,
+}
+
+impl GroupCommitReport {
+    /// Serialize as the `BENCH_groupcommit.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n\"benchmark\":\"sse-group-commit\",\n\"seed\":{},\n\"clients\":{},\n\
+             \"shards\":{},\n\"keywords\":{},\n\"docs\":{},\n\"duration_ms\":{},\n\
+             \"arms\":[\n{},\n{}\n],\n\"speedup_update_ops_per_sec\":{:.3},\n\
+             \"search_p99_ratio\":{:.3}\n}}\n",
+            self.options.seed,
+            self.options.clients,
+            self.options.shards,
+            self.options.keywords,
+            self.options.docs,
+            self.options.duration.as_millis(),
+            arm_json(&self.ungrouped),
+            arm_json(&self.grouped),
+            self.speedup_update_ops_per_sec,
+            self.search_p99_ratio,
         )
     }
 }
@@ -187,12 +270,19 @@ fn connect_scheme2(
 
 /// Run one arm: spawn a durable daemon with `shards` shards per tenant,
 /// load the corpus, drive the mixed workload for the measured window.
-fn run_arm(opts: &BenchOptions, shards: usize, data_dir: &Path) -> Result<BenchArm> {
+fn run_arm(
+    opts: &BenchOptions,
+    shards: usize,
+    group_commit: bool,
+    searchers: usize,
+    data_dir: &Path,
+) -> Result<BenchArm> {
     let config = ServerConfig {
         workers: opts.clients.max(2),
         queue_depth: (opts.clients * 8).max(64),
         tenant_params: TenantParams {
             shards,
+            group_commit,
             ..TenantParams::default()
         },
         data_dir: Some(data_dir.to_path_buf()),
@@ -201,7 +291,7 @@ fn run_arm(opts: &BenchOptions, shards: usize, data_dir: &Path) -> Result<BenchA
     let daemon = Daemon::spawn(config).map_err(|e| Error::other(format!("spawn: {e}")))?;
     let addr = daemon.local_addr().to_string();
 
-    let searchers = (opts.clients / 2).max(1);
+    let searchers = searchers.clamp(1, opts.clients.saturating_sub(1).max(1));
     let updaters = opts.clients.saturating_sub(searchers).max(1);
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -315,18 +405,32 @@ fn run_arm(opts: &BenchOptions, shards: usize, data_dir: &Path) -> Result<BenchA
     daemon.shutdown();
 
     let search_ops = search_ops.load(Ordering::Relaxed);
+    let update_ops = update_ops.load(Ordering::Relaxed);
     #[allow(clippy::cast_precision_loss)]
     let search_ops_per_sec = search_ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let update_ops_per_sec = update_ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    let mean_group_size = stats.mean_group_size();
+    let fsyncs_per_op = stats.fsyncs_per_op();
     Ok(BenchArm {
         shards,
+        group_commit,
         search_ops,
         search_ops_per_sec,
-        update_ops: update_ops.load(Ordering::Relaxed),
+        update_ops,
+        update_ops_per_sec,
         p50_ns: histogram.quantile_ns(0.50),
         p95_ns: histogram.quantile_ns(0.95),
         p99_ns: histogram.quantile_ns(0.99),
         shard_contention: stats.shard_contention,
         busy_retries: busy_retries.load(Ordering::Relaxed),
+        groups_committed: stats.groups_committed,
+        ops_committed: stats.ops_committed,
+        mean_group_size,
+        max_group_size: stats.max_group_size,
+        fsyncs_per_op,
+        fsyncs_saved: stats.fsyncs_saved,
+        snapshot_swaps: stats.snapshot_swaps,
     })
 }
 
@@ -350,7 +454,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
         let dir = scratch_dir(&format!("s{shards}"), opts.seed);
         let _ = std::fs::remove_dir_all(&dir); // stale state from a crashed run
         std::fs::create_dir_all(&dir)?;
-        let result = run_arm(opts, shards, &dir);
+        let result = run_arm(opts, shards, true, (opts.clients / 2).max(1), &dir);
         let _ = std::fs::remove_dir_all(&dir);
         arms.push(result?);
     }
@@ -365,27 +469,81 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
     })
 }
 
+/// Run the group-commit A/B benchmark: both arms use `opts.shards` shards
+/// and the same mixed workload; the first arm disables group commit (one
+/// journal fsync per mutation), the second enables it. A low shard count
+/// is the interesting regime — concurrent updaters must land on the same
+/// shard journal for a flush group to form.
+///
+/// # Errors
+/// Daemon spawn, connection, or scheme errors from either arm.
+pub fn run_group_commit_bench(opts: &BenchOptions) -> Result<GroupCommitReport> {
+    assert!(
+        opts.clients >= 2,
+        "need at least one searcher and one updater"
+    );
+    let shards = opts.shards.max(1);
+    // Updater-heavy split: flush groups only form from concurrent
+    // mutations, so most clients write; a couple of searchers remain to
+    // measure the read path under the same mixed load.
+    let searchers = (opts.clients / 4).max(1);
+    let mut arms = Vec::with_capacity(2);
+    for group_commit in [false, true] {
+        let tag = if group_commit { "grouped" } else { "ungrouped" };
+        let dir = scratch_dir(tag, opts.seed);
+        let _ = std::fs::remove_dir_all(&dir); // stale state from a crashed run
+        std::fs::create_dir_all(&dir)?;
+        let result = run_arm(opts, shards, group_commit, searchers, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        arms.push(result?);
+    }
+    let grouped = arms.pop().expect("two arms");
+    let ungrouped = arms.pop().expect("two arms");
+    let speedup = grouped.update_ops_per_sec / ungrouped.update_ops_per_sec.max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let p99_ratio = grouped.p99_ns as f64 / (ungrouped.p99_ns as f64).max(1e-9);
+    Ok(GroupCommitReport {
+        options: opts.clone(),
+        ungrouped,
+        grouped,
+        speedup_update_ops_per_sec: speedup,
+        search_p99_ratio: p99_ratio,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn report_json_has_required_fields() {
-        let arm = |shards: usize| BenchArm {
+    fn arm(shards: usize, group_commit: bool) -> BenchArm {
+        BenchArm {
             shards,
+            group_commit,
             search_ops: 10,
             search_ops_per_sec: 100.0,
             update_ops: 5,
+            update_ops_per_sec: 50.0,
             p50_ns: 1,
             p95_ns: 2,
             p99_ns: 3,
             shard_contention: vec![0, 4],
             busy_retries: 0,
-        };
+            groups_committed: 2,
+            ops_committed: 5,
+            mean_group_size: 2.5,
+            max_group_size: 3,
+            fsyncs_per_op: 0.4,
+            fsyncs_saved: 3,
+            snapshot_swaps: 5,
+        }
+    }
+
+    #[test]
+    fn report_json_has_required_fields() {
         let report = BenchReport {
             options: BenchOptions::default(),
-            baseline: arm(1),
-            sharded: arm(8),
+            baseline: arm(1, true),
+            sharded: arm(8, true),
             speedup_search_ops_per_sec: 2.5,
         };
         let json = report.to_json();
@@ -399,6 +557,35 @@ mod tests {
             "\"p99_ns\"",
             "\"shard_contention\"",
             "\"speedup_search_ops_per_sec\"",
+            "\"fsyncs_per_op\"",
+            "\"mean_group_size\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn group_commit_report_json_has_required_fields() {
+        let report = GroupCommitReport {
+            options: BenchOptions::default(),
+            ungrouped: arm(2, false),
+            grouped: arm(2, true),
+            speedup_update_ops_per_sec: 3.1,
+            search_p99_ratio: 0.8,
+        };
+        let json = report.to_json();
+        for field in [
+            "\"benchmark\":\"sse-group-commit\"",
+            "\"group_commit\":false",
+            "\"group_commit\":true",
+            "\"update_ops_per_sec\"",
+            "\"fsyncs_per_op\"",
+            "\"mean_group_size\"",
+            "\"max_group_size\"",
+            "\"fsyncs_saved\"",
+            "\"snapshot_swaps\"",
+            "\"speedup_update_ops_per_sec\"",
+            "\"search_p99_ratio\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

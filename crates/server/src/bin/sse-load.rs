@@ -4,8 +4,8 @@
 //! sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N]
 //!          [--scheme 1|2|both] [--profile gp|traveler] [--events N]
 //!          [--seed N] [--shutdown]
-//! sse-load --bench-json PATH [--shards N] [--clients N] [--seed N]
-//!          [--bench-ms N]
+//! sse-load --bench-json PATH [--bench-mode serving|groupcommit]
+//!          [--shards N] [--clients N] [--seed N] [--bench-ms N]
 //! ```
 //!
 //! Drives N concurrent clients, each replaying a §6 PHR workload (Zipf
@@ -15,11 +15,14 @@
 //! `--shutdown` sends `ADMIN_SHUTDOWN` to the target daemon after the run.
 //!
 //! `--bench-json PATH` switches to benchmark mode: spawn two durable
-//! daemons (1 shard vs `--shards` shards per tenant), run the same
-//! search+update workload against both, and write the comparison to PATH
-//! (see [`sse_server::bench`]).
+//! daemons, run the same search+update workload against both, and write
+//! the comparison to PATH (see [`sse_server::bench`]). The default
+//! `serving` mode compares 1 shard vs `--shards` shards; `groupcommit`
+//! compares group commit off vs on at a fixed shard count (`--shards`,
+//! default 1 — concurrent updaters must share a shard journal for flush
+//! groups to form).
 
-use sse_server::bench::{run_bench, BenchOptions};
+use sse_server::bench::{run_bench, run_group_commit_bench, BenchOptions};
 use sse_server::daemon::{Daemon, ServerConfig};
 use sse_server::load::{run_load, LoadOptions, Profile};
 use sse_server::proto::SchemeId;
@@ -30,7 +33,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N] \
          [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]\n\
-         \x20      sse-load --bench-json PATH [--shards N] [--clients N] [--seed N] [--bench-ms N]"
+         \x20      sse-load --bench-json PATH [--bench-mode serving|groupcommit] \
+         [--shards N] [--clients N] [--seed N] [--bench-ms N]"
     );
     std::process::exit(2);
 }
@@ -42,12 +46,19 @@ fn parse<T: std::str::FromStr>(s: &str) -> T {
     })
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BenchMode {
+    Serving,
+    GroupCommit,
+}
+
 struct Cli {
     opts: LoadOptions,
     spawn: bool,
     shutdown: bool,
     bench_json: Option<std::path::PathBuf>,
     bench: BenchOptions,
+    bench_mode: BenchMode,
 }
 
 fn parse_args() -> Cli {
@@ -57,7 +68,9 @@ fn parse_args() -> Cli {
         shutdown: false,
         bench_json: None,
         bench: BenchOptions::default(),
+        bench_mode: BenchMode::Serving,
     };
+    let mut shards_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -81,7 +94,20 @@ fn parse_args() -> Cli {
                 cli.bench.seed = cli.opts.seed;
             }
             "--bench-json" => cli.bench_json = Some(std::path::PathBuf::from(value())),
-            "--shards" => cli.bench.shards = parse(&value()),
+            "--bench-mode" => {
+                cli.bench_mode = match value().as_str() {
+                    "serving" => BenchMode::Serving,
+                    "groupcommit" => BenchMode::GroupCommit,
+                    other => {
+                        eprintln!("unknown bench mode: {other}");
+                        usage();
+                    }
+                }
+            }
+            "--shards" => {
+                cli.bench.shards = parse(&value());
+                shards_set = true;
+            }
             "--bench-ms" => {
                 cli.bench.duration = std::time::Duration::from_millis(parse(&value()));
             }
@@ -113,12 +139,62 @@ fn parse_args() -> Cli {
             }
         }
     }
+    // The group-commit comparison defaults to one shard: flush groups only
+    // form when concurrent updaters land on the same shard journal.
+    if cli.bench_mode == BenchMode::GroupCommit && !shards_set {
+        cli.bench.shards = 1;
+    }
     cli
+}
+
+/// Run the group-commit A/B benchmark and write `BENCH_groupcommit.json`.
+fn run_group_commit_mode(path: &std::path::Path, bench: &BenchOptions) -> ExitCode {
+    println!(
+        "sse-load: group-commit benchmark: {} clients, {} shard(s), {:?} window per arm",
+        bench.clients, bench.shards, bench.duration
+    );
+    let report = match run_group_commit_bench(bench) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sse-load: benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for arm in [&report.ungrouped, &report.grouped] {
+        println!(
+            "sse-load: group_commit={}: {:.1} update ops/sec, {:.1} search ops/sec \
+             (search p50 {} ns, p99 {} ns), mean group {:.2} (max {}), \
+             {:.3} fsyncs/op, {} fsync(s) saved, {} snapshot swap(s)",
+            arm.group_commit,
+            arm.update_ops_per_sec,
+            arm.search_ops_per_sec,
+            arm.p50_ns,
+            arm.p99_ns,
+            arm.mean_group_size,
+            arm.max_group_size,
+            arm.fsyncs_per_op,
+            arm.fsyncs_saved,
+            arm.snapshot_swaps
+        );
+    }
+    println!(
+        "sse-load: update throughput speedup {:.2}x, search p99 ratio {:.2}",
+        report.speedup_update_ops_per_sec, report.search_p99_ratio
+    );
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("sse-load: writing {} failed: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("sse-load: wrote {}", path.display());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut cli = parse_args();
     if let Some(path) = &cli.bench_json {
+        if cli.bench_mode == BenchMode::GroupCommit {
+            return run_group_commit_mode(path, &cli.bench);
+        }
         println!(
             "sse-load: benchmark mode: {} clients, 1 vs {} shard(s), {:?} window per arm",
             cli.bench.clients, cli.bench.shards, cli.bench.duration
@@ -218,6 +294,18 @@ fn main() -> ExitCode {
                 stats.wal_recoveries,
                 stats.torn_tails_truncated,
                 stats.reconnects
+            );
+            println!(
+                "sse-load: group commit: {} op(s) in {} flush group(s) \
+                 (mean {:.2}, max {}), {} fsync(s) saved ({:.3} fsyncs/op), \
+                 {} snapshot swap(s)",
+                stats.ops_committed,
+                stats.groups_committed,
+                stats.mean_group_size(),
+                stats.max_group_size,
+                stats.fsyncs_saved,
+                stats.fsyncs_per_op(),
+                stats.snapshot_swaps
             );
         }
         Err(e) => eprintln!("sse-load: stats query failed: {e}"),

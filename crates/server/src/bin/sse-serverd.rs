@@ -127,5 +127,16 @@ fn main() -> ExitCode {
          {} torn byte(s) truncated, {} client re-attach(es)",
         stats.faults_injected, stats.wal_recoveries, stats.torn_tails_truncated, stats.reconnects
     );
+    println!(
+        "sse-serverd: group commit: {} op(s) in {} flush group(s) (mean {:.2}, max {}), \
+         {} fsync(s) saved ({:.3} fsyncs/op), {} snapshot swap(s)",
+        stats.ops_committed,
+        stats.groups_committed,
+        stats.mean_group_size(),
+        stats.max_group_size,
+        stats.fsyncs_saved,
+        stats.fsyncs_per_op(),
+        stats.snapshot_swaps
+    );
     ExitCode::SUCCESS
 }

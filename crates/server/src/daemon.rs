@@ -108,6 +108,12 @@ impl Shared {
         snap.wal_recoveries = self.registry.wal_recoveries();
         snap.torn_tails_truncated = self.registry.torn_tails_truncated();
         snap.shard_contention = self.registry.shard_contention();
+        let commit = self.registry.commit_counters();
+        snap.groups_committed = commit.groups_committed;
+        snap.ops_committed = commit.ops_committed;
+        snap.max_group_size = commit.max_group;
+        snap.fsyncs_saved = commit.fsyncs_saved;
+        snap.snapshot_swaps = commit.snapshot_swaps;
         if let Some(f) = &self.fault_stats {
             snap.faults_injected = f.injected();
         }

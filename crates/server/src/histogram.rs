@@ -103,6 +103,83 @@ mod tests {
         assert!(h.quantile_ns(0.95) <= p99);
     }
 
+    /// Exact quantile from the full sample set: the `ceil(q·n)`-th order
+    /// statistic, matching the histogram's rank definition.
+    fn oracle_quantile(samples: &mut [u64], q: f64) -> u64 {
+        samples.sort_unstable();
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = (((q * samples.len() as f64).ceil() as usize).max(1)).min(samples.len());
+        samples[rank - 1]
+    }
+
+    /// Same splitmix64 used by the bench workloads: deterministic samples
+    /// without pulling a rand dependency into the test.
+    struct SplitMix(u64);
+
+    impl SplitMix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A bucket spans `[2^b, 2^(b+1))` and reports its midpoint `1.5·2^b`,
+    /// so any quantile lands within 2× of the true order statistic — check
+    /// that bound against the oracle on both distributions.
+    fn assert_within_2x_of_oracle(samples: &mut [u64], label: &str) {
+        let h = LatencyHistogram::new();
+        for &ns in samples.iter() {
+            h.record(Duration::from_nanos(ns));
+        }
+        assert_eq!(h.count(), samples.len() as u64);
+        for q in [0.10, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let exact = oracle_quantile(samples, q);
+            let approx = h.quantile_ns(q);
+            assert!(
+                approx >= exact / 2 && approx <= exact.saturating_mul(2),
+                "{label}: q={q}: histogram {approx} vs oracle {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_quantiles_match_sorted_oracle() {
+        let mut rng = SplitMix(0xC0FFEE);
+        let mut samples: Vec<u64> = (0..10_000).map(|_| 1 + rng.next() % 10_000_000).collect();
+        assert_within_2x_of_oracle(&mut samples, "uniform");
+    }
+
+    #[test]
+    fn zipf_quantiles_match_sorted_oracle() {
+        // Heavy-tailed zipf-like samples via inverse-CDF: most latencies
+        // land near 1 µs, a long tail reaches into the seconds — the shape
+        // serving latencies actually have.
+        let mut rng = SplitMix(0x5EED);
+        let mut samples: Vec<u64> = (0..10_000)
+            .map(|_| {
+                #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+                let u = ((rng.next() >> 11) as f64 / (1u64 << 53) as f64).max(1e-9);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let ns = (1_000.0 / u) as u64;
+                ns.clamp(1, 10_000_000_000)
+            })
+            .collect();
+        assert_within_2x_of_oracle(&mut samples, "zipf");
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_in_its_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(700));
+        // 700 lies in [512, 1024); every quantile reports that bucket.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_ns(q), 512 + 256);
+        }
+    }
+
     #[test]
     fn concurrent_recording_loses_nothing() {
         let h = std::sync::Arc::new(LatencyHistogram::new());

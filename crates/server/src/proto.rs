@@ -239,9 +239,41 @@ pub struct StatsSnapshot {
     /// Contended shard-lock acquisitions per index shard, summed across
     /// all open tenant databases. Empty when no tenant is open.
     pub shard_contention: Vec<u64>,
+    /// Journal groups committed (one vectored write + one fsync each),
+    /// summed across all open tenant databases.
+    pub groups_committed: u64,
+    /// Mutations made durable through those groups.
+    pub ops_committed: u64,
+    /// Largest single commit group observed.
+    pub max_group_size: u64,
+    /// Fsyncs avoided versus one-fsync-per-op journaling.
+    pub fsyncs_saved: u64,
+    /// Immutable search-snapshot publications (one per applied mutation
+    /// plus opportunistic cache write-backs).
+    pub snapshot_swaps: u64,
 }
 
 impl StatsSnapshot {
+    /// Fsyncs per committed mutation — `1.0` when every op pays its own
+    /// fsync, approaching `1/k` when groups of `k` share one.
+    #[must_use]
+    pub fn fsyncs_per_op(&self) -> f64 {
+        if self.ops_committed == 0 {
+            0.0
+        } else {
+            self.groups_committed as f64 / self.ops_committed as f64
+        }
+    }
+
+    /// Mean mutations per commit group (0 when nothing committed).
+    #[must_use]
+    pub fn mean_group_size(&self) -> f64 {
+        if self.groups_committed == 0 {
+            0.0
+        } else {
+            self.ops_committed as f64 / self.groups_committed as f64
+        }
+    }
     /// Encode as an ADMIN response payload.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
@@ -258,7 +290,12 @@ impl StatsSnapshot {
             .put_u64(self.wal_recoveries)
             .put_u64(self.torn_tails_truncated)
             .put_u64(self.reconnects)
-            .put_u64_vec(&self.shard_contention);
+            .put_u64_vec(&self.shard_contention)
+            .put_u64(self.groups_committed)
+            .put_u64(self.ops_committed)
+            .put_u64(self.max_group_size)
+            .put_u64(self.fsyncs_saved)
+            .put_u64(self.snapshot_swaps);
         w.finish()
     }
 
@@ -280,6 +317,11 @@ impl StatsSnapshot {
             torn_tails_truncated: r.get_u64().ok()?,
             reconnects: r.get_u64().ok()?,
             shard_contention: r.get_u64_vec().ok()?,
+            groups_committed: r.get_u64().ok()?,
+            ops_committed: r.get_u64().ok()?,
+            max_group_size: r.get_u64().ok()?,
+            fsyncs_saved: r.get_u64().ok()?,
+            snapshot_swaps: r.get_u64().ok()?,
         };
         r.finish().ok()?;
         Some(snap)
@@ -359,9 +401,18 @@ mod tests {
             torn_tails_truncated: 17,
             reconnects: 5,
             shard_contention: vec![3, 0, 7, 1],
+            groups_committed: 40,
+            ops_committed: 160,
+            max_group_size: 9,
+            fsyncs_saved: 120,
+            snapshot_swaps: 165,
         };
         assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap.clone()));
         assert_eq!(StatsSnapshot::decode(b"short"), None);
+        assert!((snap.fsyncs_per_op() - 0.25).abs() < 1e-9);
+        assert!((snap.mean_group_size() - 4.0).abs() < 1e-9);
+        assert_eq!(StatsSnapshot::default().fsyncs_per_op(), 0.0);
+        assert_eq!(StatsSnapshot::default().mean_group_size(), 0.0);
     }
 
     #[test]

@@ -75,6 +75,11 @@ impl ServingStats {
             torn_tails_truncated: 0,
             reconnects: self.reconnects.load(Ordering::Relaxed),
             shard_contention: Vec::new(),
+            groups_committed: 0,
+            ops_committed: 0,
+            max_group_size: 0,
+            fsyncs_saved: 0,
+            snapshot_swaps: 0,
         }
     }
 }

@@ -17,6 +17,7 @@
 
 use crate::proto::SchemeId;
 use parking_lot::Mutex;
+use sse_core::commit::CommitCounters;
 use sse_core::error::SseError;
 use sse_core::journal::ServerRecovery;
 use sse_core::scheme1::Scheme1Server;
@@ -91,6 +92,15 @@ impl TenantDb {
             TenantDb::S2(s) => s.shard_contention(),
         }
     }
+
+    /// Group-commit pipeline counters for this database.
+    #[must_use]
+    pub fn commit_counters(&self) -> CommitCounters {
+        match self {
+            TenantDb::S1(s) => s.commit_counters(),
+            TenantDb::S2(s) => s.commit_counters(),
+        }
+    }
 }
 
 impl Service for TenantDb {
@@ -122,6 +132,10 @@ pub struct TenantParams {
     /// Index shards per tenant database (fixed at directory creation for
     /// durable tenants; see the shard manifest).
     pub shards: usize,
+    /// Whether durable tenants batch concurrent journal records into
+    /// shared-fsync commit groups (`false` ⇒ one fsync per mutation, the
+    /// benchmark's baseline arm). Durability semantics are identical.
+    pub group_commit: bool,
 }
 
 impl Default for TenantParams {
@@ -130,6 +144,7 @@ impl Default for TenantParams {
             scheme1_capacity: 4096,
             scheme2_chain_length: 4096,
             shards: 1,
+            group_commit: true,
         }
     }
 }
@@ -217,23 +232,21 @@ impl TenantRegistry {
                 let dir = tenant_dir(root, tenant, scheme);
                 self.vfs.create_dir_all(&dir)?;
                 Ok(match scheme {
-                    SchemeId::Scheme1 => {
-                        TenantDb::S1(Scheme1Server::open_durable_with_vfs_sharded(
-                            Arc::clone(&self.vfs),
-                            self.params.scheme1_capacity,
-                            &dir,
-                            shards,
-                        )?)
-                    }
-                    SchemeId::Scheme2 => {
-                        TenantDb::S2(Scheme2Server::open_durable_with_vfs_sharded(
-                            Arc::clone(&self.vfs),
-                            Scheme2Config::standard()
-                                .with_chain_length(self.params.scheme2_chain_length),
-                            &dir,
-                            shards,
-                        )?)
-                    }
+                    SchemeId::Scheme1 => TenantDb::S1(Scheme1Server::open_durable_with_vfs_opts(
+                        Arc::clone(&self.vfs),
+                        self.params.scheme1_capacity,
+                        &dir,
+                        shards,
+                        self.params.group_commit,
+                    )?),
+                    SchemeId::Scheme2 => TenantDb::S2(Scheme2Server::open_durable_with_vfs_opts(
+                        Arc::clone(&self.vfs),
+                        Scheme2Config::standard()
+                            .with_chain_length(self.params.scheme2_chain_length),
+                        &dir,
+                        shards,
+                        self.params.group_commit,
+                    )?),
                 })
             }
         }
@@ -330,6 +343,18 @@ impl TenantRegistry {
     #[must_use]
     pub fn torn_tails_truncated(&self) -> u64 {
         self.torn_tails_truncated.load(Ordering::Relaxed)
+    }
+
+    /// Group-commit pipeline counters merged over every open tenant
+    /// database (the STATS commit block).
+    #[must_use]
+    pub fn commit_counters(&self) -> CommitCounters {
+        let handles: Vec<TenantHandle> = self.tenants.lock().values().cloned().collect();
+        let mut out = CommitCounters::default();
+        for handle in handles {
+            out.merge(&handle.commit_counters());
+        }
+        out
     }
 
     /// Per-shard contended lock acquisitions summed element-wise over

@@ -193,6 +193,15 @@ pub struct FaultConfig {
     /// Hard crash at the N-th `write_all`: the write is torn (seeded
     /// prefix) and **every** subsequent operation on this VFS fails.
     pub crash_at_write: Option<u64>,
+    /// Hard crash **at** the N-th `sync_data`: the sync does not reach the
+    /// inner file (under the process-crash model the preceding writes are
+    /// still durable) and every subsequent operation fails — a crash
+    /// between a group's write and its fsync.
+    pub crash_at_sync: Option<u64>,
+    /// Hard crash **after** the N-th `sync_data`: the inner sync succeeds
+    /// (the group *is* durable), then every subsequent operation fails — a
+    /// crash between a group's fsync and its acks.
+    pub crash_after_sync: Option<u64>,
 }
 
 /// Shared counters exposing what a [`FaultVfs`] saw and injected.
@@ -287,16 +296,39 @@ impl FaultState {
         Ok(None)
     }
 
-    fn on_sync(&self) -> io::Result<()> {
+    /// Gate one sync: `Pass` lets the inner `sync_data` run normally;
+    /// `CrashAfter` asks the caller to run the inner sync, *then* mark the
+    /// VFS crashed and report failure (the data is durable, the ack never
+    /// happens).
+    fn on_sync(&self) -> io::Result<SyncGate> {
         self.check_alive()?;
         let n = self.stats.syncs_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.cfg.crash_at_sync == Some(n) {
+            self.stats.crashed.store(true, Ordering::SeqCst);
+            self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.stats.failed_syncs.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::other(format!(
+                "injected fault: crash at fsync {n} (sync never reached disk)"
+            )));
+        }
         if self.cfg.fail_sync_at == Some(n) {
             self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
             self.stats.failed_syncs.fetch_add(1, Ordering::Relaxed);
             return Err(Error::other(format!("injected fault: fsync {n} failed")));
         }
-        Ok(())
+        if self.cfg.crash_after_sync == Some(n) {
+            return Ok(SyncGate::CrashAfter);
+        }
+        Ok(SyncGate::Pass)
     }
+}
+
+/// Outcome of [`FaultState::on_sync`] when the sync is allowed to proceed.
+enum SyncGate {
+    /// Run the inner sync normally.
+    Pass,
+    /// Run the inner sync, then crash (durable but never acknowledged).
+    CrashAfter,
 }
 
 /// A [`Vfs`] that injects deterministic faults into an inner VFS.
@@ -344,6 +376,35 @@ impl FaultVfs {
         )
     }
 
+    /// Real-filesystem wrapper that hard-crashes at sync point `n`
+    /// (1-based): the fsync never happens, all subsequent I/O fails.
+    #[must_use]
+    pub fn crashing_at_sync(seed: u64, n: u64) -> Self {
+        FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                seed,
+                crash_at_sync: Some(n),
+                ..FaultConfig::default()
+            },
+        )
+    }
+
+    /// Real-filesystem wrapper that hard-crashes just *after* sync point
+    /// `n` (1-based): the fsync completes (data durable), then all
+    /// subsequent I/O fails — the acknowledgement is lost.
+    #[must_use]
+    pub fn crashing_after_sync(seed: u64, n: u64) -> Self {
+        FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                seed,
+                crash_after_sync: Some(n),
+                ..FaultConfig::default()
+            },
+        )
+    }
+
     /// The shared fault counters.
     #[must_use]
     pub fn stats(&self) -> Arc<FaultStats> {
@@ -378,8 +439,20 @@ impl VfsFile for FaultFile {
     }
 
     fn sync_data(&mut self) -> io::Result<()> {
-        self.state.on_sync()?;
-        self.inner.sync_data()
+        match self.state.on_sync()? {
+            SyncGate::Pass => self.inner.sync_data(),
+            SyncGate::CrashAfter => {
+                self.inner.sync_data()?;
+                self.state.stats.crashed.store(true, Ordering::SeqCst);
+                self.state
+                    .stats
+                    .injected_faults
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(Error::other(
+                    "injected fault: crash after fsync (data durable, ack lost)",
+                ))
+            }
+        }
     }
 
     fn set_len(&mut self, len: u64) -> io::Result<()> {
@@ -555,6 +628,38 @@ mod tests {
         assert!(vfs.create(&temp_file("crash2")).is_err());
         assert!(vfs.read(&path).is_err());
         assert!(vfs.rename(&path, &temp_file("crash3")).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_at_sync_keeps_writes_but_kills_io() {
+        // Process-crash model: bytes from successful writes are durable
+        // even though the scheduled fsync itself never ran.
+        let path = temp_file("crash-at-sync");
+        let vfs = FaultVfs::crashing_at_sync(5, 1);
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"written before crash").unwrap();
+        assert!(f.sync_data().is_err());
+        assert!(vfs.crashed());
+        assert!(f.write_all(b"more").is_err());
+        assert!(vfs.read(&path).is_err());
+        // The data is on disk (readable outside the crashed VFS).
+        assert_eq!(RealVfs.read(&path).unwrap(), b"written before crash");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_after_sync_is_durable_but_dead() {
+        let path = temp_file("crash-after-sync");
+        let vfs = FaultVfs::crashing_after_sync(5, 1);
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"durable payload").unwrap();
+        // The sync itself succeeds on the inner file, then the crash fires.
+        assert!(f.sync_data().is_err());
+        assert!(vfs.crashed());
+        assert!(f.sync_data().is_err());
+        assert!(vfs.create(&temp_file("crash-after-sync-2")).is_err());
+        assert_eq!(RealVfs.read(&path).unwrap(), b"durable payload");
         std::fs::remove_file(&path).unwrap();
     }
 

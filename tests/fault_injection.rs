@@ -28,7 +28,7 @@ use sse_repro::core::scheme1::{Scheme1Client, Scheme1Config, Scheme1Server};
 use sse_repro::core::scheme2::{Scheme2Client, Scheme2ClientState, Scheme2Config, Scheme2Server};
 use sse_repro::core::types::{Document, Keyword, MasterKey, SearchHits};
 use sse_repro::net::fault::{FaultyLink, NetFaultConfig};
-use sse_repro::net::link::MeteredLink;
+use sse_repro::net::link::{MeteredLink, Transport};
 use sse_repro::net::meter::Meter;
 use sse_repro::storage::FaultVfs;
 use std::collections::{BTreeMap, BTreeSet};
@@ -696,6 +696,306 @@ fn scheme2_network_sweep(trace: &[Op], seed: u64, shards: usize) {
         ok_ops > trace.len() as u64 / 2,
         "too few ops survived ({ok_ops} ok / {failed_ops} failed)"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Mid-group crash sweeps (group commit)
+// ---------------------------------------------------------------------------
+
+/// In-process transport sharing one server among several client threads —
+/// the shape a single-owner [`MeteredLink`] cannot express. This is what
+/// makes flush *groups* form: concurrent mutations stage into the same
+/// shard journal and one committer fsyncs for all of them.
+struct SharedLink<S>(Arc<S>);
+
+impl Transport for SharedLink<Scheme2Server> {
+    fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        Ok(self.0.handle_shared(request))
+    }
+}
+
+impl Transport for SharedLink<Scheme1Server> {
+    fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        Ok(self.0.handle_shared(request))
+    }
+}
+
+/// Concurrent writers in the mid-group sweeps.
+const GROUP_WRITERS: usize = 3;
+/// Stores attempted per writer before giving up.
+const GROUP_OPS: usize = 10;
+/// Sync points swept per crash mode. Covers the open-time syncs plus a
+/// band of mid-workload syncs where several writers' records share one
+/// flush group; points past the workload's total sync count simply run
+/// crash-free (the contract assertions still apply).
+const GROUP_SYNC_POINTS: u64 = 20;
+
+/// One writer's trace: sequential doc ids in a private range, 1–2
+/// keywords each, all derived from the seed.
+fn writer_trace(seed: u64, writer: usize) -> Vec<Document> {
+    (0..GROUP_OPS)
+        .map(|i| {
+            let roll = splitmix64(seed ^ ((writer as u64) << 24) ^ (i as u64));
+            let id = (writer * GROUP_OPS + i) as u64;
+            let mut kws = BTreeSet::new();
+            kws.insert(KEYWORDS[(roll >> 8) as usize % KEYWORDS.len()]);
+            kws.insert(KEYWORDS[(roll >> 16) as usize % KEYWORDS.len()]);
+            Document::new(id, doc_data(id), kws)
+        })
+        .collect()
+}
+
+/// Check one recovered index against a writer's ledger:
+///
+/// * every **acked** store is fully present (ack came strictly after the
+///   group fsync, so a crash later in the group must not lose it);
+/// * the at-most-one **in-doubt** store (errored mid-crash; its journal
+///   record may have reached disk before the failed fsync) is all-in or
+///   all-out, never half a document;
+/// * nothing else ever appears.
+fn assert_acked_prefix(observed: &Index, trace: &[Document], acked: usize, context: &str) {
+    for doc in &trace[..acked] {
+        for kw in &doc.keywords {
+            assert!(
+                observed[kw].contains(&doc.id),
+                "{context}: acked doc {} lost under {kw}",
+                doc.id
+            );
+        }
+    }
+    if acked < trace.len() {
+        let doc = &trace[acked];
+        let present = doc
+            .keywords
+            .iter()
+            .filter(|kw| observed[kw].contains(&doc.id))
+            .count();
+        assert!(
+            present == 0 || present == doc.keywords.len(),
+            "{context}: in-doubt doc {} recovered under {present} of {} keywords",
+            doc.id,
+            doc.keywords.len()
+        );
+    }
+    let mut allowed = empty_index();
+    for doc in &trace[..(acked + 1).min(trace.len())] {
+        for kw in &doc.keywords {
+            allowed.get_mut(kw).unwrap().insert(doc.id);
+        }
+    }
+    for (kw, ids) in observed {
+        assert!(
+            ids.is_subset(&allowed[kw]),
+            "{context}: fabricated ids under {kw}: {ids:?} ⊄ {:?}",
+            allowed[kw]
+        );
+    }
+}
+
+/// Build the crashing VFS for one sweep point: `at_sync` crashes *before*
+/// sync `n` runs (group written, never durable, never acked), the other
+/// mode just *after* it completes (group durable, acks racing the crash).
+fn group_crash_vfs(at_sync: bool, seed: u64, n: u64) -> FaultVfs {
+    if at_sync {
+        FaultVfs::crashing_at_sync(seed, n)
+    } else {
+        FaultVfs::crashing_after_sync(seed, n)
+    }
+}
+
+/// Scheme-2 mid-group crash sweep: [`GROUP_WRITERS`] concurrent clients
+/// store through one durable single-shard server (one shard journal ⇒
+/// maximal grouping) while a crash is scheduled at or just after sync
+/// point `n`; after recovery through the real filesystem, every writer's
+/// ledger must hold the acked-prefix contract.
+fn scheme2_mid_group_crash_sweep(at_sync: bool, seed: u64) {
+    let config = Scheme2Config::base(512);
+    let traces: Vec<Vec<Document>> = (0..GROUP_WRITERS).map(|w| writer_trace(seed, w)).collect();
+
+    let (mut crashed_runs, mut recoveries) = (0u64, 0u64);
+    for n in 1..=GROUP_SYNC_POINTS {
+        let dir = temp_dir("s2-group-crash");
+        let vfs = group_crash_vfs(at_sync, seed ^ n, n);
+        // acked[w] = stores writer w saw succeed (always a prefix: the
+        // first error ends the writer, like a crash ends a process).
+        let acked: Vec<usize> = match Scheme2Server::open_durable_with_vfs_sharded(
+            Arc::new(vfs),
+            config.clone(),
+            &dir,
+            1,
+        ) {
+            Err(_) => vec![0; GROUP_WRITERS],
+            Ok(server) => {
+                let server = Arc::new(server);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..GROUP_WRITERS)
+                        .map(|w| {
+                            let server = server.clone();
+                            let trace = &traces[w];
+                            scope.spawn(move || {
+                                let mut client = Scheme2Client::new_seeded(
+                                    SharedLink(server),
+                                    MasterKey::from_seed(seed ^ 0x52 ^ (w as u64)),
+                                    Scheme2Config::base(512),
+                                    w as u64,
+                                );
+                                let mut ok = 0usize;
+                                for doc in trace {
+                                    if client.store(std::slice::from_ref(doc)).is_err() {
+                                        break;
+                                    }
+                                    ok += 1;
+                                }
+                                ok
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            }
+        };
+        if acked.iter().sum::<usize>() < GROUP_WRITERS * GROUP_OPS {
+            crashed_runs += 1;
+        }
+
+        // The crashed process is gone; recover through the real filesystem.
+        let server = Arc::new(Scheme2Server::open_durable(config.clone(), &dir).unwrap());
+        if server.recovery().recovered_anything() {
+            recoveries += 1;
+        }
+        for (w, trace) in traces.iter().enumerate() {
+            let mut probe = Scheme2Client::new_seeded(
+                SharedLink(server.clone()),
+                MasterKey::from_seed(seed ^ 0x52 ^ (w as u64)),
+                config.clone(),
+                7,
+            );
+            // Write-ahead counter restore: the in-doubt store consumed a
+            // counter value whether or not it landed.
+            probe.restore_state(Scheme2ClientState {
+                ctr: ((acked[w] + 1).min(trace.len())) as u64,
+                epoch: 0,
+                searched_since_update: true,
+            });
+            let observed = observe(|kw| probe.search(kw).unwrap());
+            let mode = if at_sync { "at" } else { "after" };
+            assert_acked_prefix(
+                &observed,
+                trace,
+                acked[w],
+                &format!("crash {mode} sync {n}, writer {w}"),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        crashed_runs > 0,
+        "no sweep point crashed mid-workload — raise GROUP_SYNC_POINTS"
+    );
+    assert!(
+        recoveries > 0,
+        "{GROUP_SYNC_POINTS} crash points never exercised recovery"
+    );
+}
+
+#[test]
+fn scheme2_mid_group_crash_between_write_and_fsync_keeps_acked_prefix() {
+    scheme2_mid_group_crash_sweep(true, fault_seed() ^ 0x8888);
+}
+
+#[test]
+fn scheme2_mid_group_crash_between_fsync_and_ack_keeps_acked_prefix() {
+    scheme2_mid_group_crash_sweep(false, fault_seed() ^ 0x9999);
+}
+
+/// Scheme-1 variant of the mid-group sweep: same concurrent-writer shape
+/// over the bit-matrix scheme (both schemes share the commit pipeline, so
+/// a regression in either integration shows up here).
+fn scheme1_mid_group_crash_sweep(at_sync: bool, seed: u64) {
+    let config = Scheme1Config::fast_profile(CAPACITY);
+    let traces: Vec<Vec<Document>> = (0..GROUP_WRITERS).map(|w| writer_trace(seed, w)).collect();
+
+    let (mut crashed_runs, mut recoveries) = (0u64, 0u64);
+    for n in 1..=GROUP_SYNC_POINTS {
+        let dir = temp_dir("s1-group-crash");
+        let vfs = group_crash_vfs(at_sync, seed ^ n, n);
+        let acked: Vec<usize> =
+            match Scheme1Server::open_durable_with_vfs_sharded(Arc::new(vfs), CAPACITY, &dir, 1) {
+                Err(_) => vec![0; GROUP_WRITERS],
+                Ok(server) => {
+                    let server = Arc::new(server);
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..GROUP_WRITERS)
+                            .map(|w| {
+                                let server = server.clone();
+                                let trace = &traces[w];
+                                let config = config.clone();
+                                scope.spawn(move || {
+                                    let mut client = Scheme1Client::new_seeded(
+                                        SharedLink(server),
+                                        MasterKey::from_seed(seed ^ 0x51 ^ (w as u64)),
+                                        config,
+                                        w as u64,
+                                    );
+                                    let mut ok = 0usize;
+                                    for doc in trace {
+                                        if client.store(std::slice::from_ref(doc)).is_err() {
+                                            break;
+                                        }
+                                        ok += 1;
+                                    }
+                                    ok
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                }
+            };
+        if acked.iter().sum::<usize>() < GROUP_WRITERS * GROUP_OPS {
+            crashed_runs += 1;
+        }
+
+        let server = Arc::new(Scheme1Server::open_durable(CAPACITY, &dir).unwrap());
+        if server.recovery().recovered_anything() {
+            recoveries += 1;
+        }
+        for (w, trace) in traces.iter().enumerate() {
+            let mut probe = Scheme1Client::new_seeded(
+                SharedLink(server.clone()),
+                MasterKey::from_seed(seed ^ 0x51 ^ (w as u64)),
+                config.clone(),
+                7,
+            );
+            let observed = observe(|kw| probe.search(kw).unwrap());
+            let mode = if at_sync { "at" } else { "after" };
+            assert_acked_prefix(
+                &observed,
+                trace,
+                acked[w],
+                &format!("crash {mode} sync {n}, writer {w}"),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        crashed_runs > 0,
+        "no sweep point crashed mid-workload — raise GROUP_SYNC_POINTS"
+    );
+    assert!(
+        recoveries > 0,
+        "{GROUP_SYNC_POINTS} crash points never exercised recovery"
+    );
+}
+
+#[test]
+fn scheme1_mid_group_crash_between_write_and_fsync_keeps_acked_prefix() {
+    scheme1_mid_group_crash_sweep(true, fault_seed() ^ 0xAAAA);
+}
+
+#[test]
+fn scheme1_mid_group_crash_between_fsync_and_ack_keeps_acked_prefix() {
+    scheme1_mid_group_crash_sweep(false, fault_seed() ^ 0xBBBB);
 }
 
 #[test]
