@@ -56,10 +56,13 @@ fn bench_ciphers(c: &mut Criterion) {
     group.finish();
 }
 
-/// Ablation: Montgomery vs plain square-and-multiply modexp (DESIGN.md
-/// design-choice callout; measured ~1.7x at 256-bit, ~1.4x at 2048-bit).
+/// Ablation: fixed-base windowed table vs Montgomery vs plain
+/// square-and-multiply modexp (DESIGN.md design-choice callouts; Montgomery
+/// buys ~1.7x at 256-bit / ~1.4x at 2048-bit over plain, and the fixed-base
+/// table buys another ~4-6x on top for the `g^x` shape that dominates
+/// Scheme 1's ElGamal encryptions and trapdoor evaluations).
 fn bench_modexp_ablation(c: &mut Criterion) {
-    use sse_primitives::bignum::BigUint;
+    use sse_primitives::bignum::{BigUint, FixedBase};
     let mut group = c.benchmark_group("prim_modexp_ablation");
     group.sample_size(10);
     for (name, grp) in [
@@ -74,6 +77,17 @@ fn bench_modexp_ablation(c: &mut Criterion) {
         });
         group.bench_function(format!("plain_{name}"), |b| {
             b.iter(|| std::hint::black_box(base.mod_pow_plain(&exp, &grp.p)));
+        });
+        // The fixed-base arms pin the base to `g`: the table is only usable
+        // for a base known ahead of time, which is exactly the `g^x` shape
+        // on the hot path. `naive_g_*` is the same base through the generic
+        // Montgomery ladder, so the pair isolates the table's contribution.
+        let fb = FixedBase::new(&grp.g, &grp.p, grp.p.bit_len());
+        group.bench_function(format!("fixed_base_g_{name}"), |b| {
+            b.iter(|| std::hint::black_box(fb.pow(&exp)));
+        });
+        group.bench_function(format!("naive_g_{name}"), |b| {
+            b.iter(|| std::hint::black_box(grp.g.mod_pow(&exp, &grp.p)));
         });
     }
     group.finish();

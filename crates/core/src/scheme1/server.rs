@@ -54,6 +54,7 @@ use sse_storage::store::DocStore;
 use sse_storage::{RealVfs, StorageError, Vfs};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::result::Result as StdResult;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, PoisonError};
 
@@ -888,15 +889,18 @@ impl Scheme1Server {
                     .fetch_add(s.nodes_visited as u64, Ordering::Relaxed);
                 protocol::encode_found(entry.map(|e| e.f_r.as_slice()))
             }
-            Request::SearchReveal { tag, seed } => {
-                let docs = self.reveal_one(&tag, &seed);
-                protocol::encode_result(&docs)
-            }
+            Request::SearchReveal { tag, seed } => match self.reveal_one(&tag, &seed) {
+                Ok(docs) => protocol::encode_result(&docs),
+                Err(msg) => protocol::encode_error(&msg),
+            },
             Request::SearchRevealMany(items) => {
-                let results: Vec<Vec<(u64, Vec<u8>)>> = items
-                    .iter()
-                    .map(|(tag, seed)| self.reveal_one(tag, seed))
-                    .collect();
+                let mut results: Vec<Vec<(u64, Vec<u8>)>> = Vec::with_capacity(items.len());
+                for (tag, seed) in &items {
+                    match self.reveal_one(tag, seed) {
+                        Ok(docs) => results.push(docs),
+                        Err(msg) => return protocol::encode_error(&msg),
+                    }
+                }
                 crate::proto_common::encode_result_many(&results)
             }
             Request::Checkpoint => {
@@ -918,16 +922,35 @@ impl Scheme1Server {
     /// Unmask one posting array with the revealed seed and fetch matches.
     /// Lock-free against the index: resolves the tag on the shard's
     /// immutable snapshot, never waiting on a shard mutex or an fsync.
-    fn reveal_one(&self, tag: &[u8; 32], seed: &[u8; 32]) -> Vec<(u64, Vec<u8>)> {
+    ///
+    /// # Errors
+    /// A stored array whose width disagrees with the snapshot's document
+    /// capacity (possible only through a corrupted or adversarial index
+    /// import) is reported as a protocol-level error — it must never become
+    /// a `DocBitSet` capacity panic on a worker thread.
+    fn reveal_one(
+        &self,
+        tag: &[u8; 32],
+        seed: &[u8; 32],
+    ) -> StdResult<Vec<(u64, Vec<u8>)>, String> {
         let snap = self.snap(shard_of(tag, self.shards.len()));
         self.stats.searches.fetch_add(1, Ordering::Relaxed);
         let Some(entry) = snap.tree.get(tag) else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         // Unmask: (I(w) ⊕ G(r)) ⊕ G(r) = I(w).
         let plain = Prg::mask(seed, &entry.masked_index);
+        let want = (snap.capacity_docs as usize).div_ceil(8);
+        if plain.len() != want {
+            return Err(format!(
+                "index entry width {} does not match capacity {} ({} bytes expected)",
+                plain.len(),
+                snap.capacity_docs,
+                want
+            ));
+        }
         let ids = DocBitSet::from_bytes(snap.capacity_docs as usize, &plain).to_ids();
-        self.store.read().get_many(&ids)
+        Ok(self.store.read().get_many(&ids))
     }
 
     /// Persist one shard's index snapshot (CRC-protected; carries the
@@ -1231,6 +1254,35 @@ mod tests {
         let mut s = server();
         let resp = s.handle(&encode_search_reveal(&[1u8; 32], &[0u8; 32]));
         assert_eq!(decode_result(&resp).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn corrupted_entry_width_is_a_protocol_error_not_a_panic() {
+        let mut s = server();
+        let tag = [0x6Bu8; 32];
+        // Plant an entry whose array width disagrees with the capacity,
+        // bypassing the update path's width validation (models a corrupted
+        // or adversarially imported index, not reachable via ApplyUpdates).
+        {
+            let mut data = s.shards[0].data.lock();
+            data.tree.insert(
+                tag,
+                Entry {
+                    masked_index: vec![0u8; 3], // capacity 64 needs 8 bytes
+                    f_r: vec![],
+                },
+            );
+            s.publish(0, &data, 64);
+        }
+        let resp = s.handle(&encode_search_reveal(&tag, &[0u8; 32]));
+        assert!(
+            decode_result(&resp).is_err(),
+            "width mismatch must surface as a protocol ERR"
+        );
+
+        // The batched reveal path must take the same guard.
+        let resp = s.handle(&protocol::encode_search_reveal_many(&[(tag, [0u8; 32])]));
+        assert!(crate::proto_common::decode_result_many(&resp).is_err());
     }
 
     #[test]

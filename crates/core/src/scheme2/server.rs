@@ -53,7 +53,7 @@ use sse_primitives::hashchain::chain_step;
 use sse_storage::crc32::crc32;
 use sse_storage::store::DocStore;
 use sse_storage::{RealVfs, StorageError, Vfs};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, PoisonError};
@@ -98,6 +98,14 @@ pub struct Scheme2ServerStats {
     pub generations_appended: u64,
     /// B+-tree nodes visited across lookups.
     pub tree_nodes_visited: u64,
+    /// Searches answered entirely from the per-keyword search memo
+    /// (no tree lookup, no decryption, at most a delta chain walk).
+    pub cache_hits: u64,
+    /// Cached-eligible searches that had to take the cold path (no memo
+    /// entry, or the shard changed since it was recorded).
+    pub cache_misses: u64,
+    /// Chain steps memo hits avoided relative to an uncached walk.
+    pub walk_steps_saved: u64,
 }
 
 /// Lock-free cells behind [`Scheme2ServerStats`], so concurrent requests
@@ -110,6 +118,9 @@ struct StatsCells {
     generations_from_cache: AtomicU64,
     generations_appended: AtomicU64,
     tree_nodes_visited: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    walk_steps_saved: AtomicU64,
 }
 
 /// A shard's mutable state: the live tree plus the highest op-seq applied
@@ -122,7 +133,40 @@ struct ShardData {
 /// The immutable view searches resolve against.
 struct SnapShard {
     tree: BpTree<[u8; 32], GenerationList>,
+    /// The highest op-seq applied to the tree in this snapshot. Search
+    /// memo entries are keyed on it: a memo recorded at seq S is valid
+    /// exactly while the shard's snapshot still carries seq S.
+    applied_seq: u64,
 }
+
+/// Per-keyword search memo: everything the server learned from serving a
+/// prior search, so a repeat search answers without touching the tree or
+/// re-walking the chain. Purely in-memory — never persisted, rebuilt by
+/// the first search after recovery.
+///
+/// Leakage note (DESIGN.md §4f): every field is a value the server
+/// already computed while serving a search the client asked for — the
+/// revealed trapdoor, the unlocked id set, the walk it performed. The
+/// memo changes *when* the server recomputes, never *what* it knows.
+#[derive(Clone)]
+struct SearchMemo {
+    /// Shard `applied_seq` the memoized answer was computed at.
+    applied_seq: u64,
+    /// Newest trapdoor seen for this tag (the walk start point).
+    t_prime: [u8; 32],
+    /// The unlocked document-id set, sorted.
+    ids: Vec<u64>,
+    /// Chain steps a from-scratch walk from `t_prime` would cost — what a
+    /// memo hit saves.
+    walk_cost: u64,
+    /// Generations the memoized answer covers (credited to
+    /// `generations_from_cache` on a hit).
+    gens: u64,
+}
+
+/// Per-shard memo capacity; crossing it clears the map (crude but bounded
+/// — the memo is an optimization, not state).
+const MEMO_CAP: usize = 4096;
 
 /// One index shard: group-commit pipeline + live tree + search snapshot.
 struct ShardSlot {
@@ -131,6 +175,10 @@ struct ShardSlot {
     applied: Condvar,
     committer: GroupCommitter,
     snap: RwLock<Arc<SnapShard>>,
+    /// Per-keyword search memo (see [`SearchMemo`]). A short-critical-
+    /// section mutex: held only for a lookup or an insert, never across
+    /// crypto or I/O, so the search path stays effectively lock-free.
+    memo: Mutex<HashMap<[u8; 32], SearchMemo>>,
 }
 
 /// The Scheme 2 server.
@@ -181,7 +229,9 @@ impl Scheme2Server {
                     committer: GroupCommitter::new_in_memory(Arc::clone(&commit_stats)),
                     snap: RwLock::new(Arc::new(SnapShard {
                         tree: BpTree::new(),
+                        applied_seq: 0,
                     })),
+                    memo: Mutex::new(HashMap::new()),
                 })
                 .collect(),
             epoch: AtomicU64::new(0),
@@ -306,7 +356,10 @@ impl Scheme2Server {
             .map(|(tree, journal)| {
                 let applied_seq = journal.last_seq();
                 ShardSlot {
-                    snap: RwLock::new(Arc::new(SnapShard { tree: tree.clone() })),
+                    snap: RwLock::new(Arc::new(SnapShard {
+                        tree: tree.clone(),
+                        applied_seq,
+                    })),
                     data: Mutex::new(ShardData { tree, applied_seq }),
                     applied: Condvar::new(),
                     committer: GroupCommitter::new_durable(
@@ -314,6 +367,7 @@ impl Scheme2Server {
                         group_commit,
                         Arc::clone(&commit_stats),
                     ),
+                    memo: Mutex::new(HashMap::new()),
                 }
             })
             .collect();
@@ -434,6 +488,9 @@ impl Scheme2Server {
             generations_from_cache: self.stats.generations_from_cache.load(Ordering::Relaxed),
             generations_appended: self.stats.generations_appended.load(Ordering::Relaxed),
             tree_nodes_visited: self.stats.tree_nodes_visited.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            walk_steps_saved: self.stats.walk_steps_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -447,6 +504,9 @@ impl Scheme2Server {
             .store(0, Ordering::Relaxed);
         self.stats.generations_appended.store(0, Ordering::Relaxed);
         self.stats.tree_nodes_visited.store(0, Ordering::Relaxed);
+        self.stats.cache_hits.store(0, Ordering::Relaxed);
+        self.stats.cache_misses.store(0, Ordering::Relaxed);
+        self.stats.walk_steps_saved.store(0, Ordering::Relaxed);
     }
 
     /// Total stored index bytes across all generation lists (diagnostic).
@@ -539,6 +599,7 @@ impl Scheme2Server {
     fn publish(&self, i: usize, data: &ShardData) {
         *self.shards[i].snap.write() = Arc::new(SnapShard {
             tree: data.tree.clone(),
+            applied_seq: data.applied_seq,
         });
         self.commit_stats.note_swap();
     }
@@ -801,6 +862,17 @@ impl Scheme2Server {
 
         let si = shard_of(&tag, self.shards.len());
         let snap = self.snap(si);
+
+        // Memo fast path: if this keyword was searched before and the
+        // shard has not changed since, answer without touching the tree
+        // or the chain (same trapdoor), or after walking only the delta
+        // between the new trapdoor and the memoized one (newer trapdoor).
+        if use_cache {
+            if let Some(docs) = self.try_memo(si, snap.applied_seq, &tag, &t_prime, max_walk) {
+                return Ok(docs);
+            }
+        }
+
         let (found, tree_stats) = snap.tree.get_with_stats(&tag);
         self.stats
             .tree_nodes_visited
@@ -809,6 +881,9 @@ impl Scheme2Server {
             self.stats.searches.fetch_add(1, Ordering::Relaxed);
             return Ok(Vec::new());
         };
+        if use_cache {
+            self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
 
         self.stats
             .generations_from_cache
@@ -889,7 +964,88 @@ impl Scheme2Server {
         }
 
         all_ids.sort_unstable();
+        if use_cache {
+            self.store_memo(
+                si,
+                SearchMemo {
+                    applied_seq: snap.applied_seq,
+                    t_prime,
+                    ids: all_ids.clone(),
+                    walk_cost: steps_used as u64,
+                    gens: list.len() as u64,
+                },
+                tag,
+            );
+        }
         Ok(self.store.read().get_many(&all_ids))
+    }
+
+    /// Try to answer a search from the per-keyword memo. Returns the
+    /// documents on a hit, `None` on any miss (no entry, shard changed,
+    /// or the delta walk from the new trapdoor never reaches the
+    /// memoized one within the walk bound — the cold path then produces
+    /// the correct answer or the correct desync error).
+    fn try_memo(
+        &self,
+        si: usize,
+        snap_seq: u64,
+        tag: &[u8; 32],
+        t_prime: &[u8; 32],
+        max_walk: usize,
+    ) -> Option<Vec<(u64, Vec<u8>)>> {
+        let memo = self.shards[si].memo.lock().get(tag).cloned()?;
+        if memo.applied_seq != snap_seq {
+            return None;
+        }
+        let delta = if t_prime == &memo.t_prime {
+            0u64
+        } else {
+            // Walk forward from the newer trapdoor until it meets the
+            // memoized one; the shard is unchanged, so the id set is too.
+            let mut element = *t_prime;
+            let mut steps = 0u64;
+            loop {
+                if steps as usize >= max_walk {
+                    return None;
+                }
+                element = chain_step(&element);
+                steps += 1;
+                if element == memo.t_prime {
+                    break;
+                }
+            }
+            steps
+        };
+        self.stats.searches.fetch_add(1, Ordering::Relaxed);
+        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.stats.chain_steps.fetch_add(delta, Ordering::Relaxed);
+        self.stats
+            .walk_steps_saved
+            .fetch_add(memo.walk_cost, Ordering::Relaxed);
+        self.stats
+            .generations_from_cache
+            .fetch_add(memo.gens, Ordering::Relaxed);
+        if delta > 0 {
+            // Advance the memo to the newer trapdoor so the next repeat
+            // of *this* trapdoor is a zero-walk hit.
+            let mut map = self.shards[si].memo.lock();
+            if let Some(live) = map.get_mut(tag) {
+                if live.applied_seq == memo.applied_seq && live.t_prime == memo.t_prime {
+                    live.t_prime = *t_prime;
+                    live.walk_cost = memo.walk_cost + delta;
+                }
+            }
+        }
+        Some(self.store.read().get_many(&memo.ids))
+    }
+
+    /// Record a cold search's answer in the shard's memo map.
+    fn store_memo(&self, si: usize, memo: SearchMemo, tag: [u8; 32]) {
+        let mut map = self.shards[si].memo.lock();
+        if map.len() >= MEMO_CAP && !map.contains_key(&tag) {
+            map.clear();
+        }
+        map.insert(tag, memo);
     }
 
     /// Opportunistically record the Optimization-1 plaintext cache
@@ -1196,6 +1352,141 @@ mod tests {
             2,
             "no cache: decrypt twice"
         );
+    }
+
+    #[test]
+    fn memo_exact_hit_skips_walk_and_tree() {
+        let mut s = server();
+        s.handle(&protocol::encode_put_docs(&[(1, b"a".to_vec())]));
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [5u8; 32];
+        let k1 = chain.key_for_counter(1).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k1, &[1]),
+            commitment: key_commitment(&k1),
+        }]));
+        let t3 = chain.key_for_counter(3).unwrap();
+        let cold = decode_result(&s.handle(&protocol::encode_search(&tag, &t3))).unwrap();
+        let after_cold = s.stats();
+        assert_eq!(after_cold.chain_steps, 2);
+        assert_eq!(after_cold.cache_misses, 1);
+
+        let warm = decode_result(&s.handle(&protocol::encode_search(&tag, &t3))).unwrap();
+        assert_eq!(warm, cold, "memo hit must be byte-identical");
+        let after_warm = s.stats();
+        assert_eq!(after_warm.cache_hits, 1);
+        assert_eq!(after_warm.chain_steps, 2, "zero additional walk");
+        assert_eq!(after_warm.walk_steps_saved, 2);
+        assert_eq!(after_warm.tree_nodes_visited, after_cold.tree_nodes_visited);
+        assert_eq!(after_warm.generations_decrypted, 1);
+    }
+
+    #[test]
+    fn memo_delta_walk_only_covers_the_gap() {
+        let mut s = server();
+        s.handle(&protocol::encode_put_docs(&[(1, b"a".to_vec())]));
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [6u8; 32];
+        let k1 = chain.key_for_counter(1).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k1, &[1]),
+            commitment: key_commitment(&k1),
+        }]));
+        let t2 = chain.key_for_counter(2).unwrap();
+        let cold = decode_result(&s.handle(&protocol::encode_search(&tag, &t2))).unwrap();
+        assert_eq!(s.stats().chain_steps, 1);
+
+        // A search from a *newer* trapdoor (fake updates advanced the
+        // counter) walks only the 3-step delta down to the memoized one.
+        let t5 = chain.key_for_counter(5).unwrap();
+        let delta = decode_result(&s.handle(&protocol::encode_search(&tag, &t5))).unwrap();
+        assert_eq!(delta, cold);
+        let st = s.stats();
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.chain_steps, 1 + 3);
+        assert_eq!(st.walk_steps_saved, 1);
+
+        // Repeating the newer trapdoor is now a zero-walk hit.
+        decode_result(&s.handle(&protocol::encode_search(&tag, &t5))).unwrap();
+        let st = s.stats();
+        assert_eq!(st.cache_hits, 2);
+        assert_eq!(st.chain_steps, 4, "no additional steps");
+        assert_eq!(st.walk_steps_saved, 1 + 4);
+    }
+
+    #[test]
+    fn memo_invalidated_by_append_and_reset() {
+        let mut s = server();
+        s.handle(&protocol::encode_put_docs(&[
+            (1, b"a".to_vec()),
+            (2, b"b".to_vec()),
+        ]));
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [7u8; 32];
+        let k1 = chain.key_for_counter(1).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k1, &[1]),
+            commitment: key_commitment(&k1),
+        }]));
+        let t2 = chain.key_for_counter(2).unwrap();
+        decode_result(&s.handle(&protocol::encode_search(&tag, &t2))).unwrap();
+
+        // Append invalidates: the next search must see the new generation.
+        let k3 = chain.key_for_counter(3).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k3, &[2]),
+            commitment: key_commitment(&k3),
+        }]));
+        let t4 = chain.key_for_counter(4).unwrap();
+        let docs = decode_result(&s.handle(&protocol::encode_search(&tag, &t4))).unwrap();
+        assert_eq!(docs.len(), 2, "append visible despite memo");
+        assert_eq!(s.stats().cache_hits, 0);
+        assert_eq!(s.stats().cache_misses, 2);
+
+        // Reset invalidates: the tag is gone.
+        decode_ack(&s.handle(&protocol::encode_reset_index())).unwrap();
+        let docs = decode_result(&s.handle(&protocol::encode_search(&tag, &t4))).unwrap();
+        assert!(docs.is_empty(), "reset visible despite memo");
+    }
+
+    #[test]
+    fn memo_declines_stale_trapdoors() {
+        // A trapdoor *older* than the memoized one can never reach the
+        // memo key by walking forward, so the memo declines and the cold
+        // path answers — here from the Optimization-1 plaintext cache,
+        // byte-identically to a server without the memo layer.
+        let mut s = server();
+        s.handle(&protocol::encode_put_docs(&[(1, b"a".to_vec())]));
+        let chain = HashChain::new(&[b"kw", b"key"], 64);
+        let tag = [8u8; 32];
+        let k5 = chain.key_for_counter(5).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k5, &[1]),
+            commitment: key_commitment(&k5),
+        }]));
+        let t6 = chain.key_for_counter(6).unwrap();
+        let cold = decode_result(&s.handle(&protocol::encode_search(&tag, &t6))).unwrap();
+        let t1 = chain.key_for_counter(1).unwrap();
+        let resp = s.handle(&protocol::encode_search(&tag, &t1));
+        assert_eq!(decode_result(&resp).unwrap(), cold);
+        assert_eq!(s.stats().cache_hits, 0, "memo must not hit");
+
+        // With a still-locked newer generation the desync error is
+        // preserved exactly as without the memo.
+        let k10 = chain.key_for_counter(10).unwrap();
+        s.handle(&protocol::encode_append_generations(&[GenerationEntry {
+            tag,
+            sealed_ids: sealed_ids(&k10, &[2]),
+            commitment: key_commitment(&k10),
+        }]));
+        let t7 = chain.key_for_counter(7).unwrap();
+        let resp = s.handle(&protocol::encode_search(&tag, &t7));
+        assert!(decode_result(&resp).is_err(), "must not unlock the future");
     }
 
     #[test]

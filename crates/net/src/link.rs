@@ -45,6 +45,21 @@ pub trait Transport {
     fn round_trip_batch(&mut self, parts: &[Vec<u8>]) -> std::io::Result<Vec<Vec<u8>>> {
         parts.iter().map(|p| self.round_trip(p)).collect()
     }
+
+    /// Execute a batch of **search** rounds, returning one response per
+    /// part, position-aligned. Unlike [`Transport::round_trip_batch`] the
+    /// parts produce distinct responses, and the server side is free to
+    /// evaluate them concurrently — searches are read-only, so no
+    /// atomicity is implied. The default sends the parts sequentially;
+    /// the TCP transport overrides this with one `SEARCH_MANY` envelope
+    /// that the daemon fans out across its shard snapshots.
+    ///
+    /// # Errors
+    /// As [`Transport::round_trip`]; searches have no server-side effect,
+    /// so a failed batch can simply be retried.
+    fn round_trip_search_batch(&mut self, parts: &[Vec<u8>]) -> std::io::Result<Vec<Vec<u8>>> {
+        parts.iter().map(|p| self.round_trip(p)).collect()
+    }
 }
 
 impl<S: Service> Transport for MeteredLink<S> {

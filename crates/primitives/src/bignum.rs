@@ -747,6 +747,90 @@ impl Montgomery {
     }
 }
 
+/// Fixed-base modular exponentiation with a precomputed window table.
+///
+/// For a base that is exponentiated many times against the same odd modulus
+/// (the group generator `g` in ElGamal), precomputing
+/// `base^(d * 16^i) mod n` for every window position `i` and digit
+/// `d in 1..=15` turns each exponentiation into roughly one Montgomery
+/// multiplication per nonzero exponent nibble — about `bits/4` products
+/// versus ~`1.5 * bits` for square-and-multiply.
+pub struct FixedBase {
+    ctx: Montgomery,
+    /// The reduced base, kept for the rare fallback when an exponent
+    /// exceeds the precomputed window count.
+    base: BigUint,
+    /// `table[i][d-1] = to_mont(base^(d * 16^i))` for `d in 1..=15`.
+    table: Vec<Vec<BigUint>>,
+    /// `R mod n`: the multiplicative identity in Montgomery form.
+    one_m: BigUint,
+}
+
+impl FixedBase {
+    /// Precompute the window table for `base` under odd `modulus`, sized
+    /// for exponents up to `max_exp_bits` bits. Larger exponents still
+    /// work via a non-precomputed fallback.
+    ///
+    /// # Panics
+    /// Panics if the modulus is even or < 3 (same contract as
+    /// [`Montgomery::new`]).
+    #[must_use]
+    pub fn new(base: &BigUint, modulus: &BigUint, max_exp_bits: usize) -> Self {
+        let ctx = Montgomery::new(modulus);
+        let base = base.rem(modulus);
+        let one_m = ctx.redc(&ctx.r2); // R mod n
+        let windows = max_exp_bits.div_ceil(4).max(1);
+        let mut table = Vec::with_capacity(windows);
+        if !base.is_zero() {
+            // cur = to_mont(base^(16^i)) for the current window i.
+            let mut cur = ctx.to_mont(&base);
+            for _ in 0..windows {
+                let mut row = Vec::with_capacity(15);
+                row.push(cur.clone());
+                for d in 1..15 {
+                    let prev: &BigUint = &row[d - 1];
+                    row.push(ctx.mont_mul(prev, &cur));
+                }
+                // base^(16^(i+1)) = base^(15 * 16^i) * base^(16^i).
+                cur = ctx.mont_mul(&row[14], &cur);
+                table.push(row);
+            }
+        }
+        FixedBase {
+            ctx,
+            base,
+            table,
+            one_m,
+        }
+    }
+
+    /// `base^exp mod n` using the precomputed table.
+    #[must_use]
+    pub fn pow(&self, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        if self.base.is_zero() {
+            return BigUint::zero();
+        }
+        let nibbles = exp.bit_len().div_ceil(4);
+        if nibbles > self.table.len() {
+            // Exponent exceeds the precomputed range; fall back to the
+            // generic Montgomery ladder.
+            return self.ctx.pow(&self.base, exp);
+        }
+        let mut acc = self.one_m.clone();
+        for i in 0..nibbles {
+            let limb = exp.limbs[i / 16];
+            let d = ((limb >> (4 * (i % 16))) & 0xf) as usize;
+            if d != 0 {
+                acc = self.ctx.mont_mul(&acc, &self.table[i][d - 1]);
+            }
+        }
+        self.ctx.redc(&acc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -896,6 +980,46 @@ mod tests {
         let bm = ctx.to_mont(&b.rem(&m));
         let prod = ctx.redc(&ctx.mont_mul(&am, &bm));
         assert_eq!(prod, a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn fixed_base_matches_mod_pow() {
+        let m = BigUint::from_hex(
+            "ffffffffffffffffc90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74\
+020bbea63b139b22514a08798e3404dd",
+        )
+        .unwrap();
+        let g = n(2);
+        let fb = FixedBase::new(&g, &m, m.bit_len());
+        let mut drbg = HmacDrbg::from_u64(424242);
+        for _ in 0..20 {
+            let exp = BigUint::random_below(&mut drbg, &m);
+            assert_eq!(fb.pow(&exp), g.mod_pow(&exp, &m));
+        }
+        // Edge exponents.
+        assert_eq!(fb.pow(&BigUint::zero()), BigUint::one());
+        assert_eq!(fb.pow(&BigUint::one()), n(2));
+        assert_eq!(fb.pow(&n(16)), n(65536));
+    }
+
+    #[test]
+    fn fixed_base_falls_back_past_table_size() {
+        let m = BigUint::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let g = n(3);
+        // Table sized for 16-bit exponents only.
+        let fb = FixedBase::new(&g, &m, 16);
+        let big_exp = BigUint::from_hex("123456789abcdef01").unwrap();
+        assert_eq!(fb.pow(&big_exp), g.mod_pow(&big_exp, &m));
+        // In-range exponents use the table.
+        assert_eq!(fb.pow(&n(0xffff)), g.mod_pow(&n(0xffff), &m));
+    }
+
+    #[test]
+    fn fixed_base_zero_base() {
+        let m = BigUint::from_hex("f123456789abcdef0123456789abcdef1").unwrap();
+        let fb = FixedBase::new(&BigUint::zero(), &m, 64);
+        assert_eq!(fb.pow(&BigUint::zero()), BigUint::one());
+        assert_eq!(fb.pow(&n(5)), BigUint::zero());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! provides both walks plus the exhaustion bookkeeping of §5.6.
 
 use crate::error::{CryptoError, Result};
-use crate::sha256::sha256_concat;
+use crate::sha256::{sha256_concat, Sha256};
 
 /// A single chain element (32 bytes).
 pub type ChainKey = [u8; 32];
@@ -24,10 +24,15 @@ pub fn chain_step(element: &ChainKey) -> ChainKey {
 /// (the paper's `w || k_w`).
 #[must_use]
 pub fn chain_seed(material: &[&[u8]]) -> ChainKey {
-    let mut parts: Vec<&[u8]> = Vec::with_capacity(material.len() + 1);
-    parts.push(b"sse/chain-seed");
-    parts.extend_from_slice(material);
-    sha256_concat(&parts)
+    // Stream the domain-separation prefix and each material part straight
+    // into the hasher: same bytes as hashing the concatenation, but no
+    // intermediate `Vec<&[u8]>` per call.
+    let mut h = Sha256::new();
+    h.update(b"sse/chain-seed");
+    for part in material {
+        h.update(part);
+    }
+    h.finalize()
 }
 
 /// Walk `steps` applications of `h` forward from `start`.

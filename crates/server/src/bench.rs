@@ -17,6 +17,10 @@
 //!   arm amortizes one fsync over every mutation staged while the leader
 //!   flushed, which is where the fsyncs-per-op and update-throughput
 //!   deltas come from.
+//! * [`run_search_bench`] measures the search hot path on one in-memory
+//!   daemon (`BENCH_search.json`): cold first searches vs memo-served
+//!   repeats, and `SEARCH_MANY` batches vs the same searches one round
+//!   trip at a time.
 //!
 //! The updaters run Optimization 2 (`CtrPolicy::OnSearchOnly`) and never
 //! search, so their chain counter never advances past 1 and the workload
@@ -27,7 +31,7 @@ use crate::histogram::LatencyHistogram;
 use crate::proto::SchemeId;
 use crate::tenant::TenantParams;
 use crate::transport::TcpTransport;
-use sse_core::scheme2::{Scheme2Client, Scheme2Config};
+use sse_core::scheme2::{CtrPolicy, Scheme2Client, Scheme2Config};
 use sse_core::types::{Document, Keyword, MasterKey};
 use std::io::{Error, Result};
 use std::path::{Path, PathBuf};
@@ -511,6 +515,255 @@ pub fn run_group_commit_bench(opts: &BenchOptions) -> Result<GroupCommitReport> 
     })
 }
 
+/// Generations appended per keyword before the search arms run. Sets the
+/// cold-search cost: the server's first walk unlocks this many generations
+/// (one chain step + one commitment + one decrypt each), all of which the
+/// memo skips on a repeat search.
+const SEARCH_GENERATIONS: usize = 256;
+/// Keywords per `SEARCH_MANY` batch (the acceptance criterion's batch-of-8).
+const SEARCH_BATCH: usize = 8;
+/// Full passes over the keyword set in the repeat arm.
+const REPEAT_PASSES: usize = 8;
+/// Measured single-group / batch pairs in the batch arm.
+const BATCH_ROUNDS: usize = 48;
+
+/// Latency profile of one search-path arm.
+#[derive(Clone, Debug)]
+pub struct SearchArm {
+    /// Operations measured (searches, or groups/batches of
+    /// [`SEARCH_BATCH`] for the paired arms).
+    pub ops: u64,
+    /// Exact mean latency (ns).
+    pub mean_ns: u64,
+    /// Exact median latency (ns) — the speedup ratios divide these: the
+    /// histogram quantiles carry up to 2x bucketing error, and unlike the
+    /// mean the median shrugs off the occasional 10x scheduler stall a
+    /// loaded single-core host injects into a fixed-work run.
+    pub median_ns: u64,
+    /// Client-observed p50 (ns, log-bucketed).
+    pub p50_ns: u64,
+    /// Client-observed p95 (ns, log-bucketed).
+    pub p95_ns: u64,
+    /// Client-observed p99 (ns, log-bucketed).
+    pub p99_ns: u64,
+}
+
+/// `BENCH_search.json`: cold vs repeat vs batched search on one daemon.
+#[derive(Clone, Debug)]
+pub struct SearchBenchReport {
+    /// Parameters the run used (`seed`, `shards`, `keywords` apply; the
+    /// search bench is fixed-work, so `clients`/`duration` do not).
+    pub options: BenchOptions,
+    /// Generations per keyword loaded before measuring.
+    pub generations: usize,
+    /// First search per keyword: full chain walk, memo misses.
+    pub cold: SearchArm,
+    /// Re-searches of the same keywords: memo hits.
+    pub repeat: SearchArm,
+    /// Wall clock of [`SEARCH_BATCH`] sequential single searches.
+    pub single_group: SearchArm,
+    /// Wall clock of one `SEARCH_MANY` batch of the same size.
+    pub batch: SearchArm,
+    /// `cold.median_ns / repeat.median_ns` — the memo's headline win.
+    pub repeat_speedup: f64,
+    /// `single_group.median_ns / batch.median_ns` — the envelope's
+    /// headline win.
+    pub batch_speedup: f64,
+    /// Memo hits reported by `ADMIN_STATS` after the run.
+    pub cache_hits: u64,
+    /// Memo misses reported by `ADMIN_STATS` after the run.
+    pub cache_misses: u64,
+    /// Forward chain steps the memo avoided, per `ADMIN_STATS`.
+    pub walk_steps_saved: u64,
+}
+
+fn search_arm_json(name: &str, a: &SearchArm) -> String {
+    format!(
+        "{{\"arm\":\"{name}\",\"ops\":{},\"mean_ns\":{},\"median_ns\":{},\
+         \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+        a.ops, a.mean_ns, a.median_ns, a.p50_ns, a.p95_ns, a.p99_ns,
+    )
+}
+
+impl SearchBenchReport {
+    /// Serialize as the `BENCH_search.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n\"benchmark\":\"sse-search-path\",\n\"seed\":{},\n\"shards\":{},\n\
+             \"keywords\":{},\n\"generations\":{},\n\"batch_size\":{},\n\
+             \"arms\":[\n{},\n{},\n{},\n{}\n],\n\
+             \"repeat_speedup\":{:.3},\n\"batch_speedup\":{:.3},\n\
+             \"search_cache_hits\":{},\n\"search_cache_misses\":{},\n\
+             \"walk_steps_saved\":{}\n}}\n",
+            self.options.seed,
+            self.options.shards,
+            self.options.keywords,
+            self.generations,
+            SEARCH_BATCH,
+            search_arm_json("cold", &self.cold),
+            search_arm_json("repeat", &self.repeat),
+            search_arm_json("single_group", &self.single_group),
+            search_arm_json("batch", &self.batch),
+            self.repeat_speedup,
+            self.batch_speedup,
+            self.cache_hits,
+            self.cache_misses,
+            self.walk_steps_saved,
+        )
+    }
+}
+
+/// Per-arm sample collector: log-bucketed quantiles for the latency
+/// profile plus the exact samples for mean and median (the ratio gates
+/// divide exact medians — the histogram's 2x bucket error would corrupt
+/// them, and a mean lets one scheduler stall skew a fixed-work arm).
+struct ArmRecorder {
+    hist: LatencyHistogram,
+    samples_ns: Vec<u64>,
+}
+
+impl ArmRecorder {
+    fn new() -> Self {
+        ArmRecorder {
+            hist: LatencyHistogram::new(),
+            samples_ns: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, sample: Duration) {
+        self.hist.record(sample);
+        self.samples_ns
+            .push(u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    fn finish(&self) -> SearchArm {
+        let ops = self.samples_ns.len() as u64;
+        let sum: u128 = self.samples_ns.iter().map(|&n| u128::from(n)).sum();
+        let mean_ns = u64::try_from(sum / u128::from(ops.max(1))).unwrap_or(u64::MAX);
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let median_ns = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+        SearchArm {
+            ops,
+            mean_ns,
+            median_ns,
+            p50_ns: self.hist.quantile_ns(0.50),
+            p95_ns: self.hist.quantile_ns(0.95),
+            p99_ns: self.hist.quantile_ns(0.99),
+        }
+    }
+}
+
+/// Run the search-path benchmark: one **in-memory** daemon (searches never
+/// touch the journal, and durable corpus loading would dominate the run),
+/// one Scheme 2 client on the base counter policy so every one of the
+/// [`SEARCH_GENERATIONS`] fake updates advances the chain. Three measured
+/// comparisons on the same corpus:
+///
+/// * **cold** — first search per keyword: the server walks the trapdoor
+///   through every generation (memo miss);
+/// * **repeat** — the same keywords again: the memo answers from
+///   `(tag, applied_seq)` without re-walking the chain;
+/// * **single_group vs batch** — [`SEARCH_BATCH`] warm searches issued as
+///   sequential rounds vs one `SEARCH_MANY` envelope, measuring the
+///   fan-out + round-trip amortization win on identical work.
+///
+/// # Errors
+/// Daemon spawn, connection, or scheme errors.
+///
+/// # Panics
+/// Panics if the daemon returns a position-misaligned batch (the client
+/// verifies arity, so this indicates a server bug).
+pub fn run_search_bench(opts: &BenchOptions) -> Result<SearchBenchReport> {
+    let shards = opts.shards.max(1);
+    let keywords = opts.keywords.max(SEARCH_BATCH);
+    let config = ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        tenant_params: TenantParams {
+            shards,
+            ..TenantParams::default()
+        },
+        data_dir: None,
+        ..ServerConfig::default()
+    };
+    let daemon = Daemon::spawn(config).map_err(|e| Error::other(format!("spawn: {e}")))?;
+    let addr = daemon.local_addr().to_string();
+
+    let scheme = |e: sse_core::error::SseError| Error::other(e.to_string());
+    let mut c = connect_scheme2(
+        &addr,
+        opts.seed,
+        0,
+        Scheme2Config::standard().with_ctr_policy(CtrPolicy::Always),
+    )?;
+    let kws: Vec<Keyword> = (0..keywords).map(keyword).collect();
+    for _ in 0..SEARCH_GENERATIONS {
+        c.fake_update(&kws).map_err(scheme)?;
+    }
+
+    let mut cold_rec = ArmRecorder::new();
+    for kw in &kws {
+        let started = Instant::now();
+        c.search(kw).map_err(scheme)?;
+        cold_rec.record(started.elapsed());
+    }
+
+    let mut repeat_rec = ArmRecorder::new();
+    for _ in 0..REPEAT_PASSES {
+        for kw in &kws {
+            let started = Instant::now();
+            c.search(kw).map_err(scheme)?;
+            repeat_rec.record(started.elapsed());
+        }
+    }
+
+    let mut single_rec = ArmRecorder::new();
+    let mut batch_rec = ArmRecorder::new();
+    for round in 0..BATCH_ROUNDS {
+        let window: Vec<Keyword> = (0..SEARCH_BATCH)
+            .map(|i| keyword((round * SEARCH_BATCH + i) % keywords))
+            .collect();
+        let started = Instant::now();
+        for kw in &window {
+            c.search(kw).map_err(scheme)?;
+        }
+        single_rec.record(started.elapsed());
+        let started = Instant::now();
+        let got = c.search_batch(&window).map_err(scheme)?;
+        batch_rec.record(started.elapsed());
+        assert_eq!(got.len(), SEARCH_BATCH, "batch arity verified by client");
+    }
+
+    let mut admin = TcpTransport::connect(&addr, "bench-tenant", SchemeId::Scheme2)?;
+    let stats = admin.admin_stats()?;
+    drop(admin);
+    daemon.shutdown();
+
+    let cold = cold_rec.finish();
+    let repeat = repeat_rec.finish();
+    let single_group = single_rec.finish();
+    let batch = batch_rec.finish();
+    #[allow(clippy::cast_precision_loss)]
+    let repeat_speedup = cold.median_ns as f64 / (repeat.median_ns as f64).max(1.0);
+    #[allow(clippy::cast_precision_loss)]
+    let batch_speedup = single_group.median_ns as f64 / (batch.median_ns as f64).max(1.0);
+    Ok(SearchBenchReport {
+        options: opts.clone(),
+        generations: SEARCH_GENERATIONS,
+        cold,
+        repeat,
+        single_group,
+        batch,
+        repeat_speedup,
+        batch_speedup,
+        cache_hits: stats.search_cache_hits,
+        cache_misses: stats.search_cache_misses,
+        walk_steps_saved: stats.walk_steps_saved,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,6 +812,53 @@ mod tests {
             "\"speedup_search_ops_per_sec\"",
             "\"fsyncs_per_op\"",
             "\"mean_group_size\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn search_report_json_has_required_fields() {
+        let sarm = |p50| SearchArm {
+            ops: 32,
+            mean_ns: p50,
+            median_ns: p50,
+            p50_ns: p50,
+            p95_ns: p50 * 2,
+            p99_ns: p50 * 3,
+        };
+        let report = SearchBenchReport {
+            options: BenchOptions::default(),
+            generations: SEARCH_GENERATIONS,
+            cold: sarm(400_000),
+            repeat: sarm(80_000),
+            single_group: sarm(900_000),
+            batch: sarm(200_000),
+            repeat_speedup: 5.0,
+            batch_speedup: 4.5,
+            cache_hits: 544,
+            cache_misses: 32,
+            walk_steps_saved: 140_000,
+        };
+        let json = report.to_json();
+        for field in [
+            "\"benchmark\":\"sse-search-path\"",
+            "\"arm\":\"cold\"",
+            "\"arm\":\"repeat\"",
+            "\"arm\":\"single_group\"",
+            "\"arm\":\"batch\"",
+            "\"generations\"",
+            "\"batch_size\"",
+            "\"mean_ns\"",
+            "\"median_ns\"",
+            "\"p50_ns\"",
+            "\"p95_ns\"",
+            "\"p99_ns\"",
+            "\"repeat_speedup\"",
+            "\"batch_speedup\"",
+            "\"search_cache_hits\"",
+            "\"search_cache_misses\"",
+            "\"walk_steps_saved\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

@@ -4,7 +4,7 @@
 //! sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N]
 //!          [--scheme 1|2|both] [--profile gp|traveler] [--events N]
 //!          [--seed N] [--shutdown]
-//! sse-load --bench-json PATH [--bench-mode serving|groupcommit]
+//! sse-load --bench-json PATH [--bench-mode serving|groupcommit|search]
 //!          [--shards N] [--clients N] [--seed N] [--bench-ms N]
 //! ```
 //!
@@ -20,9 +20,11 @@
 //! `serving` mode compares 1 shard vs `--shards` shards; `groupcommit`
 //! compares group commit off vs on at a fixed shard count (`--shards`,
 //! default 1 — concurrent updaters must share a shard journal for flush
-//! groups to form).
+//! groups to form); `search` measures the search hot path on one
+//! in-memory daemon (cold walks vs memo-served repeats, and `SEARCH_MANY`
+//! batches vs the same searches one round trip at a time).
 
-use sse_server::bench::{run_bench, run_group_commit_bench, BenchOptions};
+use sse_server::bench::{run_bench, run_group_commit_bench, run_search_bench, BenchOptions};
 use sse_server::daemon::{Daemon, ServerConfig};
 use sse_server::load::{run_load, LoadOptions, Profile};
 use sse_server::proto::SchemeId;
@@ -33,7 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N] \
          [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]\n\
-         \x20      sse-load --bench-json PATH [--bench-mode serving|groupcommit] \
+         \x20      sse-load --bench-json PATH [--bench-mode serving|groupcommit|search] \
          [--shards N] [--clients N] [--seed N] [--bench-ms N]"
     );
     std::process::exit(2);
@@ -50,6 +52,7 @@ fn parse<T: std::str::FromStr>(s: &str) -> T {
 enum BenchMode {
     Serving,
     GroupCommit,
+    Search,
 }
 
 struct Cli {
@@ -98,6 +101,7 @@ fn parse_args() -> Cli {
                 cli.bench_mode = match value().as_str() {
                     "serving" => BenchMode::Serving,
                     "groupcommit" => BenchMode::GroupCommit,
+                    "search" => BenchMode::Search,
                     other => {
                         eprintln!("unknown bench mode: {other}");
                         usage();
@@ -147,6 +151,46 @@ fn parse_args() -> Cli {
     cli
 }
 
+/// Run the search-path benchmark and write `BENCH_search.json`.
+fn run_search_mode(path: &std::path::Path, bench: &BenchOptions) -> ExitCode {
+    println!(
+        "sse-load: search-path benchmark: {} shard(s), {} keyword(s)",
+        bench.shards, bench.keywords
+    );
+    let report = match run_search_bench(bench) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sse-load: benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, arm) in [
+        ("cold", &report.cold),
+        ("repeat", &report.repeat),
+        ("single_group", &report.single_group),
+        ("batch", &report.batch),
+    ] {
+        println!(
+            "sse-load: {name}: {} op(s), mean {} ns, median {} ns, p95 {} ns, p99 {} ns",
+            arm.ops, arm.mean_ns, arm.median_ns, arm.p95_ns, arm.p99_ns
+        );
+    }
+    println!(
+        "sse-load: repeat-search speedup {:.2}x (memo), batch-of-8 speedup {:.2}x (SEARCH_MANY)",
+        report.repeat_speedup, report.batch_speedup
+    );
+    println!(
+        "sse-load: search cache: {} hit(s) / {} miss(es), {} chain step(s) saved",
+        report.cache_hits, report.cache_misses, report.walk_steps_saved
+    );
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("sse-load: writing {} failed: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("sse-load: wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 /// Run the group-commit A/B benchmark and write `BENCH_groupcommit.json`.
 fn run_group_commit_mode(path: &std::path::Path, bench: &BenchOptions) -> ExitCode {
     println!(
@@ -194,6 +238,9 @@ fn main() -> ExitCode {
     if let Some(path) = &cli.bench_json {
         if cli.bench_mode == BenchMode::GroupCommit {
             return run_group_commit_mode(path, &cli.bench);
+        }
+        if cli.bench_mode == BenchMode::Search {
+            return run_search_mode(path, &cli.bench);
         }
         println!(
             "sse-load: benchmark mode: {} clients, 1 vs {} shard(s), {:?} window per arm",
@@ -306,6 +353,10 @@ fn main() -> ExitCode {
                 stats.fsyncs_saved,
                 stats.fsyncs_per_op(),
                 stats.snapshot_swaps
+            );
+            println!(
+                "sse-load: search cache: {} hit(s) / {} miss(es), {} chain step(s) saved",
+                stats.search_cache_hits, stats.search_cache_misses, stats.walk_steps_saved
             );
         }
         Err(e) => eprintln!("sse-load: stats query failed: {e}"),

@@ -138,5 +138,9 @@ fn main() -> ExitCode {
         stats.fsyncs_per_op(),
         stats.snapshot_swaps
     );
+    println!(
+        "sse-serverd: search cache: {} hit(s) / {} miss(es), {} chain step(s) saved",
+        stats.search_cache_hits, stats.search_cache_misses, stats.walk_steps_saved
+    );
     ExitCode::SUCCESS
 }

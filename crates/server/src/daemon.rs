@@ -26,7 +26,7 @@
 
 use crate::proto::{
     self, Hello, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN, KIND_DATA,
-    KIND_UPDATE_MANY, STATUS_BUSY, STATUS_ERR, STATUS_OK,
+    KIND_SEARCH_MANY, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_ERR, STATUS_OK,
 };
 use crate::stats::ServingStats;
 use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
@@ -114,6 +114,10 @@ impl Shared {
         snap.max_group_size = commit.max_group;
         snap.fsyncs_saved = commit.fsyncs_saved;
         snap.snapshot_swaps = commit.snapshot_swaps;
+        let cache = self.registry.search_cache_counters();
+        snap.search_cache_hits = cache.hits;
+        snap.search_cache_misses = cache.misses;
+        snap.walk_steps_saved = cache.walk_steps_saved;
         if let Some(f) = &self.fault_stats {
             snap.faults_injected = f.injected();
         }
@@ -121,11 +125,11 @@ impl Shared {
     }
 }
 
-/// One queued DATA or UPDATE_MANY request.
+/// One queued DATA, UPDATE_MANY or SEARCH_MANY request.
 struct Job {
     tenant: TenantHandle,
-    /// [`KIND_DATA`] or [`KIND_UPDATE_MANY`] — decides how the worker
-    /// interprets the payload.
+    /// [`KIND_DATA`], [`KIND_UPDATE_MANY`] or [`KIND_SEARCH_MANY`] —
+    /// decides how the worker interprets the payload.
     kind: u8,
     /// Client sequence number, echoed in the response so a pipelining
     /// client can match responses that workers complete out of order.
@@ -365,6 +369,14 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
                     continue;
                 }
             },
+            KIND_SEARCH_MANY => match proto::decode_batch(&job.payload) {
+                Some(parts) => job.tenant.search_batch(&parts),
+                None => {
+                    stats.record_err();
+                    write_response(&job.writer, STATUS_ERR, job.seq, b"malformed batch");
+                    continue;
+                }
+            },
             _ => job.tenant.handle_shared(&job.payload),
         };
         if write_response(&job.writer, STATUS_OK, job.seq, &response) {
@@ -467,7 +479,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                 break 'conn;
             };
             match kind {
-                KIND_DATA | KIND_UPDATE_MANY => {
+                KIND_DATA | KIND_UPDATE_MANY | KIND_SEARCH_MANY => {
                     let job = Job {
                         tenant: current_tenant.clone(),
                         kind,

@@ -40,6 +40,12 @@ pub const KIND_ADMIN: u8 = 1;
 /// response carries a single scheme response body valid for every part —
 /// batched mutations all acknowledge identically.
 pub const KIND_UPDATE_MANY: u8 = 2;
+/// Request kind: a batch of scheme **search** payloads fanned out across
+/// the tenant's shard snapshots on a small worker pool. Unlike
+/// `UPDATE_MANY` the parts produce distinct results, so the response is
+/// itself a batch ([`encode_batch`]) of per-part scheme response bodies,
+/// position-aligned with the request parts.
+pub const KIND_SEARCH_MANY: u8 = 3;
 
 /// ADMIN command: return a [`StatsSnapshot`].
 pub const ADMIN_STATS: u8 = 0;
@@ -251,6 +257,13 @@ pub struct StatsSnapshot {
     /// Immutable search-snapshot publications (one per applied mutation
     /// plus opportunistic cache write-backs).
     pub snapshot_swaps: u64,
+    /// Search-memo hits (repeat searches answered from the per-shard
+    /// chain-key memo), summed across all open tenant databases.
+    pub search_cache_hits: u64,
+    /// Memo-eligible searches that took the cold path.
+    pub search_cache_misses: u64,
+    /// Forward hash-chain steps avoided by memo hits.
+    pub walk_steps_saved: u64,
 }
 
 impl StatsSnapshot {
@@ -295,7 +308,10 @@ impl StatsSnapshot {
             .put_u64(self.ops_committed)
             .put_u64(self.max_group_size)
             .put_u64(self.fsyncs_saved)
-            .put_u64(self.snapshot_swaps);
+            .put_u64(self.snapshot_swaps)
+            .put_u64(self.search_cache_hits)
+            .put_u64(self.search_cache_misses)
+            .put_u64(self.walk_steps_saved);
         w.finish()
     }
 
@@ -322,6 +338,9 @@ impl StatsSnapshot {
             max_group_size: r.get_u64().ok()?,
             fsyncs_saved: r.get_u64().ok()?,
             snapshot_swaps: r.get_u64().ok()?,
+            search_cache_hits: r.get_u64().ok()?,
+            search_cache_misses: r.get_u64().ok()?,
+            walk_steps_saved: r.get_u64().ok()?,
         };
         r.finish().ok()?;
         Some(snap)
@@ -406,6 +425,9 @@ mod tests {
             max_group_size: 9,
             fsyncs_saved: 120,
             snapshot_swaps: 165,
+            search_cache_hits: 30,
+            search_cache_misses: 11,
+            walk_steps_saved: 90,
         };
         assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap.clone()));
         assert_eq!(StatsSnapshot::decode(b"short"), None);

@@ -80,6 +80,9 @@ impl ServingStats {
             max_group_size: 0,
             fsyncs_saved: 0,
             snapshot_swaps: 0,
+            search_cache_hits: 0,
+            search_cache_misses: 0,
+            walk_steps_saved: 0,
         }
     }
 }

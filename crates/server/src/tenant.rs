@@ -26,8 +26,42 @@ use sse_net::link::Service;
 use sse_storage::{RealVfs, Vfs};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Upper bound on scoped worker threads serving one `SEARCH_MANY` batch.
+/// Small batches use one thread per part; larger batches share.
+const SEARCH_FANOUT: usize = 8;
+
+/// Cached core count. `std::thread::available_parallelism` re-reads the
+/// cgroup filesystem on every call (tens of microseconds — more than a
+/// memo-hit search), so resolve it once per process.
+fn machine_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Search-memo counters summed over one tenant database (or, via
+/// [`TenantRegistry::search_cache_counters`], over all of them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchCacheCounters {
+    /// Repeat searches answered from the per-shard chain-key memo.
+    pub hits: u64,
+    /// Memo-eligible searches that took the cold path.
+    pub misses: u64,
+    /// Forward hash-chain steps avoided by memo hits.
+    pub walk_steps_saved: u64,
+}
+
+impl SearchCacheCounters {
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, other: &SearchCacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.walk_steps_saved += other.walk_steps_saved;
+    }
+}
 
 /// One tenant's scheme server — the concrete state behind a handle, kept
 /// as an enum (not `Box<dyn Service>`) so the registry can reach
@@ -81,6 +115,75 @@ impl TenantDb {
         match self {
             TenantDb::S1(s) => s.apply_batch(parts),
             TenantDb::S2(s) => s.apply_batch(parts),
+        }
+    }
+
+    /// Serve a `SEARCH_MANY` batch: fan the parts out across a small
+    /// scoped worker pool (at most [`SEARCH_FANOUT`] threads), each part
+    /// an independent scheme request resolved against the shard snapshots.
+    /// Work is claimed by atomic counter so uneven per-keyword costs
+    /// balance, and the response batch is position-aligned with the
+    /// request parts.
+    #[must_use]
+    pub fn search_batch(&self, parts: &[&[u8]]) -> Vec<u8> {
+        let mut responses: Vec<Vec<u8>> = vec![Vec::new(); parts.len()];
+        // Snapshot searches are pure CPU (no blocking I/O), so threads
+        // beyond the machine's cores only add spawn and switch overhead —
+        // on a single-core host the whole batch stays on this thread and
+        // the win is purely the amortized round trip.
+        let fanout = parts.len().min(SEARCH_FANOUT).min(machine_parallelism());
+        if fanout <= 1 {
+            for (slot, part) in responses.iter_mut().zip(parts) {
+                *slot = self.handle_shared(part);
+            }
+            return crate::proto::encode_batch(&responses);
+        }
+        let next = AtomicUsize::new(0);
+        let claim = |next: &AtomicUsize| {
+            let mut mine: Vec<(usize, Vec<u8>)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(part) = parts.get(i) else { break };
+                mine.push((i, self.handle_shared(part)));
+            }
+            mine
+        };
+        std::thread::scope(|s| {
+            // The daemon worker thread participates in the claim loop, so a
+            // batch of k parts costs k-1 spawns, not k — measurable on the
+            // batch hot path where spawn latency rivals a memo-hit search.
+            let handles: Vec<_> = (1..fanout)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || claim(next))
+                })
+                .collect();
+            for (i, resp) in claim(&next) {
+                responses[i] = resp;
+            }
+            for handle in handles {
+                for (i, resp) in handle.join().expect("search fan-out worker panicked") {
+                    responses[i] = resp;
+                }
+            }
+        });
+        crate::proto::encode_batch(&responses)
+    }
+
+    /// Search-memo counters (hits, misses, chain steps saved). Scheme 1
+    /// has no server-side search cache, so its counters are always zero.
+    #[must_use]
+    pub fn search_cache_counters(&self) -> SearchCacheCounters {
+        match self {
+            TenantDb::S1(_) => SearchCacheCounters::default(),
+            TenantDb::S2(s) => {
+                let stats = s.stats();
+                SearchCacheCounters {
+                    hits: stats.cache_hits,
+                    misses: stats.cache_misses,
+                    walk_steps_saved: stats.walk_steps_saved,
+                }
+            }
         }
     }
 
@@ -353,6 +456,18 @@ impl TenantRegistry {
         let mut out = CommitCounters::default();
         for handle in handles {
             out.merge(&handle.commit_counters());
+        }
+        out
+    }
+
+    /// Search-memo counters summed over every open tenant database (the
+    /// STATS search-cache block).
+    #[must_use]
+    pub fn search_cache_counters(&self) -> SearchCacheCounters {
+        let handles: Vec<TenantHandle> = self.tenants.lock().values().cloned().collect();
+        let mut out = SearchCacheCounters::default();
+        for handle in handles {
+            out.merge(&handle.search_cache_counters());
         }
         out
     }

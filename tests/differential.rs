@@ -20,6 +20,7 @@ use sse_core::scheme2::{Scheme2Client, Scheme2Config, Scheme2Server};
 use sse_core::types::{Document, Keyword, MasterKey, SearchHits};
 use sse_net::link::MeteredLink;
 use sse_net::meter::Meter;
+use std::sync::Arc;
 
 const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
 const SEEDS: [u64; 3] = [11, 271_828, 3_141_592];
@@ -51,6 +52,10 @@ enum Op {
     Remove(Document),
     /// Leakage-hiding fake update: must not change any result.
     FakeUpdate(Vec<Keyword>),
+    /// Epoch swap (§5.6): re-initialize under fresh chains from the live
+    /// document set. Must not change any result — and must invalidate any
+    /// server-side search memo keyed to the old epoch's trapdoors.
+    Reinit(Vec<Document>),
     Search(Keyword),
 }
 
@@ -62,11 +67,21 @@ fn keyword(i: usize) -> Keyword {
 /// universe. Removes only target live documents; ids are never reused
 /// (Scheme 1's XOR semantics would otherwise toggle a dead id back in).
 fn trace(seed: u64, len: usize, universe: usize) -> Vec<Op> {
+    trace_with_epochs(seed, len, universe, false)
+}
+
+/// Like [`trace`], optionally inserting two [`Op::Reinit`] epoch swaps
+/// (at one third and two thirds of the trace) carrying the then-live
+/// document set.
+fn trace_with_epochs(seed: u64, len: usize, universe: usize, epoch_swaps: bool) -> Vec<Op> {
     let mut rng = SplitMix(seed);
     let mut next_id = 0u64;
     let mut live: Vec<Document> = Vec::new();
     let mut ops = Vec::with_capacity(len);
-    for _ in 0..len {
+    for i in 0..len {
+        if epoch_swaps && (i == len / 3 || i == 2 * len / 3) {
+            ops.push(Op::Reinit(live.clone()));
+        }
         let roll = rng.below(10);
         if roll < 4 || live.is_empty() {
             // Add a fresh document with 1–3 keywords.
@@ -109,6 +124,9 @@ trait Backend {
     fn add(&mut self, doc: &Document);
     fn remove(&mut self, doc: &Document);
     fn fake_update(&mut self, kws: &[Keyword]);
+    /// Epoch swap. No-op where the concept doesn't exist (the oracle has
+    /// no index; Scheme 1's bit matrix has no chains to exhaust).
+    fn reinit(&mut self, docs: &[Document]);
     fn search(&mut self, kw: &Keyword) -> SearchHits;
 }
 
@@ -124,6 +142,7 @@ impl Backend for Oracle {
     fn fake_update(&mut self, _kws: &[Keyword]) {
         // The oracle has no index to re-randomize.
     }
+    fn reinit(&mut self, _docs: &[Document]) {}
     fn search(&mut self, kw: &Keyword) -> SearchHits {
         self.0.search(kw).unwrap()
     }
@@ -142,6 +161,9 @@ impl Backend for S1 {
     fn fake_update(&mut self, kws: &[Keyword]) {
         self.0.fake_update(kws).unwrap();
     }
+    fn reinit(&mut self, _docs: &[Document]) {
+        // Scheme 1 has no chain epochs to swap.
+    }
     fn search(&mut self, kw: &Keyword) -> SearchHits {
         self.0.search(kw).unwrap()
     }
@@ -158,6 +180,9 @@ impl Backend for S2 {
     }
     fn fake_update(&mut self, kws: &[Keyword]) {
         self.0.fake_update(kws).unwrap();
+    }
+    fn reinit(&mut self, docs: &[Document]) {
+        self.0.reinitialize(docs).unwrap();
     }
     fn search(&mut self, kw: &Keyword) -> SearchHits {
         self.0.search(kw).unwrap()
@@ -196,6 +221,7 @@ fn replay(backend: &mut dyn Backend, ops: &[Op]) -> Vec<SearchHits> {
             Op::Add(doc) => backend.add(doc),
             Op::Remove(doc) => backend.remove(doc),
             Op::FakeUpdate(kws) => backend.fake_update(kws),
+            Op::Reinit(docs) => backend.reinit(docs),
             Op::Search(kw) => {
                 let mut hits = backend.search(kw);
                 hits.sort();
@@ -287,4 +313,231 @@ fn scheme1_matches_oracle_across_shard_counts_and_seeds() {
 #[test]
 fn scheme2_matches_oracle_across_shard_counts_and_seeds() {
     run_differential("scheme2");
+}
+
+// ---------------------------------------------------------------------------
+// Warm-cache vs cold-oracle differential (server-side search memo)
+// ---------------------------------------------------------------------------
+
+/// In-process transport over a shared server, kept so the test retains a
+/// handle to the server and can read its memo counters after the replay
+/// (a `MeteredLink` owns its server outright).
+struct SharedLink<S>(Arc<S>);
+
+impl sse_net::link::Transport for SharedLink<Scheme2Server> {
+    fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+        Ok(self.0.handle_shared(request))
+    }
+}
+
+/// Lockstep warm-vs-cold replay for Scheme 2: the *cold oracle* runs with
+/// the server memo disabled (every search re-walks the chain), the *warm*
+/// backend keeps it on. At every search point the warm side answers three
+/// ways — a first (miss-then-fill) search, an immediate repeat (memo-
+/// served), and periodically a `search_many` plus a `SEARCH_MANY`-envelope
+/// `search_batch` window — and each must be byte-identical to the cold
+/// oracle, across interleaved single and batched updates and two
+/// [`Op::Reinit`] epoch swaps (which must invalidate the memo, not let it
+/// serve the dead epoch's results).
+fn scheme2_warm_vs_cold(seed: u64, shards: usize) {
+    let ops = trace_with_epochs(seed, 90, 10, true);
+    let key = MasterKey::from_seed(seed);
+    let cold_cfg = Scheme2Config::standard().with_server_cache(false);
+    let warm_cfg = Scheme2Config::standard();
+    let cold_srv = Arc::new(Scheme2Server::new_in_memory_sharded(
+        cold_cfg.clone(),
+        shards,
+    ));
+    let warm_srv = Arc::new(Scheme2Server::new_in_memory_sharded(
+        warm_cfg.clone(),
+        shards,
+    ));
+    let mut cold = Scheme2Client::new_seeded(
+        SharedLink(cold_srv.clone()),
+        key.clone(),
+        cold_cfg,
+        seed ^ 0xC07D,
+    );
+    let mut warm =
+        Scheme2Client::new_seeded(SharedLink(warm_srv.clone()), key, warm_cfg, seed ^ 0x3A93);
+
+    let sorted = |mut hits: SearchHits| {
+        hits.sort();
+        hits
+    };
+    let mut searches = 0usize;
+    let mut nonempty = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Add(doc) => {
+                cold.store(std::slice::from_ref(doc)).unwrap();
+                warm.store(std::slice::from_ref(doc)).unwrap();
+            }
+            Op::Remove(doc) => {
+                cold.remove(std::slice::from_ref(doc)).unwrap();
+                warm.remove(std::slice::from_ref(doc)).unwrap();
+            }
+            Op::FakeUpdate(kws) => {
+                // Single-keyword groups drive the batched `UPDATE_MANY`
+                // client path, so the memo sees batched invalidations too.
+                let groups: Vec<Vec<Keyword>> = kws.iter().map(|k| vec![k.clone()]).collect();
+                cold.fake_update_many(&groups).unwrap();
+                warm.fake_update_many(&groups).unwrap();
+            }
+            Op::Reinit(docs) => {
+                cold.reinitialize(docs).unwrap();
+                warm.reinitialize(docs).unwrap();
+            }
+            Op::Search(kw) => {
+                searches += 1;
+                let want = sorted(cold.search(kw).unwrap());
+                let first = sorted(warm.search(kw).unwrap());
+                assert_eq!(
+                    first, want,
+                    "seed {seed}, {shards} shard(s), op {i}: warm first search diverged on {kw:?}"
+                );
+                let repeat = sorted(warm.search(kw).unwrap());
+                assert_eq!(
+                    repeat, want,
+                    "seed {seed}, {shards} shard(s), op {i}: memo-served repeat diverged on {kw:?}"
+                );
+                if !want.is_empty() {
+                    nonempty += 1;
+                }
+                if searches.is_multiple_of(3) {
+                    let window: Vec<Keyword> = (0..5).map(|j| keyword((i + j) % 10)).collect();
+                    let want_window: Vec<SearchHits> = window
+                        .iter()
+                        .map(|w| sorted(cold.search(w).unwrap()))
+                        .collect();
+                    let many: Vec<SearchHits> = warm
+                        .search_many(&window)
+                        .unwrap()
+                        .into_iter()
+                        .map(sorted)
+                        .collect();
+                    assert_eq!(
+                        many, want_window,
+                        "seed {seed}, {shards} shard(s), op {i}: search_many diverged"
+                    );
+                    let batch: Vec<SearchHits> = warm
+                        .search_batch(&window)
+                        .unwrap()
+                        .into_iter()
+                        .map(sorted)
+                        .collect();
+                    assert_eq!(
+                        batch, want_window,
+                        "seed {seed}, {shards} shard(s), op {i}: search_batch diverged"
+                    );
+                }
+            }
+        }
+    }
+    assert!(nonempty > 0, "degenerate trace: every search came up empty");
+    let warm_stats = warm_srv.stats();
+    assert!(
+        warm_stats.cache_hits > 0,
+        "warm replay never hit the memo — the differential is vacuous"
+    );
+    assert_eq!(
+        cold_srv.stats().cache_hits,
+        0,
+        "cache-disabled oracle must never serve from the memo"
+    );
+}
+
+/// Scheme 1 has no server-side memo, but its batched search paths must be
+/// just as result-stable: at every search point a repeat search, a
+/// `search_many` window, and a `search_batch` window are all compared
+/// against a cold lockstep replay under interleaved updates.
+fn scheme1_warm_vs_cold(seed: u64, shards: usize) {
+    let ops = trace(seed, 90, 10);
+    let mut cold = scheme1_backend(seed, shards);
+    let mut warm = scheme1_backend(seed, shards);
+
+    let sorted = |mut hits: SearchHits| {
+        hits.sort();
+        hits
+    };
+    let mut searches = 0usize;
+    let mut nonempty = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Search(kw) => {
+                searches += 1;
+                let want = sorted(cold.search(kw));
+                let first = sorted(warm.0.search(kw).unwrap());
+                assert_eq!(
+                    first, want,
+                    "seed {seed}, {shards} shard(s), op {i}: first search diverged on {kw:?}"
+                );
+                let repeat = sorted(warm.0.search(kw).unwrap());
+                assert_eq!(
+                    repeat, want,
+                    "seed {seed}, {shards} shard(s), op {i}: repeat search diverged on {kw:?}"
+                );
+                if !want.is_empty() {
+                    nonempty += 1;
+                }
+                if searches.is_multiple_of(3) {
+                    let window: Vec<Keyword> = (0..5).map(|j| keyword((i + j) % 10)).collect();
+                    let want_window: Vec<SearchHits> =
+                        window.iter().map(|w| sorted(cold.search(w))).collect();
+                    let many: Vec<SearchHits> = warm
+                        .0
+                        .search_many(&window)
+                        .unwrap()
+                        .into_iter()
+                        .map(sorted)
+                        .collect();
+                    assert_eq!(
+                        many, want_window,
+                        "seed {seed}, {shards} shard(s), op {i}: search_many diverged"
+                    );
+                    let batch: Vec<SearchHits> = warm
+                        .0
+                        .search_batch(&window)
+                        .unwrap()
+                        .into_iter()
+                        .map(sorted)
+                        .collect();
+                    assert_eq!(
+                        batch, want_window,
+                        "seed {seed}, {shards} shard(s), op {i}: search_batch diverged"
+                    );
+                }
+            }
+            other => {
+                for b in [&mut cold as &mut dyn Backend, &mut warm] {
+                    match other {
+                        Op::Add(doc) => b.add(doc),
+                        Op::Remove(doc) => b.remove(doc),
+                        Op::FakeUpdate(kws) => b.fake_update(kws),
+                        Op::Reinit(docs) => b.reinit(docs),
+                        Op::Search(_) => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+    assert!(nonempty > 0, "degenerate trace: every search came up empty");
+}
+
+#[test]
+fn scheme2_warm_cache_and_batches_match_cold_oracle_across_epoch_swaps() {
+    for seed in [SEEDS[0], SEEDS[1]] {
+        for shards in [1, 4] {
+            scheme2_warm_vs_cold(seed, shards);
+        }
+    }
+}
+
+#[test]
+fn scheme1_repeated_and_batched_searches_match_cold_replay() {
+    for seed in [SEEDS[0], SEEDS[1]] {
+        for shards in [1, 4] {
+            scheme1_warm_vs_cold(seed, shards);
+        }
+    }
 }

@@ -998,6 +998,159 @@ fn scheme1_mid_group_crash_between_fsync_and_ack_keeps_acked_prefix() {
     scheme1_mid_group_crash_sweep(false, fault_seed() ^ 0xBBBB);
 }
 
+// ---------------------------------------------------------------------------
+// Search-memo durability (there must be none)
+// ---------------------------------------------------------------------------
+
+/// The server-side search memo must be purely in-memory: it must not
+/// change what reaches disk, it must not survive a crash, and recovery
+/// must rebuild it from scratch off the recovered index.
+///
+/// Three assertions:
+/// 1. an identical fault-free run schedules exactly the same writes with
+///    the memo on and off (the memo never touches storage);
+/// 2. immediately after crash recovery the memo counters are zero (no
+///    memo state came back from disk);
+/// 3. post-recovery probes first walk cold (misses) and then memo-serve
+///    (hits), while still answering the op-atomic oracle prefix.
+#[test]
+fn scheme2_search_memo_is_purely_in_memory_across_crashes() {
+    let seed = fault_seed() ^ 0xCAC4ED;
+    let trace = build_trace(seed);
+    let oracle = oracle_states(&trace);
+    let cached = Scheme2Config::base(512).with_server_cache(true);
+    let key = MasterKey::from_seed(seed ^ 0x52);
+
+    // Fault-free counting runs, memo off vs on. Searches go out twice so
+    // the cached run actually exercises memo hits.
+    let mut writes = Vec::new();
+    for config in [Scheme2Config::base(512), cached.clone()] {
+        let dir = temp_dir("s2-memo-count");
+        let counting = FaultVfs::counting();
+        let stats = counting.stats();
+        {
+            let server = Arc::new(
+                Scheme2Server::open_durable_with_vfs_sharded(
+                    Arc::new(counting),
+                    config.clone(),
+                    &dir,
+                    1,
+                )
+                .unwrap(),
+            );
+            let mut client = Scheme2Client::new_seeded(
+                SharedLink(server.clone()),
+                key.clone(),
+                config.clone(),
+                1,
+            );
+            for op in &trace {
+                if let Op::Search(kw) = op {
+                    let first = ids_checked(&client.search(kw).unwrap());
+                    let second = ids_checked(&client.search(kw).unwrap());
+                    assert_eq!(first, second, "repeat search diverged fault-free");
+                } else {
+                    drive_scheme2(&mut client, op).unwrap();
+                }
+            }
+            if config.server_cache {
+                assert!(
+                    server.stats().cache_hits > 0,
+                    "cached counting run never hit the memo — sweep is vacuous"
+                );
+            }
+        }
+        writes.push(stats.writes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        writes[0], writes[1],
+        "enabling the search memo changed the write schedule — it must never touch storage"
+    );
+    let write_points = writes[1];
+    assert!(write_points > 0, "workload scheduled no writes");
+
+    // Crash at a few points spread across the schedule (the exhaustive
+    // per-point sweeps above already pin down op-atomicity; this sweep is
+    // about what the memo does and does not survive).
+    let mut recoveries = 0u64;
+    let mut points: Vec<u64> = (1..=4).map(|q| (write_points * q / 4).max(1)).collect();
+    points.dedup();
+    for k in points {
+        let dir = temp_dir("s2-memo-crash");
+        let vfs = FaultVfs::crashing_at(seed, k);
+        let (completed, attempted_updates) = match Scheme2Server::open_durable_with_vfs_sharded(
+            Arc::new(vfs),
+            cached.clone(),
+            &dir,
+            1,
+        ) {
+            Err(_) => (0, 0),
+            Ok(server) => {
+                let mut client = Scheme2Client::new_seeded(
+                    MeteredLink::new(server, Meter::new()),
+                    key.clone(),
+                    cached.clone(),
+                    1,
+                );
+                let mut completed = 0usize;
+                let mut attempted = 0u64;
+                for op in trace.iter() {
+                    if is_mutation(op) {
+                        attempted += 1;
+                    }
+                    if drive_scheme2(&mut client, op).is_err() {
+                        break;
+                    }
+                    completed += 1;
+                }
+                (completed, attempted)
+            }
+        };
+
+        let server = Arc::new(Scheme2Server::open_durable(cached.clone(), &dir).unwrap());
+        if server.recovery().recovered_anything() {
+            recoveries += 1;
+        }
+        let fresh = server.stats();
+        assert_eq!(
+            (fresh.cache_hits, fresh.cache_misses),
+            (0, 0),
+            "crash at write {k}: memo state survived recovery — the cache must be in-memory only"
+        );
+        let mut probe =
+            Scheme2Client::new_seeded(SharedLink(server.clone()), key.clone(), cached.clone(), 7);
+        probe.restore_state(Scheme2ClientState {
+            ctr: attempted_updates,
+            epoch: 0,
+            searched_since_update: true,
+        });
+        let observed = observe(|kw| probe.search(kw).unwrap());
+        let warmed = observe(|kw| probe.search(kw).unwrap());
+        assert_eq!(
+            observed, warmed,
+            "crash at write {k}: memo-served repeat probes diverged from the cold probes"
+        );
+        assert_prefix(
+            &observed,
+            &oracle,
+            completed,
+            &format!("memo crash sweep at write {k}"),
+        );
+        let stats = server.stats();
+        assert!(
+            stats.cache_misses > 0,
+            "crash at write {k}: first post-recovery probes never walked cold"
+        );
+        assert!(
+            stats.cache_hits > 0,
+            "crash at write {k}: repeat probes never memo-served — recovery must rebuild the cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(recoveries > 0, "no crash point exercised recovery");
+}
+
 #[test]
 fn scheme2_network_faults_fail_clean_or_answer_truthfully() {
     let seed = fault_seed();

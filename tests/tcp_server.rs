@@ -640,3 +640,100 @@ fn busy_deadline_is_monotonic_and_bounded() {
     drop(transport); // closes the socket; the impostor thread exits
     server.join().unwrap();
 }
+
+/// The `SEARCH_MANY` envelope end to end, both schemes: a batched search
+/// over a sharded tenant must return exactly what the same keywords yield
+/// one at a time, with absent keywords coming back empty in position —
+/// and the Scheme 2 repeat searches must show up as memo hits in the
+/// daemon's STATS.
+#[test]
+fn search_many_envelope_matches_sequential_searches() {
+    use sse_repro::core::scheme1::{Scheme1Client, Scheme1Config};
+    use sse_repro::server::tenant::TenantParams;
+
+    let daemon = Daemon::spawn(ServerConfig {
+        workers: 4,
+        tenant_params: TenantParams {
+            shards: 8,
+            ..TenantParams::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    let keywords: Vec<Keyword> = (0..8).map(|i| Keyword::new(format!("kw-{i}"))).collect();
+    let mut with_absent = keywords.clone();
+    with_absent.insert(3, Keyword::new("never-stored"));
+
+    // Scheme 2: per-keyword Search parts in one envelope round.
+    let t = TcpTransport::connect(addr, "many2", SchemeId::Scheme2).unwrap();
+    let mut s2 =
+        Scheme2Client::new_seeded(t, MasterKey::from_seed(41), Scheme2Config::standard(), 41);
+    for round in 0..4u64 {
+        let docs: Vec<Document> = keywords
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                Document::new(
+                    round * 100 + i as u64,
+                    format!("s2-r{round}-k{i}").into_bytes(),
+                    [w.as_str()],
+                )
+            })
+            .collect();
+        s2.store(&docs).unwrap();
+    }
+    let individual: Vec<SearchHits> = with_absent
+        .iter()
+        .map(|w| sorted(s2.search(w).unwrap()))
+        .collect();
+    let batched: Vec<SearchHits> = s2
+        .search_batch(&with_absent)
+        .unwrap()
+        .into_iter()
+        .map(sorted)
+        .collect();
+    assert_eq!(batched, individual, "scheme 2 batch diverged");
+    assert!(batched[3].is_empty(), "absent keyword must be empty");
+
+    // Scheme 1: batched find round + batched reveal round.
+    let t = TcpTransport::connect(addr, "many1", SchemeId::Scheme1).unwrap();
+    let mut s1 = Scheme1Client::new_seeded(
+        t,
+        MasterKey::from_seed(42),
+        Scheme1Config::fast_profile(4096),
+        42,
+    );
+    let docs: Vec<Document> = keywords
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Document::new(i as u64, format!("s1-k{i}").into_bytes(), [w.as_str()]))
+        .collect();
+    s1.store(&docs).unwrap();
+    let individual: Vec<SearchHits> = with_absent
+        .iter()
+        .map(|w| sorted(s1.search(w).unwrap()))
+        .collect();
+    let batched: Vec<SearchHits> = s1
+        .search_batch(&with_absent)
+        .unwrap()
+        .into_iter()
+        .map(sorted)
+        .collect();
+    assert_eq!(batched, individual, "scheme 1 batch diverged");
+    assert!(batched[3].is_empty(), "absent keyword must be empty");
+
+    // The Scheme 2 repeats above hit the server-side memo; the counters
+    // surface through ADMIN_STATS.
+    let mut admin = TcpTransport::connect(addr, "many2", SchemeId::Scheme2).unwrap();
+    let stats = admin.admin_stats().unwrap();
+    assert!(
+        stats.search_cache_hits > 0,
+        "repeat searches must hit the memo: {stats:?}"
+    );
+    assert!(stats.search_cache_misses > 0, "{stats:?}");
+    assert_eq!(stats.requests_err, 0, "{stats:?}");
+
+    daemon.shutdown();
+}
