@@ -50,9 +50,13 @@ use sse_net::link::Service;
 use sse_net::wire::{WireReader, WireWriter};
 use sse_primitives::prg::Prg;
 use sse_storage::crc32::crc32;
+use sse_storage::lsm::{LsmDocStore, LsmKeywordMap};
 use sse_storage::store::DocStore;
-use sse_storage::{RealVfs, StorageError, Vfs};
-use std::collections::BTreeMap;
+use sse_storage::{
+    resolve_backend, BackendCounters, BackendKind, DocBlobStore, KeywordMap, RealVfs, StorageError,
+    Vfs,
+};
+use std::collections::{BTreeMap, HashSet};
 use std::path::Path;
 use std::result::Result as StdResult;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,6 +87,11 @@ fn journal_file(i: usize) -> String {
     }
 }
 
+/// LSM keyword-map file prefix for shard `i` (lsm backend only).
+fn kw_prefix(i: usize) -> String {
+    format!("scheme1.kw{i}")
+}
+
 /// One searchable representation as stored by the server.
 #[derive(Clone)]
 struct Entry {
@@ -97,6 +106,32 @@ struct Entry {
 struct ShardData {
     tree: BpTree<[u8; 32], Entry>,
     applied_seq: u64,
+    /// Tags mutated since the last checkpoint. Only tracked under the lsm
+    /// backend, which flushes exactly these into its keyword map; the
+    /// btree backend rewrites the whole snapshot file and never records.
+    dirty: HashSet<[u8; 32]>,
+    /// A `ReplaceIndex` happened since the last checkpoint (lsm backend).
+    cleared: bool,
+    /// Durable per-shard keyword-map persistence (lsm backend only; the
+    /// btree backend keeps the monolithic `scheme1.index` snapshot).
+    kw_map: Option<LsmKeywordMap>,
+}
+
+impl ShardData {
+    /// Record a durable mutation of `tag` for the next checkpoint flush.
+    fn note_mutated(&mut self, tag: [u8; 32]) {
+        if self.kw_map.is_some() {
+            self.dirty.insert(tag);
+        }
+    }
+
+    /// Record a full index replacement for the next checkpoint flush.
+    fn note_cleared(&mut self) {
+        if self.kw_map.is_some() {
+            self.dirty.clear();
+            self.cleared = true;
+        }
+    }
 }
 
 /// The immutable view searches resolve against. Carries the capacity so
@@ -160,7 +195,9 @@ pub struct Scheme1Server {
     contention: Vec<AtomicU64>,
     /// Group-commit pipeline counters, shared by every shard's committer.
     commit_stats: Arc<CommitStats>,
-    store: RwLock<DocStore>,
+    store: RwLock<Box<dyn DocBlobStore>>,
+    /// Which storage backend persists this server's state.
+    backend: BackendKind,
     stats: StatsCells,
     /// Durable home directory (None for in-memory servers).
     dir: Option<std::path::PathBuf>,
@@ -193,6 +230,9 @@ impl Scheme1Server {
                     data: Mutex::new(ShardData {
                         tree: BpTree::new(),
                         applied_seq: 0,
+                        dirty: HashSet::new(),
+                        cleared: false,
+                        kw_map: None,
                     }),
                     applied: Condvar::new(),
                     committer: GroupCommitter::new_in_memory(Arc::clone(&commit_stats)),
@@ -205,7 +245,8 @@ impl Scheme1Server {
             epoch: AtomicU64::new(0),
             contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
             commit_stats,
-            store: RwLock::new(DocStore::in_memory()),
+            store: RwLock::new(Box::new(DocStore::in_memory())),
+            backend: BackendKind::Btree,
             stats: StatsCells::default(),
             dir: None,
             vfs: RealVfs::arc(),
@@ -278,11 +319,57 @@ impl Scheme1Server {
         shards: usize,
         group_commit: bool,
     ) -> Result<Self> {
-        let store = DocStore::open_with_vfs(
-            vfs.clone(),
+        Self::open_durable_with_backend(
+            vfs,
+            capacity_docs,
             dir,
-            sse_storage::store::StoreOptions::default(),
+            shards,
+            group_commit,
+            BackendKind::Btree,
+        )
+    }
+
+    /// [`Scheme1Server::open_durable_with_vfs_opts`] with an explicit
+    /// storage backend. The backend is fixed at directory creation
+    /// (recorded in `backend.meta`); reopening under the other backend is
+    /// a clean [`StorageError::BackendMismatch`], never silent corruption.
+    /// Directories created before backend manifests existed are `btree`.
+    ///
+    /// Under [`BackendKind::Lsm`] the document store is an
+    /// [`LsmDocStore`] and each shard's masked entries persist in an
+    /// [`LsmKeywordMap`]: checkpoints flush only the tags mutated since
+    /// the previous checkpoint as one new sorted run, instead of
+    /// rewriting the whole index snapshot. The index geometry rides in
+    /// the keyword map's `meta` blob and is validated on reopen exactly
+    /// like the btree snapshot's embedded capacity.
+    ///
+    /// # Errors
+    /// As [`Scheme1Server::open_durable`], plus backend mismatch.
+    pub fn open_durable_with_backend(
+        vfs: Arc<dyn Vfs>,
+        capacity_docs: u64,
+        dir: &Path,
+        shards: usize,
+        group_commit: bool,
+        backend: BackendKind,
+    ) -> Result<Self> {
+        let backend = resolve_backend(
+            vfs.as_ref(),
+            dir,
+            backend,
+            &[
+                MANIFEST_FILE,
+                "store.wal",
+                "store.snapshot",
+                &index_file(0),
+                &journal_file(0),
+            ],
         )?;
+        let opts = sse_storage::store::StoreOptions::default();
+        let store: Box<dyn DocBlobStore> = match backend {
+            BackendKind::Btree => Box::new(DocStore::open_with_vfs(vfs.clone(), dir, opts)?),
+            BackendKind::Lsm => Box::new(LsmDocStore::open_with_vfs(vfs.clone(), dir, opts)?),
+        };
         let store_recovery = store.recovery_report();
         let n =
             shard::resolve_shard_count(vfs.as_ref(), dir, MANIFEST_FILE, &index_file(0), shards)?;
@@ -291,15 +378,30 @@ impl Scheme1Server {
             index_bytes: (capacity_docs as usize).div_ceil(8),
         };
         let mut trees: Vec<BpTree<[u8; 32], Entry>> = Vec::with_capacity(n);
+        let mut kw_maps: Vec<Option<LsmKeywordMap>> = Vec::with_capacity(n);
         let mut journals: Vec<IndexJournal> = Vec::with_capacity(n);
         let mut recoveries = Vec::with_capacity(n);
         for i in 0..n {
             let mut tree = BpTree::new();
             let mut snapshot_seq = 0u64;
-            let index_path = dir.join(index_file(i));
-            if vfs.exists(&index_path) {
-                let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
-                snapshot_seq = load_shard_snapshot(&mut tree, &geometry, &bytes)?;
+            let mut kw_map = None;
+            match backend {
+                BackendKind::Btree => {
+                    let index_path = dir.join(index_file(i));
+                    if vfs.exists(&index_path) {
+                        let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
+                        snapshot_seq = load_shard_snapshot(&mut tree, &geometry, &bytes)?;
+                    }
+                }
+                BackendKind::Lsm => {
+                    let map = LsmKeywordMap::open(vfs.clone(), dir, &kw_prefix(i))?;
+                    snapshot_seq = map.last_seq();
+                    check_kw_meta(&map.meta(), &geometry)?;
+                    for (tag, value) in map.iter_all()? {
+                        tree.insert(tag, decode_entry(&value, &geometry)?);
+                    }
+                    kw_map = Some(map);
+                }
             }
             let (journal, recovery) = IndexJournal::open_with_vfs(
                 vfs.clone(),
@@ -308,14 +410,23 @@ impl Scheme1Server {
                 snapshot_seq,
             )?;
             trees.push(tree);
+            kw_maps.push(kw_map);
             journals.push(journal);
             recoveries.push(recovery);
         }
         let plan = shard::resolve_shard_recoveries(&recoveries)?;
         let mut replayed = 0u64;
-        for (tree, apply) in trees.iter_mut().zip(&plan.apply) {
+        let mut dirty_sets: Vec<HashSet<[u8; 32]>> = vec![HashSet::new(); n];
+        let mut cleared_flags = vec![false; n];
+        for (si, (tree, apply)) in trees.iter_mut().zip(&plan.apply).enumerate() {
             for raw in apply {
-                replay_into(tree, &mut geometry, raw)?;
+                replay_into(
+                    tree,
+                    &mut geometry,
+                    raw,
+                    &mut dirty_sets[si],
+                    &mut cleared_flags[si],
+                )?;
                 replayed += 1;
             }
         }
@@ -324,14 +435,30 @@ impl Scheme1Server {
         let shards: Vec<ShardSlot> = trees
             .into_iter()
             .zip(journals)
-            .map(|(tree, journal)| {
+            .zip(kw_maps)
+            .zip(dirty_sets.into_iter().zip(cleared_flags))
+            .map(|(((tree, journal), kw_map), (dirty, cleared))| {
                 let applied_seq = journal.last_seq();
+                // Replayed journal records are not yet in the keyword map;
+                // keep their tags dirty so the next checkpoint flushes
+                // them. Irrelevant for btree (whole-snapshot rewrites).
+                let (dirty, cleared) = if kw_map.is_some() {
+                    (dirty, cleared)
+                } else {
+                    (HashSet::new(), false)
+                };
                 ShardSlot {
                     snap: RwLock::new(Arc::new(SnapShard {
                         tree: tree.clone(),
                         capacity_docs,
                     })),
-                    data: Mutex::new(ShardData { tree, applied_seq }),
+                    data: Mutex::new(ShardData {
+                        tree,
+                        applied_seq,
+                        dirty,
+                        cleared,
+                        kw_map,
+                    }),
                     applied: Condvar::new(),
                     committer: GroupCommitter::new_durable(
                         journal,
@@ -348,6 +475,7 @@ impl Scheme1Server {
             contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
             commit_stats,
             store: RwLock::new(store),
+            backend,
             stats: StatsCells::default(),
             dir: Some(dir.to_path_buf()),
             vfs,
@@ -389,6 +517,27 @@ impl Scheme1Server {
         self.commit_stats.counters()
     }
 
+    /// The storage backend persisting this server's state.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Per-backend storage counters (runs, compactions, bloom hit rates):
+    /// the document store's plus every shard keyword map's. All zero
+    /// under the btree backend.
+    #[must_use]
+    pub fn backend_counters(&self) -> BackendCounters {
+        let mut c = self.store.read().counters();
+        for i in 0..self.shards.len() {
+            let data = self.lock_data(i);
+            if let Some(map) = &data.kw_map {
+                c.merge(&map.counters());
+            }
+        }
+        c
+    }
+
     /// Checkpoint everything durable, in crash-safe order: document store
     /// snapshot, then every shard's index snapshot (each recording its
     /// `applied_seq` as `last_op_seq`), then every journal truncation.
@@ -401,10 +550,22 @@ impl Scheme1Server {
     /// Filesystem errors. No-op index-wise for in-memory servers.
     pub fn checkpoint(&self, dir: &Path) -> Result<()> {
         let geometry = self.geometry.write();
-        let datas = self.lock_all_data();
+        let mut datas = self.lock_all_data();
         self.store.write().checkpoint()?;
-        for (i, data) in datas.iter().enumerate() {
-            self.save_shard_snapshot(data, &geometry, &dir.join(index_file(i)))?;
+        match self.backend {
+            BackendKind::Btree => {
+                for (i, data) in datas.iter().enumerate() {
+                    self.save_shard_snapshot(data, &geometry, &dir.join(index_file(i)))?;
+                }
+                // The snapshots committed via rename; one dir fsync makes
+                // all the renames durable before any journal is reset.
+                self.vfs.sync_dir(dir).map_err(StorageError::Io)?;
+            }
+            BackendKind::Lsm => {
+                for data in datas.iter_mut() {
+                    flush_shard_kw_map(data, &geometry)?;
+                }
+            }
         }
         for slot in &self.shards {
             slot.committer.reset_journal()?;
@@ -499,7 +660,7 @@ impl Scheme1Server {
     #[must_use]
     pub fn export_blobs(&self) -> Vec<(u64, Vec<u8>)> {
         let store = self.store.read();
-        let ids: Vec<u64> = store.ids().collect();
+        let ids = store.doc_ids();
         store.get_many(&ids)
     }
 
@@ -782,6 +943,7 @@ impl Scheme1Server {
             |i| protocol::encode_apply_updates(&groups[&i]),
             |i, data| {
                 for UpdateEntry { tag, delta, f_r } in &groups[&i] {
+                    data.note_mutated(*tag);
                     apply_entry(&mut data.tree, *tag, delta.clone(), f_r.clone());
                     self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
                 }
@@ -830,8 +992,10 @@ impl Scheme1Server {
             &idxs,
             |i| protocol::encode_replace_index(capacity, &groups[i]),
             |i, data| {
+                data.note_cleared();
                 let mut tree = BpTree::new();
                 for UpdateEntry { tag, delta, f_r } in &groups[i] {
+                    data.note_mutated(*tag);
                     tree.insert(
                         *tag,
                         Entry {
@@ -1031,22 +1195,30 @@ fn apply_entry(tree: &mut BpTree<[u8; 32], Entry>, tag: [u8; 32], delta: Vec<u8>
 /// Re-apply one journaled shard-local mutation during recovery (no
 /// re-journaling, no width validation — the record was validated before it
 /// was ever journaled, and each shard's log is internally ordered across
-/// capacity migrations).
+/// capacity migrations). Touched tags are recorded into `dirty` /
+/// `cleared` so an lsm-backed server can flush the replayed state at its
+/// next checkpoint.
 fn replay_into(
     tree: &mut BpTree<[u8; 32], Entry>,
     geometry: &mut Geometry,
     raw: &[u8],
+    dirty: &mut HashSet<[u8; 32]>,
+    cleared: &mut bool,
 ) -> Result<()> {
     match protocol::decode_request(raw)? {
         Request::ApplyUpdates(entries) => {
             for UpdateEntry { tag, delta, f_r } in entries {
+                dirty.insert(tag);
                 apply_entry(tree, tag, delta, f_r);
             }
             Ok(())
         }
         Request::ReplaceIndex { capacity, entries } => {
+            dirty.clear();
+            *cleared = true;
             let mut fresh = BpTree::new();
             for UpdateEntry { tag, delta, f_r } in entries {
+                dirty.insert(tag);
                 fresh.insert(
                     tag,
                     Entry {
@@ -1065,6 +1237,89 @@ fn replay_into(
             detail: "journal holds a non-mutating request".to_string(),
         })),
     }
+}
+
+/// Flush one lsm-backed shard: clear if the index was replaced, write
+/// every dirty tag's current entry (or a tombstone if it vanished), then
+/// commit one run carrying `applied_seq` and the geometry capacity as the
+/// map's `meta` blob. No-op for btree shards.
+fn flush_shard_kw_map(data: &mut ShardData, geometry: &Geometry) -> Result<()> {
+    let ShardData {
+        tree,
+        applied_seq,
+        dirty,
+        cleared,
+        kw_map,
+    } = data;
+    let Some(map) = kw_map else { return Ok(()) };
+    if *cleared {
+        map.clear()?;
+    }
+    for tag in dirty.iter() {
+        match tree.get(tag) {
+            Some(entry) => map.put(*tag, encode_entry(entry))?,
+            None => map.delete(tag)?,
+        }
+    }
+    map.flush(*applied_seq, &geometry.capacity_docs.to_le_bytes())?;
+    dirty.clear();
+    *cleared = false;
+    Ok(())
+}
+
+/// Validate the keyword map's `meta` blob (the persisted geometry)
+/// against the server's capacity — same contract as the btree snapshot's
+/// embedded capacity field. An empty blob means the map was never
+/// flushed.
+fn check_kw_meta(meta: &[u8], geometry: &Geometry) -> Result<()> {
+    if meta.is_empty() {
+        return Ok(());
+    }
+    let capacity = u64::from_le_bytes(meta.try_into().map_err(|_| {
+        SseError::Storage(StorageError::Corrupt {
+            what: "scheme1 keyword map",
+            detail: format!("geometry meta is {} bytes, expected 8", meta.len()),
+        })
+    })?);
+    if capacity != geometry.capacity_docs {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme1 keyword map",
+            detail: format!(
+                "capacity {capacity} does not match server capacity {}",
+                geometry.capacity_docs
+            ),
+        }));
+    }
+    Ok(())
+}
+
+/// Serialize one stored entry as a keyword-map value: the per-tag body of
+/// the monolithic snapshot format, minus the tag itself.
+fn encode_entry(entry: &Entry) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_bytes(&entry.masked_index);
+    w.put_bytes(&entry.f_r);
+    w.finish()
+}
+
+/// Inverse of [`encode_entry`], validating the masked-array width against
+/// the geometry like [`load_shard_snapshot`] does.
+fn decode_entry(bytes: &[u8], geometry: &Geometry) -> Result<Entry> {
+    let mut r = WireReader::new(bytes);
+    let masked_index = r.get_bytes()?.to_vec();
+    if masked_index.len() != geometry.index_bytes {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "scheme1 keyword map",
+            detail: format!(
+                "entry width {} != expected {}",
+                masked_index.len(),
+                geometry.index_bytes
+            ),
+        }));
+    }
+    let f_r = r.get_bytes()?.to_vec();
+    r.finish()?;
+    Ok(Entry { masked_index, f_r })
 }
 
 /// Decode one shard snapshot into `tree`, returning the `last_op_seq` it

@@ -51,9 +51,13 @@ use sse_net::wire::{WireReader, WireWriter};
 use sse_primitives::etm::EtmKey;
 use sse_primitives::hashchain::chain_step;
 use sse_storage::crc32::crc32;
+use sse_storage::lsm::{LsmDocStore, LsmKeywordMap};
 use sse_storage::store::DocStore;
-use sse_storage::{RealVfs, StorageError, Vfs};
-use std::collections::{BTreeMap, HashMap};
+use sse_storage::{
+    resolve_backend, BackendCounters, BackendKind, DocBlobStore, KeywordMap, RealVfs, StorageError,
+    Vfs,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, PoisonError};
@@ -81,6 +85,11 @@ fn journal_file(i: usize) -> String {
     } else {
         format!("scheme2.{i}.wal")
     }
+}
+
+/// LSM keyword-map file prefix for shard `i` (lsm backend only).
+fn kw_prefix(i: usize) -> String {
+    format!("scheme2.kw{i}")
 }
 
 /// Out-of-band observability counters.
@@ -128,6 +137,32 @@ struct StatsCells {
 struct ShardData {
     tree: BpTree<[u8; 32], GenerationList>,
     applied_seq: u64,
+    /// Tags mutated since the last checkpoint. Only tracked under the lsm
+    /// backend, which flushes exactly these into its keyword map; the
+    /// btree backend rewrites the whole snapshot file and never records.
+    dirty: HashSet<[u8; 32]>,
+    /// A `ResetIndex` happened since the last checkpoint (lsm backend).
+    cleared: bool,
+    /// Durable per-shard keyword-map persistence (lsm backend only; the
+    /// btree backend keeps the monolithic `scheme2.index` snapshot).
+    kw_map: Option<LsmKeywordMap>,
+}
+
+impl ShardData {
+    /// Record a durable mutation of `tag` for the next checkpoint flush.
+    fn note_mutated(&mut self, tag: [u8; 32]) {
+        if self.kw_map.is_some() {
+            self.dirty.insert(tag);
+        }
+    }
+
+    /// Record a full index reset for the next checkpoint flush.
+    fn note_cleared(&mut self) {
+        if self.kw_map.is_some() {
+            self.dirty.clear();
+            self.cleared = true;
+        }
+    }
 }
 
 /// The immutable view searches resolve against.
@@ -194,7 +229,9 @@ pub struct Scheme2Server {
     contention: Vec<AtomicU64>,
     /// Group-commit pipeline counters, shared by every shard's committer.
     commit_stats: Arc<CommitStats>,
-    store: RwLock<DocStore>,
+    store: RwLock<Box<dyn DocBlobStore>>,
+    /// Which storage backend persists this server's state.
+    backend: BackendKind,
     config: Scheme2Config,
     stats: StatsCells,
     /// Durable home directory (None for in-memory servers).
@@ -224,6 +261,9 @@ impl Scheme2Server {
                     data: Mutex::new(ShardData {
                         tree: BpTree::new(),
                         applied_seq: 0,
+                        dirty: HashSet::new(),
+                        cleared: false,
+                        kw_map: None,
                     }),
                     applied: Condvar::new(),
                     committer: GroupCommitter::new_in_memory(Arc::clone(&commit_stats)),
@@ -237,7 +277,8 @@ impl Scheme2Server {
             epoch: AtomicU64::new(0),
             contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
             commit_stats,
-            store: RwLock::new(DocStore::in_memory()),
+            store: RwLock::new(Box::new(DocStore::in_memory())),
+            backend: BackendKind::Btree,
             config,
             stats: StatsCells::default(),
             dir: None,
@@ -312,24 +353,75 @@ impl Scheme2Server {
         shards: usize,
         group_commit: bool,
     ) -> Result<Self> {
-        let store = DocStore::open_with_vfs(
-            vfs.clone(),
+        Self::open_durable_with_backend(vfs, config, dir, shards, group_commit, BackendKind::Btree)
+    }
+
+    /// [`Scheme2Server::open_durable_with_vfs_opts`] with an explicit
+    /// storage backend. The backend is fixed at directory creation
+    /// (recorded in `backend.meta`); reopening under the other backend is
+    /// a clean [`StorageError::BackendMismatch`], never silent corruption.
+    /// Directories created before backend manifests existed are `btree`.
+    ///
+    /// Under [`BackendKind::Lsm`] the document store is an
+    /// [`LsmDocStore`] and each shard's generation lists persist in an
+    /// [`LsmKeywordMap`]: checkpoints flush only the tags mutated since
+    /// the previous checkpoint as one new sorted run, instead of
+    /// rewriting the whole index snapshot.
+    ///
+    /// # Errors
+    /// As [`Scheme2Server::open_durable`], plus backend mismatch.
+    pub fn open_durable_with_backend(
+        vfs: Arc<dyn Vfs>,
+        config: Scheme2Config,
+        dir: &Path,
+        shards: usize,
+        group_commit: bool,
+        backend: BackendKind,
+    ) -> Result<Self> {
+        let backend = resolve_backend(
+            vfs.as_ref(),
             dir,
-            sse_storage::store::StoreOptions::default(),
+            backend,
+            &[
+                MANIFEST_FILE,
+                "store.wal",
+                "store.snapshot",
+                &index_file(0),
+                &journal_file(0),
+            ],
         )?;
+        let opts = sse_storage::store::StoreOptions::default();
+        let store: Box<dyn DocBlobStore> = match backend {
+            BackendKind::Btree => Box::new(DocStore::open_with_vfs(vfs.clone(), dir, opts)?),
+            BackendKind::Lsm => Box::new(LsmDocStore::open_with_vfs(vfs.clone(), dir, opts)?),
+        };
         let store_recovery = store.recovery_report();
         let n =
             shard::resolve_shard_count(vfs.as_ref(), dir, MANIFEST_FILE, &index_file(0), shards)?;
         let mut trees: Vec<BpTree<[u8; 32], GenerationList>> = Vec::with_capacity(n);
+        let mut kw_maps: Vec<Option<LsmKeywordMap>> = Vec::with_capacity(n);
         let mut journals: Vec<IndexJournal> = Vec::with_capacity(n);
         let mut recoveries = Vec::with_capacity(n);
         for i in 0..n {
             let mut tree = BpTree::new();
             let mut snapshot_seq = 0u64;
-            let index_path = dir.join(index_file(i));
-            if vfs.exists(&index_path) {
-                let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
-                snapshot_seq = load_shard_snapshot(&mut tree, &bytes)?;
+            let mut kw_map = None;
+            match backend {
+                BackendKind::Btree => {
+                    let index_path = dir.join(index_file(i));
+                    if vfs.exists(&index_path) {
+                        let bytes = vfs.read(&index_path).map_err(StorageError::Io)?;
+                        snapshot_seq = load_shard_snapshot(&mut tree, &bytes)?;
+                    }
+                }
+                BackendKind::Lsm => {
+                    let map = LsmKeywordMap::open(vfs.clone(), dir, &kw_prefix(i))?;
+                    snapshot_seq = map.last_seq();
+                    for (tag, value) in map.iter_all()? {
+                        tree.insert(tag, decode_generation_list(&value)?);
+                    }
+                    kw_map = Some(map);
+                }
             }
             let (journal, recovery) = IndexJournal::open_with_vfs(
                 vfs.clone(),
@@ -338,14 +430,17 @@ impl Scheme2Server {
                 snapshot_seq,
             )?;
             trees.push(tree);
+            kw_maps.push(kw_map);
             journals.push(journal);
             recoveries.push(recovery);
         }
         let plan = shard::resolve_shard_recoveries(&recoveries)?;
         let mut replayed = 0u64;
-        for (tree, apply) in trees.iter_mut().zip(&plan.apply) {
+        let mut dirty_sets: Vec<HashSet<[u8; 32]>> = vec![HashSet::new(); n];
+        let mut cleared_flags = vec![false; n];
+        for (si, (tree, apply)) in trees.iter_mut().zip(&plan.apply).enumerate() {
             for raw in apply {
-                replay_into(tree, raw)?;
+                replay_into(tree, raw, &mut dirty_sets[si], &mut cleared_flags[si])?;
                 replayed += 1;
             }
         }
@@ -353,14 +448,30 @@ impl Scheme2Server {
         let shards: Vec<ShardSlot> = trees
             .into_iter()
             .zip(journals)
-            .map(|(tree, journal)| {
+            .zip(kw_maps)
+            .zip(dirty_sets.into_iter().zip(cleared_flags))
+            .map(|(((tree, journal), kw_map), (dirty, cleared))| {
                 let applied_seq = journal.last_seq();
+                // Replayed journal records are not yet in the keyword map;
+                // keep their tags dirty so the next checkpoint flushes
+                // them. Irrelevant for btree (whole-snapshot rewrites).
+                let (dirty, cleared) = if kw_map.is_some() {
+                    (dirty, cleared)
+                } else {
+                    (HashSet::new(), false)
+                };
                 ShardSlot {
                     snap: RwLock::new(Arc::new(SnapShard {
                         tree: tree.clone(),
                         applied_seq,
                     })),
-                    data: Mutex::new(ShardData { tree, applied_seq }),
+                    data: Mutex::new(ShardData {
+                        tree,
+                        applied_seq,
+                        dirty,
+                        cleared,
+                        kw_map,
+                    }),
                     applied: Condvar::new(),
                     committer: GroupCommitter::new_durable(
                         journal,
@@ -378,6 +489,7 @@ impl Scheme2Server {
             contention: (0..n).map(|_| AtomicU64::new(0)).collect(),
             commit_stats,
             store: RwLock::new(store),
+            backend,
             config,
             stats: StatsCells::default(),
             dir: Some(dir.to_path_buf()),
@@ -420,6 +532,27 @@ impl Scheme2Server {
         self.commit_stats.counters()
     }
 
+    /// The storage backend persisting this server's state.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Per-backend storage counters (runs, compactions, bloom hit rates):
+    /// the document store's plus every shard keyword map's. All zero
+    /// under the btree backend.
+    #[must_use]
+    pub fn backend_counters(&self) -> BackendCounters {
+        let mut c = self.store.read().counters();
+        for i in 0..self.shards.len() {
+            let data = self.lock_data(i);
+            if let Some(map) = &data.kw_map {
+                c.merge(&map.counters());
+            }
+        }
+        c
+    }
+
     /// Checkpoint everything durable, in crash-safe order: document store
     /// snapshot, then every shard's index snapshot (each recording its
     /// `applied_seq` as `last_op_seq`), then every journal truncation.
@@ -432,10 +565,22 @@ impl Scheme2Server {
     /// Filesystem errors. No-op index-wise for in-memory servers.
     pub fn checkpoint(&self, dir: &Path) -> Result<()> {
         let _quiesce = self.barrier.write();
-        let datas = self.lock_all_data();
+        let mut datas = self.lock_all_data();
         self.store.write().checkpoint()?;
-        for (i, data) in datas.iter().enumerate() {
-            self.save_shard_snapshot(data, &dir.join(index_file(i)))?;
+        match self.backend {
+            BackendKind::Btree => {
+                for (i, data) in datas.iter().enumerate() {
+                    self.save_shard_snapshot(data, &dir.join(index_file(i)))?;
+                }
+                // The snapshots committed via rename; one dir fsync makes
+                // all the renames durable before any journal is reset.
+                self.vfs.sync_dir(dir).map_err(StorageError::Io)?;
+            }
+            BackendKind::Lsm => {
+                for data in datas.iter_mut() {
+                    flush_shard_kw_map(data)?;
+                }
+            }
         }
         for slot in &self.shards {
             slot.committer.reset_journal()?;
@@ -766,6 +911,7 @@ impl Scheme2Server {
             |i| protocol::encode_append_generations(&groups[&i]),
             |i, data| {
                 for entry in &groups[&i] {
+                    data.note_mutated(entry.tag);
                     append_entry(&mut data.tree, entry.clone());
                     self.stats
                         .generations_appended
@@ -787,6 +933,7 @@ impl Scheme2Server {
             &idxs,
             |_| protocol::encode_reset_index(),
             |_, data| {
+                data.note_cleared();
                 data.tree = BpTree::new();
             },
         );
@@ -1145,16 +1292,26 @@ fn append_entry(tree: &mut BpTree<[u8; 32], GenerationList>, entry: GenerationEn
 }
 
 /// Re-apply one journaled shard-local mutation during recovery (no
-/// re-journaling).
-fn replay_into(tree: &mut BpTree<[u8; 32], GenerationList>, raw: &[u8]) -> Result<()> {
+/// re-journaling), recording the touched tags into `dirty` / `cleared` so
+/// an lsm-backed server can flush the replayed state at its next
+/// checkpoint.
+fn replay_into(
+    tree: &mut BpTree<[u8; 32], GenerationList>,
+    raw: &[u8],
+    dirty: &mut HashSet<[u8; 32]>,
+    cleared: &mut bool,
+) -> Result<()> {
     match protocol::decode_request(raw)? {
         Request::AppendGenerations(entries) => {
             for entry in entries {
+                dirty.insert(entry.tag);
                 append_entry(tree, entry);
             }
             Ok(())
         }
         Request::ResetIndex => {
+            dirty.clear();
+            *cleared = true;
             *tree = BpTree::new();
             Ok(())
         }
@@ -1163,6 +1320,62 @@ fn replay_into(tree: &mut BpTree<[u8; 32], GenerationList>, raw: &[u8]) -> Resul
             detail: "journal holds a non-mutating request".to_string(),
         })),
     }
+}
+
+/// Flush one lsm-backed shard: clear if the shard was reset, write every
+/// dirty tag's current generation list (or a tombstone if it vanished),
+/// then commit one run carrying `applied_seq`. No-op for btree shards.
+fn flush_shard_kw_map(data: &mut ShardData) -> Result<()> {
+    let ShardData {
+        tree,
+        applied_seq,
+        dirty,
+        cleared,
+        kw_map,
+    } = data;
+    let Some(map) = kw_map else { return Ok(()) };
+    if *cleared {
+        map.clear()?;
+    }
+    for tag in dirty.iter() {
+        match tree.get(tag) {
+            Some(list) => map.put(*tag, encode_generation_list(list))?,
+            None => map.delete(tag)?,
+        }
+    }
+    map.flush(*applied_seq, &[])?;
+    dirty.clear();
+    *cleared = false;
+    Ok(())
+}
+
+/// Serialize one generation list as a keyword-map value: the per-tag body
+/// of the monolithic snapshot format, minus the tag itself.
+fn encode_generation_list(list: &GenerationList) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(list.len() as u64);
+    for generation in list.iter() {
+        w.put_bytes(&generation.masked_ids);
+        w.put_array(&generation.key_commitment);
+    }
+    w.finish()
+}
+
+/// Inverse of [`encode_generation_list`].
+fn decode_generation_list(bytes: &[u8]) -> Result<GenerationList> {
+    let mut r = WireReader::new(bytes);
+    let gens = r.get_count(40)?;
+    let mut list = GenerationList::new();
+    for _ in 0..gens {
+        let masked_ids = r.get_bytes()?.to_vec();
+        let key_commitment = r.get_array32()?;
+        list.push(Generation {
+            masked_ids,
+            key_commitment,
+        });
+    }
+    r.finish()?;
+    Ok(list)
 }
 
 /// Decode one shard snapshot into `tree`, returning the `last_op_seq` it

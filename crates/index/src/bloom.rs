@@ -98,6 +98,30 @@ impl BloomFilter {
     pub fn byte_len(&self) -> usize {
         self.bits.len()
     }
+
+    /// The raw bit array, for serialization into on-disk structures (the
+    /// LSM run files keep one filter per run).
+    #[must_use]
+    pub fn bit_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Rebuild a filter from serialized parts ([`BloomFilter::m_bits`],
+    /// [`BloomFilter::k_hashes`], [`BloomFilter::bit_bytes`]).
+    ///
+    /// Returns `None` when the parts are inconsistent (wrong bit-array
+    /// length, zero sizes) — deserializers treat that as corruption.
+    #[must_use]
+    pub fn from_parts(m_bits: usize, k_hashes: u32, bits: Vec<u8>) -> Option<Self> {
+        if m_bits == 0 || k_hashes == 0 || bits.len() != m_bits.div_ceil(8) {
+            return None;
+        }
+        Some(BloomFilter {
+            bits,
+            m_bits,
+            k_hashes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +197,22 @@ mod tests {
     #[should_panic(expected = "at least one bit")]
     fn zero_bits_panics() {
         let _ = BloomFilter::new(0, 3);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut f = BloomFilter::with_rate(100, 0.01);
+        for i in 0..100u32 {
+            f.insert(&i.to_be_bytes());
+        }
+        let g = BloomFilter::from_parts(f.m_bits(), f.k_hashes(), f.bit_bytes().to_vec())
+            .expect("consistent parts");
+        for i in 0..100u32 {
+            assert!(g.contains(&i.to_be_bytes()));
+        }
+        assert_eq!(g.fill_ratio(), f.fill_ratio());
+        assert!(BloomFilter::from_parts(0, 3, vec![]).is_none());
+        assert!(BloomFilter::from_parts(64, 3, vec![0u8; 5]).is_none());
     }
 
     #[test]

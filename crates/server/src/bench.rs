@@ -21,6 +21,11 @@
 //!   daemon (`BENCH_search.json`): cold first searches vs memo-served
 //!   repeats, and `SEARCH_MANY` batches vs the same searches one round
 //!   trip at a time.
+//! * [`run_update_bench`] fixes shards and group commit and toggles the
+//!   storage backend (`BENCH_backend.json`): an update-heavy workload
+//!   with periodic mid-run checkpoints, where the btree arm rewrites
+//!   every shard snapshot per checkpoint and the lsm arm flushes only
+//!   the tags dirtied since the last one.
 //!
 //! The updaters run Optimization 2 (`CtrPolicy::OnSearchOnly`) and never
 //! search, so their chain counter never advances past 1 and the workload
@@ -33,6 +38,7 @@ use crate::tenant::TenantParams;
 use crate::transport::TcpTransport;
 use sse_core::scheme2::{CtrPolicy, Scheme2Client, Scheme2Config};
 use sse_core::types::{Document, Keyword, MasterKey};
+use sse_storage::BackendKind;
 use std::io::{Error, Result};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -110,6 +116,21 @@ pub struct BenchArm {
     pub fsyncs_saved: u64,
     /// Immutable shard snapshots published for the lock-free search path.
     pub snapshot_swaps: u64,
+    /// Storage backend serving this arm.
+    pub backend: BackendKind,
+    /// Mid-run checkpoints issued by the checkpointer client (0 when the
+    /// arm runs without one; graceful-shutdown checkpoints not counted).
+    pub checkpoints: u64,
+    /// LSM sorted runs written (flushes + compaction outputs); 0 on btree.
+    pub runs_flushed: u64,
+    /// LSM runs live at snapshot time; 0 on btree.
+    pub runs_live: u64,
+    /// LSM full-merge compactions; 0 on btree.
+    pub compactions: u64,
+    /// Bloom filters consulted on reads; 0 on btree.
+    pub bloom_checks: u64,
+    /// Run reads skipped because a bloom filter ruled the key out.
+    pub bloom_skips: u64,
 }
 
 /// Full benchmark report (both arms plus the headline ratio).
@@ -131,15 +152,18 @@ pub struct BenchReport {
 fn arm_json(a: &BenchArm) -> String {
     let contention: Vec<String> = a.shard_contention.iter().map(u64::to_string).collect();
     format!(
-        "{{\"shards\":{},\"group_commit\":{},\"search_ops\":{},\
+        "{{\"shards\":{},\"group_commit\":{},\"backend\":\"{}\",\"search_ops\":{},\
          \"search_ops_per_sec\":{:.2},\"update_ops\":{},\
          \"update_ops_per_sec\":{:.2},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
          \"shard_contention\":[{}],\"busy_retries\":{},\
          \"groups_committed\":{},\"ops_committed\":{},\
          \"mean_group_size\":{:.3},\"max_group_size\":{},\
-         \"fsyncs_per_op\":{:.4},\"fsyncs_saved\":{},\"snapshot_swaps\":{}}}",
+         \"fsyncs_per_op\":{:.4},\"fsyncs_saved\":{},\"snapshot_swaps\":{},\
+         \"checkpoints\":{},\"runs_flushed\":{},\"runs_live\":{},\
+         \"compactions\":{},\"bloom_checks\":{},\"bloom_skips\":{}}}",
         a.shards,
         a.group_commit,
+        a.backend,
         a.search_ops,
         a.search_ops_per_sec,
         a.update_ops,
@@ -156,6 +180,12 @@ fn arm_json(a: &BenchArm) -> String {
         a.fsyncs_per_op,
         a.fsyncs_saved,
         a.snapshot_swaps,
+        a.checkpoints,
+        a.runs_flushed,
+        a.runs_live,
+        a.compactions,
+        a.bloom_checks,
+        a.bloom_skips,
     )
 }
 
@@ -272,21 +302,44 @@ fn connect_scheme2(
     ))
 }
 
-/// Run one arm: spawn a durable daemon with `shards` shards per tenant,
-/// load the corpus, drive the mixed workload for the measured window.
-fn run_arm(
-    opts: &BenchOptions,
+/// Everything that distinguishes one benchmark arm from another: the
+/// tenant geometry, the backend, and the optional checkpoint/preload
+/// pressure. The workload itself (clients, duration, corpus) comes from
+/// the shared [`BenchOptions`].
+struct ArmSpec {
     shards: usize,
     group_commit: bool,
+    backend: BackendKind,
     searchers: usize,
-    data_dir: &Path,
-) -> Result<BenchArm> {
+    /// With this set, a dedicated client issues a wire `CHECKPOINT` on
+    /// the period throughout the window, so the arm also measures how
+    /// checkpoint cost (full snapshot rewrite on btree, dirty-tag run
+    /// flush on lsm) interferes with foreground throughput.
+    checkpoint_every: Option<Duration>,
+    /// Cold keywords indexed and checkpointed before the window opens —
+    /// resident state the workload never touches, which a btree
+    /// checkpoint must nonetheless rewrite.
+    preload_keywords: usize,
+}
+
+/// Run one arm: spawn a durable daemon per `spec`, load the corpus, and
+/// drive the mixed workload for the measured window.
+fn run_arm(opts: &BenchOptions, spec: &ArmSpec, data_dir: &Path) -> Result<BenchArm> {
+    let ArmSpec {
+        shards,
+        group_commit,
+        backend,
+        searchers,
+        checkpoint_every,
+        preload_keywords,
+    } = *spec;
     let config = ServerConfig {
         workers: opts.clients.max(2),
         queue_depth: (opts.clients * 8).max(64),
         tenant_params: TenantParams {
             shards,
             group_commit,
+            backend,
             ..TenantParams::default()
         },
         data_dir: Some(data_dir.to_path_buf()),
@@ -295,13 +348,37 @@ fn run_arm(
     let daemon = Daemon::spawn(config).map_err(|e| Error::other(format!("spawn: {e}")))?;
     let addr = daemon.local_addr().to_string();
 
+    if preload_keywords > 0 {
+        // Build the cold resident index: tags the measured window never
+        // touches again. The settling checkpoint folds them into each
+        // backend's durable form, so the mid-run checkpoints price only
+        // the window's churn — which on btree still means rewriting this
+        // entire snapshot, while lsm flushes just the dirty tags.
+        let mut c = connect_scheme2(
+            &addr,
+            opts.seed,
+            8000,
+            Scheme2Config::standard().with_chain_length(16),
+        )?;
+        let kws: Vec<Keyword> = (0..preload_keywords).map(keyword).collect();
+        for chunk in kws.chunks(2048) {
+            let groups: Vec<Vec<Keyword>> = chunk.chunks(64).map(<[Keyword]>::to_vec).collect();
+            c.fake_update_many(&groups)
+                .map_err(|e| Error::other(format!("preload: {e}")))?;
+        }
+        c.request_checkpoint()
+            .map_err(|e| Error::other(format!("preload checkpoint: {e}")))?;
+    }
+
     let searchers = searchers.clamp(1, opts.clients.saturating_sub(1).max(1));
     let updaters = opts.clients.saturating_sub(searchers).max(1);
+    let checkpointers = usize::from(checkpoint_every.is_some());
 
     let stop = Arc::new(AtomicBool::new(false));
-    let start = Arc::new(Barrier::new(searchers + updaters + 1));
+    let start = Arc::new(Barrier::new(searchers + updaters + checkpointers + 1));
     let search_ops = Arc::new(AtomicU64::new(0));
     let update_ops = Arc::new(AtomicU64::new(0));
+    let checkpoints = Arc::new(AtomicU64::new(0));
     let busy_retries = Arc::new(AtomicU64::new(0));
     let histogram = Arc::new(LatencyHistogram::new());
 
@@ -380,6 +457,33 @@ fn run_arm(
             Ok(())
         }));
     }
+    if let Some(period) = checkpoint_every {
+        let addr = addr.clone();
+        let seed = opts.seed;
+        let stop = stop.clone();
+        let start = start.clone();
+        let checkpoints = checkpoints.clone();
+        joins.push(std::thread::spawn(move || -> Result<()> {
+            // One checkpointer per arm: sleeps in short slices so it
+            // notices `stop` promptly, then asks the daemon to persist the
+            // doc store and keyword index mid-run. On btree that rewrites
+            // every shard snapshot; on lsm it flushes only dirty tags.
+            let mut c = connect_scheme2(&addr, seed, 9000, Scheme2Config::standard())?;
+            start.wait();
+            let slice = Duration::from_millis(10);
+            let mut due = Instant::now() + period;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(slice);
+                if Instant::now() >= due {
+                    c.request_checkpoint()
+                        .map_err(|e| Error::other(e.to_string()))?;
+                    checkpoints.fetch_add(1, Ordering::Relaxed);
+                    due = Instant::now() + period;
+                }
+            }
+            Ok(())
+        }));
+    }
 
     start.wait();
     let measured = Instant::now();
@@ -435,6 +539,13 @@ fn run_arm(
         fsyncs_per_op,
         fsyncs_saved: stats.fsyncs_saved,
         snapshot_swaps: stats.snapshot_swaps,
+        backend,
+        checkpoints: checkpoints.load(Ordering::Relaxed),
+        runs_flushed: stats.backend_runs_flushed,
+        runs_live: stats.backend_runs_live,
+        compactions: stats.backend_compactions,
+        bloom_checks: stats.backend_bloom_checks,
+        bloom_skips: stats.backend_bloom_skips,
     })
 }
 
@@ -458,7 +569,18 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchReport> {
         let dir = scratch_dir(&format!("s{shards}"), opts.seed);
         let _ = std::fs::remove_dir_all(&dir); // stale state from a crashed run
         std::fs::create_dir_all(&dir)?;
-        let result = run_arm(opts, shards, true, (opts.clients / 2).max(1), &dir);
+        let result = run_arm(
+            opts,
+            &ArmSpec {
+                shards,
+                group_commit: true,
+                backend: BackendKind::Btree,
+                searchers: (opts.clients / 2).max(1),
+                checkpoint_every: None,
+                preload_keywords: 0,
+            },
+            &dir,
+        );
         let _ = std::fs::remove_dir_all(&dir);
         arms.push(result?);
     }
@@ -497,7 +619,18 @@ pub fn run_group_commit_bench(opts: &BenchOptions) -> Result<GroupCommitReport> 
         let dir = scratch_dir(tag, opts.seed);
         let _ = std::fs::remove_dir_all(&dir); // stale state from a crashed run
         std::fs::create_dir_all(&dir)?;
-        let result = run_arm(opts, shards, group_commit, searchers, &dir);
+        let result = run_arm(
+            opts,
+            &ArmSpec {
+                shards,
+                group_commit,
+                backend: BackendKind::Btree,
+                searchers,
+                checkpoint_every: None,
+                preload_keywords: 0,
+            },
+            &dir,
+        );
         let _ = std::fs::remove_dir_all(&dir);
         arms.push(result?);
     }
@@ -512,6 +645,113 @@ pub fn run_group_commit_bench(opts: &BenchOptions) -> Result<GroupCommitReport> 
         grouped,
         speedup_update_ops_per_sec: speedup,
         search_p99_ratio: p99_ratio,
+    })
+}
+
+/// Cold keywords indexed and checkpointed before the update bench's
+/// measured window: resident index state the workload never touches.
+/// This is what makes the backend contrast visible — every mid-run btree
+/// checkpoint rewrites all of it, every lsm checkpoint skips all of it.
+pub const UPDATE_BENCH_PRELOAD_KEYWORDS: usize = 32768;
+
+/// Backend A/B report: both arms run the same shard count, group commit,
+/// and update-heavy workload with periodic mid-run checkpoints; only
+/// `TenantParams::backend` differs.
+#[derive(Clone, Debug)]
+pub struct UpdateBenchReport {
+    /// Parameters the run used (`options.shards` is the fixed shard count
+    /// both arms share).
+    pub options: BenchOptions,
+    /// Cold resident keywords preloaded before the window (see
+    /// [`UPDATE_BENCH_PRELOAD_KEYWORDS`]).
+    pub preload_keywords: usize,
+    /// Baseline arm on the B+-tree backend (full snapshot rewrite per
+    /// checkpoint).
+    pub btree: BenchArm,
+    /// LSM arm (dirty-tag run flush per checkpoint).
+    pub lsm: BenchArm,
+    /// Mid-run checkpoint period both arms share.
+    pub checkpoint_every: Duration,
+    /// `lsm.update_ops_per_sec / btree.update_ops_per_sec` — the CI
+    /// bench-smoke gate requires this at or above 1.0.
+    pub lsm_vs_btree_update_ratio: f64,
+}
+
+impl UpdateBenchReport {
+    /// Serialize as the `BENCH_backend.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n\"benchmark\":\"sse-backend-update\",\n\"seed\":{},\n\"clients\":{},\n\
+             \"shards\":{},\n\"keywords\":{},\n\"docs\":{},\n\"duration_ms\":{},\n\
+             \"checkpoint_every_ms\":{},\n\"preload_keywords\":{},\n\
+             \"arms\":[\n{},\n{}\n],\n\"lsm_vs_btree_update_ratio\":{:.3}\n}}\n",
+            self.options.seed,
+            self.options.clients,
+            self.options.shards,
+            self.options.keywords,
+            self.options.docs,
+            self.options.duration.as_millis(),
+            self.checkpoint_every.as_millis(),
+            self.preload_keywords,
+            arm_json(&self.btree),
+            arm_json(&self.lsm),
+            self.lsm_vs_btree_update_ratio,
+        )
+    }
+}
+
+/// Run the backend A/B benchmark: both arms use `opts.shards` shards,
+/// group commit, and an update-heavy workload (GP-style: almost every
+/// client issues durable fake updates, a single searcher keeps the read
+/// path honest) while a checkpointer client persists the index mid-run.
+/// The first arm serves from the `btree` backend, the second from `lsm`;
+/// the headline ratio compares update throughput, which is where the
+/// lsm backend's dirty-tag checkpoint flush earns its keep.
+///
+/// # Errors
+/// Daemon spawn, connection, or scheme errors from either arm.
+pub fn run_update_bench(opts: &BenchOptions) -> Result<UpdateBenchReport> {
+    assert!(
+        opts.clients >= 2,
+        "need at least one searcher and one updater"
+    );
+    let shards = opts.shards.max(1);
+    // Update-heavy split: one searcher in eight. The arm's checkpoint
+    // period divides the window so both arms absorb several mid-run
+    // checkpoints regardless of the configured duration.
+    let searchers = (opts.clients / 8).max(1);
+    let checkpoint_every = (opts.duration / 10).max(Duration::from_millis(40));
+    let mut arms = Vec::with_capacity(2);
+    for backend in [BackendKind::Btree, BackendKind::Lsm] {
+        let dir = scratch_dir(backend.as_str(), opts.seed);
+        let _ = std::fs::remove_dir_all(&dir); // stale state from a crashed run
+        std::fs::create_dir_all(&dir)?;
+        let result = run_arm(
+            opts,
+            &ArmSpec {
+                shards,
+                group_commit: true,
+                backend,
+                searchers,
+                checkpoint_every: Some(checkpoint_every),
+                preload_keywords: UPDATE_BENCH_PRELOAD_KEYWORDS,
+            },
+            &dir,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        arms.push(result?);
+    }
+    let lsm = arms.pop().expect("two arms");
+    let btree = arms.pop().expect("two arms");
+    let ratio = lsm.update_ops_per_sec / btree.update_ops_per_sec.max(1e-9);
+    Ok(UpdateBenchReport {
+        options: opts.clone(),
+        preload_keywords: UPDATE_BENCH_PRELOAD_KEYWORDS,
+        btree,
+        lsm,
+        checkpoint_every,
+        lsm_vs_btree_update_ratio: ratio,
     })
 }
 
@@ -788,6 +1028,13 @@ mod tests {
             fsyncs_per_op: 0.4,
             fsyncs_saved: 3,
             snapshot_swaps: 5,
+            backend: BackendKind::Btree,
+            checkpoints: 0,
+            runs_flushed: 0,
+            runs_live: 0,
+            compactions: 0,
+            bloom_checks: 0,
+            bloom_skips: 0,
         }
     }
 
@@ -886,6 +1133,44 @@ mod tests {
             "\"snapshot_swaps\"",
             "\"speedup_update_ops_per_sec\"",
             "\"search_p99_ratio\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn update_report_json_has_required_fields() {
+        let mut lsm = arm(4, true);
+        lsm.backend = BackendKind::Lsm;
+        lsm.checkpoints = 6;
+        lsm.runs_flushed = 24;
+        lsm.runs_live = 4;
+        lsm.compactions = 2;
+        lsm.bloom_checks = 300;
+        lsm.bloom_skips = 250;
+        let report = UpdateBenchReport {
+            options: BenchOptions::default(),
+            preload_keywords: 4096,
+            btree: arm(4, true),
+            lsm,
+            checkpoint_every: Duration::from_millis(250),
+            lsm_vs_btree_update_ratio: 1.2,
+        };
+        let json = report.to_json();
+        for field in [
+            "\"benchmark\":\"sse-backend-update\"",
+            "\"backend\":\"btree\"",
+            "\"backend\":\"lsm\"",
+            "\"checkpoint_every_ms\":250",
+            "\"preload_keywords\":4096",
+            "\"update_ops_per_sec\"",
+            "\"checkpoints\":6",
+            "\"runs_flushed\":24",
+            "\"runs_live\":4",
+            "\"compactions\":2",
+            "\"bloom_checks\":300",
+            "\"bloom_skips\":250",
+            "\"lsm_vs_btree_update_ratio\":1.200",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

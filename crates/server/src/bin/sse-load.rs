@@ -4,7 +4,7 @@
 //! sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N]
 //!          [--scheme 1|2|both] [--profile gp|traveler] [--events N]
 //!          [--seed N] [--shutdown]
-//! sse-load --bench-json PATH [--bench-mode serving|groupcommit|search]
+//! sse-load --bench-json PATH [--bench-mode serving|groupcommit|search|update]
 //!          [--shards N] [--clients N] [--seed N] [--bench-ms N]
 //! ```
 //!
@@ -22,9 +22,13 @@
 //! default 1 — concurrent updaters must share a shard journal for flush
 //! groups to form); `search` measures the search hot path on one
 //! in-memory daemon (cold walks vs memo-served repeats, and `SEARCH_MANY`
-//! batches vs the same searches one round trip at a time).
+//! batches vs the same searches one round trip at a time); `update`
+//! compares the `btree` vs `lsm` storage backends under an update-heavy
+//! workload with periodic mid-run checkpoints (`BENCH_backend.json`).
 
-use sse_server::bench::{run_bench, run_group_commit_bench, run_search_bench, BenchOptions};
+use sse_server::bench::{
+    run_bench, run_group_commit_bench, run_search_bench, run_update_bench, BenchOptions,
+};
 use sse_server::daemon::{Daemon, ServerConfig};
 use sse_server::load::{run_load, LoadOptions, Profile};
 use sse_server::proto::SchemeId;
@@ -35,7 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N] \
          [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]\n\
-         \x20      sse-load --bench-json PATH [--bench-mode serving|groupcommit|search] \
+         \x20      sse-load --bench-json PATH \
+         [--bench-mode serving|groupcommit|search|update] \
          [--shards N] [--clients N] [--seed N] [--bench-ms N]"
     );
     std::process::exit(2);
@@ -53,6 +58,7 @@ enum BenchMode {
     Serving,
     GroupCommit,
     Search,
+    Update,
 }
 
 struct Cli {
@@ -102,6 +108,7 @@ fn parse_args() -> Cli {
                     "serving" => BenchMode::Serving,
                     "groupcommit" => BenchMode::GroupCommit,
                     "search" => BenchMode::Search,
+                    "update" => BenchMode::Update,
                     other => {
                         eprintln!("unknown bench mode: {other}");
                         usage();
@@ -233,6 +240,49 @@ fn run_group_commit_mode(path: &std::path::Path, bench: &BenchOptions) -> ExitCo
     ExitCode::SUCCESS
 }
 
+/// Run the backend A/B benchmark and write `BENCH_backend.json`.
+fn run_update_mode(path: &std::path::Path, bench: &BenchOptions) -> ExitCode {
+    println!(
+        "sse-load: backend benchmark: {} clients, {} shard(s), {:?} window per arm",
+        bench.clients, bench.shards, bench.duration
+    );
+    let report = match run_update_bench(bench) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sse-load: benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for arm in [&report.btree, &report.lsm] {
+        println!(
+            "sse-load: backend={}: {:.1} update ops/sec, {:.1} search ops/sec \
+             (search p50 {} ns, p99 {} ns), {} checkpoint(s), {} run(s) flushed \
+             ({} live), {} compaction(s), bloom {} check(s) / {} skip(s)",
+            arm.backend,
+            arm.update_ops_per_sec,
+            arm.search_ops_per_sec,
+            arm.p50_ns,
+            arm.p99_ns,
+            arm.checkpoints,
+            arm.runs_flushed,
+            arm.runs_live,
+            arm.compactions,
+            arm.bloom_checks,
+            arm.bloom_skips
+        );
+    }
+    println!(
+        "sse-load: lsm vs btree update throughput: {:.2}x",
+        report.lsm_vs_btree_update_ratio
+    );
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("sse-load: writing {} failed: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("sse-load: wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut cli = parse_args();
     if let Some(path) = &cli.bench_json {
@@ -241,6 +291,9 @@ fn main() -> ExitCode {
         }
         if cli.bench_mode == BenchMode::Search {
             return run_search_mode(path, &cli.bench);
+        }
+        if cli.bench_mode == BenchMode::Update {
+            return run_update_mode(path, &cli.bench);
         }
         println!(
             "sse-load: benchmark mode: {} clients, 1 vs {} shard(s), {:?} window per arm",

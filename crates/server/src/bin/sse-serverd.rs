@@ -3,7 +3,7 @@
 //! ```text
 //! sse-serverd [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--scheme1-capacity N] [--scheme2-chain N] [--shards N]
-//!             [--data-dir DIR] [--idle-timeout-ms N]
+//!             [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N]
 //! ```
 //!
 //! Serves until an `ADMIN_SHUTDOWN` frame arrives (e.g. `sse-load
@@ -13,7 +13,12 @@
 //! With `--data-dir` the daemon is **durable**: tenant databases persist
 //! under the directory, WALs left by a crash are replayed before the
 //! listener opens, and the drain checkpoints every tenant so a clean
-//! restart has nothing to replay.
+//! restart has nothing to replay. `--backend` picks the storage engine
+//! for newly created tenant directories: `btree` (default — monolithic
+//! index snapshots rewritten per checkpoint) or `lsm` (append-only
+//! sorted runs with bloom-filtered reads; checkpoints flush only the
+//! tags mutated since the last one). Each tenant directory remembers its
+//! backend and refuses to reopen under the other.
 
 use sse_server::daemon::{Daemon, ServerConfig};
 use sse_server::tenant::TenantParams;
@@ -23,7 +28,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sse-serverd [--addr HOST:PORT] [--workers N] [--queue N] \
          [--scheme1-capacity N] [--scheme2-chain N] [--shards N] \
-         [--data-dir DIR] [--idle-timeout-ms N]"
+         [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -57,6 +62,12 @@ fn parse_args() -> ServerConfig {
             "--scheme2-chain" => params.scheme2_chain_length = parse(&value()),
             "--shards" => params.shards = parse(&value()),
             "--data-dir" => config.data_dir = Some(std::path::PathBuf::from(value())),
+            "--backend" => {
+                params.backend = value().parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
             "--idle-timeout-ms" => {
                 config.idle_timeout = std::time::Duration::from_millis(parse(&value()));
             }
@@ -81,11 +92,13 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "sse-serverd listening on {} ({} workers, queue depth {}, {} index shard(s)/tenant)",
+        "sse-serverd listening on {} ({} workers, queue depth {}, {} index shard(s)/tenant, \
+         {} backend)",
         daemon.local_addr(),
         config.workers,
         config.queue_depth,
-        config.tenant_params.shards.max(1)
+        config.tenant_params.shards.max(1),
+        config.tenant_params.backend
     );
     match &config.data_dir {
         Some(dir) => {
@@ -141,6 +154,20 @@ fn main() -> ExitCode {
     println!(
         "sse-serverd: search cache: {} hit(s) / {} miss(es), {} chain step(s) saved",
         stats.search_cache_hits, stats.search_cache_misses, stats.walk_steps_saved
+    );
+    // Backend counters come from the post-drain snapshot: the drain
+    // checkpoint itself flushes lsm runs, which a pre-shutdown snapshot
+    // would miss.
+    println!(
+        "sse-serverd: backend: {} run(s) flushed ({} live), {} compaction(s), \
+         {} run read(s), bloom {} check(s) / {} skip(s) / {} false positive(s)",
+        report.final_stats.backend_runs_flushed,
+        report.final_stats.backend_runs_live,
+        report.final_stats.backend_compactions,
+        report.final_stats.backend_run_reads,
+        report.final_stats.backend_bloom_checks,
+        report.final_stats.backend_bloom_skips,
+        report.final_stats.backend_bloom_false_positives
     );
     ExitCode::SUCCESS
 }

@@ -118,6 +118,14 @@ impl Shared {
         snap.search_cache_hits = cache.hits;
         snap.search_cache_misses = cache.misses;
         snap.walk_steps_saved = cache.walk_steps_saved;
+        let backend = self.registry.backend_counters();
+        snap.backend_runs_flushed = backend.runs_flushed;
+        snap.backend_runs_live = backend.runs_live;
+        snap.backend_compactions = backend.compactions;
+        snap.backend_run_reads = backend.run_reads;
+        snap.backend_bloom_checks = backend.bloom_checks;
+        snap.backend_bloom_skips = backend.bloom_skips;
+        snap.backend_bloom_false_positives = backend.bloom_false_positives;
         if let Some(f) = &self.fault_stats {
             snap.faults_injected = f.injected();
         }
@@ -141,7 +149,7 @@ struct Job {
 
 /// Counts reported by [`Daemon::shutdown`] — evidence that every spawned
 /// thread was joined.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShutdownReport {
     /// Worker threads joined.
     pub workers_joined: usize,
@@ -150,6 +158,10 @@ pub struct ShutdownReport {
     /// Tenant databases checkpointed to disk during the drain (always 0
     /// for an in-memory daemon).
     pub tenants_checkpointed: usize,
+    /// Statistics taken after the drain checkpoints, so counters the
+    /// checkpoint itself advances (lsm runs flushed, compactions) are
+    /// included — a pre-shutdown [`Daemon::stats`] call would miss them.
+    pub final_stats: StatsSnapshot,
 }
 
 /// A running daemon. Dropping it without calling [`Daemon::shutdown`]
@@ -299,10 +311,12 @@ impl Daemon {
         // starts clean. A checkpoint failure (e.g. disk full) is not fatal
         // here — the WALs themselves still replay on the next open.
         let tenants_checkpointed = self.shared.registry.checkpoint_all().unwrap_or(0);
+        let final_stats = self.shared.full_snapshot();
         ShutdownReport {
             workers_joined,
             connections_joined,
             tenants_checkpointed,
+            final_stats,
         }
     }
 }

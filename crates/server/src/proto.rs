@@ -264,6 +264,21 @@ pub struct StatsSnapshot {
     pub search_cache_misses: u64,
     /// Forward hash-chain steps avoided by memo hits.
     pub walk_steps_saved: u64,
+    /// Sorted runs written by lsm-backed tenants since open (flushes plus
+    /// compaction outputs; 0 for btree-only daemons).
+    pub backend_runs_flushed: u64,
+    /// Sorted runs currently referenced by lsm manifests.
+    pub backend_runs_live: u64,
+    /// LSM compactions performed since open.
+    pub backend_compactions: u64,
+    /// Point reads that had to consult at least one run on disk.
+    pub backend_run_reads: u64,
+    /// Per-run bloom membership tests performed.
+    pub backend_bloom_checks: u64,
+    /// Run probes skipped because the bloom filter proved absence.
+    pub backend_bloom_skips: u64,
+    /// Run probes where the bloom said "maybe" but the key was absent.
+    pub backend_bloom_false_positives: u64,
 }
 
 impl StatsSnapshot {
@@ -311,7 +326,14 @@ impl StatsSnapshot {
             .put_u64(self.snapshot_swaps)
             .put_u64(self.search_cache_hits)
             .put_u64(self.search_cache_misses)
-            .put_u64(self.walk_steps_saved);
+            .put_u64(self.walk_steps_saved)
+            .put_u64(self.backend_runs_flushed)
+            .put_u64(self.backend_runs_live)
+            .put_u64(self.backend_compactions)
+            .put_u64(self.backend_run_reads)
+            .put_u64(self.backend_bloom_checks)
+            .put_u64(self.backend_bloom_skips)
+            .put_u64(self.backend_bloom_false_positives);
         w.finish()
     }
 
@@ -341,6 +363,13 @@ impl StatsSnapshot {
             search_cache_hits: r.get_u64().ok()?,
             search_cache_misses: r.get_u64().ok()?,
             walk_steps_saved: r.get_u64().ok()?,
+            backend_runs_flushed: r.get_u64().ok()?,
+            backend_runs_live: r.get_u64().ok()?,
+            backend_compactions: r.get_u64().ok()?,
+            backend_run_reads: r.get_u64().ok()?,
+            backend_bloom_checks: r.get_u64().ok()?,
+            backend_bloom_skips: r.get_u64().ok()?,
+            backend_bloom_false_positives: r.get_u64().ok()?,
         };
         r.finish().ok()?;
         Some(snap)
@@ -428,6 +457,13 @@ mod tests {
             search_cache_hits: 30,
             search_cache_misses: 11,
             walk_steps_saved: 90,
+            backend_runs_flushed: 6,
+            backend_runs_live: 4,
+            backend_compactions: 1,
+            backend_run_reads: 200,
+            backend_bloom_checks: 340,
+            backend_bloom_skips: 280,
+            backend_bloom_false_positives: 3,
         };
         assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap.clone()));
         assert_eq!(StatsSnapshot::decode(b"short"), None);

@@ -83,6 +83,13 @@ impl ServingStats {
             search_cache_hits: 0,
             search_cache_misses: 0,
             walk_steps_saved: 0,
+            backend_runs_flushed: 0,
+            backend_runs_live: 0,
+            backend_compactions: 0,
+            backend_run_reads: 0,
+            backend_bloom_checks: 0,
+            backend_bloom_skips: 0,
+            backend_bloom_false_positives: 0,
         }
     }
 }

@@ -23,7 +23,7 @@ use sse_core::journal::ServerRecovery;
 use sse_core::scheme1::Scheme1Server;
 use sse_core::scheme2::{Scheme2Config, Scheme2Server};
 use sse_net::link::Service;
-use sse_storage::{RealVfs, Vfs};
+use sse_storage::{BackendCounters, BackendKind, RealVfs, Vfs};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -204,6 +204,25 @@ impl TenantDb {
             TenantDb::S2(s) => s.commit_counters(),
         }
     }
+
+    /// The storage backend persisting this database.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        match self {
+            TenantDb::S1(s) => s.backend(),
+            TenantDb::S2(s) => s.backend(),
+        }
+    }
+
+    /// Per-backend storage counters (runs, compactions, bloom hit rates;
+    /// all zero under the btree backend).
+    #[must_use]
+    pub fn backend_counters(&self) -> BackendCounters {
+        match self {
+            TenantDb::S1(s) => s.backend_counters(),
+            TenantDb::S2(s) => s.backend_counters(),
+        }
+    }
 }
 
 impl Service for TenantDb {
@@ -239,6 +258,11 @@ pub struct TenantParams {
     /// shared-fsync commit groups (`false` ⇒ one fsync per mutation, the
     /// benchmark's baseline arm). Durability semantics are identical.
     pub group_commit: bool,
+    /// Storage backend for durable tenants (fixed per tenant directory at
+    /// creation, recorded in `backend.meta`; reopening an existing
+    /// directory under a different backend is a clean error). Ignored in
+    /// in-memory mode.
+    pub backend: BackendKind,
 }
 
 impl Default for TenantParams {
@@ -248,6 +272,7 @@ impl Default for TenantParams {
             scheme2_chain_length: 4096,
             shards: 1,
             group_commit: true,
+            backend: BackendKind::Btree,
         }
     }
 }
@@ -335,20 +360,22 @@ impl TenantRegistry {
                 let dir = tenant_dir(root, tenant, scheme);
                 self.vfs.create_dir_all(&dir)?;
                 Ok(match scheme {
-                    SchemeId::Scheme1 => TenantDb::S1(Scheme1Server::open_durable_with_vfs_opts(
+                    SchemeId::Scheme1 => TenantDb::S1(Scheme1Server::open_durable_with_backend(
                         Arc::clone(&self.vfs),
                         self.params.scheme1_capacity,
                         &dir,
                         shards,
                         self.params.group_commit,
+                        self.params.backend,
                     )?),
-                    SchemeId::Scheme2 => TenantDb::S2(Scheme2Server::open_durable_with_vfs_opts(
+                    SchemeId::Scheme2 => TenantDb::S2(Scheme2Server::open_durable_with_backend(
                         Arc::clone(&self.vfs),
                         Scheme2Config::standard()
                             .with_chain_length(self.params.scheme2_chain_length),
                         &dir,
                         shards,
                         self.params.group_commit,
+                        self.params.backend,
                     )?),
                 })
             }
@@ -468,6 +495,18 @@ impl TenantRegistry {
         let mut out = SearchCacheCounters::default();
         for handle in handles {
             out.merge(&handle.search_cache_counters());
+        }
+        out
+    }
+
+    /// Per-backend storage counters merged over every open tenant
+    /// database (the STATS backend block).
+    #[must_use]
+    pub fn backend_counters(&self) -> BackendCounters {
+        let handles: Vec<TenantHandle> = self.tenants.lock().values().cloned().collect();
+        let mut out = BackendCounters::default();
+        for handle in handles {
+            out.merge(&handle.backend_counters());
         }
         out
     }

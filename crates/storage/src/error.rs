@@ -24,6 +24,14 @@ pub enum StorageError {
         /// Maximum supported size in bytes.
         max: usize,
     },
+    /// A durable directory was written by one storage backend and opened
+    /// under another. Refusing cleanly beats silently misreading files.
+    BackendMismatch {
+        /// Backend recorded in the directory's backend manifest.
+        on_disk: &'static str,
+        /// Backend the caller asked to open.
+        requested: &'static str,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -36,6 +44,14 @@ impl fmt::Display for StorageError {
             StorageError::RecordNotFound => write!(f, "record not found"),
             StorageError::RecordTooLarge { size, max } => {
                 write!(f, "record of {size} bytes exceeds maximum {max}")
+            }
+            StorageError::BackendMismatch { on_disk, requested } => {
+                write!(
+                    f,
+                    "storage backend mismatch: directory was written by the \
+                     `{on_disk}` backend but `{requested}` was requested; \
+                     reopen with --backend {on_disk}"
+                )
             }
         }
     }

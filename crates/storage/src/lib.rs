@@ -19,20 +19,34 @@
 //! * [`vfs`] — the file-I/O abstraction everything above runs on:
 //!   [`vfs::RealVfs`] (plain `std::fs`) and [`vfs::FaultVfs`] (seeded,
 //!   deterministic fault injection: failed/torn writes, failed fsyncs,
-//!   hard crash at any scheduled write point).
+//!   failed dir fsyncs, lost renames, hard crash at any scheduled write
+//!   point);
+//! * [`backend`] — the pluggable backend ADT: [`backend::KeywordMap`] and
+//!   [`backend::DocBlobStore`] traits, the [`backend::BackendKind`]
+//!   manifest that makes directories refuse to open under the wrong
+//!   engine, and the `btree` implementations;
+//! * [`lsm`] — the log-structured backend: append-only sorted runs,
+//!   bloom-filtered point reads, tag-range compaction.
 //!
 //! Everything is plain `std::fs`; no external crates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod crc32;
 pub mod error;
 pub mod heap;
+pub mod lsm;
 pub mod page;
 pub mod store;
 pub mod vfs;
 pub mod wal;
 
+pub use backend::{
+    resolve_backend, BackendCounters, BackendKind, BtreeKeywordMap, DocBlobStore, KeywordMap,
+    KeywordMapSnapshot, MemKeywordMap,
+};
 pub use error::{Result, StorageError};
+pub use lsm::{LsmCore, LsmDocStore, LsmKeywordMap};
 pub use vfs::{FaultConfig, FaultStats, FaultVfs, RealVfs, Vfs, VfsFile};

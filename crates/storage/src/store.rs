@@ -302,6 +302,10 @@ impl DocStore {
             f.sync_data()?;
         }
         vfs.rename(&tmp_path, &final_path)?;
+        // fsync the directory entry: without this the rename itself can be
+        // lost on crash, resurrecting the old snapshot *after* the WAL
+        // below has been reset — silent data loss.
+        vfs.sync_dir(&dir)?;
 
         if let Backing::Disk { wal, .. } = &mut self.backing {
             wal.reset()?;

@@ -93,6 +93,41 @@ pub trait Vfs: Send + Sync {
     /// I/O errors, or injected faults.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
 
+    /// fsync a **directory entry**: make a preceding [`Vfs::rename`] into
+    /// `path` durable. A rename that is not followed by a parent-dir fsync
+    /// may be lost on crash ([`FaultVfs`] models exactly that with
+    /// [`FaultConfig::lose_unsynced_renames`]).
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+
+    /// Delete a file (LSM run garbage collection after compaction).
+    ///
+    /// # Errors
+    /// I/O errors ([`ErrorKind::NotFound`] when absent), or injected faults.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Random read: `len` bytes starting at byte `offset`. Short files
+    /// return an [`ErrorKind::UnexpectedEof`] error rather than a short
+    /// read. Default implementation reads the whole file and slices;
+    /// backends with large immutable files override it.
+    ///
+    /// # Errors
+    /// I/O errors, or injected faults.
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let bytes = self.read(path)?;
+        let start = usize::try_from(offset).map_err(|_| Error::from(ErrorKind::UnexpectedEof))?;
+        let end = start.checked_add(len).ok_or(ErrorKind::UnexpectedEof)?;
+        if end > bytes.len() {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                format!("read_range {offset}+{len} past end {}", bytes.len()),
+            ));
+        }
+        Ok(bytes[start..end].to_vec())
+    }
+
     /// Whether a file exists (false on any probe error).
     fn exists(&self, path: &Path) -> bool {
         matches!(self.file_len(path), Ok(Some(_)))
@@ -171,6 +206,25 @@ impl Vfs for RealVfs {
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
     }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is the portable
+        // (POSIX) way to make a rename of one of its entries durable.
+        std::fs::File::open(path)?.sync_data()
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        use std::io::{Read, Seek};
+        let mut f = std::fs::File::open(path)?;
+        f.seek(std::io::SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +256,23 @@ pub struct FaultConfig {
     /// (the group *is* durable), then every subsequent operation fails — a
     /// crash between a group's fsync and its acks.
     pub crash_after_sync: Option<u64>,
+    /// Fail the N-th `sync_dir` (directory-entry fsync). Counted on a
+    /// schedule separate from `sync_data` so existing fault schedules are
+    /// unaffected by new dir-fsync call sites.
+    pub fail_dir_sync_at: Option<u64>,
+    /// Hard crash at the N-th `sync_dir`: the directory fsync never
+    /// happens and every subsequent operation fails. Combine with
+    /// [`FaultConfig::lose_unsynced_renames`] to simulate losing the
+    /// rename itself.
+    pub crash_at_dir_sync: Option<u64>,
+    /// Model un-fsynced directory entries: every [`Vfs::rename`] is held
+    /// *pending* until a `sync_dir` of its parent directory succeeds. If
+    /// the VFS crashes first, pending renames are rolled back — the old
+    /// destination file reappears and the renamed bytes go back to the
+    /// source path, exactly as if the directory entry never hit disk.
+    /// Off by default (renames are then durable at the rename call, the
+    /// historical process-crash model).
+    pub lose_unsynced_renames: bool,
 }
 
 /// Shared counters exposing what a [`FaultVfs`] saw and injected.
@@ -219,6 +290,12 @@ pub struct FaultStats {
     pub failed_syncs: AtomicU64,
     /// Writes failed cleanly (zero bytes written).
     pub failed_writes: AtomicU64,
+    /// Total `sync_dir` calls observed (separate schedule from syncs).
+    pub dir_syncs_seen: AtomicU64,
+    /// `sync_dir` calls failed.
+    pub failed_dir_syncs: AtomicU64,
+    /// Renames rolled back at crash time (un-fsynced directory entries).
+    pub renames_lost: AtomicU64,
     /// Whether the simulated hard crash has happened.
     pub crashed: AtomicBool,
 }
@@ -236,6 +313,13 @@ impl FaultStats {
     pub fn writes(&self) -> u64 {
         self.writes_seen.load(Ordering::Relaxed)
     }
+
+    /// Total directory fsyncs observed so far (the `sync_dir` crash-point
+    /// count for rename-loss sweeps).
+    #[must_use]
+    pub fn dir_syncs(&self) -> u64 {
+        self.dir_syncs_seen.load(Ordering::Relaxed)
+    }
 }
 
 /// SplitMix64 — tiny, seedable, deterministic; used only to derive torn
@@ -247,9 +331,22 @@ fn splitmix64(state: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One rename whose directory entry has not yet been fsynced: enough state
+/// to undo it if the VFS crashes first.
+struct PendingRename {
+    from: std::path::PathBuf,
+    to: std::path::PathBuf,
+    /// Content of `to` before the rename clobbered it (`None`: absent).
+    old_to: Option<Vec<u8>>,
+    /// The bytes that moved from `from` to `to`.
+    new_bytes: Vec<u8>,
+}
+
 struct FaultState {
     cfg: FaultConfig,
     stats: Arc<FaultStats>,
+    inner: Arc<dyn Vfs>,
+    pending_renames: std::sync::Mutex<Vec<PendingRename>>,
 }
 
 impl FaultState {
@@ -262,6 +359,70 @@ impl FaultState {
             return Err(Self::crashed_err());
         }
         Ok(())
+    }
+
+    /// Mark the VFS crashed and, when `lose_unsynced_renames` is set, roll
+    /// back every rename whose parent directory was never fsynced: the
+    /// renamed bytes reappear at the source path and the old destination
+    /// content (if any) is restored — the directory entry never hit disk.
+    fn trigger_crash(&self) {
+        self.stats.crashed.store(true, Ordering::SeqCst);
+        if !self.cfg.lose_unsynced_renames {
+            return;
+        }
+        let mut pending = self
+            .pending_renames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for p in pending.drain(..).rev() {
+            // Best-effort: the rollback itself uses the inner (real) VFS
+            // because this VFS is already dead.
+            if let Ok(mut f) = self.inner.create(&p.from) {
+                let _ = f.write_all(&p.new_bytes);
+            }
+            match p.old_to {
+                Some(old) => {
+                    if let Ok(mut f) = self.inner.create(&p.to) {
+                        let _ = f.write_all(&old);
+                    }
+                }
+                None => {
+                    let _ = self.inner.remove_file(&p.to);
+                }
+            }
+            self.stats.renames_lost.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a completed rename as pending until its parent dir is synced.
+    fn note_rename(&self, from: &Path, to: &Path, old_to: Option<Vec<u8>>, new_bytes: Vec<u8>) {
+        let mut pending = self
+            .pending_renames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A rename onto the destination of an earlier pending rename
+        // supersedes it; keep the *original* old_to so rollback restores
+        // the truly durable content.
+        let prior_old = pending
+            .iter()
+            .position(|p| p.to == to)
+            .map(|i| pending.remove(i).old_to);
+        pending.push(PendingRename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+            old_to: prior_old.unwrap_or(old_to),
+            new_bytes,
+        });
+    }
+
+    /// A successful directory fsync makes every pending rename inside that
+    /// directory durable.
+    fn settle_renames_in(&self, dir: &Path) {
+        let mut pending = self
+            .pending_renames
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        pending.retain(|p| p.to.parent() != Some(dir));
     }
 
     /// Gate one write: returns `Ok(None)` to pass the full buffer through,
@@ -278,7 +439,7 @@ impl FaultState {
             }
         };
         if self.cfg.crash_at_write == Some(n) {
-            self.stats.crashed.store(true, Ordering::SeqCst);
+            self.trigger_crash();
             self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
             self.stats.torn_writes.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(torn_prefix(0xC4A5)));
@@ -304,7 +465,7 @@ impl FaultState {
         self.check_alive()?;
         let n = self.stats.syncs_seen.fetch_add(1, Ordering::SeqCst) + 1;
         if self.cfg.crash_at_sync == Some(n) {
-            self.stats.crashed.store(true, Ordering::SeqCst);
+            self.trigger_crash();
             self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
             self.stats.failed_syncs.fetch_add(1, Ordering::Relaxed);
             return Err(Error::other(format!(
@@ -346,10 +507,12 @@ impl FaultVfs {
     #[must_use]
     pub fn new(inner: Arc<dyn Vfs>, cfg: FaultConfig) -> Self {
         FaultVfs {
-            inner,
+            inner: inner.clone(),
             state: Arc::new(FaultState {
                 cfg,
                 stats: Arc::new(FaultStats::default()),
+                inner,
+                pending_renames: std::sync::Mutex::new(Vec::new()),
             }),
         }
     }
@@ -443,7 +606,7 @@ impl VfsFile for FaultFile {
             SyncGate::Pass => self.inner.sync_data(),
             SyncGate::CrashAfter => {
                 self.inner.sync_data()?;
-                self.state.stats.crashed.store(true, Ordering::SeqCst);
+                self.state.trigger_crash();
                 self.state
                     .stats
                     .injected_faults
@@ -495,12 +658,56 @@ impl Vfs for FaultVfs {
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         self.state.check_alive()?;
-        self.inner.rename(from, to)
+        if self.state.cfg.lose_unsynced_renames {
+            // Capture enough state to undo the rename if the crash fires
+            // before the parent directory is fsynced.
+            let old_to = self.inner.read(to).ok();
+            let new_bytes = self.inner.read(from)?;
+            self.inner.rename(from, to)?;
+            self.state.note_rename(from, to, old_to, new_bytes);
+            Ok(())
+        } else {
+            self.inner.rename(from, to)
+        }
     }
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         self.state.check_alive()?;
         self.inner.create_dir_all(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.state.check_alive()?;
+        let stats = &self.state.stats;
+        let n = stats.dir_syncs_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.state.cfg.crash_at_dir_sync == Some(n) {
+            self.state.trigger_crash();
+            stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+            stats.failed_dir_syncs.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::other(format!(
+                "injected fault: crash at dir fsync {n} (directory entry never durable)"
+            )));
+        }
+        if self.state.cfg.fail_dir_sync_at == Some(n) {
+            stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+            stats.failed_dir_syncs.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::other(format!(
+                "injected fault: dir fsync {n} failed"
+            )));
+        }
+        self.inner.sync_dir(path)?;
+        self.state.settle_renames_in(path);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.state.check_alive()?;
+        self.inner.remove_file(path)
+    }
+
+    fn read_range(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.state.check_alive()?;
+        self.inner.read_range(path, offset, len)
     }
 }
 
@@ -661,6 +868,107 @@ mod tests {
         assert!(vfs.create(&temp_file("crash-after-sync-2")).is_err());
         assert_eq!(RealVfs.read(&path).unwrap(), b"durable payload");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_range_reads_middle_of_file() {
+        let path = temp_file("range");
+        let vfs = RealVfs;
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"0123456789").unwrap();
+        drop(f);
+        assert_eq!(vfs.read_range(&path, 3, 4).unwrap(), b"3456");
+        assert!(vfs.read_range(&path, 8, 4).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dir_sync_fault_fires_on_its_own_schedule() {
+        let dir = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("sse-vfs-dirsync-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            p
+        };
+        let vfs = FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                fail_dir_sync_at: Some(2),
+                ..FaultConfig::default()
+            },
+        );
+        vfs.sync_dir(&dir).unwrap();
+        assert!(vfs.sync_dir(&dir).is_err());
+        vfs.sync_dir(&dir).unwrap();
+        assert_eq!(vfs.stats().dir_syncs(), 3);
+        assert_eq!(vfs.stats().failed_dir_syncs.load(Ordering::Relaxed), 1);
+        // Data syncs are a separate schedule: none were consumed.
+        assert_eq!(vfs.stats().syncs_seen.load(Ordering::Relaxed), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsynced_rename_is_lost_on_crash() {
+        let dir = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("sse-vfs-renameloss-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            p
+        };
+        let old = dir.join("file");
+        let tmp = dir.join("file.tmp");
+        std::fs::write(&old, b"old contents").unwrap();
+        let vfs = FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                lose_unsynced_renames: true,
+                crash_at_dir_sync: Some(1),
+                ..FaultConfig::default()
+            },
+        );
+        std::fs::write(&tmp, b"new contents").unwrap();
+        vfs.rename(&tmp, &old).unwrap();
+        // Visible through the live VFS...
+        assert_eq!(RealVfs.read(&old).unwrap(), b"new contents");
+        // ...but the dir fsync crashes, so the rename rolls back.
+        assert!(vfs.sync_dir(&dir).is_err());
+        assert!(vfs.crashed());
+        assert_eq!(RealVfs.read(&old).unwrap(), b"old contents");
+        assert_eq!(RealVfs.read(&tmp).unwrap(), b"new contents");
+        assert_eq!(vfs.stats().renames_lost.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn synced_rename_survives_crash() {
+        let dir = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("sse-vfs-renamekeep-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            p
+        };
+        let old = dir.join("file");
+        let tmp = dir.join("file.tmp");
+        let vfs = FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                lose_unsynced_renames: true,
+                crash_at_write: Some(1),
+                ..FaultConfig::default()
+            },
+        );
+        std::fs::write(&tmp, b"new contents").unwrap();
+        vfs.rename(&tmp, &old).unwrap();
+        vfs.sync_dir(&dir).unwrap(); // settles the rename
+        let mut f = vfs.create(&dir.join("other")).unwrap();
+        assert!(f.write_all(b"boom").is_err());
+        assert!(vfs.crashed());
+        assert_eq!(RealVfs.read(&old).unwrap(), b"new contents");
+        assert_eq!(vfs.stats().renames_lost.load(Ordering::Relaxed), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

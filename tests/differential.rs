@@ -16,10 +16,12 @@
 use sse_baselines::naive::NaiveClient;
 use sse_core::scheme::SseClientApi;
 use sse_core::scheme1::{Scheme1Client, Scheme1Config, Scheme1Server};
-use sse_core::scheme2::{Scheme2Client, Scheme2Config, Scheme2Server};
+use sse_core::scheme2::{Scheme2Client, Scheme2ClientState, Scheme2Config, Scheme2Server};
 use sse_core::types::{Document, Keyword, MasterKey, SearchHits};
 use sse_net::link::MeteredLink;
 use sse_net::meter::Meter;
+use sse_storage::{BackendKind, RealVfs};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
@@ -530,6 +532,173 @@ fn scheme2_warm_cache_and_batches_match_cold_oracle_across_epoch_swaps() {
         for shards in [1, 4] {
             scheme2_warm_vs_cold(seed, shards);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable differential (storage backends)
+// ---------------------------------------------------------------------------
+
+/// Shard count of the durable replays: high enough that the lsm backend
+/// runs one keyword map per shard and batched mutations straddle shards.
+const DURABLE_SHARDS: usize = 4;
+
+fn durable_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sse-diff-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Split a trace into three segments for the restart schedule: the server
+/// is dropped (journal intact) after segment one, checkpointed at the
+/// start of segment two's server, and dropped again before segment three
+/// — so the replay crosses a journal-only recovery, a checkpoint that
+/// must flush journal-recovered state, and a recovery layered on top of
+/// that checkpoint.
+fn segments(ops: &[Op]) -> [&[Op]; 3] {
+    let third = ops.len() / 3;
+    [&ops[..third], &ops[third..2 * third], &ops[2 * third..]]
+}
+
+/// Replay `ops` against a durable scheme-1 server on `backend`, restarting
+/// the server between segments (see [`segments`]).
+fn scheme1_durable_replay(seed: u64, backend: BackendKind, ops: &[Op]) -> Vec<SearchHits> {
+    let dir = durable_dir(&format!("s1-{backend}"));
+    let config = Scheme1Config::fast_profile(CAPACITY);
+    let key = MasterKey::from_seed(seed);
+    let mut results = Vec::new();
+    for (i, segment) in segments(ops).into_iter().enumerate() {
+        let server = Scheme1Server::open_durable_with_backend(
+            RealVfs::arc(),
+            CAPACITY,
+            &dir,
+            DURABLE_SHARDS,
+            true,
+            backend,
+        )
+        .unwrap();
+        if i == 1 {
+            server.checkpoint_home().unwrap();
+        }
+        let mut client = Scheme1Client::new_seeded(
+            MeteredLink::new(server, Meter::new()),
+            key.clone(),
+            config.clone(),
+            seed ^ (i as u64),
+        );
+        for op in segment {
+            match op {
+                // Scheme 1 removal is XOR re-toggling the same document;
+                // reinit has no chain epochs to swap.
+                Op::Add(doc) | Op::Remove(doc) => {
+                    client.store(std::slice::from_ref(doc)).unwrap();
+                }
+                Op::FakeUpdate(kws) => client.fake_update(kws).unwrap(),
+                Op::Reinit(_) => {}
+                Op::Search(kw) => {
+                    let mut hits = client.search(kw).unwrap();
+                    hits.sort();
+                    results.push(hits);
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    results
+}
+
+/// Replay `ops` against a durable scheme-2 server on `backend` with the
+/// same restart schedule; the client's chain counter carries across
+/// restarts via [`Scheme2ClientState`].
+fn scheme2_durable_replay(seed: u64, backend: BackendKind, ops: &[Op]) -> Vec<SearchHits> {
+    let dir = durable_dir(&format!("s2-{backend}"));
+    let config = Scheme2Config::standard();
+    let key = MasterKey::from_seed(seed);
+    let mut results = Vec::new();
+    let mut state: Option<Scheme2ClientState> = None;
+    for (i, segment) in segments(ops).into_iter().enumerate() {
+        let server = Scheme2Server::open_durable_with_backend(
+            RealVfs::arc(),
+            config.clone(),
+            &dir,
+            DURABLE_SHARDS,
+            true,
+            backend,
+        )
+        .unwrap();
+        if i == 1 {
+            server.checkpoint_home().unwrap();
+        }
+        let mut client = Scheme2Client::new_seeded(
+            MeteredLink::new(server, Meter::new()),
+            key.clone(),
+            config.clone(),
+            seed ^ (i as u64),
+        );
+        if let Some(s) = state.take() {
+            client.restore_state(s);
+        }
+        for op in segment {
+            match op {
+                Op::Add(doc) => client.store(std::slice::from_ref(doc)).unwrap(),
+                Op::Remove(doc) => client.remove(std::slice::from_ref(doc)).unwrap(),
+                Op::FakeUpdate(kws) => client.fake_update(kws).unwrap(),
+                Op::Reinit(docs) => client.reinitialize(docs).unwrap(),
+                Op::Search(kw) => {
+                    let mut hits = client.search(kw).unwrap();
+                    hits.sort();
+                    results.push(hits);
+                }
+            }
+        }
+        state = Some(client.state());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    results
+}
+
+/// Durable differential: the same trace replayed against durable servers
+/// on every storage backend — across two restarts and a checkpoint — must
+/// produce byte-identical search results to the naive no-index oracle.
+#[test]
+fn durable_backends_match_oracle_across_restarts_and_checkpoints() {
+    let seed = SEEDS[0];
+    let ops = trace(seed, 80, 10);
+    let oracle_results = replay(
+        &mut Oracle(NaiveClient::new(
+            &MasterKey::from_seed(seed),
+            Meter::new(),
+            seed,
+        )),
+        &ops,
+    );
+    assert!(
+        oracle_results.iter().any(|hits| !hits.is_empty()),
+        "degenerate trace: the oracle never found anything (seed {seed})"
+    );
+    for backend in BackendKind::all() {
+        let s1 = scheme1_durable_replay(seed, backend, &ops);
+        assert_same(
+            &format!("scheme1 durable ({backend}) vs oracle"),
+            seed,
+            DURABLE_SHARDS,
+            &ops,
+            &oracle_results,
+            &s1,
+        );
+        let s2 = scheme2_durable_replay(seed, backend, &ops);
+        assert_same(
+            &format!("scheme2 durable ({backend}) vs oracle"),
+            seed,
+            DURABLE_SHARDS,
+            &ops,
+            &oracle_results,
+            &s2,
+        );
     }
 }
 

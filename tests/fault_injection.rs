@@ -23,6 +23,11 @@
 //! paths behind the TCP `UPDATE_MANY` envelope) against a 4-shard server,
 //! where multi-keyword mutations are journaled as cross-shard batch
 //! slices and the prefix assertion demands op-atomicity across shards.
+//!
+//! Every storage sweep additionally runs once per storage backend
+//! (`btree` and `lsm`) against the same oracle — the durability contract
+//! is backend-independent. `FAULT_BACKEND=btree|lsm` narrows a run to one
+//! backend so CI can matrix the suite.
 
 use sse_repro::core::scheme1::{Scheme1Client, Scheme1Config, Scheme1Server};
 use sse_repro::core::scheme2::{Scheme2Client, Scheme2ClientState, Scheme2Config, Scheme2Server};
@@ -30,7 +35,7 @@ use sse_repro::core::types::{Document, Keyword, MasterKey, SearchHits};
 use sse_repro::net::fault::{FaultyLink, NetFaultConfig};
 use sse_repro::net::link::{MeteredLink, Transport};
 use sse_repro::net::meter::Meter;
-use sse_repro::storage::FaultVfs;
+use sse_repro::storage::{BackendKind, FaultVfs, RealVfs};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -49,6 +54,16 @@ fn fault_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xD15A57E2)
+}
+
+/// Storage backends each crash sweep runs against. `FAULT_BACKEND` narrows
+/// the list to one (CI matrixes the suite per backend); by default every
+/// backend sweeps, so a plain `cargo test` exercises both.
+fn fault_backends() -> Vec<BackendKind> {
+    match std::env::var("FAULT_BACKEND") {
+        Ok(s) => vec![s.parse().expect("FAULT_BACKEND must be btree or lsm")],
+        Err(_) => BackendKind::all().to_vec(),
+    }
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -270,7 +285,7 @@ fn drive_scheme1<T: sse_repro::net::link::Transport>(
 /// independently fsynced shard journals, and [`assert_prefix`] then
 /// demands op-atomicity *across* shards: a batch whose slices only partly
 /// reached disk must roll back wholesale on recovery.
-fn scheme1_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
+fn scheme1_crash_sweep(trace: &[Op], seed: u64, shards: usize, backend: BackendKind) {
     let oracle = oracle_states(trace);
     let config = Scheme1Config::fast_profile(CAPACITY);
     let key = MasterKey::from_seed(seed ^ 0x51);
@@ -281,11 +296,13 @@ fn scheme1_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
     let counting = FaultVfs::counting();
     let stats = counting.stats();
     {
-        let server = Scheme1Server::open_durable_with_vfs_sharded(
+        let server = Scheme1Server::open_durable_with_backend(
             Arc::new(counting),
             CAPACITY,
             &count_dir,
             shards,
+            true,
+            backend,
         )
         .unwrap();
         let mut client = Scheme1Client::new_seeded(
@@ -315,11 +332,13 @@ fn scheme1_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
         let vfs = FaultVfs::crashing_at(seed, k);
         // Drive until the crash kills the "process": the first error ends
         // the run, exactly like a real crash ends a real process.
-        let completed = match Scheme1Server::open_durable_with_vfs_sharded(
+        let completed = match Scheme1Server::open_durable_with_backend(
             Arc::new(vfs),
             CAPACITY,
             &dir,
             shards,
+            true,
+            backend,
         ) {
             Err(_) => 0,
             Ok(server) => {
@@ -342,8 +361,17 @@ fn scheme1_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
 
         // The crashed process is gone; recover through the real
         // filesystem, as a restart would. The shard manifest (not the
-        // caller) dictates the shard count on reopen.
-        let server = Scheme1Server::open_durable(CAPACITY, &dir).unwrap();
+        // caller) dictates the shard count on reopen; the backend manifest
+        // likewise pins the backend the restart must request.
+        let server = Scheme1Server::open_durable_with_backend(
+            RealVfs::arc(),
+            CAPACITY,
+            &dir,
+            shards,
+            true,
+            backend,
+        )
+        .unwrap();
         if server.recovery().recovered_anything() {
             recoveries += 1;
         }
@@ -368,26 +396,35 @@ fn scheme1_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
             &observed,
             &oracle,
             completed,
-            &format!("crash at write {k} ({shards} shard(s))"),
+            &format!("crash at write {k} ({shards} shard(s), {backend} backend)"),
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
     assert!(
         recoveries > 0,
-        "{write_points} crash points never exercised recovery"
+        "{write_points} crash points never exercised recovery ({backend} backend)"
     );
 }
 
 #[test]
 fn scheme1_crash_at_every_write_point_is_op_atomic() {
     let seed = fault_seed();
-    scheme1_crash_sweep(&build_trace(seed), seed, 1);
+    for backend in fault_backends() {
+        scheme1_crash_sweep(&build_trace(seed), seed, 1, backend);
+    }
 }
 
 #[test]
 fn scheme1_sharded_batches_crash_op_atomically_across_shards() {
     let seed = fault_seed();
-    scheme1_crash_sweep(&build_batched_trace(seed ^ 0x4444), seed ^ 0x4444, 4);
+    for backend in fault_backends() {
+        scheme1_crash_sweep(
+            &build_batched_trace(seed ^ 0x4444),
+            seed ^ 0x4444,
+            4,
+            backend,
+        );
+    }
 }
 
 /// Dispatch one trace op against a scheme-2 client. Every mutation
@@ -412,7 +449,7 @@ fn is_mutation(op: &Op) -> bool {
 
 /// Shared body of the scheme-2 crash sweeps (see [`scheme1_crash_sweep`]
 /// for what `shards > 1` adds).
-fn scheme2_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
+fn scheme2_crash_sweep(trace: &[Op], seed: u64, shards: usize, backend: BackendKind) {
     let oracle = oracle_states(trace);
     // CtrPolicy::Always (the base profile) makes the counter a pure
     // function of attempted updates, so crash recovery can restore it
@@ -424,11 +461,13 @@ fn scheme2_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
     let counting = FaultVfs::counting();
     let stats = counting.stats();
     {
-        let server = Scheme2Server::open_durable_with_vfs_sharded(
+        let server = Scheme2Server::open_durable_with_backend(
             Arc::new(counting),
             config.clone(),
             &count_dir,
             shards,
+            true,
+            backend,
         )
         .unwrap();
         let mut client = Scheme2Client::new_seeded(
@@ -455,11 +494,13 @@ fn scheme2_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
     for k in 1..=write_points {
         let dir = temp_dir("s2-crash");
         let vfs = FaultVfs::crashing_at(seed, k);
-        let (completed, attempted_updates) = match Scheme2Server::open_durable_with_vfs_sharded(
+        let (completed, attempted_updates) = match Scheme2Server::open_durable_with_backend(
             Arc::new(vfs),
             config.clone(),
             &dir,
             shards,
+            true,
+            backend,
         ) {
             Err(_) => (0, 0),
             Ok(server) => {
@@ -487,7 +528,15 @@ fn scheme2_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
             }
         };
 
-        let server = Scheme2Server::open_durable(config.clone(), &dir).unwrap();
+        let server = Scheme2Server::open_durable_with_backend(
+            RealVfs::arc(),
+            config.clone(),
+            &dir,
+            shards,
+            true,
+            backend,
+        )
+        .unwrap();
         if server.recovery().recovered_anything() {
             recoveries += 1;
         }
@@ -518,26 +567,35 @@ fn scheme2_crash_sweep(trace: &[Op], seed: u64, shards: usize) {
             &observed,
             &oracle,
             completed,
-            &format!("crash at write {k} ({shards} shard(s))"),
+            &format!("crash at write {k} ({shards} shard(s), {backend} backend)"),
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
     assert!(
         recoveries > 0,
-        "{write_points} crash points never exercised recovery"
+        "{write_points} crash points never exercised recovery ({backend} backend)"
     );
 }
 
 #[test]
 fn scheme2_crash_at_every_write_point_is_op_atomic() {
     let seed = fault_seed();
-    scheme2_crash_sweep(&build_trace(seed ^ 0x2222), seed, 1);
+    for backend in fault_backends() {
+        scheme2_crash_sweep(&build_trace(seed ^ 0x2222), seed, 1, backend);
+    }
 }
 
 #[test]
 fn scheme2_sharded_batches_crash_op_atomically_across_shards() {
     let seed = fault_seed();
-    scheme2_crash_sweep(&build_batched_trace(seed ^ 0x6666), seed ^ 0x6666, 4);
+    for backend in fault_backends() {
+        scheme2_crash_sweep(
+            &build_batched_trace(seed ^ 0x6666),
+            seed ^ 0x6666,
+            4,
+            backend,
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -808,7 +866,7 @@ fn group_crash_vfs(at_sync: bool, seed: u64, n: u64) -> FaultVfs {
 /// maximal grouping) while a crash is scheduled at or just after sync
 /// point `n`; after recovery through the real filesystem, every writer's
 /// ledger must hold the acked-prefix contract.
-fn scheme2_mid_group_crash_sweep(at_sync: bool, seed: u64) {
+fn scheme2_mid_group_crash_sweep(at_sync: bool, seed: u64, backend: BackendKind) {
     let config = Scheme2Config::base(512);
     let traces: Vec<Vec<Document>> = (0..GROUP_WRITERS).map(|w| writer_trace(seed, w)).collect();
 
@@ -818,11 +876,13 @@ fn scheme2_mid_group_crash_sweep(at_sync: bool, seed: u64) {
         let vfs = group_crash_vfs(at_sync, seed ^ n, n);
         // acked[w] = stores writer w saw succeed (always a prefix: the
         // first error ends the writer, like a crash ends a process).
-        let acked: Vec<usize> = match Scheme2Server::open_durable_with_vfs_sharded(
+        let acked: Vec<usize> = match Scheme2Server::open_durable_with_backend(
             Arc::new(vfs),
             config.clone(),
             &dir,
             1,
+            true,
+            backend,
         ) {
             Err(_) => vec![0; GROUP_WRITERS],
             Ok(server) => {
@@ -859,7 +919,17 @@ fn scheme2_mid_group_crash_sweep(at_sync: bool, seed: u64) {
         }
 
         // The crashed process is gone; recover through the real filesystem.
-        let server = Arc::new(Scheme2Server::open_durable(config.clone(), &dir).unwrap());
+        let server = Arc::new(
+            Scheme2Server::open_durable_with_backend(
+                RealVfs::arc(),
+                config.clone(),
+                &dir,
+                1,
+                true,
+                backend,
+            )
+            .unwrap(),
+        );
         if server.recovery().recovered_anything() {
             recoveries += 1;
         }
@@ -883,7 +953,7 @@ fn scheme2_mid_group_crash_sweep(at_sync: bool, seed: u64) {
                 &observed,
                 trace,
                 acked[w],
-                &format!("crash {mode} sync {n}, writer {w}"),
+                &format!("crash {mode} sync {n}, writer {w}, {backend} backend"),
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -894,24 +964,28 @@ fn scheme2_mid_group_crash_sweep(at_sync: bool, seed: u64) {
     );
     assert!(
         recoveries > 0,
-        "{GROUP_SYNC_POINTS} crash points never exercised recovery"
+        "{GROUP_SYNC_POINTS} crash points never exercised recovery ({backend} backend)"
     );
 }
 
 #[test]
 fn scheme2_mid_group_crash_between_write_and_fsync_keeps_acked_prefix() {
-    scheme2_mid_group_crash_sweep(true, fault_seed() ^ 0x8888);
+    for backend in fault_backends() {
+        scheme2_mid_group_crash_sweep(true, fault_seed() ^ 0x8888, backend);
+    }
 }
 
 #[test]
 fn scheme2_mid_group_crash_between_fsync_and_ack_keeps_acked_prefix() {
-    scheme2_mid_group_crash_sweep(false, fault_seed() ^ 0x9999);
+    for backend in fault_backends() {
+        scheme2_mid_group_crash_sweep(false, fault_seed() ^ 0x9999, backend);
+    }
 }
 
 /// Scheme-1 variant of the mid-group sweep: same concurrent-writer shape
 /// over the bit-matrix scheme (both schemes share the commit pipeline, so
 /// a regression in either integration shows up here).
-fn scheme1_mid_group_crash_sweep(at_sync: bool, seed: u64) {
+fn scheme1_mid_group_crash_sweep(at_sync: bool, seed: u64, backend: BackendKind) {
     let config = Scheme1Config::fast_profile(CAPACITY);
     let traces: Vec<Vec<Document>> = (0..GROUP_WRITERS).map(|w| writer_trace(seed, w)).collect();
 
@@ -919,44 +993,60 @@ fn scheme1_mid_group_crash_sweep(at_sync: bool, seed: u64) {
     for n in 1..=GROUP_SYNC_POINTS {
         let dir = temp_dir("s1-group-crash");
         let vfs = group_crash_vfs(at_sync, seed ^ n, n);
-        let acked: Vec<usize> =
-            match Scheme1Server::open_durable_with_vfs_sharded(Arc::new(vfs), CAPACITY, &dir, 1) {
-                Err(_) => vec![0; GROUP_WRITERS],
-                Ok(server) => {
-                    let server = Arc::new(server);
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..GROUP_WRITERS)
-                            .map(|w| {
-                                let server = server.clone();
-                                let trace = &traces[w];
-                                let config = config.clone();
-                                scope.spawn(move || {
-                                    let mut client = Scheme1Client::new_seeded(
-                                        SharedLink(server),
-                                        MasterKey::from_seed(seed ^ 0x51 ^ (w as u64)),
-                                        config,
-                                        w as u64,
-                                    );
-                                    let mut ok = 0usize;
-                                    for doc in trace {
-                                        if client.store(std::slice::from_ref(doc)).is_err() {
-                                            break;
-                                        }
-                                        ok += 1;
+        let acked: Vec<usize> = match Scheme1Server::open_durable_with_backend(
+            Arc::new(vfs),
+            CAPACITY,
+            &dir,
+            1,
+            true,
+            backend,
+        ) {
+            Err(_) => vec![0; GROUP_WRITERS],
+            Ok(server) => {
+                let server = Arc::new(server);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..GROUP_WRITERS)
+                        .map(|w| {
+                            let server = server.clone();
+                            let trace = &traces[w];
+                            let config = config.clone();
+                            scope.spawn(move || {
+                                let mut client = Scheme1Client::new_seeded(
+                                    SharedLink(server),
+                                    MasterKey::from_seed(seed ^ 0x51 ^ (w as u64)),
+                                    config,
+                                    w as u64,
+                                );
+                                let mut ok = 0usize;
+                                for doc in trace {
+                                    if client.store(std::slice::from_ref(doc)).is_err() {
+                                        break;
                                     }
-                                    ok
-                                })
+                                    ok += 1;
+                                }
+                                ok
                             })
-                            .collect();
-                        handles.into_iter().map(|h| h.join().unwrap()).collect()
-                    })
-                }
-            };
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            }
+        };
         if acked.iter().sum::<usize>() < GROUP_WRITERS * GROUP_OPS {
             crashed_runs += 1;
         }
 
-        let server = Arc::new(Scheme1Server::open_durable(CAPACITY, &dir).unwrap());
+        let server = Arc::new(
+            Scheme1Server::open_durable_with_backend(
+                RealVfs::arc(),
+                CAPACITY,
+                &dir,
+                1,
+                true,
+                backend,
+            )
+            .unwrap(),
+        );
         if server.recovery().recovered_anything() {
             recoveries += 1;
         }
@@ -973,7 +1063,7 @@ fn scheme1_mid_group_crash_sweep(at_sync: bool, seed: u64) {
                 &observed,
                 trace,
                 acked[w],
-                &format!("crash {mode} sync {n}, writer {w}"),
+                &format!("crash {mode} sync {n}, writer {w}, {backend} backend"),
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -984,18 +1074,22 @@ fn scheme1_mid_group_crash_sweep(at_sync: bool, seed: u64) {
     );
     assert!(
         recoveries > 0,
-        "{GROUP_SYNC_POINTS} crash points never exercised recovery"
+        "{GROUP_SYNC_POINTS} crash points never exercised recovery ({backend} backend)"
     );
 }
 
 #[test]
 fn scheme1_mid_group_crash_between_write_and_fsync_keeps_acked_prefix() {
-    scheme1_mid_group_crash_sweep(true, fault_seed() ^ 0xAAAA);
+    for backend in fault_backends() {
+        scheme1_mid_group_crash_sweep(true, fault_seed() ^ 0xAAAA, backend);
+    }
 }
 
 #[test]
 fn scheme1_mid_group_crash_between_fsync_and_ack_keeps_acked_prefix() {
-    scheme1_mid_group_crash_sweep(false, fault_seed() ^ 0xBBBB);
+    for backend in fault_backends() {
+        scheme1_mid_group_crash_sweep(false, fault_seed() ^ 0xBBBB, backend);
+    }
 }
 
 // ---------------------------------------------------------------------------
