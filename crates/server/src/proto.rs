@@ -338,10 +338,14 @@ impl StatsSnapshot {
     }
 
     /// Decode an ADMIN response payload.
+    ///
+    /// The `backend_*` counters were appended to the payload after the
+    /// first release of the STATS command; a payload that ends before
+    /// them is an older peer and decodes with those counters zero.
     #[must_use]
     pub fn decode(body: &[u8]) -> Option<StatsSnapshot> {
         let mut r = WireReader::new(body);
-        let snap = StatsSnapshot {
+        let mut snap = StatsSnapshot {
             requests_ok: r.get_u64().ok()?,
             requests_busy: r.get_u64().ok()?,
             requests_err: r.get_u64().ok()?,
@@ -363,14 +367,17 @@ impl StatsSnapshot {
             search_cache_hits: r.get_u64().ok()?,
             search_cache_misses: r.get_u64().ok()?,
             walk_steps_saved: r.get_u64().ok()?,
-            backend_runs_flushed: r.get_u64().ok()?,
-            backend_runs_live: r.get_u64().ok()?,
-            backend_compactions: r.get_u64().ok()?,
-            backend_run_reads: r.get_u64().ok()?,
-            backend_bloom_checks: r.get_u64().ok()?,
-            backend_bloom_skips: r.get_u64().ok()?,
-            backend_bloom_false_positives: r.get_u64().ok()?,
+            ..StatsSnapshot::default()
         };
+        if r.remaining() > 0 {
+            snap.backend_runs_flushed = r.get_u64().ok()?;
+            snap.backend_runs_live = r.get_u64().ok()?;
+            snap.backend_compactions = r.get_u64().ok()?;
+            snap.backend_run_reads = r.get_u64().ok()?;
+            snap.backend_bloom_checks = r.get_u64().ok()?;
+            snap.backend_bloom_skips = r.get_u64().ok()?;
+            snap.backend_bloom_false_positives = r.get_u64().ok()?;
+        }
         r.finish().ok()?;
         Some(snap)
     }
@@ -471,6 +478,27 @@ mod tests {
         assert!((snap.mean_group_size() - 4.0).abs() < 1e-9);
         assert_eq!(StatsSnapshot::default().fsyncs_per_op(), 0.0);
         assert_eq!(StatsSnapshot::default().mean_group_size(), 0.0);
+    }
+
+    #[test]
+    fn stats_decode_tolerates_pre_backend_payload() {
+        let snap = StatsSnapshot {
+            requests_ok: 5,
+            walk_steps_saved: 7,
+            backend_runs_flushed: 9,
+            ..StatsSnapshot::default()
+        };
+        // An older peer's payload ends before the backend_* counters.
+        let mut body = snap.encode();
+        body.truncate(body.len() - 7 * 8);
+        let decoded = StatsSnapshot::decode(&body).unwrap();
+        assert_eq!(decoded.requests_ok, 5);
+        assert_eq!(decoded.walk_steps_saved, 7);
+        assert_eq!(decoded.backend_runs_flushed, 0);
+        // A partially present backend block is still malformed.
+        let mut torn = snap.encode();
+        torn.truncate(torn.len() - 4);
+        assert_eq!(StatsSnapshot::decode(&torn), None);
     }
 
     #[test]

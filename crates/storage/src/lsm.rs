@@ -323,22 +323,53 @@ impl LsmCore {
     /// # Errors
     /// I/O errors.
     pub fn flush(&mut self, applied_seq: u64, meta: &[u8]) -> Result<()> {
+        // Stage the new run and commit the manifest BEFORE mutating any
+        // in-memory state: callers treat a failed checkpoint as retryable,
+        // so after an error every buffered entry must still be served from
+        // the memtable and the old runs must stay live.
+        let staged = if self.memtable.is_empty() {
+            None
+        } else {
+            let entries = std::mem::take(&mut self.memtable);
+            match self.write_run(&entries) {
+                Ok(run) => Some((entries, run)),
+                Err(e) => {
+                    self.memtable = entries;
+                    return Err(e);
+                }
+            }
+        };
+        let mut gens: Vec<u64> = if self.drop_runs {
+            Vec::new()
+        } else {
+            self.runs.iter().map(|r| r.gen).collect()
+        };
+        if let Some((_, run)) = &staged {
+            gens.push(run.gen);
+        }
+        if let Err(e) = self.write_manifest(&gens, applied_seq, meta) {
+            // Un-stage: the run file is unreferenced garbage (overwritten
+            // on generation reuse if the unlink also fails) and the
+            // entries go back into the memtable, so nothing acked is lost.
+            if let Some((entries, run)) = staged {
+                let _ = self.vfs.remove_file(&run.path);
+                self.memtable = entries;
+            }
+            return Err(e);
+        }
+        // Manifest committed — apply the new state in memory.
         let dropped: Vec<RunMeta> = if self.drop_runs {
             std::mem::take(&mut self.runs)
         } else {
             Vec::new()
         };
-        if !self.memtable.is_empty() {
-            let entries = std::mem::take(&mut self.memtable);
-            let run = self.write_run(&entries)?;
+        if let Some((_, run)) = staged {
             self.runs.push(run);
             self.counters.runs_flushed.fetch_add(1, Ordering::Relaxed);
         }
         self.last_seq = applied_seq;
         self.user_meta = meta.to_vec();
-        self.write_manifest()?;
         self.drop_runs = false;
-        self.memtable.clear();
         for run in dropped {
             // Post-commit GC: a crash here leaves unreferenced files that
             // are overwritten when their generation is reused.
@@ -354,15 +385,29 @@ impl LsmCore {
     /// (safe because the output is the bottom-most run).
     fn compact(&mut self) -> Result<()> {
         let merged = self.merge_runs()?;
-        let old: Vec<RunMeta> = std::mem::take(&mut self.runs);
-        if !merged.is_empty() {
+        // Same staging discipline as [`LsmCore::flush`]: the old run list
+        // is swapped out only after the merged run and the manifest that
+        // references it have both committed, so a failed compaction leaves
+        // every pre-compaction run live, on disk and in memory.
+        let new_run = if merged.is_empty() {
+            None
+        } else {
             let entries: BTreeMap<Vec<u8>, Option<Vec<u8>>> =
                 merged.into_iter().map(|(k, v)| (k, Some(v))).collect();
-            let run = self.write_run(&entries)?;
+            Some(self.write_run(&entries)?)
+        };
+        let gens: Vec<u64> = new_run.iter().map(|r| r.gen).collect();
+        if let Err(e) = self.write_manifest(&gens, self.last_seq, &self.user_meta) {
+            if let Some(run) = new_run {
+                let _ = self.vfs.remove_file(&run.path);
+            }
+            return Err(e);
+        }
+        let old: Vec<RunMeta> = std::mem::take(&mut self.runs);
+        if let Some(run) = new_run {
             self.runs.push(run);
             self.counters.runs_flushed.fetch_add(1, Ordering::Relaxed);
         }
-        self.write_manifest()?;
         for run in old {
             let _ = self.vfs.remove_file(&run.path);
         }
@@ -611,15 +656,18 @@ impl LsmCore {
         Ok(gens)
     }
 
-    fn write_manifest(&self) -> Result<()> {
+    /// Commit a manifest referencing exactly `gens` (temp file + rename +
+    /// parent-dir fsync). Takes the target state as arguments so callers
+    /// can stage the commit before mutating the in-memory run list.
+    fn write_manifest(&self, gens: &[u64], last_seq: u64, user_meta: &[u8]) -> Result<()> {
         let mut body = Vec::new();
-        body.extend_from_slice(&self.last_seq.to_le_bytes());
+        body.extend_from_slice(&last_seq.to_le_bytes());
         body.extend_from_slice(&self.next_gen.to_le_bytes());
-        body.extend_from_slice(&(self.user_meta.len() as u32).to_le_bytes());
-        body.extend_from_slice(&self.user_meta);
-        body.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
-        for run in &self.runs {
-            body.extend_from_slice(&run.gen.to_le_bytes());
+        body.extend_from_slice(&(user_meta.len() as u32).to_le_bytes());
+        body.extend_from_slice(user_meta);
+        body.extend_from_slice(&(gens.len() as u32).to_le_bytes());
+        for gen in gens {
+            body.extend_from_slice(&gen.to_le_bytes());
         }
         let tmp = self.dir.join(format!("{}.manifest.tmp", self.prefix));
         let path = self.manifest_path();
@@ -668,11 +716,14 @@ impl LsmDocStore {
             ..RecoveryReport::default()
         };
         // Live ids from the runs, then WAL replay on top.
-        let mut ids: BTreeSet<u64> = core
-            .live_keys()
-            .into_iter()
-            .filter_map(|k| k.try_into().ok().map(u64::from_be_bytes))
-            .collect();
+        let mut ids: BTreeSet<u64> = BTreeSet::new();
+        for key in core.live_keys() {
+            let id: [u8; 8] = key.try_into().map_err(|k: Vec<u8>| StorageError::Corrupt {
+                what: "lsm doc store",
+                detail: format!("run key of {} bytes is not an 8-byte doc id", k.len()),
+            })?;
+            ids.insert(u64::from_be_bytes(id));
+        }
         let wal_path = dir.join("doc.wal");
         for record in Wal::replay_with_vfs(vfs.as_ref(), &wal_path)? {
             apply_doc_record(&mut core, &mut ids, &record)?;
@@ -895,7 +946,7 @@ impl KeywordMap for LsmKeywordMap {
 mod tests {
     use super::*;
     use crate::backend::DocBlobStore;
-    use crate::vfs::RealVfs;
+    use crate::vfs::{FaultConfig, FaultVfs, RealVfs};
 
     fn temp_dir(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -1084,6 +1135,135 @@ mod tests {
             snap.get_many(&[tag(1), tag(3)]),
             vec![Some(b"one".to_vec()), None]
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_run_write_keeps_memtable_and_retries() {
+        let dir = temp_dir("fail-run");
+        // Write 1 is the first flush's run file.
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                fail_write_at: Some(1),
+                ..FaultConfig::default()
+            },
+        ));
+        let mut c = LsmCore::open(vfs, &dir, "t").unwrap();
+        c.put(b"k".to_vec(), b"v".to_vec());
+        assert!(c.flush(1, &[]).is_err());
+        // The entry is still served and a retry makes it durable.
+        assert_eq!(c.get(b"k").unwrap(), Some(b"v".to_vec()));
+        c.flush(1, &[]).unwrap();
+        drop(c);
+        let c = LsmCore::open(RealVfs::arc(), &dir, "t").unwrap();
+        assert_eq!(c.get(b"k").unwrap(), Some(b"v".to_vec()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_manifest_write_keeps_memtable_and_retries() {
+        let dir = temp_dir("fail-manifest");
+        // Write 1 is the run file, write 2 the manifest temp file.
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                fail_write_at: Some(2),
+                ..FaultConfig::default()
+            },
+        ));
+        let mut c = LsmCore::open(vfs, &dir, "t").unwrap();
+        c.put(b"k".to_vec(), b"v".to_vec());
+        assert!(c.flush(1, &[]).is_err());
+        assert_eq!(c.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(c.runs_live(), 0, "uncommitted run must not join the list");
+        c.flush(1, &[]).unwrap();
+        drop(c);
+        let c = LsmCore::open(RealVfs::arc(), &dir, "t").unwrap();
+        assert_eq!(c.last_seq(), 1);
+        assert_eq!(c.get(b"k").unwrap(), Some(b"v".to_vec()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_compaction_keeps_old_runs() {
+        // One flush per round; the last round pushes the run count past
+        // LSM_MAX_RUNS and triggers a compaction.
+        fn workload(c: &mut LsmCore) {
+            for round in 0..=LSM_MAX_RUNS as u8 {
+                c.put(vec![round], vec![round]);
+                c.flush(u64::from(round) + 1, &[]).unwrap();
+            }
+        }
+        // Counting pass to locate the compaction's merged-run write: it is
+        // followed only by the manifest commit, so measure the manifest's
+        // write cost from the first flush (total writes split evenly
+        // across the flush rounds, each one run write plus one manifest).
+        let dir0 = temp_dir("fail-compact-count");
+        let counting = FaultVfs::counting();
+        let stats = counting.stats();
+        {
+            let mut c = LsmCore::open(Arc::new(counting), &dir0, "t").unwrap();
+            workload(&mut c);
+            assert!(c.counters().compactions >= 1);
+        }
+        let rounds = LSM_MAX_RUNS as u64 + 1;
+        let total = stats.writes();
+        // rounds+1 run writes (one per flush + merged run), rounds+1
+        // manifest commits of equal write cost.
+        assert_eq!(total % (rounds + 1), 0, "unexpected write schedule");
+        let manifest_writes = total / (rounds + 1) - 1;
+        let merged_run_write = total - manifest_writes;
+        std::fs::remove_dir_all(&dir0).unwrap();
+
+        // Fault pass: fail exactly the merged-run write.
+        let dir = temp_dir("fail-compact");
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                fail_write_at: Some(merged_run_write),
+                ..FaultConfig::default()
+            },
+        ));
+        let mut c = LsmCore::open(vfs, &dir, "t").unwrap();
+        for round in 0..LSM_MAX_RUNS as u8 {
+            c.put(vec![round], vec![round]);
+            c.flush(u64::from(round) + 1, &[]).unwrap();
+        }
+        let last = LSM_MAX_RUNS as u8;
+        c.put(vec![last], vec![last]);
+        assert!(
+            c.flush(u64::from(last) + 1, &[]).is_err(),
+            "compaction write should fail"
+        );
+        // Every key is still served from the pre-compaction runs.
+        for round in 0..=last {
+            assert_eq!(c.get(&[round]).unwrap(), Some(vec![round]));
+        }
+        assert_eq!(c.runs_live(), LSM_MAX_RUNS + 1);
+        // The next flush retries the compaction and succeeds.
+        c.flush(100, &[]).unwrap();
+        assert!(c.runs_live() <= LSM_MAX_RUNS);
+        drop(c);
+        let c = LsmCore::open(RealVfs::arc(), &dir, "t").unwrap();
+        for round in 0..=last {
+            assert_eq!(c.get(&[round]).unwrap(), Some(vec![round]));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn doc_store_rejects_non_id_run_key() {
+        let dir = temp_dir("bad-doc-key");
+        {
+            let mut c = LsmCore::open(RealVfs::arc(), &dir, "doc").unwrap();
+            c.put(b"not-an-id".to_vec(), b"x".to_vec());
+            c.flush(1, &[]).unwrap();
+        }
+        assert!(matches!(
+            LsmDocStore::open_with_vfs(RealVfs::arc(), &dir, StoreOptions::default()),
+            Err(StorageError::Corrupt { .. })
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
