@@ -309,6 +309,42 @@ impl GroupCommitter {
         Ok(())
     }
 
+    /// True when this committer's journal was disabled by a failed group
+    /// commit (the scrub checks this to decide whether a repair is due).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned.is_some()
+    }
+
+    /// Replace the backing journal wholesale — the scrub's repair path.
+    ///
+    /// The caller must hold the server fully quiesced (no mutation may be
+    /// staging or waiting: every in-flight pipeline holds the server's
+    /// barrier/geometry read lock, which the repair write-holds) and must
+    /// have re-persisted the shard's applied state so the fresh journal's
+    /// contents are redundant. Clears any poison, discards staged records
+    /// of failed groups (they were never acked and are not on disk in the
+    /// fresh journal), installs `journal`, and resets the seq counters to
+    /// the journal's own `next_seq` — per-shard applies require dense
+    /// seqs, so the failed groups' seq numbers are reclaimed.
+    ///
+    /// No-op (Ok) for in-memory committers: nothing to repair.
+    pub fn replace_journal(&self, journal: IndexJournal) {
+        if self.in_memory {
+            return;
+        }
+        let next_seq = journal.next_seq();
+        let mut state = self.state.lock();
+        debug_assert!(!state.writing, "replace_journal requires quiescence");
+        state.journal = Some(journal);
+        state.pending.clear();
+        state.poisoned = None;
+        state.next_seq = next_seq;
+        state.durable_seq = next_seq - 1;
+        drop(state);
+        self.cv.notify_all();
+    }
+
     /// The shared pipeline counters.
     #[must_use]
     pub fn stats(&self) -> &Arc<CommitStats> {
@@ -536,6 +572,31 @@ mod tests {
         assert!(err3.to_string().contains("disabled"), "{err3}");
         assert!(c.reset_journal().is_err());
         assert_eq!(c.stats().counters().groups_committed, 0);
+    }
+
+    #[test]
+    fn replace_journal_clears_poison_and_resumes_dense_seqs() {
+        let path = temp_journal("replace");
+        let vfs: Arc<dyn sse_storage::Vfs> = Arc::new(FaultVfs::crashing_at_sync(7, 1));
+        let (journal, _) = IndexJournal::open_with_vfs(vfs, &path, true, 0).unwrap();
+        let c = GroupCommitter::new_durable(journal, true, Arc::new(CommitStats::default()));
+        let seq = c.stage(b"doomed").unwrap();
+        assert!(c.wait_durable(seq).is_err());
+        assert!(c.is_poisoned());
+
+        // Repair: re-open a fresh journal (as if the applied state were
+        // re-persisted with snapshot_seq = applied_seq) and install it.
+        let _ = std::fs::remove_file(&path);
+        let (fresh, _) = IndexJournal::open_with_vfs(RealVfs::arc(), &path, true, 0).unwrap();
+        c.replace_journal(fresh);
+        assert!(!c.is_poisoned());
+        // The failed seq is reclaimed: staging resumes densely from 1.
+        let seq2 = c.stage(b"after repair").unwrap();
+        assert_eq!(seq2, 1);
+        c.wait_durable(seq2).unwrap();
+        drop(c);
+        let (_, rec) = IndexJournal::open_with_vfs(RealVfs::arc(), &path, true, 0).unwrap();
+        assert_eq!(rec.replay, vec![b"after repair".to_vec()]);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Per-tenant health state machine: graceful degradation under storage
+//! failure.
+//!
+//! A tenant database is `Healthy` until a **storage** write error (journal
+//! append, group-commit fsync, LSM flush/compact, checkpoint) moves it to
+//! `Degraded`: read-only serving. Searches keep answering from the
+//! already-immutable epoch snapshots — they never touch the failed write
+//! path — while mutations are rejected with a typed degraded error
+//! carrying a retry-after hint, so clients back off instead of dropping
+//! the op. A background scrub promotes a `Degraded` tenant back to
+//! `Healthy` once a repair/probe write succeeds, and demotes a tenant
+//! with *confirmed corruption* (a CRC mismatch in the middle of a log,
+//! a bad snapshot checksum) to `Quarantined` — terminal until operator
+//! intervention, served as plain errors, never silently dropped.
+//!
+//! ```text
+//!            storage write error              confirmed corruption
+//!  Healthy ───────────────────────▶ Degraded ─────────────────────▶ Quarantined
+//!     ▲                                │                                 │
+//!     └────────────────────────────────┘                            (terminal)
+//!          scrub repair + probe write ok
+//! ```
+//!
+//! The state cell is a single atomic so the daemon's request routing can
+//! check it without any lock; the reason string (for error payloads and
+//! logs) sits behind a mutex touched only on transitions and rejections.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The three tenant health states. Ordering is meaningful: transitions
+/// only ever move "down" (towards `Quarantined`) except for the explicit
+/// scrub-probe recovery `Degraded → Healthy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Full service: reads and writes.
+    Healthy,
+    /// Read-only: a storage write failed. Searches serve from snapshots;
+    /// mutations are rejected with a retry-after hint until a scrub
+    /// repair succeeds.
+    Degraded,
+    /// Confirmed corruption: every request is rejected with an error.
+    /// Terminal — the scrub never promotes out of quarantine.
+    Quarantined,
+}
+
+impl HealthState {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            _ => HealthState::Quarantined,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Quarantined => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
+/// Retry-after hint (milliseconds) carried by degraded rejections: long
+/// enough for a scrub pass to run, short enough that a recovered tenant
+/// is picked up promptly.
+pub const DEGRADED_RETRY_AFTER_MS: u32 = 100;
+
+/// What one integrity pass over a tenant database's on-disk artifacts
+/// found (scrub reporting; confirmed corruption is returned as an error,
+/// not a finding).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubFindings {
+    /// Artifacts whose checksums all verified (WAL segments, index
+    /// snapshots, LSM runs).
+    pub artifacts_verified: u64,
+    /// WAL segments ending in a torn tail — repairable residue of a crash
+    /// or an append in flight, never corruption.
+    pub torn_tails_seen: u64,
+}
+
+impl ScrubFindings {
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, other: &ScrubFindings) {
+        self.artifacts_verified += other.artifacts_verified;
+        self.torn_tails_seen += other.torn_tails_seen;
+    }
+}
+
+/// One tenant database's health cell, shared between the serving path
+/// (lock-free state reads), the scheme servers (error-site transitions)
+/// and the scrub thread (repair + probe transitions).
+#[derive(Default)]
+pub struct TenantHealth {
+    state: AtomicU8,
+    reason: Mutex<String>,
+    /// `Healthy → Degraded` transitions.
+    degradations: AtomicU64,
+    /// `Degraded → Healthy` recoveries (scrub probe succeeded).
+    recoveries: AtomicU64,
+    /// `→ Quarantined` transitions.
+    quarantines: AtomicU64,
+}
+
+impl TenantHealth {
+    /// A fresh, healthy cell.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state (lock-free; the daemon checks this per request).
+    #[must_use]
+    pub fn state(&self) -> HealthState {
+        HealthState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Why the tenant is not healthy (empty string while healthy).
+    #[must_use]
+    pub fn reason(&self) -> String {
+        self.reason.lock().clone()
+    }
+
+    /// Record a storage *write* failure: `Healthy → Degraded`. A tenant
+    /// already `Degraded` keeps its original reason; a `Quarantined`
+    /// tenant never leaves quarantine.
+    pub fn note_storage_error(&self, reason: &str) {
+        // Only the Healthy→Degraded edge: CAS so a racing quarantine (or
+        // an earlier degradation) is never overwritten.
+        if self
+            .state
+            .compare_exchange(
+                HealthState::Healthy.as_u8(),
+                HealthState::Degraded.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            *self.reason.lock() = reason.to_string();
+            self.degradations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record confirmed corruption: any state `→ Quarantined` (terminal).
+    pub fn note_corruption(&self, reason: &str) {
+        let prev = self
+            .state
+            .swap(HealthState::Quarantined.as_u8(), Ordering::AcqRel);
+        if prev != HealthState::Quarantined.as_u8() {
+            *self.reason.lock() = reason.to_string();
+            self.quarantines.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a successful repair + probe write: `Degraded → Healthy`.
+    /// No-op from any other state (in particular, never un-quarantines).
+    pub fn note_probe_ok(&self) {
+        if self
+            .state
+            .compare_exchange(
+                HealthState::Degraded.as_u8(),
+                HealthState::Healthy.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            self.reason.lock().clear();
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lifetime transition counts: (degradations, recoveries, quarantines).
+    #[must_use]
+    pub fn transition_counts(&self) -> (u64, u64, u64) {
+        (
+            self.degradations.load(Ordering::Relaxed),
+            self.recoveries.load(Ordering::Relaxed),
+            self.quarantines.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_degrades_on_storage_error_and_recovers_on_probe() {
+        let h = TenantHealth::new();
+        assert_eq!(h.state(), HealthState::Healthy);
+        h.note_storage_error("fsync failed");
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert_eq!(h.reason(), "fsync failed");
+        // A second error keeps the first reason.
+        h.note_storage_error("another");
+        assert_eq!(h.reason(), "fsync failed");
+        h.note_probe_ok();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.reason(), "");
+        assert_eq!(h.transition_counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn quarantine_is_terminal() {
+        let h = TenantHealth::new();
+        h.note_corruption("wal crc mismatch");
+        assert_eq!(h.state(), HealthState::Quarantined);
+        h.note_probe_ok();
+        assert_eq!(h.state(), HealthState::Quarantined);
+        h.note_storage_error("later write error");
+        assert_eq!(h.state(), HealthState::Quarantined);
+        assert_eq!(h.reason(), "wal crc mismatch");
+        assert_eq!(h.transition_counts(), (0, 0, 1));
+    }
+
+    #[test]
+    fn probe_from_healthy_is_a_no_op() {
+        let h = TenantHealth::new();
+        h.note_probe_ok();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert_eq!(h.transition_counts(), (0, 0, 0));
+    }
+}

@@ -50,6 +50,7 @@
 
 pub mod commit;
 pub mod error;
+pub mod health;
 pub mod journal;
 pub mod leakage;
 pub mod proto_common;

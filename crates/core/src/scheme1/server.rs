@@ -41,6 +41,7 @@
 use super::protocol::{self, Request, UpdateEntry};
 use crate::commit::{CommitCounters, CommitStats, GroupCommitter};
 use crate::error::{Result, SseError};
+use crate::health::{ScrubFindings, TenantHealth};
 use crate::journal::{IndexJournal, ServerRecovery};
 use crate::shard::{self, shard_of, BatchId};
 use parking_lot::{Mutex, MutexGuard, RwLock};
@@ -205,6 +206,9 @@ pub struct Scheme1Server {
     vfs: Arc<dyn Vfs>,
     /// What the last [`Scheme1Server::open_durable`] had to repair.
     recovery: ServerRecovery,
+    /// Per-tenant health cell: storage write failures degrade the server
+    /// to read-only until [`Scheme1Server::repair`] succeeds.
+    health: Arc<TenantHealth>,
 }
 
 impl Scheme1Server {
@@ -251,6 +255,7 @@ impl Scheme1Server {
             dir: None,
             vfs: RealVfs::arc(),
             recovery: ServerRecovery::default(),
+            health: Arc::new(TenantHealth::new()),
         }
     }
 
@@ -486,7 +491,143 @@ impl Scheme1Server {
                 store_wal_records_replayed: store_recovery.wal_records_replayed,
                 store_torn_bytes: store_recovery.torn_bytes_truncated,
             },
+            health: Arc::new(TenantHealth::new()),
         })
+    }
+
+    /// This server's health cell, shared with the serving daemon's request
+    /// router and the background scrub.
+    #[must_use]
+    pub fn health(&self) -> &Arc<TenantHealth> {
+        &self.health
+    }
+
+    /// Report a failed mutation: storage-typed failures degrade the tenant
+    /// to read-only (validation and protocol errors do not — they say
+    /// nothing about the disk), then encode the protocol error response.
+    fn mutation_failed(&self, e: &SseError) -> Vec<u8> {
+        if matches!(e, SseError::Storage(_)) {
+            self.health.note_storage_error(&e.to_string());
+        }
+        protocol::encode_error(&e.to_string())
+    }
+
+    /// Attempt to repair a degraded server — the scrub's probe-write path.
+    ///
+    /// Under full quiescence (geometry write lock + all data locks, so no
+    /// mutation is staging, flushing or applying), re-persist every
+    /// shard's *applied* state — document-store checkpoint, then index
+    /// snapshots (btree) or keyword-map flushes (lsm) — and then replace
+    /// each shard's journal with a freshly opened empty one, clearing any
+    /// group-commit poison. Seqs of failed groups are reclaimed: those
+    /// records were never acknowledged and the fresh journal restarts
+    /// densely at `applied_seq + 1`. The end-to-end write pass is itself
+    /// the probe write: on success the health cell returns to Healthy.
+    ///
+    /// # Errors
+    /// Filesystem errors (the disk is still bad); the server stays
+    /// Degraded and the scrub retries later. In-memory servers have
+    /// nothing to repair and always succeed.
+    pub fn repair(&self) -> Result<()> {
+        let Some(dir) = self.dir.clone() else {
+            self.health.note_probe_ok();
+            return Ok(());
+        };
+        let geometry = self.geometry.write();
+        let mut datas = self.lock_all_data();
+        self.store.write().checkpoint()?;
+        match self.backend {
+            BackendKind::Btree => {
+                for (i, data) in datas.iter().enumerate() {
+                    self.save_shard_snapshot(data, &geometry, &dir.join(index_file(i)))?;
+                }
+                self.vfs.sync_dir(&dir).map_err(StorageError::Io)?;
+            }
+            BackendKind::Lsm => {
+                for data in datas.iter_mut() {
+                    flush_shard_kw_map(data, &geometry)?;
+                }
+            }
+        }
+        for (i, data) in datas.iter().enumerate() {
+            let path = dir.join(journal_file(i));
+            let _ = self.vfs.remove_file(&path);
+            let (journal, _) =
+                IndexJournal::open_with_vfs(self.vfs.clone(), &path, true, data.applied_seq)?;
+            self.shards[i].committer.replace_journal(journal);
+        }
+        self.health.note_probe_ok();
+        Ok(())
+    }
+
+    /// Background integrity pass over this server's on-disk artifacts.
+    ///
+    /// Checks every checksum the storage formats carry: the per-shard
+    /// index journals and the document store's WAL (CRC-framed records —
+    /// append-only and prefix-stable, so scanning a live log is safe),
+    /// the btree index snapshots (magic + body CRC; replaced atomically
+    /// via temp-file + rename, so a concurrent checkpoint can never be
+    /// seen half-written), and under the lsm backend every live run's
+    /// index and value CRCs (under the shard/store lock, since flushes
+    /// swap run files). Heap pages carry no checksums and are skipped.
+    ///
+    /// A torn WAL tail is a *repairable* finding, not corruption — it is
+    /// exactly what a crash (or a read racing an append) leaves behind.
+    /// A checksum mismatch anywhere else is confirmed corruption.
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] (wrapped) on confirmed corruption — the
+    /// caller quarantines; plain I/O errors are transient and do not.
+    pub fn verify_files(&self) -> Result<ScrubFindings> {
+        let mut findings = ScrubFindings::default();
+        let Some(dir) = self.dir.clone() else {
+            return Ok(findings);
+        };
+        let mut wal_paths: Vec<std::path::PathBuf> = (0..self.shards.len())
+            .map(|i| dir.join(journal_file(i)))
+            .collect();
+        wal_paths.push(dir.join(if self.backend == BackendKind::Lsm {
+            "doc.wal"
+        } else {
+            "store.wal"
+        }));
+        for path in &wal_paths {
+            match sse_storage::wal::verify_file(self.vfs.as_ref(), path)? {
+                sse_storage::wal::WalVerdict::Clean { .. } => findings.artifacts_verified += 1,
+                sse_storage::wal::WalVerdict::TornTail { .. } => {
+                    findings.artifacts_verified += 1;
+                    findings.torn_tails_seen += 1;
+                }
+                sse_storage::wal::WalVerdict::Corrupt { at } => {
+                    return Err(SseError::Storage(StorageError::Corrupt {
+                        what: "wal segment",
+                        detail: format!(
+                            "scrub: mid-log checksum mismatch at byte {at} in {}",
+                            path.display()
+                        ),
+                    }));
+                }
+            }
+        }
+        match self.backend {
+            BackendKind::Btree => {
+                for i in 0..self.shards.len() {
+                    if verify_index_snapshot(self.vfs.as_ref(), &dir.join(index_file(i)))? {
+                        findings.artifacts_verified += 1;
+                    }
+                }
+            }
+            BackendKind::Lsm => {
+                for i in 0..self.shards.len() {
+                    let data = self.lock_data(i);
+                    if let Some(map) = &data.kw_map {
+                        findings.artifacts_verified += map.verify_runs()?;
+                    }
+                }
+            }
+        }
+        findings.artifacts_verified += self.store.read().verify()?;
+        Ok(findings)
     }
 
     /// What the last [`Scheme1Server::open_durable`] had to repair.
@@ -904,7 +1045,8 @@ impl Scheme1Server {
         let mut store = self.store.write();
         for (id, blob) in docs {
             if let Err(e) = store.put(*id, blob) {
-                return Some(protocol::encode_error(&e.to_string()));
+                drop(store);
+                return Some(self.mutation_failed(&SseError::Storage(e)));
             }
             self.stats.docs_stored.fetch_add(1, Ordering::Relaxed);
         }
@@ -952,7 +1094,7 @@ impl Scheme1Server {
         );
         match result {
             Ok(()) => protocol::encode_ack(),
-            Err(e) => protocol::encode_error(&e.to_string()),
+            Err(e) => self.mutation_failed(&e),
         }
     }
 
@@ -1014,7 +1156,7 @@ impl Scheme1Server {
                 geometry.index_bytes = new_width;
                 protocol::encode_ack()
             }
-            Err(e) => protocol::encode_error(&e.to_string()),
+            Err(e) => self.mutation_failed(&e),
         }
     }
 
@@ -1073,7 +1215,7 @@ impl Scheme1Server {
                 };
                 match self.checkpoint(&dir) {
                     Ok(()) => protocol::encode_ack(),
-                    Err(e) => protocol::encode_error(&e.to_string()),
+                    Err(e) => self.mutation_failed(&e),
                 }
             }
             Request::ExportIndex => protocol::encode_index_dump(&self.export_representations()),
@@ -1320,6 +1462,31 @@ fn decode_entry(bytes: &[u8], geometry: &Geometry) -> Result<Entry> {
     let f_r = r.get_bytes()?.to_vec();
     r.finish()?;
     Ok(Entry { masked_index, f_r })
+}
+
+/// Scrub check of one shard snapshot file: magic + body CRC, without
+/// decoding the body. `Ok(false)` when the file does not exist (no
+/// checkpoint has happened yet — nothing to verify).
+fn verify_index_snapshot(vfs: &dyn Vfs, path: &Path) -> Result<bool> {
+    let bytes = match vfs.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(SseError::Storage(StorageError::Io(e))),
+    };
+    if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "index snapshot",
+            detail: format!("scrub: bad magic or truncated in {}", path.display()),
+        }));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if crc32(&bytes[12..]) != stored_crc {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "index snapshot",
+            detail: format!("scrub: checksum mismatch in {}", path.display()),
+        }));
+    }
+    Ok(true)
 }
 
 /// Decode one shard snapshot into `tree`, returning the `last_op_seq` it

@@ -40,6 +40,7 @@ use super::protocol::{self, GenerationEntry, Request};
 use super::{key_commitment, Scheme2Config};
 use crate::commit::{CommitCounters, CommitStats, GroupCommitter};
 use crate::error::{Result, SseError};
+use crate::health::{ScrubFindings, TenantHealth};
 use crate::journal::{IndexJournal, ServerRecovery};
 use crate::proto_common;
 use crate::shard::{self, shard_of, BatchId};
@@ -240,6 +241,9 @@ pub struct Scheme2Server {
     vfs: Arc<dyn Vfs>,
     /// What the last [`Scheme2Server::open_durable`] had to repair.
     recovery: ServerRecovery,
+    /// Per-tenant health cell: storage write failures degrade the server
+    /// to read-only until [`Scheme2Server::repair`] succeeds.
+    health: Arc<TenantHealth>,
 }
 
 impl Scheme2Server {
@@ -284,6 +288,7 @@ impl Scheme2Server {
             dir: None,
             vfs: RealVfs::arc(),
             recovery: ServerRecovery::default(),
+            health: Arc::new(TenantHealth::new()),
         }
     }
 
@@ -501,7 +506,140 @@ impl Scheme2Server {
                 store_wal_records_replayed: store_recovery.wal_records_replayed,
                 store_torn_bytes: store_recovery.torn_bytes_truncated,
             },
+            health: Arc::new(TenantHealth::new()),
         })
+    }
+
+    /// This server's health cell, shared with the serving daemon's request
+    /// router and the background scrub.
+    #[must_use]
+    pub fn health(&self) -> &Arc<TenantHealth> {
+        &self.health
+    }
+
+    /// Report a failed mutation: storage-typed failures degrade the tenant
+    /// to read-only (validation and protocol errors do not — they say
+    /// nothing about the disk), then encode the protocol error response.
+    fn mutation_failed(&self, e: &SseError) -> Vec<u8> {
+        if matches!(e, SseError::Storage(_)) {
+            self.health.note_storage_error(&e.to_string());
+        }
+        proto_common::encode_error(&e.to_string())
+    }
+
+    /// Attempt to repair a degraded server — the scrub's probe-write path.
+    ///
+    /// Under full quiescence (barrier write lock + all data locks, so no
+    /// mutation is staging, flushing or applying), re-persist every
+    /// shard's *applied* state — document-store checkpoint, then index
+    /// snapshots (btree) or keyword-map flushes (lsm) — and then replace
+    /// each shard's journal with a freshly opened empty one, clearing any
+    /// group-commit poison. Seqs of failed groups are reclaimed: those
+    /// records were never acknowledged and the fresh journal restarts
+    /// densely at `applied_seq + 1`. The end-to-end write pass is itself
+    /// the probe write: on success the health cell returns to Healthy.
+    ///
+    /// # Errors
+    /// Filesystem errors (the disk is still bad); the server stays
+    /// Degraded and the scrub retries later. In-memory servers have
+    /// nothing to repair and always succeed.
+    pub fn repair(&self) -> Result<()> {
+        let Some(dir) = self.dir.clone() else {
+            self.health.note_probe_ok();
+            return Ok(());
+        };
+        let _quiesce = self.barrier.write();
+        let mut datas = self.lock_all_data();
+        self.store.write().checkpoint()?;
+        match self.backend {
+            BackendKind::Btree => {
+                for (i, data) in datas.iter().enumerate() {
+                    self.save_shard_snapshot(data, &dir.join(index_file(i)))?;
+                }
+                self.vfs.sync_dir(&dir).map_err(StorageError::Io)?;
+            }
+            BackendKind::Lsm => {
+                for data in datas.iter_mut() {
+                    flush_shard_kw_map(data)?;
+                }
+            }
+        }
+        for (i, data) in datas.iter().enumerate() {
+            let path = dir.join(journal_file(i));
+            let _ = self.vfs.remove_file(&path);
+            let (journal, _) =
+                IndexJournal::open_with_vfs(self.vfs.clone(), &path, true, data.applied_seq)?;
+            self.shards[i].committer.replace_journal(journal);
+        }
+        self.health.note_probe_ok();
+        Ok(())
+    }
+
+    /// Checksum-verify every on-disk artifact of this server (scrub
+    /// integrity pass): WAL segments, index snapshots (btree) or LSM runs,
+    /// and the document store's runs (lsm backend; heap pages carry no
+    /// CRCs and are skipped).
+    ///
+    /// WAL segments and btree snapshots are prefix-stable / swapped by
+    /// rename, so they are verified lock-free; LSM runs are swapped in
+    /// place by flush/compaction and are verified under the shard data
+    /// lock (store read lock for the doc store).
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] on *confirmed* corruption — a bad-CRC
+    /// record in the middle of a WAL (valid records follow it), a snapshot
+    /// or run checksum mismatch. Torn WAL tails are repairable, counted in
+    /// the findings, and never an error. I/O errors are transient.
+    pub fn verify_files(&self) -> Result<ScrubFindings> {
+        let mut findings = ScrubFindings::default();
+        let Some(dir) = self.dir.clone() else {
+            return Ok(findings);
+        };
+        let mut wal_paths: Vec<std::path::PathBuf> = (0..self.shards.len())
+            .map(|i| dir.join(journal_file(i)))
+            .collect();
+        wal_paths.push(dir.join(if self.backend == BackendKind::Lsm {
+            "doc.wal"
+        } else {
+            "store.wal"
+        }));
+        for path in &wal_paths {
+            match sse_storage::wal::verify_file(self.vfs.as_ref(), path)? {
+                sse_storage::wal::WalVerdict::Clean { .. } => findings.artifacts_verified += 1,
+                sse_storage::wal::WalVerdict::TornTail { .. } => {
+                    findings.artifacts_verified += 1;
+                    findings.torn_tails_seen += 1;
+                }
+                sse_storage::wal::WalVerdict::Corrupt { at } => {
+                    return Err(SseError::Storage(StorageError::Corrupt {
+                        what: "wal segment",
+                        detail: format!(
+                            "scrub: mid-log checksum mismatch at byte {at} in {}",
+                            path.display()
+                        ),
+                    }));
+                }
+            }
+        }
+        match self.backend {
+            BackendKind::Btree => {
+                for i in 0..self.shards.len() {
+                    if verify_index_snapshot(self.vfs.as_ref(), &dir.join(index_file(i)))? {
+                        findings.artifacts_verified += 1;
+                    }
+                }
+            }
+            BackendKind::Lsm => {
+                for i in 0..self.shards.len() {
+                    let data = self.lock_data(i);
+                    if let Some(map) = &data.kw_map {
+                        findings.artifacts_verified += map.verify_runs()?;
+                    }
+                }
+            }
+        }
+        findings.artifacts_verified += self.store.read().verify()?;
+        Ok(findings)
     }
 
     /// What the last [`Scheme2Server::open_durable`] had to repair.
@@ -698,7 +836,8 @@ impl Scheme2Server {
             let mut store = self.store.write();
             for (id, blob) in &docs {
                 if let Err(e) = store.put(*id, blob) {
-                    return proto_common::encode_error(&e.to_string());
+                    drop(store);
+                    return self.mutation_failed(&SseError::Storage(e));
                 }
             }
         }
@@ -921,7 +1060,7 @@ impl Scheme2Server {
         );
         match result {
             Ok(()) => proto_common::encode_ack(),
-            Err(e) => proto_common::encode_error(&e.to_string()),
+            Err(e) => self.mutation_failed(&e),
         }
     }
 
@@ -939,7 +1078,7 @@ impl Scheme2Server {
         );
         match result {
             Ok(()) => proto_common::encode_ack(),
-            Err(e) => proto_common::encode_error(&e.to_string()),
+            Err(e) => self.mutation_failed(&e),
         }
     }
 
@@ -949,7 +1088,8 @@ impl Scheme2Server {
                 let mut store = self.store.write();
                 for (id, blob) in docs {
                     if let Err(e) = store.put(id, &blob) {
-                        return proto_common::encode_error(&e.to_string());
+                        drop(store);
+                        return self.mutation_failed(&SseError::Storage(e));
                     }
                 }
                 proto_common::encode_ack()
@@ -978,7 +1118,7 @@ impl Scheme2Server {
                 };
                 match self.checkpoint(&dir) {
                     Ok(()) => proto_common::encode_ack(),
-                    Err(e) => proto_common::encode_error(&e.to_string()),
+                    Err(e) => self.mutation_failed(&e),
                 }
             }
             Request::RemoveDocs(ids) => {
@@ -1376,6 +1516,31 @@ fn decode_generation_list(bytes: &[u8]) -> Result<GenerationList> {
     }
     r.finish()?;
     Ok(list)
+}
+
+/// Checksum-check one index snapshot without decoding it (scrub path).
+/// Returns `Ok(false)` if the snapshot does not exist (a tenant that has
+/// never checkpointed), `Ok(true)` if it verified.
+fn verify_index_snapshot(vfs: &dyn Vfs, path: &Path) -> Result<bool> {
+    let bytes = match vfs.read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(SseError::Storage(StorageError::Io(e))),
+    };
+    if bytes.len() < 12 || &bytes[..8] != INDEX_MAGIC {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "index snapshot",
+            detail: format!("scrub: bad magic or truncated in {}", path.display()),
+        }));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if crc32(&bytes[12..]) != stored_crc {
+        return Err(SseError::Storage(StorageError::Corrupt {
+            what: "index snapshot",
+            detail: format!("scrub: checksum mismatch in {}", path.display()),
+        }));
+    }
+    Ok(true)
 }
 
 /// Decode one shard snapshot into `tree`, returning the `last_op_seq` it

@@ -29,6 +29,7 @@
 use sse_server::bench::{
     run_bench, run_group_commit_bench, run_search_bench, run_update_bench, BenchOptions,
 };
+use sse_server::chaos::{run_chaos, ChaosOptions};
 use sse_server::daemon::{Daemon, ServerConfig};
 use sse_server::load::{run_load, LoadOptions, Profile};
 use sse_server::proto::SchemeId;
@@ -41,7 +42,9 @@ fn usage() -> ! {
          [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]\n\
          \x20      sse-load --bench-json PATH \
          [--bench-mode serving|groupcommit|search|update] \
-         [--shards N] [--clients N] [--seed N] [--bench-ms N]"
+         [--shards N] [--clients N] [--seed N] [--bench-ms N]\n\
+         \x20      sse-load --chaos [--seed N] [--clients N] [--tenants N] \
+         [--backend btree|lsm] [--chaos-ms N] [--chaos-report PATH]"
     );
     std::process::exit(2);
 }
@@ -68,6 +71,9 @@ struct Cli {
     bench_json: Option<std::path::PathBuf>,
     bench: BenchOptions,
     bench_mode: BenchMode,
+    chaos: bool,
+    chaos_opts: ChaosOptions,
+    chaos_report: std::path::PathBuf,
 }
 
 fn parse_args() -> Cli {
@@ -78,6 +84,9 @@ fn parse_args() -> Cli {
         bench_json: None,
         bench: BenchOptions::default(),
         bench_mode: BenchMode::Serving,
+        chaos: false,
+        chaos_opts: ChaosOptions::default(),
+        chaos_report: std::path::PathBuf::from("CHAOS_report.json"),
     };
     let mut shards_set = false;
     let mut args = std::env::args().skip(1);
@@ -95,12 +104,28 @@ fn parse_args() -> Cli {
             "--clients" => {
                 cli.opts.clients = parse(&value());
                 cli.bench.clients = cli.opts.clients;
+                cli.chaos_opts.clients = cli.opts.clients;
             }
-            "--tenants" => cli.opts.tenants = parse(&value()),
+            "--tenants" => {
+                cli.opts.tenants = parse(&value());
+                cli.chaos_opts.tenants = cli.opts.tenants;
+            }
             "--events" => cli.opts.events = parse(&value()),
             "--seed" => {
                 cli.opts.seed = parse(&value());
                 cli.bench.seed = cli.opts.seed;
+                cli.chaos_opts.seed = cli.opts.seed;
+            }
+            "--chaos" => cli.chaos = true,
+            "--chaos-ms" => {
+                cli.chaos_opts.duration = std::time::Duration::from_millis(parse(&value()));
+            }
+            "--chaos-report" => cli.chaos_report = std::path::PathBuf::from(value()),
+            "--backend" => {
+                cli.chaos_opts.backend = value().parse().unwrap_or_else(|e| {
+                    eprintln!("bad backend: {e}");
+                    usage()
+                })
             }
             "--bench-json" => cli.bench_json = Some(std::path::PathBuf::from(value())),
             "--bench-mode" => {
@@ -283,8 +308,62 @@ fn run_update_mode(path: &std::path::Path, bench: &BenchOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run the chaos-soak harness and write `CHAOS_report.json`. Exits
+/// nonzero if any invariant was violated.
+fn run_chaos_mode(path: &std::path::Path, opts: &ChaosOptions) -> ExitCode {
+    println!(
+        "sse-load: chaos soak: seed {}, {} clients x {} tenant(s), backend {}, {:?} storm",
+        opts.seed, opts.clients, opts.tenants, opts.backend, opts.duration
+    );
+    let report = match run_chaos(opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sse-load: chaos setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sse-load: chaos: {} ops ({} stores acked, {} in doubt, {} searches), \
+         {} socket drop(s), {} fault(s) injected",
+        report.ops_attempted,
+        report.stores_acked,
+        report.stores_in_doubt,
+        report.searches_ok,
+        report.disconnects_injected,
+        report.faults_injected
+    );
+    println!(
+        "sse-load: health: {} degradation(s) / {} recover(ies) / {} quarantine(s), \
+         {} scrub pass(es), {} repair(s), {} degraded retry(ies) absorbed client-side",
+        report.degradations,
+        report.recoveries,
+        report.quarantines,
+        report.scrub_passes,
+        report.scrub_repairs,
+        report.degraded_retries
+    );
+    for v in &report.violations {
+        eprintln!("sse-load: INVARIANT VIOLATION: {v}");
+    }
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("sse-load: writing {} failed: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("sse-load: wrote {}", path.display());
+    if report.passed() {
+        println!("sse-load: chaos soak PASSED (all three invariants held)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sse-load: chaos soak FAILED");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut cli = parse_args();
+    if cli.chaos {
+        return run_chaos_mode(&cli.chaos_report, &cli.chaos_opts);
+    }
     if let Some(path) = &cli.bench_json {
         if cli.bench_mode == BenchMode::GroupCommit {
             return run_group_commit_mode(path, &cli.bench);

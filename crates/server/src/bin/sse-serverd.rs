@@ -4,6 +4,7 @@
 //! sse-serverd [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--scheme1-capacity N] [--scheme2-chain N] [--shards N]
 //!             [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N]
+//!             [--scrub-interval-ms N]
 //! ```
 //!
 //! Serves until an `ADMIN_SHUTDOWN` frame arrives (e.g. `sse-load
@@ -19,6 +20,12 @@
 //! sorted runs with bloom-filtered reads; checkpoints flush only the
 //! tags mutated since the last one). Each tenant directory remembers its
 //! backend and refuses to reopen under the other.
+//!
+//! A background scrub thread (default every 5000 ms; `--scrub-interval-ms
+//! 0` disables it) checksum-verifies every tenant's on-disk artifacts,
+//! repairs degraded tenants (storage write failures flip a tenant to
+//! read-only serving until the repair's probe write succeeds) and
+//! quarantines confirmed corruption. See the `sse_server::scrub` docs.
 
 use sse_server::daemon::{Daemon, ServerConfig};
 use sse_server::tenant::TenantParams;
@@ -28,7 +35,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sse-serverd [--addr HOST:PORT] [--workers N] [--queue N] \
          [--scheme1-capacity N] [--scheme2-chain N] [--shards N] \
-         [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N]"
+         [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N] \
+         [--scrub-interval-ms N]"
     );
     std::process::exit(2);
 }
@@ -43,6 +51,9 @@ fn parse<T: std::str::FromStr>(s: &str) -> T {
 fn parse_args() -> ServerConfig {
     let mut config = ServerConfig {
         addr: "127.0.0.1:4460".to_string(),
+        // The daemon default is scrub-off (embedding tests drive passes
+        // synchronously); the operator-facing binary scrubs by default.
+        scrub_interval: Some(std::time::Duration::from_millis(5000)),
         ..ServerConfig::default()
     };
     let mut params = TenantParams::default();
@@ -70,6 +81,14 @@ fn parse_args() -> ServerConfig {
             }
             "--idle-timeout-ms" => {
                 config.idle_timeout = std::time::Duration::from_millis(parse(&value()));
+            }
+            "--scrub-interval-ms" => {
+                let ms: u64 = parse(&value());
+                config.scrub_interval = if ms == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_millis(ms))
+                };
             }
             "--help" | "-h" => usage(),
             other => {
@@ -154,6 +173,18 @@ fn main() -> ExitCode {
     println!(
         "sse-serverd: search cache: {} hit(s) / {} miss(es), {} chain step(s) saved",
         stats.search_cache_hits, stats.search_cache_misses, stats.walk_steps_saved
+    );
+    println!(
+        "sse-serverd: health: {} degradation(s) / {} recover(ies) / {} quarantine(s), \
+         {} request(s) rejected degraded, {} scrub pass(es), {} repair(s); \
+         {} thread(s) panicked",
+        report.final_stats.health_degradations,
+        report.final_stats.health_recoveries,
+        report.final_stats.health_quarantines,
+        report.final_stats.requests_degraded,
+        report.final_stats.scrub_passes,
+        report.final_stats.scrub_repairs,
+        report.threads_panicked
     );
     // Backend counters come from the post-drain snapshot: the drain
     // checkpoint itself flushes lsm runs, which a pre-shutdown snapshot

@@ -26,11 +26,13 @@
 
 use crate::proto::{
     self, Hello, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN, KIND_DATA,
-    KIND_SEARCH_MANY, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_ERR, STATUS_OK,
+    KIND_SEARCH_MANY, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_DEGRADED, STATUS_ERR, STATUS_OK,
 };
+use crate::scrub::{scrub_loop, scrub_pass, ScrubCounters};
 use crate::stats::ServingStats;
 use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use sse_core::health::{HealthState, DEGRADED_RETRY_AFTER_MS};
 use sse_net::frame::{encode_frame, FrameDecoder};
 use sse_net::shutdown::ShutdownSignal;
 use sse_storage::{FaultConfig, FaultStats, FaultVfs, RealVfs, Vfs};
@@ -73,6 +75,11 @@ pub struct ServerConfig {
     /// [`FaultVfs`] (torture testing only); injected-fault counts show up
     /// in `ADMIN_STATS`.
     pub fault: Option<FaultConfig>,
+    /// `Some` ⇒ spawn a background scrub thread running one integrity
+    /// pass (verify healthy tenants, repair degraded ones — see
+    /// [`crate::scrub`]) per interval. `None` disables the thread; tests
+    /// can still drive passes synchronously via [`Daemon::scrub_now`].
+    pub scrub_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +93,7 @@ impl Default for ServerConfig {
             data_dir: None,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             fault: None,
+            scrub_interval: None,
         }
     }
 }
@@ -96,6 +104,7 @@ struct Shared {
     stats: Arc<ServingStats>,
     registry: Arc<TenantRegistry>,
     fault_stats: Option<Arc<FaultStats>>,
+    scrub: Arc<ScrubCounters>,
     max_frame_len: u32,
     idle_timeout: Duration,
 }
@@ -129,6 +138,14 @@ impl Shared {
         if let Some(f) = &self.fault_stats {
             snap.faults_injected = f.injected();
         }
+        let health = self.registry.health_counters();
+        snap.health_degradations = health.degradations;
+        snap.health_recoveries = health.recoveries;
+        snap.health_quarantines = health.quarantines;
+        snap.tenants_degraded = health.tenants_degraded;
+        snap.tenants_quarantined = health.tenants_quarantined;
+        snap.scrub_passes = self.scrub.passes();
+        snap.scrub_repairs = self.scrub.repairs();
         snap
     }
 }
@@ -158,6 +175,11 @@ pub struct ShutdownReport {
     /// Tenant databases checkpointed to disk during the drain (always 0
     /// for an in-memory daemon).
     pub tenants_checkpointed: usize,
+    /// Daemon threads that panicked instead of exiting cleanly. Shutdown
+    /// still joins and counts them (a panicked worker must not abort the
+    /// drain and strand the other tenants' checkpoints); nonzero means a
+    /// bug worth reporting, not a reason to lose data.
+    pub threads_panicked: usize,
     /// Statistics taken after the drain checkpoints, so counters the
     /// checkpoint itself advances (lsm runs flushed, compactions) are
     /// included — a pre-shutdown [`Daemon::stats`] call would miss them.
@@ -172,6 +194,7 @@ pub struct Daemon {
     listener_join: JoinHandle<()>,
     conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
     worker_joins: Vec<JoinHandle<()>>,
+    scrub_join: Option<JoinHandle<()>>,
     job_tx: Sender<Job>,
 }
 
@@ -219,8 +242,16 @@ impl Daemon {
             stats,
             registry,
             fault_stats,
+            scrub: Arc::new(ScrubCounters::new()),
             max_frame_len: config.max_frame_len,
             idle_timeout: config.idle_timeout,
+        });
+
+        let scrub_join = config.scrub_interval.map(|interval| {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                scrub_loop(&shared.registry, &shared.scrub, &shared.shutdown, interval);
+            })
         });
 
         let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -239,8 +270,16 @@ impl Daemon {
             listener_join,
             conn_joins,
             worker_joins,
+            scrub_join,
             job_tx,
         })
+    }
+
+    /// Run one synchronous scrub pass (verify healthy tenants, repair
+    /// degraded ones) on the caller's thread — the deterministic
+    /// equivalent of waiting for the background scrub's next tick.
+    pub fn scrub_now(&self) {
+        scrub_pass(&self.shared.registry, &self.shared.scrub);
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -282,11 +321,20 @@ impl Daemon {
     /// mutations land in the snapshot, not just the log). In-flight
     /// requests get their responses; the listener socket closes.
     ///
-    /// # Panics
-    /// Panics if a daemon thread panicked.
+    /// A daemon thread that panicked is logged and counted in the report
+    /// ([`ShutdownReport::threads_panicked`]), never re-raised: aborting
+    /// the drain on one bad thread would strand every other tenant's
+    /// checkpoint and turn a bug into data loss.
     pub fn shutdown(self) -> ShutdownReport {
+        let mut threads_panicked = 0;
+        let mut join_counted = |handle: JoinHandle<()>, role: &str| {
+            if handle.join().is_err() {
+                threads_panicked += 1;
+                eprintln!("sse-serverd: {role} thread panicked (continuing shutdown)");
+            }
+        };
         self.shared.shutdown.request();
-        self.listener_join.join().expect("listener thread panicked");
+        join_counted(self.listener_join, "listener");
         // The listener has stopped spawning; connection threads notice the
         // flag within one poll interval and hang up.
         let conns = std::mem::take(
@@ -297,14 +345,17 @@ impl Daemon {
         );
         let connections_joined = conns.len();
         for join in conns {
-            join.join().expect("connection thread panicked");
+            join_counted(join, "connection");
         }
         // All request producers are gone: dropping the daemon's own sender
         // disconnects the channel, and workers exit after draining it.
         drop(self.job_tx);
         let workers_joined = self.worker_joins.len();
         for join in self.worker_joins {
-            join.join().expect("worker thread panicked");
+            join_counted(join, "worker");
+        }
+        if let Some(join) = self.scrub_join {
+            join_counted(join, "scrub");
         }
         // Workers have drained: every accepted mutation is at least in a
         // tenant WAL. Fold the WALs into snapshots so a daemon restart
@@ -316,6 +367,7 @@ impl Daemon {
             workers_joined,
             connections_joined,
             tenants_checkpointed,
+            threads_panicked,
             final_stats,
         }
     }
@@ -374,27 +426,59 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
     // in parallel (and a search never queues behind another shard's
     // journal fsync).
     while let Ok(job) = rx.recv() {
-        let response = match job.kind {
-            KIND_UPDATE_MANY => match proto::decode_batch(&job.payload) {
-                Some(parts) => job.tenant.apply_batch(&parts),
-                None => {
-                    stats.record_err();
-                    write_response(&job.writer, STATUS_ERR, job.seq, b"malformed batch");
-                    continue;
+        // Health gate, checked lock-free before any work: a quarantined
+        // tenant serves nothing; a degraded tenant serves reads from its
+        // snapshots but rejects mutations with a typed retry-after hint so
+        // clients back off instead of dropping the op.
+        let health = job.tenant.health();
+        match health.state() {
+            HealthState::Quarantined => {
+                stats.record_err();
+                let msg = format!("tenant quarantined: {}", health.reason());
+                write_response(&job.writer, STATUS_ERR, job.seq, msg.as_bytes());
+                continue;
+            }
+            HealthState::Degraded if job.tenant.is_mutation(job.kind, &job.payload) => {
+                stats.record_degraded();
+                let payload = proto::encode_degraded(DEGRADED_RETRY_AFTER_MS, &health.reason());
+                write_response(&job.writer, STATUS_DEGRADED, job.seq, &payload);
+                continue;
+            }
+            _ => {}
+        }
+        // A panicking scheme handler must cost its request, not this
+        // worker thread: an uncaught unwind here would shrink the pool
+        // until the daemon deadlocks with jobs queued and no workers.
+        // parking_lot locks release on unwind (no poisoning), so the
+        // tenant stays usable.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.kind {
+            KIND_UPDATE_MANY => {
+                proto::decode_batch(&job.payload).map(|parts| job.tenant.apply_batch(&parts))
+            }
+            KIND_SEARCH_MANY => {
+                proto::decode_batch(&job.payload).map(|parts| job.tenant.search_batch(&parts))
+            }
+            _ => Some(job.tenant.handle_shared(&job.payload)),
+        }));
+        match outcome {
+            Ok(Some(response)) => {
+                if write_response(&job.writer, STATUS_OK, job.seq, &response) {
+                    stats.record_ok(job.payload.len(), response.len(), job.accepted.elapsed());
                 }
-            },
-            KIND_SEARCH_MANY => match proto::decode_batch(&job.payload) {
-                Some(parts) => job.tenant.search_batch(&parts),
-                None => {
-                    stats.record_err();
-                    write_response(&job.writer, STATUS_ERR, job.seq, b"malformed batch");
-                    continue;
-                }
-            },
-            _ => job.tenant.handle_shared(&job.payload),
-        };
-        if write_response(&job.writer, STATUS_OK, job.seq, &response) {
-            stats.record_ok(job.payload.len(), response.len(), job.accepted.elapsed());
+            }
+            Ok(None) => {
+                stats.record_err();
+                write_response(&job.writer, STATUS_ERR, job.seq, b"malformed batch");
+            }
+            Err(_) => {
+                stats.record_err();
+                write_response(
+                    &job.writer,
+                    STATUS_ERR,
+                    job.seq,
+                    b"internal error: request handler panicked",
+                );
+            }
         }
     }
 }

@@ -29,10 +29,12 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chaos;
 pub mod daemon;
 pub mod histogram;
 pub mod load;
 pub mod proto;
+pub mod scrub;
 pub mod stats;
 pub mod tenant;
 pub mod transport;

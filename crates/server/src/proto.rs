@@ -61,6 +61,31 @@ pub const STATUS_BUSY: u8 = 1;
 /// Response status: protocol violation; payload is a UTF-8 message. The
 /// connection is closed after an error.
 pub const STATUS_ERR: u8 = 2;
+/// Response status: the tenant is degraded (read-only after a storage
+/// write failure) and this request was a mutation. The payload is
+/// `[retry_after_ms u32][reason utf-8]` — clients should back off for the
+/// hinted interval and retry; the request was **not** executed. Unlike
+/// `ERR`, the connection stays usable.
+pub const STATUS_DEGRADED: u8 = 3;
+
+/// Build a `STATUS_DEGRADED` payload: `[retry_after_ms u32][reason]`.
+#[must_use]
+pub fn encode_degraded(retry_after_ms: u32, reason: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + reason.len());
+    out.extend_from_slice(&retry_after_ms.to_le_bytes());
+    out.extend_from_slice(reason.as_bytes());
+    out
+}
+
+/// Split a `STATUS_DEGRADED` payload into `(retry_after_ms, reason)`.
+#[must_use]
+pub fn decode_degraded(payload: &[u8]) -> Option<(u32, String)> {
+    let (ms, reason) = payload.split_first_chunk::<4>()?;
+    Some((
+        u32::from_le_bytes(*ms),
+        String::from_utf8_lossy(reason).into_owned(),
+    ))
+}
 
 /// Scheme selector carried in the hello frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -279,6 +304,22 @@ pub struct StatsSnapshot {
     pub backend_bloom_skips: u64,
     /// Run probes where the bloom said "maybe" but the key was absent.
     pub backend_bloom_false_positives: u64,
+    /// Mutations rejected with `DEGRADED` (tenant read-only).
+    pub requests_degraded: u64,
+    /// `Healthy → Degraded` transitions across all open tenants.
+    pub health_degradations: u64,
+    /// `Degraded → Healthy` scrub recoveries across all open tenants.
+    pub health_recoveries: u64,
+    /// `→ Quarantined` transitions across all open tenants.
+    pub health_quarantines: u64,
+    /// Tenants currently in the `Degraded` state.
+    pub tenants_degraded: u64,
+    /// Tenants currently in the `Quarantined` state.
+    pub tenants_quarantined: u64,
+    /// Background scrub passes completed.
+    pub scrub_passes: u64,
+    /// Scrub repairs that promoted a tenant back to `Healthy`.
+    pub scrub_repairs: u64,
 }
 
 impl StatsSnapshot {
@@ -333,7 +374,15 @@ impl StatsSnapshot {
             .put_u64(self.backend_run_reads)
             .put_u64(self.backend_bloom_checks)
             .put_u64(self.backend_bloom_skips)
-            .put_u64(self.backend_bloom_false_positives);
+            .put_u64(self.backend_bloom_false_positives)
+            .put_u64(self.requests_degraded)
+            .put_u64(self.health_degradations)
+            .put_u64(self.health_recoveries)
+            .put_u64(self.health_quarantines)
+            .put_u64(self.tenants_degraded)
+            .put_u64(self.tenants_quarantined)
+            .put_u64(self.scrub_passes)
+            .put_u64(self.scrub_repairs);
         w.finish()
     }
 
@@ -377,6 +426,16 @@ impl StatsSnapshot {
             snap.backend_bloom_checks = r.get_u64().ok()?;
             snap.backend_bloom_skips = r.get_u64().ok()?;
             snap.backend_bloom_false_positives = r.get_u64().ok()?;
+        }
+        if r.remaining() > 0 {
+            snap.requests_degraded = r.get_u64().ok()?;
+            snap.health_degradations = r.get_u64().ok()?;
+            snap.health_recoveries = r.get_u64().ok()?;
+            snap.health_quarantines = r.get_u64().ok()?;
+            snap.tenants_degraded = r.get_u64().ok()?;
+            snap.tenants_quarantined = r.get_u64().ok()?;
+            snap.scrub_passes = r.get_u64().ok()?;
+            snap.scrub_repairs = r.get_u64().ok()?;
         }
         r.finish().ok()?;
         Some(snap)
@@ -471,6 +530,14 @@ mod tests {
             backend_bloom_checks: 340,
             backend_bloom_skips: 280,
             backend_bloom_false_positives: 3,
+            requests_degraded: 4,
+            health_degradations: 2,
+            health_recoveries: 1,
+            health_quarantines: 1,
+            tenants_degraded: 1,
+            tenants_quarantined: 1,
+            scrub_passes: 12,
+            scrub_repairs: 1,
         };
         assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap.clone()));
         assert_eq!(StatsSnapshot::decode(b"short"), None);
@@ -488,17 +555,48 @@ mod tests {
             backend_runs_flushed: 9,
             ..StatsSnapshot::default()
         };
-        // An older peer's payload ends before the backend_* counters.
+        // An older peer's payload ends before the backend_* counters
+        // (and therefore before the health block appended after them).
         let mut body = snap.encode();
-        body.truncate(body.len() - 7 * 8);
+        body.truncate(body.len() - (7 + 8) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.walk_steps_saved, 7);
         assert_eq!(decoded.backend_runs_flushed, 0);
-        // A partially present backend block is still malformed.
+        // A partially present trailing block is still malformed.
         let mut torn = snap.encode();
         torn.truncate(torn.len() - 4);
         assert_eq!(StatsSnapshot::decode(&torn), None);
+    }
+
+    #[test]
+    fn stats_decode_tolerates_pre_health_payload() {
+        let snap = StatsSnapshot {
+            requests_ok: 5,
+            backend_runs_flushed: 9,
+            health_degradations: 3,
+            scrub_passes: 4,
+            ..StatsSnapshot::default()
+        };
+        // A peer from before the health block: payload ends after the
+        // backend_* counters.
+        let mut body = snap.encode();
+        body.truncate(body.len() - 8 * 8);
+        let decoded = StatsSnapshot::decode(&body).unwrap();
+        assert_eq!(decoded.requests_ok, 5);
+        assert_eq!(decoded.backend_runs_flushed, 9);
+        assert_eq!(decoded.health_degradations, 0);
+        assert_eq!(decoded.scrub_passes, 0);
+    }
+
+    #[test]
+    fn degraded_payload_round_trip() {
+        let body = encode_degraded(250, "journal fsync failed");
+        assert_eq!(
+            decode_degraded(&body),
+            Some((250, "journal fsync failed".to_string()))
+        );
+        assert_eq!(decode_degraded(&[1, 2]), None); // truncated hint
     }
 
     #[test]

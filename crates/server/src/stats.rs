@@ -15,6 +15,7 @@ pub struct ServingStats {
     requests_ok: AtomicU64,
     requests_busy: AtomicU64,
     requests_err: AtomicU64,
+    requests_degraded: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
     /// Hello frames that attached to an already-open tenant database —
@@ -48,6 +49,12 @@ impl ServingStats {
     /// Record one protocol error.
     pub fn record_err(&self) {
         self.requests_err.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one DEGRADED rejection (tenant read-only; mutation refused
+    /// with a retry-after hint, not executed).
+    pub fn record_degraded(&self) {
+        self.requests_degraded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a hello that re-attached to an already-open tenant database.
@@ -90,6 +97,14 @@ impl ServingStats {
             backend_bloom_checks: 0,
             backend_bloom_skips: 0,
             backend_bloom_false_positives: 0,
+            requests_degraded: self.requests_degraded.load(Ordering::Relaxed),
+            health_degradations: 0,
+            health_recoveries: 0,
+            health_quarantines: 0,
+            tenants_degraded: 0,
+            tenants_quarantined: 0,
+            scrub_passes: 0,
+            scrub_repairs: 0,
         }
     }
 }

@@ -19,6 +19,7 @@ use crate::proto::SchemeId;
 use parking_lot::Mutex;
 use sse_core::commit::CommitCounters;
 use sse_core::error::SseError;
+use sse_core::health::{HealthState, ScrubFindings, TenantHealth};
 use sse_core::journal::ServerRecovery;
 use sse_core::scheme1::Scheme1Server;
 use sse_core::scheme2::{Scheme2Config, Scheme2Server};
@@ -63,6 +64,22 @@ impl SearchCacheCounters {
     }
 }
 
+/// Health transition counts and current-state tallies summed over one
+/// registry's open tenant databases (the STATS health block).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// `Healthy → Degraded` transitions.
+    pub degradations: u64,
+    /// `Degraded → Healthy` scrub recoveries.
+    pub recoveries: u64,
+    /// `→ Quarantined` transitions.
+    pub quarantines: u64,
+    /// Tenants currently `Degraded`.
+    pub tenants_degraded: u64,
+    /// Tenants currently `Quarantined`.
+    pub tenants_quarantined: u64,
+}
+
 /// One tenant's scheme server — the concrete state behind a handle, kept
 /// as an enum (not `Box<dyn Service>`) so the registry can reach
 /// scheme-specific operations like checkpointing.
@@ -92,6 +109,81 @@ impl TenantDb {
         match self {
             TenantDb::S1(s) => s.recovery(),
             TenantDb::S2(s) => s.recovery(),
+        }
+    }
+
+    /// This database's health cell (shared with the scheme server's
+    /// mutation error sites and the scrub thread).
+    #[must_use]
+    pub fn health(&self) -> &Arc<TenantHealth> {
+        match self {
+            TenantDb::S1(s) => s.health(),
+            TenantDb::S2(s) => s.health(),
+        }
+    }
+
+    /// Repair a degraded database under quiescence: checkpoint the
+    /// current applied state and start fresh journals, then probe-promote
+    /// back to `Healthy`. See the scheme servers' `repair` docs.
+    ///
+    /// # Errors
+    /// Storage errors if the underlying fault persists (the database
+    /// stays `Degraded`; the next scrub pass retries).
+    pub fn repair(&self) -> Result<(), SseError> {
+        match self {
+            TenantDb::S1(s) => s.repair(),
+            TenantDb::S2(s) => s.repair(),
+        }
+    }
+
+    /// Checksum-verify every on-disk artifact of this database (scrub
+    /// integrity pass). See the scheme servers' `verify_files` docs.
+    ///
+    /// # Errors
+    /// `StorageError::Corrupt` on confirmed corruption (the scrub
+    /// quarantines); other storage errors are transient.
+    pub fn verify_files(&self) -> Result<ScrubFindings, SseError> {
+        match self {
+            TenantDb::S1(s) => s.verify_files(),
+            TenantDb::S2(s) => s.verify_files(),
+        }
+    }
+
+    /// Whether an envelope request would mutate this database — the
+    /// routing predicate for degraded (read-only) serving. `UPDATE_MANY`
+    /// is always a mutation and `SEARCH_MANY` never is; for `DATA` the
+    /// scheme request tag (first payload byte) decides. Unknown and empty
+    /// payloads classify as mutations: the scheme server will reject them
+    /// anyway, and a degraded tenant must fail closed, not execute a
+    /// request the classifier could not read.
+    #[must_use]
+    pub fn is_mutation(&self, kind: u8, payload: &[u8]) -> bool {
+        match kind {
+            crate::proto::KIND_UPDATE_MANY => true,
+            crate::proto::KIND_SEARCH_MANY => false,
+            crate::proto::KIND_DATA => {
+                let Some(&tag) = payload.first() else {
+                    return true;
+                };
+                match self {
+                    TenantDb::S1(_) => {
+                        use sse_core::scheme1::REQ_TAGS as t1;
+                        !matches!(
+                            tag,
+                            t1::GET_NONCES
+                                | t1::SEARCH_FIND
+                                | t1::SEARCH_REVEAL
+                                | t1::SEARCH_REVEAL_MANY
+                                | t1::EXPORT_INDEX
+                        )
+                    }
+                    TenantDb::S2(_) => {
+                        use sse_core::scheme2::protocol::req as t2;
+                        !matches!(tag, t2::SEARCH | t2::SEARCH_MANY)
+                    }
+                }
+            }
+            _ => true,
         }
     }
 
@@ -134,7 +226,7 @@ impl TenantDb {
         let fanout = parts.len().min(SEARCH_FANOUT).min(machine_parallelism());
         if fanout <= 1 {
             for (slot, part) in responses.iter_mut().zip(parts) {
-                *slot = self.handle_shared(part);
+                *slot = self.handle_part_caught(part);
             }
             return crate::proto::encode_batch(&responses);
         }
@@ -144,7 +236,7 @@ impl TenantDb {
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(part) = parts.get(i) else { break };
-                mine.push((i, self.handle_shared(part)));
+                mine.push((i, self.handle_part_caught(part)));
             }
             mine
         };
@@ -162,12 +254,40 @@ impl TenantDb {
                 responses[i] = resp;
             }
             for handle in handles {
-                for (i, resp) in handle.join().expect("search fan-out worker panicked") {
-                    responses[i] = resp;
+                // A panic that escaped the per-part catch (e.g. in the
+                // claim loop's own bookkeeping) must not take down the
+                // connection: its claimed slots are healed below.
+                if let Ok(list) = handle.join() {
+                    for (i, resp) in list {
+                        responses[i] = resp;
+                    }
                 }
             }
         });
+        // Every legitimate scheme response starts with a tag byte, so an
+        // empty slot can only mean its worker died before reporting.
+        for slot in &mut responses {
+            if slot.is_empty() {
+                *slot = self.scheme_error("internal error: search fan-out worker panicked");
+            }
+        }
         crate::proto::encode_batch(&responses)
+    }
+
+    /// Serve one fan-out part, converting a scheme-server panic into that
+    /// part's protocol error instead of unwinding through the pool — one
+    /// poisoned part must not kill the other parts or the connection.
+    fn handle_part_caught(&self, part: &[u8]) -> Vec<u8> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle_shared(part)))
+            .unwrap_or_else(|_| self.scheme_error("internal error: search fan-out worker panicked"))
+    }
+
+    /// Encode `msg` as this scheme's wire error response.
+    fn scheme_error(&self, msg: &str) -> Vec<u8> {
+        match self {
+            TenantDb::S1(_) => sse_core::scheme1::protocol::encode_error(msg),
+            TenantDb::S2(_) => sse_core::proto_common::encode_error(msg),
+        }
     }
 
     /// Search-memo counters (hits, misses, chain steps saved). Scheme 1
@@ -507,6 +627,53 @@ impl TenantRegistry {
         let mut out = BackendCounters::default();
         for handle in handles {
             out.merge(&handle.backend_counters());
+        }
+        out
+    }
+
+    /// Every open tenant database with its routing key — the scrub
+    /// thread's work list. Handles are clones; the registry lock is not
+    /// held while the caller verifies or repairs.
+    #[must_use]
+    pub fn open_tenants(&self) -> Vec<((String, SchemeId), TenantHandle)> {
+        self.tenants
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// On-disk directory of an open durable tenant (`None` in-memory).
+    #[must_use]
+    pub fn tenant_dir(&self, tenant: &str, scheme: SchemeId) -> Option<PathBuf> {
+        self.data_dir
+            .as_ref()
+            .map(|root| tenant_dir(root, tenant, scheme))
+    }
+
+    /// The VFS all tenant file I/O routes through.
+    #[must_use]
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        Arc::clone(&self.vfs)
+    }
+
+    /// Health transition counts and current-state tallies over every open
+    /// tenant database (the STATS health block).
+    #[must_use]
+    pub fn health_counters(&self) -> HealthCounters {
+        let handles: Vec<TenantHandle> = self.tenants.lock().values().cloned().collect();
+        let mut out = HealthCounters::default();
+        for handle in handles {
+            let health = handle.health();
+            let (d, r, q) = health.transition_counts();
+            out.degradations += d;
+            out.recoveries += r;
+            out.quarantines += q;
+            match health.state() {
+                HealthState::Healthy => {}
+                HealthState::Degraded => out.tenants_degraded += 1,
+                HealthState::Quarantined => out.tenants_quarantined += 1,
+            }
         }
         out
     }

@@ -8,7 +8,11 @@
 //! `MeteredLink` path exchanges.
 //!
 //! `BUSY` responses (bounded-queue backpressure) are retried here with
-//! exponential backoff, so schemes never observe them.
+//! exponential backoff, so schemes never observe them. `DEGRADED`
+//! responses (the tenant is read-only while a scrub repairs a storage
+//! fault) are likewise retried, honoring the server's retry-after hint
+//! bounded by [`DEGRADED_BACKOFF_CAP`] — operations are delayed, never
+//! dropped, and both retry kinds share one total deadline.
 //!
 //! On a broken connection the transport **fails the in-flight operation**
 //! (its server-side effect is unknown and the index mutations are not
@@ -19,7 +23,7 @@
 
 use crate::proto::{
     self, Hello, SchemeId, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN,
-    KIND_DATA, KIND_SEARCH_MANY, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_OK,
+    KIND_DATA, KIND_SEARCH_MANY, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_DEGRADED, STATUS_OK,
 };
 use sse_net::frame::{encode_frame, FrameDecoder};
 use sse_net::link::Transport;
@@ -44,6 +48,9 @@ const RECONNECT_ATTEMPTS: u32 = 5;
 const RECONNECT_BACKOFF_START: Duration = Duration::from_millis(10);
 /// Re-dial backoff ceiling.
 const RECONNECT_BACKOFF_MAX: Duration = Duration::from_millis(200);
+/// Ceiling on honoring the server's `DEGRADED` retry-after hint: a
+/// buggy or hostile hint must not park the client for minutes.
+const DEGRADED_BACKOFF_CAP: Duration = Duration::from_millis(500);
 
 /// A framed TCP connection to one tenant database on an `sse-serverd`.
 pub struct TcpTransport {
@@ -58,6 +65,7 @@ pub struct TcpTransport {
     next_seq: u32,
     reconnects: u64,
     busy_retries: u64,
+    degraded_retries: u64,
     /// Total monotonic time budget for `BUSY` retries of one request.
     busy_retry_deadline: Duration,
 }
@@ -85,6 +93,7 @@ impl TcpTransport {
             next_seq: HELLO_SEQ.wrapping_add(1),
             reconnects: 0,
             busy_retries: 0,
+            degraded_retries: 0,
             busy_retry_deadline: DEFAULT_BUSY_RETRY_DEADLINE,
         })
     }
@@ -159,6 +168,22 @@ impl TcpTransport {
     #[must_use]
     pub fn busy_retries(&self) -> u64 {
         self.busy_retries
+    }
+
+    /// How many `DEGRADED` rejections were absorbed by backoff-and-retry
+    /// (the tenant was read-only while a scrub repaired it; no operation
+    /// was dropped).
+    #[must_use]
+    pub fn degraded_retries(&self) -> u64 {
+        self.degraded_retries
+    }
+
+    /// Sever the underlying socket (both directions) without touching any
+    /// client-side scheme state — the chaos harness's network fault. The
+    /// next request fails like a real connection drop and the transport
+    /// re-dials per its normal reconnect policy.
+    pub fn inject_disconnect(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
     }
 
     fn send_raw(&mut self, body: &[u8]) -> Result<()> {
@@ -239,6 +264,24 @@ impl TcpTransport {
                     self.busy_retries += 1;
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(BUSY_BACKOFF_MAX);
+                }
+                STATUS_DEGRADED => {
+                    // A degraded rejection is issued *before* the request
+                    // executes, so retrying is as safe as for BUSY. Honor
+                    // the server's retry-after hint (bounded — a bad hint
+                    // must not park us), under the same total deadline.
+                    if started.elapsed() >= self.busy_retry_deadline {
+                        return Err(Error::new(
+                            ErrorKind::TimedOut,
+                            "tenant still degraded after the retry deadline",
+                        ));
+                    }
+                    let hint_ms = proto::decode_degraded(&body).map_or(0, |(ms, _reason)| ms);
+                    let wait = Duration::from_millis(u64::from(hint_ms))
+                        .max(BUSY_BACKOFF_START)
+                        .min(DEGRADED_BACKOFF_CAP);
+                    self.degraded_retries += 1;
+                    std::thread::sleep(wait);
                 }
                 _ => {
                     return Err(Error::other(format!(

@@ -305,6 +305,17 @@ pub trait DocBlobStore: Send + Sync {
     fn counters(&self) -> BackendCounters {
         BackendCounters::default()
     }
+
+    /// Integrity scrub: re-verify whatever on-disk checksums the engine
+    /// maintains, returning the number of artifacts verified. Engines
+    /// without checksummed artifacts (the heap store's pages carry no
+    /// CRCs; its WAL is verified separately by the caller) return 0.
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] on a confirmed mismatch; I/O errors.
+    fn verify(&self) -> Result<u64> {
+        Ok(0)
+    }
 }
 
 impl DocBlobStore for DocStore {

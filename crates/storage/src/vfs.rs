@@ -273,6 +273,19 @@ pub struct FaultConfig {
     /// Off by default (renames are then durable at the rename call, the
     /// historical process-crash model).
     pub lose_unsynced_renames: bool,
+    /// ENOSPC window: starting at the N-th `write_all` (1-based), fail
+    /// writes with [`ErrorKind::StorageFull`] for [`FaultConfig::enospc_len`]
+    /// scheduled write points, then let writes succeed again — a disk
+    /// filling up and being cleared. Unlike the crash faults this never
+    /// kills the VFS: the process keeps running on a full disk.
+    pub enospc_start: Option<u64>,
+    /// Width of the ENOSPC window in write points (0 behaves as 1).
+    pub enospc_len: u64,
+    /// When non-zero (and greater than `enospc_len`), the window recurs:
+    /// every `enospc_period` writes after `enospc_start`, the first
+    /// `enospc_len` of them fail with `StorageFull`. The chaos harness
+    /// uses this to schedule repeated fault windows from one seed.
+    pub enospc_period: u64,
 }
 
 /// Shared counters exposing what a [`FaultVfs`] saw and injected.
@@ -296,6 +309,8 @@ pub struct FaultStats {
     pub failed_dir_syncs: AtomicU64,
     /// Renames rolled back at crash time (un-fsynced directory entries).
     pub renames_lost: AtomicU64,
+    /// Writes failed with `StorageFull` inside an ENOSPC window.
+    pub enospc_writes: AtomicU64,
     /// Whether the simulated hard crash has happened.
     pub crashed: AtomicBool,
 }
@@ -454,7 +469,33 @@ impl FaultState {
             self.stats.failed_writes.fetch_add(1, Ordering::Relaxed);
             return Err(Error::other(format!("injected fault: write {n} failed")));
         }
+        if self.in_enospc_window(n) {
+            self.stats.injected_faults.fetch_add(1, Ordering::Relaxed);
+            self.stats.enospc_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::new(
+                ErrorKind::StorageFull,
+                format!("injected fault: write {n} hit ENOSPC window (disk full)"),
+            ));
+        }
         Ok(None)
+    }
+
+    /// Whether write point `n` falls inside the configured ENOSPC window
+    /// (one-shot, or recurring when `enospc_period` is set).
+    fn in_enospc_window(&self, n: u64) -> bool {
+        let Some(start) = self.cfg.enospc_start else {
+            return false;
+        };
+        if n < start {
+            return false;
+        }
+        let len = self.cfg.enospc_len.max(1);
+        let off = n - start;
+        if self.cfg.enospc_period > len {
+            off % self.cfg.enospc_period < len
+        } else {
+            off < len
+        }
     }
 
     /// Gate one sync: `Pass` lets the inner `sync_data` run normally;
@@ -534,6 +575,23 @@ impl FaultVfs {
             FaultConfig {
                 seed,
                 crash_at_write: Some(n),
+                ..FaultConfig::default()
+            },
+        )
+    }
+
+    /// Real-filesystem wrapper whose writes fail with
+    /// [`ErrorKind::StorageFull`] for `len` write points starting at write
+    /// `start` (1-based), then succeed again — a transient full disk. The
+    /// VFS never crashes; reads and syncs keep working throughout.
+    #[must_use]
+    pub fn enospc_window(seed: u64, start: u64, len: u64) -> Self {
+        FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                seed,
+                enospc_start: Some(start),
+                enospc_len: len,
                 ..FaultConfig::default()
             },
         )
@@ -969,6 +1027,50 @@ mod tests {
         assert_eq!(RealVfs.read(&old).unwrap(), b"new contents");
         assert_eq!(vfs.stats().renames_lost.load(Ordering::Relaxed), 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_window_fails_then_recovers() {
+        let path = temp_file("enospc");
+        let vfs = FaultVfs::enospc_window(7, 2, 3);
+        let mut f = vfs.create(&path).unwrap();
+        f.write_all(b"a").unwrap(); // write 1: before the window
+        for i in 0..3 {
+            // writes 2..=4: inside the window — StorageFull, zero bytes land
+            let err = f.write_all(b"x").unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::StorageFull, "window write {i}");
+        }
+        f.write_all(b"b").unwrap(); // write 5: the disk "cleared"
+        f.sync_data().unwrap(); // the VFS never crashed
+        assert!(!vfs.crashed());
+        assert_eq!(vfs.stats().enospc_writes.load(Ordering::Relaxed), 3);
+        assert_eq!(RealVfs.read(&path).unwrap(), b"ab");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn enospc_period_recurs() {
+        let path = temp_file("enospc-period");
+        let vfs = FaultVfs::new(
+            RealVfs::arc(),
+            FaultConfig {
+                enospc_start: Some(2),
+                enospc_len: 1,
+                enospc_period: 3,
+                ..FaultConfig::default()
+            },
+        );
+        let mut f = vfs.create(&path).unwrap();
+        // Window of 1 recurring every 3 writes from write 2: 2, 5, 8 fail.
+        let mut outcomes = Vec::new();
+        for _ in 1..=8u64 {
+            outcomes.push(f.write_all(b"y").is_ok());
+        }
+        assert_eq!(
+            outcomes,
+            vec![true, false, true, true, false, true, true, false]
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -205,6 +205,108 @@ impl Wal {
     }
 }
 
+/// What a [`verify_image`] integrity walk found.
+///
+/// The distinction matters to a background scrub: a torn tail is the
+/// normal residue of a crash (or of reading a live log mid-append) and is
+/// *repairable* — recovery truncates it. A checksum mismatch **followed by
+/// a valid record** can never be produced by a torn append (each record is
+/// one `write_all`), so it is confirmed mid-log corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalVerdict {
+    /// Every byte belongs to a CRC-valid record.
+    Clean {
+        /// Number of valid records.
+        records: u64,
+    },
+    /// A valid prefix followed by an incomplete or checksum-failing final
+    /// frame — repairable by truncation (and possibly just an append in
+    /// progress when scanning a live log).
+    TornTail {
+        /// Number of valid records before the tear.
+        records: u64,
+        /// Bytes past the valid prefix.
+        torn_bytes: u64,
+    },
+    /// A checksum-failing frame with a valid record after it: damage in
+    /// the middle of the durable prefix. Recovery would silently drop the
+    /// records behind it, so a scrub must quarantine, not truncate.
+    Corrupt {
+        /// Byte offset of the damaged frame.
+        at: u64,
+    },
+}
+
+/// CRC-walk a log image. Safe to run against a live log: appends only
+/// extend the image, so a concurrent writer can at worst make the final
+/// frame look torn — never corrupt.
+#[must_use]
+pub fn verify_image(buf: &[u8]) -> WalVerdict {
+    let mut pos = 0usize;
+    let mut records = 0u64;
+    // First checksum-failing (but structurally complete) frame, with the
+    // record count at that point. The walk continues past it: a torn
+    // append tears inside ONE record, so any valid record found *after*
+    // the bad frame proves mid-log damage rather than a torn tail.
+    let mut first_bad: Option<(usize, u64)> = None;
+    let mut valid_after_bad = false;
+    loop {
+        if pos == buf.len() {
+            return match first_bad {
+                None => WalVerdict::Clean { records },
+                Some((at, _)) if valid_after_bad => WalVerdict::Corrupt { at: at as u64 },
+                Some((at, n)) => WalVerdict::TornTail {
+                    records: n,
+                    torn_bytes: (buf.len() - at) as u64,
+                },
+            };
+        }
+        let frame_ok = pos + 8 <= buf.len() && {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos + 8 + len <= buf.len()
+        };
+        if !frame_ok {
+            // Incomplete final frame: torn from the earliest damage point.
+            return match first_bad {
+                Some((at, _)) if valid_after_bad => WalVerdict::Corrupt { at: at as u64 },
+                Some((at, n)) => WalVerdict::TornTail {
+                    records: n,
+                    torn_bytes: (buf.len() - at) as u64,
+                },
+                None => WalVerdict::TornTail {
+                    records,
+                    torn_bytes: (buf.len() - pos) as u64,
+                },
+            };
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let body_start = pos + 8;
+        if crc32(&buf[body_start..body_start + len]) == crc {
+            if first_bad.is_some() {
+                valid_after_bad = true;
+            }
+            records += 1;
+        } else if first_bad.is_none() {
+            first_bad = Some((pos, records));
+        }
+        pos = body_start + len;
+    }
+}
+
+/// [`verify_image`] over a file. A missing file is clean (nothing has
+/// been journaled yet).
+///
+/// # Errors
+/// I/O errors from the VFS.
+pub fn verify_file(vfs: &dyn Vfs, path: &Path) -> Result<WalVerdict> {
+    match vfs.read(path) {
+        Ok(bytes) => Ok(verify_image(&bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(WalVerdict::Clean { records: 0 }),
+        Err(e) => Err(e.into()),
+    }
+}
+
 /// Scan a log image, returning the byte length of the valid record prefix.
 fn scan_valid_prefix(buf: &[u8]) -> u64 {
     let mut pos = 0usize;
@@ -465,6 +567,65 @@ mod tests {
             }
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn verify_distinguishes_clean_torn_and_corrupt() {
+        let path = temp_path("verify");
+        {
+            let mut wal = Wal::open(&path, false).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+            wal.append(b"third").unwrap();
+        }
+        let clean = std::fs::read(&path).unwrap();
+        assert_eq!(verify_image(&clean), WalVerdict::Clean { records: 3 });
+        assert_eq!(verify_image(&[]), WalVerdict::Clean { records: 0 });
+
+        // Truncate inside the last record: torn tail, repairable.
+        let torn = &clean[..clean.len() - 3];
+        assert_eq!(
+            verify_image(torn),
+            WalVerdict::TornTail {
+                records: 2,
+                torn_bytes: (torn.len() - (clean.len() - (8 + b"third".len()))) as u64,
+            }
+        );
+
+        // Flip a byte inside the FINAL record's payload: structurally
+        // complete but checksum-failing, with nothing valid after — still
+        // only a torn tail (a torn overwrite can produce exactly this).
+        let mut tail_bad = clean.clone();
+        let third_body = clean.len() - b"third".len();
+        tail_bad[third_body + 1] ^= 0x10;
+        assert!(matches!(
+            verify_image(&tail_bad),
+            WalVerdict::TornTail { records: 2, .. }
+        ));
+
+        // Flip a byte inside the SECOND record's payload: a valid record
+        // follows the damage, so this is confirmed mid-log corruption.
+        let mut mid_bad = clean.clone();
+        let second_body = 8 + b"first".len() + 8;
+        mid_bad[second_body + 2] ^= 0x40;
+        let first_frame_len = (8 + b"first".len()) as u64;
+        assert_eq!(
+            verify_image(&mid_bad),
+            WalVerdict::Corrupt {
+                at: first_frame_len
+            }
+        );
+
+        // verify_file mirrors verify_image; a missing file is clean.
+        assert_eq!(
+            verify_file(&RealVfs, &path).unwrap(),
+            WalVerdict::Clean { records: 3 }
+        );
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(
+            verify_file(&RealVfs, &path).unwrap(),
+            WalVerdict::Clean { records: 0 }
+        );
     }
 
     #[test]
