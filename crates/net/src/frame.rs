@@ -114,6 +114,118 @@ impl FrameDecoder {
     }
 }
 
+/// Resumable streaming decoder for readiness-driven IO.
+///
+/// Where [`FrameDecoder`] copies every received byte into one growing
+/// buffer and carves frames out of it, `StreamingDecoder` consumes each
+/// chunk in place and buffers **only the partial frame** straddling a
+/// chunk boundary — a connection between frames holds zero bytes, which
+/// is what keeps per-idle-connection memory flat with tens of thousands
+/// of sockets parked on a reactor.
+///
+/// It is also hardened differently: the body allocation grows with the
+/// bytes that actually arrive, so a forged length prefix costs the
+/// attacker bandwidth, not server memory (the prefix is still bounded by
+/// `max_len` and rejected up front when it exceeds it).
+pub struct StreamingDecoder {
+    max_len: u32,
+    /// Partial length prefix (`header_filled` of 4 bytes present).
+    header: [u8; 4],
+    header_filled: usize,
+    /// Partial body, once the prefix is complete.
+    body: Vec<u8>,
+    body_needed: usize,
+    in_body: bool,
+    poisoned: Option<FrameTooLarge>,
+}
+
+impl Default for StreamingDecoder {
+    fn default() -> Self {
+        Self::with_max_len(MAX_FRAME_LEN)
+    }
+}
+
+impl StreamingDecoder {
+    /// New empty decoder accepting bodies up to [`MAX_FRAME_LEN`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New empty decoder accepting bodies up to `max_len` bytes (capped
+    /// at [`MAX_FRAME_LEN`]; see [`FrameDecoder::with_max_len`]).
+    #[must_use]
+    pub fn with_max_len(max_len: u32) -> Self {
+        StreamingDecoder {
+            max_len: max_len.min(MAX_FRAME_LEN),
+            header: [0; 4],
+            header_filled: 0,
+            body: Vec::new(),
+            body_needed: 0,
+            in_body: false,
+            poisoned: None,
+        }
+    }
+
+    /// The configured per-frame body limit.
+    #[must_use]
+    pub fn max_len(&self) -> u32 {
+        self.max_len
+    }
+
+    /// Consume one received chunk, appending every frame it completes to
+    /// `out`. Bytes left over (a frame still in flight) stay buffered for
+    /// the next call — feeding a byte at a time and feeding coalesced
+    /// frames produce identical output.
+    ///
+    /// # Errors
+    /// [`FrameTooLarge`] when a length prefix exceeds the configured
+    /// limit; the decoder is then poisoned (every later call re-errors)
+    /// and the connection should be dropped.
+    pub fn feed(&mut self, mut chunk: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), FrameTooLarge> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
+        while !chunk.is_empty() {
+            if !self.in_body {
+                let take = (4 - self.header_filled).min(chunk.len());
+                self.header[self.header_filled..self.header_filled + take]
+                    .copy_from_slice(&chunk[..take]);
+                self.header_filled += take;
+                chunk = &chunk[take..];
+                if self.header_filled < 4 {
+                    break;
+                }
+                let declared = u32::from_le_bytes(self.header);
+                if declared > self.max_len {
+                    let err = FrameTooLarge { declared };
+                    self.poisoned = Some(err);
+                    return Err(err);
+                }
+                self.body_needed = declared as usize;
+                self.in_body = true;
+            }
+            // Body phase (an empty body completes immediately below).
+            let take = (self.body_needed - self.body.len()).min(chunk.len());
+            self.body.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+            if self.body.len() == self.body_needed {
+                out.push(std::mem::take(&mut self.body));
+                self.in_body = false;
+                self.header_filled = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes of the in-flight partial frame currently buffered. Zero
+    /// whenever the stream sits on a frame boundary.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.header_filled + self.body.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +312,74 @@ mod tests {
     #[test]
     fn limit_is_capped_at_protocol_maximum() {
         let d = FrameDecoder::with_max_len(u32::MAX);
+        assert_eq!(d.max_len(), MAX_FRAME_LEN);
+    }
+
+    fn stream_all(decoder: &mut StreamingDecoder, chunks: &[&[u8]]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for chunk in chunks {
+            decoder.feed(chunk, &mut out).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_byte_at_a_time_matches_coalesced() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(b"one"));
+        stream.extend_from_slice(&encode_frame(b""));
+        stream.extend_from_slice(&encode_frame(b"three-is-longer"));
+
+        let mut coalesced = StreamingDecoder::new();
+        let whole = stream_all(&mut coalesced, &[&stream]);
+
+        let mut trickled = StreamingDecoder::new();
+        let mut out = Vec::new();
+        for byte in &stream {
+            trickled.feed(std::slice::from_ref(byte), &mut out).unwrap();
+        }
+        assert_eq!(out, whole);
+        assert_eq!(
+            whole,
+            vec![b"one".to_vec(), Vec::new(), b"three-is-longer".to_vec()]
+        );
+        assert_eq!(trickled.buffered(), 0, "boundary holds zero bytes");
+    }
+
+    #[test]
+    fn streaming_buffers_only_the_partial_frame() {
+        let frame = encode_frame(&[7u8; 100]);
+        let mut d = StreamingDecoder::new();
+        let mut out = Vec::new();
+        d.feed(&frame[..30], &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(d.buffered(), 30, "prefix + partial body held");
+        d.feed(&frame[30..], &mut out).unwrap();
+        assert_eq!(out, vec![vec![7u8; 100]]);
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn streaming_rejects_forged_prefix_and_stays_poisoned() {
+        let mut d = StreamingDecoder::with_max_len(1024);
+        assert_eq!(d.max_len(), 1024);
+        let mut out = Vec::new();
+        // The forged prefix arrives split across feeds and errors with
+        // only 4 bytes on hand — nothing was allocated for the body.
+        d.feed(&2048u32.to_le_bytes()[..2], &mut out).unwrap();
+        let err = d.feed(&2048u32.to_le_bytes()[2..], &mut out).unwrap_err();
+        assert_eq!(err, FrameTooLarge { declared: 2048 });
+        assert_eq!(
+            d.feed(b"more", &mut out).unwrap_err(),
+            FrameTooLarge { declared: 2048 },
+            "poisoned decoder keeps erroring"
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn streaming_limit_is_capped_at_protocol_maximum() {
+        let d = StreamingDecoder::with_max_len(u32::MAX);
         assert_eq!(d.max_len(), MAX_FRAME_LEN);
     }
 

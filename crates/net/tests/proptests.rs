@@ -3,8 +3,23 @@
 //! sequences.
 
 use proptest::prelude::*;
-use sse_net::frame::{encode_frame, FrameDecoder};
+use sse_net::frame::{encode_frame, FrameDecoder, StreamingDecoder};
 use sse_net::wire::{WireReader, WireWriter};
+
+/// Split `stream` at the given (arbitrary) boundaries, producing the
+/// adversarial TCP segmentation the streaming decoder must survive —
+/// anything from byte-at-a-time to fully coalesced, including empty
+/// segments.
+fn segment(stream: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+    points.push(0);
+    points.push(stream.len());
+    points.sort_unstable();
+    points
+        .windows(2)
+        .map(|w| stream[w[0]..w[1]].to_vec())
+        .collect()
+}
 
 /// A field in a synthetic wire message.
 #[derive(Clone, Debug)]
@@ -109,5 +124,112 @@ proptest! {
         }
         prop_assert_eq!(decoded, bodies);
         prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// The streaming decoder is observationally identical to the one-shot
+    /// decoder under arbitrary segmentation: same frames out, in order,
+    /// no partial bytes left when the stream ends on a boundary.
+    #[test]
+    fn streaming_decoder_matches_one_shot_under_any_segmentation(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..10),
+        cuts in prop::collection::vec(any::<usize>(), 0..40),
+    ) {
+        let mut stream = Vec::new();
+        for b in &bodies {
+            stream.extend_from_slice(&encode_frame(b));
+        }
+
+        let mut oracle = FrameDecoder::new();
+        oracle.push(&stream);
+        let mut expected = Vec::new();
+        while let Some(frame) = oracle.next_frame().unwrap() {
+            expected.push(frame);
+        }
+
+        let mut streaming = StreamingDecoder::new();
+        let mut got = Vec::new();
+        for chunk in segment(&stream, &cuts) {
+            streaming.feed(&chunk, &mut got).unwrap();
+        }
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(got, bodies);
+        prop_assert_eq!(streaming.buffered(), 0);
+    }
+
+    /// Truncating the byte stream at every possible offset leaves both
+    /// decoders agreeing: the same complete frames decoded, the same
+    /// count of leftover partial bytes, and no error from a merely
+    /// truncated (as opposed to forged) stream.
+    #[test]
+    fn streaming_decoder_matches_one_shot_under_truncation(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..120), 1..6),
+        cut in any::<usize>(),
+        cuts in prop::collection::vec(any::<usize>(), 0..10),
+    ) {
+        let mut stream = Vec::new();
+        for b in &bodies {
+            stream.extend_from_slice(&encode_frame(b));
+        }
+        let cut = cut % (stream.len() + 1);
+        let stream = &stream[..cut];
+
+        let mut oracle = FrameDecoder::new();
+        oracle.push(stream);
+        let mut expected = Vec::new();
+        while let Some(frame) = oracle.next_frame().unwrap() {
+            expected.push(frame);
+        }
+
+        let mut streaming = StreamingDecoder::new();
+        let mut got = Vec::new();
+        for chunk in segment(stream, &cuts) {
+            streaming.feed(&chunk, &mut got).unwrap();
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(streaming.buffered(), oracle.buffered());
+    }
+
+    /// A forged length prefix (beyond the configured limit) fails both
+    /// decoders with the same declared length, at the same frame
+    /// position, regardless of how the bytes were segmented — and any
+    /// clean frames before it decode identically first.
+    #[test]
+    fn forged_length_prefixes_fail_both_decoders_identically(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..60), 0..4),
+        forged_len in 1025u32..u32::MAX,
+        tail in prop::collection::vec(any::<u8>(), 0..40),
+        cuts in prop::collection::vec(any::<usize>(), 0..12),
+    ) {
+        const LIMIT: u32 = 1024;
+        let mut stream = Vec::new();
+        for b in &bodies {
+            stream.extend_from_slice(&encode_frame(b));
+        }
+        stream.extend_from_slice(&forged_len.to_le_bytes());
+        stream.extend_from_slice(&tail);
+
+        let mut oracle = FrameDecoder::with_max_len(LIMIT);
+        oracle.push(&stream);
+        let mut expected = Vec::new();
+        let oracle_err = loop {
+            match oracle.next_frame() {
+                Ok(Some(frame)) => expected.push(frame),
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+        let oracle_err = oracle_err.expect("forged prefix must error the oracle");
+
+        let mut streaming = StreamingDecoder::with_max_len(LIMIT);
+        let mut got = Vec::new();
+        let mut streaming_err = None;
+        for chunk in segment(&stream, &cuts) {
+            if let Err(e) = streaming.feed(&chunk, &mut got) {
+                streaming_err = Some(e);
+                break;
+            }
+        }
+        prop_assert_eq!(streaming_err, Some(oracle_err));
+        prop_assert_eq!(got, expected);
     }
 }

@@ -26,6 +26,16 @@
 //!   with periodic mid-run checkpoints, where the btree arm rewrites
 //!   every shard snapshot per checkpoint and the lsm arm flushes only
 //!   the tags dirtied since the last one.
+//! * [`run_idle_bench`] measures the epoll reactor's idle-connection
+//!   scaling (`BENCH_reactor.json`): one in-memory `sse-serverd` child
+//!   process holds thousands of idle tenant connections while a hot
+//!   search client measures latency before and under that load. Running
+//!   the daemon in its own process keeps the herd's client sockets out
+//!   of its fd budget and its RSS — `/proc/<pid>/status` then reports
+//!   exactly what the server pays per idle connection, sampled at the
+//!   halfway mark and at full strength so growth (which must stay flat)
+//!   is visible. The final graceful drain — with every idle connection
+//!   still open — is timed and must exit clean.
 //!
 //! The updaters run Optimization 2 (`CtrPolicy::OnSearchOnly`) and never
 //! search, so their chain counter never advances past 1 and the workload
@@ -33,13 +43,15 @@
 
 use crate::daemon::{Daemon, ServerConfig};
 use crate::histogram::LatencyHistogram;
-use crate::proto::SchemeId;
+use crate::proto::{self, Hello, SchemeId, HELLO_SEQ, STATUS_OK};
 use crate::tenant::TenantParams;
 use crate::transport::TcpTransport;
 use sse_core::scheme2::{CtrPolicy, Scheme2Client, Scheme2Config};
 use sse_core::types::{Document, Keyword, MasterKey};
+use sse_net::frame::encode_frame;
 use sse_storage::BackendKind;
-use std::io::{Error, Result};
+use std::io::{Error, Read, Result, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -1004,6 +1016,391 @@ pub fn run_search_bench(opts: &BenchOptions) -> Result<SearchBenchReport> {
     })
 }
 
+/// Parameters for the idle-connection reactor benchmark.
+#[derive(Clone, Debug)]
+pub struct IdleBenchOptions {
+    /// Idle tenant connections to open and hold (each completes a hello
+    /// and then goes silent).
+    pub idle_conns: usize,
+    /// Workload seed (hot corpus content and search order derive from it).
+    pub seed: u64,
+    /// Distinct keywords in the hot searcher's corpus.
+    pub keywords: usize,
+    /// Documents in the hot searcher's corpus.
+    pub docs: usize,
+    /// Measured hot-search window per arm (baseline and under load).
+    pub duration: Duration,
+}
+
+impl Default for IdleBenchOptions {
+    fn default() -> Self {
+        IdleBenchOptions {
+            idle_conns: 10_000,
+            seed: 7,
+            keywords: 32,
+            docs: 32,
+            duration: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// `BENCH_reactor.json`: idle-connection scaling of the epoll reactor.
+#[derive(Clone, Debug)]
+pub struct IdleBenchReport {
+    /// Parameters the run used.
+    pub options: IdleBenchOptions,
+    /// Idle connections actually held when sampling finished (equals
+    /// `options.idle_conns` unless the host ran out of fds or ports).
+    pub idle_conns_held: usize,
+    /// Daemon-process RSS (kB) before any idle connection was opened.
+    pub rss_start_kb: u64,
+    /// Daemon-process RSS (kB) with half the idle connections open.
+    pub rss_half_kb: u64,
+    /// Daemon-process RSS (kB) with every idle connection open.
+    pub rss_full_kb: u64,
+    /// Daemon RSS growth per connection over the first half (bytes).
+    pub per_idle_conn_bytes_first_half: f64,
+    /// Daemon RSS growth per connection over the second half (bytes).
+    /// Flat scaling means this stays in the same regime as the first
+    /// half — superlinear growth here is the failure the benchmark
+    /// exists to catch.
+    pub per_idle_conn_bytes_second_half: f64,
+    /// Hot warm-search latency with no idle connections.
+    pub baseline: SearchArm,
+    /// The same hot workload while every idle connection is held.
+    pub loaded: SearchArm,
+    /// `loaded.p99_ns / baseline.p99_ns` — the reactor must not tax the
+    /// hot path for connections that never become readable.
+    pub hot_p99_ratio: f64,
+    /// `loaded.median_ns / baseline.median_ns` (medians shrug off
+    /// scheduler stalls that a 1-core CI host injects into p99).
+    pub hot_median_ratio: f64,
+    /// Connections the daemon accepted over the whole run.
+    pub conns_accepted: u64,
+    /// Connections open at peak (sampled after the idle herd finished
+    /// connecting).
+    pub conns_open_peak: u64,
+    /// Idle reaps during the run — must be 0 (the bench idle timeout is
+    /// far longer than the run).
+    pub idle_reaped: u64,
+    /// Slow-reader disconnects during the run — must be 0.
+    pub slow_reader_disconnects: u64,
+    /// Accept-time rejections (`max_conns` cap) — must be 0.
+    pub conns_rejected: u64,
+    /// Reactor wakeup-pipe notifications over the run.
+    pub reactor_wakeups: u64,
+    /// Responses that could not be written in one syscall and waited for
+    /// `EPOLLOUT`.
+    pub writes_deferred: u64,
+    /// Wall clock of the graceful drain with every idle connection open.
+    pub drain_ms: u64,
+    /// Whether the daemon process exited with status 0 after the drain.
+    pub drain_clean: bool,
+}
+
+impl IdleBenchReport {
+    /// Serialize as the `BENCH_reactor.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n\"benchmark\":\"sse-reactor-idle\",\n\"seed\":{},\n\
+             \"idle_conns_target\":{},\n\"idle_conns_held\":{},\n\
+             \"duration_ms\":{},\n\"rss_start_kb\":{},\n\"rss_half_kb\":{},\n\
+             \"rss_full_kb\":{},\n\"per_idle_conn_bytes_first_half\":{:.1},\n\
+             \"per_idle_conn_bytes_second_half\":{:.1},\n\
+             \"arms\":[\n{},\n{}\n],\n\
+             \"hot_p99_ratio\":{:.3},\n\"hot_median_ratio\":{:.3},\n\
+             \"conns_accepted\":{},\n\"conns_open_peak\":{},\n\
+             \"idle_reaped\":{},\n\"slow_reader_disconnects\":{},\n\
+             \"conns_rejected\":{},\n\"reactor_wakeups\":{},\n\
+             \"writes_deferred\":{},\n\"drain_ms\":{},\n\"drain_clean\":{}\n}}\n",
+            self.options.seed,
+            self.options.idle_conns,
+            self.idle_conns_held,
+            self.options.duration.as_millis(),
+            self.rss_start_kb,
+            self.rss_half_kb,
+            self.rss_full_kb,
+            self.per_idle_conn_bytes_first_half,
+            self.per_idle_conn_bytes_second_half,
+            search_arm_json("hot_baseline", &self.baseline),
+            search_arm_json("hot_under_idle_load", &self.loaded),
+            self.hot_p99_ratio,
+            self.hot_median_ratio,
+            self.conns_accepted,
+            self.conns_open_peak,
+            self.idle_reaped,
+            self.slow_reader_disconnects,
+            self.conns_rejected,
+            self.reactor_wakeups,
+            self.writes_deferred,
+            self.drain_ms,
+            self.drain_clean,
+        )
+    }
+}
+
+/// Resident set size of `pid` in kB from `/proc/<pid>/status`, or 0
+/// where that interface does not exist (the report then carries zeros
+/// and the CI gate is skipped rather than lying).
+fn rss_kb(pid: u32) -> u64 {
+    std::fs::read_to_string(format!("/proc/{pid}/status"))
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The `sse-serverd` child the idle benchmark drives: killed on drop so
+/// an error path never leaks a listening daemon. The stdout handle stays
+/// open for the child's lifetime (dropping it would turn the daemon's
+/// exit summary into a fatal `EPIPE`).
+struct BenchDaemon {
+    child: std::process::Child,
+    _stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: String,
+}
+
+impl Drop for BenchDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn the sibling `sse-serverd` binary on an ephemeral port and parse
+/// the bound address from its startup banner. Both binaries are built
+/// into the same directory, so the sibling path needs no configuration.
+fn spawn_bench_daemon(max_conns: usize) -> Result<BenchDaemon> {
+    use std::io::BufRead;
+    let exe = std::env::current_exe()?;
+    let serverd = exe
+        .parent()
+        .map(|d| d.join("sse-serverd"))
+        .filter(|p| p.exists())
+        .ok_or_else(|| {
+            Error::other(format!(
+                "sse-serverd not found next to {} (build both binaries)",
+                exe.display()
+            ))
+        })?;
+    let mut child = std::process::Command::new(serverd)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "256",
+            // Far beyond the run length: any reap during the bench is a
+            // bug in the activity accounting, and the report shows it.
+            "--idle-timeout-ms",
+            "3600000",
+            "--scrub-interval-ms",
+            "0",
+            "--max-conns",
+            &max_conns.to_string(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| Error::other("no stdout pipe from sse-serverd"))?;
+    let mut stdout = std::io::BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        if stdout.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(Error::other("sse-serverd exited before binding"));
+        }
+        if let Some(rest) = line.strip_prefix("sse-serverd listening on ") {
+            match rest.split_whitespace().next() {
+                Some(addr) => break addr.to_string(),
+                None => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(Error::other(format!("unparseable banner: {line}")));
+                }
+            }
+        }
+    };
+    Ok(BenchDaemon {
+        child,
+        _stdout: stdout,
+        addr,
+    })
+}
+
+/// Open one idle tenant connection: complete the hello round trip, then
+/// leave the socket silent for the rest of the run.
+fn open_idle_conn(addr: &str, hello: &[u8]) -> Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(hello)?;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body)?;
+    let (status, seq, _) =
+        proto::decode_response(&body).ok_or_else(|| Error::other("malformed hello response"))?;
+    if (status, seq) != (STATUS_OK, HELLO_SEQ) {
+        return Err(Error::other(format!("hello rejected: status {status}")));
+    }
+    Ok(stream)
+}
+
+/// One hot arm: a warm Scheme 2 searcher in a closed loop for the
+/// measured window (corpus stored and chains warmed before the clock
+/// starts, so every measured operation is a memo-served search).
+fn run_hot_arm(addr: &str, opts: &IdleBenchOptions, client: usize) -> Result<SearchArm> {
+    let corpus_opts = BenchOptions {
+        clients: 1,
+        shards: 1,
+        seed: opts.seed,
+        keywords: opts.keywords,
+        docs: opts.docs,
+        duration: opts.duration,
+    };
+    let mut c = connect_scheme2(
+        addr,
+        opts.seed,
+        client,
+        Scheme2Config::standard().with_chain_length(64),
+    )?;
+    c.store_batch(&corpus(&corpus_opts, client))
+        .map_err(|e| Error::other(format!("hot corpus store: {e}")))?;
+    let kws: Vec<Keyword> = (0..opts.keywords.max(1)).map(keyword).collect();
+    for kw in &kws {
+        c.search(kw).map_err(|e| Error::other(e.to_string()))?;
+    }
+    let mut rec = ArmRecorder::new();
+    let mut rng = SplitMix(opts.seed ^ ((client as u64) << 9) ^ 0x1d1e);
+    let deadline = Instant::now() + opts.duration;
+    while Instant::now() < deadline {
+        let kw = &kws[(rng.next() as usize) % kws.len()];
+        let started = Instant::now();
+        c.search(kw).map_err(|e| Error::other(e.to_string()))?;
+        rec.record(started.elapsed());
+    }
+    Ok(rec.finish())
+}
+
+/// Run the idle-connection reactor benchmark: spawn an **in-memory**
+/// `sse-serverd` child (idle scaling is a memory and scheduling
+/// question, not a durability one), measure a hot warm-search baseline,
+/// then hold `opts.idle_conns` silent tenant connections open while the
+/// same hot workload repeats. The daemon's RSS is sampled before, at
+/// half strength, and at full strength; the daemon then drains
+/// gracefully — via `ADMIN_SHUTDOWN` with every idle connection still
+/// open — and must exit clean.
+///
+/// This process's fd limit is raised first (the herd holds one client
+/// fd per connection; the daemon raises its own limit from `--max-conns`
+/// at startup). If a limit cannot be raised the herd stops at the first
+/// failed connect and `idle_conns_held` records how far it got.
+///
+/// # Errors
+/// Daemon spawn, hot-workload, or admin-protocol errors. A mid-herd
+/// connect failure is not an error — the report simply holds fewer
+/// connections.
+pub fn run_idle_bench(opts: &IdleBenchOptions) -> Result<IdleBenchReport> {
+    let target = opts.idle_conns;
+    // One client fd per held connection plus headroom for the hot client
+    // and admin connections.
+    let wanted = (target as u64) + 1024;
+    if let Ok(got) = epoll::raise_nofile_limit(wanted) {
+        if got < wanted {
+            eprintln!("sse-bench: fd limit {got} below {wanted}; the idle herd may fall short");
+        }
+    }
+    let mut daemon = spawn_bench_daemon(target + 64)?;
+    let addr = daemon.addr.clone();
+    let pid = daemon.child.id();
+
+    let baseline = run_hot_arm(&addr, opts, 0)?;
+
+    let hello = encode_frame(
+        &Hello {
+            tenant: "idle-tenant".into(),
+            scheme: SchemeId::Scheme1,
+        }
+        .encode(),
+    );
+    let rss_start_kb = rss_kb(pid);
+    let mut herd = Vec::with_capacity(target);
+    let mut rss_half_kb = rss_start_kb;
+    while herd.len() < target {
+        match open_idle_conn(&addr, &hello) {
+            Ok(s) => herd.push(s),
+            Err(e) => {
+                eprintln!(
+                    "sse-bench: idle herd stopped at {} of {target}: {e}",
+                    herd.len()
+                );
+                break;
+            }
+        }
+        if herd.len() == target / 2 {
+            rss_half_kb = rss_kb(pid);
+        }
+    }
+    let rss_full_kb = rss_kb(pid);
+    let held = herd.len();
+
+    let loaded = run_hot_arm(&addr, opts, 1)?;
+
+    let mut admin = TcpTransport::connect(&addr, "bench-admin", SchemeId::Scheme2)?;
+    let stats = admin.admin_stats()?;
+    let drain_started = Instant::now();
+    admin.admin_shutdown()?;
+    drop(admin);
+    let status = daemon.child.wait()?;
+    let drain_ms = u64::try_from(drain_started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    drop(herd);
+
+    let first_half = held / 2;
+    let second_half = held - first_half;
+    #[allow(clippy::cast_precision_loss)]
+    let per_first =
+        (rss_half_kb.saturating_sub(rss_start_kb) * 1024) as f64 / (first_half.max(1)) as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let per_second =
+        (rss_full_kb.saturating_sub(rss_half_kb) * 1024) as f64 / (second_half.max(1)) as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let hot_p99_ratio = loaded.p99_ns as f64 / (baseline.p99_ns as f64).max(1.0);
+    #[allow(clippy::cast_precision_loss)]
+    let hot_median_ratio = loaded.median_ns as f64 / (baseline.median_ns as f64).max(1.0);
+    Ok(IdleBenchReport {
+        options: opts.clone(),
+        idle_conns_held: held,
+        rss_start_kb,
+        rss_half_kb,
+        rss_full_kb,
+        per_idle_conn_bytes_first_half: per_first,
+        per_idle_conn_bytes_second_half: per_second,
+        baseline,
+        loaded,
+        hot_p99_ratio,
+        hot_median_ratio,
+        conns_accepted: stats.conns_accepted,
+        conns_open_peak: stats.conns_open,
+        idle_reaped: stats.conns_idle_reaped,
+        slow_reader_disconnects: stats.slow_reader_disconnects,
+        conns_rejected: stats.conns_rejected,
+        reactor_wakeups: stats.reactor_wakeups,
+        writes_deferred: stats.writes_deferred,
+        drain_ms,
+        drain_clean: status.success(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1133,6 +1530,62 @@ mod tests {
             "\"snapshot_swaps\"",
             "\"speedup_update_ops_per_sec\"",
             "\"search_p99_ratio\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn idle_report_json_has_required_fields() {
+        let sarm = |p50| SearchArm {
+            ops: 100,
+            mean_ns: p50,
+            median_ns: p50,
+            p50_ns: p50,
+            p95_ns: p50 * 2,
+            p99_ns: p50 * 3,
+        };
+        let report = IdleBenchReport {
+            options: IdleBenchOptions::default(),
+            idle_conns_held: 10_000,
+            rss_start_kb: 20_000,
+            rss_half_kb: 60_000,
+            rss_full_kb: 100_000,
+            per_idle_conn_bytes_first_half: 8192.0,
+            per_idle_conn_bytes_second_half: 8192.0,
+            baseline: sarm(100_000),
+            loaded: sarm(110_000),
+            hot_p99_ratio: 1.1,
+            hot_median_ratio: 1.1,
+            conns_accepted: 10_002,
+            conns_open_peak: 10_001,
+            idle_reaped: 0,
+            slow_reader_disconnects: 0,
+            conns_rejected: 0,
+            reactor_wakeups: 42,
+            writes_deferred: 3,
+            drain_ms: 250,
+            drain_clean: true,
+        };
+        let json = report.to_json();
+        for field in [
+            "\"benchmark\":\"sse-reactor-idle\"",
+            "\"idle_conns_target\":10000",
+            "\"idle_conns_held\":10000",
+            "\"rss_start_kb\"",
+            "\"rss_half_kb\"",
+            "\"rss_full_kb\"",
+            "\"per_idle_conn_bytes_first_half\"",
+            "\"per_idle_conn_bytes_second_half\"",
+            "\"arm\":\"hot_baseline\"",
+            "\"arm\":\"hot_under_idle_load\"",
+            "\"hot_p99_ratio\"",
+            "\"hot_median_ratio\"",
+            "\"idle_reaped\":0",
+            "\"slow_reader_disconnects\":0",
+            "\"conns_rejected\":0",
+            "\"drain_ms\":250",
+            "\"drain_clean\":true",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

@@ -4,8 +4,10 @@
 //! sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N]
 //!          [--scheme 1|2|both] [--profile gp|traveler] [--events N]
 //!          [--seed N] [--shutdown]
-//! sse-load --bench-json PATH [--bench-mode serving|groupcommit|search|update]
+//! sse-load --bench-json PATH
+//!          [--bench-mode serving|groupcommit|search|update|idle]
 //!          [--shards N] [--clients N] [--seed N] [--bench-ms N]
+//!          [--idle-conns N]
 //! ```
 //!
 //! Drives N concurrent clients, each replaying a §6 PHR workload (Zipf
@@ -24,10 +26,14 @@
 //! in-memory daemon (cold walks vs memo-served repeats, and `SEARCH_MANY`
 //! batches vs the same searches one round trip at a time); `update`
 //! compares the `btree` vs `lsm` storage backends under an update-heavy
-//! workload with periodic mid-run checkpoints (`BENCH_backend.json`).
+//! workload with periodic mid-run checkpoints (`BENCH_backend.json`);
+//! `idle` holds `--idle-conns` silent tenant connections on the epoll
+//! reactor and measures per-idle-connection memory plus hot-path latency
+//! before and under that load (`BENCH_reactor.json`).
 
 use sse_server::bench::{
-    run_bench, run_group_commit_bench, run_search_bench, run_update_bench, BenchOptions,
+    run_bench, run_group_commit_bench, run_idle_bench, run_search_bench, run_update_bench,
+    BenchOptions, IdleBenchOptions,
 };
 use sse_server::chaos::{run_chaos, ChaosOptions};
 use sse_server::daemon::{Daemon, ServerConfig};
@@ -41,8 +47,8 @@ fn usage() -> ! {
         "usage: sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N] \
          [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]\n\
          \x20      sse-load --bench-json PATH \
-         [--bench-mode serving|groupcommit|search|update] \
-         [--shards N] [--clients N] [--seed N] [--bench-ms N]\n\
+         [--bench-mode serving|groupcommit|search|update|idle] \
+         [--shards N] [--clients N] [--seed N] [--bench-ms N] [--idle-conns N]\n\
          \x20      sse-load --chaos [--seed N] [--clients N] [--tenants N] \
          [--backend btree|lsm] [--chaos-ms N] [--chaos-report PATH]"
     );
@@ -62,6 +68,7 @@ enum BenchMode {
     GroupCommit,
     Search,
     Update,
+    Idle,
 }
 
 struct Cli {
@@ -71,6 +78,7 @@ struct Cli {
     bench_json: Option<std::path::PathBuf>,
     bench: BenchOptions,
     bench_mode: BenchMode,
+    idle: IdleBenchOptions,
     chaos: bool,
     chaos_opts: ChaosOptions,
     chaos_report: std::path::PathBuf,
@@ -84,6 +92,7 @@ fn parse_args() -> Cli {
         bench_json: None,
         bench: BenchOptions::default(),
         bench_mode: BenchMode::Serving,
+        idle: IdleBenchOptions::default(),
         chaos: false,
         chaos_opts: ChaosOptions::default(),
         chaos_report: std::path::PathBuf::from("CHAOS_report.json"),
@@ -115,6 +124,7 @@ fn parse_args() -> Cli {
                 cli.opts.seed = parse(&value());
                 cli.bench.seed = cli.opts.seed;
                 cli.chaos_opts.seed = cli.opts.seed;
+                cli.idle.seed = cli.opts.seed;
             }
             "--chaos" => cli.chaos = true,
             "--chaos-ms" => {
@@ -134,6 +144,7 @@ fn parse_args() -> Cli {
                     "groupcommit" => BenchMode::GroupCommit,
                     "search" => BenchMode::Search,
                     "update" => BenchMode::Update,
+                    "idle" => BenchMode::Idle,
                     other => {
                         eprintln!("unknown bench mode: {other}");
                         usage();
@@ -146,7 +157,9 @@ fn parse_args() -> Cli {
             }
             "--bench-ms" => {
                 cli.bench.duration = std::time::Duration::from_millis(parse(&value()));
+                cli.idle.duration = cli.bench.duration;
             }
+            "--idle-conns" => cli.idle.idle_conns = parse(&value()),
             "--scheme" => {
                 cli.opts.schemes = match value().as_str() {
                     "1" => vec![SchemeId::Scheme1],
@@ -308,6 +321,60 @@ fn run_update_mode(path: &std::path::Path, bench: &BenchOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run the idle-connection reactor benchmark and write
+/// `BENCH_reactor.json`. Exits nonzero if the run itself fails (thresholds
+/// are gated downstream, in CI, so a laptop run always produces a report).
+fn run_idle_mode(path: &std::path::Path, idle: &IdleBenchOptions) -> ExitCode {
+    println!(
+        "sse-load: idle-connection benchmark: {} idle conn(s), {:?} hot window per arm",
+        idle.idle_conns, idle.duration
+    );
+    let report = match run_idle_bench(idle) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sse-load: benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sse-load: held {} of {} idle conn(s); RSS {} kB -> {} kB -> {} kB \
+         ({:.0} B/conn first half, {:.0} B/conn second half)",
+        report.idle_conns_held,
+        report.options.idle_conns,
+        report.rss_start_kb,
+        report.rss_half_kb,
+        report.rss_full_kb,
+        report.per_idle_conn_bytes_first_half,
+        report.per_idle_conn_bytes_second_half
+    );
+    for (name, arm) in [
+        ("hot baseline", &report.baseline),
+        ("hot under idle load", &report.loaded),
+    ] {
+        println!(
+            "sse-load: {name}: {} op(s), median {} ns, p95 {} ns, p99 {} ns",
+            arm.ops, arm.median_ns, arm.p95_ns, arm.p99_ns
+        );
+    }
+    println!(
+        "sse-load: hot p99 ratio {:.2}, median ratio {:.2}; {} reaped, \
+         {} slow-reader cut(s), {} rejected; drained in {} ms (clean: {})",
+        report.hot_p99_ratio,
+        report.hot_median_ratio,
+        report.idle_reaped,
+        report.slow_reader_disconnects,
+        report.conns_rejected,
+        report.drain_ms,
+        report.drain_clean
+    );
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("sse-load: writing {} failed: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("sse-load: wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 /// Run the chaos-soak harness and write `CHAOS_report.json`. Exits
 /// nonzero if any invariant was violated.
 fn run_chaos_mode(path: &std::path::Path, opts: &ChaosOptions) -> ExitCode {
@@ -373,6 +440,9 @@ fn main() -> ExitCode {
         }
         if cli.bench_mode == BenchMode::Update {
             return run_update_mode(path, &cli.bench);
+        }
+        if cli.bench_mode == BenchMode::Idle {
+            return run_idle_mode(path, &cli.idle);
         }
         println!(
             "sse-load: benchmark mode: {} clients, 1 vs {} shard(s), {:?} window per arm",

@@ -4,8 +4,18 @@
 //! sse-serverd [--addr HOST:PORT] [--workers N] [--queue N]
 //!             [--scheme1-capacity N] [--scheme2-chain N] [--shards N]
 //!             [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N]
-//!             [--scrub-interval-ms N]
+//!             [--scrub-interval-ms N] [--reactor | --threaded]
+//!             [--max-conns N] [--write-queue-limit BYTES]
 //! ```
+//!
+//! By default every socket is owned by the non-blocking epoll reactor
+//! (one event-loop thread, bounded per-connection write queues, idle
+//! reaping at `--idle-timeout-ms`; see DESIGN.md §4i). `--max-conns`
+//! caps concurrent connections (accepts beyond it are dropped at the
+//! door) and `--write-queue-limit` bounds the bytes buffered for a
+//! client that stops reading before it is disconnected as a slow
+//! reader. `--threaded` restores the legacy thread-per-connection
+//! accept loop (`--reactor` selects the default explicitly).
 //!
 //! Serves until an `ADMIN_SHUTDOWN` frame arrives (e.g. `sse-load
 //! --shutdown`, or any `TcpTransport::admin_shutdown` call), then drains
@@ -36,7 +46,8 @@ fn usage() -> ! {
         "usage: sse-serverd [--addr HOST:PORT] [--workers N] [--queue N] \
          [--scheme1-capacity N] [--scheme2-chain N] [--shards N] \
          [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N] \
-         [--scrub-interval-ms N]"
+         [--scrub-interval-ms N] [--reactor | --threaded] [--max-conns N] \
+         [--write-queue-limit BYTES]"
     );
     std::process::exit(2);
 }
@@ -82,6 +93,10 @@ fn parse_args() -> ServerConfig {
             "--idle-timeout-ms" => {
                 config.idle_timeout = std::time::Duration::from_millis(parse(&value()));
             }
+            "--reactor" => config.reactor = true,
+            "--threaded" => config.reactor = false,
+            "--max-conns" => config.max_conns = parse(&value()),
+            "--write-queue-limit" => config.write_queue_limit = parse(&value()),
             "--scrub-interval-ms" => {
                 let ms: u64 = parse(&value());
                 config.scrub_interval = if ms == 0 {
@@ -103,6 +118,21 @@ fn parse_args() -> ServerConfig {
 
 fn main() -> ExitCode {
     let config = parse_args();
+    if config.reactor {
+        // One fd per connection plus listener/pipe/worker headroom. Best
+        // effort: unprivileged processes stop at their hard limit, and
+        // connections beyond whatever was granted are refused at accept.
+        let want = config.max_conns as u64 + 64;
+        match epoll::raise_nofile_limit(want) {
+            Ok(got) if got < want => {
+                eprintln!(
+                    "sse-serverd: fd limit {got} below {want}; connections past it will be refused"
+                );
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("sse-serverd: could not raise fd limit: {e}"),
+        }
+    }
     let daemon = match Daemon::spawn(config.clone()) {
         Ok(d) => d,
         Err(e) => {
@@ -111,14 +141,26 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "sse-serverd listening on {} ({} workers, queue depth {}, {} index shard(s)/tenant, \
-         {} backend)",
+        "sse-serverd listening on {} ({} mode, {} workers, queue depth {}, \
+         {} index shard(s)/tenant, {} backend)",
         daemon.local_addr(),
+        if config.reactor {
+            "epoll-reactor"
+        } else {
+            "thread-per-connection"
+        },
         config.workers,
         config.queue_depth,
         config.tenant_params.shards.max(1),
         config.tenant_params.backend
     );
+    if config.reactor {
+        println!(
+            "sse-serverd: reactor limits: {} max conn(s), {} byte write queue/conn, \
+             idle timeout {:?}",
+            config.max_conns, config.write_queue_limit, config.idle_timeout
+        );
+    }
     match &config.data_dir {
         Some(dir) => {
             let startup = daemon.stats();
@@ -173,6 +215,18 @@ fn main() -> ExitCode {
     println!(
         "sse-serverd: search cache: {} hit(s) / {} miss(es), {} chain step(s) saved",
         stats.search_cache_hits, stats.search_cache_misses, stats.walk_steps_saved
+    );
+    println!(
+        "sse-serverd: reactor: {} conn(s) accepted ({} rejected at the door), \
+         {} idle reap(s), {} slow-reader disconnect(s), {} deferred write(s), \
+         {} wakeup(s), {} spurious poll(s)",
+        report.final_stats.conns_accepted,
+        report.final_stats.conns_rejected,
+        report.final_stats.conns_idle_reaped,
+        report.final_stats.slow_reader_disconnects,
+        report.final_stats.writes_deferred,
+        report.final_stats.reactor_wakeups,
+        report.final_stats.reactor_spurious_polls
     );
     println!(
         "sse-serverd: health: {} degradation(s) / {} recover(ies) / {} quarantine(s), \

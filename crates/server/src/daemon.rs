@@ -28,6 +28,7 @@ use crate::proto::{
     self, Hello, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN, KIND_DATA,
     KIND_SEARCH_MANY, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_DEGRADED, STATUS_ERR, STATUS_OK,
 };
+use crate::reactor::{CompletionQueue, Reactor, ReactorOptions, POISON_TOKEN};
 use crate::scrub::{scrub_loop, scrub_pass, ScrubCounters};
 use crate::stats::ServingStats;
 use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
@@ -48,6 +49,13 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
 /// Default per-connection idle timeout (see [`ServerConfig::idle_timeout`]).
 pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default cap on concurrently open connections in reactor mode.
+pub const DEFAULT_MAX_CONNS: usize = 100_000;
+
+/// Default bound on a connection's queued-but-unwritten response bytes;
+/// past it the peer is declared a slow reader and disconnected.
+pub const DEFAULT_WRITE_QUEUE_LIMIT: usize = 64 * 1024 * 1024;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -80,6 +88,16 @@ pub struct ServerConfig {
     /// [`crate::scrub`]) per interval. `None` disables the thread; tests
     /// can still drive passes synchronously via [`Daemon::scrub_now`].
     pub scrub_interval: Option<Duration>,
+    /// `true` (the default) runs the epoll reactor: one event-loop thread
+    /// owns every socket ([`crate::reactor`]). `false` falls back to the
+    /// legacy thread-per-connection architecture.
+    pub reactor: bool,
+    /// Reactor mode: connections accepted beyond this cap are dropped at
+    /// accept (counted as `conns_rejected`).
+    pub max_conns: usize,
+    /// Reactor mode: a connection whose queued-but-unwritten response
+    /// bytes exceed this bound is disconnected as a slow reader.
+    pub write_queue_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,25 +112,28 @@ impl Default for ServerConfig {
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             fault: None,
             scrub_interval: None,
+            reactor: true,
+            max_conns: DEFAULT_MAX_CONNS,
+            write_queue_limit: DEFAULT_WRITE_QUEUE_LIMIT,
         }
     }
 }
 
-/// State shared by the listener, connection and admin paths.
-struct Shared {
-    shutdown: ShutdownSignal,
-    stats: Arc<ServingStats>,
-    registry: Arc<TenantRegistry>,
-    fault_stats: Option<Arc<FaultStats>>,
-    scrub: Arc<ScrubCounters>,
-    max_frame_len: u32,
-    idle_timeout: Duration,
+/// State shared by the listener/reactor, connection and admin paths.
+pub(crate) struct Shared {
+    pub(crate) shutdown: ShutdownSignal,
+    pub(crate) stats: Arc<ServingStats>,
+    pub(crate) registry: Arc<TenantRegistry>,
+    pub(crate) fault_stats: Option<Arc<FaultStats>>,
+    pub(crate) scrub: Arc<ScrubCounters>,
+    pub(crate) max_frame_len: u32,
+    pub(crate) idle_timeout: Duration,
 }
 
 impl Shared {
     /// Serving counters plus the storage-side robustness counters that
     /// live with the registry / fault VFS.
-    fn full_snapshot(&self) -> StatsSnapshot {
+    pub(crate) fn full_snapshot(&self) -> StatsSnapshot {
         let mut snap = self.stats.snapshot();
         snap.wal_recoveries = self.registry.wal_recoveries();
         snap.torn_tails_truncated = self.registry.torn_tails_truncated();
@@ -150,18 +171,57 @@ impl Shared {
     }
 }
 
+/// Where a worker sends its response: directly down the socket (legacy
+/// thread-per-connection mode, under the connection's writer lock) or
+/// back to the reactor as a pre-framed completion.
+#[derive(Clone)]
+pub(crate) enum Responder {
+    /// Write under the connection's writer mutex (frames from the reader
+    /// thread and from workers must not interleave).
+    Direct(Arc<Mutex<TcpStream>>),
+    /// Post to the reactor's completion queue; the reactor owns the
+    /// socket and serializes all writes through the connection's bounded
+    /// write queue.
+    Reactor {
+        token: u64,
+        completions: Arc<CompletionQueue>,
+    },
+}
+
+impl Responder {
+    /// Send one response envelope. Returns `false` only when a direct
+    /// write fails (the reactor path always accepts; a dead connection
+    /// drops the completion by token mismatch).
+    pub(crate) fn send(&self, status: u8, seq: u32, payload: &[u8]) -> bool {
+        match self {
+            Responder::Direct(writer) => {
+                let frame = encode_frame(&proto::encode_response(status, seq, payload));
+                let mut stream = writer
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                stream.write_all(&frame).is_ok()
+            }
+            Responder::Reactor { token, completions } => {
+                let frame = encode_frame(&proto::encode_response(status, seq, payload));
+                completions.post(*token, frame);
+                true
+            }
+        }
+    }
+}
+
 /// One queued DATA, UPDATE_MANY or SEARCH_MANY request.
-struct Job {
-    tenant: TenantHandle,
+pub(crate) struct Job {
+    pub(crate) tenant: TenantHandle,
     /// [`KIND_DATA`], [`KIND_UPDATE_MANY`] or [`KIND_SEARCH_MANY`] —
     /// decides how the worker interprets the payload.
-    kind: u8,
+    pub(crate) kind: u8,
     /// Client sequence number, echoed in the response so a pipelining
     /// client can match responses that workers complete out of order.
-    seq: u32,
-    payload: Vec<u8>,
-    writer: Arc<Mutex<TcpStream>>,
-    accepted: Instant,
+    pub(crate) seq: u32,
+    pub(crate) payload: Vec<u8>,
+    pub(crate) responder: Responder,
+    pub(crate) accepted: Instant,
 }
 
 /// Counts reported by [`Daemon::shutdown`] — evidence that every spawned
@@ -191,8 +251,19 @@ pub struct ShutdownReport {
 pub struct Daemon {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    listener_join: JoinHandle<()>,
+    /// Threaded mode only.
+    listener_join: Option<JoinHandle<()>>,
+    /// Threaded mode only.
     conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Reactor mode only.
+    reactor_join: Option<JoinHandle<()>>,
+    /// Reactor mode only: handle for waking the reactor from shutdown
+    /// (and for the panic-injection test hook).
+    completions: Option<Arc<CompletionQueue>>,
+    /// Reactor mode only: second-phase drain signal, requested after the
+    /// workers are joined so the reactor flushes the final responses and
+    /// exits.
+    drain_done: ShutdownSignal,
     worker_joins: Vec<JoinHandle<()>>,
     scrub_join: Option<JoinHandle<()>>,
     job_tx: Sender<Job>,
@@ -255,20 +326,55 @@ impl Daemon {
         });
 
         let conn_joins: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let listener_join = {
+        let drain_done = ShutdownSignal::new();
+        let mut listener_join = None;
+        let mut reactor_join = None;
+        let mut completions = None;
+        if config.reactor {
+            let opts = ReactorOptions {
+                max_frame_len: config.max_frame_len,
+                idle_timeout: config.idle_timeout,
+                max_conns: config.max_conns,
+                write_queue_limit: config.write_queue_limit,
+            };
+            let (mut reactor, queue) = Reactor::new_real(
+                listener,
+                shared.clone(),
+                job_tx.clone(),
+                drain_done.clone(),
+                opts,
+            )?;
+            completions = Some(queue);
+            let shutdown = shared.shutdown.clone();
+            reactor_join = Some(std::thread::spawn(move || {
+                // A reactor panic (fatal accept error, poll failure,
+                // poison) must start a graceful drain — a daemon without
+                // its event loop can never serve again — and still count
+                // as a panicked thread in the shutdown report.
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reactor.run()));
+                if let Err(payload) = outcome {
+                    shutdown.request();
+                    std::panic::resume_unwind(payload);
+                }
+            }));
+        } else {
             let shared = shared.clone();
             let conn_joins = conn_joins.clone();
             let job_tx = job_tx.clone();
-            std::thread::spawn(move || {
+            listener_join = Some(std::thread::spawn(move || {
                 listener_loop(&listener, &shared, &conn_joins, &job_tx);
-            })
-        };
+            }));
+        }
 
         Ok(Daemon {
             local_addr,
             shared,
             listener_join,
             conn_joins,
+            reactor_join,
+            completions,
+            drain_done,
             worker_joins,
             scrub_join,
             job_tx,
@@ -280,6 +386,18 @@ impl Daemon {
     /// equivalent of waiting for the background scrub's next tick.
     pub fn scrub_now(&self) {
         scrub_pass(&self.shared.registry, &self.shared.scrub);
+    }
+
+    /// Test hook: kill the reactor thread by posting a poison completion.
+    /// The panic trips the reactor's shutdown path and is counted in
+    /// [`ShutdownReport::threads_panicked`] — this is how the
+    /// "reactor dies mid-load" regression test exercises that accounting
+    /// without reaching into thread internals. No-op in threaded mode.
+    #[doc(hidden)]
+    pub fn inject_reactor_panic(&self) {
+        if let Some(queue) = &self.completions {
+            queue.post(POISON_TOKEN, Vec::new());
+        }
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -334,7 +452,14 @@ impl Daemon {
             }
         };
         self.shared.shutdown.request();
-        join_counted(self.listener_join, "listener");
+        if let Some(queue) = &self.completions {
+            // Unpark the reactor from epoll_wait so it notices the flag
+            // now rather than at its next timeout tick.
+            queue.wake();
+        }
+        if let Some(join) = self.listener_join {
+            join_counted(join, "listener");
+        }
         // The listener has stopped spawning; connection threads notice the
         // flag within one poll interval and hang up.
         let conns = std::mem::take(
@@ -343,16 +468,30 @@ impl Daemon {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
         );
-        let connections_joined = conns.len();
+        let mut connections_joined = conns.len();
         for join in conns {
             join_counted(join, "connection");
         }
         // All request producers are gone: dropping the daemon's own sender
-        // disconnects the channel, and workers exit after draining it.
+        // disconnects the channel (the reactor drops its own clone on its
+        // first post-shutdown turn), and workers exit after draining it.
         drop(self.job_tx);
         let workers_joined = self.worker_joins.len();
         for join in self.worker_joins {
             join_counted(join, "worker");
+        }
+        // Workers joined ⇒ every completion is posted. Tell the reactor
+        // to flush the last responses and exit, then join it.
+        self.drain_done.request();
+        if let Some(queue) = &self.completions {
+            queue.wake();
+        }
+        if let Some(join) = self.reactor_join {
+            join_counted(join, "reactor");
+            // The reactor handled every connection on one thread; report
+            // the connections it retired where the threaded daemon would
+            // report joined reader threads.
+            connections_joined = self.shared.stats.snapshot().conns_accepted as usize;
         }
         if let Some(join) = self.scrub_join {
             join_counted(join, "scrub");
@@ -395,25 +534,18 @@ fn listener_loop(
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
             }
-            Err(_) => {
+            Err(e) => {
                 // The listener socket died: without it the daemon can never
                 // accept again, so start a graceful drain instead of
                 // lingering as a server that silently refuses connections.
+                // Panicking (after requesting shutdown) makes the failure
+                // visible in ShutdownReport::threads_panicked rather than
+                // reading as a clean exit.
                 shared.shutdown.request();
-                return;
+                panic!("sse-serverd: fatal accept error: {e}");
             }
         }
     }
-}
-
-/// Write one framed response under the connection's writer lock (frames
-/// from the reader thread and from workers must not interleave).
-fn write_response(writer: &Arc<Mutex<TcpStream>>, status: u8, seq: u32, payload: &[u8]) -> bool {
-    let frame = encode_frame(&proto::encode_response(status, seq, payload));
-    let mut stream = writer
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    stream.write_all(&frame).is_ok()
 }
 
 fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
@@ -435,13 +567,13 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
             HealthState::Quarantined => {
                 stats.record_err();
                 let msg = format!("tenant quarantined: {}", health.reason());
-                write_response(&job.writer, STATUS_ERR, job.seq, msg.as_bytes());
+                job.responder.send(STATUS_ERR, job.seq, msg.as_bytes());
                 continue;
             }
             HealthState::Degraded if job.tenant.is_mutation(job.kind, &job.payload) => {
                 stats.record_degraded();
                 let payload = proto::encode_degraded(DEGRADED_RETRY_AFTER_MS, &health.reason());
-                write_response(&job.writer, STATUS_DEGRADED, job.seq, &payload);
+                job.responder.send(STATUS_DEGRADED, job.seq, &payload);
                 continue;
             }
             _ => {}
@@ -462,18 +594,17 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
         }));
         match outcome {
             Ok(Some(response)) => {
-                if write_response(&job.writer, STATUS_OK, job.seq, &response) {
+                if job.responder.send(STATUS_OK, job.seq, &response) {
                     stats.record_ok(job.payload.len(), response.len(), job.accepted.elapsed());
                 }
             }
             Ok(None) => {
                 stats.record_err();
-                write_response(&job.writer, STATUS_ERR, job.seq, b"malformed batch");
+                job.responder.send(STATUS_ERR, job.seq, b"malformed batch");
             }
             Err(_) => {
                 stats.record_err();
-                write_response(
-                    &job.writer,
+                job.responder.send(
                     STATUS_ERR,
                     job.seq,
                     b"internal error: request handler panicked",
@@ -497,6 +628,17 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    stats.record_conn_accepted();
+    // Counted on every exit path so `conns_open` balances in threaded
+    // mode just as it does under the reactor.
+    struct CloseGuard<'a>(&'a ServingStats);
+    impl Drop for CloseGuard<'_> {
+        fn drop(&mut self) {
+            self.0.record_conn_closed();
+        }
+    }
+    let _close_guard = CloseGuard(stats);
+    let responder = Responder::Direct(writer);
     let mut reader = stream;
     let mut decoder = FrameDecoder::with_max_len(shared.max_frame_len);
     let mut tenant: Option<TenantHandle> = None;
@@ -527,12 +669,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                 Ok(None) => break,
                 Err(too_large) => {
                     stats.record_err();
-                    write_response(
-                        &writer,
-                        STATUS_ERR,
-                        HELLO_SEQ,
-                        too_large.to_string().as_bytes(),
-                    );
+                    responder.send(STATUS_ERR, HELLO_SEQ, too_large.to_string().as_bytes());
                     break 'conn;
                 }
             };
@@ -547,14 +684,13 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                                     stats.record_reconnect();
                                 }
                                 tenant = Some(handle);
-                                if !write_response(&writer, STATUS_OK, HELLO_SEQ, &[]) {
+                                if !responder.send(STATUS_OK, HELLO_SEQ, &[]) {
                                     break 'conn;
                                 }
                             }
                             Err(e) => {
                                 stats.record_err();
-                                write_response(
-                                    &writer,
+                                responder.send(
                                     STATUS_ERR,
                                     HELLO_SEQ,
                                     format!("tenant open failed: {e}").as_bytes(),
@@ -565,7 +701,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                     }
                     None => {
                         stats.record_err();
-                        write_response(&writer, STATUS_ERR, HELLO_SEQ, b"malformed hello");
+                        responder.send(STATUS_ERR, HELLO_SEQ, b"malformed hello");
                         break 'conn;
                     }
                 }
@@ -573,7 +709,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
             };
             let Some((kind, seq, payload)) = proto::decode_request(&frame) else {
                 stats.record_err();
-                write_response(&writer, STATUS_ERR, HELLO_SEQ, b"malformed request");
+                responder.send(STATUS_ERR, HELLO_SEQ, b"malformed request");
                 break 'conn;
             };
             match kind {
@@ -583,7 +719,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                         kind,
                         seq,
                         payload: payload.to_vec(),
-                        writer: writer.clone(),
+                        responder: responder.clone(),
                         accepted: Instant::now(),
                     };
                     match job_tx.try_send(job) {
@@ -592,7 +728,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                             // Explicit backpressure: reject now, let the
                             // client retry, never queue unboundedly.
                             stats.record_busy();
-                            if !write_response(&writer, STATUS_BUSY, seq, &[]) {
+                            if !responder.send(STATUS_BUSY, seq, &[]) {
                                 break 'conn;
                             }
                         }
@@ -602,24 +738,24 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                 KIND_ADMIN => match payload.first().copied() {
                     Some(ADMIN_STATS) => {
                         let snap = shared.full_snapshot().encode();
-                        if !write_response(&writer, STATUS_OK, seq, &snap) {
+                        if !responder.send(STATUS_OK, seq, &snap) {
                             break 'conn;
                         }
                     }
                     Some(ADMIN_SHUTDOWN) => {
-                        write_response(&writer, STATUS_OK, seq, &[]);
+                        responder.send(STATUS_OK, seq, &[]);
                         shutdown.request();
                         break 'conn;
                     }
                     _ => {
                         stats.record_err();
-                        write_response(&writer, STATUS_ERR, seq, b"unknown admin command");
+                        responder.send(STATUS_ERR, seq, b"unknown admin command");
                         break 'conn;
                     }
                 },
                 _ => {
                     stats.record_err();
-                    write_response(&writer, STATUS_ERR, seq, b"unknown request kind");
+                    responder.send(STATUS_ERR, seq, b"unknown request kind");
                     break 'conn;
                 }
             }

@@ -5,9 +5,15 @@
 //! [`sse_net::link::Service`] state machines that tests drive in-process
 //! are served here over real sockets to many concurrent clients.
 //!
-//! * [`daemon`] — the TCP daemon: listener + per-connection reader
-//!   threads + a bounded worker pool with explicit `BUSY` backpressure,
-//!   graceful draining shutdown, and per-request serving stats.
+//! * [`daemon`] — the TCP daemon: by default a readiness-driven epoll
+//!   [`reactor`] owns every socket on one thread, feeding a bounded
+//!   worker pool with explicit `BUSY` backpressure; a legacy
+//!   thread-per-connection mode remains behind `ServerConfig::reactor =
+//!   false`. Graceful draining shutdown, per-request serving stats.
+//! * [`reactor`] — the non-blocking event loop: per-connection state
+//!   machines over incremental frame decoding, bounded write queues with
+//!   `EPOLLOUT`-driven draining, idle reaping, and a deterministic mock
+//!   poller for unit tests (DESIGN.md §4i).
 //! * [`proto`] — the connection envelope: a hello frame routes the
 //!   connection to a `(tenant, scheme)` database; DATA frames carry the
 //!   *unchanged* scheme wire messages; ADMIN frames expose stats and
@@ -34,6 +40,7 @@ pub mod daemon;
 pub mod histogram;
 pub mod load;
 pub mod proto;
+pub mod reactor;
 pub mod scrub;
 pub mod stats;
 pub mod tenant;

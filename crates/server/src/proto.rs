@@ -320,6 +320,26 @@ pub struct StatsSnapshot {
     pub scrub_passes: u64,
     /// Scrub repairs that promoted a tenant back to `Healthy`.
     pub scrub_repairs: u64,
+    /// Connections accepted since startup.
+    pub conns_accepted: u64,
+    /// Connections currently open (accepted minus closed).
+    pub conns_open: u64,
+    /// Connections reaped by the idle deadline.
+    pub conns_idle_reaped: u64,
+    /// Connections refused at accept because the daemon was at its
+    /// configured `max_conns` cap.
+    pub conns_rejected: u64,
+    /// Connections disconnected because their bounded outbound write
+    /// queue overflowed (slow or never-draining readers).
+    pub slow_reader_disconnects: u64,
+    /// Wakeup-pipe notifications observed by the reactor (worker
+    /// completions and shutdown nudges).
+    pub reactor_wakeups: u64,
+    /// Responses that could not be written synchronously and armed
+    /// `EPOLLOUT` to finish later.
+    pub writes_deferred: u64,
+    /// Readiness events that produced no progress (spurious wakeups).
+    pub reactor_spurious_polls: u64,
 }
 
 impl StatsSnapshot {
@@ -382,7 +402,15 @@ impl StatsSnapshot {
             .put_u64(self.tenants_degraded)
             .put_u64(self.tenants_quarantined)
             .put_u64(self.scrub_passes)
-            .put_u64(self.scrub_repairs);
+            .put_u64(self.scrub_repairs)
+            .put_u64(self.conns_accepted)
+            .put_u64(self.conns_open)
+            .put_u64(self.conns_idle_reaped)
+            .put_u64(self.conns_rejected)
+            .put_u64(self.slow_reader_disconnects)
+            .put_u64(self.reactor_wakeups)
+            .put_u64(self.writes_deferred)
+            .put_u64(self.reactor_spurious_polls);
         w.finish()
     }
 
@@ -436,6 +464,16 @@ impl StatsSnapshot {
             snap.tenants_quarantined = r.get_u64().ok()?;
             snap.scrub_passes = r.get_u64().ok()?;
             snap.scrub_repairs = r.get_u64().ok()?;
+        }
+        if r.remaining() > 0 {
+            snap.conns_accepted = r.get_u64().ok()?;
+            snap.conns_open = r.get_u64().ok()?;
+            snap.conns_idle_reaped = r.get_u64().ok()?;
+            snap.conns_rejected = r.get_u64().ok()?;
+            snap.slow_reader_disconnects = r.get_u64().ok()?;
+            snap.reactor_wakeups = r.get_u64().ok()?;
+            snap.writes_deferred = r.get_u64().ok()?;
+            snap.reactor_spurious_polls = r.get_u64().ok()?;
         }
         r.finish().ok()?;
         Some(snap)
@@ -538,6 +576,14 @@ mod tests {
             tenants_quarantined: 1,
             scrub_passes: 12,
             scrub_repairs: 1,
+            conns_accepted: 44,
+            conns_open: 9,
+            conns_idle_reaped: 6,
+            conns_rejected: 2,
+            slow_reader_disconnects: 1,
+            reactor_wakeups: 210,
+            writes_deferred: 13,
+            reactor_spurious_polls: 5,
         };
         assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap.clone()));
         assert_eq!(StatsSnapshot::decode(b"short"), None);
@@ -556,9 +602,10 @@ mod tests {
             ..StatsSnapshot::default()
         };
         // An older peer's payload ends before the backend_* counters
-        // (and therefore before the health block appended after them).
+        // (and therefore before the health and reactor blocks appended
+        // after them).
         let mut body = snap.encode();
-        body.truncate(body.len() - (7 + 8) * 8);
+        body.truncate(body.len() - (7 + 8 + 8) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.walk_steps_saved, 7);
@@ -581,12 +628,32 @@ mod tests {
         // A peer from before the health block: payload ends after the
         // backend_* counters.
         let mut body = snap.encode();
-        body.truncate(body.len() - 8 * 8);
+        body.truncate(body.len() - (8 + 8) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.backend_runs_flushed, 9);
         assert_eq!(decoded.health_degradations, 0);
         assert_eq!(decoded.scrub_passes, 0);
+    }
+
+    #[test]
+    fn stats_decode_tolerates_pre_reactor_payload() {
+        let snap = StatsSnapshot {
+            requests_ok: 5,
+            scrub_passes: 4,
+            conns_accepted: 11,
+            reactor_wakeups: 7,
+            ..StatsSnapshot::default()
+        };
+        // A peer from before the reactor block: payload ends after the
+        // health/scrub counters.
+        let mut body = snap.encode();
+        body.truncate(body.len() - 8 * 8);
+        let decoded = StatsSnapshot::decode(&body).unwrap();
+        assert_eq!(decoded.requests_ok, 5);
+        assert_eq!(decoded.scrub_passes, 4);
+        assert_eq!(decoded.conns_accepted, 0);
+        assert_eq!(decoded.reactor_wakeups, 0);
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub struct ServingStats {
     /// Hello frames that attached to an already-open tenant database —
     /// the server-side view of client reconnects.
     reconnects: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_closed: AtomicU64,
+    conns_rejected: AtomicU64,
+    idle_reaped: AtomicU64,
+    slow_reader_disconnects: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    writes_deferred: AtomicU64,
+    reactor_spurious_polls: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -60,6 +68,50 @@ impl ServingStats {
     /// Record a hello that re-attached to an already-open tenant database.
     pub fn record_reconnect(&self) {
         self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one accepted connection.
+    pub fn record_conn_accepted(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one closed connection (any reason).
+    pub fn record_conn_closed(&self) {
+        self.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection refused at accept because the daemon is at its
+    /// configured connection cap.
+    pub fn record_conn_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection reaped by the idle deadline.
+    pub fn record_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection disconnected because its outbound write queue
+    /// exceeded the configured bound (a reader slower than its responses).
+    pub fn record_slow_reader_disconnect(&self) {
+        self.slow_reader_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one wakeup-pipe notification observed by the reactor.
+    pub fn record_reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a response that could not be written synchronously and armed
+    /// `EPOLLOUT` to finish later (kernel send buffer full).
+    pub fn record_write_deferred(&self) {
+        self.writes_deferred.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a readiness event that produced no progress (spurious
+    /// wakeup; the reactor must tolerate them by design).
+    pub fn record_reactor_spurious_poll(&self) {
+        self.reactor_spurious_polls.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time snapshot for the ADMIN protocol. The storage-side
@@ -105,6 +157,17 @@ impl ServingStats {
             tenants_quarantined: 0,
             scrub_passes: 0,
             scrub_repairs: 0,
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_open: self
+                .conns_accepted
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.conns_closed.load(Ordering::Relaxed)),
+            conns_idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            slow_reader_disconnects: self.slow_reader_disconnects.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            writes_deferred: self.writes_deferred.load(Ordering::Relaxed),
+            reactor_spurious_polls: self.reactor_spurious_polls.load(Ordering::Relaxed),
         }
     }
 }

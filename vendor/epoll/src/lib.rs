@@ -1,0 +1,665 @@
+//! Offline vendored shim: minimal Linux `epoll` bindings plus a
+//! deterministic mock, in the spirit of the other `vendor/` crates — the
+//! build environment has no route to crates.io, so instead of `mio` the
+//! workspace gets exactly the readiness API the reactor needs and nothing
+//! else.
+//!
+//! Everything `unsafe` in the serving stack lives in this crate (the
+//! workspace crates keep `#![forbid(unsafe_code)]`): raw `epoll_create1`/
+//! `epoll_ctl`/`epoll_wait` syscalls, a non-blocking self-wake pipe
+//! (`pipe2`), and an `RLIMIT_NOFILE` raise helper for the 10k-connection
+//! benches. The [`Poller`] trait abstracts the readiness source so the
+//! reactor's event loop runs identically against the kernel
+//! ([`RealPoller`]) and against scripted readiness batches
+//! ([`MockPoller`]) in deterministic unit tests — including scripts the
+//! kernel would only produce under race conditions (spurious wakeups,
+//! `EPOLLOUT` before `EPOLLIN`, events for an fd that was just closed).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Raw file descriptor, as `std::os::unix::io::RawFd`.
+pub type RawFd = c_int;
+
+// ---------------------------------------------------------------------------
+// FFI surface (x86_64-unknown-linux-gnu; libc symbols linked via std).
+// ---------------------------------------------------------------------------
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const O_NONBLOCK: c_int = 0o4000;
+const O_CLOEXEC: c_int = 0o2000000;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+/// The kernel's `struct epoll_event`. Packed on x86_64 (the one ABI this
+/// shim targets), matching glibc's declaration.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable readiness types.
+// ---------------------------------------------------------------------------
+
+/// What a registration wants to be told about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Readiness for reading (`EPOLLIN`, plus peer hang-up).
+    pub readable: bool,
+    /// Readiness for writing (`EPOLLOUT`).
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn to_epoll(self) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if self.readable {
+            bits |= EPOLLIN;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness event, decoded into portable flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable — includes peer hang-up, which a `read` call will surface
+    /// as `Ok(0)` or an error.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// `EPOLLERR`/`EPOLLHUP`: the fd is in an error state and should be
+    /// torn down.
+    pub error: bool,
+}
+
+impl Event {
+    /// A plain readable event (test convenience).
+    pub fn readable(token: u64) -> Event {
+        Event {
+            token,
+            readable: true,
+            writable: false,
+            error: false,
+        }
+    }
+
+    /// A plain writable event (test convenience).
+    pub fn writable(token: u64) -> Event {
+        Event {
+            token,
+            readable: false,
+            writable: true,
+            error: false,
+        }
+    }
+
+    /// An error/hang-up event (test convenience).
+    pub fn error(token: u64) -> Event {
+        Event {
+            token,
+            readable: false,
+            writable: false,
+            error: true,
+        }
+    }
+}
+
+/// A readiness source: the kernel ([`RealPoller`]) or a script
+/// ([`MockPoller`]). Level-triggered semantics in both cases — an fd that
+/// stays ready keeps being reported.
+pub trait Poller: Send {
+    /// Start watching `fd` under `token`.
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+    /// Change the interest set of an already-registered fd.
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+    /// Stop watching `fd`.
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()>;
+    /// Block for up to `timeout` (forever if `None`), filling `events`
+    /// with whatever became ready. Returns the number of events; zero
+    /// means the timeout elapsed.
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize>;
+}
+
+// ---------------------------------------------------------------------------
+// RealPoller: the kernel epoll instance.
+// ---------------------------------------------------------------------------
+
+/// An `epoll(7)` instance. Dropping it closes the epoll fd (registered
+/// fds are untouched — their owners close them).
+pub struct RealPoller {
+    epfd: RawFd,
+    buf: Vec<EpollEvent>,
+}
+
+impl RealPoller {
+    /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<RealPoller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(RealPoller {
+            epfd,
+            buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn ctl(&mut self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest.to_epoll(),
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+}
+
+impl Drop for RealPoller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+impl Poller for RealPoller {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        // Round sub-millisecond timeouts up so a short deadline cannot
+        // degenerate into a busy loop.
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(c_int::MAX as u128) as c_int
+                }
+            }
+        };
+        let n = loop {
+            let ret = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if ret >= 0 {
+                break ret as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for raw in &self.buf[..n] {
+            let bits = raw.events;
+            events.push(Event {
+                token: raw.data,
+                readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                writable: bits & EPOLLOUT != 0,
+                error: bits & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MockPoller: scripted readiness for deterministic reactor tests.
+// ---------------------------------------------------------------------------
+
+/// One registration-table operation observed by [`MockPoller`], recorded
+/// so tests can assert the reactor's interest management (e.g. `EPOLLOUT`
+/// armed only while a write queue is non-empty).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MockOp {
+    /// `register` was called.
+    Register {
+        /// The fd registered.
+        fd: RawFd,
+        /// The token it was registered under.
+        token: u64,
+        /// The requested interest.
+        interest: Interest,
+    },
+    /// `reregister` was called.
+    Reregister {
+        /// The fd re-registered.
+        fd: RawFd,
+        /// The (unchanged) token.
+        token: u64,
+        /// The new interest.
+        interest: Interest,
+    },
+    /// `deregister` was called.
+    Deregister {
+        /// The fd removed.
+        fd: RawFd,
+    },
+}
+
+/// A deterministic [`Poller`]: `wait` pops pre-scripted event batches
+/// (an exhausted script yields empty batches — a timeout tick), and every
+/// registration call is recorded for assertion. Scripts may contain
+/// anything, including events for tokens that were never registered or
+/// were already deregistered — exactly the stale-readiness races a real
+/// kernel can deliver.
+#[derive(Default)]
+pub struct MockPoller {
+    script: VecDeque<Vec<Event>>,
+    ops: Vec<MockOp>,
+    registered: BTreeMap<RawFd, (u64, Interest)>,
+    waits: usize,
+}
+
+impl MockPoller {
+    /// New mock with an empty script.
+    pub fn new() -> MockPoller {
+        MockPoller::default()
+    }
+
+    /// Append one `wait` batch to the script.
+    pub fn push_batch(&mut self, events: Vec<Event>) {
+        self.script.push_back(events);
+    }
+
+    /// The registration operations observed so far.
+    pub fn ops(&self) -> &[MockOp] {
+        &self.ops
+    }
+
+    /// Number of `wait` calls made.
+    pub fn waits(&self) -> usize {
+        self.waits
+    }
+
+    /// The interest currently registered for `fd`, if any.
+    pub fn interest_of(&self, fd: RawFd) -> Option<Interest> {
+        self.registered.get(&fd).map(|(_, i)| *i)
+    }
+
+    /// Whether `fd` is currently registered.
+    pub fn is_registered(&self, fd: RawFd) -> bool {
+        self.registered.contains_key(&fd)
+    }
+}
+
+impl Poller for MockPoller {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ops.push(MockOp::Register {
+            fd,
+            token,
+            interest,
+        });
+        self.registered.insert(fd, (token, interest));
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ops.push(MockOp::Reregister {
+            fd,
+            token,
+            interest,
+        });
+        self.registered.insert(fd, (token, interest));
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.ops.push(MockOp::Deregister { fd });
+        self.registered.remove(&fd);
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, _timeout: Option<Duration>) -> io::Result<usize> {
+        self.waits += 1;
+        events.clear();
+        if let Some(batch) = self.script.pop_front() {
+            events.extend(batch);
+        }
+        Ok(events.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WakePipe: cross-thread reactor wakeup.
+// ---------------------------------------------------------------------------
+
+struct OwnedFd(RawFd);
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.0);
+        }
+    }
+}
+
+/// The write half of a wakeup pipe. Cheap to clone; any thread may
+/// [`Waker::notify`] to make the reactor's `wait` return.
+#[derive(Clone)]
+pub struct Waker {
+    fd: Arc<OwnedFd>,
+}
+
+impl Waker {
+    /// Wake the reader. Writes one byte into the (non-blocking) pipe; a
+    /// full pipe means a wakeup is already pending, so `EAGAIN` is
+    /// success by definition and every other error is ignored too — the
+    /// reactor also polls on a timeout, so a lost wakeup degrades
+    /// latency, never correctness.
+    pub fn notify(&self) {
+        let byte = [1u8];
+        unsafe {
+            write(self.fd.0, byte.as_ptr().cast::<c_void>(), 1);
+        }
+    }
+}
+
+/// The read half of a wakeup pipe: register [`WakeReader::fd`] with the
+/// poller, and [`WakeReader::drain`] whenever it reports readable.
+pub struct WakeReader {
+    fd: OwnedFd,
+}
+
+impl WakeReader {
+    /// The fd to register for readable interest.
+    pub fn fd(&self) -> RawFd {
+        self.fd.0
+    }
+
+    /// Consume all pending wakeup bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.fd.0, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+            if n <= 0 {
+                return; // EAGAIN (drained), EOF, or error: nothing left to do
+            }
+        }
+    }
+}
+
+/// Create a non-blocking wakeup pipe, returning `(writer, reader)`.
+pub fn wake_pipe() -> io::Result<(Waker, WakeReader)> {
+    let mut fds: [c_int; 2] = [0; 2];
+    cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+    Ok((
+        Waker {
+            fd: Arc::new(OwnedFd(fds[1])),
+        },
+        WakeReader {
+            fd: OwnedFd(fds[0]),
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// RLIMIT_NOFILE helper for the many-connection benches.
+// ---------------------------------------------------------------------------
+
+/// Try to raise the open-file limit to at least `target` fds, returning
+/// the soft limit actually in effect afterwards. Raising the hard limit
+/// needs privilege; without it the soft limit is clamped to the existing
+/// hard limit — callers size their workloads from the returned value
+/// rather than assuming the request succeeded.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    let mut rl = RLimit { cur: 0, max: 0 };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut rl) })?;
+    if rl.cur >= target {
+        return Ok(rl.cur);
+    }
+    // First try raising both limits (works when privileged)…
+    let want = RLimit {
+        cur: target,
+        max: rl.max.max(target),
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+        return Ok(target);
+    }
+    // …then settle for the existing hard limit.
+    let capped = RLimit {
+        cur: target.min(rl.max),
+        max: rl.max,
+    };
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &capped) })?;
+    Ok(capped.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn real_poller_reports_pipe_readiness() {
+        let (waker, reader) = wake_pipe().unwrap();
+        let mut poller = RealPoller::new().unwrap();
+        poller.register(reader.fd(), 7, Interest::READABLE).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing pending: the wait times out with no events.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        waker.notify();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable && !events[0].writable);
+
+        // Level-triggered: still readable until drained.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 1);
+        reader.drain();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        poller.deregister(reader.fd()).unwrap();
+        waker.notify();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "deregistered fd must not report");
+    }
+
+    #[test]
+    fn real_poller_reports_socket_writability_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = RealPoller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), 1, Interest::READ_WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable, "fresh socket is writable");
+        assert!(!events[0].readable, "nothing to read yet");
+
+        // Drop EPOLLOUT; readable fires once the peer sends.
+        poller
+            .reregister(server.as_raw_fd(), 1, Interest::READABLE)
+            .unwrap();
+        (&client).write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable && !events[0].writable);
+        let mut buf = [0u8; 8];
+        assert_eq!((&server).read(&mut buf).unwrap(), 1);
+
+        // Peer hang-up surfaces as readable (read will return Ok(0)).
+        drop(client);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable);
+        assert_eq!((&server).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn mock_poller_replays_script_and_records_ops() {
+        let mut mock = MockPoller::new();
+        mock.register(3, 30, Interest::READABLE).unwrap();
+        mock.reregister(3, 30, Interest::READ_WRITE).unwrap();
+        mock.push_batch(vec![Event::readable(30), Event::writable(30)]);
+        mock.push_batch(vec![]); // spurious wakeup
+        mock.push_batch(vec![Event::error(99)]); // never-registered token
+
+        let mut events = Vec::new();
+        assert_eq!(mock.wait(&mut events, None).unwrap(), 2);
+        assert_eq!(events[0], Event::readable(30));
+        assert_eq!(mock.wait(&mut events, None).unwrap(), 0);
+        assert_eq!(mock.wait(&mut events, None).unwrap(), 1);
+        assert_eq!(events[0].token, 99);
+        // Script exhausted: behaves like a timeout forever after.
+        assert_eq!(mock.wait(&mut events, None).unwrap(), 0);
+        assert_eq!(mock.waits(), 4);
+
+        assert_eq!(mock.interest_of(3), Some(Interest::READ_WRITE));
+        mock.deregister(3).unwrap();
+        assert!(!mock.is_registered(3));
+        assert_eq!(
+            mock.ops(),
+            &[
+                MockOp::Register {
+                    fd: 3,
+                    token: 30,
+                    interest: Interest::READABLE
+                },
+                MockOp::Reregister {
+                    fd: 3,
+                    token: 30,
+                    interest: Interest::READ_WRITE
+                },
+                MockOp::Deregister { fd: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn waker_is_clone_and_saturating() {
+        let (waker, reader) = wake_pipe().unwrap();
+        let w2 = waker.clone();
+        // Saturate the pipe: notify must never block or panic.
+        for _ in 0..100_000 {
+            w2.notify();
+        }
+        reader.drain();
+        let mut buf = [0u8; 16];
+        let n = unsafe { read(reader.fd(), buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+        assert!(n <= 0, "drain left bytes behind");
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotonic() {
+        // Asking for 1 never lowers the limit; the returned value is the
+        // soft limit in effect.
+        let cur = raise_nofile_limit(1).unwrap();
+        assert!(cur >= 1);
+        let again = raise_nofile_limit(cur).unwrap();
+        assert!(again >= cur);
+    }
+}
