@@ -35,7 +35,15 @@ pub fn encode_error(msg: &str) -> Vec<u8> {
 /// Encode a search result.
 #[must_use]
 pub fn encode_result(docs: &[(u64, Vec<u8>)]) -> Vec<u8> {
-    let mut w = WireWriter::new();
+    encode_result_with(docs, Vec::new())
+}
+
+/// Encode a search result into a recycled buffer (capacity is reused;
+/// contents are discarded). The serving hot path hands a pool-acquired
+/// buffer here so a steady-state search response costs no allocation.
+#[must_use]
+pub fn encode_result_with(docs: &[(u64, Vec<u8>)], buf: Vec<u8>) -> Vec<u8> {
+    let mut w = WireWriter::with_buf(buf);
     w.put_u8(resp::RESULT).put_u64(docs.len() as u64);
     for (id, blob) in docs {
         w.put_u64(*id).put_bytes(blob);

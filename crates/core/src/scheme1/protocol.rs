@@ -202,7 +202,14 @@ pub fn encode_found(f_r: Option<&[u8]>) -> Vec<u8> {
 /// Encode `Result` (search round 2 response).
 #[must_use]
 pub fn encode_result(docs: &[(u64, Vec<u8>)]) -> Vec<u8> {
-    let mut w = WireWriter::new();
+    encode_result_with(docs, Vec::new())
+}
+
+/// Encode `Result` into a recycled buffer (capacity reused, contents
+/// discarded) — see [`crate::proto_common::encode_result_with`].
+#[must_use]
+pub fn encode_result_with(docs: &[(u64, Vec<u8>)], buf: Vec<u8>) -> Vec<u8> {
+    let mut w = WireWriter::with_buf(buf);
     w.put_u8(RESP_TAGS::RESULT).put_u64(docs.len() as u64);
     for (id, blob) in docs {
         w.put_u64(*id).put_bytes(blob);

@@ -810,7 +810,20 @@ impl Scheme1Server {
     /// against immutable snapshots; mutations pipeline through the
     /// per-shard group committers.
     pub fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+        self.handle_shared_with(request, Vec::new())
+    }
+
+    /// [`Self::handle_shared`] with a recycled response buffer: the hot
+    /// `SearchReveal` branch encodes its result into `scratch` (capacity
+    /// reused, contents discarded) so a steady-state reveal response
+    /// costs no allocation when the caller recycles buffers through a
+    /// pool. Every other request kind ignores the scratch.
+    pub fn handle_shared_with(&self, request: &[u8], scratch: Vec<u8>) -> Vec<u8> {
         match protocol::decode_request(request) {
+            Ok(Request::SearchReveal { tag, seed }) => match self.reveal_one(&tag, &seed) {
+                Ok(docs) => protocol::encode_result_with(&docs, scratch),
+                Err(msg) => protocol::encode_error(&msg),
+            },
             Ok(req) => self.handle_request(req),
             Err(e) => protocol::encode_error(&e.to_string()),
         }

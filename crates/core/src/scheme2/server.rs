@@ -806,7 +806,21 @@ impl Scheme2Server {
     /// against immutable snapshots; mutations pipeline through the
     /// per-shard group committers.
     pub fn handle_shared(&self, request: &[u8]) -> Vec<u8> {
+        self.handle_shared_with(request, Vec::new())
+    }
+
+    /// [`Self::handle_shared`] with a recycled response buffer: the hot
+    /// `Search` branch encodes its result into `scratch` (capacity
+    /// reused, contents discarded) so a steady-state search response
+    /// costs no allocation when the caller recycles buffers through a
+    /// pool. Every other request kind ignores the scratch — mutations
+    /// and admin requests are not on the serving hot path.
+    pub fn handle_shared_with(&self, request: &[u8], scratch: Vec<u8>) -> Vec<u8> {
         match protocol::decode_request(request) {
+            Ok(Request::Search { tag, t_prime }) => match self.search_one(tag, t_prime) {
+                Ok(docs) => proto_common::encode_result_with(&docs, scratch),
+                Err(msg) => proto_common::encode_error(&msg),
+            },
             Ok(req) => self.handle_request(req),
             Err(e) => proto_common::encode_error(&e.to_string()),
         }

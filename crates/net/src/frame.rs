@@ -3,6 +3,7 @@
 //! `[len: u32 LE][body]`. The decoder accepts bytes in arbitrary chunks
 //! (as a TCP stream would deliver them) and yields complete frames.
 
+use crate::pool::{BufPool, PooledBuf};
 use bytes::{Buf, BufMut, BytesMut};
 
 /// Maximum frame body size (64 MiB) — matches the wire codec's field limit.
@@ -20,6 +21,28 @@ pub fn encode_frame(body: &[u8]) -> Vec<u8> {
     out.put_u32_le(body.len() as u32);
     out.put_slice(body);
     out.to_vec()
+}
+
+/// The 4-byte length prefix for a body of `len` bytes — the first segment
+/// of a scatter-gather encode, where the header and the (borrowed) body
+/// travel as separate iovecs instead of being copied into one buffer.
+///
+/// # Panics
+/// Panics if `len` exceeds [`MAX_FRAME_LEN`].
+#[must_use]
+pub fn frame_header(len: usize) -> [u8; 4] {
+    assert!(len <= MAX_FRAME_LEN as usize, "frame body too large: {len}");
+    (len as u32).to_le_bytes()
+}
+
+/// Append one encoded frame to an existing buffer (typically one recycled
+/// from a [`BufPool`]) instead of allocating a fresh `Vec` per frame.
+///
+/// # Panics
+/// Panics if `body` exceeds [`MAX_FRAME_LEN`].
+pub fn encode_frame_into(out: &mut Vec<u8>, body: &[u8]) {
+    out.extend_from_slice(&frame_header(body.len()));
+    out.extend_from_slice(body);
 }
 
 /// Incremental frame decoder.
@@ -137,6 +160,9 @@ pub struct StreamingDecoder {
     body_needed: usize,
     in_body: bool,
     poisoned: Option<FrameTooLarge>,
+    /// When set, bodies are acquired from (and recycled into) this pool —
+    /// see [`StreamingDecoder::feed_pooled`].
+    pool: Option<BufPool>,
 }
 
 impl Default for StreamingDecoder {
@@ -164,7 +190,20 @@ impl StreamingDecoder {
             body_needed: 0,
             in_body: false,
             poisoned: None,
+            pool: None,
         }
+    }
+
+    /// Like [`StreamingDecoder::with_max_len`], but frame bodies assembled
+    /// by [`StreamingDecoder::feed_pooled`] are acquired from `pool` and
+    /// recycled when their [`PooledBuf`] drops. Dropping the decoder
+    /// mid-frame returns the partial body too — a half-received request on
+    /// a dying connection must not leak its buffer.
+    #[must_use]
+    pub fn with_pool(max_len: u32, pool: BufPool) -> Self {
+        let mut d = Self::with_max_len(max_len);
+        d.pool = Some(pool);
+        d
     }
 
     /// The configured per-frame body limit.
@@ -218,11 +257,86 @@ impl StreamingDecoder {
         Ok(())
     }
 
+    /// Like [`StreamingDecoder::feed`], but completed frames come out as
+    /// [`PooledBuf`] views. On a decoder built with
+    /// [`StreamingDecoder::with_pool`] the body buffer is acquired from the
+    /// pool when the length prefix completes and recycled when the last
+    /// view of the sealed frame drops — a pool hit makes the whole
+    /// read→decode→dispatch path allocation-free. Without a pool the
+    /// frames are plain owned buffers behind the same view type.
+    ///
+    /// # Errors
+    /// [`FrameTooLarge`] exactly as [`StreamingDecoder::feed`].
+    pub fn feed_pooled(
+        &mut self,
+        mut chunk: &[u8],
+        out: &mut Vec<PooledBuf>,
+    ) -> Result<(), FrameTooLarge> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
+        while !chunk.is_empty() {
+            if !self.in_body {
+                let take = (4 - self.header_filled).min(chunk.len());
+                self.header[self.header_filled..self.header_filled + take]
+                    .copy_from_slice(&chunk[..take]);
+                self.header_filled += take;
+                chunk = &chunk[take..];
+                if self.header_filled < 4 {
+                    break;
+                }
+                let declared = u32::from_le_bytes(self.header);
+                if declared > self.max_len {
+                    let err = FrameTooLarge { declared };
+                    self.poisoned = Some(err);
+                    return Err(err);
+                }
+                self.body_needed = declared as usize;
+                self.in_body = true;
+                if let Some(pool) = &self.pool {
+                    // `body` is empty on a frame boundary (taken at the
+                    // previous completion); swap in a recycled buffer.
+                    debug_assert!(self.body.is_empty());
+                    if self.body.capacity() < self.body_needed {
+                        self.body = pool.acquire(self.body_needed);
+                    }
+                }
+            }
+            // Body phase (an empty body completes immediately below).
+            let take = (self.body_needed - self.body.len()).min(chunk.len());
+            self.body.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+            if self.body.len() == self.body_needed {
+                let body = std::mem::take(&mut self.body);
+                out.push(match &self.pool {
+                    Some(pool) => pool.seal(body),
+                    None => PooledBuf::from_vec(body),
+                });
+                self.in_body = false;
+                self.header_filled = 0;
+            }
+        }
+        Ok(())
+    }
+
     /// Bytes of the in-flight partial frame currently buffered. Zero
     /// whenever the stream sits on a frame boundary.
     #[must_use]
     pub fn buffered(&self) -> usize {
         self.header_filled + self.body.len()
+    }
+}
+
+impl Drop for StreamingDecoder {
+    fn drop(&mut self) {
+        // A connection torn down mid-frame must hand its partial body back
+        // to the pool; completed frames recycle through their own views.
+        if let Some(pool) = &self.pool {
+            let body = std::mem::take(&mut self.body);
+            if body.capacity() > 0 {
+                pool.release(body);
+            }
+        }
     }
 }
 
@@ -389,5 +503,72 @@ mod tests {
         // Use a fake huge slice length via a zero-filled vec just over limit.
         let body = vec![0u8; MAX_FRAME_LEN as usize + 1];
         let _ = encode_frame(&body);
+    }
+
+    #[test]
+    fn scatter_gather_header_matches_contiguous_encode() {
+        let body = b"split encode";
+        let mut sg = frame_header(body.len()).to_vec();
+        sg.extend_from_slice(body);
+        assert_eq!(sg, encode_frame(body));
+
+        let mut reused = Vec::with_capacity(64);
+        encode_frame_into(&mut reused, b"one");
+        encode_frame_into(&mut reused, b"two");
+        let mut expect = encode_frame(b"one");
+        expect.extend_from_slice(&encode_frame(b"two"));
+        assert_eq!(reused, expect);
+    }
+
+    #[test]
+    fn pooled_feed_matches_plain_feed_and_recycles() {
+        let pool = BufPool::with_config(&[64, 1024], 4);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(b"one"));
+        stream.extend_from_slice(&encode_frame(b""));
+        stream.extend_from_slice(&encode_frame(&[9u8; 300]));
+
+        let mut plain = StreamingDecoder::new();
+        let mut want = Vec::new();
+        plain.feed(&stream, &mut want).unwrap();
+
+        let mut pooled = StreamingDecoder::with_pool(MAX_FRAME_LEN, pool.clone());
+        let mut got = Vec::new();
+        for chunk in stream.chunks(5) {
+            pooled.feed_pooled(chunk, &mut got).unwrap();
+        }
+        assert_eq!(
+            got.iter()
+                .map(|f| f.as_slice().to_vec())
+                .collect::<Vec<_>>(),
+            want
+        );
+        drop(got);
+        // Both non-empty bodies came from and went back to the pool; the
+        // empty frame never touched it (zero capacity after mem::take).
+        assert_eq!(pool.counters().recycles, 2);
+        assert_eq!(pool.free_buffers(), 2);
+    }
+
+    #[test]
+    fn pooled_decoder_drop_mid_frame_releases_the_partial_body() {
+        let pool = BufPool::with_config(&[64], 4);
+        let frame = encode_frame(&[3u8; 40]);
+        let mut d = StreamingDecoder::with_pool(MAX_FRAME_LEN, pool.clone());
+        let mut out = Vec::new();
+        d.feed_pooled(&frame[..20], &mut out).unwrap();
+        assert!(out.is_empty());
+        drop(d); // connection died mid-frame
+        assert_eq!(pool.counters().recycles, 1, "partial body must recycle");
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn feed_pooled_without_a_pool_yields_owned_views() {
+        let mut d = StreamingDecoder::new();
+        let mut out = Vec::new();
+        d.feed_pooled(&encode_frame(b"owned"), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(&out[0][..], b"owned");
     }
 }

@@ -19,7 +19,9 @@
 //! * [`latency`] — converts a metered transcript into simulated wall-clock
 //!   time under a configurable RTT/bandwidth model;
 //! * [`fault`] — [`fault::FaultyLink`], a transport wrapper that drops,
-//!   truncates, duplicates or delays whole rounds on a seeded schedule.
+//!   truncates, duplicates or delays whole rounds on a seeded schedule;
+//! * [`pool`] — [`pool::BufPool`], size-classed recycled frame buffers and
+//!   the [`pool::PooledBuf`] views the zero-copy serving path hands around.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,5 +31,6 @@ pub mod frame;
 pub mod latency;
 pub mod link;
 pub mod meter;
+pub mod pool;
 pub mod shutdown;
 pub mod wire;

@@ -79,6 +79,15 @@ impl WireWriter {
         }
     }
 
+    /// Start from a recycled buffer, reusing its capacity — the hot-path
+    /// variant for callers that hold a [`crate::pool::BufPool`] buffer:
+    /// encoding into it keeps the steady state allocation-free.
+    #[must_use]
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        WireWriter { buf }
+    }
+
     /// Append a `u8`.
     pub fn put_u8(&mut self, v: u8) -> &mut Self {
         self.buf.push(v);

@@ -3,7 +3,8 @@
 //! sequences.
 
 use proptest::prelude::*;
-use sse_net::frame::{encode_frame, FrameDecoder, StreamingDecoder};
+use sse_net::frame::{encode_frame, FrameDecoder, StreamingDecoder, MAX_FRAME_LEN};
+use sse_net::pool::{BufPool, PooledBuf};
 use sse_net::wire::{WireReader, WireWriter};
 
 /// Split `stream` at the given (arbitrary) boundaries, producing the
@@ -187,6 +188,59 @@ proptest! {
         }
         prop_assert_eq!(got, expected);
         prop_assert_eq!(streaming.buffered(), oracle.buffered());
+    }
+
+    /// The pooled decoder is observationally identical to the one-shot
+    /// decoder for every segmentation **and** every pool shape: the same
+    /// frame bytes come out whether bodies land in recycled class
+    /// buffers, fresh ones, or oversize exact allocations — and when the
+    /// views drop, the pool's books balance (nothing poisoned, free
+    /// lists inside the configured bound, no buffer re-acquired without
+    /// having been recycled first).
+    #[test]
+    fn pooled_decoder_matches_one_shot_for_any_chunking_and_pool_shape(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..10),
+        cuts in prop::collection::vec(any::<usize>(), 0..40),
+        ladder_pick in 0usize..4,
+        max_free in 0usize..5,
+    ) {
+        let ladders: [&[usize]; 4] = [
+            &[16, 64, 256],
+            &[32, 1024],
+            &[8],
+            &[64, 256, 1024, 4096],
+        ];
+        let ladder = ladders[ladder_pick];
+        let pool = BufPool::with_config(ladder, max_free);
+
+        let mut stream = Vec::new();
+        for b in &bodies {
+            stream.extend_from_slice(&encode_frame(b));
+        }
+        let mut oracle = FrameDecoder::new();
+        oracle.push(&stream);
+        let mut expected = Vec::new();
+        while let Some(frame) = oracle.next_frame().unwrap() {
+            expected.push(frame);
+        }
+
+        let mut pooled = StreamingDecoder::with_pool(MAX_FRAME_LEN, pool.clone());
+        let mut got: Vec<PooledBuf> = Vec::new();
+        for chunk in segment(&stream, &cuts) {
+            pooled.feed_pooled(&chunk, &mut got).unwrap();
+        }
+        prop_assert_eq!(got.len(), expected.len());
+        for (view, frame) in got.iter().zip(&expected) {
+            prop_assert_eq!(&view[..], &frame[..]);
+        }
+
+        drop(got);
+        drop(pooled);
+        let c = pool.counters();
+        prop_assert_eq!(c.poisoned, 0);
+        prop_assert!(c.hits <= c.recycles, "a hit needs a prior recycle");
+        prop_assert!(c.recycles <= c.hits + c.misses);
+        prop_assert!(pool.free_buffers() <= ladder.len() * max_free);
     }
 
     /// A forged length prefix (beyond the configured limit) fails both

@@ -36,6 +36,15 @@
 //!   halfway mark and at full strength so growth (which must stay flat)
 //!   is visible. The final graceful drain — with every idle connection
 //!   still open — is timed and must exit clean.
+//! * [`run_hotpath_bench`] measures the zero-copy serving pipeline
+//!   (`BENCH_hotpath.json`): a captured warm search replayed over a raw
+//!   socket against three in-process daemons — the owned-buffer fallback
+//!   (`pool: false`), the pooled default, and the pooled daemon under a
+//!   pipelined burst of requests per round. The allocation meter counts
+//!   server-thread heap traffic per op (the binary installs the counting
+//!   allocator; the daemon's reactor and worker threads opt in), and the
+//!   `ADMIN_STATS` deltas report bytes memcpy'd, pool hit rates, and the
+//!   mean `writev` syscall batch.
 //!
 //! The updaters run Optimization 2 (`CtrPolicy::OnSearchOnly`) and never
 //! search, so their chain counter never advances past 1 and the workload
@@ -43,12 +52,13 @@
 
 use crate::daemon::{Daemon, ServerConfig};
 use crate::histogram::LatencyHistogram;
-use crate::proto::{self, Hello, SchemeId, HELLO_SEQ, STATUS_OK};
+use crate::proto::{self, Hello, SchemeId, HELLO_SEQ, KIND_DATA, STATUS_OK};
 use crate::tenant::TenantParams;
 use crate::transport::TcpTransport;
 use sse_core::scheme2::{CtrPolicy, Scheme2Client, Scheme2Config};
 use sse_core::types::{Document, Keyword, MasterKey};
 use sse_net::frame::encode_frame;
+use sse_net::link::Transport;
 use sse_storage::BackendKind;
 use std::io::{Error, Read, Result, Write};
 use std::net::TcpStream;
@@ -1401,6 +1411,403 @@ pub fn run_idle_bench(opts: &IdleBenchOptions) -> Result<IdleBenchReport> {
     })
 }
 
+/// Parameters for the zero-copy hot-path benchmark.
+#[derive(Clone, Debug)]
+pub struct HotpathOptions {
+    /// Workload seed (corpus content derives from it).
+    pub seed: u64,
+    /// Distinct keywords in the warmed corpus.
+    pub keywords: usize,
+    /// Documents in the warmed corpus.
+    pub docs: usize,
+    /// Measured window per arm.
+    pub duration: Duration,
+    /// Requests per round in the pipelined arm (the other two arms run
+    /// closed-loop, one request in flight).
+    pub depth: usize,
+}
+
+impl Default for HotpathOptions {
+    fn default() -> Self {
+        HotpathOptions {
+            seed: 7,
+            keywords: 32,
+            docs: 32,
+            duration: Duration::from_millis(1500),
+            depth: 16,
+        }
+    }
+}
+
+/// Transport shim recording the scheme-level bytes of the last single
+/// round trip, so the measured loop can replay one warm search verbatim
+/// over a bare socket — the same bytes every round, which takes the
+/// client's crypto out of the measurement and leaves only the serving
+/// pipeline. Batch rounds pass through uncaptured (corpus loading).
+struct CaptureTransport {
+    inner: TcpTransport,
+    last_request: Vec<u8>,
+}
+
+impl Transport for CaptureTransport {
+    fn round_trip(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        self.last_request = request.to_vec();
+        self.inner.round_trip(request)
+    }
+
+    fn round_trip_batch(&mut self, parts: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        self.inner.round_trip_batch(parts)
+    }
+
+    fn round_trip_search_batch(&mut self, parts: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
+        self.inner.round_trip_search_batch(parts)
+    }
+}
+
+/// One hot-path arm's measurements. Counter fields are deltas over the
+/// measured window only (warm-up traffic excluded); latency quantiles are
+/// per *round* — one request for the closed-loop arms, `depth` pipelined
+/// requests for the pipelined arm.
+#[derive(Clone, Debug)]
+pub struct HotpathArm {
+    /// Arm label (`legacy`, `pooled`, `pipelined`).
+    pub name: &'static str,
+    /// Whether the daemon served from pooled buffers.
+    pub pool: bool,
+    /// Requests in flight per round.
+    pub depth: usize,
+    /// Search requests completed inside the window.
+    pub ops: u64,
+    /// Search throughput.
+    pub ops_per_sec: f64,
+    /// Server-thread heap acquisitions per request (zero unless the
+    /// hosting binary installed the counting allocator).
+    pub allocs_per_op: f64,
+    /// Server-thread heap bytes requested per request.
+    pub alloc_bytes_per_op: f64,
+    /// Payload bytes memcpy'd on the serving path per request (the
+    /// counter the pooled pipeline exists to drive to zero).
+    pub bytes_copied_per_op: f64,
+    /// Pool acquires served from a recycled buffer.
+    pub pool_hits: u64,
+    /// Pool acquires that fell through to a fresh allocation.
+    pub pool_misses: u64,
+    /// Buffers returned to a free list on drop.
+    pub pool_recycles: u64,
+    /// `hits / (hits + misses)` (0 when the pool is off).
+    pub pool_hit_rate: f64,
+    /// Gather-write syscalls issued by the reactor.
+    pub writev_calls: u64,
+    /// Response frames those syscalls finished writing.
+    pub writev_frames: u64,
+    /// `writev_frames / writev_calls` — above 1.0 means queued responses
+    /// coalesced into shared syscalls.
+    pub mean_writev_batch: f64,
+    /// Worker completions absorbed by an already-pending reactor wakeup.
+    pub wakeups_coalesced: u64,
+    /// Client-observed p50 per round (ns).
+    pub p50_ns: u64,
+    /// Client-observed p99 per round (ns).
+    pub p99_ns: u64,
+}
+
+fn hotpath_arm_json(a: &HotpathArm) -> String {
+    format!(
+        "{{\"arm\":\"{}\",\"pool\":{},\"depth\":{},\"ops\":{},\
+         \"ops_per_sec\":{:.2},\"allocs_per_op\":{:.3},\
+         \"alloc_bytes_per_op\":{:.1},\"bytes_copied_per_op\":{:.1},\
+         \"pool_hits\":{},\"pool_misses\":{},\"pool_recycles\":{},\
+         \"pool_hit_rate\":{:.4},\"writev_calls\":{},\"writev_frames\":{},\
+         \"mean_writev_batch\":{:.3},\"wakeups_coalesced\":{},\
+         \"p50_ns\":{},\"p99_ns\":{}}}",
+        a.name,
+        a.pool,
+        a.depth,
+        a.ops,
+        a.ops_per_sec,
+        a.allocs_per_op,
+        a.alloc_bytes_per_op,
+        a.bytes_copied_per_op,
+        a.pool_hits,
+        a.pool_misses,
+        a.pool_recycles,
+        a.pool_hit_rate,
+        a.writev_calls,
+        a.writev_frames,
+        a.mean_writev_batch,
+        a.wakeups_coalesced,
+        a.p50_ns,
+        a.p99_ns,
+    )
+}
+
+/// `BENCH_hotpath.json`: the zero-copy serving pipeline A/B/C.
+#[derive(Clone, Debug)]
+pub struct HotpathReport {
+    /// Parameters the run used.
+    pub options: HotpathOptions,
+    /// Owned-buffer fallback (`pool: false`), closed loop.
+    pub legacy: HotpathArm,
+    /// Pooled pipeline (the default), closed loop.
+    pub pooled: HotpathArm,
+    /// Pooled pipeline under `depth` pipelined requests per round — the
+    /// regime where queued responses share `writev` syscalls.
+    pub pipelined: HotpathArm,
+    /// `1 - pooled.allocs_per_op / legacy.allocs_per_op` — the headline
+    /// allocation win (0 when the counting allocator is not installed).
+    pub alloc_reduction: f64,
+    /// `1 - pooled.bytes_copied_per_op / legacy.bytes_copied_per_op`.
+    pub copy_reduction: f64,
+    /// `pooled.p99_ns / legacy.p99_ns` (both closed-loop) — pooling must
+    /// not tax tail latency.
+    pub p99_ratio: f64,
+    /// The pipelined arm's mean `writev` batch, pulled up as the CI
+    /// gate's headline number.
+    pub pipelined_mean_writev_batch: f64,
+}
+
+impl HotpathReport {
+    /// Serialize as the `BENCH_hotpath.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n\"benchmark\":\"sse-hotpath\",\n\"seed\":{},\n\"keywords\":{},\n\
+             \"docs\":{},\n\"duration_ms\":{},\n\"depth\":{},\n\
+             \"arms\":[\n{},\n{},\n{}\n],\n\
+             \"alloc_reduction\":{:.4},\n\"copy_reduction\":{:.4},\n\
+             \"p99_ratio\":{:.3},\n\"pipelined_mean_writev_batch\":{:.3}\n}}\n",
+            self.options.seed,
+            self.options.keywords,
+            self.options.docs,
+            self.options.duration.as_millis(),
+            self.options.depth,
+            hotpath_arm_json(&self.legacy),
+            hotpath_arm_json(&self.pooled),
+            hotpath_arm_json(&self.pipelined),
+            self.alloc_reduction,
+            self.copy_reduction,
+            self.p99_ratio,
+            self.pipelined_mean_writev_batch,
+        )
+    }
+}
+
+/// Read one frame-aligned response off a raw benchmark socket. Pipelined
+/// responses arrive as a byte stream; `read_exact` reassembles them
+/// regardless of how the kernel segmented the writes.
+fn read_raw_response(stream: &mut TcpStream) -> Result<(u8, u32)> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body)?;
+    let (status, seq, _payload) =
+        proto::decode_response(&body).ok_or_else(|| Error::other("malformed response frame"))?;
+    Ok((status, seq))
+}
+
+/// Run one hot-path arm: spawn an **in-memory** daemon (the hot path is a
+/// serving question, not a durability one), warm a tenant through the
+/// ordinary scheme client while capturing the bytes of one memo-served
+/// search, then replay that search over a bare socket — `depth` copies
+/// per round in a single write, collecting `depth` responses (workers
+/// may finish them out of order; each must be `OK`). Counters are
+/// snapshotted on either side of the measured loop so warm-up traffic
+/// never pollutes the per-op numbers.
+fn run_hotpath_arm(
+    opts: &HotpathOptions,
+    name: &'static str,
+    pool: bool,
+    depth: usize,
+) -> Result<HotpathArm> {
+    let depth = depth.max(1);
+    let config = ServerConfig {
+        workers: 4,
+        queue_depth: (depth * 4).max(64),
+        pool,
+        data_dir: None,
+        ..ServerConfig::default()
+    };
+    let daemon = Daemon::spawn(config).map_err(|e| Error::other(format!("spawn: {e}")))?;
+    let addr = daemon.local_addr().to_string();
+
+    // Warm-up: store the corpus and search every keyword once so the
+    // measured replay is a memo-served search (the serving pipeline is
+    // the subject here, not the chain walk). Searches are read-only, so
+    // replaying the captured bytes any number of times is legal.
+    let corpus_opts = BenchOptions {
+        clients: 1,
+        shards: 1,
+        seed: opts.seed,
+        keywords: opts.keywords,
+        docs: opts.docs,
+        duration: opts.duration,
+    };
+    let transport = CaptureTransport {
+        inner: TcpTransport::connect(&addr, "bench-tenant", SchemeId::Scheme2)?,
+        last_request: Vec::new(),
+    };
+    let key = MasterKey::from_seed(opts.seed ^ 0xBEBC);
+    let mut c = Scheme2Client::new_seeded(
+        transport,
+        key,
+        Scheme2Config::standard().with_chain_length(64),
+        opts.seed,
+    );
+    let scheme = |e: sse_core::error::SseError| Error::other(e.to_string());
+    c.store_batch(&corpus(&corpus_opts, 0))
+        .map_err(|e| Error::other(format!("hotpath store: {e}")))?;
+    let kws: Vec<Keyword> = (0..opts.keywords.max(1)).map(keyword).collect();
+    for kw in &kws {
+        c.search(kw).map_err(scheme)?;
+    }
+    c.search(&kws[0]).map_err(scheme)?;
+    let search_request = c.transport_mut().last_request.clone();
+    drop(c);
+    if search_request.is_empty() {
+        return Err(Error::other("no search request captured"));
+    }
+
+    // The raw replay socket: hello once, then rounds of `depth` requests
+    // shipped in one write. Distinct sequence numbers per slot keep the
+    // wire honest, though responses are only checked for status (workers
+    // complete pipelined requests in any order).
+    let mut stream = TcpStream::connect(&addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(&encode_frame(
+        &Hello {
+            tenant: "bench-tenant".into(),
+            scheme: SchemeId::Scheme2,
+        }
+        .encode(),
+    ))?;
+    let (status, seq) = read_raw_response(&mut stream)?;
+    if (status, seq) != (STATUS_OK, HELLO_SEQ) {
+        return Err(Error::other(format!("hello rejected: status {status}")));
+    }
+    let mut burst = Vec::new();
+    for slot in 0..depth {
+        let seq = 1 + u32::try_from(slot).unwrap_or(0);
+        burst.extend_from_slice(&encode_frame(&proto::encode_request(
+            KIND_DATA,
+            seq,
+            &search_request,
+        )));
+    }
+
+    let mut admin = TcpTransport::connect(&addr, "bench-tenant", SchemeId::Scheme2)?;
+    let before = admin.admin_stats()?;
+    let alloc_before = allocmeter::counters();
+
+    let mut rec = ArmRecorder::new();
+    let mut ops: u64 = 0;
+    let window = Instant::now();
+    let deadline = window + opts.duration;
+    while Instant::now() < deadline {
+        let started = Instant::now();
+        stream.write_all(&burst)?;
+        for _ in 0..depth {
+            let (status, _seq) = read_raw_response(&mut stream)?;
+            if status != STATUS_OK {
+                return Err(Error::other(format!(
+                    "hotpath search failed: status {status}"
+                )));
+            }
+        }
+        rec.record(started.elapsed());
+        ops += depth as u64;
+    }
+    let elapsed = window.elapsed();
+
+    // Allocation delta first (only server threads are tracked, but the
+    // closing admin round trip would otherwise land inside it), stats
+    // delta second (which must include every measured op).
+    let alloc_delta = allocmeter::counters().since(&alloc_before);
+    let after = admin.admin_stats()?;
+    drop(admin);
+    drop(stream);
+    daemon.shutdown();
+
+    let pool_hits = after.pool_hits.saturating_sub(before.pool_hits);
+    let pool_misses = after.pool_misses.saturating_sub(before.pool_misses);
+    let pool_recycles = after.pool_recycles.saturating_sub(before.pool_recycles);
+    let writev_calls = after.writev_calls.saturating_sub(before.writev_calls);
+    let writev_frames = after.writev_frames.saturating_sub(before.writev_frames);
+    let wakeups_coalesced = after
+        .wakeups_coalesced
+        .saturating_sub(before.wakeups_coalesced);
+    let bytes_copied = after.bytes_copied.saturating_sub(before.bytes_copied);
+    let lat = rec.finish();
+    #[allow(clippy::cast_precision_loss)]
+    let ops_f = (ops.max(1)) as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let ops_per_sec = ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let pool_hit_rate = pool_hits as f64 / ((pool_hits + pool_misses).max(1)) as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let mean_writev_batch = writev_frames as f64 / (writev_calls.max(1)) as f64;
+    #[allow(clippy::cast_precision_loss)]
+    Ok(HotpathArm {
+        name,
+        pool,
+        depth,
+        ops,
+        ops_per_sec,
+        allocs_per_op: alloc_delta.allocs as f64 / ops_f,
+        alloc_bytes_per_op: alloc_delta.bytes as f64 / ops_f,
+        bytes_copied_per_op: bytes_copied as f64 / ops_f,
+        pool_hits,
+        pool_misses,
+        pool_recycles,
+        pool_hit_rate,
+        writev_calls,
+        writev_frames,
+        mean_writev_batch,
+        wakeups_coalesced,
+        p50_ns: lat.p50_ns,
+        p99_ns: lat.p99_ns,
+    })
+}
+
+/// Run the zero-copy hot-path benchmark: three arms on identical warmed
+/// corpora — the owned-buffer fallback, the pooled pipeline, and the
+/// pooled pipeline under a pipelined burst (where queued responses share
+/// gather-write syscalls). Per-op allocation numbers require the hosting
+/// binary to install [`allocmeter::CountingAlloc`] as its global
+/// allocator (`sse-load` does); without it they read zero and the
+/// reduction headline reads 0.
+///
+/// # Errors
+/// Daemon spawn, connection, scheme, or protocol errors from any arm.
+pub fn run_hotpath_bench(opts: &HotpathOptions) -> Result<HotpathReport> {
+    let legacy = run_hotpath_arm(opts, "legacy", false, 1)?;
+    let pooled = run_hotpath_arm(opts, "pooled", true, 1)?;
+    let pipelined = run_hotpath_arm(opts, "pipelined", true, opts.depth)?;
+    let alloc_reduction = if legacy.allocs_per_op > 0.0 {
+        1.0 - pooled.allocs_per_op / legacy.allocs_per_op
+    } else {
+        0.0
+    };
+    let copy_reduction = if legacy.bytes_copied_per_op > 0.0 {
+        1.0 - pooled.bytes_copied_per_op / legacy.bytes_copied_per_op
+    } else {
+        0.0
+    };
+    #[allow(clippy::cast_precision_loss)]
+    let p99_ratio = pooled.p99_ns as f64 / (legacy.p99_ns as f64).max(1.0);
+    let pipelined_mean_writev_batch = pipelined.mean_writev_batch;
+    Ok(HotpathReport {
+        options: opts.clone(),
+        legacy,
+        pooled,
+        pipelined,
+        alloc_reduction,
+        copy_reduction,
+        p99_ratio,
+        pipelined_mean_writev_batch,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1586,6 +1993,69 @@ mod tests {
             "\"conns_rejected\":0",
             "\"drain_ms\":250",
             "\"drain_clean\":true",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+
+    #[test]
+    fn hotpath_report_json_has_required_fields() {
+        let harm = |name, pool, depth, batch| HotpathArm {
+            name,
+            pool,
+            depth,
+            ops: 1000,
+            ops_per_sec: 5000.0,
+            allocs_per_op: if pool { 4.0 } else { 10.0 },
+            alloc_bytes_per_op: 512.0,
+            bytes_copied_per_op: if pool { 0.0 } else { 300.0 },
+            pool_hits: 900,
+            pool_misses: 100,
+            pool_recycles: 990,
+            pool_hit_rate: 0.9,
+            writev_calls: 500,
+            writev_frames: 1000,
+            mean_writev_batch: batch,
+            wakeups_coalesced: 42,
+            p50_ns: 100_000,
+            p99_ns: 300_000,
+        };
+        let report = HotpathReport {
+            options: HotpathOptions::default(),
+            legacy: harm("legacy", false, 1, 1.0),
+            pooled: harm("pooled", true, 1, 1.0),
+            pipelined: harm("pipelined", true, 16, 2.0),
+            alloc_reduction: 0.6,
+            copy_reduction: 1.0,
+            p99_ratio: 0.95,
+            pipelined_mean_writev_batch: 2.0,
+        };
+        let json = report.to_json();
+        for field in [
+            "\"benchmark\":\"sse-hotpath\"",
+            "\"depth\":16",
+            "\"arm\":\"legacy\"",
+            "\"arm\":\"pooled\"",
+            "\"arm\":\"pipelined\"",
+            "\"pool\":false",
+            "\"pool\":true",
+            "\"allocs_per_op\"",
+            "\"alloc_bytes_per_op\"",
+            "\"bytes_copied_per_op\"",
+            "\"pool_hits\"",
+            "\"pool_misses\"",
+            "\"pool_recycles\"",
+            "\"pool_hit_rate\"",
+            "\"writev_calls\"",
+            "\"writev_frames\"",
+            "\"mean_writev_batch\"",
+            "\"wakeups_coalesced\"",
+            "\"p50_ns\"",
+            "\"p99_ns\"",
+            "\"alloc_reduction\":0.6000",
+            "\"copy_reduction\":1.0000",
+            "\"p99_ratio\":0.950",
+            "\"pipelined_mean_writev_batch\":2.000",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

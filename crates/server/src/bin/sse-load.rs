@@ -5,9 +5,9 @@
 //!          [--scheme 1|2|both] [--profile gp|traveler] [--events N]
 //!          [--seed N] [--shutdown]
 //! sse-load --bench-json PATH
-//!          [--bench-mode serving|groupcommit|search|update|idle]
+//!          [--bench-mode serving|groupcommit|search|update|idle|hotpath]
 //!          [--shards N] [--clients N] [--seed N] [--bench-ms N]
-//!          [--idle-conns N]
+//!          [--idle-conns N] [--depth N]
 //! ```
 //!
 //! Drives N concurrent clients, each replaying a §6 PHR workload (Zipf
@@ -29,11 +29,15 @@
 //! workload with periodic mid-run checkpoints (`BENCH_backend.json`);
 //! `idle` holds `--idle-conns` silent tenant connections on the epoll
 //! reactor and measures per-idle-connection memory plus hot-path latency
-//! before and under that load (`BENCH_reactor.json`).
+//! before and under that load (`BENCH_reactor.json`); `hotpath` replays
+//! a captured warm search against the owned-buffer fallback, the pooled
+//! pipeline, and the pooled pipeline under a `--depth`-request pipelined
+//! burst, reporting server-thread allocations per op, bytes memcpy'd per
+//! op, and the mean `writev` syscall batch (`BENCH_hotpath.json`).
 
 use sse_server::bench::{
-    run_bench, run_group_commit_bench, run_idle_bench, run_search_bench, run_update_bench,
-    BenchOptions, IdleBenchOptions,
+    run_bench, run_group_commit_bench, run_hotpath_bench, run_idle_bench, run_search_bench,
+    run_update_bench, BenchOptions, HotpathOptions, IdleBenchOptions,
 };
 use sse_server::chaos::{run_chaos, ChaosOptions};
 use sse_server::daemon::{Daemon, ServerConfig};
@@ -42,13 +46,21 @@ use sse_server::proto::SchemeId;
 use sse_server::transport::TcpTransport;
 use std::process::ExitCode;
 
+/// The counting allocator that makes the hotpath benchmark's allocs/op
+/// numbers real: tracked server threads (the daemon's reactor and
+/// workers opt in) bump global counters; everything else — including the
+/// bench's own client threads — falls straight through to the system
+/// allocator.
+#[global_allocator]
+static ALLOC: allocmeter::CountingAlloc = allocmeter::CountingAlloc;
+
 fn usage() -> ! {
     eprintln!(
         "usage: sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N] \
          [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]\n\
          \x20      sse-load --bench-json PATH \
-         [--bench-mode serving|groupcommit|search|update|idle] \
-         [--shards N] [--clients N] [--seed N] [--bench-ms N] [--idle-conns N]\n\
+         [--bench-mode serving|groupcommit|search|update|idle|hotpath] \
+         [--shards N] [--clients N] [--seed N] [--bench-ms N] [--idle-conns N] [--depth N]\n\
          \x20      sse-load --chaos [--seed N] [--clients N] [--tenants N] \
          [--backend btree|lsm] [--chaos-ms N] [--chaos-report PATH]"
     );
@@ -69,6 +81,7 @@ enum BenchMode {
     Search,
     Update,
     Idle,
+    Hotpath,
 }
 
 struct Cli {
@@ -79,6 +92,7 @@ struct Cli {
     bench: BenchOptions,
     bench_mode: BenchMode,
     idle: IdleBenchOptions,
+    hotpath: HotpathOptions,
     chaos: bool,
     chaos_opts: ChaosOptions,
     chaos_report: std::path::PathBuf,
@@ -93,6 +107,7 @@ fn parse_args() -> Cli {
         bench: BenchOptions::default(),
         bench_mode: BenchMode::Serving,
         idle: IdleBenchOptions::default(),
+        hotpath: HotpathOptions::default(),
         chaos: false,
         chaos_opts: ChaosOptions::default(),
         chaos_report: std::path::PathBuf::from("CHAOS_report.json"),
@@ -125,6 +140,7 @@ fn parse_args() -> Cli {
                 cli.bench.seed = cli.opts.seed;
                 cli.chaos_opts.seed = cli.opts.seed;
                 cli.idle.seed = cli.opts.seed;
+                cli.hotpath.seed = cli.opts.seed;
             }
             "--chaos" => cli.chaos = true,
             "--chaos-ms" => {
@@ -145,6 +161,7 @@ fn parse_args() -> Cli {
                     "search" => BenchMode::Search,
                     "update" => BenchMode::Update,
                     "idle" => BenchMode::Idle,
+                    "hotpath" => BenchMode::Hotpath,
                     other => {
                         eprintln!("unknown bench mode: {other}");
                         usage();
@@ -158,8 +175,10 @@ fn parse_args() -> Cli {
             "--bench-ms" => {
                 cli.bench.duration = std::time::Duration::from_millis(parse(&value()));
                 cli.idle.duration = cli.bench.duration;
+                cli.hotpath.duration = cli.bench.duration;
             }
             "--idle-conns" => cli.idle.idle_conns = parse(&value()),
+            "--depth" => cli.hotpath.depth = parse(&value()),
             "--scheme" => {
                 cli.opts.schemes = match value().as_str() {
                     "1" => vec![SchemeId::Scheme1],
@@ -375,6 +394,57 @@ fn run_idle_mode(path: &std::path::Path, idle: &IdleBenchOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run the zero-copy hot-path benchmark and write `BENCH_hotpath.json`.
+/// The per-op allocation numbers are real here because this binary
+/// installs the counting allocator (see `ALLOC` above).
+fn run_hotpath_mode(path: &std::path::Path, opts: &HotpathOptions) -> ExitCode {
+    println!(
+        "sse-load: hot-path benchmark: {:?} window per arm, pipeline depth {}",
+        opts.duration, opts.depth
+    );
+    let report = match run_hotpath_bench(opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sse-load: benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for arm in [&report.legacy, &report.pooled, &report.pipelined] {
+        println!(
+            "sse-load: {}: {:.1} ops/sec, {:.2} alloc(s)/op ({:.0} B/op), \
+             {:.0} byte(s) copied/op, pool hit rate {:.2}, \
+             writev batch {:.2} ({} call(s) / {} frame(s)), \
+             {} wakeup(s) coalesced, p50 {} ns, p99 {} ns",
+            arm.name,
+            arm.ops_per_sec,
+            arm.allocs_per_op,
+            arm.alloc_bytes_per_op,
+            arm.bytes_copied_per_op,
+            arm.pool_hit_rate,
+            arm.mean_writev_batch,
+            arm.writev_calls,
+            arm.writev_frames,
+            arm.wakeups_coalesced,
+            arm.p50_ns,
+            arm.p99_ns
+        );
+    }
+    println!(
+        "sse-load: alloc reduction {:.1}%, copy reduction {:.1}%, p99 ratio {:.2}, \
+         pipelined writev batch {:.2}",
+        report.alloc_reduction * 100.0,
+        report.copy_reduction * 100.0,
+        report.p99_ratio,
+        report.pipelined_mean_writev_batch
+    );
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("sse-load: writing {} failed: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("sse-load: wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 /// Run the chaos-soak harness and write `CHAOS_report.json`. Exits
 /// nonzero if any invariant was violated.
 fn run_chaos_mode(path: &std::path::Path, opts: &ChaosOptions) -> ExitCode {
@@ -443,6 +513,9 @@ fn main() -> ExitCode {
         }
         if cli.bench_mode == BenchMode::Idle {
             return run_idle_mode(path, &cli.idle);
+        }
+        if cli.bench_mode == BenchMode::Hotpath {
+            return run_hotpath_mode(path, &cli.hotpath);
         }
         println!(
             "sse-load: benchmark mode: {} clients, 1 vs {} shard(s), {:?} window per arm",

@@ -5,7 +5,7 @@
 //!             [--scheme1-capacity N] [--scheme2-chain N] [--shards N]
 //!             [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N]
 //!             [--scrub-interval-ms N] [--reactor | --threaded]
-//!             [--max-conns N] [--write-queue-limit BYTES]
+//!             [--max-conns N] [--write-queue-limit BYTES] [--no-pool]
 //! ```
 //!
 //! By default every socket is owned by the non-blocking epoll reactor
@@ -15,7 +15,10 @@
 //! door) and `--write-queue-limit` bounds the bytes buffered for a
 //! client that stops reading before it is disconnected as a slow
 //! reader. `--threaded` restores the legacy thread-per-connection
-//! accept loop (`--reactor` selects the default explicitly).
+//! accept loop (`--reactor` selects the default explicitly). `--no-pool`
+//! disables the zero-copy buffer pool (DESIGN.md §4j) and serves every
+//! frame from fresh owned buffers — a diagnostic fallback, also the
+//! baseline arm of `sse-load --bench-mode hotpath`.
 //!
 //! Serves until an `ADMIN_SHUTDOWN` frame arrives (e.g. `sse-load
 //! --shutdown`, or any `TcpTransport::admin_shutdown` call), then drains
@@ -47,7 +50,7 @@ fn usage() -> ! {
          [--scheme1-capacity N] [--scheme2-chain N] [--shards N] \
          [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N] \
          [--scrub-interval-ms N] [--reactor | --threaded] [--max-conns N] \
-         [--write-queue-limit BYTES]"
+         [--write-queue-limit BYTES] [--no-pool]"
     );
     std::process::exit(2);
 }
@@ -95,6 +98,7 @@ fn parse_args() -> ServerConfig {
             }
             "--reactor" => config.reactor = true,
             "--threaded" => config.reactor = false,
+            "--no-pool" => config.pool = false,
             "--max-conns" => config.max_conns = parse(&value()),
             "--write-queue-limit" => config.write_queue_limit = parse(&value()),
             "--scrub-interval-ms" => {
@@ -157,8 +161,11 @@ fn main() -> ExitCode {
     if config.reactor {
         println!(
             "sse-serverd: reactor limits: {} max conn(s), {} byte write queue/conn, \
-             idle timeout {:?}",
-            config.max_conns, config.write_queue_limit, config.idle_timeout
+             idle timeout {:?}, buffer pool {}",
+            config.max_conns,
+            config.write_queue_limit,
+            config.idle_timeout,
+            if config.pool { "on" } else { "off (--no-pool)" }
         );
     }
     match &config.data_dir {
@@ -227,6 +234,19 @@ fn main() -> ExitCode {
         report.final_stats.writes_deferred,
         report.final_stats.reactor_wakeups,
         report.final_stats.reactor_spurious_polls
+    );
+    println!(
+        "sse-serverd: hot path: pool {} hit(s) / {} miss(es) / {} recycle(s), \
+         {} frame(s) in {} writev call(s) (mean batch {:.2}), \
+         {} wakeup(s) coalesced, {} payload byte(s) copied",
+        report.final_stats.pool_hits,
+        report.final_stats.pool_misses,
+        report.final_stats.pool_recycles,
+        report.final_stats.writev_frames,
+        report.final_stats.writev_calls,
+        report.final_stats.writev_frames as f64 / (report.final_stats.writev_calls as f64).max(1.0),
+        report.final_stats.wakeups_coalesced,
+        report.final_stats.bytes_copied
     );
     println!(
         "sse-serverd: health: {} degradation(s) / {} recover(ies) / {} quarantine(s), \

@@ -28,16 +28,17 @@ use crate::proto::{
     self, Hello, StatsSnapshot, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN, KIND_DATA,
     KIND_SEARCH_MANY, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_DEGRADED, STATUS_ERR, STATUS_OK,
 };
-use crate::reactor::{CompletionQueue, Reactor, ReactorOptions, POISON_TOKEN};
+use crate::reactor::{CompletionQueue, OutMsg, Reactor, ReactorOptions, Segment, POISON_TOKEN};
 use crate::scrub::{scrub_loop, scrub_pass, ScrubCounters};
 use crate::stats::ServingStats;
 use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sse_core::health::{HealthState, DEGRADED_RETRY_AFTER_MS};
-use sse_net::frame::{encode_frame, FrameDecoder};
+use sse_net::frame::FrameDecoder;
+use sse_net::pool::{BufPool, PooledBuf};
 use sse_net::shutdown::ShutdownSignal;
 use sse_storage::{FaultConfig, FaultStats, FaultVfs, RealVfs, Vfs};
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -56,6 +57,12 @@ pub const DEFAULT_MAX_CONNS: usize = 100_000;
 /// Default bound on a connection's queued-but-unwritten response bytes;
 /// past it the peer is declared a slow reader and disconnected.
 pub const DEFAULT_WRITE_QUEUE_LIMIT: usize = 64 * 1024 * 1024;
+
+/// Acquire size for a worker's pooled response scratch buffer. One pool
+/// class (4 KiB) covers typical search results; a bigger response grows
+/// the buffer once and the pool re-files it under its new class when the
+/// reactor retires it, so the high-water capacity is kept, not re-paid.
+const RESPONSE_SCRATCH_CAPACITY: usize = 4096;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -98,6 +105,12 @@ pub struct ServerConfig {
     /// Reactor mode: a connection whose queued-but-unwritten response
     /// bytes exceed this bound is disconnected as a slow reader.
     pub write_queue_limit: usize,
+    /// `true` (the default) serves the zero-copy hot path: frame bodies
+    /// are assembled into pooled buffers and request payloads reach the
+    /// workers as sliced views of them. `false` (`--no-pool`) falls back
+    /// to a fresh `Vec` per frame and a copied payload per job — the
+    /// pre-pool behavior, kept as the benchmark baseline.
+    pub pool: bool,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +128,7 @@ impl Default for ServerConfig {
             reactor: true,
             max_conns: DEFAULT_MAX_CONNS,
             write_queue_limit: DEFAULT_WRITE_QUEUE_LIMIT,
+            pool: true,
         }
     }
 }
@@ -128,6 +142,10 @@ pub(crate) struct Shared {
     pub(crate) scrub: Arc<ScrubCounters>,
     pub(crate) max_frame_len: u32,
     pub(crate) idle_timeout: Duration,
+    /// The serving-path buffer pool. Cloned into the reactor when pooled
+    /// mode is on; kept here regardless so `ADMIN_STATS` can report the
+    /// hit/miss/recycle counters.
+    pub(crate) pool: BufPool,
 }
 
 impl Shared {
@@ -167,6 +185,10 @@ impl Shared {
         snap.tenants_quarantined = health.tenants_quarantined;
         snap.scrub_passes = self.scrub.passes();
         snap.scrub_repairs = self.scrub.repairs();
+        let pool = self.pool.counters();
+        snap.pool_hits = pool.hits;
+        snap.pool_misses = pool.misses;
+        snap.pool_recycles = pool.recycles;
         snap
     }
 }
@@ -185,29 +207,80 @@ pub(crate) enum Responder {
     Reactor {
         token: u64,
         completions: Arc<CompletionQueue>,
+        /// `Some` in pooled mode: the response payload is sealed into the
+        /// pool so its buffer recycles once the reactor's gather write
+        /// finishes — steady-state, request-body acquires are served by
+        /// retired response buffers instead of fresh allocations.
+        pool: Option<BufPool>,
     },
 }
 
 impl Responder {
-    /// Send one response envelope. Returns `false` only when a direct
-    /// write fails (the reactor path always accepts; a dead connection
-    /// drops the completion by token mismatch).
-    pub(crate) fn send(&self, status: u8, seq: u32, payload: &[u8]) -> bool {
+    /// Send one response envelope, taking the payload **by value** so it
+    /// is written exactly once: the old `&[u8]` signature forced both
+    /// arms through `encode_frame(encode_response(..))` — one copy to
+    /// build the envelope, a second into the framed buffer. Now the
+    /// reactor arm moves the payload into a scatter-gather [`OutMsg`]
+    /// and the direct arm hands it to the kernel from where it sits via
+    /// a vectored write.
+    ///
+    /// Returns `false` only when a direct write fails (the reactor path
+    /// always accepts; a dead connection drops the completion by token
+    /// mismatch).
+    pub(crate) fn send(&self, status: u8, seq: u32, payload: Vec<u8>) -> bool {
         match self {
             Responder::Direct(writer) => {
-                let frame = encode_frame(&proto::encode_response(status, seq, payload));
                 let mut stream = writer
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
-                stream.write_all(&frame).is_ok()
+                write_response_direct(&mut stream, status, seq, &payload).is_ok()
             }
-            Responder::Reactor { token, completions } => {
-                let frame = encode_frame(&proto::encode_response(status, seq, payload));
-                completions.post(*token, frame);
+            Responder::Reactor {
+                token,
+                completions,
+                pool,
+            } => {
+                let segment = match pool {
+                    Some(pool) => Segment::Pooled(pool.seal(payload)),
+                    None => Segment::Owned(payload),
+                };
+                completions.post(*token, OutMsg::response(status, seq, segment));
                 true
             }
         }
     }
+}
+
+/// Blocking vectored write of `prefix ‖ payload` under the connection's
+/// writer lock — the threaded-mode half of the zero-copy encode (the
+/// payload goes out as its own iovec, never copied into a contiguous
+/// frame buffer).
+fn write_response_direct(
+    stream: &mut TcpStream,
+    status: u8,
+    seq: u32,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let head = proto::response_prefix(status, seq, payload.len());
+    let total = head.len() + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let bufs = if written < head.len() {
+            [IoSlice::new(&head[written..]), IoSlice::new(payload)]
+        } else {
+            [
+                IoSlice::new(&payload[written - head.len()..]),
+                IoSlice::new(&[]),
+            ]
+        };
+        match stream.write_vectored(&bufs) {
+            Ok(0) => return Err(std::io::Error::from(ErrorKind::WriteZero)),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// One queued DATA, UPDATE_MANY or SEARCH_MANY request.
@@ -219,7 +292,11 @@ pub(crate) struct Job {
     /// Client sequence number, echoed in the response so a pipelining
     /// client can match responses that workers complete out of order.
     pub(crate) seq: u32,
-    pub(crate) payload: Vec<u8>,
+    /// The request payload. In pooled reactor mode this is a sliced view
+    /// of the frame's pool buffer (zero-copy from the socket read);
+    /// elsewhere it wraps an owned `Vec`. Dropping it recycles a pooled
+    /// buffer automatically.
+    pub(crate) payload: PooledBuf,
     pub(crate) responder: Responder,
     pub(crate) accepted: Instant,
 }
@@ -316,6 +393,7 @@ impl Daemon {
             scrub: Arc::new(ScrubCounters::new()),
             max_frame_len: config.max_frame_len,
             idle_timeout: config.idle_timeout,
+            pool: BufPool::new(),
         });
 
         let scrub_join = config.scrub_interval.map(|interval| {
@@ -336,6 +414,7 @@ impl Daemon {
                 idle_timeout: config.idle_timeout,
                 max_conns: config.max_conns,
                 write_queue_limit: config.write_queue_limit,
+                pool: config.pool.then(|| shared.pool.clone()),
             };
             let (mut reactor, queue) = Reactor::new_real(
                 listener,
@@ -347,6 +426,10 @@ impl Daemon {
             completions = Some(queue);
             let shutdown = shared.shutdown.clone();
             reactor_join = Some(std::thread::spawn(move || {
+                // Server-side thread: opt into the allocation meter so
+                // `--bench-mode hotpath` counts reactor allocations but
+                // not the bench client's own.
+                allocmeter::track_current_thread();
                 // A reactor panic (fatal accept error, poll failure,
                 // poison) must start a graceful drain — a daemon without
                 // its event loop can never serve again — and still count
@@ -396,7 +479,7 @@ impl Daemon {
     #[doc(hidden)]
     pub fn inject_reactor_panic(&self) {
         if let Some(queue) = &self.completions {
-            queue.post(POISON_TOKEN, Vec::new());
+            queue.post(POISON_TOKEN, OutMsg::raw(Vec::new()));
         }
     }
 
@@ -521,6 +604,9 @@ fn listener_loop(
     while !shared.shutdown.is_requested() {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Same reasoning as the reactor's accept path: responses
+                // to a pipelined burst must not wait on delayed ACKs.
+                stream.set_nodelay(true).ok();
                 let shared = shared.clone();
                 let job_tx = job_tx.clone();
                 let join = std::thread::spawn(move || {
@@ -549,6 +635,9 @@ fn listener_loop(
 }
 
 fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
+    // Server-side thread: opt into the allocation meter (see the reactor
+    // thread) so hotpath bench numbers cover scheme work, not clients.
+    allocmeter::track_current_thread();
     // `recv` yields every job still queued even after all senders drop —
     // shutdown drains the backlog rather than abandoning it.
     //
@@ -567,13 +656,13 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
             HealthState::Quarantined => {
                 stats.record_err();
                 let msg = format!("tenant quarantined: {}", health.reason());
-                job.responder.send(STATUS_ERR, job.seq, msg.as_bytes());
+                job.responder.send(STATUS_ERR, job.seq, msg.into_bytes());
                 continue;
             }
             HealthState::Degraded if job.tenant.is_mutation(job.kind, &job.payload) => {
                 stats.record_degraded();
                 let payload = proto::encode_degraded(DEGRADED_RETRY_AFTER_MS, &health.reason());
-                job.responder.send(STATUS_DEGRADED, job.seq, &payload);
+                job.responder.send(STATUS_DEGRADED, job.seq, payload);
                 continue;
             }
             _ => {}
@@ -590,24 +679,37 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
             KIND_SEARCH_MANY => {
                 proto::decode_batch(&job.payload).map(|parts| job.tenant.search_batch(&parts))
             }
-            _ => Some(job.tenant.handle_shared(&job.payload)),
+            _ => {
+                // Pooled mode closes the loop on the response side too:
+                // encode into a recycled pool buffer, which `send` seals
+                // so the reactor's gather write recycles it again.
+                let scratch = match &job.responder {
+                    Responder::Reactor {
+                        pool: Some(pool), ..
+                    } => pool.acquire(RESPONSE_SCRATCH_CAPACITY),
+                    _ => Vec::new(),
+                };
+                Some(job.tenant.handle_shared_with(&job.payload, scratch))
+            }
         }));
         match outcome {
             Ok(Some(response)) => {
-                if job.responder.send(STATUS_OK, job.seq, &response) {
-                    stats.record_ok(job.payload.len(), response.len(), job.accepted.elapsed());
+                let (bytes_in, bytes_out) = (job.payload.len(), response.len());
+                if job.responder.send(STATUS_OK, job.seq, response) {
+                    stats.record_ok(bytes_in, bytes_out, job.accepted.elapsed());
                 }
             }
             Ok(None) => {
                 stats.record_err();
-                job.responder.send(STATUS_ERR, job.seq, b"malformed batch");
+                job.responder
+                    .send(STATUS_ERR, job.seq, b"malformed batch".to_vec());
             }
             Err(_) => {
                 stats.record_err();
                 job.responder.send(
                     STATUS_ERR,
                     job.seq,
-                    b"internal error: request handler panicked",
+                    b"internal error: request handler panicked".to_vec(),
                 );
             }
         }
@@ -615,6 +717,9 @@ fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
 }
 
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
+    // Server-side thread (legacy mode): opt into the allocation meter so
+    // the hotpath bench's legacy arm measures this path's allocations.
+    allocmeter::track_current_thread();
     let Shared {
         shutdown,
         stats,
@@ -669,7 +774,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                 Ok(None) => break,
                 Err(too_large) => {
                     stats.record_err();
-                    responder.send(STATUS_ERR, HELLO_SEQ, too_large.to_string().as_bytes());
+                    responder.send(STATUS_ERR, HELLO_SEQ, too_large.to_string().into_bytes());
                     break 'conn;
                 }
             };
@@ -684,7 +789,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                                     stats.record_reconnect();
                                 }
                                 tenant = Some(handle);
-                                if !responder.send(STATUS_OK, HELLO_SEQ, &[]) {
+                                if !responder.send(STATUS_OK, HELLO_SEQ, Vec::new()) {
                                     break 'conn;
                                 }
                             }
@@ -693,7 +798,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                                 responder.send(
                                     STATUS_ERR,
                                     HELLO_SEQ,
-                                    format!("tenant open failed: {e}").as_bytes(),
+                                    format!("tenant open failed: {e}").into_bytes(),
                                 );
                                 break 'conn;
                             }
@@ -701,7 +806,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                     }
                     None => {
                         stats.record_err();
-                        responder.send(STATUS_ERR, HELLO_SEQ, b"malformed hello");
+                        responder.send(STATUS_ERR, HELLO_SEQ, b"malformed hello".to_vec());
                         break 'conn;
                     }
                 }
@@ -709,16 +814,20 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
             };
             let Some((kind, seq, payload)) = proto::decode_request(&frame) else {
                 stats.record_err();
-                responder.send(STATUS_ERR, HELLO_SEQ, b"malformed request");
+                responder.send(STATUS_ERR, HELLO_SEQ, b"malformed request".to_vec());
                 break 'conn;
             };
             match kind {
                 KIND_DATA | KIND_UPDATE_MANY | KIND_SEARCH_MANY => {
+                    // Threaded mode still copies the payload out of the
+                    // decoder's frame; the copy is counted so the hotpath
+                    // bench can show what pooled mode saves.
+                    stats.record_bytes_copied(payload.len() as u64);
                     let job = Job {
                         tenant: current_tenant.clone(),
                         kind,
                         seq,
-                        payload: payload.to_vec(),
+                        payload: PooledBuf::from_vec(payload.to_vec()),
                         responder: responder.clone(),
                         accepted: Instant::now(),
                     };
@@ -728,7 +837,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                             // Explicit backpressure: reject now, let the
                             // client retry, never queue unboundedly.
                             stats.record_busy();
-                            if !responder.send(STATUS_BUSY, seq, &[]) {
+                            if !responder.send(STATUS_BUSY, seq, Vec::new()) {
                                 break 'conn;
                             }
                         }
@@ -738,24 +847,24 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                 KIND_ADMIN => match payload.first().copied() {
                     Some(ADMIN_STATS) => {
                         let snap = shared.full_snapshot().encode();
-                        if !responder.send(STATUS_OK, seq, &snap) {
+                        if !responder.send(STATUS_OK, seq, snap) {
                             break 'conn;
                         }
                     }
                     Some(ADMIN_SHUTDOWN) => {
-                        responder.send(STATUS_OK, seq, &[]);
+                        responder.send(STATUS_OK, seq, Vec::new());
                         shutdown.request();
                         break 'conn;
                     }
                     _ => {
                         stats.record_err();
-                        responder.send(STATUS_ERR, seq, b"unknown admin command");
+                        responder.send(STATUS_ERR, seq, b"unknown admin command".to_vec());
                         break 'conn;
                     }
                 },
                 _ => {
                     stats.record_err();
-                    responder.send(STATUS_ERR, seq, b"unknown request kind");
+                    responder.send(STATUS_ERR, seq, b"unknown request kind".to_vec());
                     break 'conn;
                 }
             }

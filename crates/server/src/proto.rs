@@ -171,6 +171,24 @@ pub fn encode_response(status: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Everything that precedes a response payload on the wire, as one fixed
+/// array: the 4-byte frame length prefix (covering the 5-byte envelope
+/// header plus `payload_len`) followed by `status ‖ seq`. This is the
+/// scatter-gather encode — the prefix and the payload travel as separate
+/// iovecs through `writev`, so the payload bytes are never copied into a
+/// contiguous `encode_frame(encode_response(..))` buffer.
+///
+/// # Panics
+/// Panics if the envelope would exceed [`sse_net::frame::MAX_FRAME_LEN`].
+#[must_use]
+pub fn response_prefix(status: u8, seq: u32, payload_len: usize) -> [u8; 9] {
+    let header = sse_net::frame::frame_header(5 + payload_len);
+    let seq = seq.to_le_bytes();
+    [
+        header[0], header[1], header[2], header[3], status, seq[0], seq[1], seq[2], seq[3],
+    ]
+}
+
 /// Split a response frame body into `(status, seq, payload)`.
 #[must_use]
 pub fn decode_response(body: &[u8]) -> Option<(u8, u32, &[u8])> {
@@ -178,6 +196,11 @@ pub fn decode_response(body: &[u8]) -> Option<(u8, u32, &[u8])> {
     let (seq, payload) = rest.split_first_chunk::<4>()?;
     Some((status, u32::from_le_bytes(*seq), payload))
 }
+
+/// Envelope header length shared by requests and responses:
+/// kind-or-status (1) ‖ seq (4). A request payload is the frame body past
+/// this prefix.
+pub const REQUEST_HEADER_LEN: usize = 5;
 
 /// Build a request frame body: `kind ‖ seq ‖ payload`.
 #[must_use]
@@ -340,6 +363,25 @@ pub struct StatsSnapshot {
     pub writes_deferred: u64,
     /// Readiness events that produced no progress (spurious wakeups).
     pub reactor_spurious_polls: u64,
+    /// Frame-buffer acquisitions served from the pool's free lists.
+    pub pool_hits: u64,
+    /// Frame-buffer acquisitions that had to allocate fresh.
+    pub pool_misses: u64,
+    /// Frame buffers returned to the pool's free lists.
+    pub pool_recycles: u64,
+    /// `writev` syscalls issued by the reactor's write path.
+    pub writev_calls: u64,
+    /// Response frames fully flushed by those calls — `writev_frames /
+    /// writev_calls` is the mean syscall batch (1.0 for a closed-loop
+    /// client, above it only when responses genuinely coalesce).
+    pub writev_frames: u64,
+    /// Worker-completion notifications absorbed by an already-pending
+    /// reactor wakeup (the wake pipe is drained once per poll batch).
+    pub wakeups_coalesced: u64,
+    /// Payload bytes memcpy'd on the serving path (request materialization
+    /// and response envelope assembly) — the number the zero-copy pipeline
+    /// exists to shrink.
+    pub bytes_copied: u64,
 }
 
 impl StatsSnapshot {
@@ -410,7 +452,14 @@ impl StatsSnapshot {
             .put_u64(self.slow_reader_disconnects)
             .put_u64(self.reactor_wakeups)
             .put_u64(self.writes_deferred)
-            .put_u64(self.reactor_spurious_polls);
+            .put_u64(self.reactor_spurious_polls)
+            .put_u64(self.pool_hits)
+            .put_u64(self.pool_misses)
+            .put_u64(self.pool_recycles)
+            .put_u64(self.writev_calls)
+            .put_u64(self.writev_frames)
+            .put_u64(self.wakeups_coalesced)
+            .put_u64(self.bytes_copied);
         w.finish()
     }
 
@@ -474,6 +523,15 @@ impl StatsSnapshot {
             snap.reactor_wakeups = r.get_u64().ok()?;
             snap.writes_deferred = r.get_u64().ok()?;
             snap.reactor_spurious_polls = r.get_u64().ok()?;
+        }
+        if r.remaining() > 0 {
+            snap.pool_hits = r.get_u64().ok()?;
+            snap.pool_misses = r.get_u64().ok()?;
+            snap.pool_recycles = r.get_u64().ok()?;
+            snap.writev_calls = r.get_u64().ok()?;
+            snap.writev_frames = r.get_u64().ok()?;
+            snap.wakeups_coalesced = r.get_u64().ok()?;
+            snap.bytes_copied = r.get_u64().ok()?;
         }
         r.finish().ok()?;
         Some(snap)
@@ -584,6 +642,13 @@ mod tests {
             reactor_wakeups: 210,
             writes_deferred: 13,
             reactor_spurious_polls: 5,
+            pool_hits: 900,
+            pool_misses: 40,
+            pool_recycles: 890,
+            writev_calls: 300,
+            writev_frames: 520,
+            wakeups_coalesced: 77,
+            bytes_copied: 12_345,
         };
         assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap.clone()));
         assert_eq!(StatsSnapshot::decode(b"short"), None);
@@ -602,10 +667,10 @@ mod tests {
             ..StatsSnapshot::default()
         };
         // An older peer's payload ends before the backend_* counters
-        // (and therefore before the health and reactor blocks appended
-        // after them).
+        // (and therefore before the health, reactor, and hot-path blocks
+        // appended after them).
         let mut body = snap.encode();
-        body.truncate(body.len() - (7 + 8 + 8) * 8);
+        body.truncate(body.len() - (7 + 8 + 8 + 7) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.walk_steps_saved, 7);
@@ -628,7 +693,7 @@ mod tests {
         // A peer from before the health block: payload ends after the
         // backend_* counters.
         let mut body = snap.encode();
-        body.truncate(body.len() - (8 + 8) * 8);
+        body.truncate(body.len() - (8 + 8 + 7) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.backend_runs_flushed, 9);
@@ -648,12 +713,48 @@ mod tests {
         // A peer from before the reactor block: payload ends after the
         // health/scrub counters.
         let mut body = snap.encode();
-        body.truncate(body.len() - 8 * 8);
+        body.truncate(body.len() - (8 + 7) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.scrub_passes, 4);
         assert_eq!(decoded.conns_accepted, 0);
         assert_eq!(decoded.reactor_wakeups, 0);
+    }
+
+    #[test]
+    fn stats_decode_tolerates_pre_hotpath_payload() {
+        let snap = StatsSnapshot {
+            requests_ok: 5,
+            reactor_wakeups: 7,
+            pool_hits: 11,
+            writev_calls: 13,
+            bytes_copied: 17,
+            ..StatsSnapshot::default()
+        };
+        // A peer from before the hot-path block: payload ends after the
+        // reactor counters.
+        let mut body = snap.encode();
+        body.truncate(body.len() - 7 * 8);
+        let decoded = StatsSnapshot::decode(&body).unwrap();
+        assert_eq!(decoded.requests_ok, 5);
+        assert_eq!(decoded.reactor_wakeups, 7);
+        assert_eq!(decoded.pool_hits, 0);
+        assert_eq!(decoded.writev_calls, 0);
+        assert_eq!(decoded.bytes_copied, 0);
+    }
+
+    #[test]
+    fn response_prefix_matches_the_contiguous_encoding() {
+        let payload = b"scheme response bytes";
+        let contiguous = sse_net::frame::encode_frame(&encode_response(STATUS_OK, 42, payload));
+        let mut gathered = response_prefix(STATUS_OK, 42, payload.len()).to_vec();
+        gathered.extend_from_slice(payload);
+        assert_eq!(gathered, contiguous);
+        // Empty payload: the prefix alone is the whole wire image.
+        assert_eq!(
+            response_prefix(STATUS_BUSY, 7, 0).to_vec(),
+            sse_net::frame::encode_frame(&encode_response(STATUS_BUSY, 7, b""))
+        );
     }
 
     #[test]

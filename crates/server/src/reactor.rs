@@ -44,10 +44,11 @@ use crate::stats::ServingStats;
 use crate::tenant::TenantHandle;
 use crossbeam::channel::{Sender, TrySendError};
 use epoll::{wake_pipe, Event, Interest, Poller, RealPoller, WakeReader, Waker};
-use sse_net::frame::{encode_frame, StreamingDecoder};
+use sse_net::frame::StreamingDecoder;
+use sse_net::pool::{BufPool, PooledBuf};
 use sse_net::shutdown::ShutdownSignal;
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
 use std::sync::{Arc, Mutex};
@@ -69,6 +70,9 @@ const DRAIN_GRACE: Duration = Duration::from_secs(2);
 /// Read scratch buffer size (per reactor, not per connection).
 const SCRATCH_LEN: usize = 64 * 1024;
 
+/// Iovec slots per `writev` (the syscall-coalescing batch bound).
+const WRITEV_BATCH: usize = epoll::IOV_MAX;
+
 /// Pack a slab index and generation into an epoll token.
 fn make_token(idx: usize, gen: u32) -> u64 {
     (u64::from(gen) << 32) | idx as u64
@@ -79,15 +83,74 @@ fn split_token(token: u64) -> (usize, u32) {
     ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
 }
 
-/// One finished worker response, pre-framed and addressed by connection
-/// token.
-pub(crate) struct Completion {
-    pub(crate) token: u64,
-    pub(crate) frame: Vec<u8>,
+/// A response payload segment: plain owned bytes, or a pool-backed view
+/// whose drop recycles the buffer into the [`BufPool`] it came from.
+pub(crate) enum Segment {
+    Owned(Vec<u8>),
+    Pooled(PooledBuf),
 }
 
-/// Worker → reactor handoff: a queue of pre-framed responses plus the
-/// wakeup pipe that unparks the reactor from `epoll_wait`.
+impl Segment {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Segment::Owned(v) => v,
+            Segment::Pooled(b) => b,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+}
+
+/// One outbound wire message held in scatter-gather form: the fixed
+/// response prefix (frame length ‖ status ‖ seq) inline, the payload as a
+/// borrowed-until-written segment. The two parts go to the kernel as
+/// separate iovecs — the payload bytes are never memcpy'd into a
+/// contiguous frame buffer.
+pub(crate) struct OutMsg {
+    head: [u8; 9],
+    head_len: u8,
+    payload: Segment,
+}
+
+impl OutMsg {
+    /// A response envelope around `payload`.
+    pub(crate) fn response(status: u8, seq: u32, payload: Segment) -> OutMsg {
+        OutMsg {
+            head: proto::response_prefix(status, seq, payload.len()),
+            head_len: 9,
+            payload,
+        }
+    }
+
+    /// Pre-framed raw bytes (no prefix is added — test hooks only).
+    pub(crate) fn raw(frame: Vec<u8>) -> OutMsg {
+        OutMsg {
+            head: [0; 9],
+            head_len: 0,
+            payload: Segment::Owned(frame),
+        }
+    }
+
+    fn head(&self) -> &[u8] {
+        &self.head[..usize::from(self.head_len)]
+    }
+
+    /// Total wire length.
+    fn len(&self) -> usize {
+        usize::from(self.head_len) + self.payload.len()
+    }
+}
+
+/// One finished worker response, addressed by connection token.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) msg: OutMsg,
+}
+
+/// Worker → reactor handoff: a queue of responses plus the wakeup pipe
+/// that unparks the reactor from `epoll_wait`.
 pub(crate) struct CompletionQueue {
     queue: Mutex<VecDeque<Completion>>,
     waker: Waker,
@@ -101,13 +164,13 @@ impl CompletionQueue {
         }
     }
 
-    /// Post one framed response for the connection behind `token` and
-    /// unpark the reactor.
-    pub(crate) fn post(&self, token: u64, frame: Vec<u8>) {
+    /// Post one response for the connection behind `token` and unpark the
+    /// reactor.
+    pub(crate) fn post(&self, token: u64, msg: OutMsg) {
         self.queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push_back(Completion { token, frame });
+            .push_back(Completion { token, msg });
         self.waker.notify();
     }
 
@@ -130,11 +193,21 @@ impl CompletionQueue {
 pub(crate) trait ConnIo: Read + Write + Send {
     /// Raw fd for poller registration.
     fn fd(&self) -> RawFd;
+
+    /// Gather-write `bufs` in order, returning bytes accepted (possibly a
+    /// partial prefix of the total). The scripted test IO honors its
+    /// write-capacity valve across segments so partial-`writev` resume is
+    /// deterministic.
+    fn writev(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize>;
 }
 
 impl ConnIo for TcpStream {
     fn fd(&self) -> RawFd {
         self.as_raw_fd()
+    }
+
+    fn writev(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        epoll::writev_fd(self.as_raw_fd(), bufs)
     }
 }
 
@@ -175,9 +248,12 @@ struct Conn {
     state: ConnState,
     decoder: StreamingDecoder,
     tenant: Option<TenantHandle>,
-    /// Framed responses not yet accepted by the kernel, oldest first.
-    write_queue: VecDeque<Vec<u8>>,
-    /// Bytes of `write_queue.front()` already written.
+    /// Responses not yet accepted by the kernel, oldest first, in
+    /// scatter-gather form.
+    write_queue: VecDeque<OutMsg>,
+    /// Bytes of `write_queue.front()` already written. After a `writev`
+    /// that spanned several messages this may transiently exceed the
+    /// front's length; the flush loop normalizes it while popping.
     write_offset: usize,
     /// Total bytes across `write_queue` (the bound is checked against
     /// this sum).
@@ -194,11 +270,14 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(io: Box<dyn ConnIo>, max_frame_len: u32) -> Conn {
+    fn new(io: Box<dyn ConnIo>, max_frame_len: u32, pool: Option<BufPool>) -> Conn {
         Conn {
             io,
             state: ConnState::AwaitingHello,
-            decoder: StreamingDecoder::with_max_len(max_frame_len),
+            decoder: match pool {
+                Some(pool) => StreamingDecoder::with_pool(max_frame_len, pool),
+                None => StreamingDecoder::with_max_len(max_frame_len),
+            },
             tenant: None,
             write_queue: VecDeque::new(),
             write_offset: 0,
@@ -299,6 +378,12 @@ pub(crate) struct ReactorOptions {
     pub(crate) idle_timeout: Duration,
     pub(crate) max_conns: usize,
     pub(crate) write_queue_limit: usize,
+    /// `Some` ⇒ zero-copy mode: frame bodies are assembled into pooled
+    /// buffers and job payloads are sliced views of them. `None` falls
+    /// back to the owned-buffer path (fresh `Vec` per frame, payload
+    /// copied per job) — the pre-pool behavior, kept as the benchmark
+    /// baseline and for `--no-pool` operation.
+    pub(crate) pool: Option<BufPool>,
 }
 
 /// The event loop. Generic over the poller so tests substitute a
@@ -318,8 +403,11 @@ pub(crate) struct Reactor<P: Poller> {
     drain_done: ShutdownSignal,
     opts: ReactorOptions,
     scratch: Vec<u8>,
-    frames: Vec<Vec<u8>>,
+    frames: Vec<PooledBuf>,
     completion_buf: Vec<Completion>,
+    /// Deduped connections touched by the current completion batch —
+    /// reused across drains so a steady-state drain allocates nothing.
+    touched_buf: Vec<(usize, u32)>,
     accepting: bool,
     last_sweep: Instant,
     shutdown_entered: bool,
@@ -386,6 +474,7 @@ impl<P: Poller> Reactor<P> {
             scratch: vec![0; SCRATCH_LEN],
             frames: Vec::new(),
             completion_buf: Vec::new(),
+            touched_buf: Vec::new(),
             accepting: true,
             last_sweep: Instant::now(),
             shutdown_entered: false,
@@ -421,17 +510,23 @@ impl<P: Poller> Reactor<P> {
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => panic!("reactor: poll failed: {e}"),
         }
+        let mut wake_seen = false;
         for &ev in events.iter() {
             match ev.token {
                 LISTENER_TOKEN => self.accept_ready(),
-                WAKE_TOKEN => {
-                    if let Some(wake) = &self.wake {
-                        wake.drain();
-                    }
-                    self.shared.stats.record_reactor_wakeup();
-                }
+                WAKE_TOKEN => wake_seen = true,
                 _ => self.conn_event(ev),
             }
+        }
+        if wake_seen {
+            // One pipe read per poll batch, no matter how many worker
+            // notifications piled up while we were busy — every
+            // notification beyond the first rode along for free.
+            let notifications = self.wake.as_ref().map_or(0, WakeReader::drain);
+            self.shared.stats.record_reactor_wakeup();
+            self.shared
+                .stats
+                .record_wakeups_coalesced(notifications.saturating_sub(1) as u64);
         }
         // Completions can arrive without a wake being observed yet (the
         // pipe write races the poll timeout), so drain every turn.
@@ -485,10 +580,16 @@ impl<P: Poller> Reactor<P> {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
+                    // Pipelined clients read several small responses per
+                    // burst; Nagle would hold every response after the
+                    // first until the peer's (delayed) ACK.
+                    stream.set_nodelay(true).ok();
                     let fd = stream.as_raw_fd();
-                    let (idx, gen) = self
-                        .conns
-                        .insert(Conn::new(Box::new(stream), self.opts.max_frame_len));
+                    let (idx, gen) = self.conns.insert(Conn::new(
+                        Box::new(stream),
+                        self.opts.max_frame_len,
+                        self.opts.pool.clone(),
+                    ));
                     let token = make_token(idx, gen);
                     if self.poller.register(fd, token, Interest::READABLE).is_err() {
                         self.conns.remove(idx, gen);
@@ -602,7 +703,7 @@ impl<P: Poller> Reactor<P> {
             };
             progressed = true;
             frames.clear();
-            if let Err(too_large) = conn.decoder.feed(&scratch[..n], &mut frames) {
+            if let Err(too_large) = conn.decoder.feed_pooled(&scratch[..n], &mut frames) {
                 // Forged or oversized length prefix: answer ERR and
                 // drain. Frames completed earlier in this chunk still
                 // get handled below? No — a poisoned decoder taints the
@@ -616,7 +717,7 @@ impl<P: Poller> Reactor<P> {
                     token,
                     STATUS_ERR,
                     HELLO_SEQ,
-                    too_large.to_string().as_bytes(),
+                    too_large.to_string().into_bytes(),
                     self.opts.write_queue_limit,
                     false,
                 );
@@ -638,7 +739,7 @@ impl<P: Poller> Reactor<P> {
                     &mut self.poller,
                     conn,
                     token,
-                    &frame,
+                    frame,
                     &self.shared,
                     self.job_tx.as_ref(),
                     &self.completions,
@@ -684,7 +785,7 @@ impl<P: Poller> Reactor<P> {
         if let Some(conn) = self.conns.get_mut(idx, gen) {
             if conn.write_queue.is_empty() {
                 self.shared.stats.record_reactor_spurious_poll();
-            } else if let Err(reason) = Self::flush_conn(conn) {
+            } else if let Err(reason) = Self::flush_conn(conn, &self.shared.stats) {
                 close = Some(reason);
             }
             if close.is_none() {
@@ -704,12 +805,17 @@ impl<P: Poller> Reactor<P> {
     }
 
     /// Interpret one complete frame according to the connection's state.
+    ///
+    /// Takes the frame **by value**: in pooled mode the job payload is a
+    /// sliced view of the frame's pool buffer (no copy), and frames the
+    /// protocol judged malformed are poisoned so their buffer is never
+    /// recycled into the pool.
     #[allow(clippy::too_many_arguments)]
     fn handle_frame(
         poller: &mut P,
         conn: &mut Conn,
         token: u64,
-        frame: &[u8],
+        frame: PooledBuf,
         shared: &Shared,
         job_tx: Option<&Sender<Job>>,
         completions: &Arc<CompletionQueue>,
@@ -717,7 +823,7 @@ impl<P: Poller> Reactor<P> {
     ) -> Result<(), CloseReason> {
         let stats = &shared.stats;
         match conn.state {
-            ConnState::AwaitingHello => match Hello::decode(frame) {
+            ConnState::AwaitingHello => match Hello::decode(&frame) {
                 Some(hello) => {
                     let existed = shared.registry.contains(&hello.tenant, hello.scheme);
                     match shared.registry.get_or_create(&hello.tenant, hello.scheme) {
@@ -734,7 +840,7 @@ impl<P: Poller> Reactor<P> {
                                 token,
                                 STATUS_OK,
                                 HELLO_SEQ,
-                                &[],
+                                Vec::new(),
                                 opts.write_queue_limit,
                                 true,
                             )
@@ -749,7 +855,7 @@ impl<P: Poller> Reactor<P> {
                                 token,
                                 STATUS_ERR,
                                 HELLO_SEQ,
-                                format!("tenant open failed: {e}").as_bytes(),
+                                format!("tenant open failed: {e}").into_bytes(),
                                 opts.write_queue_limit,
                                 false,
                             )
@@ -759,6 +865,7 @@ impl<P: Poller> Reactor<P> {
                 None => {
                     stats.record_err();
                     conn.state = ConnState::Draining;
+                    frame.poison();
                     Self::enqueue_response(
                         poller,
                         stats,
@@ -766,16 +873,17 @@ impl<P: Poller> Reactor<P> {
                         token,
                         STATUS_ERR,
                         HELLO_SEQ,
-                        b"malformed hello",
+                        b"malformed hello".to_vec(),
                         opts.write_queue_limit,
                         false,
                     )
                 }
             },
             ConnState::Established => {
-                let Some((kind, seq, payload)) = proto::decode_request(frame) else {
+                let Some((kind, seq, _)) = proto::decode_request(&frame) else {
                     stats.record_err();
                     conn.state = ConnState::Draining;
+                    frame.poison();
                     return Self::enqueue_response(
                         poller,
                         stats,
@@ -783,7 +891,7 @@ impl<P: Poller> Reactor<P> {
                         token,
                         STATUS_ERR,
                         HELLO_SEQ,
-                        b"malformed request",
+                        b"malformed request".to_vec(),
                         opts.write_queue_limit,
                         false,
                     );
@@ -794,14 +902,30 @@ impl<P: Poller> Reactor<P> {
                             .tenant
                             .clone()
                             .expect("established connection has a tenant");
+                        // Pooled mode hands the worker a view into the
+                        // frame's pool buffer past the 5-byte envelope —
+                        // the request payload is never copied between the
+                        // socket read and the scheme handler. The
+                        // owned-buffer fallback keeps the old copy and
+                        // counts it.
+                        let payload = if opts.pool.is_some() {
+                            let mut view = frame;
+                            view.advance(proto::REQUEST_HEADER_LEN);
+                            view
+                        } else {
+                            let body = frame[proto::REQUEST_HEADER_LEN..].to_vec();
+                            stats.record_bytes_copied(body.len() as u64);
+                            PooledBuf::from_vec(body)
+                        };
                         let job = Job {
                             tenant,
                             kind,
                             seq,
-                            payload: payload.to_vec(),
+                            payload,
                             responder: Responder::Reactor {
                                 token,
                                 completions: completions.clone(),
+                                pool: opts.pool.clone(),
                             },
                             accepted: Instant::now(),
                         };
@@ -830,7 +954,7 @@ impl<P: Poller> Reactor<P> {
                                     token,
                                     STATUS_BUSY,
                                     seq,
-                                    &[],
+                                    Vec::new(),
                                     opts.write_queue_limit,
                                     true,
                                 )
@@ -838,7 +962,7 @@ impl<P: Poller> Reactor<P> {
                             Err(Some(reason)) => Err(reason),
                         }
                     }
-                    KIND_ADMIN => match payload.first().copied() {
+                    KIND_ADMIN => match frame.get(proto::REQUEST_HEADER_LEN).copied() {
                         Some(ADMIN_STATS) => {
                             let snap = shared.full_snapshot().encode();
                             Self::enqueue_response(
@@ -848,7 +972,7 @@ impl<P: Poller> Reactor<P> {
                                 token,
                                 STATUS_OK,
                                 seq,
-                                &snap,
+                                snap,
                                 opts.write_queue_limit,
                                 true,
                             )
@@ -861,7 +985,7 @@ impl<P: Poller> Reactor<P> {
                                 token,
                                 STATUS_OK,
                                 seq,
-                                &[],
+                                Vec::new(),
                                 opts.write_queue_limit,
                                 false,
                             );
@@ -871,6 +995,7 @@ impl<P: Poller> Reactor<P> {
                         _ => {
                             stats.record_err();
                             conn.state = ConnState::Draining;
+                            frame.poison();
                             Self::enqueue_response(
                                 poller,
                                 stats,
@@ -878,7 +1003,7 @@ impl<P: Poller> Reactor<P> {
                                 token,
                                 STATUS_ERR,
                                 seq,
-                                b"unknown admin command",
+                                b"unknown admin command".to_vec(),
                                 opts.write_queue_limit,
                                 false,
                             )
@@ -887,6 +1012,7 @@ impl<P: Poller> Reactor<P> {
                     _ => {
                         stats.record_err();
                         conn.state = ConnState::Draining;
+                        frame.poison();
                         Self::enqueue_response(
                             poller,
                             stats,
@@ -894,7 +1020,7 @@ impl<P: Poller> Reactor<P> {
                             token,
                             STATUS_ERR,
                             seq,
-                            b"unknown request kind",
+                            b"unknown request kind".to_vec(),
                             opts.write_queue_limit,
                             false,
                         )
@@ -907,7 +1033,7 @@ impl<P: Poller> Reactor<P> {
         }
     }
 
-    /// Encode and enqueue one response frame.
+    /// Enqueue one response envelope around an owned payload.
     #[allow(clippy::too_many_arguments)]
     fn enqueue_response(
         poller: &mut P,
@@ -916,29 +1042,30 @@ impl<P: Poller> Reactor<P> {
         token: u64,
         status: u8,
         seq: u32,
-        payload: &[u8],
+        payload: Vec<u8>,
         limit: usize,
         reads: bool,
     ) -> Result<(), CloseReason> {
-        let frame = encode_frame(&proto::encode_response(status, seq, payload));
-        Self::enqueue_frame(poller, stats, conn, token, frame, limit, reads)
+        let msg = OutMsg::response(status, seq, Segment::Owned(payload));
+        Self::enqueue_msg(poller, stats, conn, token, msg, limit, reads)
     }
 
-    /// Queue a framed response, flush what the kernel will take now, and
-    /// enforce the write-queue bound. `reads` is whether the connection
-    /// should remain read-subscribed (false while draining/shutdown).
-    fn enqueue_frame(
+    /// Queue an outbound message, flush what the kernel will take now,
+    /// and enforce the write-queue bound. `reads` is whether the
+    /// connection should remain read-subscribed (false while
+    /// draining/shutdown).
+    fn enqueue_msg(
         poller: &mut P,
         stats: &ServingStats,
         conn: &mut Conn,
         token: u64,
-        frame: Vec<u8>,
+        msg: OutMsg,
         limit: usize,
         reads: bool,
     ) -> Result<(), CloseReason> {
-        conn.queued_bytes += frame.len();
-        conn.write_queue.push_back(frame);
-        Self::flush_conn(conn)?;
+        conn.queued_bytes += msg.len();
+        conn.write_queue.push_back(msg);
+        Self::flush_conn(conn, stats)?;
         if conn.pending_write_bytes() > limit {
             // The peer is not draining its responses: cut it loose
             // rather than buffer without bound. (This replaces the old
@@ -949,25 +1076,69 @@ impl<P: Poller> Reactor<P> {
         Ok(())
     }
 
-    /// Write queued frames until the kernel pushes back.
-    fn flush_conn(conn: &mut Conn) -> Result<(), CloseReason> {
-        while let Some(front) = conn.write_queue.front() {
-            match conn.io.write(&front[conn.write_offset..]) {
-                Ok(0) => return Err(CloseReason::IoError),
-                Ok(n) => {
-                    conn.write_offset += n;
-                    if conn.write_offset == front.len() {
-                        conn.queued_bytes -= front.len();
-                        conn.write_offset = 0;
-                        conn.write_queue.pop_front();
-                    }
+    /// Write queued messages until the kernel pushes back, gathering up
+    /// to [`WRITEV_BATCH`] segments per `writev` — every response queued
+    /// behind a slow kernel buffer rides out in the same syscall once it
+    /// opens, and each message's head and payload go out as separate
+    /// iovecs (the payload is never copied into a contiguous frame).
+    fn flush_conn(conn: &mut Conn, stats: &ServingStats) -> Result<(), CloseReason> {
+        loop {
+            // Normalize the cursor: a gather write may have completed
+            // several messages at once, leaving `write_offset` past the
+            // front. Pop every fully-written message.
+            while let Some(front) = conn.write_queue.front() {
+                let len = front.len();
+                if conn.write_offset < len {
+                    break;
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                conn.write_offset -= len;
+                conn.queued_bytes -= len;
+                conn.write_queue.pop_front();
+            }
+            if conn.write_queue.is_empty() {
+                return Ok(());
+            }
+            // Gather: the front message from its cursor, later messages
+            // whole, skipping empty parts so every iovec carries bytes.
+            let mut iovs = [IoSlice::new(&[]); WRITEV_BATCH];
+            let mut cnt = 0;
+            let mut skip = conn.write_offset;
+            'gather: for msg in &conn.write_queue {
+                for part in [msg.head(), msg.payload.as_slice()] {
+                    if skip >= part.len() {
+                        skip -= part.len();
+                        continue;
+                    }
+                    if cnt == WRITEV_BATCH {
+                        break 'gather;
+                    }
+                    iovs[cnt] = IoSlice::new(&part[skip..]);
+                    skip = 0;
+                    cnt += 1;
+                }
+            }
+            let n = match conn.io.writev(&iovs[..cnt]) {
+                Ok(0) => return Err(CloseReason::IoError),
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(_) => return Err(CloseReason::IoError),
+            };
+            conn.write_offset += n;
+            // Credit this call with every message whose final byte it
+            // wrote — `writev_frames / writev_calls` is then the true
+            // mean syscall batch.
+            let mut flushed = 0u64;
+            let mut consumed = 0usize;
+            for msg in &conn.write_queue {
+                consumed += msg.len();
+                if consumed > conn.write_offset {
+                    break;
+                }
+                flushed += 1;
             }
+            stats.record_writev(flushed);
         }
-        Ok(())
     }
 
     /// Reconcile poller interest with the connection's needs: readable
@@ -993,44 +1164,59 @@ impl<P: Poller> Reactor<P> {
         }
     }
 
-    /// Deliver worker responses posted since the last turn.
+    /// Deliver worker responses posted since the last turn, in two
+    /// phases: queue every completion onto its connection first, then
+    /// flush each touched connection once — responses that arrived in
+    /// the same drain share gather-write syscalls instead of paying one
+    /// `writev` each.
     fn drain_completions(&mut self) {
         let mut buf = std::mem::take(&mut self.completion_buf);
         self.completions.drain_into(&mut buf);
+        let mut touched = std::mem::take(&mut self.touched_buf);
+        touched.clear();
         for completion in buf.drain(..) {
             if completion.token == POISON_TOKEN {
                 panic!("reactor: poisoned by test hook");
             }
             let (idx, gen) = split_token(completion.token);
-            let mut close: Option<CloseReason> = None;
-            let shutdown = self.shared.shutdown.is_requested();
+            // Stale token: the connection closed while its job was in
+            // flight; the response is dropped on the floor.
             if let Some(conn) = self.conns.get_mut(idx, gen) {
                 conn.in_flight = conn.in_flight.saturating_sub(1);
+                conn.queued_bytes += completion.msg.len();
+                conn.write_queue.push_back(completion.msg);
+                if !touched.contains(&(idx, gen)) {
+                    touched.push((idx, gen));
+                }
+            }
+        }
+        self.completion_buf = buf;
+        let shutdown = self.shared.shutdown.is_requested();
+        for (idx, gen) in touched.drain(..) {
+            let token = make_token(idx, gen);
+            let mut close: Option<CloseReason> = None;
+            if let Some(conn) = self.conns.get_mut(idx, gen) {
                 let reads = !shutdown && conn.state != ConnState::Draining;
-                if let Err(reason) = Self::enqueue_frame(
-                    &mut self.poller,
-                    &self.shared.stats,
-                    conn,
-                    completion.token,
-                    completion.frame,
-                    self.opts.write_queue_limit,
-                    reads,
-                ) {
+                if let Err(reason) = Self::flush_conn(conn, &self.shared.stats) {
                     close = Some(reason);
+                } else if conn.pending_write_bytes() > self.opts.write_queue_limit {
+                    // The peer is not draining its responses: cut it
+                    // loose rather than buffer without bound.
+                    close = Some(CloseReason::SlowReader);
                 } else if conn.state == ConnState::Draining
                     && conn.write_queue.is_empty()
                     && conn.in_flight == 0
                 {
                     close = Some(CloseReason::Drained);
+                } else {
+                    Self::sync_interest(&mut self.poller, &self.shared.stats, conn, token, reads);
                 }
             }
-            // Stale token: the connection closed while its job was in
-            // flight; the response is dropped on the floor.
             if let Some(reason) = close {
                 self.close_conn(idx, gen, reason);
             }
         }
-        self.completion_buf = buf;
+        self.touched_buf = touched;
     }
 
     /// Reap connections quiescent past the idle deadline. A connection
@@ -1107,6 +1293,7 @@ mod tests {
     use crate::tenant::{TenantParams, TenantRegistry};
     use crossbeam::channel::{bounded, Receiver};
     use epoll::MockPoller;
+    use sse_net::frame::encode_frame;
     use std::io;
 
     /// Scripted connection IO: reads come from a queue (`None` ⇒
@@ -1177,6 +1364,28 @@ mod tests {
         fn fd(&self) -> RawFd {
             self.fd
         }
+
+        /// Honors the shared write-capacity valve **across** segments, so
+        /// a partial gather write stops mid-message exactly like a full
+        /// kernel send buffer would.
+        fn writev(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let mut cap = self.write_cap.lock().unwrap();
+            let mut sink = self.written.lock().unwrap();
+            let mut total = 0;
+            for buf in bufs {
+                let take = buf.len().min(*cap);
+                sink.extend_from_slice(&buf[..take]);
+                *cap -= take;
+                total += take;
+                if take < buf.len() {
+                    break;
+                }
+            }
+            if total == 0 && bufs.iter().any(|b| !b.is_empty()) {
+                return Err(io::Error::from(ErrorKind::WouldBlock));
+            }
+            Ok(total)
+        }
     }
 
     fn test_shared(idle_timeout: Duration) -> Arc<Shared> {
@@ -1188,6 +1397,7 @@ mod tests {
             scrub: Arc::new(ScrubCounters::new()),
             max_frame_len: sse_net::frame::MAX_FRAME_LEN,
             idle_timeout,
+            pool: BufPool::new(),
         })
     }
 
@@ -1209,6 +1419,7 @@ mod tests {
             idle_timeout,
             max_conns: 1024,
             write_queue_limit,
+            pool: Some(BufPool::new()),
         };
         let reactor = Reactor::with_parts(
             MockPoller::new(),
@@ -1237,10 +1448,11 @@ mod tests {
     impl Rig {
         fn add_conn(&mut self, io: ScriptIo) -> (usize, u32, u64) {
             let fd = io.fd();
-            let (idx, gen) = self
-                .reactor
-                .conns
-                .insert(Conn::new(Box::new(io), self.reactor.opts.max_frame_len));
+            let (idx, gen) = self.reactor.conns.insert(Conn::new(
+                Box::new(io),
+                self.reactor.opts.max_frame_len,
+                self.reactor.opts.pool.clone(),
+            ));
             let token = make_token(idx, gen);
             self.reactor
                 .poller
@@ -1279,6 +1491,15 @@ mod tests {
         encode_frame(&proto::encode_response(STATUS_OK, seq, payload))
     }
 
+    /// Post an OK completion the way a worker does: scatter-gather form,
+    /// wire-identical to `ok_response(seq, payload)`.
+    fn post_ok(completions: &CompletionQueue, token: u64, seq: u32, payload: &[u8]) {
+        completions.post(
+            token,
+            OutMsg::response(STATUS_OK, seq, Segment::Owned(payload.to_vec())),
+        );
+    }
+
     #[test]
     fn hello_then_data_round_trips_through_worker_completion() {
         let mut rig = rig();
@@ -1314,14 +1535,14 @@ mod tests {
         let job = rig.job_rx.try_recv().expect("job queued");
         assert_eq!(job.kind, KIND_DATA);
         assert_eq!(job.seq, 9);
-        assert_eq!(job.payload, b"query-bytes");
+        assert_eq!(&job.payload[..], b"query-bytes");
         assert_eq!(rig.conn(idx2, gen2).in_flight, 1);
 
         // Worker completes: the framed response is delivered on the next
         // turn and in_flight returns to zero (the conn is reapable
         // again).
         let response = ok_response(9, b"result");
-        rig.completions.post(token2, response.clone());
+        post_ok(&rig.completions, token2, 9, b"result");
         rig.turn_with(vec![]);
         let got = written2.lock().unwrap().clone();
         assert_eq!(got, [ok_response(HELLO_SEQ, &[]), response].concat());
@@ -1374,7 +1595,7 @@ mod tests {
         let (idx2, gen2, _token2) = rig.add_conn(io2);
         assert_eq!(idx2, idx, "slot is reused");
         assert_ne!(gen2, gen, "generation advanced");
-        rig.completions.post(token, ok_response(3, b"stale"));
+        post_ok(&rig.completions, token, 3, b"stale");
         rig.turn_with(vec![Event::readable(token), Event::writable(token)]);
         assert!(rig.is_open(idx2, gen2));
         assert!(written2.lock().unwrap().is_empty(), "stale frame dropped");
@@ -1432,7 +1653,7 @@ mod tests {
         assert!(rig.is_open(idx, gen));
         // A worker completion pushes the queue past the bound: the slow
         // reader is disconnected, memory stays bounded.
-        rig.completions.post(token, ok_response(1, b"big-response"));
+        post_ok(&rig.completions, token, 1, b"big-response");
         rig.turn_with(vec![]);
         assert!(!rig.is_open(idx, gen));
         let snap = rig.shared.stats.snapshot();
@@ -1468,7 +1689,7 @@ mod tests {
         assert_eq!(rig.shared.stats.snapshot().conns_idle_reaped, 1);
 
         // The completion lands, the conn quiesces — now it's reapable.
-        rig.completions.post(token_a, ok_response(1, b"r"));
+        post_ok(&rig.completions, token_a, 1, b"r");
         rig.turn_with(vec![]);
         rig.conn(idx_a, gen_a).last_activity = Instant::now() - idle * 2;
         rig.reactor.last_sweep = past;
@@ -1591,7 +1812,7 @@ mod tests {
     #[test]
     fn poison_completion_panics_the_reactor() {
         let mut rig = rig();
-        rig.completions.post(POISON_TOKEN, Vec::new());
+        rig.completions.post(POISON_TOKEN, OutMsg::raw(Vec::new()));
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             rig.reactor.poller.push_batch(vec![]);
             let mut events = Vec::new();
@@ -1604,15 +1825,169 @@ mod tests {
     fn conn_table_reuses_slots_with_fresh_generations() {
         let mut table = ConnTable::new();
         let (io_a, _, _) = ScriptIo::new(1);
-        let (idx_a, gen_a) = table.insert(Conn::new(Box::new(io_a), 1024));
+        let (idx_a, gen_a) = table.insert(Conn::new(Box::new(io_a), 1024, None));
         assert!(table.remove(idx_a, gen_a).is_some());
         assert!(table.remove(idx_a, gen_a).is_none(), "double remove");
         let (io_b, _, _) = ScriptIo::new(2);
-        let (idx_b, gen_b) = table.insert(Conn::new(Box::new(io_b), 1024));
+        let (idx_b, gen_b) = table.insert(Conn::new(Box::new(io_b), 1024, None));
         assert_eq!(idx_a, idx_b);
         assert_ne!(gen_a, gen_b);
         assert!(table.get_mut(idx_b, gen_a).is_none(), "stale gen rejected");
         assert!(table.get_mut(idx_b, gen_b).is_some());
         assert_eq!(table.open, 1);
+    }
+
+    #[test]
+    fn partial_writev_resume_is_byte_identical_to_a_single_write() {
+        // Reference stream: what the old contiguous-encode write path
+        // would have produced for the same three responses.
+        let expected = [
+            ok_response(HELLO_SEQ, &[]),
+            ok_response(1, b"first-result"),
+            ok_response(2, b"second-response"),
+        ]
+        .concat();
+
+        let mut rig = rig();
+        let (mut io, written, cap) = ScriptIo::new(7);
+        io.push_read(&hello_frame());
+        *cap.lock().unwrap() = 0; // kernel takes nothing yet
+        let (idx, gen, token) = rig.add_conn(io);
+        rig.turn_with(vec![Event::readable(token)]);
+        post_ok(&rig.completions, token, 1, b"first-result");
+        post_ok(&rig.completions, token, 2, b"second-response");
+        rig.turn_with(vec![]);
+        assert!(written.lock().unwrap().is_empty());
+
+        // Open the valve five bytes per EPOLLOUT: every resume lands at
+        // an arbitrary split point — mid-head, mid-payload, across
+        // message boundaries — and the cursor must carry over exactly.
+        let mut guard = 0;
+        while rig.conn(idx, gen).pending_write_bytes() > 0 {
+            *cap.lock().unwrap() = 5;
+            rig.turn_with(vec![Event::writable(token)]);
+            guard += 1;
+            assert!(guard < 100, "flush must make progress");
+        }
+        assert_eq!(*written.lock().unwrap(), expected);
+        assert!(rig.is_open(idx, gen));
+    }
+
+    #[test]
+    fn queued_responses_flush_in_one_gather_write() {
+        let mut rig = rig();
+        let (mut io, written, cap) = ScriptIo::new(7);
+        io.push_read(&hello_frame());
+        let (idx, gen, token) = rig.add_conn(io);
+        rig.turn_with(vec![Event::readable(token)]);
+        written.lock().unwrap().clear();
+
+        // Valve shut: three completions pile up in the write queue.
+        *cap.lock().unwrap() = 0;
+        for seq in 1..=3 {
+            post_ok(&rig.completions, token, seq, b"payload");
+        }
+        rig.turn_with(vec![]);
+        assert!(written.lock().unwrap().is_empty());
+        let before = rig.shared.stats.snapshot();
+
+        // Valve opens: a single writev carries all three messages.
+        *cap.lock().unwrap() = usize::MAX;
+        rig.turn_with(vec![Event::writable(token)]);
+        let snap = rig.shared.stats.snapshot();
+        assert_eq!(snap.writev_calls, before.writev_calls + 1);
+        assert_eq!(snap.writev_frames, before.writev_frames + 3);
+        let expected: Vec<u8> = (1..=3).flat_map(|s| ok_response(s, b"payload")).collect();
+        assert_eq!(*written.lock().unwrap(), expected);
+        assert!(rig.is_open(idx, gen));
+    }
+
+    #[test]
+    fn completions_drained_together_share_one_writev() {
+        // No kernel pushback needed: completions that arrive in the same
+        // drain are queued first and flushed once, so an open valve still
+        // sees a single gather write for the whole batch.
+        let mut rig = rig();
+        let (mut io, written, _cap) = ScriptIo::new(7);
+        io.push_read(&hello_frame());
+        let (idx, gen, token) = rig.add_conn(io);
+        rig.turn_with(vec![Event::readable(token)]);
+        written.lock().unwrap().clear();
+        let before = rig.shared.stats.snapshot();
+
+        for seq in 1..=3 {
+            post_ok(&rig.completions, token, seq, b"payload");
+        }
+        rig.turn_with(vec![Event::readable(WAKE_TOKEN)]);
+        let snap = rig.shared.stats.snapshot();
+        assert_eq!(snap.writev_calls, before.writev_calls + 1);
+        assert_eq!(snap.writev_frames, before.writev_frames + 3);
+        let expected: Vec<u8> = (1..=3).flat_map(|s| ok_response(s, b"payload")).collect();
+        assert_eq!(*written.lock().unwrap(), expected);
+        assert!(rig.is_open(idx, gen));
+    }
+
+    #[test]
+    fn worker_wakeups_coalesce_into_one_pipe_drain() {
+        let mut rig = rig();
+        let (mut io, _written, _cap) = ScriptIo::new(7);
+        io.push_read(&hello_frame());
+        let (_idx, _gen, token) = rig.add_conn(io);
+        rig.turn_with(vec![Event::readable(token)]);
+        // Three completions post three pipe notifications before the
+        // reactor polls again; one WAKE readiness drains them with a
+        // single read.
+        for seq in 1..=3 {
+            post_ok(&rig.completions, token, seq, b"r");
+        }
+        rig.turn_with(vec![Event::readable(WAKE_TOKEN)]);
+        let snap = rig.shared.stats.snapshot();
+        assert_eq!(snap.reactor_wakeups, 1);
+        assert_eq!(snap.wakeups_coalesced, 2);
+    }
+
+    #[test]
+    fn pooled_request_payloads_are_zero_copy_and_recycled() {
+        let mut rig = rig();
+        let pool = rig.reactor.opts.pool.clone().expect("rig is pooled");
+        let (mut io, _written, _cap) = ScriptIo::new(7);
+        io.push_read(&hello_frame());
+        io.push_read(&encode_frame(&proto::encode_request(
+            KIND_DATA, 1, b"needle",
+        )));
+        let (_idx, _gen, token) = rig.add_conn(io);
+        rig.turn_with(vec![Event::readable(token)]);
+        let job = rig.job_rx.try_recv().expect("job queued");
+        assert_eq!(&job.payload[..], b"needle");
+        // The payload is a sliced view of the decoder's pool buffer —
+        // nothing was memcpy'd on the request path.
+        assert_eq!(rig.shared.stats.snapshot().bytes_copied, 0);
+        let before = pool.counters().recycles;
+        drop(job);
+        assert_eq!(
+            pool.counters().recycles,
+            before + 1,
+            "dropping the job returns the frame buffer to the pool"
+        );
+    }
+
+    #[test]
+    fn owned_buffer_fallback_copies_and_counts_request_payloads() {
+        let mut rig = rig();
+        rig.reactor.opts.pool = None;
+        let (mut io, _written, _cap) = ScriptIo::new(7);
+        io.push_read(&hello_frame());
+        io.push_read(&encode_frame(&proto::encode_request(
+            KIND_DATA, 1, b"needle",
+        )));
+        let (_idx, _gen, token) = rig.add_conn(io);
+        rig.turn_with(vec![Event::readable(token)]);
+        let job = rig.job_rx.try_recv().expect("job queued");
+        assert_eq!(&job.payload[..], b"needle");
+        assert_eq!(
+            rig.shared.stats.snapshot().bytes_copied,
+            6,
+            "the fallback copies the payload out of the frame and counts it"
+        );
     }
 }

@@ -29,6 +29,10 @@ pub struct ServingStats {
     reactor_wakeups: AtomicU64,
     writes_deferred: AtomicU64,
     reactor_spurious_polls: AtomicU64,
+    writev_calls: AtomicU64,
+    writev_frames: AtomicU64,
+    wakeups_coalesced: AtomicU64,
+    bytes_copied: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -114,6 +118,27 @@ impl ServingStats {
         self.reactor_spurious_polls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one `writev` syscall that fully flushed `frames` queued
+    /// response frames — `writev_frames / writev_calls` is the mean
+    /// syscall batch size.
+    pub fn record_writev(&self, frames: u64) {
+        self.writev_calls.fetch_add(1, Ordering::Relaxed);
+        self.writev_frames.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Record worker-completion notifications absorbed by a wakeup that
+    /// was already pending (one pipe drain delivered `extra + 1`
+    /// completions).
+    pub fn record_wakeups_coalesced(&self, extra: u64) {
+        self.wakeups_coalesced.fetch_add(extra, Ordering::Relaxed);
+    }
+
+    /// Record payload bytes memcpy'd on the serving path (request
+    /// materialization, response envelope assembly).
+    pub fn record_bytes_copied(&self, bytes: u64) {
+        self.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Point-in-time snapshot for the ADMIN protocol. The storage-side
     /// robustness counters (`faults_injected`, `wal_recoveries`,
     /// `torn_tails_truncated`) live with the tenant registry / fault VFS;
@@ -168,6 +193,15 @@ impl ServingStats {
             reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
             writes_deferred: self.writes_deferred.load(Ordering::Relaxed),
             reactor_spurious_polls: self.reactor_spurious_polls.load(Ordering::Relaxed),
+            // The pool_* counters live with the BufPool; the daemon
+            // overlays them (like the storage-side counters above).
+            pool_hits: 0,
+            pool_misses: 0,
+            pool_recycles: 0,
+            writev_calls: self.writev_calls.load(Ordering::Relaxed),
+            writev_frames: self.writev_frames.load(Ordering::Relaxed),
+            wakeups_coalesced: self.wakeups_coalesced.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
         }
     }
 }

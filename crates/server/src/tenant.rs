@@ -198,6 +198,18 @@ impl TenantDb {
         }
     }
 
+    /// [`Self::handle_shared`] with a recycled response buffer: the
+    /// scheme's hot search branch encodes into `scratch` (capacity
+    /// reused, contents discarded), so a pool-acquired buffer makes the
+    /// steady-state search response allocation-free.
+    #[must_use]
+    pub fn handle_shared_with(&self, request: &[u8], scratch: Vec<u8>) -> Vec<u8> {
+        match self {
+            TenantDb::S1(s) => s.handle_shared_with(request, scratch),
+            TenantDb::S2(s) => s.handle_shared_with(request, scratch),
+        }
+    }
+
     /// Apply an `UPDATE_MANY` batch of mutation parts all-or-nothing (one
     /// journal append per affected shard; racing searches see either none
     /// or all of the batch). Returns a single scheme response valid for

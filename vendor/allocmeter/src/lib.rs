@@ -1,0 +1,163 @@
+//! Offline vendored shim: a counting global allocator for the serving
+//! hot-path benchmarks.
+//!
+//! The workspace crates keep `#![forbid(unsafe_code)]`; implementing
+//! `GlobalAlloc` is inherently unsafe, so — like the epoll shim — the
+//! allocator lives in `vendor/`. The design keeps the cost structure
+//! honest in three ways:
+//!
+//! * **Opt-in per thread.** Only threads that called
+//!   [`track_current_thread`] bump the counters; everything else takes a
+//!   single const-initialized TLS load and falls straight through to the
+//!   system allocator. The bench process marks the daemon's reactor and
+//!   worker threads, so client-side allocations never pollute the
+//!   server-side allocs/op numbers.
+//! * **Zero cost when not installed.** Installing the allocator is the
+//!   binary's decision (`#[global_allocator]` in `sse-load`); libraries
+//!   only ever read counters, which are simply zero under the default
+//!   allocator.
+//! * **Counts allocations, not frees.** `allocs()` is the number of
+//!   heap acquisitions (alloc + alloc_zeroed + realloc), `bytes()` the
+//!   sum of their sizes — the "how much heap traffic did this op cause"
+//!   number a zero-copy pipeline is supposed to shrink.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-initialized: no lazy init, no registration, safe to read from
+    // inside the allocator itself.
+    static TRACKED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Mark the current thread's allocations as counted. Idempotent; cheap
+/// enough to call unconditionally at thread start (one TLS store).
+pub fn track_current_thread() {
+    TRACKED.with(|t| t.set(true));
+}
+
+/// Stop counting the current thread's allocations.
+pub fn untrack_current_thread() {
+    TRACKED.with(|t| t.set(false));
+}
+
+/// A point-in-time reading of the global counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocCounters {
+    /// Heap acquisitions by tracked threads since process start.
+    pub allocs: u64,
+    /// Bytes requested by those acquisitions.
+    pub bytes: u64,
+}
+
+impl AllocCounters {
+    /// Counter deltas since `earlier` (saturating).
+    #[must_use]
+    pub fn since(&self, earlier: &AllocCounters) -> AllocCounters {
+        AllocCounters {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Read the counters. Zero forever unless a binary installed
+/// [`CountingAlloc`] as its `#[global_allocator]` *and* some thread opted
+/// in via [`track_current_thread`].
+pub fn counters() -> AllocCounters {
+    AllocCounters {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[inline]
+fn record(size: usize) {
+    let tracked = TRACKED.try_with(|t| t.get()).unwrap_or(false);
+    if tracked {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    }
+}
+
+/// The counting allocator: forwards to [`System`], bumping the global
+/// counters for opted-in threads. Install with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards to `System`, which upholds the
+// `GlobalAlloc` contract; the counter updates are lock-free atomics and a
+// const-initialized TLS read, neither of which can allocate or unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: CountingAlloc = CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracked_thread_counts_and_untracked_does_not() {
+        // Untracked by default: heap traffic leaves the counters alone.
+        let before = counters();
+        let v = vec![0u8; 4096];
+        drop(v);
+        let mid = counters();
+        assert_eq!(mid.since(&before).allocs, 0);
+
+        track_current_thread();
+        let before = counters();
+        let v = vec![0u8; 4096];
+        let after = counters();
+        drop(v);
+        let delta = after.since(&before);
+        assert!(delta.allocs >= 1, "tracked alloc not counted: {delta:?}");
+        assert!(delta.bytes >= 4096, "tracked bytes not counted: {delta:?}");
+
+        untrack_current_thread();
+        let before = counters();
+        let v = vec![0u8; 4096];
+        drop(v);
+        let delta = counters().since(&before);
+        assert_eq!(delta.allocs, 0, "untracked alloc counted: {delta:?}");
+    }
+
+    #[test]
+    fn other_threads_opt_in_independently() {
+        let before = counters();
+        std::thread::spawn(|| {
+            track_current_thread();
+            let v = vec![0u8; 1024];
+            drop(v);
+        })
+        .join()
+        .unwrap();
+        let delta = counters().since(&before);
+        assert!(delta.allocs >= 1, "spawned tracked thread not counted");
+    }
+}
