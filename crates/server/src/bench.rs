@@ -45,6 +45,16 @@
 //!   allocator; the daemon's reactor and worker threads opt in), and the
 //!   `ADMIN_STATS` deltas report bytes memcpy'd, pool hit rates, and the
 //!   mean `writev` syscall batch.
+//! * [`run_sched_bench`] measures the affinity-sharded worker runtime
+//!   (`BENCH_sched.json`): multi-tenant pipelined bursts mixing plain
+//!   searches with `SEARCH_MANY` batches, under uniform and skewed
+//!   tenant weights, against affinity routing and its round-robin
+//!   (global-queue) baseline. The `ADMIN_STATS` deltas expose the
+//!   scheduler counters (local hits, steals, spills, fan-out parts
+//!   helped) plus the queue-wait/service-time latency decomposition,
+//!   and the `allocmeter` spawn counter proves the measured window
+//!   served every request — fan-out parts included — without spawning
+//!   a single thread.
 //!
 //! The updaters run Optimization 2 (`CtrPolicy::OnSearchOnly`) and never
 //! search, so their chain counter never advances past 1 and the workload
@@ -52,7 +62,7 @@
 
 use crate::daemon::{Daemon, ServerConfig};
 use crate::histogram::LatencyHistogram;
-use crate::proto::{self, Hello, SchemeId, HELLO_SEQ, KIND_DATA, STATUS_OK};
+use crate::proto::{self, Hello, SchemeId, HELLO_SEQ, KIND_DATA, KIND_SEARCH_MANY, STATUS_OK};
 use crate::tenant::TenantParams;
 use crate::transport::TcpTransport;
 use sse_core::scheme2::{CtrPolicy, Scheme2Client, Scheme2Config};
@@ -1808,6 +1818,408 @@ pub fn run_hotpath_bench(opts: &HotpathOptions) -> Result<HotpathReport> {
     })
 }
 
+/// Parameters for the scheduler/affinity benchmark.
+#[derive(Clone, Debug)]
+pub struct SchedOptions {
+    /// Workload seed (corpus content derives from it).
+    pub seed: u64,
+    /// Distinct tenants, each with its own warmed corpus and raw replay
+    /// socket. Tenant 0 is the hot tenant in the skewed arms.
+    pub tenants: usize,
+    /// Distinct keywords per tenant corpus.
+    pub keywords: usize,
+    /// Documents per tenant corpus.
+    pub docs: usize,
+    /// Measured window per arm.
+    pub duration: Duration,
+    /// Pipelined requests per round (one round drives one tenant).
+    pub depth: usize,
+    /// Scheme searches inside each `SEARCH_MANY` slot.
+    pub batch_parts: usize,
+}
+
+impl Default for SchedOptions {
+    fn default() -> Self {
+        SchedOptions {
+            seed: 11,
+            tenants: 8,
+            keywords: 8,
+            docs: 8,
+            duration: Duration::from_millis(1500),
+            depth: 32,
+            batch_parts: 4,
+        }
+    }
+}
+
+/// One scheduler arm's measurements. Scheduler counters and thread
+/// spawns are deltas over the measured window; the queue/service
+/// quantiles come from the daemon's lifetime histograms (the daemon is
+/// fresh per arm, so warm-up is the only extra traffic in them).
+#[derive(Clone, Debug)]
+pub struct SchedArm {
+    /// Arm label (`affinity_uniform`, `global_skewed`, ...).
+    pub name: &'static str,
+    /// Whether jobs routed by tenant hash (vs round-robin baseline).
+    pub affinity: bool,
+    /// Whether tenant 0 carried the skewed hot weight.
+    pub skewed: bool,
+    /// Wire requests completed inside the window.
+    pub ops: u64,
+    /// Wire request throughput.
+    pub ops_per_sec: f64,
+    /// Client-observed p50 per round of `depth` pipelined requests (ns).
+    pub p50_ns: u64,
+    /// Client-observed p99 per round (ns).
+    pub p99_ns: u64,
+    /// Server-side queue-wait p50 (accepted → worker dequeue, ns).
+    pub queue_p50_ns: u64,
+    /// Server-side queue-wait p99 (ns).
+    pub queue_p99_ns: u64,
+    /// Server-side service-time p50 (dequeue → response, ns).
+    pub service_p50_ns: u64,
+    /// Server-side service-time p99 (ns).
+    pub service_p99_ns: u64,
+    /// Jobs accepted by the scheduler.
+    pub sched_routed: u64,
+    /// Jobs a worker popped from its own queue with itself as home.
+    pub sched_local_hits: u64,
+    /// Jobs taken from another worker's queue.
+    pub sched_stolen: u64,
+    /// Jobs that overflowed their home queue into another on submit.
+    pub sched_spilled: u64,
+    /// Deepest any single run queue got (high-water mark, not a delta).
+    pub sched_queue_depth_hw: u64,
+    /// `SEARCH_MANY` batches executed by the fan-out executor.
+    pub fanout_batches: u64,
+    /// Batch parts claimed by helper workers (not the owning worker).
+    pub fanout_parts_helped: u64,
+    /// Serving-path OS threads spawned inside the window — the number
+    /// the spawn-free executor exists to hold at zero.
+    pub thread_spawns: u64,
+}
+
+fn sched_arm_json(a: &SchedArm) -> String {
+    format!(
+        "{{\"arm\":\"{}\",\"affinity\":{},\"skewed\":{},\"ops\":{},\
+         \"ops_per_sec\":{:.2},\"p50_ns\":{},\"p99_ns\":{},\
+         \"queue_p50_ns\":{},\"queue_p99_ns\":{},\
+         \"service_p50_ns\":{},\"service_p99_ns\":{},\
+         \"sched_routed\":{},\"sched_local_hits\":{},\"sched_stolen\":{},\
+         \"sched_spilled\":{},\"sched_queue_depth_hw\":{},\
+         \"fanout_batches\":{},\"fanout_parts_helped\":{},\
+         \"thread_spawns\":{}}}",
+        a.name,
+        a.affinity,
+        a.skewed,
+        a.ops,
+        a.ops_per_sec,
+        a.p50_ns,
+        a.p99_ns,
+        a.queue_p50_ns,
+        a.queue_p99_ns,
+        a.service_p50_ns,
+        a.service_p99_ns,
+        a.sched_routed,
+        a.sched_local_hits,
+        a.sched_stolen,
+        a.sched_spilled,
+        a.sched_queue_depth_hw,
+        a.fanout_batches,
+        a.fanout_parts_helped,
+        a.thread_spawns,
+    )
+}
+
+/// `BENCH_sched.json`: the affinity-sharded runtime vs its round-robin
+/// baseline, under uniform and skewed tenant load.
+#[derive(Clone, Debug)]
+pub struct SchedReport {
+    /// Parameters the run used.
+    pub options: SchedOptions,
+    /// Affinity routing, every tenant weighted equally.
+    pub affinity_uniform: SchedArm,
+    /// Round-robin baseline, every tenant weighted equally.
+    pub global_uniform: SchedArm,
+    /// Affinity routing, tenant 0 carrying ~75% of rounds.
+    pub affinity_skewed: SchedArm,
+    /// Round-robin baseline under the same skew.
+    pub global_skewed: SchedArm,
+    /// `affinity_uniform.ops_per_sec / global_uniform.ops_per_sec` —
+    /// affinity must not tax balanced load.
+    pub uniform_throughput_ratio: f64,
+    /// `affinity_skewed.ops_per_sec / global_skewed.ops_per_sec`.
+    pub skew_throughput_ratio: f64,
+    /// `affinity_skewed.p99_ns / global_skewed.p99_ns` — stealing must
+    /// keep the hot tenant's tail comparable to the spread baseline.
+    pub skew_p99_ratio: f64,
+    /// Same ratio on the server-side queue-wait p99 — the component the
+    /// scheduler actually controls.
+    pub skew_queue_p99_ratio: f64,
+    /// Steals inside the affinity/skewed window: nonzero proves idle
+    /// workers drained the hot queue instead of spinning.
+    pub steals_under_skew: u64,
+    /// Thread spawns summed across all four measured windows — the CI
+    /// gate pins this to exactly zero.
+    pub steady_state_thread_spawns: u64,
+}
+
+impl SchedReport {
+    /// Serialize as the `BENCH_sched.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n\"benchmark\":\"sse-sched\",\n\"seed\":{},\n\"tenants\":{},\n\
+             \"keywords\":{},\n\"docs\":{},\n\"duration_ms\":{},\n\
+             \"depth\":{},\n\"batch_parts\":{},\n\
+             \"arms\":[\n{},\n{},\n{},\n{}\n],\n\
+             \"uniform_throughput_ratio\":{:.4},\n\
+             \"skew_throughput_ratio\":{:.4},\n\"skew_p99_ratio\":{:.3},\n\
+             \"skew_queue_p99_ratio\":{:.3},\n\"steals_under_skew\":{},\n\
+             \"steady_state_thread_spawns\":{}\n}}\n",
+            self.options.seed,
+            self.options.tenants,
+            self.options.keywords,
+            self.options.docs,
+            self.options.duration.as_millis(),
+            self.options.depth,
+            self.options.batch_parts,
+            sched_arm_json(&self.affinity_uniform),
+            sched_arm_json(&self.global_uniform),
+            sched_arm_json(&self.affinity_skewed),
+            sched_arm_json(&self.global_skewed),
+            self.uniform_throughput_ratio,
+            self.skew_throughput_ratio,
+            self.skew_p99_ratio,
+            self.skew_queue_p99_ratio,
+            self.steals_under_skew,
+            self.steady_state_thread_spawns,
+        )
+    }
+}
+
+/// Rounds each tenant receives per schedule cycle: uniform gives every
+/// tenant one, skew gives tenant 0 twenty-five (~75% of rounds at the
+/// default eight tenants) — hot enough that its home queue backlogs and
+/// idle workers must steal, while the cold tenants keep every queue's
+/// affinity meaningful.
+fn sched_schedule(tenants: usize, skewed: bool) -> Vec<usize> {
+    let mut schedule = Vec::new();
+    for t in 0..tenants.max(1) {
+        let weight = if skewed && t == 0 { 25 } else { 1 };
+        schedule.extend(std::iter::repeat_n(t, weight));
+    }
+    schedule
+}
+
+/// Run one scheduler arm: an **in-memory** daemon with four workers,
+/// `tenants` corpora warmed through the ordinary scheme client (capturing
+/// one memo-served search per tenant), then a weighted round-robin of
+/// pipelined bursts over bare sockets. Each burst interleaves plain
+/// searches (even slots) with `SEARCH_MANY` batches of `batch_parts`
+/// copies (odd slots), so every round exercises both the per-core run
+/// queues and the spawn-free fan-out executor. Counters are snapshotted
+/// on either side of the measured loop.
+fn run_sched_arm(
+    opts: &SchedOptions,
+    name: &'static str,
+    affinity: bool,
+    skewed: bool,
+) -> Result<SchedArm> {
+    let depth = opts.depth.max(2);
+    let tenants = opts.tenants.max(1);
+    let config = ServerConfig {
+        workers: 4,
+        queue_depth: (depth * 4).max(64),
+        affinity,
+        data_dir: None,
+        ..ServerConfig::default()
+    };
+    let daemon = Daemon::spawn(config).map_err(|e| Error::other(format!("spawn: {e}")))?;
+    let addr = daemon.local_addr().to_string();
+
+    // Warm every tenant and capture one memo-served search request each
+    // (read-only, so the measured loop may replay it freely).
+    let corpus_opts = BenchOptions {
+        clients: 1,
+        shards: 1,
+        seed: opts.seed,
+        keywords: opts.keywords,
+        docs: opts.docs,
+        duration: opts.duration,
+    };
+    let scheme = |e: sse_core::error::SseError| Error::other(e.to_string());
+    let mut captured: Vec<Vec<u8>> = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let tenant = format!("sched-tenant-{t}");
+        let transport = CaptureTransport {
+            inner: TcpTransport::connect(&addr, &tenant, SchemeId::Scheme2)?,
+            last_request: Vec::new(),
+        };
+        let key = MasterKey::from_seed(opts.seed ^ 0xAF1_u64.wrapping_add(t as u64));
+        let mut c = Scheme2Client::new_seeded(
+            transport,
+            key,
+            Scheme2Config::standard().with_chain_length(64),
+            opts.seed.wrapping_add(t as u64),
+        );
+        c.store_batch(&corpus(&corpus_opts, t))
+            .map_err(|e| Error::other(format!("sched store: {e}")))?;
+        let kws: Vec<Keyword> = (0..opts.keywords.max(1)).map(keyword).collect();
+        for kw in &kws {
+            c.search(kw).map_err(scheme)?;
+        }
+        c.search(&kws[0]).map_err(scheme)?;
+        let req = c.transport_mut().last_request.clone();
+        drop(c);
+        if req.is_empty() {
+            return Err(Error::other("no search request captured"));
+        }
+        captured.push(req);
+    }
+
+    // One raw replay socket per tenant, each with a prebuilt burst:
+    // plain searches on even slots, fan-out batches on odd slots.
+    let mut sockets = Vec::with_capacity(tenants);
+    let mut bursts = Vec::with_capacity(tenants);
+    for (t, req) in captured.iter().enumerate() {
+        let mut stream = TcpStream::connect(&addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.write_all(&encode_frame(
+            &Hello {
+                tenant: format!("sched-tenant-{t}"),
+                scheme: SchemeId::Scheme2,
+            }
+            .encode(),
+        ))?;
+        let (status, seq) = read_raw_response(&mut stream)?;
+        if (status, seq) != (STATUS_OK, HELLO_SEQ) {
+            return Err(Error::other(format!("hello rejected: status {status}")));
+        }
+        let batch = proto::encode_batch(&vec![req.clone(); opts.batch_parts.max(1)]);
+        let mut burst = Vec::new();
+        for slot in 0..depth {
+            let seq = 1 + u32::try_from(slot).unwrap_or(0);
+            if slot % 2 == 0 {
+                burst.extend_from_slice(&encode_frame(&proto::encode_request(KIND_DATA, seq, req)));
+            } else {
+                burst.extend_from_slice(&encode_frame(&proto::encode_request(
+                    KIND_SEARCH_MANY,
+                    seq,
+                    &batch,
+                )));
+            }
+        }
+        sockets.push(stream);
+        bursts.push(burst);
+    }
+
+    let schedule = sched_schedule(tenants, skewed);
+    let mut admin = TcpTransport::connect(&addr, "sched-tenant-0", SchemeId::Scheme2)?;
+    let before = admin.admin_stats()?;
+    let spawns_before = allocmeter::thread_spawns();
+
+    let mut rec = ArmRecorder::new();
+    let mut ops: u64 = 0;
+    let mut round = 0usize;
+    let window = Instant::now();
+    let deadline = window + opts.duration;
+    while Instant::now() < deadline {
+        let t = schedule[round % schedule.len()];
+        round += 1;
+        let started = Instant::now();
+        sockets[t].write_all(&bursts[t])?;
+        for _ in 0..depth {
+            let (status, _seq) = read_raw_response(&mut sockets[t])?;
+            if status != STATUS_OK {
+                return Err(Error::other(format!(
+                    "sched search failed: status {status}"
+                )));
+            }
+        }
+        rec.record(started.elapsed());
+        ops += depth as u64;
+    }
+    let elapsed = window.elapsed();
+
+    let thread_spawns = allocmeter::thread_spawns().saturating_sub(spawns_before);
+    let after = admin.admin_stats()?;
+    drop(admin);
+    drop(sockets);
+    daemon.shutdown();
+
+    let lat = rec.finish();
+    #[allow(clippy::cast_precision_loss)]
+    let ops_per_sec = ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(SchedArm {
+        name,
+        affinity,
+        skewed,
+        ops,
+        ops_per_sec,
+        p50_ns: lat.p50_ns,
+        p99_ns: lat.p99_ns,
+        queue_p50_ns: after.queue_p50_ns,
+        queue_p99_ns: after.queue_p99_ns,
+        service_p50_ns: after.service_p50_ns,
+        service_p99_ns: after.service_p99_ns,
+        sched_routed: after.sched_routed.saturating_sub(before.sched_routed),
+        sched_local_hits: after
+            .sched_local_hits
+            .saturating_sub(before.sched_local_hits),
+        sched_stolen: after.sched_stolen.saturating_sub(before.sched_stolen),
+        sched_spilled: after.sched_spilled.saturating_sub(before.sched_spilled),
+        sched_queue_depth_hw: after.sched_queue_depth_hw,
+        fanout_batches: after.fanout_batches.saturating_sub(before.fanout_batches),
+        fanout_parts_helped: after
+            .fanout_parts_helped
+            .saturating_sub(before.fanout_parts_helped),
+        thread_spawns,
+    })
+}
+
+/// Run the scheduler benchmark: four arms on identically warmed
+/// multi-tenant daemons — affinity routing vs the round-robin baseline,
+/// each under uniform and skewed tenant weights. Thread spawns are
+/// counted process-wide by `allocmeter` with no allocator requirement,
+/// so the zero-spawn headline holds in any hosting binary.
+///
+/// # Errors
+/// Daemon spawn, connection, scheme, or protocol errors from any arm.
+pub fn run_sched_bench(opts: &SchedOptions) -> Result<SchedReport> {
+    let affinity_uniform = run_sched_arm(opts, "affinity_uniform", true, false)?;
+    let global_uniform = run_sched_arm(opts, "global_uniform", false, false)?;
+    let affinity_skewed = run_sched_arm(opts, "affinity_skewed", true, true)?;
+    let global_skewed = run_sched_arm(opts, "global_skewed", false, true)?;
+    let ratio = |a: f64, b: f64| a / b.max(1e-9);
+    #[allow(clippy::cast_precision_loss)]
+    let skew_p99_ratio = affinity_skewed.p99_ns as f64 / (global_skewed.p99_ns as f64).max(1.0);
+    #[allow(clippy::cast_precision_loss)]
+    let skew_queue_p99_ratio =
+        affinity_skewed.queue_p99_ns as f64 / (global_skewed.queue_p99_ns as f64).max(1.0);
+    let uniform_throughput_ratio = ratio(affinity_uniform.ops_per_sec, global_uniform.ops_per_sec);
+    let skew_throughput_ratio = ratio(affinity_skewed.ops_per_sec, global_skewed.ops_per_sec);
+    let steals_under_skew = affinity_skewed.sched_stolen;
+    let steady_state_thread_spawns = affinity_uniform.thread_spawns
+        + global_uniform.thread_spawns
+        + affinity_skewed.thread_spawns
+        + global_skewed.thread_spawns;
+    Ok(SchedReport {
+        options: opts.clone(),
+        affinity_uniform,
+        global_uniform,
+        affinity_skewed,
+        global_skewed,
+        uniform_throughput_ratio,
+        skew_throughput_ratio,
+        skew_p99_ratio,
+        skew_queue_p99_ratio,
+        steals_under_skew,
+        steady_state_thread_spawns,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2059,6 +2471,83 @@ mod tests {
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
+    }
+
+    #[test]
+    fn sched_report_json_has_required_fields() {
+        let sarm = |name, affinity, skewed| SchedArm {
+            name,
+            affinity,
+            skewed,
+            ops: 4096,
+            ops_per_sec: 20_000.0,
+            p50_ns: 200_000,
+            p99_ns: 900_000,
+            queue_p50_ns: 3_000,
+            queue_p99_ns: 40_000,
+            service_p50_ns: 90_000,
+            service_p99_ns: 400_000,
+            sched_routed: 4096,
+            sched_local_hits: 3900,
+            sched_stolen: 120,
+            sched_spilled: 6,
+            sched_queue_depth_hw: 31,
+            fanout_batches: 2048,
+            fanout_parts_helped: 700,
+            thread_spawns: 0,
+        };
+        let report = SchedReport {
+            options: SchedOptions::default(),
+            affinity_uniform: sarm("affinity_uniform", true, false),
+            global_uniform: sarm("global_uniform", false, false),
+            affinity_skewed: sarm("affinity_skewed", true, true),
+            global_skewed: sarm("global_skewed", false, true),
+            uniform_throughput_ratio: 1.02,
+            skew_throughput_ratio: 1.1,
+            skew_p99_ratio: 0.9,
+            skew_queue_p99_ratio: 0.8,
+            steals_under_skew: 120,
+            steady_state_thread_spawns: 0,
+        };
+        let json = report.to_json();
+        for field in [
+            "\"benchmark\":\"sse-sched\"",
+            "\"tenants\":8",
+            "\"batch_parts\":4",
+            "\"arm\":\"affinity_uniform\"",
+            "\"arm\":\"global_uniform\"",
+            "\"arm\":\"affinity_skewed\"",
+            "\"arm\":\"global_skewed\"",
+            "\"affinity\":true",
+            "\"affinity\":false",
+            "\"queue_p50_ns\"",
+            "\"queue_p99_ns\"",
+            "\"service_p50_ns\"",
+            "\"service_p99_ns\"",
+            "\"sched_routed\"",
+            "\"sched_local_hits\"",
+            "\"sched_stolen\"",
+            "\"sched_spilled\"",
+            "\"sched_queue_depth_hw\"",
+            "\"fanout_batches\"",
+            "\"fanout_parts_helped\"",
+            "\"thread_spawns\":0",
+            "\"uniform_throughput_ratio\":1.0200",
+            "\"skew_throughput_ratio\":1.1000",
+            "\"skew_p99_ratio\":0.900",
+            "\"skew_queue_p99_ratio\":0.800",
+            "\"steals_under_skew\":120",
+            "\"steady_state_thread_spawns\":0",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+
+        // The skewed schedule concentrates ~75% of rounds on tenant 0;
+        // the uniform one is flat.
+        let skew = sched_schedule(8, true);
+        assert_eq!(skew.iter().filter(|&&t| t == 0).count(), 25);
+        assert_eq!(skew.len(), 32);
+        assert_eq!(sched_schedule(8, false), (0..8).collect::<Vec<_>>());
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //!          [--scheme 1|2|both] [--profile gp|traveler] [--events N]
 //!          [--seed N] [--shutdown]
 //! sse-load --bench-json PATH
-//!          [--bench-mode serving|groupcommit|search|update|idle|hotpath]
+//!          [--bench-mode serving|groupcommit|search|update|idle|hotpath|sched]
 //!          [--shards N] [--clients N] [--seed N] [--bench-ms N]
-//!          [--idle-conns N] [--depth N]
+//!          [--idle-conns N] [--depth N] [--tenants N] [--batch-parts N]
 //! ```
 //!
 //! Drives N concurrent clients, each replaying a §6 PHR workload (Zipf
@@ -33,11 +33,17 @@
 //! a captured warm search against the owned-buffer fallback, the pooled
 //! pipeline, and the pooled pipeline under a `--depth`-request pipelined
 //! burst, reporting server-thread allocations per op, bytes memcpy'd per
-//! op, and the mean `writev` syscall batch (`BENCH_hotpath.json`).
+//! op, and the mean `writev` syscall batch (`BENCH_hotpath.json`);
+//! `sched` drives `--tenants` tenants with pipelined bursts mixing plain
+//! searches and `SEARCH_MANY` fan-out batches, under uniform and skewed
+//! weights, against affinity routing and its round-robin baseline —
+//! reporting the scheduler counters, the queue-wait/service-time latency
+//! split, and the steady-state thread-spawn count (`BENCH_sched.json`).
 
 use sse_server::bench::{
-    run_bench, run_group_commit_bench, run_hotpath_bench, run_idle_bench, run_search_bench,
-    run_update_bench, BenchOptions, HotpathOptions, IdleBenchOptions,
+    run_bench, run_group_commit_bench, run_hotpath_bench, run_idle_bench, run_sched_bench,
+    run_search_bench, run_update_bench, BenchOptions, HotpathOptions, IdleBenchOptions,
+    SchedOptions,
 };
 use sse_server::chaos::{run_chaos, ChaosOptions};
 use sse_server::daemon::{Daemon, ServerConfig};
@@ -59,8 +65,9 @@ fn usage() -> ! {
         "usage: sse-load [--addr HOST:PORT | --spawn] [--clients N] [--tenants N] \
          [--scheme 1|2|both] [--profile gp|traveler] [--events N] [--seed N] [--shutdown]\n\
          \x20      sse-load --bench-json PATH \
-         [--bench-mode serving|groupcommit|search|update|idle|hotpath] \
-         [--shards N] [--clients N] [--seed N] [--bench-ms N] [--idle-conns N] [--depth N]\n\
+         [--bench-mode serving|groupcommit|search|update|idle|hotpath|sched] \
+         [--shards N] [--clients N] [--seed N] [--bench-ms N] [--idle-conns N] [--depth N] \
+         [--tenants N] [--batch-parts N]\n\
          \x20      sse-load --chaos [--seed N] [--clients N] [--tenants N] \
          [--backend btree|lsm] [--chaos-ms N] [--chaos-report PATH]"
     );
@@ -82,6 +89,7 @@ enum BenchMode {
     Update,
     Idle,
     Hotpath,
+    Sched,
 }
 
 struct Cli {
@@ -93,6 +101,7 @@ struct Cli {
     bench_mode: BenchMode,
     idle: IdleBenchOptions,
     hotpath: HotpathOptions,
+    sched: SchedOptions,
     chaos: bool,
     chaos_opts: ChaosOptions,
     chaos_report: std::path::PathBuf,
@@ -108,6 +117,7 @@ fn parse_args() -> Cli {
         bench_mode: BenchMode::Serving,
         idle: IdleBenchOptions::default(),
         hotpath: HotpathOptions::default(),
+        sched: SchedOptions::default(),
         chaos: false,
         chaos_opts: ChaosOptions::default(),
         chaos_report: std::path::PathBuf::from("CHAOS_report.json"),
@@ -133,6 +143,7 @@ fn parse_args() -> Cli {
             "--tenants" => {
                 cli.opts.tenants = parse(&value());
                 cli.chaos_opts.tenants = cli.opts.tenants;
+                cli.sched.tenants = cli.opts.tenants;
             }
             "--events" => cli.opts.events = parse(&value()),
             "--seed" => {
@@ -141,6 +152,7 @@ fn parse_args() -> Cli {
                 cli.chaos_opts.seed = cli.opts.seed;
                 cli.idle.seed = cli.opts.seed;
                 cli.hotpath.seed = cli.opts.seed;
+                cli.sched.seed = cli.opts.seed;
             }
             "--chaos" => cli.chaos = true,
             "--chaos-ms" => {
@@ -162,6 +174,7 @@ fn parse_args() -> Cli {
                     "update" => BenchMode::Update,
                     "idle" => BenchMode::Idle,
                     "hotpath" => BenchMode::Hotpath,
+                    "sched" => BenchMode::Sched,
                     other => {
                         eprintln!("unknown bench mode: {other}");
                         usage();
@@ -176,9 +189,14 @@ fn parse_args() -> Cli {
                 cli.bench.duration = std::time::Duration::from_millis(parse(&value()));
                 cli.idle.duration = cli.bench.duration;
                 cli.hotpath.duration = cli.bench.duration;
+                cli.sched.duration = cli.bench.duration;
             }
             "--idle-conns" => cli.idle.idle_conns = parse(&value()),
-            "--depth" => cli.hotpath.depth = parse(&value()),
+            "--depth" => {
+                cli.hotpath.depth = parse(&value());
+                cli.sched.depth = cli.hotpath.depth;
+            }
+            "--batch-parts" => cli.sched.batch_parts = parse(&value()),
             "--scheme" => {
                 cli.opts.schemes = match value().as_str() {
                     "1" => vec![SchemeId::Scheme1],
@@ -445,6 +463,67 @@ fn run_hotpath_mode(path: &std::path::Path, opts: &HotpathOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run the scheduler/affinity benchmark and write `BENCH_sched.json`.
+/// The thread-spawn count needs no special allocator — `allocmeter`
+/// counts spawns process-wide — but the in-process daemon is required
+/// (the counter lives in this process).
+fn run_sched_mode(path: &std::path::Path, opts: &SchedOptions) -> ExitCode {
+    println!(
+        "sse-load: scheduler benchmark: {} tenant(s), depth {}, {} part(s) per batch, \
+         {:?} window per arm",
+        opts.tenants, opts.depth, opts.batch_parts, opts.duration
+    );
+    let report = match run_sched_bench(opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sse-load: benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for arm in [
+        &report.affinity_uniform,
+        &report.global_uniform,
+        &report.affinity_skewed,
+        &report.global_skewed,
+    ] {
+        println!(
+            "sse-load: {}: {:.1} ops/sec (round p50 {} ns, p99 {} ns), \
+             queue p99 {} ns, service p99 {} ns, {} local / {} stolen / {} spilled \
+             (hw depth {}), {} fan-out batch(es), {} part(s) helped, {} spawn(s)",
+            arm.name,
+            arm.ops_per_sec,
+            arm.p50_ns,
+            arm.p99_ns,
+            arm.queue_p99_ns,
+            arm.service_p99_ns,
+            arm.sched_local_hits,
+            arm.sched_stolen,
+            arm.sched_spilled,
+            arm.sched_queue_depth_hw,
+            arm.fanout_batches,
+            arm.fanout_parts_helped,
+            arm.thread_spawns
+        );
+    }
+    println!(
+        "sse-load: affinity vs global throughput: {:.2}x uniform, {:.2}x skewed; \
+         skew p99 ratio {:.2} (queue-wait {:.2}); {} steal(s) under skew, \
+         {} steady-state thread spawn(s)",
+        report.uniform_throughput_ratio,
+        report.skew_throughput_ratio,
+        report.skew_p99_ratio,
+        report.skew_queue_p99_ratio,
+        report.steals_under_skew,
+        report.steady_state_thread_spawns
+    );
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("sse-load: writing {} failed: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("sse-load: wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 /// Run the chaos-soak harness and write `CHAOS_report.json`. Exits
 /// nonzero if any invariant was violated.
 fn run_chaos_mode(path: &std::path::Path, opts: &ChaosOptions) -> ExitCode {
@@ -516,6 +595,9 @@ fn main() -> ExitCode {
         }
         if cli.bench_mode == BenchMode::Hotpath {
             return run_hotpath_mode(path, &cli.hotpath);
+        }
+        if cli.bench_mode == BenchMode::Sched {
+            return run_sched_mode(path, &cli.sched);
         }
         println!(
             "sse-load: benchmark mode: {} clients, 1 vs {} shard(s), {:?} window per arm",

@@ -6,6 +6,7 @@
 //!             [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N]
 //!             [--scrub-interval-ms N] [--reactor | --threaded]
 //!             [--max-conns N] [--write-queue-limit BYTES] [--no-pool]
+//!             [--no-affinity]
 //! ```
 //!
 //! By default every socket is owned by the non-blocking epoll reactor
@@ -18,7 +19,10 @@
 //! accept loop (`--reactor` selects the default explicitly). `--no-pool`
 //! disables the zero-copy buffer pool (DESIGN.md §4j) and serves every
 //! frame from fresh owned buffers — a diagnostic fallback, also the
-//! baseline arm of `sse-load --bench-mode hotpath`.
+//! baseline arm of `sse-load --bench-mode hotpath`. `--no-affinity`
+//! disables tenant-hash routing across the per-worker run queues
+//! (DESIGN.md §4k) and round-robins jobs instead — the global-queue
+//! baseline arm of `sse-load --bench-mode sched`.
 //!
 //! Serves until an `ADMIN_SHUTDOWN` frame arrives (e.g. `sse-load
 //! --shutdown`, or any `TcpTransport::admin_shutdown` call), then drains
@@ -50,7 +54,7 @@ fn usage() -> ! {
          [--scheme1-capacity N] [--scheme2-chain N] [--shards N] \
          [--data-dir DIR] [--backend btree|lsm] [--idle-timeout-ms N] \
          [--scrub-interval-ms N] [--reactor | --threaded] [--max-conns N] \
-         [--write-queue-limit BYTES] [--no-pool]"
+         [--write-queue-limit BYTES] [--no-pool] [--no-affinity]"
     );
     std::process::exit(2);
 }
@@ -99,6 +103,7 @@ fn parse_args() -> ServerConfig {
             "--reactor" => config.reactor = true,
             "--threaded" => config.reactor = false,
             "--no-pool" => config.pool = false,
+            "--no-affinity" => config.affinity = false,
             "--max-conns" => config.max_conns = parse(&value()),
             "--write-queue-limit" => config.write_queue_limit = parse(&value()),
             "--scrub-interval-ms" => {
@@ -259,6 +264,28 @@ fn main() -> ExitCode {
         report.final_stats.scrub_passes,
         report.final_stats.scrub_repairs,
         report.threads_panicked
+    );
+    println!(
+        "sse-serverd: scheduler: {} job(s) routed (affinity {}), {} local hit(s), \
+         {} stolen, {} spilled, high-water queue depth {}; \
+         {} fan-out batch(es), {} part(s) helped; \
+         queue-wait p50 {} ns p99 {} ns, service p50 {} ns p99 {} ns",
+        report.final_stats.sched_routed,
+        if config.affinity {
+            "on"
+        } else {
+            "off, --no-affinity round-robin"
+        },
+        report.final_stats.sched_local_hits,
+        report.final_stats.sched_stolen,
+        report.final_stats.sched_spilled,
+        report.final_stats.sched_queue_depth_hw,
+        report.final_stats.fanout_batches,
+        report.final_stats.fanout_parts_helped,
+        report.final_stats.queue_p50_ns,
+        report.final_stats.queue_p99_ns,
+        report.final_stats.service_p50_ns,
+        report.final_stats.service_p99_ns
     );
     // Backend counters come from the post-drain snapshot: the drain
     // checkpoint itself flushes lsm runs, which a pre-shutdown snapshot

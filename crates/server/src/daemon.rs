@@ -5,16 +5,25 @@
 //! ```text
 //!  listener thread ──accept──▶ connection threads (one per socket)
 //!                                   │  parse frames, route ADMIN inline
-//!                                   │  try_send DATA jobs (bounded queue)
-//!                                   ▼            │ queue full ⇒ BUSY reply
-//!                          crossbeam bounded channel
-//!                                   │
-//!                                   ▼
-//!                          worker pool (N threads)
-//!                            lock tenant ▸ Service::handle ▸ reply
+//!                                   │  try_send DATA jobs, routed by
+//!                                   ▼  tenant hash │ all queues full ⇒ BUSY
+//!                    sharded scheduler (one run queue per worker)
+//!                      q0      q1      q2      q3
+//!                      │       │       │       │   idle workers steal
+//!                      ▼       ▼       ▼       ▼   from the busiest queue
+//!                      w0      w1      w2      w3
+//!                        lock tenant ▸ Service::handle ▸ reply
 //! ```
 //!
-//! Backpressure is explicit: when the job queue is full the connection
+//! Jobs are routed to `hash(tenant) % workers` ([`crate::sched`]), so a
+//! tenant's hot state — Scheme 2 chain-key memo, shard snapshots, shard
+//! locks — stays on one core instead of bouncing between whichever
+//! workers happen to pop a shared queue; stealing keeps a skewed tenant
+//! mix from idling the rest of the pool. `SEARCH_MANY` batches execute
+//! on the same pool through the spawn-free fan-out executor instead of
+//! spawning scoped threads per request.
+//!
+//! Backpressure is explicit: when every run queue is full the connection
 //! thread answers `BUSY` immediately instead of buffering unboundedly —
 //! the client retries with backoff ([`crate::transport::TcpTransport`]).
 //!
@@ -29,10 +38,10 @@ use crate::proto::{
     KIND_SEARCH_MANY, KIND_UPDATE_MANY, STATUS_BUSY, STATUS_DEGRADED, STATUS_ERR, STATUS_OK,
 };
 use crate::reactor::{CompletionQueue, OutMsg, Reactor, ReactorOptions, Segment, POISON_TOKEN};
+use crate::sched::{route_hash, JobSender, SchedCounters, Scheduler, SearchFanout};
 use crate::scrub::{scrub_loop, scrub_pass, ScrubCounters};
 use crate::stats::ServingStats;
 use crate::tenant::{TenantHandle, TenantParams, TenantRegistry};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sse_core::health::{HealthState, DEGRADED_RETRY_AFTER_MS};
 use sse_net::frame::FrameDecoder;
 use sse_net::pool::{BufPool, PooledBuf};
@@ -111,6 +120,12 @@ pub struct ServerConfig {
     /// to a fresh `Vec` per frame and a copied payload per job — the
     /// pre-pool behavior, kept as the benchmark baseline.
     pub pool: bool,
+    /// `true` (the default) routes jobs to `hash(tenant) % workers`, so a
+    /// tenant's hot state stays core-local and idle workers steal from
+    /// the busiest queue. `false` (`--no-affinity`) routes round-robin
+    /// through the same sharded scheduler — the global-queue-equivalent
+    /// baseline the sched bench compares against.
+    pub affinity: bool,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +144,7 @@ impl Default for ServerConfig {
             max_conns: DEFAULT_MAX_CONNS,
             write_queue_limit: DEFAULT_WRITE_QUEUE_LIMIT,
             pool: true,
+            affinity: true,
         }
     }
 }
@@ -146,6 +162,10 @@ pub(crate) struct Shared {
     /// mode is on; kept here regardless so `ADMIN_STATS` can report the
     /// hit/miss/recycle counters.
     pub(crate) pool: BufPool,
+    /// Scheduler observability counters (routed / local hits / steals /
+    /// spills / queue high-water, fan-out batches), overlaid into
+    /// `ADMIN_STATS` like the pool and storage counters.
+    pub(crate) sched: Arc<SchedCounters>,
 }
 
 impl Shared {
@@ -189,6 +209,13 @@ impl Shared {
         snap.pool_hits = pool.hits;
         snap.pool_misses = pool.misses;
         snap.pool_recycles = pool.recycles;
+        snap.sched_routed = self.sched.routed();
+        snap.sched_local_hits = self.sched.local_hits();
+        snap.sched_stolen = self.sched.stolen();
+        snap.sched_spilled = self.sched.spilled();
+        snap.sched_queue_depth_hw = self.sched.queue_depth_hw();
+        snap.fanout_batches = self.sched.fanout_batches();
+        snap.fanout_parts_helped = self.sched.fanout_parts_helped();
         snap
     }
 }
@@ -343,7 +370,7 @@ pub struct Daemon {
     drain_done: ShutdownSignal,
     worker_joins: Vec<JoinHandle<()>>,
     scrub_join: Option<JoinHandle<()>>,
-    job_tx: Sender<Job>,
+    job_tx: JobSender<Job>,
 }
 
 impl Daemon {
@@ -375,13 +402,16 @@ impl Daemon {
             Some(dir) => TenantRegistry::durable(config.tenant_params, dir, vfs),
         });
         registry.preopen_existing().map_err(std::io::Error::other)?;
-        let (job_tx, job_rx) = bounded::<Job>(config.queue_depth);
+        let (sched, job_tx) =
+            Scheduler::<Job>::new(config.workers.max(1), config.queue_depth, config.affinity);
+        let fanout = Arc::new(SearchFanout::new(sched.clone()));
 
-        let worker_joins: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-            .map(|_| {
-                let rx: Receiver<Job> = job_rx.clone();
+        let worker_joins: Vec<JoinHandle<()>> = (0..sched.workers())
+            .map(|me| {
+                let sched = sched.clone();
+                let fanout = fanout.clone();
                 let stats = stats.clone();
-                std::thread::spawn(move || worker_loop(&rx, &stats))
+                std::thread::spawn(move || worker_loop(me, &sched, &fanout, &stats))
             })
             .collect();
 
@@ -394,6 +424,7 @@ impl Daemon {
             max_frame_len: config.max_frame_len,
             idle_timeout: config.idle_timeout,
             pool: BufPool::new(),
+            sched: sched.counters(),
         });
 
         let scrub_join = config.scrub_interval.map(|interval| {
@@ -556,8 +587,9 @@ impl Daemon {
             join_counted(join, "connection");
         }
         // All request producers are gone: dropping the daemon's own sender
-        // disconnects the channel (the reactor drops its own clone on its
-        // first post-shutdown turn), and workers exit after draining it.
+        // closes the scheduler (the reactor drops its own clone on its
+        // first post-shutdown turn), and workers exit after draining every
+        // run queue.
         drop(self.job_tx);
         let workers_joined = self.worker_joins.len();
         for join in self.worker_joins {
@@ -599,7 +631,7 @@ fn listener_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
     conn_joins: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    job_tx: &Sender<Job>,
+    job_tx: &JobSender<Job>,
 ) {
     while !shared.shutdown.is_requested() {
         match listener.accept() {
@@ -634,89 +666,118 @@ fn listener_loop(
     }
 }
 
-fn worker_loop(rx: &Receiver<Job>, stats: &Arc<ServingStats>) {
+fn worker_loop(
+    me: usize,
+    sched: &Arc<Scheduler<Job>>,
+    fanout: &Arc<SearchFanout>,
+    stats: &Arc<ServingStats>,
+) {
     // Server-side thread: opt into the allocation meter (see the reactor
     // thread) so hotpath bench numbers cover scheme work, not clients.
     allocmeter::track_current_thread();
-    // `recv` yields every job still queued even after all senders drop —
-    // shutdown drains the backlog rather than abandoning it.
-    //
-    // No lock is taken here: the tenant handle is shared and the scheme
-    // servers lock per index shard internally, so workers executing
-    // requests against distinct shards of the same tenant genuinely run
-    // in parallel (and a search never queues behind another shard's
-    // journal fsync).
-    while let Ok(job) = rx.recv() {
-        // Health gate, checked lock-free before any work: a quarantined
-        // tenant serves nothing; a degraded tenant serves reads from its
-        // snapshots but rejects mutations with a typed retry-after hint so
-        // clients back off instead of dropping the op.
-        let health = job.tenant.health();
-        match health.state() {
-            HealthState::Quarantined => {
-                stats.record_err();
-                let msg = format!("tenant quarantined: {}", health.reason());
-                job.responder.send(STATUS_ERR, job.seq, msg.into_bytes());
-                continue;
-            }
-            HealthState::Degraded if job.tenant.is_mutation(job.kind, &job.payload) => {
-                stats.record_degraded();
-                let payload = proto::encode_degraded(DEGRADED_RETRY_AFTER_MS, &health.reason());
-                job.responder.send(STATUS_DEGRADED, job.seq, payload);
-                continue;
-            }
-            _ => {}
+    // Worker w serves its own run queue first (its tenants' home), then
+    // steals, then helps an active search fan-out, and only then parks.
+    // The epoch is read before the probes so a submit that lands between
+    // probe and park wakes the worker instead of waiting out the timeout.
+    // Workers exit only once the scheduler is closed AND drained — the
+    // same drain-the-backlog shutdown contract the old channel's
+    // `recv`-until-disconnect loop provided.
+    loop {
+        let epoch = sched.idle_epoch();
+        if let Some(job) = sched.try_next(me) {
+            process_job(job, fanout, stats);
+            continue;
         }
-        // A panicking scheme handler must cost its request, not this
-        // worker thread: an uncaught unwind here would shrink the pool
-        // until the daemon deadlocks with jobs queued and no workers.
-        // parking_lot locks release on unwind (no poisoning), so the
-        // tenant stays usable.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.kind {
-            KIND_UPDATE_MANY => {
-                proto::decode_batch(&job.payload).map(|parts| job.tenant.apply_batch(&parts))
+        if fanout.try_help() {
+            continue;
+        }
+        if sched.is_closed() && sched.queued() == 0 {
+            break;
+        }
+        sched.park(epoch, POLL_INTERVAL);
+    }
+}
+
+fn process_job(job: Job, fanout: &Arc<SearchFanout>, stats: &Arc<ServingStats>) {
+    // The split point between the two latency phases: everything before
+    // this instant was run-queue wait, everything after is service.
+    let queue_wait = job.accepted.elapsed();
+    let service_start = Instant::now();
+    // Health gate, checked lock-free before any work: a quarantined
+    // tenant serves nothing; a degraded tenant serves reads from its
+    // snapshots but rejects mutations with a typed retry-after hint so
+    // clients back off instead of dropping the op.
+    let health = job.tenant.health();
+    match health.state() {
+        HealthState::Quarantined => {
+            stats.record_err();
+            let msg = format!("tenant quarantined: {}", health.reason());
+            job.responder.send(STATUS_ERR, job.seq, msg.into_bytes());
+            return;
+        }
+        HealthState::Degraded if job.tenant.is_mutation(job.kind, &job.payload) => {
+            stats.record_degraded();
+            let payload = proto::encode_degraded(DEGRADED_RETRY_AFTER_MS, &health.reason());
+            job.responder.send(STATUS_DEGRADED, job.seq, payload);
+            return;
+        }
+        _ => {}
+    }
+    let Job {
+        tenant,
+        kind,
+        seq,
+        payload,
+        responder,
+        ..
+    } = job;
+    let bytes_in = payload.len();
+    // A panicking scheme handler must cost its request, not this worker
+    // thread: an uncaught unwind here would shrink the pool until the
+    // daemon deadlocks with jobs queued and no workers. parking_lot locks
+    // release on unwind (no poisoning), so the tenant stays usable.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match kind {
+        KIND_UPDATE_MANY => proto::decode_batch(&payload).map(|parts| tenant.apply_batch(&parts)),
+        // SEARCH_MANY takes the payload by value: the executor shares the
+        // (pooled, zero-copy) buffer with helper workers via Arc instead
+        // of spawning scoped threads that could borrow it.
+        KIND_SEARCH_MANY => fanout.search_many(&tenant, payload),
+        _ => {
+            // Pooled mode closes the loop on the response side too:
+            // encode into a recycled pool buffer, which `send` seals
+            // so the reactor's gather write recycles it again.
+            let scratch = match &responder {
+                Responder::Reactor {
+                    pool: Some(pool), ..
+                } => pool.acquire(RESPONSE_SCRATCH_CAPACITY),
+                _ => Vec::new(),
+            };
+            Some(tenant.handle_shared_with(&payload, scratch))
+        }
+    }));
+    match outcome {
+        Ok(Some(response)) => {
+            let bytes_out = response.len();
+            if responder.send(STATUS_OK, seq, response) {
+                stats.record_ok(bytes_in, bytes_out, queue_wait, service_start.elapsed());
             }
-            KIND_SEARCH_MANY => {
-                proto::decode_batch(&job.payload).map(|parts| job.tenant.search_batch(&parts))
-            }
-            _ => {
-                // Pooled mode closes the loop on the response side too:
-                // encode into a recycled pool buffer, which `send` seals
-                // so the reactor's gather write recycles it again.
-                let scratch = match &job.responder {
-                    Responder::Reactor {
-                        pool: Some(pool), ..
-                    } => pool.acquire(RESPONSE_SCRATCH_CAPACITY),
-                    _ => Vec::new(),
-                };
-                Some(job.tenant.handle_shared_with(&job.payload, scratch))
-            }
-        }));
-        match outcome {
-            Ok(Some(response)) => {
-                let (bytes_in, bytes_out) = (job.payload.len(), response.len());
-                if job.responder.send(STATUS_OK, job.seq, response) {
-                    stats.record_ok(bytes_in, bytes_out, job.accepted.elapsed());
-                }
-            }
-            Ok(None) => {
-                stats.record_err();
-                job.responder
-                    .send(STATUS_ERR, job.seq, b"malformed batch".to_vec());
-            }
-            Err(_) => {
-                stats.record_err();
-                job.responder.send(
-                    STATUS_ERR,
-                    job.seq,
-                    b"internal error: request handler panicked".to_vec(),
-                );
-            }
+        }
+        Ok(None) => {
+            stats.record_err();
+            responder.send(STATUS_ERR, seq, b"malformed batch".to_vec());
+        }
+        Err(_) => {
+            stats.record_err();
+            responder.send(
+                STATUS_ERR,
+                seq,
+                b"internal error: request handler panicked".to_vec(),
+            );
         }
     }
 }
 
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>) {
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &JobSender<Job>) {
     // Server-side thread (legacy mode): opt into the allocation meter so
     // the hotpath bench's legacy arm measures this path's allocations.
     allocmeter::track_current_thread();
@@ -747,6 +808,9 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
     let mut reader = stream;
     let mut decoder = FrameDecoder::with_max_len(shared.max_frame_len);
     let mut tenant: Option<TenantHandle> = None;
+    // Routing key for the scheduler, fixed at hello: every job from this
+    // connection homes to the same worker queue (tenant affinity).
+    let mut route: u64 = 0;
     let mut buf = [0u8; 16 * 1024];
     let mut last_activity = Instant::now();
 
@@ -788,6 +852,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                                 if existed {
                                     stats.record_reconnect();
                                 }
+                                route = route_hash(&hello.tenant, hello.scheme);
                                 tenant = Some(handle);
                                 if !responder.send(STATUS_OK, HELLO_SEQ, Vec::new()) {
                                     break 'conn;
@@ -831,17 +896,18 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &Sender<Job>
                         responder: responder.clone(),
                         accepted: Instant::now(),
                     };
-                    match job_tx.try_send(job) {
+                    match job_tx.try_send(route, job) {
                         Ok(()) => {}
-                        Err(TrySendError::Full(_)) => {
-                            // Explicit backpressure: reject now, let the
-                            // client retry, never queue unboundedly.
+                        Err(_job) => {
+                            // Every run queue is full (home and spill
+                            // alike). Explicit backpressure: reject now,
+                            // let the client retry, never queue
+                            // unboundedly.
                             stats.record_busy();
                             if !responder.send(STATUS_BUSY, seq, Vec::new()) {
                                 break 'conn;
                             }
                         }
-                        Err(TrySendError::Disconnected(_)) => break 'conn,
                     }
                 }
                 KIND_ADMIN => match payload.first().copied() {

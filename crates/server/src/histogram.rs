@@ -73,6 +73,41 @@ impl LatencyHistogram {
     }
 }
 
+/// End-to-end request latency decomposed into its two serving phases:
+/// `total` = accept-to-response, `queue` = time spent parked in a run
+/// queue waiting for a worker, `service` = time the worker actually
+/// spent executing the request. `queue` dominating `total` means the
+/// pool (or one hot tenant's home queue) is saturated; `service`
+/// dominating means the scheme work itself is the cost — the sched
+/// bench reports both so the two regressions can't masquerade as each
+/// other.
+#[derive(Default)]
+pub struct LatencySplit {
+    /// Accept-to-response latency (what clients observe server-side).
+    pub total: LatencyHistogram,
+    /// Run-queue wait: job accepted until a worker dequeued it.
+    pub queue: LatencyHistogram,
+    /// Worker service time: dequeue until the response was produced.
+    pub service: LatencyHistogram,
+}
+
+impl LatencySplit {
+    /// New empty split.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencySplit::default()
+    }
+
+    /// Record one completed request from its two phase durations; the
+    /// total is derived so the three histograms can never disagree about
+    /// which request they describe.
+    pub fn record(&self, queue: Duration, service: Duration) {
+        self.total.record(queue.saturating_add(service));
+        self.queue.record(queue);
+        self.service.record(service);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +213,23 @@ mod tests {
         for q in [0.0, 0.5, 1.0] {
             assert_eq!(h.quantile_ns(q), 512 + 256);
         }
+    }
+
+    #[test]
+    fn latency_split_phases_sum_into_total() {
+        let split = LatencySplit::new();
+        // 10 requests: 1 µs queue wait, 1 ms service.
+        for _ in 0..10 {
+            split.record(Duration::from_micros(1), Duration::from_millis(1));
+        }
+        assert_eq!(split.total.count(), 10);
+        assert_eq!(split.queue.count(), 10);
+        assert_eq!(split.service.count(), 10);
+        // Queue p50 is microseconds, service p50 milliseconds, and the
+        // total tracks the dominant phase.
+        assert!(split.queue.quantile_ns(0.5) < 4_000);
+        assert!(split.service.quantile_ns(0.5) > 500_000);
+        assert!(split.total.quantile_ns(0.5) >= split.service.quantile_ns(0.5));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   connection to a `(tenant, scheme)` database; DATA frames carry the
 //!   *unchanged* scheme wire messages; ADMIN frames expose stats and
 //!   shutdown.
+//! * [`sched`] — the affinity-sharded worker runtime: per-worker run
+//!   queues routed by tenant hash, work stealing from the busiest queue,
+//!   and the spawn-free `SEARCH_MANY` fan-out executor (DESIGN.md §4k).
 //! * [`tenant`] — lazy per-`(tenant, scheme)` server state.
 //! * [`transport`] — [`transport::TcpTransport`], the
 //!   [`sse_net::link::Transport`] impl that lets every existing scheme
@@ -41,6 +44,7 @@ pub mod histogram;
 pub mod load;
 pub mod proto;
 pub mod reactor;
+pub mod sched;
 pub mod scrub;
 pub mod stats;
 pub mod tenant;

@@ -260,6 +260,38 @@ pub fn decode_batch(payload: &[u8]) -> Option<Vec<&[u8]>> {
     Some(parts)
 }
 
+/// [`decode_batch`] without borrowing the parts: the same validation,
+/// returning each part's byte range *within* `payload`. The spawn-free
+/// search fan-out executor ([`crate::sched`]) shares one pooled request
+/// buffer across helper workers via `Arc`, so parts must be positions,
+/// not borrows tied to a local slice. `None` exactly when
+/// [`decode_batch`] returns `None`.
+#[must_use]
+pub fn decode_batch_ranges(payload: &[u8]) -> Option<Vec<std::ops::Range<usize>>> {
+    let (count, rest) = payload.split_first_chunk::<4>()?;
+    let count = u32::from_le_bytes(*count) as usize;
+    // Each part costs at least its 4-byte length prefix.
+    if count > rest.len() / 4 + 1 {
+        return None;
+    }
+    let mut parts = Vec::with_capacity(count);
+    let mut off = 4usize;
+    for _ in 0..count {
+        let len_bytes = payload.get(off..off + 4)?;
+        let len = u32::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+        off += 4;
+        if payload.len() - off < len {
+            return None;
+        }
+        parts.push(off..off + len);
+        off += len;
+    }
+    if off != payload.len() {
+        return None;
+    }
+    Some(parts)
+}
+
 /// Point-in-time serving statistics, as answered to [`ADMIN_STATS`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -382,6 +414,38 @@ pub struct StatsSnapshot {
     /// and response envelope assembly) — the number the zero-copy pipeline
     /// exists to shrink.
     pub bytes_copied: u64,
+    /// Median run-queue wait in nanoseconds (job accepted until a worker
+    /// dequeued it) — the backpressure half of `p50_ns`.
+    pub queue_p50_ns: u64,
+    /// 95th-percentile run-queue wait in nanoseconds.
+    pub queue_p95_ns: u64,
+    /// 99th-percentile run-queue wait in nanoseconds.
+    pub queue_p99_ns: u64,
+    /// Median worker service time in nanoseconds (dequeue until the
+    /// response was produced) — the compute half of `p50_ns`.
+    pub service_p50_ns: u64,
+    /// 95th-percentile worker service time in nanoseconds.
+    pub service_p95_ns: u64,
+    /// 99th-percentile worker service time in nanoseconds.
+    pub service_p99_ns: u64,
+    /// Jobs accepted into a worker run queue (home or spill).
+    pub sched_routed: u64,
+    /// Jobs popped by their home worker from its own queue —
+    /// `sched_local_hits / sched_routed` is the affinity locality rate.
+    pub sched_local_hits: u64,
+    /// Jobs an idle worker took from another worker's queue.
+    pub sched_stolen: u64,
+    /// Jobs whose full home queue overflowed into another queue (still
+    /// steal-eligible; only all-queues-full answers `BUSY`).
+    pub sched_spilled: u64,
+    /// High-water mark of any single run queue's depth.
+    pub sched_queue_depth_hw: u64,
+    /// `SEARCH_MANY` batches run through the persistent fan-out executor.
+    pub fanout_batches: u64,
+    /// Fan-out batch parts executed by an idle helper worker rather than
+    /// the batch's owning worker — nonzero proves the spawn-free executor
+    /// draws on the pool.
+    pub fanout_parts_helped: u64,
 }
 
 impl StatsSnapshot {
@@ -459,7 +523,22 @@ impl StatsSnapshot {
             .put_u64(self.writev_calls)
             .put_u64(self.writev_frames)
             .put_u64(self.wakeups_coalesced)
-            .put_u64(self.bytes_copied);
+            .put_u64(self.bytes_copied)
+            .put_u64s(&[
+                self.queue_p50_ns,
+                self.queue_p95_ns,
+                self.queue_p99_ns,
+                self.service_p50_ns,
+                self.service_p95_ns,
+                self.service_p99_ns,
+                self.sched_routed,
+                self.sched_local_hits,
+                self.sched_stolen,
+                self.sched_spilled,
+                self.sched_queue_depth_hw,
+                self.fanout_batches,
+                self.fanout_parts_helped,
+            ]);
         w.finish()
     }
 
@@ -532,6 +611,21 @@ impl StatsSnapshot {
             snap.writev_frames = r.get_u64().ok()?;
             snap.wakeups_coalesced = r.get_u64().ok()?;
             snap.bytes_copied = r.get_u64().ok()?;
+        }
+        if r.remaining() > 0 {
+            snap.queue_p50_ns = r.get_u64().ok()?;
+            snap.queue_p95_ns = r.get_u64().ok()?;
+            snap.queue_p99_ns = r.get_u64().ok()?;
+            snap.service_p50_ns = r.get_u64().ok()?;
+            snap.service_p95_ns = r.get_u64().ok()?;
+            snap.service_p99_ns = r.get_u64().ok()?;
+            snap.sched_routed = r.get_u64().ok()?;
+            snap.sched_local_hits = r.get_u64().ok()?;
+            snap.sched_stolen = r.get_u64().ok()?;
+            snap.sched_spilled = r.get_u64().ok()?;
+            snap.sched_queue_depth_hw = r.get_u64().ok()?;
+            snap.fanout_batches = r.get_u64().ok()?;
+            snap.fanout_parts_helped = r.get_u64().ok()?;
         }
         r.finish().ok()?;
         Some(snap)
@@ -649,6 +743,19 @@ mod tests {
             writev_frames: 520,
             wakeups_coalesced: 77,
             bytes_copied: 12_345,
+            queue_p50_ns: 500,
+            queue_p95_ns: 4_000,
+            queue_p99_ns: 15_000,
+            service_p50_ns: 800,
+            service_p95_ns: 6_000,
+            service_p99_ns: 18_000,
+            sched_routed: 1_000,
+            sched_local_hits: 940,
+            sched_stolen: 45,
+            sched_spilled: 15,
+            sched_queue_depth_hw: 12,
+            fanout_batches: 33,
+            fanout_parts_helped: 88,
         };
         assert_eq!(StatsSnapshot::decode(&snap.encode()), Some(snap.clone()));
         assert_eq!(StatsSnapshot::decode(b"short"), None);
@@ -667,10 +774,10 @@ mod tests {
             ..StatsSnapshot::default()
         };
         // An older peer's payload ends before the backend_* counters
-        // (and therefore before the health, reactor, and hot-path blocks
-        // appended after them).
+        // (and therefore before the health, reactor, hot-path, and sched
+        // blocks appended after them).
         let mut body = snap.encode();
-        body.truncate(body.len() - (7 + 8 + 8 + 7) * 8);
+        body.truncate(body.len() - (7 + 8 + 8 + 7 + 13) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.walk_steps_saved, 7);
@@ -693,7 +800,7 @@ mod tests {
         // A peer from before the health block: payload ends after the
         // backend_* counters.
         let mut body = snap.encode();
-        body.truncate(body.len() - (8 + 8 + 7) * 8);
+        body.truncate(body.len() - (8 + 8 + 7 + 13) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.backend_runs_flushed, 9);
@@ -713,7 +820,7 @@ mod tests {
         // A peer from before the reactor block: payload ends after the
         // health/scrub counters.
         let mut body = snap.encode();
-        body.truncate(body.len() - (8 + 7) * 8);
+        body.truncate(body.len() - (8 + 7 + 13) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.scrub_passes, 4);
@@ -734,13 +841,35 @@ mod tests {
         // A peer from before the hot-path block: payload ends after the
         // reactor counters.
         let mut body = snap.encode();
-        body.truncate(body.len() - 7 * 8);
+        body.truncate(body.len() - (7 + 13) * 8);
         let decoded = StatsSnapshot::decode(&body).unwrap();
         assert_eq!(decoded.requests_ok, 5);
         assert_eq!(decoded.reactor_wakeups, 7);
         assert_eq!(decoded.pool_hits, 0);
         assert_eq!(decoded.writev_calls, 0);
         assert_eq!(decoded.bytes_copied, 0);
+    }
+
+    #[test]
+    fn stats_decode_tolerates_pre_sched_payload() {
+        let snap = StatsSnapshot {
+            requests_ok: 5,
+            bytes_copied: 17,
+            queue_p99_ns: 900,
+            sched_routed: 31,
+            fanout_batches: 2,
+            ..StatsSnapshot::default()
+        };
+        // A peer from before the scheduler block: payload ends after the
+        // hot-path counters.
+        let mut body = snap.encode();
+        body.truncate(body.len() - 13 * 8);
+        let decoded = StatsSnapshot::decode(&body).unwrap();
+        assert_eq!(decoded.requests_ok, 5);
+        assert_eq!(decoded.bytes_copied, 17);
+        assert_eq!(decoded.queue_p99_ns, 0);
+        assert_eq!(decoded.sched_routed, 0);
+        assert_eq!(decoded.fanout_batches, 0);
     }
 
     #[test]
@@ -790,5 +919,39 @@ mod tests {
         forged[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_batch(&forged).is_none(), "forged count");
         assert!(decode_batch(&[1, 2]).is_none(), "short header");
+    }
+
+    #[test]
+    fn batch_ranges_agree_with_decode_batch() {
+        let parts = vec![b"first".to_vec(), Vec::new(), b"third-part".to_vec()];
+        let payload = encode_batch(&parts);
+        let ranges = decode_batch_ranges(&payload).unwrap();
+        let borrowed = decode_batch(&payload).unwrap();
+        assert_eq!(ranges.len(), borrowed.len());
+        for (range, part) in ranges.iter().zip(&borrowed) {
+            assert_eq!(&payload[range.clone()], *part);
+        }
+        assert_eq!(decode_batch_ranges(&encode_batch(&[])).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn batch_ranges_reject_exactly_what_decode_batch_rejects() {
+        let good = encode_batch(&[b"part".to_vec()]);
+        for bad in [
+            &good[..good.len() - 1],               // truncated part
+            &[good.clone(), vec![0]].concat()[..], // trailing bytes
+            &{
+                let mut forged = good.clone();
+                forged[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+                forged
+            }[..], // forged count
+            &[1, 2][..],                           // short header
+        ] {
+            assert_eq!(
+                decode_batch_ranges(bad).is_none(),
+                decode_batch(bad).is_none()
+            );
+            assert!(decode_batch_ranges(bad).is_none());
+        }
     }
 }

@@ -40,9 +40,9 @@ use crate::proto::{
     self, Hello, ADMIN_SHUTDOWN, ADMIN_STATS, HELLO_SEQ, KIND_ADMIN, KIND_DATA, KIND_SEARCH_MANY,
     KIND_UPDATE_MANY, STATUS_BUSY, STATUS_ERR, STATUS_OK,
 };
+use crate::sched::{route_hash, JobSender};
 use crate::stats::ServingStats;
 use crate::tenant::TenantHandle;
-use crossbeam::channel::{Sender, TrySendError};
 use epoll::{wake_pipe, Event, Interest, Poller, RealPoller, WakeReader, Waker};
 use sse_net::frame::StreamingDecoder;
 use sse_net::pool::{BufPool, PooledBuf};
@@ -261,6 +261,10 @@ struct Conn {
     /// Jobs handed to workers whose responses have not come back yet. An
     /// in-flight connection is never idle-reaped.
     in_flight: u32,
+    /// Scheduler routing key, fixed at hello from the tenant name and
+    /// scheme: every job from this connection homes to one worker queue
+    /// (tenant affinity).
+    route: u64,
     /// Advanced only when a **complete** frame arrives — a slow-loris
     /// client dripping single header bytes stays eligible for the idle
     /// reaper.
@@ -283,6 +287,7 @@ impl Conn {
             write_offset: 0,
             queued_bytes: 0,
             in_flight: 0,
+            route: 0,
             last_activity: Instant::now(),
             interest: Interest::READABLE,
         }
@@ -395,9 +400,9 @@ pub(crate) struct Reactor<P: Poller> {
     completions: Arc<CompletionQueue>,
     conns: ConnTable,
     shared: Arc<Shared>,
-    /// Dropped when shutdown begins so workers see the channel disconnect
+    /// Dropped when shutdown begins so workers see the scheduler close
     /// once every producer is gone.
-    job_tx: Option<Sender<Job>>,
+    job_tx: Option<JobSender<Job>>,
     /// Second-phase signal: workers have been joined, flush what remains
     /// and exit.
     drain_done: ShutdownSignal,
@@ -426,7 +431,7 @@ impl Reactor<RealPoller> {
     pub(crate) fn new_real(
         listener: TcpListener,
         shared: Arc<Shared>,
-        job_tx: Sender<Job>,
+        job_tx: JobSender<Job>,
         drain_done: ShutdownSignal,
         opts: ReactorOptions,
     ) -> std::io::Result<(Reactor<RealPoller>, Arc<CompletionQueue>)> {
@@ -457,7 +462,7 @@ impl<P: Poller> Reactor<P> {
         wake: Option<WakeReader>,
         completions: Arc<CompletionQueue>,
         shared: Arc<Shared>,
-        job_tx: Sender<Job>,
+        job_tx: JobSender<Job>,
         drain_done: ShutdownSignal,
         opts: ReactorOptions,
     ) -> Reactor<P> {
@@ -817,7 +822,7 @@ impl<P: Poller> Reactor<P> {
         token: u64,
         frame: PooledBuf,
         shared: &Shared,
-        job_tx: Option<&Sender<Job>>,
+        job_tx: Option<&JobSender<Job>>,
         completions: &Arc<CompletionQueue>,
         opts: &ReactorOptions,
     ) -> Result<(), CloseReason> {
@@ -831,6 +836,7 @@ impl<P: Poller> Reactor<P> {
                             if existed {
                                 stats.record_reconnect();
                             }
+                            conn.route = route_hash(&hello.tenant, hello.scheme);
                             conn.tenant = Some(handle);
                             conn.state = ConnState::Established;
                             Self::enqueue_response(
@@ -929,23 +935,22 @@ impl<P: Poller> Reactor<P> {
                             },
                             accepted: Instant::now(),
                         };
+                        // `None` (shutdown already began; workers are
+                        // draining) is treated like a full queue.
                         let outcome = match job_tx {
-                            Some(tx) => tx.try_send(job).map_err(|e| match e {
-                                TrySendError::Full(_) => None,
-                                TrySendError::Disconnected(_) => Some(CloseReason::IoError),
-                            }),
-                            // Shutdown already began: the workers are
-                            // draining, treat like a full queue.
-                            None => Err(None),
+                            Some(tx) => tx.try_send(conn.route, job).map_err(|_job| ()),
+                            None => Err(()),
                         };
                         match outcome {
                             Ok(()) => {
                                 conn.in_flight += 1;
                                 Ok(())
                             }
-                            Err(None) => {
-                                // Explicit job-queue backpressure: reject
-                                // now, the client backs off and retries.
+                            Err(()) => {
+                                // Explicit job-queue backpressure (every
+                                // run queue full, home and spill alike):
+                                // reject now, the client backs off and
+                                // retries.
                                 stats.record_busy();
                                 Self::enqueue_response(
                                     poller,
@@ -959,7 +964,6 @@ impl<P: Poller> Reactor<P> {
                                     true,
                                 )
                             }
-                            Err(Some(reason)) => Err(reason),
                         }
                     }
                     KIND_ADMIN => match frame.get(proto::REQUEST_HEADER_LEN).copied() {
@@ -1289,9 +1293,9 @@ mod tests {
     use super::*;
     use crate::daemon::DEFAULT_WRITE_QUEUE_LIMIT;
     use crate::proto::SchemeId;
+    use crate::sched::{SchedCounters, Scheduler};
     use crate::scrub::ScrubCounters;
     use crate::tenant::{TenantParams, TenantRegistry};
-    use crossbeam::channel::{bounded, Receiver};
     use epoll::MockPoller;
     use sse_net::frame::encode_frame;
     use std::io;
@@ -1398,20 +1402,24 @@ mod tests {
             max_frame_len: sse_net::frame::MAX_FRAME_LEN,
             idle_timeout,
             pool: BufPool::new(),
+            sched: Arc::new(SchedCounters::default()),
         })
     }
 
     struct Rig {
         reactor: Reactor<MockPoller>,
         completions: Arc<CompletionQueue>,
-        job_rx: Receiver<Job>,
+        /// The consumer side of the scheduler the reactor submits into —
+        /// tests pop it like the worker pool would (single queue, so
+        /// `try_next(0)` observes submit order).
+        sched: Arc<Scheduler<Job>>,
         shared: Arc<Shared>,
         events: Vec<Event>,
     }
 
     fn rig_with(idle_timeout: Duration, queue_depth: usize, write_queue_limit: usize) -> Rig {
         let shared = test_shared(idle_timeout);
-        let (job_tx, job_rx) = bounded(queue_depth);
+        let (sched, job_tx) = Scheduler::<Job>::new(1, queue_depth, true);
         let (waker, wake_rx) = wake_pipe().expect("wake pipe");
         let completions = Arc::new(CompletionQueue::new(waker));
         let opts = ReactorOptions {
@@ -1434,7 +1442,7 @@ mod tests {
         Rig {
             reactor,
             completions,
-            job_rx,
+            sched,
             shared,
             events: Vec::new(),
         }
@@ -1532,7 +1540,7 @@ mod tests {
         )));
         let (idx2, gen2, token2) = rig.add_conn(io2);
         rig.turn_with(vec![Event::readable(token2)]);
-        let job = rig.job_rx.try_recv().expect("job queued");
+        let job = rig.sched.try_next(0).expect("job queued");
         assert_eq!(job.kind, KIND_DATA);
         assert_eq!(job.seq, 9);
         assert_eq!(&job.payload[..], b"query-bytes");
@@ -1734,7 +1742,7 @@ mod tests {
         rig.turn_with(vec![Event::readable(token)]);
         // Depth-1 queue: the first job sits queued, the second gets BUSY
         // with its own seq echoed.
-        assert_eq!(rig.job_rx.len(), 1);
+        assert_eq!(rig.sched.queued(), 1);
         let got = written.lock().unwrap().clone();
         let busy = encode_frame(&proto::encode_response(STATUS_BUSY, 2, &[]));
         assert_eq!(got, [ok_response(HELLO_SEQ, &[]), busy].concat());
@@ -1957,7 +1965,7 @@ mod tests {
         )));
         let (_idx, _gen, token) = rig.add_conn(io);
         rig.turn_with(vec![Event::readable(token)]);
-        let job = rig.job_rx.try_recv().expect("job queued");
+        let job = rig.sched.try_next(0).expect("job queued");
         assert_eq!(&job.payload[..], b"needle");
         // The payload is a sliced view of the decoder's pool buffer —
         // nothing was memcpy'd on the request path.
@@ -1982,7 +1990,7 @@ mod tests {
         )));
         let (_idx, _gen, token) = rig.add_conn(io);
         rig.turn_with(vec![Event::readable(token)]);
-        let job = rig.job_rx.try_recv().expect("job queued");
+        let job = rig.sched.try_next(0).expect("job queued");
         assert_eq!(&job.payload[..], b"needle");
         assert_eq!(
             rig.shared.stats.snapshot().bytes_copied,

@@ -1,10 +1,13 @@
 //! Daemon-wide serving statistics.
 //!
 //! Counters are plain atomics (incremented from reader and worker threads
-//! alike); latency goes to a [`LatencyHistogram`]. A [`StatsSnapshot`] is
-//! taken on demand to answer `ADMIN_STATS` requests.
+//! alike); latency goes to a [`LatencySplit`] — the end-to-end histogram
+//! decomposed into queue-wait and worker service time, so a saturated
+//! run queue and a slow scheme handler are distinguishable in
+//! `ADMIN_STATS`. A [`StatsSnapshot`] is taken on demand to answer
+//! `ADMIN_STATS` requests.
 
-use crate::histogram::LatencyHistogram;
+use crate::histogram::LatencySplit;
 use crate::proto::StatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -33,7 +36,7 @@ pub struct ServingStats {
     writev_frames: AtomicU64,
     wakeups_coalesced: AtomicU64,
     bytes_copied: AtomicU64,
-    latency: LatencyHistogram,
+    latency: LatencySplit,
 }
 
 impl ServingStats {
@@ -43,14 +46,22 @@ impl ServingStats {
         Self::default()
     }
 
-    /// Record one served DATA request: payload sizes and end-to-end service
-    /// latency (queue wait + handler time).
-    pub fn record_ok(&self, bytes_in: usize, bytes_out: usize, latency: Duration) {
+    /// Record one served DATA request: payload sizes plus the two
+    /// latency phases — `queue_wait` (accepted until a worker dequeued
+    /// the job) and `service` (worker dequeue until the response was
+    /// produced). The end-to-end latency is their sum, recorded as such.
+    pub fn record_ok(
+        &self,
+        bytes_in: usize,
+        bytes_out: usize,
+        queue_wait: Duration,
+        service: Duration,
+    ) {
         self.requests_ok.fetch_add(1, Ordering::Relaxed);
         self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
         self.bytes_out
             .fetch_add(bytes_out as u64, Ordering::Relaxed);
-        self.latency.record(latency);
+        self.latency.record(queue_wait, service);
     }
 
     /// Record one BUSY rejection (queue full; request not executed).
@@ -151,9 +162,9 @@ impl ServingStats {
             requests_err: self.requests_err.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            p50_ns: self.latency.quantile_ns(0.50),
-            p95_ns: self.latency.quantile_ns(0.95),
-            p99_ns: self.latency.quantile_ns(0.99),
+            p50_ns: self.latency.total.quantile_ns(0.50),
+            p95_ns: self.latency.total.quantile_ns(0.95),
+            p99_ns: self.latency.total.quantile_ns(0.99),
             faults_injected: 0,
             wal_recoveries: 0,
             torn_tails_truncated: 0,
@@ -202,6 +213,21 @@ impl ServingStats {
             writev_frames: self.writev_frames.load(Ordering::Relaxed),
             wakeups_coalesced: self.wakeups_coalesced.load(Ordering::Relaxed),
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            queue_p50_ns: self.latency.queue.quantile_ns(0.50),
+            queue_p95_ns: self.latency.queue.quantile_ns(0.95),
+            queue_p99_ns: self.latency.queue.quantile_ns(0.99),
+            service_p50_ns: self.latency.service.quantile_ns(0.50),
+            service_p95_ns: self.latency.service.quantile_ns(0.95),
+            service_p99_ns: self.latency.service.quantile_ns(0.99),
+            // The scheduler counters live with the Scheduler; the daemon
+            // overlays them (like the storage-side counters above).
+            sched_routed: 0,
+            sched_local_hits: 0,
+            sched_stolen: 0,
+            sched_spilled: 0,
+            sched_queue_depth_hw: 0,
+            fanout_batches: 0,
+            fanout_parts_helped: 0,
         }
     }
 }
@@ -213,8 +239,13 @@ mod tests {
     #[test]
     fn snapshot_reflects_recorded_traffic() {
         let stats = ServingStats::new();
-        stats.record_ok(100, 300, Duration::from_micros(10));
-        stats.record_ok(50, 150, Duration::from_micros(20));
+        stats.record_ok(
+            100,
+            300,
+            Duration::from_micros(1),
+            Duration::from_micros(10),
+        );
+        stats.record_ok(50, 150, Duration::from_micros(2), Duration::from_micros(20));
         stats.record_busy();
         stats.record_err();
         let s = stats.snapshot();
@@ -224,5 +255,10 @@ mod tests {
         assert_eq!(s.bytes_in, 150);
         assert_eq!(s.bytes_out, 450);
         assert!(s.p50_ns > 0);
+        // The split is populated and ordered: queue waits were an order
+        // of magnitude below service times, and the total reflects both.
+        assert!(s.queue_p50_ns > 0);
+        assert!(s.service_p50_ns > s.queue_p50_ns);
+        assert!(s.p50_ns >= s.service_p50_ns);
     }
 }

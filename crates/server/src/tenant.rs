@@ -30,14 +30,26 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Upper bound on scoped worker threads serving one `SEARCH_MANY` batch.
-/// Small batches use one thread per part; larger batches share.
+/// Upper bound on workers serving one `SEARCH_MANY` batch, the calling
+/// worker included. Small batches use one participant per part; larger
+/// batches share.
 const SEARCH_FANOUT: usize = 8;
+
+/// Size the fan-out for a `SEARCH_MANY` batch of `parts` parts on
+/// `cores` cores: the number of *participants*, with the calling worker
+/// counted exactly once as participant number one. Helpers beyond the
+/// caller are therefore `fanout_limit(..) - 1` — both the legacy scoped
+/// pool below and the persistent executor in [`crate::sched`] size from
+/// this single definition, so the caller's slot can no longer be
+/// double-counted by capping helpers and participants independently.
+pub(crate) fn fanout_limit(parts: usize, cores: usize) -> usize {
+    parts.min(SEARCH_FANOUT).min(cores.max(1))
+}
 
 /// Cached core count. `std::thread::available_parallelism` re-reads the
 /// cgroup filesystem on every call (tens of microseconds — more than a
 /// memo-hit search), so resolve it once per process.
-fn machine_parallelism() -> usize {
+pub(crate) fn machine_parallelism() -> usize {
     static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *CORES
         .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
@@ -223,11 +235,16 @@ impl TenantDb {
     }
 
     /// Serve a `SEARCH_MANY` batch: fan the parts out across a small
-    /// scoped worker pool (at most [`SEARCH_FANOUT`] threads), each part
-    /// an independent scheme request resolved against the shard snapshots.
-    /// Work is claimed by atomic counter so uneven per-keyword costs
-    /// balance, and the response batch is position-aligned with the
-    /// request parts.
+    /// scoped worker pool (at most [`SEARCH_FANOUT`] participants, the
+    /// caller included), each part an independent scheme request resolved
+    /// against the shard snapshots. Work is claimed by atomic counter so
+    /// uneven per-keyword costs balance, and the response batch is
+    /// position-aligned with the request parts.
+    ///
+    /// This is the legacy spawn-per-batch path, kept for callers outside
+    /// the daemon worker pool (thread-per-connection mode has no pool to
+    /// draw helpers from). The daemon routes `SEARCH_MANY` through the
+    /// spawn-free [`crate::sched::SearchFanout`] executor instead.
     #[must_use]
     pub fn search_batch(&self, parts: &[&[u8]]) -> Vec<u8> {
         let mut responses: Vec<Vec<u8>> = vec![Vec::new(); parts.len()];
@@ -235,7 +252,7 @@ impl TenantDb {
         // beyond the machine's cores only add spawn and switch overhead —
         // on a single-core host the whole batch stays on this thread and
         // the win is purely the amortized round trip.
-        let fanout = parts.len().min(SEARCH_FANOUT).min(machine_parallelism());
+        let fanout = fanout_limit(parts.len(), machine_parallelism());
         if fanout <= 1 {
             for (slot, part) in responses.iter_mut().zip(parts) {
                 *slot = self.handle_part_caught(part);
@@ -253,11 +270,12 @@ impl TenantDb {
             mine
         };
         std::thread::scope(|s| {
-            // The daemon worker thread participates in the claim loop, so a
-            // batch of k parts costs k-1 spawns, not k — measurable on the
-            // batch hot path where spawn latency rivals a memo-hit search.
+            // The calling thread is participant one of `fanout`, so a
+            // batch costs exactly `fanout - 1` spawns — counted so the
+            // sched bench can prove the daemon path spawns none.
             let handles: Vec<_> = (1..fanout)
                 .map(|_| {
+                    allocmeter::note_thread_spawn();
                     let next = &next;
                     s.spawn(move || claim(next))
                 })
@@ -289,7 +307,9 @@ impl TenantDb {
     /// Serve one fan-out part, converting a scheme-server panic into that
     /// part's protocol error instead of unwinding through the pool — one
     /// poisoned part must not kill the other parts or the connection.
-    fn handle_part_caught(&self, part: &[u8]) -> Vec<u8> {
+    /// Shared with the persistent executor in [`crate::sched`], whose
+    /// owner-waits rely on every claimed part reporting a result.
+    pub(crate) fn handle_part_caught(&self, part: &[u8]) -> Vec<u8> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle_shared(part)))
             .unwrap_or_else(|_| self.scheme_error("internal error: search fan-out worker panicked"))
     }
@@ -757,6 +777,19 @@ pub fn decode_tenant_dir_name(name: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fanout_limit_counts_the_caller_exactly_once() {
+        // `fanout_limit` returns total participants, caller included:
+        // helpers are always `limit - 1`, never `limit` (which would
+        // double-count the caller's slot against the core budget).
+        assert_eq!(fanout_limit(4, 16), 4, "one participant per part");
+        assert_eq!(fanout_limit(16, 4), 4, "core-capped: caller + 3 helpers");
+        assert_eq!(fanout_limit(100, 64), SEARCH_FANOUT, "hard batch cap");
+        assert_eq!(fanout_limit(8, 1), 1, "single core: caller alone, 0 spawns");
+        assert_eq!(fanout_limit(1, 8), 1, "single part stays inline");
+        assert_eq!(fanout_limit(3, 0), 1, "a zero core count cannot size to 0");
+    }
 
     #[test]
     fn same_key_shares_state_different_key_does_not() {

@@ -641,6 +641,168 @@ fn busy_deadline_is_monotonic_and_bounded() {
     server.join().unwrap();
 }
 
+/// Regression test for BUSY semantics under the per-worker run queues
+/// (DESIGN.md §4k): when a connection pipelines more requests than the
+/// scheduler can hold, the overflow must come back as cleanly correlated
+/// BUSY responses — exactly one response per seq, the accepted subset
+/// completing in dispatch order on a single worker (spill and steal may
+/// not reorder one connection's stream), and every BUSY'd seq must
+/// succeed when retried after the queue drains.
+#[test]
+fn pipelined_overflow_answers_busy_without_reordering_the_connection() {
+    use sse_repro::net::frame::encode_frame;
+    use sse_repro::net::link::Transport;
+    use sse_repro::server::proto::{
+        self, Hello, HELLO_SEQ, KIND_SEARCH_MANY, STATUS_BUSY, STATUS_OK,
+    };
+    use std::collections::BTreeMap;
+    use std::io::{Read, Write};
+
+    /// Remembers the bytes of the last single round trip, so the test can
+    /// replay one warm (read-only) search verbatim over a bare socket.
+    struct Capture {
+        inner: TcpTransport,
+        last: Vec<u8>,
+    }
+    impl Transport for Capture {
+        fn round_trip(&mut self, request: &[u8]) -> std::io::Result<Vec<u8>> {
+            self.last = request.to_vec();
+            self.inner.round_trip(request)
+        }
+    }
+
+    fn read_response(stream: &mut TcpStream) -> (u8, u32) {
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+        stream.read_exact(&mut body).unwrap();
+        let (status, seq, _) = proto::decode_response(&body).unwrap();
+        (status, seq)
+    }
+
+    // One worker and a two-deep queue: with the worker chewing on a
+    // fan-out batch, a pipelined burst must overflow into BUSY.
+    let daemon = Daemon::spawn(ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.local_addr().to_string();
+
+    // Warm the tenant and capture one memo-served search request.
+    let transport = Capture {
+        inner: TcpTransport::connect(&addr, "pipelined", SchemeId::Scheme2).unwrap(),
+        last: Vec::new(),
+    };
+    let key = MasterKey::from_seed(0x91D);
+    let mut sse = Scheme2Client::new_seeded(transport, key, Scheme2Config::standard(), 5);
+    sse.store(&round_docs(0, 0)).unwrap();
+    sse.search(&Keyword::new("hot")).unwrap();
+    sse.search(&Keyword::new("hot")).unwrap();
+    let search_request = sse.transport_mut().last.clone();
+    drop(sse);
+    assert!(!search_request.is_empty());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(&encode_frame(
+            &Hello {
+                tenant: "pipelined".into(),
+                scheme: SchemeId::Scheme2,
+            }
+            .encode(),
+        ))
+        .unwrap();
+    assert_eq!(read_response(&mut stream), (STATUS_OK, HELLO_SEQ));
+
+    // Each request is a SEARCH_MANY batch (8 parts of the same warm
+    // search) so the lone worker's service time dwarfs the reactor's
+    // dispatch of the rest of the burst.
+    const BURST: u32 = 24;
+    let batch = proto::encode_batch(&vec![search_request; 8]);
+    let mut responded: BTreeMap<u32, u8> = BTreeMap::new();
+    let mut busy_seqs: Vec<u32> = Vec::new();
+    let mut rounds = 0u32;
+    while busy_seqs.is_empty() {
+        rounds += 1;
+        assert!(rounds <= 10, "queue never overflowed into BUSY");
+        let base = (rounds - 1) * BURST;
+        let mut burst = Vec::new();
+        for i in 0..BURST {
+            burst.extend_from_slice(&encode_frame(&proto::encode_request(
+                KIND_SEARCH_MANY,
+                base + 1 + i,
+                &batch,
+            )));
+        }
+        stream.write_all(&burst).unwrap();
+        let mut ok_order = Vec::new();
+        let mut busy_order = Vec::new();
+        for _ in 0..BURST {
+            let (status, seq) = read_response(&mut stream);
+            assert!(
+                responded.insert(seq, status).is_none(),
+                "seq {seq} answered twice"
+            );
+            match status {
+                STATUS_OK => ok_order.push(seq),
+                STATUS_BUSY => busy_order.push(seq),
+                other => panic!("seq {seq}: unexpected status {other}"),
+            }
+        }
+        // Exactly one response per pipelined seq, and each status
+        // subsequence preserves the connection's dispatch order: the
+        // single worker serves accepted jobs FIFO, and the reactor
+        // answers overflow BUSY in receive order.
+        assert_eq!(responded.len() as u32, rounds * BURST);
+        assert!(ok_order.windows(2).all(|w| w[0] < w[1]), "{ok_order:?}");
+        assert!(busy_order.windows(2).all(|w| w[0] < w[1]), "{busy_order:?}");
+        busy_seqs = busy_order;
+    }
+
+    // Every rejected seq succeeds when retried closed-loop: BUSY told
+    // the client to back off, not that the request was lost or the
+    // connection poisoned.
+    for &seq in &busy_seqs {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(
+                attempts <= 50,
+                "seq {seq} still BUSY after {attempts} tries"
+            );
+            stream
+                .write_all(&encode_frame(&proto::encode_request(
+                    KIND_SEARCH_MANY,
+                    seq,
+                    &batch,
+                )))
+                .unwrap();
+            let (status, got) = read_response(&mut stream);
+            assert_eq!(got, seq);
+            if status == STATUS_OK {
+                break;
+            }
+            assert_eq!(status, STATUS_BUSY);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    let stats = daemon.stats();
+    assert!(
+        stats.requests_busy >= busy_seqs.len() as u64,
+        "stats lost BUSY rejections: {stats:?}"
+    );
+    assert_eq!(stats.requests_err, 0, "no protocol errors: {stats:?}");
+    drop(stream);
+    daemon.shutdown();
+}
+
 /// The `SEARCH_MANY` envelope end to end, both schemes: a batched search
 /// over a sharded tenant must return exactly what the same keywords yield
 /// one at a time, with absent keywords coming back empty in position —

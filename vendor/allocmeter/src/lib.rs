@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
+static THREAD_SPAWNS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     // const-initialized: no lazy init, no registration, safe to read from
@@ -45,6 +46,22 @@ pub fn untrack_current_thread() {
     TRACKED.with(|t| t.set(false));
 }
 
+/// Record one OS-thread spawn on a serving path. Unlike the allocation
+/// counters this is *not* gated on [`track_current_thread`] and needs no
+/// installed allocator — call it immediately before each `spawn` that
+/// serves a request, and a spawn-free steady state shows a zero delta in
+/// [`thread_spawns`] across a measured interval.
+pub fn note_thread_spawn() {
+    THREAD_SPAWNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Serving-path thread spawns recorded via [`note_thread_spawn`] since
+/// process start.
+#[must_use]
+pub fn thread_spawns() -> u64 {
+    THREAD_SPAWNS.load(Ordering::Relaxed)
+}
+
 /// A point-in-time reading of the global counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AllocCounters {
@@ -52,6 +69,10 @@ pub struct AllocCounters {
     pub allocs: u64,
     /// Bytes requested by those acquisitions.
     pub bytes: u64,
+    /// Serving-path thread spawns ([`note_thread_spawn`]) — counted
+    /// process-wide regardless of per-thread tracking or whether the
+    /// counting allocator is installed.
+    pub thread_spawns: u64,
 }
 
 impl AllocCounters {
@@ -61,6 +82,7 @@ impl AllocCounters {
         AllocCounters {
             allocs: self.allocs.saturating_sub(earlier.allocs),
             bytes: self.bytes.saturating_sub(earlier.bytes),
+            thread_spawns: self.thread_spawns.saturating_sub(earlier.thread_spawns),
         }
     }
 }
@@ -72,6 +94,7 @@ pub fn counters() -> AllocCounters {
     AllocCounters {
         allocs: ALLOCS.load(Ordering::Relaxed),
         bytes: BYTES.load(Ordering::Relaxed),
+        thread_spawns: THREAD_SPAWNS.load(Ordering::Relaxed),
     }
 }
 
@@ -145,6 +168,17 @@ mod tests {
         drop(v);
         let delta = counters().since(&before);
         assert_eq!(delta.allocs, 0, "untracked alloc counted: {delta:?}");
+    }
+
+    #[test]
+    fn thread_spawns_count_without_tracking_or_allocator() {
+        untrack_current_thread();
+        let before = counters();
+        note_thread_spawn();
+        note_thread_spawn();
+        let delta = counters().since(&before);
+        assert_eq!(delta.thread_spawns, 2);
+        assert_eq!(counters().thread_spawns, thread_spawns());
     }
 
     #[test]
